@@ -1,0 +1,48 @@
+"""Shared helpers for the benchmark harness.
+
+Each bench module regenerates one table or figure from the paper's
+evaluation section and prints the same rows/series the paper reports.
+Output is written through :func:`emit` (bypassing pytest capture) so it
+lands in ``bench_output.txt`` when run via ``pytest benchmarks/
+--benchmark-only | tee ...``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import sys
+from typing import Awaitable, TypeVar
+
+import pytest
+
+T = TypeVar("T")
+
+BENCH_TIMEOUT = 600.0
+
+
+_CAPTURE_HANDLE = None
+
+
+@pytest.fixture(autouse=True)
+def _uncaptured_bench_output(capfd):
+    """Expose the capture handle so emit() can print past capturing."""
+    global _CAPTURE_HANDLE
+    _CAPTURE_HANDLE = capfd
+    yield
+    _CAPTURE_HANDLE = None
+
+
+def emit(text: str) -> None:
+    """Print a result line, bypassing pytest's output capture."""
+    if _CAPTURE_HANDLE is not None:
+        with _CAPTURE_HANDLE.disabled():
+            print(text, file=sys.stdout, flush=True)
+    else:
+        print(text, file=sys.stdout, flush=True)
+
+
+def run(coro: Awaitable[T], timeout: float = BENCH_TIMEOUT) -> T:
+    async def wrapper() -> T:
+        return await asyncio.wait_for(coro, timeout=timeout)
+
+    return asyncio.run(wrapper())

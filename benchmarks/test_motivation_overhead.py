@@ -1,0 +1,50 @@
+"""Regenerates the **section II / Figure 1** motivation numbers.
+
+The paper: 3-versioning only the "Search" and "Compose Post" services of
+the DeathStarBench social-network deployment costs ~20% extra, versus
+300% (3x) for classically N-versioning the whole application.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.analysis import (
+    build_social_network,
+    selective_overhead,
+    user_facing_services,
+    whole_app_overhead,
+)
+from repro.analysis.report import format_table
+
+
+def test_motivation_overhead(benchmark):
+    graph = benchmark.pedantic(build_social_network, rounds=1, iterations=1)
+
+    rows = []
+    selective = selective_overhead(graph, {"search": 3, "compose-post": 3})
+    whole = whole_app_overhead(graph, 3)
+    rows.append(
+        ["RDDR: 3-version search + compose-post", f"{selective.overhead_fraction:.0%}"]
+    )
+    rows.append(["classic: 3-version whole app", f"{whole.overhead_fraction:.0%}"])
+    for n in (2, 3, 5):
+        est = selective_overhead(graph, {"search": n, "compose-post": n})
+        rows.append([f"RDDR: {n}-version search + compose-post", f"{est.overhead_fraction:.0%}"])
+    emit("")
+    emit(
+        format_table(
+            ["strategy", "container-cost overhead"],
+            rows,
+            title=(
+                f"Motivation (Figure 1 topology, {graph.number_of_nodes()} services): "
+                "selective vs whole-app N-versioning"
+            ),
+        )
+    )
+    emit(
+        "Recommended N-versioning candidates (user-input handlers, section VI): "
+        + ", ".join(user_facing_services(graph))
+    )
+
+    assert abs(selective.overhead_fraction - 0.20) < 0.01  # the paper's ~20%
+    assert abs(whole.overhead_fraction - 2.0) < 0.01  # the paper's 300% cost

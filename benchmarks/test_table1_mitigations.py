@@ -1,0 +1,59 @@
+"""Regenerates **Table I**: RDDR vulnerability mitigations.
+
+For each of the ten rows the harness runs the full scenario — exploit
+demonstrated against a bare vulnerable instance, benign traffic through
+RDDR, exploit blocked by RDDR — and prints the table with a "Mitigated"
+column, which is the result the paper reports for every row.
+
+Also reports the section V-C1 integration-effort claim (configuration
+footprint of adding RDDR to the reverse-proxy deployment).
+"""
+
+from __future__ import annotations
+
+import json
+
+from benchmarks.conftest import emit, run
+from repro.analysis import format_table
+from repro.core.config import RddrConfig
+from repro.scenarios import registry
+
+
+def _run_all():
+    return run(registry.run_all())
+
+
+def test_table1_mitigations(benchmark):
+    results = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+    rows = [
+        [
+            r.cve,
+            r.microservice,
+            r.exploit[:40],
+            r.cwe,
+            r.mitigated and r.benign_ok and r.leak_without_rddr,
+            r.owasp,
+            r.diversity,
+        ]
+        for r in results
+    ]
+    emit("")
+    emit(
+        format_table(
+            ["CVE", "Microservice/program", "Exploit", "CWE", "Mitigated", "OWASP #", "Diversity"],
+            rows,
+            title="Table I: RDDR vulnerability mitigations (reproduced)",
+        )
+    )
+    mitigated = sum(1 for r in results if r.passed)
+    emit(f"\n{mitigated}/10 scenarios mitigated (paper: 10/10)")
+
+    # Section V-C1: integration effort, measured as the configuration
+    # footprint of the reverse-proxy deployment's RDDR config.
+    config = RddrConfig(protocol="http", exchange_timeout=2.0)
+    config_lines = len(json.dumps(config.to_dict(), indent=2).splitlines())
+    emit(
+        f"Integration effort: RDDR config for the CVE-2019-18277 deployment "
+        f"is {config_lines} lines (paper: 174 lines across six files, ~1 hour)"
+    )
+    assert mitigated == 10

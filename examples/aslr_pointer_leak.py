@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""The paper's ASLR proof of concept (section V-E): OS-generated
+diversity stopping a pointer leak.
+
+Two instances of the same overflow-vulnerable echo server run with
+simulated ASLR, so each has a unique address space.  Overflowing the
+buffer leaks the adjacent saved pointer — a *different* address per
+instance — which RDDR detects as divergence before the attacker can
+compute a gadget address.  Running the same pair *without* ASLR shows
+why the diversity source matters: identical layouts leak identically and
+RDDR cannot tell.
+
+Run:  python examples/aslr_pointer_leak.py
+"""
+
+import asyncio
+
+from repro import RddrConfig, RddrDeployment
+from repro.apps.aslr import VulnerableEchoServer, build_overflow_payload
+from repro.apps.aslr.echo_vuln import BUFFER_SIZE, gadget_address_from_leak
+from repro.transport.retry import open_connection_retry
+from repro.transport.streams import close_writer
+
+
+async def send(address: tuple[str, int], payload: bytes) -> bytes:
+    reader, writer = await open_connection_retry(*address)
+    try:
+        writer.write(payload + b"\n")
+        await writer.drain()
+        reply = await asyncio.wait_for(reader.readline(), timeout=2)
+        return reply.rstrip(b"\n")
+    except (asyncio.TimeoutError, ConnectionError, asyncio.IncompleteReadError):
+        return b""
+    finally:
+        await close_writer(writer)
+
+
+async def demo(aslr: bool) -> None:
+    label = "with ASLR" if aslr else "WITHOUT ASLR (ablation)"
+    servers = [await VulnerableEchoServer(aslr=aslr).start() for _ in range(2)]
+    overflow = build_overflow_payload()
+
+    # step (1) against a bare instance: the leak is real
+    reply = await send(servers[0].address, overflow)
+    leaked = reply[BUFFER_SIZE:]
+    print(f"\n[{label}] bare instance leak: pointer 0x{leaked.decode()}")
+    print(f"  attacker computes gadget at 0x{gadget_address_from_leak(leaked):x}")
+
+    async with RddrDeployment(
+        "aslr", RddrConfig(protocol="tcp", exchange_timeout=2.0)
+    ) as rddr:
+        await rddr.start_incoming_proxy([s.address for s in servers])
+        benign = await send(rddr.address, b"hello")
+        print(f"  through RDDR, benign echo: {benign.decode()!r}")
+        reply = await send(rddr.address, overflow)
+        leaked_via_rddr = len(reply) > len(overflow)
+        print(f"  through RDDR, overflow leaked a pointer: {leaked_via_rddr}")
+        print(f"  divergences recorded: {len(rddr.divergences())}")
+
+    for server in servers:
+        await server.close()
+
+
+async def main() -> None:
+    await demo(aslr=True)
+    await demo(aslr=False)
+    print(
+        "\nNote the ablation: without ASLR both instances leak the *same*"
+        "\npointer, so no divergence arises — the defence is only as good"
+        "\nas the diversity source, as the paper stresses."
+    )
+
+
+if __name__ == "__main__":
+    asyncio.run(main())

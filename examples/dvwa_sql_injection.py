@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""The paper's DVWA scenario (section V-B): SQL injection stopped by the
+outgoing request proxy, with CSRF tokens handled transparently.
+
+Topology (Figure 2): three DVWA frontends — one sanitizing ("high"), two
+non-sanitizing forming the filter pair — share one backend database
+through RDDR's outgoing proxy; RDDR's incoming proxy faces the client.
+
+The demo walks the real attack: fetch the form (each instance mints its
+own CSRF token; RDDR captures and re-substitutes them), submit a benign
+lookup, then submit the classic ``' OR '1'='1`` injection and watch the
+outgoing proxy catch the diverging SQL.
+
+Run:  python examples/dvwa_sql_injection.py
+"""
+
+import asyncio
+import re
+
+from repro.apps.dvwa import SQLI_EXPLOIT_ID, deploy_dvwa
+from repro.web import HttpClient
+from repro.web.forms import encode_urlencoded
+
+
+async def submit(address: tuple[str, int], user_id: str) -> tuple[int, bytes]:
+    """Fetch the SQLi form, then POST a user id with the CSRF token."""
+    async with HttpClient(*address) as client:
+        page = await client.get("/vulnerabilities/sqli")
+        token = re.search(rb"name='user_token' value='(\w+)'", page.body).group(1)
+        cookie = (page.header("Set-Cookie") or "").split(";")[0]
+        try:
+            response = await client.post(
+                "/vulnerabilities/sqli",
+                body=encode_urlencoded({"id": user_id, "user_token": token.decode()}),
+                headers={
+                    "Content-Type": "application/x-www-form-urlencoded",
+                    "Cookie": cookie,
+                },
+            )
+            return response.status, response.body
+        except Exception as error:
+            return 0, f"connection terminated ({type(error).__name__})".encode()
+
+
+async def main() -> None:
+    deployment = await deploy_dvwa()
+    print("DVWA deployed: 3 frontends (high, low, low) -> outgoing proxy -> 1 database")
+
+    status, body = await submit(deployment.address, "2")
+    names = re.findall(rb"First name: (\w+)", body)
+    print(f"\nbenign lookup id=2   -> HTTP {status}, rows: {[n.decode() for n in names]}")
+
+    status, body = await submit(deployment.address, SQLI_EXPLOIT_ID)
+    dumped = re.findall(rb"First name: (\w+)", body)
+    print(f"injection {SQLI_EXPLOIT_ID!r} -> HTTP {status}, rows dumped: {len(dumped)}")
+
+    print("\nRDDR events:")
+    for event in deployment.rddr.events.divergences():
+        print("  divergence:", event.detail, f"(proxy: {event.proxy})")
+    captured = deployment.rddr.incoming_metrics.ephemeral_tokens_captured
+    print(f"  CSRF tokens captured and re-substituted: {captured}")
+
+    await deployment.close()
+
+
+if __name__ == "__main__":
+    asyncio.run(main())

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""The paper's GitLab case study (section V-F, Figure 3): N-versioning
+one critical component of a complex application.
+
+GitLab's Postgres is replaced with three instances — two at 10.7 (the
+CVE-2019-10130-vulnerable filter pair) and one at 10.9 (fixed) — behind
+RDDR's incoming proxy.  Benign traffic (dashboard, projects, sign-in,
+background jobs) flows untouched; the row-level-security leak injected
+through the frontend's SQL injection diverges and is blocked.
+
+Run:  python examples/gitlab_postgres.py
+"""
+
+import asyncio
+from urllib.parse import quote
+
+from repro.apps.gitlab import CVE_2019_10130_STEPS, deploy_gitlab, injection_for
+from repro.web import HttpClient
+from repro.web.forms import encode_urlencoded
+
+
+async def main() -> None:
+    deployment = await deploy_gitlab()
+    print("GitLab deployed: workhorse -> rails/sidekiq/pages, Postgres =")
+    print("  RDDR over postsim 10.7 / 10.7 / 10.9 (filter pair = the 10.7s)\n")
+
+    async with HttpClient(*deployment.address) as client:
+        projects = await client.get("/projects")
+        print("GET /projects          ->", projects.status, projects.body[:60])
+        sign_in = await client.post(
+            "/users/sign_in",
+            body=encode_urlencoded(
+                {"username": "root", "password_hash": "63a9f0ea7bb98050796b649e85481845"}
+            ),
+            headers={"Content-Type": "application/x-www-form-urlencoded"},
+        )
+        print("POST /users/sign_in    ->", sign_in.status, sign_in.body)
+    async with HttpClient(*deployment.sidekiq_server.address) as client:
+        tick = await client.post("/tick")
+        print("sidekiq background job ->", tick.status, tick.body)
+
+    print("\nlaunching the CVE-2019-10130 exploit via the /search injection:")
+    leaked = False
+    for step in CVE_2019_10130_STEPS:
+        async with HttpClient(*deployment.address) as client:
+            response = await client.get("/search?q=" + quote(injection_for(step)))
+            print(f"  step -> HTTP {response.status}")
+            if b"glpat-root" in response.body:
+                leaked = True
+    print("protected api_keys row leaked:", leaked)
+    print("RDDR divergences:", [e.detail for e in deployment.rddr.events.divergences()])
+
+    async with HttpClient(*deployment.address) as client:
+        after = await client.get("/projects")
+        print("\nbenign traffic after the attack -> HTTP", after.status)
+
+    await deployment.close()
+
+
+if __name__ == "__main__":
+    asyncio.run(main())

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Quickstart: N-version a microservice with RDDR in ~40 lines.
+
+Deploys two versions of a tiny line-echo microservice — the current
+release and a "patched" build that accidentally decorates its output —
+behind RDDR's incoming proxy, then shows:
+
+1. benign traffic flowing through unanimously, and
+2. RDDR blocking the exchange the moment the versions diverge.
+
+Run:  python examples/quickstart.py
+"""
+
+import asyncio
+
+from repro import RddrConfig, RddrDeployment
+from repro.apps.echo import EchoServer
+from repro.transport.retry import open_connection_retry
+
+
+async def exchange(address: tuple[str, int], line: str) -> str | None:
+    """One request/response against the protected service."""
+    reader, writer = await open_connection_retry(*address)
+    try:
+        writer.write(line.encode() + b"\n")
+        await writer.drain()
+        reply = await asyncio.wait_for(reader.readline(), timeout=2)
+        return reply.decode().rstrip("\n") if reply else None
+    except asyncio.TimeoutError:
+        return None
+    finally:
+        writer.close()
+
+
+async def main() -> None:
+    # Two "versions" of the echo microservice.  v2 carries a bug that
+    # changes observable output — exactly what N-versioning catches.
+    v1 = await EchoServer(name="echo-v1").start()
+    v2 = await EchoServer(name="echo-v1-copy").start()
+    buggy = await EchoServer(name="echo-v2", tag="v2").start()
+
+    # Scenario 1: identical versions — everything passes.
+    async with RddrDeployment("demo", RddrConfig(protocol="tcp", exchange_timeout=2.0)) as rddr:
+        await rddr.start_incoming_proxy([v1.address, v2.address])
+        print("deployment: 2 identical instances behind RDDR")
+        print("  client sends 'hello'  ->", repr(await exchange(rddr.address, "hello")))
+        print("  divergences:", len(rddr.divergences()))
+
+    # Scenario 2: one instance diverges — RDDR halts the connection.
+    async with RddrDeployment("demo2", RddrConfig(protocol="tcp", exchange_timeout=2.0)) as rddr:
+        await rddr.start_incoming_proxy([v1.address, buggy.address])
+        print("\ndeployment: v1 + buggy v2 behind RDDR")
+        print("  client sends 'hello'  ->", repr(await exchange(rddr.address, "hello")))
+        for event in rddr.events.divergences():
+            print("  RDDR intervened:", event.detail)
+
+    for server in (v1, v2, buggy):
+        await server.close()
+
+
+if __name__ == "__main__":
+    asyncio.run(main())

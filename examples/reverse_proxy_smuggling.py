@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""The paper's reverse-proxy scenario (section V-C1): CVE-2019-18277
+HTTP request smuggling defeated by implementation diversity.
+
+HAProxy 1.5.3 (vulnerable) and nginx (not susceptible) are deployed as
+diverse implementations of the same reverse proxy behind RDDR.  The demo
+first runs the smuggling attack against bare HAProxy — leaking an
+internal API response — then repeats it through RDDR, where nginx's
+disagreement surfaces as a divergence and the leak is blocked.
+
+Run:  python examples/reverse_proxy_smuggling.py
+"""
+
+import asyncio
+
+from repro import RddrConfig, RddrDeployment
+from repro.apps.proxies import HaproxySim, NginxSim, build_smuggling_payload
+from repro.transport.retry import open_connection_retry
+from repro.transport.streams import close_writer
+from repro.web import App, text_response
+from repro.web.http11 import ParserOptions
+from repro.web.server import HttpServer
+
+
+def make_backend_app() -> App:
+    app = App("s1")
+
+    @app.route("/public", methods=("GET", "POST"))
+    async def public(ctx):
+        return text_response("public ok")
+
+    @app.route("/internal/secret")
+    async def secret(ctx):
+        return text_response("SECRET: do not expose outside the deployment")
+
+    return app
+
+
+async def attack(address: tuple[str, int]) -> bytes:
+    """Send the smuggling payload, then a follow-up request; the victim
+    of a desync receives the queued smuggled response."""
+    reader, writer = await open_connection_retry(*address)
+    try:
+        writer.write(build_smuggling_payload())
+        await writer.drain()
+        await asyncio.wait_for(reader.read(400), timeout=2)
+        writer.write(b"GET /public HTTP/1.1\r\nHost: app\r\n\r\n")
+        await writer.drain()
+        return await asyncio.wait_for(reader.read(600), timeout=2)
+    except asyncio.TimeoutError:
+        return b""
+    finally:
+        await close_writer(writer)
+
+
+async def main() -> None:
+    # The backend service honours obfuscated Transfer-Encoding — the
+    # lenient parser that makes the desync possible.
+    backend = HttpServer(
+        make_backend_app(), parser_options=ParserOptions(lenient_te_whitespace=True)
+    )
+    await backend.start()
+    deny = ["/internal"]
+    haproxy = await HaproxySim(backend.address, version="1.5.3", deny_paths=deny).start()
+    nginx = await NginxSim(backend.address, version="1.17.0", deny_paths=deny).start()
+
+    poisoned = await attack(haproxy.address)
+    print("attack on bare HAProxy 1.5.3:")
+    print("  follow-up response leaked the internal API:", b"SECRET" in poisoned)
+
+    async with RddrDeployment(
+        "revproxy", RddrConfig(protocol="http", exchange_timeout=2.0)
+    ) as rddr:
+        await rddr.start_incoming_proxy([haproxy.address, nginx.address])
+        blocked = await attack(rddr.address)
+        print("\nsame attack through RDDR (HAProxy + nginx diversity):")
+        print("  leak reached the client:", b"SECRET" in blocked)
+        print("  RDDR intervention page served:", b"RDDR intervened" in blocked)
+        for event in rddr.events.divergences():
+            print("  divergence:", event.detail)
+
+    await haproxy.close()
+    await nginx.close()
+    await backend.close()
+
+
+if __name__ == "__main__":
+    asyncio.run(main())

@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""RDDR extensions (paper section IV-D): divergence signatures and voting.
+
+Two behaviours the paper sketches as future work, implemented behind
+configuration flags:
+
+1. **Signature learning** — an attacker who found a diverging input can
+   re-send it forever, costing RDDR an N-way replication each time (a
+   DoS amplifier).  With ``signature_learning=True`` the first divergence
+   is remembered; look-alike requests (randomised nonces and all) are
+   rejected *before* touching the instances.
+2. **Voting with quarantine** — classic N-versioning votes instead of
+   halting.  With ``divergence_policy="vote"`` a strict majority's
+   response is forwarded and, with ``quarantine_minority=True``, the
+   outvoted instance is dropped from the connection.
+
+Run:  python examples/voting_and_signatures.py
+"""
+
+import asyncio
+
+from repro import RddrConfig, RddrDeployment
+from repro.apps.echo import EchoServer
+from repro.transport.retry import open_connection_retry
+from repro.transport.streams import close_writer
+
+
+class SometimesBuggy(EchoServer):
+    """Echoes faithfully except for inputs mentioning 'exploit'."""
+
+    async def _serve(self, reader, writer):
+        while True:
+            try:
+                line = await reader.readuntil(b"\n")
+            except (asyncio.IncompleteReadError, ConnectionError):
+                return
+            text = line.rstrip(b"\n")
+            if b"exploit" in text:
+                text += b" <LEAKED-INTERNALS>"
+            writer.write(text + b"\n")
+            await writer.drain()
+
+
+async def send(address, line: bytes) -> bytes | None:
+    reader, writer = await open_connection_retry(*address)
+    try:
+        writer.write(line + b"\n")
+        await writer.drain()
+        reply = await asyncio.wait_for(reader.readline(), timeout=2)
+        return reply.rstrip(b"\n") if reply else None
+    except (asyncio.TimeoutError, ConnectionError):
+        return None
+    finally:
+        await close_writer(writer)
+
+
+async def demo_signatures() -> None:
+    print("=== signature learning (anti-DoS) ===")
+    good = await EchoServer().start()
+    buggy = await SometimesBuggy().start()
+    config = RddrConfig(protocol="tcp", exchange_timeout=2.0, signature_learning=True)
+    async with RddrDeployment("sig", config) as rddr:
+        await rddr.start_incoming_proxy([good.address, buggy.address])
+        print("benign:", await send(rddr.address, b"hello"))
+        print("exploit #1:", await send(rddr.address, b"exploit nonce AAAABBBB1111"))
+        print("  -> diverged; signature learned:", len(rddr.incoming.signatures))
+        await send(rddr.address, b"exploit nonce ZZZZYYYY9999")
+        blocked = rddr.events.events("signature_blocked")
+        print("exploit #2 (new nonce): rejected before replication:", len(blocked) == 1)
+        print("benign again:", await send(rddr.address, b"still here"))
+    await good.close()
+    await buggy.close()
+
+
+async def demo_voting() -> None:
+    print("\n=== majority voting with quarantine ===")
+    instances = [await EchoServer().start(), await EchoServer().start(),
+                 await EchoServer(tag="compromised").start()]
+    config = RddrConfig(
+        protocol="tcp",
+        exchange_timeout=2.0,
+        divergence_policy="vote",
+        quarantine_minority=True,
+    )
+    async with RddrDeployment("vote", config) as rddr:
+        await rddr.start_incoming_proxy([s.address for s in instances])
+        reader, writer = await open_connection_retry(*rddr.address)
+        writer.write(b"request one\n")
+        await writer.drain()
+        print("client got (majority's answer):", (await reader.readline()).strip())
+        for event in rddr.events.events("vote_override"):
+            print("  vote:", event.detail)
+        for event in rddr.events.events("quarantine"):
+            print("  quarantine:", event.detail)
+        writer.write(b"request two\n")
+        await writer.drain()
+        print("after quarantine, service continues:", (await reader.readline()).strip())
+        await close_writer(writer)
+    for server in instances:
+        await server.close()
+
+
+async def main() -> None:
+    await demo_signatures()
+    await demo_voting()
+
+
+if __name__ == "__main__":
+    asyncio.run(main())

@@ -1,0 +1,53 @@
+"""repro — reproduction of "Back to the Future: N-Versioning of
+Microservices" (Espinoza, Wood, Forrest, Tiwari; DSN 2022).
+
+The package implements RDDR — an N-versioning proxy architecture that
+Replicates requests to N diverse instances of a protected microservice,
+De-noises nondeterminism with a filter pair, Diffs the responses, and
+Responds (forwarding on unanimity, blocking on divergence) — together
+with every substrate its evaluation needs: a micro web framework, a mini
+SQL engine speaking the PostgreSQL wire protocol, diverse vendor
+databases, an in-process orchestrator, the vulnerable applications from
+Table I, and the TPC-H / pgbench workloads behind Figures 4-6.
+
+Quick start::
+
+    from repro import RddrDeployment, RddrConfig
+
+    deployment = RddrDeployment("demo", RddrConfig(protocol="http"))
+    await deployment.start_incoming_proxy([(host1, p1), (host2, p2)])
+    # clients now talk to deployment.address
+"""
+
+from repro.core import (
+    EphemeralStateStore,
+    EventLog,
+    FilterPair,
+    IncomingRequestProxy,
+    NoiseMask,
+    OutgoingRequestProxy,
+    ProxyMetrics,
+    RddrConfig,
+    RddrDeployment,
+    VarianceRule,
+    diff_tokens,
+)
+from repro.protocols import get_protocol
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "EphemeralStateStore",
+    "EventLog",
+    "FilterPair",
+    "IncomingRequestProxy",
+    "NoiseMask",
+    "OutgoingRequestProxy",
+    "ProxyMetrics",
+    "RddrConfig",
+    "RddrDeployment",
+    "VarianceRule",
+    "diff_tokens",
+    "get_protocol",
+    "__version__",
+]

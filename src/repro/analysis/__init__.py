@@ -1,0 +1,25 @@
+"""Analysis helpers: statistics, report rendering, topology model."""
+
+from repro.analysis.report import format_series, format_table
+from repro.analysis.stats import BoxStats, mean, normalize, percentile
+from repro.analysis.topology import (
+    OverheadEstimate,
+    build_social_network,
+    selective_overhead,
+    user_facing_services,
+    whole_app_overhead,
+)
+
+__all__ = [
+    "format_series",
+    "format_table",
+    "BoxStats",
+    "mean",
+    "normalize",
+    "percentile",
+    "OverheadEstimate",
+    "build_social_network",
+    "selective_overhead",
+    "user_facing_services",
+    "whole_app_overhead",
+]

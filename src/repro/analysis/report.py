@@ -1,0 +1,57 @@
+"""Plain-text table and series renderers for the benchmark harnesses.
+
+Every benchmark prints the rows/series its paper table or figure
+reports; these helpers keep the output format consistent.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], *, title: str = ""
+) -> str:
+    """Render an aligned ASCII table."""
+    columns = [str(h) for h in headers]
+    rendered_rows = [[_cell(value) for value in row] for row in rows]
+    widths = [len(h) for h in columns]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    header_line = " | ".join(h.ljust(w) for h, w in zip(columns, widths))
+    lines.append(header_line)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in rendered_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    x_values: Sequence[object],
+    series: dict[str, Sequence[float]],
+    *,
+    title: str = "",
+    precision: int = 3,
+) -> str:
+    """Render one-figure-series-per-column (x in the first column)."""
+    headers = [x_label, *series.keys()]
+    rows = []
+    for index, x in enumerate(x_values):
+        row: list[object] = [x]
+        for values in series.values():
+            row.append(round(float(values[index]), precision))
+        rows.append(row)
+    return format_table(headers, rows, title=title)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    return str(value)

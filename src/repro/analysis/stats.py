@@ -1,0 +1,57 @@
+"""Statistics helpers for the analysis and benchmark harnesses."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+def percentile(samples: list[float], q: float) -> float:
+    """Linear-interpolation percentile, ``q`` in [0, 100]."""
+    if not samples:
+        raise ValueError("no samples")
+    if not 0 <= q <= 100:
+        raise ValueError("percentile must be in [0, 100]")
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100) * (len(ordered) - 1)
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high:
+        return ordered[low]
+    weight = rank - low
+    return ordered[low] * (1 - weight) + ordered[high] * weight
+
+
+def mean(samples: list[float]) -> float:
+    if not samples:
+        raise ValueError("no samples")
+    return sum(samples) / len(samples)
+
+
+@dataclass(frozen=True)
+class BoxStats:
+    """The five-number-ish summary the paper's Figure 4 boxes report:
+    5th/95th percentile whiskers, the median, and the mean."""
+
+    p5: float
+    median: float
+    p95: float
+    mean: float
+
+    @classmethod
+    def from_samples(cls, samples: list[float]) -> "BoxStats":
+        return cls(
+            p5=percentile(samples, 5),
+            median=percentile(samples, 50),
+            p95=percentile(samples, 95),
+            mean=mean(samples),
+        )
+
+
+def normalize(values: list[float], baseline: list[float]) -> list[float]:
+    """Element-wise ratio to a baseline (paper's normalized metrics)."""
+    if len(values) != len(baseline):
+        raise ValueError("length mismatch")
+    return [v / b if b else float("inf") for v, b in zip(values, baseline)]

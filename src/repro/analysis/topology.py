@@ -1,0 +1,103 @@
+"""Deployment-topology overhead model (paper section II, Figure 1).
+
+The motivation claims that N-versioning only the "Search" and "Compose
+Post" services of the DeathStarBench social-network deployment costs
+about 20% extra, versus 300% for 3-versioning the whole application.
+This module builds that topology as a graph (networkx) and computes the
+overhead of selective N-versioning so the claim can be regenerated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+
+#: The social-network deployment of Gan et al. (Figure 1): front end,
+#: logic tier, and storage tier, with edges along the request paths.
+SOCIAL_NETWORK_SERVICES = {
+    # service: (tier, downstream services)
+    "load-balancer": ("frontend", ["frontend-logic"]),
+    "frontend-logic": ("frontend", [
+        "search", "compose-post", "read-timeline", "write-timeline",
+        "user-service", "social-graph", "media", "text-service",
+    ]),
+    "search": ("logic", ["post-storage"]),
+    "compose-post": ("logic", ["post-storage", "user-storage", "media-storage"]),
+    "read-timeline": ("logic", ["home-timeline-storage", "post-storage"]),
+    "write-timeline": ("logic", ["home-timeline-storage", "social-graph-storage"]),
+    "user-service": ("logic", ["user-storage"]),
+    "social-graph": ("logic", ["social-graph-storage"]),
+    "media": ("logic", ["media-storage"]),
+    "text-service": ("logic", []),
+    "url-shorten": ("logic", []),
+    "user-mention": ("logic", ["user-storage"]),
+    "unique-id": ("logic", []),
+    "user-storage": ("storage", []),
+    "post-storage": ("storage", []),
+    "home-timeline-storage": ("storage", []),
+    "social-graph-storage": ("storage", []),
+    "media-storage": ("storage", []),
+    "user-cache": ("storage", []),
+    "post-cache": ("storage", []),
+}
+
+
+def build_social_network() -> nx.DiGraph:
+    """The Figure 1 deployment as a directed service graph."""
+    graph = nx.DiGraph()
+    for service, (tier, downstream) in SOCIAL_NETWORK_SERVICES.items():
+        graph.add_node(service, tier=tier, cost=1.0)
+        for target in downstream:
+            graph.add_edge(service, target)
+    return graph
+
+
+@dataclass(frozen=True)
+class OverheadEstimate:
+    """Container-cost overhead of an N-versioning plan."""
+
+    total_cost: float
+    added_cost: float
+
+    @property
+    def overhead_fraction(self) -> float:
+        return self.added_cost / self.total_cost
+
+
+def selective_overhead(
+    graph: nx.DiGraph, protected: dict[str, int]
+) -> OverheadEstimate:
+    """Overhead of N-versioning a subset of services.
+
+    ``protected`` maps service name -> N (version count).  Each service
+    contributes its ``cost`` attribute (the paper assumes all containers
+    equally costly); N-versioning a service adds ``(N - 1) * cost``.
+    """
+    for service in protected:
+        if service not in graph:
+            raise KeyError(f"unknown service {service!r}")
+    total = sum(data.get("cost", 1.0) for _, data in graph.nodes(data=True))
+    added = sum(
+        (versions - 1) * graph.nodes[service].get("cost", 1.0)
+        for service, versions in protected.items()
+    )
+    return OverheadEstimate(total_cost=total, added_cost=added)
+
+
+def whole_app_overhead(graph: nx.DiGraph, versions: int) -> OverheadEstimate:
+    """Overhead of classically N-versioning the entire deployment."""
+    total = sum(data.get("cost", 1.0) for _, data in graph.nodes(data=True))
+    return OverheadEstimate(total_cost=total, added_cost=(versions - 1) * total)
+
+
+def user_facing_services(graph: nx.DiGraph) -> list[str]:
+    """Services that receive unmodified user input — the paper's
+    recommended N-versioning candidates (section VI)."""
+    frontier = {"frontend-logic"}
+    return sorted(
+        service
+        for service in graph
+        if graph.nodes[service]["tier"] == "logic"
+        and any(pred in frontier for pred in graph.predecessors(service))
+    )

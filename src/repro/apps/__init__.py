@@ -1,0 +1,9 @@
+"""Evaluation applications: every microservice from the paper's Table I.
+
+* :mod:`repro.apps.echo` — quickstart demo service.
+* :mod:`repro.apps.restful` — library-diversity API servers (section V-A).
+* :mod:`repro.apps.dvwa` — SQL-injection scenario (section V-B).
+* :mod:`repro.apps.proxies` — HAProxy/nginx/Envoy simulators (V-C1, V-D).
+* :mod:`repro.apps.aslr` — ASLR pointer-leak POC (section V-E).
+* :mod:`repro.apps.gitlab` — composite GitLab deployment (section V-F).
+"""

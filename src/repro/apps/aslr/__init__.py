@@ -1,0 +1,5 @@
+"""ASLR proof-of-concept vulnerable echo service (paper section V-E)."""
+
+from repro.apps.aslr.echo_vuln import AddressSpace, VulnerableEchoServer, build_overflow_payload
+
+__all__ = ["AddressSpace", "VulnerableEchoServer", "build_overflow_payload"]

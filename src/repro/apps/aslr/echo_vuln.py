@@ -1,0 +1,118 @@
+"""The ASLR proof-of-concept from paper section V-E.
+
+The paper's artifact is a C echo server that copies the request into a
+fixed-size stack buffer without bounds checking; overflowing past the
+NUL terminator makes the reply run into an adjacent stack slot holding a
+pointer, leaking an ASLR-randomized address.
+
+This module simulates the *memory layout*, not C itself: each server
+process owns an :class:`AddressSpace` with a per-instance random base
+(ASLR on) or a fixed base (ASLR off), a 64-byte buffer, and an adjacent
+8-byte saved pointer whose value is ``base + GADGET_OFFSET``.  A request
+longer than the buffer overwrites the terminator, so the reply includes
+the pointer bytes — a different address in every ASLR'd instance, which
+is exactly the divergence RDDR keys on.  The exploit's step (2) — computing
+the gadget address from the leak — is provided for tests to show the leak
+is *useful* to an attacker, i.e. that blocking it matters.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import secrets
+
+from repro.transport.server import ServerHandle, start_server
+from repro.transport.streams import drain_write
+
+BUFFER_SIZE = 64
+POINTER_SIZE = 8
+#: Where the interesting gadget lives relative to the leaked pointer.
+GADGET_OFFSET = 0x1337
+#: The leaked pointer is the saved frame pointer: base + this offset.
+FRAME_OFFSET = 0x7FFE0000
+
+
+class AddressSpace:
+    """A process's simulated memory layout."""
+
+    def __init__(self, aslr: bool = True, fixed_base: int = 0x400000) -> None:
+        self.aslr = aslr
+        if aslr:
+            # 28 bits of entropy over a page-aligned base, like Linux
+            # mmap ASLR for a 64-bit process (scaled down but random).
+            self.base = 0x550000000000 + (secrets.randbits(28) << 12)
+        else:
+            self.base = fixed_base
+        self.saved_pointer = self.base + FRAME_OFFSET
+
+    def gadget_address(self) -> int:
+        return self.base + GADGET_OFFSET
+
+    def pointer_bytes(self) -> bytes:
+        return format(self.saved_pointer, "016x").encode("ascii")
+
+
+class VulnerableEchoServer:
+    """Echo server with the overflow-and-leak bug, line-framed."""
+
+    def __init__(
+        self,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        name: str = "aslr-echo",
+        aslr: bool = True,
+        fixed_base: int = 0x400000,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.name = name
+        self.address_space = AddressSpace(aslr=aslr, fixed_base=fixed_base)
+        self.handle: ServerHandle | None = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        if self.handle is None:
+            raise RuntimeError("server not started")
+        return self.handle.address
+
+    async def start(self) -> "VulnerableEchoServer":
+        self.handle = await start_server(self._serve, self.host, self.port, name=self.name)
+        self.port = self.handle.port
+        return self
+
+    async def close(self) -> None:
+        if self.handle is not None:
+            await self.handle.close()
+
+    async def _serve(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        while True:
+            try:
+                line = await reader.readuntil(b"\n")
+            except (asyncio.IncompleteReadError, ConnectionError):
+                return
+            message = line.rstrip(b"\n")
+            # "strcpy into a 64-byte stack buffer": a message that fits
+            # leaves the NUL terminator intact and the echo stops there.
+            # A longer message overwrites the terminator, and the echo
+            # (like a C `printf("%s", buf)`) runs into the adjacent
+            # saved-pointer slot.
+            if len(message) <= BUFFER_SIZE:
+                reply = message
+            else:
+                reply = message[:BUFFER_SIZE] + self.address_space.pointer_bytes()
+            writer.write(reply + b"\n")
+            await drain_write(writer)
+
+
+def build_overflow_payload(length: int = BUFFER_SIZE + 1, fill: bytes = b"A") -> bytes:
+    """Step (1) of the exploit: a payload that overruns the buffer."""
+    return fill * length
+
+
+def gadget_address_from_leak(leaked_hex: bytes) -> int:
+    """Step (2): compute the gadget address from a leaked pointer."""
+    pointer = int(leaked_hex, 16)
+    return pointer - FRAME_OFFSET + GADGET_OFFSET

@@ -1,0 +1,13 @@
+"""DVWA-like app and its N-versioned deployment (paper section V-B)."""
+
+from repro.apps.dvwa.app import SQLI_EXPLOIT_ID, USERS_SCHEMA, DvwaApp, load_schema
+from repro.apps.dvwa.deployment import DvwaDeployment, deploy_dvwa
+
+__all__ = [
+    "SQLI_EXPLOIT_ID",
+    "USERS_SCHEMA",
+    "DvwaApp",
+    "load_schema",
+    "DvwaDeployment",
+    "deploy_dvwa",
+]

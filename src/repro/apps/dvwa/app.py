@@ -1,0 +1,167 @@
+"""DVWA-like vulnerable web application (paper section V-B).
+
+A miniature of the Damn Vulnerable Web App's SQL-injection exercise,
+modified — as the paper modified DVWA — to use an *external* database:
+the frontend talks to a PostgreSQL-wire backend whose address is
+injected at construction time (in RDDR deployments, that address is an
+outgoing-proxy port).
+
+Security levels control input sanitization exactly like DVWA's:
+
+* ``low`` — the user id is interpolated into the query verbatim
+  (injectable);
+* ``high`` — quotes are doubled first, defeating the injection;
+* ``impossible`` — the query is parameterized end to end (the pgwire
+  extended protocol's Parse/Bind/Execute), like DVWA's PDO level.
+
+The SQLi page carries a per-session CSRF token embedded in the form, so
+the scenario also exercises RDDR's ephemeral-state handling (the token
+differs per instance and must be captured and re-substituted).
+"""
+
+from __future__ import annotations
+
+from repro.pgwire.client import PgClient, PgError
+from repro.pgwire.messages import ProtocolError
+from repro.transport.streams import ConnectionClosed
+from repro.web.app import App, RequestContext, html_response, set_cookie
+from repro.web.csrf import generate_token, tokens_match
+from repro.web.forms import html_escape
+from repro.web.sessions import SESSION_COOKIE, SessionStore
+
+Address = tuple[str, int]
+
+USERS_SCHEMA = """
+CREATE TABLE users (
+    user_id integer PRIMARY KEY,
+    first_name text,
+    last_name text,
+    password_hash text
+);
+INSERT INTO users VALUES
+    (1, 'admin', 'admin', '5f4dcc3b5aa765d61d8327deb882cf99'),
+    (2, 'Gordon', 'Brown', 'e99a18c428cb38d5f260853678922e03'),
+    (3, 'Hack', 'Me', '8d3533d75ae2c3966d7e0d4fcc69216b'),
+    (4, 'Pablo', 'Picasso', '0d107d09f5bbe40cade3de5c71e9e9b7'),
+    (5, 'Bob', 'Smith', '5f4dcc3b5aa765d61d8327deb882cf99');
+"""
+
+#: The classic DVWA boolean-based injection: dumps every row.
+SQLI_EXPLOIT_ID = "' OR '1'='1"
+
+
+def load_schema(database) -> None:
+    """Initialise a backend database with the DVWA schema (test helper)."""
+    for outcome in database.execute(USERS_SCHEMA):
+        if outcome.error is not None:
+            raise outcome.error
+
+
+class DvwaApp:
+    """One DVWA frontend instance bound to one backend DB address."""
+
+    def __init__(
+        self,
+        db_address: Address,
+        *,
+        security: str = "low",
+        db_user: str = "dvwa",
+    ) -> None:
+        if security not in ("low", "high", "impossible"):
+            raise ValueError(f"unknown security level {security!r}")
+        self.db_address = db_address
+        self.security = security
+        self.db_user = db_user
+        self.sessions = SessionStore()
+        self.app = App(f"dvwa-{security}")
+        self.app.add_route("/vulnerabilities/sqli", self._sqli_page, methods=("GET",))
+        self.app.add_route("/vulnerabilities/sqli", self._sqli_submit, methods=("POST",))
+        self.app.add_route("/", self._index, methods=("GET",))
+
+    # ------------------------------------------------------------- pages
+
+    async def _index(self, ctx: RequestContext):
+        return html_response(
+            "<html><body><h1>DVWA (repro)</h1>"
+            '<a href="/vulnerabilities/sqli">SQL Injection</a></body></html>'
+        )
+
+    def _session_for(self, ctx: RequestContext) -> tuple[str, dict, bool]:
+        return self.sessions.get_or_create(ctx.cookies.get(SESSION_COOKIE))
+
+    async def _sqli_page(self, ctx: RequestContext):
+        session_id, session, created = self._session_for(ctx)
+        token = generate_token()
+        session["user_token"] = token
+        body = (
+            "<html><body><h2>Vulnerability: SQL Injection</h2>\n"
+            '<form action="/vulnerabilities/sqli" method="POST">\n'
+            '<input type="text" name="id" />\n'
+            f"<input type='hidden' name='user_token' value='{token}' />\n"
+            '<input type="submit" value="Submit" />\n'
+            "</form></body></html>"
+        )
+        response = html_response(body)
+        if created:
+            set_cookie(response, SESSION_COOKIE, session_id)
+        return response
+
+    async def _sqli_submit(self, ctx: RequestContext):
+        session_id, session, created = self._session_for(ctx)
+        submitted = ctx.form.get("user_token")
+        expected = session.get("user_token")
+        if not tokens_match(expected if isinstance(expected, str) else None, submitted):
+            return html_response("<p>CSRF token incorrect</p>", status=403)
+        session.pop("user_token", None)  # one-shot token
+        user_id = ctx.form.get("id", "")
+        try:
+            if self.security == "impossible":
+                rows = await self._run_prepared(user_id)
+            else:
+                rows = await self._run_query(self._build_query(user_id))
+        except (PgError, ConnectionError, ConnectionClosed, ProtocolError) as error:
+            return html_response(f"<pre>query failed: {html_escape(str(error))}</pre>", status=500)
+        lines = [
+            f"<pre>ID: {html_escape(user_id)}<br />"
+            f"First name: {html_escape(str(first))}<br />"
+            f"Surname: {html_escape(str(last))}</pre>"
+            for first, last in rows
+        ]
+        return html_response(
+            "<html><body><h2>Results</h2>\n" + "\n".join(lines) + "\n</body></html>"
+        )
+
+    # ------------------------------------------------------------- queries
+
+    def _build_query(self, user_id: str) -> str:
+        if self.security == "high":
+            user_id = user_id.replace("'", "''")
+        # The vulnerable interpolation, verbatim DVWA style.
+        return (
+            "SELECT first_name, last_name FROM users "
+            f"WHERE user_id = '{user_id}';"
+        )
+
+    async def _run_query(self, sql: str) -> list[tuple[str, str]]:
+        client = await PgClient.connect(*self.db_address, user=self.db_user)
+        try:
+            outcome = await client.query(sql)
+            if outcome.error is not None:
+                raise outcome.error
+            return [(row[0] or "", row[1] or "") for row in outcome.rows]
+        finally:
+            await client.close()
+
+    async def _run_prepared(self, user_id: str) -> list[tuple[str, str]]:
+        """The "impossible" level: parameters never touch SQL text."""
+        client = await PgClient.connect(*self.db_address, user=self.db_user)
+        try:
+            outcome = await client.execute_prepared(
+                "SELECT first_name, last_name FROM users WHERE user_id = $1",
+                [user_id],
+            )
+            if outcome.error is not None:
+                raise outcome.error
+            return [(row[0] or "", row[1] or "") for row in outcome.rows]
+        finally:
+            await client.close()

@@ -1,0 +1,83 @@
+"""The paper's DVWA deployment (section V-B, Figure 2 topology).
+
+Three DVWA frontends — one configured for *high* input sanitization,
+two with *none* forming the filter pair — share a single backend
+database through RDDR's outgoing request proxy.  RDDR's incoming proxy
+fronts the trio for clients.  The SQL injection diverges at the outgoing
+proxy: the sanitizing instance emits different SQL than the filter pair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.apps.dvwa.app import DvwaApp, load_schema
+from repro.core.config import RddrConfig
+from repro.core.rddr import RddrDeployment
+from repro.pgwire.server import PgWireServer
+from repro.vendors import create_postsim
+from repro.web.server import HttpServer
+
+
+@dataclass
+class DvwaDeployment:
+    """Everything the DVWA scenario stands up, with symmetric teardown."""
+
+    rddr: RddrDeployment
+    frontends: list[HttpServer]
+    backend: PgWireServer
+    apps: list[DvwaApp] = field(default_factory=list)
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self.rddr.address
+
+    async def close(self) -> None:
+        await self.rddr.close()
+        for frontend in self.frontends:
+            await frontend.close()
+        await self.backend.close()
+
+
+async def deploy_dvwa(
+    *,
+    securities: tuple[str, ...] = ("high", "low", "low"),
+    filter_pair: tuple[int, int] | None = (1, 2),
+    exchange_timeout: float = 2.0,
+) -> DvwaDeployment:
+    """Stand up the full N-versioned DVWA scenario."""
+    database = create_postsim("13.0")
+    load_schema(database)
+    database.execute("CREATE USER dvwa; GRANT SELECT ON users TO dvwa;")
+    backend = PgWireServer(database, name="dvwa-db")
+    await backend.start()
+
+    config = RddrConfig(
+        protocol="http",
+        filter_pair=filter_pair,
+        exchange_timeout=exchange_timeout,
+    )
+    rddr = RddrDeployment("dvwa", config)
+    outgoing = await rddr.add_outgoing_proxy(
+        "database",
+        backend.address,
+        instance_count=len(securities),
+        protocol="pgwire",
+        config=RddrConfig(
+            protocol="pgwire",
+            filter_pair=filter_pair,
+            exchange_timeout=exchange_timeout,
+        ),
+    )
+
+    apps: list[DvwaApp] = []
+    frontends: list[HttpServer] = []
+    for index, security in enumerate(securities):
+        app = DvwaApp(outgoing.address_for_instance(index), security=security)
+        server = HttpServer(app.app)
+        await server.start()
+        apps.append(app)
+        frontends.append(server)
+
+    await rddr.start_incoming_proxy([server.address for server in frontends])
+    return DvwaDeployment(rddr=rddr, frontends=frontends, backend=backend, apps=apps)

@@ -1,0 +1,67 @@
+"""A line-echo microservice (quickstart demo service).
+
+Speaks the ``tcp`` protocol module's line framing: each ``\\n``-terminated
+request line yields one response line.  The optional ``tag`` makes a
+"buggy version" trivially constructible for demos: a tagged instance
+appends its tag to every response, diverging from untagged peers.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.transport.server import ServerHandle, start_server
+from repro.transport.streams import drain_write
+
+
+class EchoServer:
+    """Echoes each request line, optionally decorated."""
+
+    def __init__(
+        self,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        name: str = "echo",
+        tag: str | None = None,
+        uppercase: bool = False,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.name = name
+        self.tag = tag
+        self.uppercase = uppercase
+        self.handle: ServerHandle | None = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        if self.handle is None:
+            raise RuntimeError("server not started")
+        return self.handle.address
+
+    async def start(self) -> "EchoServer":
+        self.handle = await start_server(
+            self._serve, self.host, self.port, name=self.name
+        )
+        self.port = self.handle.port
+        return self
+
+    async def close(self) -> None:
+        if self.handle is not None:
+            await self.handle.close()
+
+    async def _serve(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        while True:
+            try:
+                line = await reader.readuntil(b"\n")
+            except (asyncio.IncompleteReadError, ConnectionError):
+                return
+            text = line.rstrip(b"\n").decode("utf-8", errors="replace")
+            if self.uppercase:
+                text = text.upper()
+            if self.tag is not None:
+                text = f"{text} [{self.tag}]"
+            writer.write((text + "\n").encode())
+            await drain_write(writer)

@@ -1,0 +1,29 @@
+"""GitLab-like composite deployment (paper section V-F)."""
+
+from repro.apps.gitlab.deployment import (
+    CVE_2019_10130_STEPS,
+    GitLabDeployment,
+    deploy_gitlab,
+    injection_for,
+)
+from repro.apps.gitlab.services import (
+    GITLAB_SCHEMA,
+    RailsApp,
+    SidekiqApp,
+    WorkhorseApp,
+    load_gitlab_schema,
+    make_pages_app,
+)
+
+__all__ = [
+    "CVE_2019_10130_STEPS",
+    "GitLabDeployment",
+    "deploy_gitlab",
+    "injection_for",
+    "GITLAB_SCHEMA",
+    "RailsApp",
+    "SidekiqApp",
+    "WorkhorseApp",
+    "load_gitlab_schema",
+    "make_pages_app",
+]

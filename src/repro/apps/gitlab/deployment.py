@@ -1,0 +1,136 @@
+"""The modified GitLab architecture of paper Figure 3.
+
+GitLab is configured to use an *external* PostgreSQL and pointed at
+RDDR's incoming proxy, which forwards every query to a three-instance
+deployment: two postsim 10.7 (the buggy filter pair) and one postsim
+10.9 (fixed).  The known variance between version strings is configured
+away (section IV-B4); all benign GitLab traffic flows unanimously, and
+only the CVE-2019-10130 exploit diverges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.gitlab.services import (
+    GITLAB_SCHEMA,
+    RailsApp,
+    SidekiqApp,
+    WorkhorseApp,
+    load_gitlab_schema,
+    make_pages_app,
+)
+from repro.core.config import RddrConfig
+from repro.core.rddr import RddrDeployment
+from repro.core.variance import POSTGRES_VERSION_RULES
+from repro.pgwire.server import PgWireServer
+from repro.vendors import create_postsim
+from repro.web.server import HttpServer
+
+#: The exploit from the paper's Listing 2, driven through the rails
+#: search endpoint's SQL injection.  Steps are separate requests because
+#: the attacker needs the function/operator committed before the SELECT.
+CVE_2019_10130_STEPS = [
+    (
+        "CREATE FUNCTION op_leak(text, text) RETURNS bool AS "
+        "'BEGIN RAISE NOTICE ''leak %, %'', $1, $2; RETURN $1 < $2; END' "
+        "LANGUAGE plpgsql"
+    ),
+    (
+        "CREATE OPERATOR <<< (procedure=op_leak, leftarg=text, "
+        "rightarg=text, restrict=scalarltsel)"
+    ),
+    "SELECT * FROM api_keys WHERE token <<< 'zzzzzzzz'",
+]
+
+
+def injection_for(sql: str) -> str:
+    """Wrap raw SQL into the /search?q= injection."""
+    return f"nothing'; {sql}; --"
+
+
+@dataclass
+class GitLabDeployment:
+    """All running pieces of the Figure 3 topology."""
+
+    rddr: RddrDeployment
+    databases: list[PgWireServer]
+    rails_server: HttpServer
+    sidekiq_server: HttpServer
+    pages_server: HttpServer
+    workhorse_server: HttpServer
+    rails: RailsApp
+    sidekiq: SidekiqApp
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The public (workhorse) address."""
+        return self.workhorse_server.address
+
+    @property
+    def db_address(self) -> tuple[str, int]:
+        """Where GitLab believes its external Postgres lives (RDDR)."""
+        return self.rddr.address
+
+    async def close(self) -> None:
+        await self.rddr.close()
+        for server in (
+            self.workhorse_server,
+            self.pages_server,
+            self.sidekiq_server,
+            self.rails_server,
+        ):
+            await server.close()
+        for database in self.databases:
+            await database.close()
+
+
+async def deploy_gitlab(
+    *,
+    postgres_versions: tuple[str, ...] = ("10.7", "10.7", "10.9"),
+    filter_pair: tuple[int, int] | None = (0, 1),
+    exchange_timeout: float = 2.0,
+) -> GitLabDeployment:
+    """Stand up the full Figure 3 deployment."""
+    databases: list[PgWireServer] = []
+    for index, version in enumerate(postgres_versions):
+        engine = create_postsim(version)
+        load_gitlab_schema(engine)
+        server = PgWireServer(engine, name=f"gitlab-pg-{index}")
+        await server.start()
+        databases.append(server)
+
+    config = RddrConfig(
+        protocol="pgwire",
+        filter_pair=filter_pair,
+        exchange_timeout=exchange_timeout,
+        variance_rules=list(POSTGRES_VERSION_RULES),
+    )
+    rddr = RddrDeployment("gitlab-postgres", config)
+    await rddr.start_incoming_proxy([server.address for server in databases])
+
+    rails = RailsApp(rddr.address)
+    rails_server = HttpServer(rails.app)
+    await rails_server.start()
+
+    sidekiq = SidekiqApp(rddr.address)
+    sidekiq_server = HttpServer(sidekiq.app)
+    await sidekiq_server.start()
+
+    pages_server = HttpServer(make_pages_app())
+    await pages_server.start()
+
+    workhorse = WorkhorseApp(rails_server.address, pages_server.address)
+    workhorse_server = HttpServer(workhorse.app)
+    await workhorse_server.start()
+
+    return GitLabDeployment(
+        rddr=rddr,
+        databases=databases,
+        rails_server=rails_server,
+        sidekiq_server=sidekiq_server,
+        pages_server=pages_server,
+        workhorse_server=workhorse_server,
+        rails=rails,
+        sidekiq=sidekiq,
+    )

@@ -1,0 +1,209 @@
+"""GitLab-like microservices (paper section V-F, Figure 3).
+
+A miniature of the GitLab architecture's request path: **workhorse**
+(front HTTP router) → **rails** (the application, backed by PostgreSQL)
+plus **sidekiq** (background job worker, also DB-backed) and **pages**
+(static).  Rails carries the assumed SQL-injection hole in its search
+endpoint ("we assume the presence of an SQL injection vulnerability in
+the frontend ... which enables the attacker to send arbitrary SQL
+queries to the backend database") that the CVE-2019-10130 exploit rides
+through.
+"""
+
+from __future__ import annotations
+
+from repro.pgwire.client import PgClient, PgError
+from repro.pgwire.messages import ProtocolError
+from repro.transport.streams import ConnectionClosed
+from repro.web.app import App, RequestContext, html_response, json_response
+from repro.web.client import HttpClient
+from repro.web.forms import html_escape
+
+Address = tuple[str, int]
+
+GITLAB_SCHEMA = """
+CREATE TABLE users (
+    id integer PRIMARY KEY,
+    username text,
+    password_hash text
+);
+INSERT INTO users VALUES
+    (1, 'root', '63a9f0ea7bb98050796b649e85481845'),
+    (2, 'dev', '2b9d6b08bea1c1f2e5e4f0e9f1f8c3da');
+CREATE TABLE projects (
+    id integer PRIMARY KEY,
+    name text,
+    owner_id integer,
+    visibility text
+);
+INSERT INTO projects VALUES
+    (1, 'infra-tools', 1, 'private'),
+    (2, 'website', 2, 'public'),
+    (3, 'billing-service', 1, 'private');
+CREATE TABLE api_keys (
+    id integer PRIMARY KEY,
+    owner_id integer,
+    token text
+);
+INSERT INTO api_keys VALUES
+    (1, 1, 'glpat-root-AAAA1111SECRET'),
+    (2, 2, 'glpat-dev-BBBB2222public');
+ALTER TABLE api_keys ENABLE ROW LEVEL SECURITY;
+CREATE POLICY visible_keys ON api_keys USING (owner_id <> 1);
+CREATE USER gitlab;
+GRANT SELECT ON users TO gitlab;
+GRANT SELECT ON projects TO gitlab;
+GRANT SELECT ON api_keys TO gitlab;
+"""
+
+
+def load_gitlab_schema(database) -> None:
+    """Initialise one backend engine with the GitLab schema."""
+    for outcome in database.execute(GITLAB_SCHEMA):
+        if outcome.error is not None:
+            raise outcome.error
+
+
+class RailsApp:
+    """Puma (GitLab Rails): the main application service."""
+
+    def __init__(self, db_address: Address, *, db_user: str = "gitlab") -> None:
+        self.db_address = db_address
+        self.db_user = db_user
+        self.app = App("gitlab-rails")
+        self.app.add_route("/", self._dashboard)
+        self.app.add_route("/projects", self._projects)
+        self.app.add_route("/users/sign_in", self._sign_in, methods=("POST",))
+        self.app.add_route("/search", self._search)
+
+    async def _query(self, sql: str):
+        client = await PgClient.connect(*self.db_address, user=self.db_user)
+        try:
+            outcome = await client.query(sql)
+            if outcome.error is not None:
+                raise outcome.error
+            return outcome
+        finally:
+            await client.close()
+
+    async def _dashboard(self, ctx: RequestContext):
+        return html_response("<html><body><h1>GitLab (repro)</h1></body></html>")
+
+    async def _projects(self, ctx: RequestContext):
+        try:
+            outcome = await self._query(
+                "SELECT name, visibility FROM projects ORDER BY id"
+            )
+        except (PgError, ConnectionError, ConnectionClosed, ProtocolError) as error:
+            return html_response(f"<pre>{html_escape(str(error))}</pre>", status=500)
+        items = "".join(
+            f"<li>{html_escape(str(name))} ({html_escape(str(vis))})</li>"
+            for name, vis in outcome.rows
+        )
+        return html_response(f"<html><body><ul>{items}</ul></body></html>")
+
+    async def _sign_in(self, ctx: RequestContext):
+        username = ctx.form.get("username", "")
+        password_hash = ctx.form.get("password_hash", "")
+        safe_user = username.replace("'", "''")
+        safe_hash = password_hash.replace("'", "''")
+        try:
+            outcome = await self._query(
+                "SELECT id FROM users WHERE username = "
+                f"'{safe_user}' AND password_hash = '{safe_hash}'"
+            )
+        except (PgError, ConnectionError, ConnectionClosed, ProtocolError) as error:
+            return html_response(f"<pre>{html_escape(str(error))}</pre>", status=500)
+        if outcome.rows:
+            return json_response({"signed_in": True, "user_id": int(outcome.rows[0][0])})
+        return json_response({"signed_in": False}, status=401)
+
+    async def _search(self, ctx: RequestContext):
+        term = ctx.query.get("q", "")
+        # The assumed SQL-injection hole: the term is interpolated raw.
+        sql = f"SELECT name FROM projects WHERE name LIKE '%{term}%'"
+        try:
+            outcome = await self._query(sql)
+        except (PgError, ConnectionError, ConnectionClosed, ProtocolError) as error:
+            return html_response(f"<pre>{html_escape(str(error))}</pre>", status=500)
+        names = [str(row[0]) for row in outcome.rows]
+        notices = [notice.message for notice in outcome.notices]
+        payload: dict[str, object] = {"results": names}
+        if notices:
+            # Server messages end up in the application log, which the
+            # attacker can read in this scenario (as in the paper's,
+            # where the console output leaks the protected rows).
+            payload["log"] = notices
+        return json_response(payload)
+
+
+class SidekiqApp:
+    """Sidekiq (GitLab Rails): background jobs, also DB-backed."""
+
+    def __init__(self, db_address: Address, *, db_user: str = "gitlab") -> None:
+        self.db_address = db_address
+        self.db_user = db_user
+        self.jobs_run = 0
+        self.app = App("gitlab-sidekiq")
+        self.app.add_route("/tick", self._tick, methods=("POST",))
+
+    async def _tick(self, ctx: RequestContext):
+        """Run one round of benign background jobs."""
+        client = await PgClient.connect(*self.db_address, user=self.db_user)
+        try:
+            counts = {}
+            for table in ("users", "projects"):
+                outcome = await client.query(f"SELECT count(*) FROM {table}")
+                if outcome.error is not None:
+                    raise outcome.error
+                counts[table] = int(outcome.rows[0][0] or 0)
+            self.jobs_run += 1
+            return json_response({"ok": True, "counts": counts})
+        except (PgError, ConnectionError, ConnectionClosed, ProtocolError) as error:
+            return json_response({"ok": False, "error": str(error)}, status=500)
+        finally:
+            await client.close()
+
+
+def make_pages_app() -> App:
+    """GitLab Pages: static content."""
+    app = App("gitlab-pages")
+
+    @app.route("/pages/<site>")
+    async def site(ctx: RequestContext):
+        name = ctx.path_params["site"]
+        return html_response(f"<html><body><h1>{html_escape(name)}</h1></body></html>")
+
+    return app
+
+
+class WorkhorseApp:
+    """GitLab Workhorse: the front router."""
+
+    def __init__(self, rails: Address, pages: Address) -> None:
+        self.rails = rails
+        self.pages = pages
+        self.app = App("gitlab-workhorse")
+        self.app.add_route("/<path:rest>", self._route, methods=("GET", "POST"))
+        self.app.add_route("/", self._route_root, methods=("GET",))
+
+    async def _route_root(self, ctx: RequestContext):
+        return await self._forward(self.rails, ctx)
+
+    async def _route(self, ctx: RequestContext):
+        target = self.pages if ctx.path.startswith("/pages/") else self.rails
+        return await self._forward(target, ctx)
+
+    async def _forward(self, target: Address, ctx: RequestContext):
+        async with HttpClient(*target) as client:
+            response = await client.request(
+                ctx.method,
+                ctx.request.target,
+                headers={
+                    name: value
+                    for name, value in ctx.request.headers.items()
+                    if name.lower() not in ("host", "connection")
+                },
+                body=ctx.request.body,
+            )
+        return response

@@ -1,0 +1,191 @@
+"""A Redis-like key-value microservice pair speaking RESP.
+
+Companion to :mod:`repro.protocols.resp`: two independent cache
+implementations with the same command surface (GET/SET/DEL/EXISTS/KEYS/
+PING/INFO), one of which carries a classic information-leak bug, so the
+"extend RDDR with a new protocol" story can be exercised end to end.
+
+* :class:`RedisLikeServer` — the reference implementation.
+* :class:`KeyDbLikeServer` — an independent implementation whose
+  vulnerable versions mishandle GET on missing keys when a *namespace
+  prefix* matches: they return the value of an arbitrary same-prefix key
+  (modeling the class of cache bugs that leak other tenants' entries).
+
+Benign traffic answers byte-identically across the pair; the exploit
+(GET of a missing key under a shared prefix) diverges.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.protocols.resp import RespError, encode_command, read_value
+from repro.transport.server import ServerHandle, start_server
+from repro.transport.streams import drain_write
+
+Address = tuple[str, int]
+
+#: KeyDb-like versions strictly below this are leak-vulnerable.
+KEYDB_LEAK_FIXED_IN = (6, 2)
+
+
+def _decode_command(value: bytes) -> list[bytes]:
+    """Decode a RESP array-of-bulk-strings client command."""
+    if not value.startswith(b"*"):
+        raise RespError("commands must be RESP arrays")
+    parts: list[bytes] = []
+    offset = value.index(b"\r\n") + 2
+    while offset < len(value):
+        header_end = value.index(b"\r\n", offset)
+        length = int(value[offset + 1 : header_end])
+        start = header_end + 2
+        parts.append(value[start : start + length])
+        offset = start + length + 2
+    return parts
+
+
+def _bulk(data: bytes | None) -> bytes:
+    if data is None:
+        return b"$-1\r\n"
+    return f"${len(data)}\r\n".encode() + data + b"\r\n"
+
+
+def _simple(text: str) -> bytes:
+    return f"+{text}\r\n".encode()
+
+
+def _integer(value: int) -> bytes:
+    return f":{value}\r\n".encode()
+
+
+def _error(text: str) -> bytes:
+    return f"-ERR {text}\r\n".encode()
+
+
+class _BaseKvServer:
+    """Shared lifecycle + command loop; subclasses implement lookup."""
+
+    flavor = "generic"
+
+    def __init__(self, *, host: str = "127.0.0.1", port: int = 0, name: str = "kv") -> None:
+        self.host = host
+        self.port = port
+        self.name = name
+        self.data: dict[bytes, bytes] = {}
+        self.handle: ServerHandle | None = None
+
+    @property
+    def address(self) -> Address:
+        if self.handle is None:
+            raise RuntimeError("server not started")
+        return self.handle.address
+
+    async def start(self):
+        self.handle = await start_server(self._serve, self.host, self.port, name=self.name)
+        self.port = self.handle.port
+        return self
+
+    async def close(self) -> None:
+        if self.handle is not None:
+            await self.handle.close()
+
+    async def _serve(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        while True:
+            try:
+                value = await read_value(reader)
+            except RespError:
+                writer.write(_error("protocol error"))
+                await drain_write(writer)
+                return
+            if value is None:
+                return
+            try:
+                command = _decode_command(value)
+            except (RespError, ValueError):
+                writer.write(_error("protocol error"))
+                await drain_write(writer)
+                return
+            writer.write(self.dispatch(command))
+            await drain_write(writer)
+
+    # ------------------------------------------------------------ commands
+
+    def dispatch(self, command: list[bytes]) -> bytes:
+        if not command:
+            return _error("empty command")
+        verb = command[0].upper()
+        if verb == b"PING":
+            return _simple("PONG")
+        if verb == b"SET" and len(command) == 3:
+            self.data[command[1]] = command[2]
+            return _simple("OK")
+        if verb == b"GET" and len(command) == 2:
+            return _bulk(self.get(command[1]))
+        if verb == b"DEL" and len(command) >= 2:
+            removed = sum(1 for key in command[1:] if self.data.pop(key, None) is not None)
+            return _integer(removed)
+        if verb == b"EXISTS" and len(command) == 2:
+            return _integer(1 if command[1] in self.data else 0)
+        if verb == b"KEYS" and len(command) == 2 and command[1] == b"*":
+            keys = sorted(self.data)
+            out = [f"*{len(keys)}\r\n".encode()]
+            out.extend(_bulk(key) for key in keys)
+            return b"".join(out)
+        if verb == b"INFO":
+            return _bulk(f"# Server\r\nflavor:{self.flavor}\r\n".encode())
+        return _error(f"unknown command '{verb.decode(errors='replace')}'")
+
+    def get(self, key: bytes) -> bytes | None:
+        return self.data.get(key)
+
+
+class RedisLikeServer(_BaseKvServer):
+    """The reference implementation: strict key matching."""
+
+    flavor = "redis-like"
+
+
+class KeyDbLikeServer(_BaseKvServer):
+    """Independent implementation with a version-gated GET leak.
+
+    Vulnerable versions resolve a missing ``tenant:<id>:<field>`` key to
+    *some other tenant's* entry sharing the first path segment — the
+    cache-confusion class of leak.  Fixed versions behave like the
+    reference implementation.
+    """
+
+    flavor = "keydb-like"
+
+    def __init__(self, *, version: str = "6.0.0", **kwargs) -> None:
+        super().__init__(**kwargs)
+        self.version = version
+        parsed = tuple(int(x) for x in version.split("."))
+        self.vulnerable = parsed < KEYDB_LEAK_FIXED_IN
+
+    def get(self, key: bytes) -> bytes | None:
+        value = self.data.get(key)
+        if value is not None or not self.vulnerable:
+            return value
+        prefix, _, _ = key.partition(b":")
+        if not prefix or prefix == key:
+            return None
+        # BUG: first same-prefix entry is returned for a missing key.
+        for candidate in sorted(self.data):
+            if candidate.startswith(prefix + b":"):
+                return self.data[candidate]
+        return None
+
+
+async def kv_command(address: Address, *parts: bytes | str) -> bytes:
+    """One-shot client helper: send a command, return the raw reply."""
+    from repro.transport.retry import open_connection_retry
+    from repro.transport.streams import close_writer
+
+    reader, writer = await open_connection_retry(*address)
+    try:
+        writer.write(encode_command(*parts))
+        await writer.drain()
+        reply = await read_value(reader)
+        return reply if reply is not None else b""
+    finally:
+        await close_writer(writer)

@@ -1,0 +1,10 @@
+"""Proxy simulators: HAProxy/nginx (diverse PMs) and Envoy (baseline)."""
+
+from repro.apps.proxies.envoy_sim import EnvoySim
+from repro.apps.proxies.reverse import (
+    HaproxySim,
+    NginxSim,
+    build_smuggling_payload,
+)
+
+__all__ = ["EnvoySim", "HaproxySim", "NginxSim", "build_smuggling_payload"]

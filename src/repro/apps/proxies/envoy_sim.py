@@ -1,0 +1,89 @@
+"""envoy_sim — a transparent L4 front proxy.
+
+The paper's Figure 5 baseline compares RDDR against "a single instance
+of Postgres with an Envoy front proxy" to separate RDDR's N-versioning
+cost from the generic cost of having *any* proxy on the path.  envoy_sim
+is that generic cost: it pipes bytes bidirectionally between client and
+upstream with no parsing, no replication, and no diffing.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+
+from repro.transport.retry import open_connection_retry
+from repro.transport.server import ServerHandle, start_server
+from repro.transport.streams import close_writer
+
+Address = tuple[str, int]
+
+
+class EnvoySim:
+    """A minimal TCP front proxy (one upstream)."""
+
+    def __init__(
+        self,
+        upstream: Address,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        name: str = "envoy",
+        chunk_size: int = 64 * 1024,
+    ) -> None:
+        self.upstream = upstream
+        self.host = host
+        self.port = port
+        self.name = name
+        self.chunk_size = chunk_size
+        self.handle: ServerHandle | None = None
+        self.connections_total = 0
+        self.bytes_proxied = 0
+
+    @property
+    def address(self) -> Address:
+        if self.handle is None:
+            raise RuntimeError("proxy not started")
+        return self.handle.address
+
+    async def start(self) -> "EnvoySim":
+        self.handle = await start_server(self._serve, self.host, self.port, name=self.name)
+        self.port = self.handle.port
+        return self
+
+    async def close(self) -> None:
+        if self.handle is not None:
+            await self.handle.close()
+
+    async def _serve(
+        self, client_reader: asyncio.StreamReader, client_writer: asyncio.StreamWriter
+    ) -> None:
+        self.connections_total += 1
+        try:
+            upstream_reader, upstream_writer = await open_connection_retry(*self.upstream)
+        except ConnectionError:
+            return
+        try:
+            await asyncio.gather(
+                self._pipe(client_reader, upstream_writer),
+                self._pipe(upstream_reader, client_writer),
+            )
+        finally:
+            await close_writer(upstream_writer)
+
+    async def _pipe(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                chunk = await reader.read(self.chunk_size)
+                if not chunk:
+                    break
+                self.bytes_proxied += len(chunk)
+                writer.write(chunk)
+                await writer.drain()
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            with contextlib.suppress(Exception):
+                writer.write_eof()

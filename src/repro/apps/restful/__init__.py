@@ -1,0 +1,15 @@
+"""RESTful evaluation microservices (paper section V-A)."""
+
+from repro.apps.restful.servers import (
+    make_decrypt_server,
+    make_markdown_server,
+    make_sanitize_server,
+    make_svg_server,
+)
+
+__all__ = [
+    "make_decrypt_server",
+    "make_markdown_server",
+    "make_sanitize_server",
+    "make_svg_server",
+]

@@ -1,0 +1,59 @@
+"""Diverse library pairs with identical APIs (paper section V-A).
+
+Each module provides one vulnerable and one fixed mini-library sharing a
+common API, mirroring the real pairs the paper uses:
+
+* :mod:`rsa_pair` — ``rsa`` vs ``Crypto`` (CVE-2020-13757).
+* :mod:`markdown_pair` — ``markdown2`` vs ``markdown`` (CVE-2020-11888).
+* :mod:`svg_pair` — ``svglib`` vs ``cairosvg`` (CVE-2020-10799).
+* :mod:`sanitizer_pair` — ``lxml`` vs Node's ``sanitize-html``
+  (CVE-2014-3146, diversity across languages).
+"""
+
+from repro.apps.restful.libs.markdown_pair import (
+    Markdown2Like,
+    MarkdownLike,
+    benign_markdown,
+    exploit_markdown,
+)
+from repro.apps.restful.libs.rsa_pair import (
+    CryptoLike,
+    DecryptionError,
+    PyRsaLike,
+    encrypt,
+    exploit_ciphertext,
+)
+from repro.apps.restful.libs.sanitizer_pair import (
+    LxmlCleanLike,
+    SanitizeHtmlLike,
+    benign_html,
+    exploit_html,
+)
+from repro.apps.restful.libs.svg_pair import (
+    CairosvgLike,
+    ConversionError,
+    SvglibLike,
+    benign_svg,
+    exploit_svg,
+)
+
+__all__ = [
+    "Markdown2Like",
+    "MarkdownLike",
+    "benign_markdown",
+    "exploit_markdown",
+    "CryptoLike",
+    "DecryptionError",
+    "PyRsaLike",
+    "encrypt",
+    "exploit_ciphertext",
+    "LxmlCleanLike",
+    "SanitizeHtmlLike",
+    "benign_html",
+    "exploit_html",
+    "CairosvgLike",
+    "ConversionError",
+    "SvglibLike",
+    "benign_svg",
+    "exploit_svg",
+]

@@ -1,0 +1,134 @@
+"""The markdown library pair for CVE-2020-11888 (paper section V-A).
+
+The paper sanitizes user-supplied markdown with the Python ``markdown2``
+and ``markdown`` libraries.  CVE-2020-11888 is markdown2 emitting
+attacker-controlled link targets without scheme validation, so
+``[x](javascript:alert(1))`` renders as an executable link — cross-site
+scripting.  The ``markdown`` library rejects such schemes.
+
+Both variants implement the same markdown subset — paragraphs, ``#``
+headings, ``**bold**``, ``*emphasis*``, inline ``code`` spans, and
+``[text](url)`` links — and render benign documents to byte-identical
+HTML.  They differ exactly at the CVE:
+
+* :class:`Markdown2Like` (vulnerable): link URLs pass through verbatim,
+  and raw ``<`` ``>`` in text are forwarded unescaped.
+* :class:`MarkdownLike` (fixed): URLs with a ``javascript:``/``data:``
+  scheme are neutralised to ``#`` and raw HTML is escaped.
+"""
+
+from __future__ import annotations
+
+import re
+
+_LINK_RE = re.compile(r"\[([^\]]*)\]\(([^)\s]*)\)")
+_BOLD_RE = re.compile(r"\*\*(.+?)\*\*")
+_EM_RE = re.compile(r"\*(.+?)\*")
+_CODE_RE = re.compile(r"`([^`]*)`")
+
+_DANGEROUS_SCHEMES = ("javascript:", "data:", "vbscript:")
+
+
+def _render_blocks(text: str, inline) -> str:
+    html_parts: list[str] = []
+    for block in re.split(r"\n\s*\n", text.strip()):
+        block = block.strip()
+        if not block:
+            continue
+        heading = re.match(r"(#{1,6})\s+(.*)", block)
+        if heading:
+            level = len(heading.group(1))
+            html_parts.append(f"<h{level}>{inline(heading.group(2))}</h{level}>")
+            continue
+        joined = " ".join(line.strip() for line in block.splitlines())
+        html_parts.append(f"<p>{inline(joined)}</p>")
+    return "\n".join(html_parts) + "\n"
+
+
+class Markdown2Like:
+    """The ``markdown2``-like variant, carrying CVE-2020-11888."""
+
+    name = "markdown2_like"
+    vulnerable = True
+
+    def render(self, text: str) -> str:
+        return _render_blocks(text, self._inline)
+
+    def _inline(self, text: str) -> str:
+        # BUG (the CVE): no scheme check on the href, no escaping of raw
+        # HTML in the source text.
+        text = _CODE_RE.sub(lambda m: f"<code>{m.group(1)}</code>", text)
+        text = _LINK_RE.sub(lambda m: f'<a href="{m.group(2)}">{m.group(1)}</a>', text)
+        text = _BOLD_RE.sub(lambda m: f"<strong>{m.group(1)}</strong>", text)
+        text = _EM_RE.sub(lambda m: f"<em>{m.group(1)}</em>", text)
+        return text
+
+
+class MarkdownLike:
+    """The ``markdown``-like variant: scheme validation and escaping."""
+
+    name = "markdown_like"
+    vulnerable = False
+
+    def render(self, text: str) -> str:
+        return _render_blocks(text, self._inline)
+
+    def _inline(self, source: str) -> str:
+        # Tokenize first so escaping applies to text content only.
+        out: list[str] = []
+        position = 0
+        while position < len(source):
+            code = _CODE_RE.match(source, position)
+            if code:
+                out.append(f"<code>{self._escape(code.group(1))}</code>")
+                position = code.end()
+                continue
+            link = _LINK_RE.match(source, position)
+            if link:
+                out.append(
+                    f'<a href="{self._safe_url(link.group(2))}">'
+                    f"{self._escape(link.group(1))}</a>"
+                )
+                position = link.end()
+                continue
+            bold = _BOLD_RE.match(source, position)
+            if bold:
+                out.append(f"<strong>{self._escape(bold.group(1))}</strong>")
+                position = bold.end()
+                continue
+            em = _EM_RE.match(source, position)
+            if em:
+                out.append(f"<em>{self._escape(em.group(1))}</em>")
+                position = em.end()
+                continue
+            out.append(self._escape(source[position]))
+            position += 1
+        return "".join(out)
+
+    @staticmethod
+    def _escape(text: str) -> str:
+        # Minimal escaping: only what turns text into markup.  Benign
+        # documents contain none of these, keeping the pair's outputs
+        # identical on benign input.
+        return text.replace("<", "&lt;").replace(">", "&gt;")
+
+    @staticmethod
+    def _safe_url(url: str) -> str:
+        compact = "".join(url.split()).lower()
+        if compact.startswith(_DANGEROUS_SCHEMES):
+            return "#"
+        return url
+
+
+def exploit_markdown() -> str:
+    """CVE-2020-11888 exploit input: an XSS link."""
+    return "[click me](javascript:alert(document.cookie))"
+
+
+def benign_markdown() -> str:
+    """A document both variants render identically."""
+    return (
+        "# Release notes\n\n"
+        "This build **improves** the *parser* and fixes `code` spans.\n\n"
+        "See [the changelog](https://example.com/changelog) for details.\n"
+    )

@@ -1,0 +1,107 @@
+"""The RSA library pair for CVE-2020-13757 (paper section V-A).
+
+The paper diversifies an RSA-decryption microservice with the Python
+``rsa`` and ``Crypto`` libraries.  CVE-2020-13757 is python-rsa ignoring
+leading bytes of the ciphertext: it converted the ciphertext to an
+integer without checking its length against the modulus, so an attacker
+could prepend bytes (e.g. ``\\x00``) and still have it decrypt — enabling
+ciphertext malleability games that a strict implementation rejects.
+
+Both mini-libraries here implement genuine textbook RSA with PKCS#1 v1.5
+block-02 padding over a fixed 256-bit keypair, and produce *identical*
+results for well-formed ciphertexts.  They differ exactly where the real
+pair did:
+
+* :class:`PyRsaLike` (the vulnerable ``rsa``): accepts ciphertexts whose
+  byte length exceeds the modulus size, silently reducing the integer.
+* :class:`CryptoLike` (the fixed ``Crypto``): enforces the ciphertext
+  length strictly and rejects anything else.
+"""
+
+from __future__ import annotations
+
+# A fixed 256-bit RSA keypair shared by all instances (deployments load
+# the same key material into every instance, as the paper's would).
+P = 336771668019607304680919844592337860739
+Q = 302797585046188869442219118797142270537
+N = P * Q
+E = 65537
+PHI = (P - 1) * (Q - 1)
+D = pow(E, -1, PHI)
+KEY_BYTES = (N.bit_length() + 7) // 8
+
+
+class DecryptionError(Exception):
+    """Raised when a ciphertext cannot be decrypted."""
+
+
+def _pad(message: bytes) -> bytes:
+    """PKCS#1 v1.5 block type 02 with deterministic filler.
+
+    Real padding uses random nonzero bytes; a deterministic filler keeps
+    encrypt() reproducible in tests without changing the decrypt paths
+    under test.
+    """
+    max_message = KEY_BYTES - 11
+    if len(message) > max_message:
+        raise ValueError(f"message too long ({len(message)} > {max_message})")
+    filler_len = KEY_BYTES - 3 - len(message)
+    filler = bytes((i % 254) + 1 for i in range(filler_len))
+    return b"\x00\x02" + filler + b"\x00" + message
+
+
+def _unpad(block: bytes) -> bytes:
+    if len(block) != KEY_BYTES or block[0] != 0 or block[1] != 2:
+        raise DecryptionError("invalid padding header")
+    try:
+        separator = block.index(0, 2)
+    except ValueError:
+        raise DecryptionError("missing padding separator") from None
+    if separator < 10:  # PS must be at least 8 bytes
+        raise DecryptionError("padding string too short")
+    return block[separator + 1 :]
+
+
+def encrypt(message: bytes) -> bytes:
+    """Encrypt under the shared public key (used by both variants)."""
+    padded = _pad(message)
+    value = pow(int.from_bytes(padded, "big"), E, N)
+    return value.to_bytes(KEY_BYTES, "big")
+
+
+class PyRsaLike:
+    """The ``rsa``-library-like variant, carrying CVE-2020-13757."""
+
+    name = "pyrsa_like"
+    vulnerable = True
+
+    def decrypt(self, ciphertext: bytes) -> bytes:
+        # BUG (the CVE): no length check.  int.from_bytes happily
+        # consumes extra leading bytes; pow() reduces modulo N.
+        value = pow(int.from_bytes(ciphertext, "big"), D, N)
+        block = value.to_bytes(KEY_BYTES, "big")
+        return _unpad(block)
+
+
+class CryptoLike:
+    """The ``Crypto``-library-like variant: strict ciphertext validation."""
+
+    name = "crypto_like"
+    vulnerable = False
+
+    def decrypt(self, ciphertext: bytes) -> bytes:
+        if len(ciphertext) != KEY_BYTES:
+            raise DecryptionError(
+                f"ciphertext length {len(ciphertext)} != modulus size {KEY_BYTES}"
+            )
+        value = int.from_bytes(ciphertext, "big")
+        if value >= N:
+            raise DecryptionError("ciphertext representative out of range")
+        block = pow(value, D, N).to_bytes(KEY_BYTES, "big")
+        return _unpad(block)
+
+
+def exploit_ciphertext(message: bytes = b"attack") -> bytes:
+    """CVE-2020-13757 exploit input: a valid ciphertext with a prepended
+    byte.  PyRsaLike still decrypts it; CryptoLike rejects it."""
+    return b"\x00" + encrypt(message)

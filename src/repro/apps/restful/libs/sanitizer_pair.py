@@ -1,0 +1,90 @@
+"""The HTML/XML sanitizer pair for CVE-2014-3146 (paper section V-A).
+
+The paper sanitizes user XML with the Python ``lxml`` library and the
+Node.js ``sanitize-html`` library — deliberately, diversity *across
+languages*.  CVE-2014-3146 is lxml.html.clean failing to strip
+``javascript:`` URLs when control characters are interleaved in the
+scheme (``jav\\x01ascript:``): browsers discard the control characters
+and execute the script, but the cleaner's literal prefix check does not
+recognise the scheme.
+
+* :class:`LxmlCleanLike` (Python, vulnerable): checks dangerous schemes
+  by literal prefix on the raw attribute value.
+* :class:`SanitizeHtmlLike` (a faithful port of the Node.js library's
+  approach): normalises the value — strips control characters and
+  whitespace — *before* the scheme check, as browsers effectively do.
+
+Benign documents sanitize byte-identically through both.
+"""
+
+from __future__ import annotations
+
+import re
+
+_A_TAG_RE = re.compile(r"<a\s+href=[\"']([^\"']*)[\"']\s*>", re.IGNORECASE)
+_SCRIPT_RE = re.compile(r"<script.*?</script>", re.IGNORECASE | re.DOTALL)
+_EVENT_ATTR_RE = re.compile(r"\s+on\w+=[\"'][^\"']*[\"']", re.IGNORECASE)
+
+_DANGEROUS_SCHEMES = ("javascript:", "vbscript:", "data:")
+
+
+class LxmlCleanLike:
+    """The ``lxml.html.clean``-like variant, carrying CVE-2014-3146."""
+
+    name = "lxml_clean_like"
+    vulnerable = True
+
+    def sanitize(self, html: str) -> str:
+        html = _SCRIPT_RE.sub("", html)
+        html = _EVENT_ATTR_RE.sub("", html)
+        return _A_TAG_RE.sub(self._clean_anchor, html)
+
+    def _clean_anchor(self, match: re.Match[str]) -> str:
+        url = match.group(1)
+        # BUG (the CVE): the prefix check runs on the raw value.  A
+        # control character inside "javascript:" defeats it, yet the
+        # browser strips that character and executes the script.
+        if url.lower().startswith(_DANGEROUS_SCHEMES):
+            return '<a href="">'
+        return f'<a href="{url}">'
+
+
+class SanitizeHtmlLike:
+    """A port of Node.js ``sanitize-html``'s URL normalisation."""
+
+    name = "sanitize_html_like"
+    vulnerable = False
+
+    def sanitize(self, html: str) -> str:
+        html = _SCRIPT_RE.sub("", html)
+        html = _EVENT_ATTR_RE.sub("", html)
+        return _A_TAG_RE.sub(self._clean_anchor, html)
+
+    def _clean_anchor(self, match: re.Match[str]) -> str:
+        url = match.group(1)
+        if self._is_dangerous(url):
+            return '<a href="">'
+        return f'<a href="{url}">'
+
+    @staticmethod
+    def _is_dangerous(url: str) -> bool:
+        # Normalise the way browsers do before interpreting the scheme:
+        # drop ASCII control characters and whitespace entirely.
+        normalised = "".join(
+            ch for ch in url if ord(ch) > 0x20 and ch not in "\x7f"
+        ).lower()
+        return normalised.startswith(_DANGEROUS_SCHEMES)
+
+
+def exploit_html() -> str:
+    """CVE-2014-3146 exploit input: control char inside the scheme."""
+    return '<p>profile</p><a href="jav\x01ascript:alert(1)">me</a>'
+
+
+def benign_html() -> str:
+    """A document both variants sanitize identically."""
+    return (
+        "<p>Welcome to my <strong>page</strong></p>"
+        '<a href="https://example.com/about">about</a>'
+        "<script>evil()</script>"
+    )

@@ -1,0 +1,132 @@
+"""The SVG converter pair for CVE-2020-10799 (paper section V-A).
+
+The paper converts user-supplied SVG files to PNG with the Python
+``svglib`` and ``cairosvg`` libraries.  CVE-2020-10799 is svglib
+resolving XML external entities (XXE): a crafted ``<!DOCTYPE`` with a
+``SYSTEM`` entity pulls local file contents into the rendered output.
+cairosvg does not resolve external entities.
+
+Both variants share a mini SVG/XML front end (DOCTYPE entity scanning,
+``<text>`` extraction) and a deterministic PNG-ish renderer, producing
+byte-identical output for benign documents.  They differ exactly at the
+CVE:
+
+* :class:`SvglibLike` (vulnerable): ``SYSTEM`` entities are resolved by
+  reading the referenced local file, and the contents are rendered.
+* :class:`CairosvgLike` (fixed): external entities raise
+  :class:`ConversionError` ("external entities are forbidden").
+"""
+
+from __future__ import annotations
+
+import hashlib
+import re
+from pathlib import Path
+
+_ENTITY_DECL_RE = re.compile(
+    r"<!ENTITY\s+(\w+)\s+(?:SYSTEM\s+[\"']([^\"']*)[\"']|[\"']([^\"']*)[\"'])\s*>"
+)
+_TEXT_RE = re.compile(r"<text[^>]*>(.*?)</text>", re.DOTALL)
+_ENTITY_REF_RE = re.compile(r"&(\w+);")
+
+_PNG_MAGIC = b"\x89PNG\r\n\x1a\n"
+
+_BUILTIN_ENTITIES = {"amp": "&", "lt": "<", "gt": ">", "quot": '"', "apos": "'"}
+
+
+class ConversionError(Exception):
+    """The SVG document could not be converted."""
+
+
+def _parse_entities(svg: str) -> dict[str, tuple[str, str | None]]:
+    """Entity name -> (internal value, SYSTEM uri or None)."""
+    entities: dict[str, tuple[str, str | None]] = {}
+    for match in _ENTITY_DECL_RE.finditer(svg):
+        name, system_uri, internal = match.groups()
+        if system_uri is not None:
+            entities[name] = ("", system_uri)
+        else:
+            entities[name] = (internal or "", None)
+    return entities
+
+
+def _render_png(texts: list[str]) -> bytes:
+    """Deterministic stand-in for rasterization: a PNG-magic blob whose
+    payload is derived from the rendered text content."""
+    payload = "\n".join(texts).encode("utf-8")
+    digest = hashlib.sha256(payload).hexdigest().encode("ascii")
+    return _PNG_MAGIC + digest + b"|" + payload
+
+
+class _BaseConverter:
+    def convert(self, svg: str) -> bytes:
+        if "<svg" not in svg:
+            raise ConversionError("not an SVG document")
+        entities = _parse_entities(svg)
+        texts: list[str] = []
+        for match in _TEXT_RE.finditer(svg):
+            texts.append(self._substitute(match.group(1), entities))
+        return _render_png(texts)
+
+    def _substitute(self, text: str, entities: dict[str, tuple[str, str | None]]) -> str:
+        def replace(match: re.Match[str]) -> str:
+            name = match.group(1)
+            if name in _BUILTIN_ENTITIES:
+                return _BUILTIN_ENTITIES[name]
+            if name in entities:
+                internal, system_uri = entities[name]
+                if system_uri is not None:
+                    return self._resolve_external(system_uri)
+                return internal
+            return match.group(0)
+
+        return _ENTITY_REF_RE.sub(replace, text)
+
+    def _resolve_external(self, uri: str) -> str:
+        raise NotImplementedError
+
+
+class SvglibLike(_BaseConverter):
+    """The ``svglib``-like variant, carrying CVE-2020-10799 (XXE)."""
+
+    name = "svglib_like"
+    vulnerable = True
+
+    def _resolve_external(self, uri: str) -> str:
+        # BUG (the CVE): SYSTEM entities are fetched.  file:// URIs read
+        # the local filesystem — the information leak.
+        if uri.startswith("file://"):
+            path = uri[len("file://") :]
+            try:
+                return Path(path).read_text(errors="replace")
+            except OSError:
+                return ""
+        return ""
+
+
+class CairosvgLike(_BaseConverter):
+    """The ``cairosvg``-like variant: refuses external entities."""
+
+    name = "cairosvg_like"
+    vulnerable = False
+
+    def _resolve_external(self, uri: str) -> str:
+        raise ConversionError("external entities are forbidden")
+
+
+def exploit_svg(target_path: str = "/etc/hostname") -> str:
+    """CVE-2020-10799 exploit input: an XXE that exfiltrates a file."""
+    return (
+        '<?xml version="1.0"?>\n'
+        f'<!DOCTYPE svg [<!ENTITY xxe SYSTEM "file://{target_path}">]>\n'
+        '<svg xmlns="http://www.w3.org/2000/svg"><text>&xxe;</text></svg>\n'
+    )
+
+
+def benign_svg() -> str:
+    """A document both variants convert identically."""
+    return (
+        '<?xml version="1.0"?>\n'
+        '<svg xmlns="http://www.w3.org/2000/svg">'
+        "<text>hello &amp; welcome</text></svg>\n"
+    )

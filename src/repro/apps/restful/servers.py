@@ -1,0 +1,112 @@
+"""RESTful microservices exposing the diverse library pairs.
+
+Following paper section V-A: "to create RESTful servers with access to
+Python libraries, the function calls were accessed using flask servers".
+Each factory here takes one library object and returns an App with the
+*same* HTTP API, so two instances built from the two libraries of a pair
+are drop-in diverse implementations for RDDR.
+
+All endpoints accept and return JSON with sorted keys, so benign
+responses are byte-identical across the pair.
+"""
+
+from __future__ import annotations
+
+import binascii
+
+from repro.web.app import App, RequestContext, json_response
+
+
+def make_decrypt_server(library: object, name: str = "rsa-api") -> App:
+    """POST /decrypt {"ciphertext_hex": ...} -> {"plaintext": ...}."""
+    app = App(name)
+
+    @app.route("/decrypt", methods=("POST",))
+    async def decrypt(ctx: RequestContext):
+        try:
+            payload = ctx.json()
+            ciphertext = binascii.unhexlify(str(payload["ciphertext_hex"]))
+        except (ValueError, KeyError, TypeError):
+            return json_response({"error": "bad request"}, status=400)
+        try:
+            plaintext = library.decrypt(ciphertext)  # type: ignore[attr-defined]
+        except Exception as error:
+            return json_response(
+                {"error": "decryption failed", "kind": type(error).__name__},
+                status=400,
+            )
+        return json_response({"plaintext": plaintext.decode("utf-8", errors="replace")})
+
+    @app.route("/health")
+    async def health(ctx: RequestContext):
+        return json_response({"status": "ok"})
+
+    return app
+
+
+def make_markdown_server(library: object, name: str = "markdown-api") -> App:
+    """POST /render {"markdown": ...} -> {"html": ...}."""
+    app = App(name)
+
+    @app.route("/render", methods=("POST",))
+    async def render(ctx: RequestContext):
+        try:
+            payload = ctx.json()
+            source = str(payload["markdown"])
+        except (ValueError, KeyError, TypeError):
+            return json_response({"error": "bad request"}, status=400)
+        html = library.render(source)  # type: ignore[attr-defined]
+        return json_response({"html": html})
+
+    @app.route("/health")
+    async def health(ctx: RequestContext):
+        return json_response({"status": "ok"})
+
+    return app
+
+
+def make_svg_server(library: object, name: str = "svg-api") -> App:
+    """POST /convert {"svg": ...} -> {"png_hex": ...}."""
+    app = App(name)
+
+    @app.route("/convert", methods=("POST",))
+    async def convert(ctx: RequestContext):
+        try:
+            payload = ctx.json()
+            svg = str(payload["svg"])
+        except (ValueError, KeyError, TypeError):
+            return json_response({"error": "bad request"}, status=400)
+        try:
+            png = library.convert(svg)  # type: ignore[attr-defined]
+        except Exception as error:
+            return json_response(
+                {"error": "conversion failed", "kind": type(error).__name__},
+                status=422,
+            )
+        return json_response({"png_hex": png.hex()})
+
+    @app.route("/health")
+    async def health(ctx: RequestContext):
+        return json_response({"status": "ok"})
+
+    return app
+
+
+def make_sanitize_server(library: object, name: str = "sanitize-api") -> App:
+    """POST /sanitize {"html": ...} -> {"html": ...}."""
+    app = App(name)
+
+    @app.route("/sanitize", methods=("POST",))
+    async def sanitize(ctx: RequestContext):
+        try:
+            payload = ctx.json()
+            html = str(payload["html"])
+        except (ValueError, KeyError, TypeError):
+            return json_response({"error": "bad request"}, status=400)
+        return json_response({"html": library.sanitize(html)})  # type: ignore[attr-defined]
+
+    @app.route("/health")
+    async def health(ctx: RequestContext):
+        return json_response({"status": "ok"})
+
+    return app

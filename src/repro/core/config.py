@@ -1,0 +1,128 @@
+"""RDDR deployment configuration.
+
+Mirrors the paper's configuration file (section IV-B4): instance set,
+filter-pair selection, protocol module, known-variance rules, timeout
+policy, and divergence response.  Serializable to/from JSON so configs
+can live beside Kubernetes manifests the way the paper's do.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.core.denoise import FilterPair
+from repro.core.variance import VarianceRule
+
+
+@dataclass
+class RddrConfig:
+    """Configuration for one protected microservice."""
+
+    #: Application-layer protocol module name ("http", "pgwire", "json",
+    #: "tcp"); resolved through :mod:`repro.protocols`.
+    protocol: str = "tcp"
+    #: Indices of the two identical instances used for de-noising, or
+    #: ``None`` to disable nondeterminism filtering.
+    filter_pair: tuple[int, int] | None = None
+    #: Regex rules masking known deterministic variance before diffing.
+    variance_rules: list[VarianceRule] = field(default_factory=list)
+    #: Seconds to wait for every instance's response before declaring a
+    #: timeout divergence (the paper's future-work DoS mitigation).
+    exchange_timeout: float = 10.0
+    #: Whether ephemeral-state (CSRF) handling is active.  Only the HTTP
+    #: module implements it, matching the paper.
+    ephemeral_state: bool = True
+    #: Minimum differing-run length for the CSRF detector.
+    ephemeral_min_length: int = 10
+    #: Index of the instance whose response is forwarded to the client.
+    canonical_instance: int = 0
+    #: Human-visible text served on divergence (HTTP) before closing.
+    block_message: str = "RDDR intervened: divergent instance behaviour detected"
+    #: What to do on divergence: "block" (the paper's behaviour: serve the
+    #: intervention response and halt) or "vote" (classic N-versioning:
+    #: forward the strict-majority response and keep serving).
+    divergence_policy: str = "block"
+    #: With the "vote" policy, drop outvoted instances from the connection
+    #: so a compromised minority cannot keep participating.
+    quarantine_minority: bool = False
+    #: Learn divergence signatures and reject matching requests before
+    #: replication (the section IV-D DoS mitigation).
+    signature_learning: bool = False
+    #: Seconds before a learned signature expires (None = never).
+    signature_ttl: float | None = None
+
+    def filter_pair_obj(self) -> FilterPair | None:
+        if self.filter_pair is None:
+            return None
+        return FilterPair(*self.filter_pair)
+
+    # ------------------------------------------------------------- JSON
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "protocol": self.protocol,
+            "filter_pair": list(self.filter_pair) if self.filter_pair else None,
+            "variance_rules": [
+                {
+                    "pattern": rule.pattern,
+                    "replacement": rule.replacement.decode("latin-1"),
+                    "description": rule.description,
+                }
+                for rule in self.variance_rules
+            ],
+            "exchange_timeout": self.exchange_timeout,
+            "ephemeral_state": self.ephemeral_state,
+            "ephemeral_min_length": self.ephemeral_min_length,
+            "canonical_instance": self.canonical_instance,
+            "block_message": self.block_message,
+            "divergence_policy": self.divergence_policy,
+            "quarantine_minority": self.quarantine_minority,
+            "signature_learning": self.signature_learning,
+            "signature_ttl": self.signature_ttl,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, object]) -> "RddrConfig":
+        pair = data.get("filter_pair")
+        rules = [
+            VarianceRule(
+                pattern=str(rule["pattern"]),
+                replacement=str(
+                    rule.get("replacement", "\x00VARIANT\x00")
+                ).encode("latin-1"),
+                description=str(rule.get("description", "")),
+            )
+            for rule in data.get("variance_rules", [])  # type: ignore[union-attr]
+        ]
+        return cls(
+            protocol=str(data.get("protocol", "tcp")),
+            filter_pair=tuple(pair) if pair else None,  # type: ignore[arg-type]
+            variance_rules=rules,
+            exchange_timeout=float(data.get("exchange_timeout", 10.0)),  # type: ignore[arg-type]
+            ephemeral_state=bool(data.get("ephemeral_state", True)),
+            ephemeral_min_length=int(data.get("ephemeral_min_length", 10)),  # type: ignore[arg-type]
+            canonical_instance=int(data.get("canonical_instance", 0)),  # type: ignore[arg-type]
+            block_message=str(
+                data.get(
+                    "block_message",
+                    "RDDR intervened: divergent instance behaviour detected",
+                )
+            ),
+            divergence_policy=str(data.get("divergence_policy", "block")),
+            quarantine_minority=bool(data.get("quarantine_minority", False)),
+            signature_learning=bool(data.get("signature_learning", False)),
+            signature_ttl=(
+                float(data["signature_ttl"])  # type: ignore[arg-type]
+                if data.get("signature_ttl") is not None
+                else None
+            ),
+        )
+
+    def dump(self, path: str | Path) -> None:
+        Path(path).write_text(json.dumps(self.to_dict(), indent=2) + "\n")
+
+    @classmethod
+    def load(cls, path: str | Path) -> "RddrConfig":
+        return cls.from_dict(json.loads(Path(path).read_text()))

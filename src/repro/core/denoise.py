@@ -1,0 +1,114 @@
+"""Filter-pair de-noising (the "De-noise" in RDDR, paper section IV-B2).
+
+Two *identical* instances — the filter pair — run alongside the diverse
+instances.  Because the pair share an implementation, any difference in
+their outputs must come from nondeterminism (random session ids, PHP
+session cookies, ASLR'd pointer values...), not from a bug or exploit.
+RDDR therefore learns a :class:`~repro.core.diff.NoiseMask` from the
+pair's outputs and ignores exactly those regions when diffing the full
+instance set.
+
+Masking rules (documented here because the paper leaves them informal):
+
+* Tokens equal across the pair → compared verbatim everywhere.
+* Tokens differing but of equal length → the differing character ranges,
+  widened over the surrounding alphanumeric run, are masked.  Widening
+  matters: two random hex tokens agree at ~1/16 of their positions by
+  chance, so the raw differing positions of the pair would not cover a
+  third instance's random token and benign traffic would read as
+  divergent.
+* Tokens differing in length → the whole token is masked.
+* If the pair disagree about the token *count*, every token from the
+  first disagreement onward is masked (``tail_from``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.diff import TOKEN_WILDCARD, CharRange, NoiseMask, differing_ranges
+
+
+@dataclass(frozen=True)
+class FilterPair:
+    """Indices (into the instance list) of the two identical instances."""
+
+    first: int
+    second: int
+
+    def __post_init__(self) -> None:
+        if self.first == self.second:
+            raise ValueError("filter pair must be two distinct instances")
+
+    def indices(self) -> tuple[int, int]:
+        return (self.first, self.second)
+
+
+def learn_noise_mask(
+    pair_a: list[bytes], pair_b: list[bytes]
+) -> NoiseMask:
+    """Build a noise mask from the filter pair's token streams."""
+    mask = NoiseMask()
+    limit = min(len(pair_a), len(pair_b))
+    for index in range(limit):
+        token_a, token_b = pair_a[index], pair_b[index]
+        if token_a == token_b:
+            continue
+        if len(token_a) != len(token_b):
+            mask.token_ranges[index] = TOKEN_WILDCARD
+            continue
+        ranges = widen_over_alnum(token_a, differing_ranges(token_a, token_b))
+        if ranges:
+            mask.token_ranges[index] = ranges
+    if len(pair_a) != len(pair_b):
+        mask.tail_from = limit if limit == 0 else _first_structural_break(pair_a, pair_b)
+    return mask
+
+
+def widen_over_alnum(token: bytes, ranges: list[CharRange]) -> list[CharRange]:
+    """Expand each range across the alphanumeric run containing it, and
+    merge overlapping results."""
+    widened: list[CharRange] = []
+    for char_range in ranges:
+        start, end = char_range.start, char_range.end
+        while start > 0 and token[start - 1 : start].isalnum():
+            start -= 1
+        while end < len(token) and token[end : end + 1].isalnum():
+            end += 1
+        if widened and start <= widened[-1].end:
+            widened[-1] = CharRange(widened[-1].start, max(end, widened[-1].end))
+        else:
+            widened.append(CharRange(start, end))
+    return widened
+
+
+def _first_structural_break(pair_a: list[bytes], pair_b: list[bytes]) -> int:
+    """Index where the two streams stop corresponding one-to-one."""
+    limit = min(len(pair_a), len(pair_b))
+    for index in range(limit):
+        if len(pair_a[index]) != len(pair_b[index]):
+            return index
+    return limit
+
+
+class FilterPairDenoiser:
+    """Stateless helper bundling pair selection and mask learning."""
+
+    def __init__(self, pair: FilterPair | None) -> None:
+        self.pair = pair
+
+    @property
+    def enabled(self) -> bool:
+        return self.pair is not None
+
+    def mask_for(self, token_streams: list[list[bytes]]) -> NoiseMask:
+        """Learn the mask from this exchange's filter-pair outputs."""
+        if self.pair is None:
+            return NoiseMask()
+        first, second = self.pair.indices()
+        if first >= len(token_streams) or second >= len(token_streams):
+            raise IndexError(
+                f"filter pair {self.pair} out of range for "
+                f"{len(token_streams)} instances"
+            )
+        return learn_noise_mask(token_streams[first], token_streams[second])

@@ -1,0 +1,157 @@
+"""Tokenized response diffing (the "Diff" in RDDR).
+
+Responses from the N instances are tokenized by the active protocol
+module (HTTP: lines; PostgreSQL: wire messages; ...), masked for known
+noise, and compared token-by-token.  Any residual difference is a
+*divergence* — RDDR deliberately does not try to decide which instance is
+"right" (paper section III-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Marks a whole token as ignorable in a :class:`NoiseMask`.
+TOKEN_WILDCARD = "*"
+
+
+@dataclass(frozen=True)
+class CharRange:
+    """A half-open ``[start, end)`` character range within a token."""
+
+    start: int
+    end: int
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.end < self.start:
+            raise ValueError(f"invalid range [{self.start}, {self.end})")
+
+
+@dataclass
+class NoiseMask:
+    """Noise annotations learned from the filter pair.
+
+    ``token_ranges`` maps a token index to either :data:`TOKEN_WILDCARD`
+    (ignore the whole token) or a list of character ranges to ignore.
+    ``tail_from`` ignores every token at or beyond that index (used when
+    the filter pair disagreed about token count).
+    """
+
+    token_ranges: dict[int, object] = field(default_factory=dict)
+    tail_from: int | None = None
+
+    def is_noise_token(self, index: int) -> bool:
+        if self.tail_from is not None and index >= self.tail_from:
+            return True
+        return self.token_ranges.get(index) == TOKEN_WILDCARD
+
+    def ranges_for(self, index: int) -> list[CharRange]:
+        entry = self.token_ranges.get(index)
+        if isinstance(entry, list):
+            return entry
+        return []
+
+    def mask_token(self, index: int, token: bytes) -> bytes:
+        """Blank out the noisy ranges of one token."""
+        if self.is_noise_token(index):
+            return b""
+        ranges = self.ranges_for(index)
+        if not ranges:
+            return token
+        out = bytearray(token)
+        for char_range in ranges:
+            end = min(char_range.end, len(out))
+            for position in range(char_range.start, end):
+                out[position] = 0
+        # Tokens whose lengths differ only inside a masked trailing range
+        # still compare unequal on length; trim masked tails.
+        return bytes(out)
+
+
+@dataclass(frozen=True)
+class TokenDifference:
+    """One diverging token across instances."""
+
+    token_index: int
+    values: tuple[bytes, ...]  # masked token per instance
+
+
+@dataclass
+class DiffResult:
+    """Outcome of comparing the N instances' token streams."""
+
+    divergent: bool
+    differences: list[TokenDifference] = field(default_factory=list)
+    token_counts: tuple[int, ...] = ()
+
+    @property
+    def reason(self) -> str:
+        if not self.divergent:
+            return "unanimous"
+        if self.differences:
+            first = self.differences[0]
+            return f"token {first.token_index} differs across instances"
+        return "token counts differ across instances"
+
+
+def diff_tokens(
+    token_streams: list[list[bytes]],
+    mask: NoiseMask | None = None,
+    *,
+    max_differences: int = 16,
+) -> DiffResult:
+    """Compare token streams from all N instances under a noise mask.
+
+    Divergence is declared when any two instances disagree on a token
+    (outside masked regions) or on the number of tokens (outside a masked
+    tail).
+    """
+    if len(token_streams) < 2:
+        return DiffResult(divergent=False, token_counts=tuple(len(s) for s in token_streams))
+    mask = mask or NoiseMask()
+    counts = tuple(len(stream) for stream in token_streams)
+    compare_length = min(counts)
+    if len(set(counts)) > 1:
+        if mask.tail_from is None or any(
+            count < mask.tail_from for count in counts
+        ):
+            return DiffResult(divergent=True, token_counts=counts)
+    differences: list[TokenDifference] = []
+    for index in range(compare_length):
+        if mask.is_noise_token(index):
+            continue
+        masked = [
+            mask.mask_token(index, stream[index]) for stream in token_streams
+        ]
+        if len(set(masked)) > 1:
+            differences.append(
+                TokenDifference(token_index=index, values=tuple(masked))
+            )
+            if len(differences) >= max_differences:
+                break
+    return DiffResult(
+        divergent=bool(differences), differences=differences, token_counts=counts
+    )
+
+
+def differing_ranges(a: bytes, b: bytes) -> list[CharRange]:
+    """Character ranges where two equal-length tokens differ.
+
+    Contiguous runs of differing positions collapse into one range; this
+    is what both the de-noising filter and the CSRF-token detector use to
+    localise randomness inside a line.
+    """
+    if len(a) != len(b):
+        raise ValueError("differing_ranges requires equal-length tokens")
+    ranges: list[CharRange] = []
+    start: int | None = None
+    for position, (ca, cb) in enumerate(zip(a, b)):
+        if ca != cb:
+            if start is None:
+                start = position
+        elif start is not None:
+            ranges.append(CharRange(start, position))
+            start = None
+    if start is not None:
+        ranges.append(CharRange(start, len(a)))
+    return ranges

@@ -1,0 +1,139 @@
+"""Ephemeral per-instance state handling (paper section IV-B3).
+
+CSRF tokens break naive N-versioning: each instance mints its own random
+token, the client echoes back the one it saw (instance 0's, since RDDR
+forwards the first instance's response), and every other instance would
+reject the request.  RDDR therefore:
+
+1. scans responses for lines that differ across *all* instances,
+2. within those lines, finds differing character ranges that are
+   alphanumeric and at least ``min_length`` (10) characters long — the
+   paper's empirically chosen CSRF criterion,
+3. stores a mapping canonical-token -> per-instance token,
+4. rewrites each copy of subsequent client requests, substituting every
+   instance's own token for the canonical one, and
+5. deletes the mapping after one use (the tokens are ephemeral).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+DEFAULT_MIN_TOKEN_LENGTH = 10
+
+
+def _is_token_text(data: bytes) -> bool:
+    return len(data) > 0 and data.isalnum()
+
+
+@dataclass
+class EphemeralBinding:
+    """One captured token: the canonical value and each instance's own."""
+
+    canonical: bytes
+    per_instance: tuple[bytes, ...]
+
+
+@dataclass
+class EphemeralStateStore:
+    """Captures and re-substitutes per-instance ephemeral tokens."""
+
+    instance_count: int
+    min_length: int = DEFAULT_MIN_TOKEN_LENGTH
+    canonical_instance: int = 0
+    _bindings: dict[bytes, EphemeralBinding] = field(default_factory=dict)
+
+    # ---------------------------------------------------------------- capture
+
+    def capture(self, token_streams: list[list[bytes]]) -> list[EphemeralBinding]:
+        """Inspect one exchange's response tokens; remember CSRF-like state.
+
+        ``token_streams[i]`` is instance *i*'s tokenized response.  Only
+        positions where **all** instances disagree pairwise-equal-length
+        are candidates, mirroring the paper's "lines that differ across
+        all instances" wording.
+        """
+        if len(token_streams) != self.instance_count:
+            raise ValueError(
+                f"expected {self.instance_count} streams, got {len(token_streams)}"
+            )
+        captured: list[EphemeralBinding] = []
+        length = min(len(stream) for stream in token_streams) if token_streams else 0
+        for index in range(length):
+            tokens = [stream[index] for stream in token_streams]
+            # "lines that differ across all instances": every instance
+            # minted its own value, so tokens must be pairwise distinct.
+            if len(set(tokens)) != len(tokens):
+                continue
+            if len({len(token) for token in tokens}) != 1:
+                continue  # cannot align character ranges
+            for char_range in self._candidate_ranges(tokens):
+                values = tuple(
+                    token[char_range[0] : char_range[1]] for token in tokens
+                )
+                if not all(_is_token_text(value) for value in values):
+                    continue
+                if len(values[0]) < self.min_length:
+                    continue
+                if len(set(values)) != len(values):
+                    continue
+                binding = EphemeralBinding(
+                    canonical=values[self.canonical_instance], per_instance=values
+                )
+                self._bindings[binding.canonical] = binding
+                captured.append(binding)
+        return captured
+
+    def _candidate_ranges(self, tokens: list[bytes]) -> list[tuple[int, int]]:
+        """Maximal ranges where any instance differs from the first,
+        greedily widened while the content stays alphanumeric."""
+        reference = tokens[0]
+        length = len(reference)
+        differs = [
+            any(token[i] != reference[i] for token in tokens[1:])
+            for i in range(length)
+        ]
+        ranges: list[tuple[int, int]] = []
+        i = 0
+        while i < length:
+            if not differs[i]:
+                i += 1
+                continue
+            start = i
+            while i < length and differs[i]:
+                i += 1
+            end = i
+            # Widen over the surrounding alphanumeric run: the random
+            # tokens usually share a few leading/trailing characters.
+            while start > 0 and _is_token_text(reference[start - 1 : start]):
+                start -= 1
+            while end < length and _is_token_text(reference[end : end + 1]):
+                end += 1
+            if ranges and start <= ranges[-1][1]:
+                ranges[-1] = (ranges[-1][0], max(end, ranges[-1][1]))
+            else:
+                ranges.append((start, end))
+        return ranges
+
+    # ---------------------------------------------------------------- rewrite
+
+    def rewrite_for_instance(self, data: bytes, instance: int) -> bytes:
+        """Substitute the canonical tokens in ``data`` with instance
+        ``instance``'s own values.  Does not consume the bindings."""
+        for binding in self._bindings.values():
+            if binding.canonical in data:
+                data = data.replace(
+                    binding.canonical, binding.per_instance[instance]
+                )
+        return data
+
+    def consume_used(self, data: bytes) -> int:
+        """Delete bindings whose canonical token appeared in ``data``
+        (tokens are one-shot).  Returns how many were consumed."""
+        used = [c for c in self._bindings if c in data]
+        for canonical in used:
+            del self._bindings[canonical]
+        return len(used)
+
+    def __len__(self) -> int:
+        return len(self._bindings)

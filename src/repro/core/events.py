@@ -1,0 +1,66 @@
+"""Structured event log for RDDR deployments.
+
+Divergences, noise filtering, ephemeral-state captures, and timeouts are
+recorded as typed events so tests and operators can assert on *why* RDDR
+acted, not just that a connection died.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Event:
+    kind: str
+    detail: str
+    proxy: str
+    exchange: int
+    timestamp: float
+
+
+class EventLog:
+    """Append-only in-memory event log shared by a deployment's proxies."""
+
+    def __init__(self, clock=time.monotonic) -> None:
+        self._events: list[Event] = []
+        self._clock = clock
+
+    def record(self, kind: str, detail: str, *, proxy: str = "", exchange: int = -1) -> Event:
+        event = Event(
+            kind=kind,
+            detail=detail,
+            proxy=proxy,
+            exchange=exchange,
+            timestamp=self._clock(),
+        )
+        self._events.append(event)
+        return event
+
+    def events(self, kind: str | None = None) -> list[Event]:
+        if kind is None:
+            return list(self._events)
+        return [event for event in self._events if event.kind == kind]
+
+    def divergences(self) -> list[Event]:
+        return self.events("divergence")
+
+    def clear(self) -> None:
+        self._events.clear()
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+
+#: Event kinds used by the proxies.
+DIVERGENCE = "divergence"
+SIGNATURE_BLOCKED = "signature_blocked"
+VOTE_OVERRIDE = "vote_override"
+QUARANTINE = "quarantine"
+NOISE_FILTERED = "noise_filtered"
+EPHEMERAL_CAPTURED = "ephemeral_captured"
+EPHEMERAL_REWRITTEN = "ephemeral_rewritten"
+TIMEOUT = "timeout"
+INSTANCE_ERROR = "instance_error"
+EXCHANGE_OK = "exchange_ok"

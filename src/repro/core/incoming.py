@@ -1,0 +1,447 @@
+"""The RDDR Incoming Request Proxy (paper section IV-B).
+
+Sits between clients and the N instances of the protected microservice.
+For every client request it: **Replicates** the request to all instances
+(substituting per-instance ephemeral state), collects their responses,
+**De-noises** them with the filter pair, **Diffs** the token streams, and
+**Responds** — forwarding the canonical instance's bytes when unanimous,
+or serving the intervention response and closing the connection when
+divergent.
+
+Beyond the paper's core design, two section IV-D extensions are
+implemented behind configuration flags:
+
+* ``signature_learning`` — divergence-signature generation: requests
+  matching a previously diverging request pattern are rejected *before*
+  replication, defeating the repeat-the-exploit DoS amplifier;
+* ``divergence_policy="vote"`` (with optional ``quarantine_minority``) —
+  classic N-version voting: when a strict majority of instances agree,
+  their response is forwarded and, optionally, the outvoted instances
+  are dropped from the connection.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import ssl
+import time
+from dataclasses import dataclass
+
+from repro.core import events as ev
+from repro.core.config import RddrConfig
+from repro.core.denoise import FilterPairDenoiser
+from repro.core.diff import diff_tokens
+from repro.core.ephemeral import EphemeralStateStore
+from repro.core.events import EventLog
+from repro.core.metrics import ProxyMetrics
+from repro.core.signatures import SignatureStore
+from repro.core.variance import VarianceMasker
+from repro.protocols.base import ProtocolModule
+from repro.transport.retry import open_connection_retry
+from repro.transport.server import ServerHandle, start_server
+from repro.transport.streams import ConnectionClosed, close_writer, drain_write
+
+Address = tuple[str, int]
+
+
+@dataclass
+class _InstanceLink:
+    """One live connection to one instance, keeping its original index."""
+
+    index: int
+    reader: asyncio.StreamReader
+    writer: asyncio.StreamWriter
+
+
+class IncomingRequestProxy:
+    """N-versioning proxy for client-initiated traffic."""
+
+    def __init__(
+        self,
+        instances: list[Address],
+        protocol: ProtocolModule,
+        config: RddrConfig | None = None,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        name: str = "rddr-incoming",
+        event_log: EventLog | None = None,
+        metrics: ProxyMetrics | None = None,
+        server_ssl: ssl.SSLContext | None = None,
+        instance_ssl: ssl.SSLContext | None = None,
+    ) -> None:
+        if len(instances) < 2:
+            raise ValueError("N-versioning requires at least 2 instances")
+        self.instances = list(instances)
+        self.protocol = protocol
+        self.config = config or RddrConfig(protocol=protocol.name)
+        if self.config.divergence_policy not in ("block", "vote"):
+            raise ValueError(
+                f"unknown divergence policy {self.config.divergence_policy!r}"
+            )
+        self.host = host
+        self.port = port
+        self.name = name
+        # Explicit None checks: an empty EventLog is falsy (it has __len__).
+        self.events = event_log if event_log is not None else EventLog()
+        self.metrics = metrics if metrics is not None else ProxyMetrics()
+        self.server_ssl = server_ssl
+        self.instance_ssl = instance_ssl
+        self.handle: ServerHandle | None = None
+        self._denoiser = FilterPairDenoiser(self.config.filter_pair_obj())
+        self._variance = VarianceMasker(self.config.variance_rules)
+        self._ephemeral = EphemeralStateStore(
+            instance_count=len(instances),
+            min_length=self.config.ephemeral_min_length,
+            canonical_instance=self.config.canonical_instance,
+        )
+        self.signatures = SignatureStore(ttl=self.config.signature_ttl)
+        self._exchange_counter = 0
+
+    # ------------------------------------------------------------ lifecycle
+
+    @property
+    def address(self) -> Address:
+        if self.handle is None:
+            raise RuntimeError("proxy not started")
+        return self.handle.address
+
+    async def start(self) -> ServerHandle:
+        self.handle = await start_server(
+            self._serve_client,
+            self.host,
+            self.port,
+            name=self.name,
+            ssl_context=self.server_ssl,
+        )
+        self.port = self.handle.port
+        return self.handle
+
+    async def close(self) -> None:
+        if self.handle is not None:
+            await self.handle.close()
+
+    # ------------------------------------------------------------ serving
+
+    async def _serve_client(
+        self, client_reader: asyncio.StreamReader, client_writer: asyncio.StreamWriter
+    ) -> None:
+        self.metrics.connections_total += 1
+        try:
+            connections = await asyncio.gather(
+                *(
+                    open_connection_retry(host, port, ssl_context=self.instance_ssl)
+                    for host, port in self.instances
+                )
+            )
+        except ConnectionError as error:
+            self.events.record(
+                ev.INSTANCE_ERROR, f"connect failed: {error}", proxy=self.name
+            )
+            return
+        links = [
+            _InstanceLink(index=i, reader=reader, writer=writer)
+            for i, (reader, writer) in enumerate(connections)
+        ]
+        state = self.protocol.new_connection_state()
+        try:
+            await self._exchange_loop(client_reader, client_writer, links, state)
+        finally:
+            for link in links:
+                await close_writer(link.writer)
+
+    async def _exchange_loop(
+        self,
+        client_reader: asyncio.StreamReader,
+        client_writer: asyncio.StreamWriter,
+        links: list[_InstanceLink],
+        state: object,
+    ) -> None:
+        while True:
+            request = await self.protocol.read_client_message(client_reader, state)
+            if request is None:
+                return
+            exchange = self._exchange_counter
+            self._exchange_counter += 1
+            self.metrics.exchanges_total += 1
+            self.metrics.bytes_from_clients += len(request)
+            started = time.monotonic()
+
+            # Section IV-D: reject remembered diverging inputs outright.
+            if self.config.signature_learning:
+                signature = self.signatures.match(request)
+                if signature is not None:
+                    self.events.record(
+                        ev.SIGNATURE_BLOCKED,
+                        f"matched signature learned for: {signature.reason}",
+                        proxy=self.name,
+                        exchange=exchange,
+                    )
+                    await self._block(client_writer, links, exchange, None)
+                    return
+
+            # Replicate, substituting each instance's own ephemeral state.
+            for link in links:
+                payload = request
+                if self.config.ephemeral_state:
+                    payload = self._ephemeral.rewrite_for_instance(request, link.index)
+                    if payload != request:
+                        self.events.record(
+                            ev.EPHEMERAL_REWRITTEN,
+                            f"instance {link.index}",
+                            proxy=self.name,
+                            exchange=exchange,
+                        )
+                link.writer.write(payload)
+                try:
+                    await drain_write(link.writer)
+                except ConnectionClosed:
+                    await self._block(
+                        client_writer,
+                        links,
+                        exchange,
+                        f"instance {link.index} connection lost",
+                        request=request,
+                    )
+                    return
+            if self.config.ephemeral_state:
+                self._ephemeral.consume_used(request)
+
+            if not self.protocol.expects_response(request, state):
+                continue
+
+            responses = await self._gather_responses(links, state, request, exchange)
+            if responses is None:
+                await self._block(
+                    client_writer, links, exchange, "instance failure/timeout",
+                    request=request,
+                )
+                return
+
+            verdict, masked = self._analyse(responses, links, exchange)
+            if verdict is not None:
+                if self.config.divergence_policy == "vote" and len(links) >= 3:
+                    majority = _majority_indices(masked)
+                    if majority is not None:
+                        links = await self._vote_respond(
+                            client_writer,
+                            links,
+                            responses,
+                            majority,
+                            exchange,
+                            verdict,
+                        )
+                        if links is None:
+                            return
+                        self.metrics.latency.observe(time.monotonic() - started)
+                        self._finish_exchange(state)
+                        continue
+                await self._block(
+                    client_writer, links, exchange, verdict, request=request
+                )
+                return
+
+            canonical = self._response_for(
+                links, responses, self.config.canonical_instance
+            )
+            self.metrics.bytes_to_clients += len(canonical)
+            client_writer.write(canonical)
+            try:
+                await drain_write(client_writer)
+            except ConnectionClosed:
+                return
+            self.metrics.latency.observe(time.monotonic() - started)
+            self.events.record(
+                ev.EXCHANGE_OK, "unanimous", proxy=self.name, exchange=exchange
+            )
+            self._finish_exchange(state)
+
+    def _finish_exchange(self, state: object) -> None:
+        finish = getattr(self.protocol, "finish_exchange", None)
+        if finish is not None:
+            finish(state)
+
+    def _response_for(
+        self, links: list[_InstanceLink], responses: list[bytes], preferred_index: int
+    ) -> bytes:
+        """The response of the preferred original instance, or the first
+        surviving one if the preferred instance was quarantined."""
+        for position, link in enumerate(links):
+            if link.index == preferred_index:
+                return responses[position]
+        return responses[0]
+
+    async def _gather_responses(
+        self,
+        links: list[_InstanceLink],
+        state: object,
+        request: bytes,
+        exchange: int,
+    ) -> list[bytes] | None:
+        try:
+            return list(
+                await asyncio.wait_for(
+                    asyncio.gather(
+                        *(
+                            self.protocol.read_server_message(link.reader, state, request)
+                            for link in links
+                        )
+                    ),
+                    timeout=self.config.exchange_timeout,
+                )
+            )
+        except asyncio.TimeoutError:
+            self.metrics.timeouts += 1
+            self.events.record(
+                ev.TIMEOUT,
+                f"no unanimous response within {self.config.exchange_timeout}s",
+                proxy=self.name,
+                exchange=exchange,
+            )
+            return None
+        except (ConnectionClosed, ConnectionError) as error:
+            self.events.record(
+                ev.INSTANCE_ERROR, str(error), proxy=self.name, exchange=exchange
+            )
+            return None
+
+    def _analyse(
+        self, responses: list[bytes], links: list[_InstanceLink], exchange: int
+    ) -> tuple[str | None, list[tuple[bytes, ...]]]:
+        """Tokenize, capture ephemeral state, de-noise, and diff.
+
+        Returns ``(divergence reason or None, per-instance masked token
+        tuples)`` — the masked tuples feed majority voting.
+        """
+        raw_tokens = [self.protocol.tokenize(response) for response in responses]
+        if self.config.ephemeral_state and len(links) == len(self.instances):
+            captured = self._ephemeral.capture(raw_tokens)
+            if captured:
+                self.metrics.ephemeral_tokens_captured += len(captured)
+                self.events.record(
+                    ev.EPHEMERAL_CAPTURED,
+                    f"{len(captured)} token(s)",
+                    proxy=self.name,
+                    exchange=exchange,
+                )
+        tokens = self._variance.mask_streams(raw_tokens)
+        mask = self._mask_for(tokens, links)
+        if mask.token_ranges or mask.tail_from is not None:
+            self.metrics.noise_filtered_tokens += len(mask.token_ranges)
+            self.events.record(
+                ev.NOISE_FILTERED,
+                f"{len(mask.token_ranges)} token(s) masked",
+                proxy=self.name,
+                exchange=exchange,
+            )
+        result = diff_tokens(tokens, mask)
+        masked_tuples = [
+            tuple(mask.mask_token(i, token) for i, token in enumerate(stream))
+            for stream in tokens
+        ]
+        if result.divergent:
+            self.metrics.divergences += 1
+            return result.reason, masked_tuples
+        return None, masked_tuples
+
+    def _mask_for(self, tokens: list[list[bytes]], links: list[_InstanceLink]):
+        """Denoise via the filter pair, if both members are still active."""
+        pair = self._denoiser.pair
+        if pair is None:
+            return self._denoiser.mask_for(tokens)
+        positions = {link.index: position for position, link in enumerate(links)}
+        first, second = pair.indices()
+        if first not in positions or second not in positions:
+            from repro.core.diff import NoiseMask
+
+            return NoiseMask()
+        from repro.core.denoise import learn_noise_mask
+
+        return learn_noise_mask(tokens[positions[first]], tokens[positions[second]])
+
+    # ------------------------------------------------------------ voting
+
+    async def _vote_respond(
+        self,
+        client_writer: asyncio.StreamWriter,
+        links: list[_InstanceLink],
+        responses: list[bytes],
+        majority: list[int],
+        exchange: int,
+        reason: str,
+    ) -> list[_InstanceLink] | None:
+        """Forward the majority's response; optionally quarantine the rest.
+
+        Returns the (possibly reduced) link list, or ``None`` if the
+        client connection died.
+        """
+        minority = [p for p in range(len(links)) if p not in majority]
+        self.events.record(
+            ev.VOTE_OVERRIDE,
+            f"{len(majority)}/{len(links)} agreed ({reason}); "
+            f"outvoted instances: {[links[p].index for p in minority]}",
+            proxy=self.name,
+            exchange=exchange,
+        )
+        winner_position = majority[0]
+        response = responses[winner_position]
+        self.metrics.bytes_to_clients += len(response)
+        client_writer.write(response)
+        try:
+            await drain_write(client_writer)
+        except ConnectionClosed:
+            return None
+        if self.config.quarantine_minority:
+            for position in minority:
+                link = links[position]
+                self.events.record(
+                    ev.QUARANTINE,
+                    f"instance {link.index} dropped from connection",
+                    proxy=self.name,
+                    exchange=exchange,
+                )
+                await close_writer(link.writer)
+            links = [links[p] for p in majority]
+        return links
+
+    # ------------------------------------------------------------ blocking
+
+    async def _block(
+        self,
+        client_writer: asyncio.StreamWriter,
+        links: list[_InstanceLink],
+        exchange: int,
+        reason: str | None,
+        *,
+        request: bytes | None = None,
+    ) -> None:
+        """Serve the intervention response and halt all communication.
+
+        ``reason=None`` means the block came from a learned signature (the
+        divergence was already recorded when the signature was learned).
+        """
+        self.metrics.exchanges_blocked += 1
+        if reason is not None:
+            self.events.record(ev.DIVERGENCE, reason, proxy=self.name, exchange=exchange)
+            if self.config.signature_learning and request is not None:
+                self.signatures.learn(request, reason)
+        block = self.protocol.block_response(self.config.block_message)
+        if block:
+            with contextlib.suppress(Exception):
+                client_writer.write(block)
+                await drain_write(client_writer)
+        await close_writer(client_writer)
+        for link in links:
+            await close_writer(link.writer)
+
+
+def _majority_indices(masked: list[tuple[bytes, ...]]) -> list[int] | None:
+    """Positions forming a strict majority of identical masked streams."""
+    groups: dict[tuple[bytes, ...], list[int]] = {}
+    for position, stream in enumerate(masked):
+        groups.setdefault(stream, []).append(position)
+    best = max(groups.values(), key=len)
+    if len(best) * 2 > len(masked):
+        return best
+    return None

@@ -1,0 +1,63 @@
+"""Proxy metrics: exchange counters and latency distribution."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+
+@dataclass
+class LatencyHistogram:
+    """Latency samples with percentile queries (stored in seconds)."""
+
+    samples: list[float] = field(default_factory=list)
+
+    def observe(self, seconds: float) -> None:
+        self.samples.append(seconds)
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile (0..100) by linear interpolation."""
+        if not self.samples:
+            return 0.0
+        if not 0 <= q <= 100:
+            raise ValueError("percentile must be in [0, 100]")
+        ordered = sorted(self.samples)
+        if len(ordered) == 1:
+            return ordered[0]
+        rank = (q / 100) * (len(ordered) - 1)
+        low = math.floor(rank)
+        high = math.ceil(rank)
+        if low == high:
+            return ordered[low]
+        weight = rank - low
+        return ordered[low] * (1 - weight) + ordered[high] * weight
+
+    @property
+    def mean(self) -> float:
+        return sum(self.samples) / len(self.samples) if self.samples else 0.0
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+
+@dataclass
+class ProxyMetrics:
+    """Counters one RDDR proxy maintains."""
+
+    exchanges_total: int = 0
+    exchanges_blocked: int = 0
+    divergences: int = 0
+    timeouts: int = 0
+    noise_filtered_tokens: int = 0
+    ephemeral_tokens_captured: int = 0
+    bytes_from_clients: int = 0
+    bytes_to_clients: int = 0
+    connections_total: int = 0
+    latency: LatencyHistogram = field(default_factory=LatencyHistogram)
+
+    @property
+    def block_rate(self) -> float:
+        if self.exchanges_total == 0:
+            return 0.0
+        return self.exchanges_blocked / self.exchanges_total

@@ -1,0 +1,289 @@
+"""The RDDR Outgoing Request Proxy (paper section IV-B).
+
+The dual of the incoming proxy: the N instances of the protected
+microservice each *initiate* connections toward a backend microservice
+(e.g. DVWA frontends toward their database).  One outgoing proxy guards
+one backend.  It listens on N ports — instance *i* is configured to reach
+the backend at port *i* — groups the k-th connection from every instance
+into a *connection group*, and then, per exchange:
+
+1. reads one request from every instance in the group,
+2. de-noises and diffs them (an information leak by a compromised
+   instance shows up here),
+3. forwards the canonical instance's request to the real backend, and
+4. replicates the backend's response to all N instances — the "merge"
+   that Twitter's Diffy lacks (paper section III-A).
+
+A missing request (one instance never issues the call the others made,
+e.g. only the smuggling-vulnerable proxy forwards the hidden request) is
+detected by the exchange timeout and treated as divergence.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+from repro.core import events as ev
+from repro.core.config import RddrConfig
+from repro.core.denoise import FilterPairDenoiser
+from repro.core.diff import diff_tokens
+from repro.core.events import EventLog
+from repro.core.metrics import ProxyMetrics
+from repro.core.variance import VarianceMasker
+from repro.protocols.base import ProtocolModule
+from repro.transport.retry import open_connection_retry
+from repro.transport.server import ServerHandle, start_server
+from repro.transport.streams import ConnectionClosed, close_writer, drain_write
+
+Address = tuple[str, int]
+
+
+class _ConnectionGroup:
+    """The k-th connection from every instance, matched together."""
+
+    def __init__(self, size: int) -> None:
+        self.readers: list[asyncio.StreamReader | None] = [None] * size
+        self.writers: list[asyncio.StreamWriter | None] = [None] * size
+        self.complete = asyncio.Event()
+        self.finished = asyncio.Event()
+
+    def join(self, index: int, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        self.readers[index] = reader
+        self.writers[index] = writer
+        if all(r is not None for r in self.readers):
+            self.complete.set()
+
+
+class OutgoingRequestProxy:
+    """N-versioning proxy for instance-initiated (outgoing) traffic."""
+
+    def __init__(
+        self,
+        backend: Address,
+        instance_count: int,
+        protocol: ProtocolModule,
+        config: RddrConfig | None = None,
+        *,
+        host: str = "127.0.0.1",
+        name: str = "rddr-outgoing",
+        event_log: EventLog | None = None,
+        metrics: ProxyMetrics | None = None,
+    ) -> None:
+        if instance_count < 2:
+            raise ValueError("N-versioning requires at least 2 instances")
+        self.backend = backend
+        self.instance_count = instance_count
+        self.protocol = protocol
+        self.config = config or RddrConfig(protocol=protocol.name)
+        self.host = host
+        self.name = name
+        # Explicit None checks: an empty EventLog is falsy (it has __len__).
+        self.events = event_log if event_log is not None else EventLog()
+        self.metrics = metrics if metrics is not None else ProxyMetrics()
+        self.handles: list[ServerHandle] = []
+        self._denoiser = FilterPairDenoiser(self.config.filter_pair_obj())
+        self._variance = VarianceMasker(self.config.variance_rules)
+        self._groups: list[_ConnectionGroup] = []
+        self._next_group_index: list[int] = [0] * instance_count
+        self._exchange_counter = 0
+
+    # ------------------------------------------------------------ lifecycle
+
+    @property
+    def addresses(self) -> list[Address]:
+        """Per-instance backend addresses (instance i connects to [i])."""
+        if not self.handles:
+            raise RuntimeError("proxy not started")
+        return [handle.address for handle in self.handles]
+
+    def address_for_instance(self, index: int) -> Address:
+        return self.addresses[index]
+
+    async def start(self) -> list[ServerHandle]:
+        for index in range(self.instance_count):
+            handle = await start_server(
+                self._make_handler(index),
+                self.host,
+                0,
+                name=f"{self.name}-{index}",
+            )
+            self.handles.append(handle)
+        return self.handles
+
+    async def close(self) -> None:
+        for handle in self.handles:
+            await handle.close()
+
+    # ------------------------------------------------------------ grouping
+
+    def _make_handler(self, index: int):
+        async def handler(reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+            await self._handle_instance_connection(index, reader, writer)
+
+        return handler
+
+    async def _handle_instance_connection(
+        self, index: int, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        group_index = self._next_group_index[index]
+        self._next_group_index[index] += 1
+        while len(self._groups) <= group_index:
+            self._groups.append(_ConnectionGroup(self.instance_count))
+        group = self._groups[group_index]
+        group.join(index, reader, writer)
+        self.metrics.connections_total += 1
+        if index == self.config.canonical_instance:
+            # The canonical instance's handler drives the whole group; the
+            # others just keep their connection open until it finishes.
+            try:
+                await asyncio.wait_for(
+                    group.complete.wait(), timeout=self.config.exchange_timeout
+                )
+            except asyncio.TimeoutError:
+                self.metrics.timeouts += 1
+                self.events.record(
+                    ev.TIMEOUT,
+                    f"group {group_index}: not all instances connected",
+                    proxy=self.name,
+                )
+                await self._teardown_group(group)
+                return
+            await self._run_group(group, group_index)
+        else:
+            # Non-canonical connections stay open for the group's lifetime;
+            # if the group never completes, give up after the timeout.
+            try:
+                await asyncio.wait_for(
+                    group.complete.wait(), timeout=self.config.exchange_timeout
+                )
+            except asyncio.TimeoutError:
+                await self._teardown_group(group)
+                return
+            await group.finished.wait()
+
+    async def _teardown_group(self, group: _ConnectionGroup) -> None:
+        group.finished.set()
+        for writer in group.writers:
+            if writer is not None:
+                await close_writer(writer)
+
+    # ------------------------------------------------------------ exchange
+
+    async def _run_group(self, group: _ConnectionGroup, group_index: int) -> None:
+        readers = [r for r in group.readers if r is not None]
+        writers = [w for w in group.writers if w is not None]
+        assert len(readers) == self.instance_count
+        backend_reader = backend_writer = None
+        states = [self.protocol.new_connection_state() for _ in readers]
+        backend_state = self.protocol.new_connection_state()
+        try:
+            backend_reader, backend_writer = await open_connection_retry(*self.backend)
+            while True:
+                requests = await self._gather_requests(readers, states)
+                if requests is None:
+                    await self._record_block(group_index, "missing/late instance request")
+                    return
+                if all(request is None for request in requests):
+                    return  # all instances closed cleanly
+                if any(request is None for request in requests):
+                    await self._record_block(
+                        group_index, "instance closed while peers kept talking"
+                    )
+                    return
+                exchange = self._exchange_counter
+                self._exchange_counter += 1
+                self.metrics.exchanges_total += 1
+
+                verdict = self._analyse([r for r in requests if r is not None], exchange)
+                if verdict is not None:
+                    await self._record_block(group_index, verdict)
+                    return
+
+                canonical = requests[self.config.canonical_instance]
+                assert canonical is not None
+                backend_writer.write(canonical)
+                await drain_write(backend_writer)
+                started = time.monotonic()
+
+                if not self.protocol.expects_response(canonical, backend_state):
+                    continue
+                response = await asyncio.wait_for(
+                    self.protocol.read_server_message(
+                        backend_reader, backend_state, canonical
+                    ),
+                    timeout=self.config.exchange_timeout,
+                )
+                for writer in writers:
+                    writer.write(response)
+                    await drain_write(writer)
+                self.metrics.latency.observe(time.monotonic() - started)
+                self.events.record(
+                    ev.EXCHANGE_OK, "unanimous", proxy=self.name, exchange=exchange
+                )
+        except (ConnectionClosed, ConnectionError, asyncio.TimeoutError) as error:
+            self.events.record(
+                ev.INSTANCE_ERROR, f"group {group_index}: {error}", proxy=self.name
+            )
+        finally:
+            group.finished.set()
+            for writer in writers:
+                await close_writer(writer)
+            if backend_writer is not None:
+                await close_writer(backend_writer)
+
+    async def _gather_requests(
+        self,
+        readers: list[asyncio.StreamReader],
+        states: list[object],
+    ) -> list[bytes | None] | None:
+        """One request from every instance, or ``None`` on timeout."""
+
+        async def read_one(reader: asyncio.StreamReader, state: object) -> bytes | None:
+            return await self.protocol.read_client_message(reader, state)
+
+        tasks = [
+            asyncio.ensure_future(read_one(reader, state))
+            for reader, state in zip(readers, states)
+        ]
+        # An idle group is benign: wait indefinitely for the *first*
+        # instance to speak (or hang up).  Once one has, the rest must
+        # follow within the exchange timeout — a missing request is the
+        # smuggling/divergence signature.
+        await asyncio.wait(tasks, return_when=asyncio.FIRST_COMPLETED)
+        remaining = [task for task in tasks if not task.done()]
+        if remaining:
+            _, pending = await asyncio.wait(
+                remaining, timeout=self.config.exchange_timeout
+            )
+            if pending:
+                for task in pending:
+                    task.cancel()
+                await asyncio.gather(*pending, return_exceptions=True)
+                self.metrics.timeouts += 1
+                return None
+        return [task.result() for task in tasks]
+
+    def _analyse(self, requests: list[bytes], exchange: int) -> str | None:
+        raw_tokens = [self.protocol.tokenize(request) for request in requests]
+        tokens = self._variance.mask_streams(raw_tokens)
+        mask = self._denoiser.mask_for(tokens)
+        if mask.token_ranges or mask.tail_from is not None:
+            self.metrics.noise_filtered_tokens += len(mask.token_ranges)
+            self.events.record(
+                ev.NOISE_FILTERED,
+                f"{len(mask.token_ranges)} token(s) masked",
+                proxy=self.name,
+                exchange=exchange,
+            )
+        result = diff_tokens(tokens, mask)
+        if result.divergent:
+            self.metrics.divergences += 1
+            return result.reason
+        return None
+
+    async def _record_block(self, group_index: int, reason: str) -> None:
+        self.metrics.exchanges_blocked += 1
+        self.events.record(
+            ev.DIVERGENCE, f"group {group_index}: {reason}", proxy=self.name
+        )

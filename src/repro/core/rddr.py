@@ -1,0 +1,128 @@
+"""RDDR deployment wiring: one protected microservice, N instances.
+
+Start order matters: outgoing proxies must exist *before* the instances
+(instances are configured with their per-instance backend address, which
+is an outgoing-proxy port), and the incoming proxy starts last, once all
+instance addresses are known.  :class:`RddrDeployment` walks callers
+through that order and shares one event log and metrics across the
+deployment's proxies, matching Figure 2 of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.config import RddrConfig
+from repro.core.events import EventLog
+from repro.core.incoming import IncomingRequestProxy
+from repro.core.metrics import ProxyMetrics
+from repro.core.outgoing import OutgoingRequestProxy
+from repro.protocols import get_protocol
+from repro.protocols.base import ProtocolModule
+
+Address = tuple[str, int]
+
+
+@dataclass
+class RddrDeployment:
+    """One protected microservice: its proxies, events, and metrics."""
+
+    name: str
+    config: RddrConfig = field(default_factory=RddrConfig)
+    host: str = "127.0.0.1"
+    events: EventLog = field(default_factory=EventLog)
+    incoming: IncomingRequestProxy | None = None
+    outgoing: dict[str, OutgoingRequestProxy] = field(default_factory=dict)
+    incoming_metrics: ProxyMetrics = field(default_factory=ProxyMetrics)
+
+    def _protocol(self, override: str | None = None) -> ProtocolModule:
+        return get_protocol(override or self.config.protocol)
+
+    # ------------------------------------------------------------ outgoing
+
+    async def add_outgoing_proxy(
+        self,
+        backend_name: str,
+        backend: Address,
+        instance_count: int,
+        *,
+        protocol: str | None = None,
+        config: RddrConfig | None = None,
+    ) -> OutgoingRequestProxy:
+        """Guard one backend the protected microservice talks to.
+
+        Returns the proxy; instance *i* must be configured to reach the
+        backend at ``proxy.address_for_instance(i)``.
+        """
+        if backend_name in self.outgoing:
+            raise ValueError(f'outgoing proxy "{backend_name}" already exists')
+        proxy = OutgoingRequestProxy(
+            backend=backend,
+            instance_count=instance_count,
+            protocol=self._protocol(protocol),
+            config=config or self.config,
+            host=self.host,
+            name=f"{self.name}-out-{backend_name}",
+            event_log=self.events,
+        )
+        await proxy.start()
+        self.outgoing[backend_name] = proxy
+        return proxy
+
+    # ------------------------------------------------------------ incoming
+
+    async def start_incoming_proxy(
+        self,
+        instances: list[Address],
+        *,
+        port: int = 0,
+        protocol: str | None = None,
+        server_ssl=None,
+        instance_ssl=None,
+    ) -> IncomingRequestProxy:
+        """Start the client-facing proxy over the N running instances."""
+        if self.incoming is not None:
+            raise ValueError("incoming proxy already started")
+        self.incoming = IncomingRequestProxy(
+            instances=instances,
+            protocol=self._protocol(protocol),
+            config=self.config,
+            host=self.host,
+            port=port,
+            name=f"{self.name}-in",
+            event_log=self.events,
+            metrics=self.incoming_metrics,
+            server_ssl=server_ssl,
+            instance_ssl=instance_ssl,
+        )
+        await self.incoming.start()
+        return self.incoming
+
+    # ------------------------------------------------------------ queries
+
+    @property
+    def address(self) -> Address:
+        """The client-facing address of the protected microservice."""
+        if self.incoming is None:
+            raise RuntimeError("incoming proxy not started")
+        return self.incoming.address
+
+    def divergences(self) -> list:
+        return self.events.divergences()
+
+    @property
+    def intervened(self) -> bool:
+        """Did RDDR block anything since the deployment started?"""
+        return bool(self.events.divergences())
+
+    async def close(self) -> None:
+        if self.incoming is not None:
+            await self.incoming.close()
+        for proxy in self.outgoing.values():
+            await proxy.close()
+
+    async def __aenter__(self) -> "RddrDeployment":
+        return self
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.close()

@@ -1,0 +1,98 @@
+"""Automated divergence-signature generation (paper section IV-D).
+
+The paper's limitations section notes that an attacker who has found a
+diverging input can re-send it repeatedly, turning every attempt into an
+N-instance round trip plus connection teardown — a denial-of-service
+amplifier.  The proposed mitigation is automated signature generation
+(citing Jones et al.'s self-managing N-variant work): remember what a
+diverging request looked like and drop look-alikes *before* replication.
+
+:class:`SignatureStore` implements that: when an exchange diverges, the
+triggering request is normalized into a :class:`DivergenceSignature` —
+its token skeleton with long alphanumeric runs (session ids, CSRF
+tokens, random payload filler) wildcarded so the signature generalises
+across the attacker's per-request randomness — and subsequent requests
+matching a stored signature are rejected immediately.
+"""
+
+from __future__ import annotations
+
+import re
+import time
+from dataclasses import dataclass, field
+
+#: Alphanumeric runs at least this long are wildcarded during
+#: normalization (same order as the CSRF detector's threshold: they are
+#: the parts attackers and frameworks randomise per request).
+WILDCARD_RUN_LENGTH = 8
+
+_RUN_RE = re.compile(rb"[A-Za-z0-9]{%d,}" % WILDCARD_RUN_LENGTH)
+_WILDCARD = b"\x00*\x00"
+
+
+def normalize_request(request: bytes) -> bytes:
+    """The signature key for a request: long alnum runs wildcarded."""
+    return _RUN_RE.sub(_WILDCARD, request)
+
+
+@dataclass(frozen=True)
+class DivergenceSignature:
+    """A remembered diverging request pattern."""
+
+    pattern: bytes
+    reason: str
+    created_at: float
+
+    def matches(self, request: bytes) -> bool:
+        return normalize_request(request) == self.pattern
+
+
+@dataclass
+class SignatureStore:
+    """Learned signatures plus hit accounting.
+
+    ``max_signatures`` bounds memory (oldest evicted first); ``ttl``
+    ages signatures out so a patched deployment stops penalising inputs
+    that once diverged (``None`` disables expiry).
+    """
+
+    max_signatures: int = 256
+    ttl: float | None = None
+    _signatures: dict[bytes, DivergenceSignature] = field(default_factory=dict)
+    hits: int = 0
+    _clock = staticmethod(time.monotonic)
+
+    def learn(self, request: bytes, reason: str) -> DivergenceSignature:
+        """Record the signature of a diverging request."""
+        pattern = normalize_request(request)
+        signature = DivergenceSignature(
+            pattern=pattern, reason=reason, created_at=self._clock()
+        )
+        self._signatures[pattern] = signature
+        while len(self._signatures) > self.max_signatures:
+            oldest = min(self._signatures.values(), key=lambda s: s.created_at)
+            del self._signatures[oldest.pattern]
+        return signature
+
+    def match(self, request: bytes) -> DivergenceSignature | None:
+        """The stored signature this request matches, if any."""
+        self._expire()
+        signature = self._signatures.get(normalize_request(request))
+        if signature is not None:
+            self.hits += 1
+        return signature
+
+    def _expire(self) -> None:
+        if self.ttl is None:
+            return
+        now = self._clock()
+        expired = [
+            pattern
+            for pattern, signature in self._signatures.items()
+            if now - signature.created_at > self.ttl
+        ]
+        for pattern in expired:
+            del self._signatures[pattern]
+
+    def __len__(self) -> int:
+        return len(self._signatures)

@@ -1,0 +1,91 @@
+"""Known-variance masking (paper section IV-B4).
+
+Some divergence is *deterministic* and benign: version strings when
+running version diversity, vendor banners when running implementation
+diversity.  Operators declare these via configuration as regex rules;
+matching substrings are replaced with a fixed placeholder in every
+instance's tokens before diffing, so they can never register as
+divergence.
+
+The paper implements this for the PostgreSQL plugin only; here every
+protocol module applies the same rule engine.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+_PLACEHOLDER = b"\x00VARIANT\x00"
+
+
+@dataclass(frozen=True)
+class VarianceRule:
+    """One configured source of benign deterministic divergence."""
+
+    pattern: str
+    replacement: bytes = _PLACEHOLDER
+    description: str = ""
+
+    def compiled(self) -> re.Pattern[bytes]:
+        return _compile(self.pattern)
+
+
+_COMPILED_CACHE: dict[str, re.Pattern[bytes]] = {}
+
+
+def _compile(pattern: str) -> re.Pattern[bytes]:
+    compiled = _COMPILED_CACHE.get(pattern)
+    if compiled is None:
+        compiled = re.compile(pattern.encode("utf-8"), re.DOTALL)
+        if len(_COMPILED_CACHE) > 512:
+            _COMPILED_CACHE.clear()
+        _COMPILED_CACHE[pattern] = compiled
+    return compiled
+
+
+class VarianceMasker:
+    """Applies the configured rules to token streams."""
+
+    def __init__(self, rules: list[VarianceRule] | None = None) -> None:
+        self.rules = list(rules or [])
+
+    def add_rule(self, rule: VarianceRule) -> None:
+        self.rules.append(rule)
+
+    def mask_token(self, token: bytes) -> bytes:
+        for rule in self.rules:
+            token = rule.compiled().sub(rule.replacement, token)
+        return token
+
+    def mask_stream(self, tokens: list[bytes]) -> list[bytes]:
+        if not self.rules:
+            return tokens
+        return [self.mask_token(token) for token in tokens]
+
+    def mask_streams(self, streams: list[list[bytes]]) -> list[list[bytes]]:
+        if not self.rules:
+            return streams
+        return [self.mask_stream(stream) for stream in streams]
+
+
+#: Rules most deployments of version-diverse databases need, provided as
+#: a convenience (the operator still opts in through configuration).
+POSTGRES_VERSION_RULES = [
+    VarianceRule(
+        pattern=r"PostgreSQL \d+[0-9.]*",
+        description="PostgreSQL version banners (SELECT version(), SHOW)",
+    ),
+    VarianceRule(
+        pattern=r"server_version\x00[0-9.]+",
+        description="server_version ParameterStatus payload",
+    ),
+]
+
+#: Rules for diverse HTTP server implementations (Server: headers).
+HTTP_SERVER_HEADER_RULES = [
+    VarianceRule(
+        pattern=r"(?i)server: [^\r\n]+",
+        description="Server response header differs across implementations",
+    ),
+]

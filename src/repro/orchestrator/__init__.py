@@ -1,0 +1,34 @@
+"""In-process container orchestration (the Kubernetes substitute).
+
+Deployments of replicated — possibly diverse — pods, with service-name
+resolution, scaling, and symmetric teardown.
+"""
+
+from repro.orchestrator.cluster import Cluster, ClusterError
+from repro.orchestrator.nversion import (
+    NVersionedService,
+    deploy_nversioned,
+    parse_backend_env,
+)
+from repro.orchestrator.resources import (
+    DeploymentSpec,
+    Pod,
+    PodContext,
+    PodFactory,
+    PodRuntime,
+    ServiceSpec,
+)
+
+__all__ = [
+    "Cluster",
+    "ClusterError",
+    "NVersionedService",
+    "deploy_nversioned",
+    "parse_backend_env",
+    "DeploymentSpec",
+    "Pod",
+    "PodContext",
+    "PodFactory",
+    "PodRuntime",
+    "ServiceSpec",
+]

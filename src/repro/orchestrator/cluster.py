@@ -1,0 +1,138 @@
+"""The in-process cluster: applies specs, tracks pods, resolves services."""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.orchestrator.resources import (
+    DeploymentSpec,
+    Pod,
+    PodContext,
+    PodFactory,
+    ServiceSpec,
+)
+from repro.transport.ports import PortAllocator
+
+
+class ClusterError(Exception):
+    """Invalid cluster operation (unknown deployment, duplicate name...)."""
+
+
+class Cluster:
+    """Runs deployments of in-process pods and resolves service names.
+
+    The equivalent of the Kubernetes control plane for this repository:
+    every evaluation deployment (Table I scenarios, the GitLab composite,
+    the performance benchmarks) is stood up through one of these.
+    """
+
+    def __init__(self, host: str = "127.0.0.1") -> None:
+        self.host = host
+        self.ports = PortAllocator(host)
+        self._deployments: dict[str, DeploymentSpec] = {}
+        self._pods: dict[str, list[Pod]] = {}
+        self._services: dict[str, ServiceSpec] = {}
+
+    # ------------------------------------------------------------- apply
+
+    async def apply_deployment(self, spec: DeploymentSpec) -> list[Pod]:
+        """Start every replica of ``spec`` and return the running pods."""
+        if spec.name in self._deployments:
+            raise ClusterError(f'deployment "{spec.name}" already exists')
+        self._deployments[spec.name] = spec
+        self._pods[spec.name] = []
+        try:
+            for index, factory in enumerate(spec.factories):
+                await self._start_pod(spec, index, factory)
+        except Exception:
+            await self.delete_deployment(spec.name)
+            raise
+        return list(self._pods[spec.name])
+
+    async def _start_pod(self, spec: DeploymentSpec, index: int, factory: PodFactory) -> Pod:
+        port = self.ports.allocate()
+        context = PodContext(
+            deployment=spec.name,
+            index=index,
+            host=self.host,
+            port=port,
+            env=dict(spec.env),
+        )
+        runtime = await factory(context)
+        pod = Pod(
+            name=f"{spec.name}-{index}",
+            deployment=spec.name,
+            index=index,
+            address=runtime.address,
+            runtime=runtime,
+        )
+        self._pods[spec.name].append(pod)
+        return pod
+
+    def apply_service(self, spec: ServiceSpec) -> None:
+        if spec.deployment not in self._deployments:
+            raise ClusterError(f'service "{spec.name}" targets unknown deployment')
+        self._services[spec.name] = spec
+
+    # -------------------------------------------------------------- query
+
+    def pods(self, deployment: str) -> list[Pod]:
+        try:
+            return list(self._pods[deployment])
+        except KeyError:
+            raise ClusterError(f'unknown deployment "{deployment}"') from None
+
+    def deployments(self) -> list[str]:
+        return list(self._deployments)
+
+    def resolve(self, service: str) -> list[tuple[str, int]]:
+        """Service discovery: addresses behind a service name."""
+        spec = self._services.get(service)
+        if spec is None:
+            raise ClusterError(f'unknown service "{service}"')
+        return [pod.address for pod in self.pods(spec.deployment)]
+
+    def resolve_one(self, service: str) -> tuple[str, int]:
+        """The single address of a one-pod service."""
+        addresses = self.resolve(service)
+        if len(addresses) != 1:
+            raise ClusterError(
+                f'service "{service}" has {len(addresses)} pods, expected 1'
+            )
+        return addresses[0]
+
+    # -------------------------------------------------------------- scale
+
+    async def scale(self, deployment: str, replicas: int) -> list[Pod]:
+        """Grow or shrink a homogeneous deployment to ``replicas`` pods."""
+        spec = self._deployments.get(deployment)
+        if spec is None:
+            raise ClusterError(f'unknown deployment "{deployment}"')
+        pods = self._pods[deployment]
+        while len(pods) > replicas:
+            pod = pods.pop()
+            await pod.runtime.close()
+        template = spec.factories[0]
+        while len(pods) < replicas:
+            await self._start_pod(spec, len(pods), template)
+        return list(pods)
+
+    async def delete_deployment(self, deployment: str) -> None:
+        pods = self._pods.pop(deployment, [])
+        self._deployments.pop(deployment, None)
+        for service in [s for s, spec in self._services.items() if spec.deployment == deployment]:
+            del self._services[service]
+        await asyncio.gather(
+            *(pod.runtime.close() for pod in pods), return_exceptions=True
+        )
+
+    async def shutdown(self) -> None:
+        """Tear down everything."""
+        for deployment in list(self._deployments):
+            await self.delete_deployment(deployment)
+
+    async def __aenter__(self) -> "Cluster":
+        return self
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.shutdown()

@@ -1,0 +1,98 @@
+"""Cluster-level N-versioning: the Kubernetes-deployment view of RDDR.
+
+The paper deploys RDDR as containers beside the protected microservice's
+replica set.  :func:`deploy_nversioned` is that operation for the
+in-process cluster: given the per-replica pod factories (the diversity
+axis) it stands up, in the required order,
+
+1. one outgoing proxy per named backend (instances must be born knowing
+   their backend address, which is an outgoing-proxy port),
+2. the N instance pods (each factory sees ``backend_<name>`` entries in
+   ``context.env`` with *its* per-instance proxy address), and
+3. the client-facing incoming proxy,
+
+returning the :class:`~repro.core.rddr.RddrDeployment` plus the pods.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import RddrConfig
+from repro.core.rddr import RddrDeployment
+from repro.orchestrator.cluster import Cluster
+from repro.orchestrator.resources import DeploymentSpec, Pod, PodContext, PodFactory
+
+Address = tuple[str, int]
+
+
+@dataclass
+class NVersionedService:
+    """A protected microservice running under cluster management."""
+
+    name: str
+    rddr: RddrDeployment
+    pods: list[Pod]
+
+    @property
+    def address(self) -> Address:
+        """Where clients reach the protected service (the RDDR proxy)."""
+        return self.rddr.address
+
+    async def close(self) -> None:
+        await self.rddr.close()
+
+
+def _with_backend_env(factory: PodFactory, rddr: RddrDeployment) -> PodFactory:
+    async def wrapped(context: PodContext):
+        for backend_name, proxy in rddr.outgoing.items():
+            host, port = proxy.address_for_instance(context.index)
+            context.env[f"backend_{backend_name}"] = f"{host}:{port}"
+        return await factory(context)
+
+    return wrapped
+
+
+def parse_backend_env(context: PodContext, backend_name: str) -> Address:
+    """Read a backend address injected by :func:`deploy_nversioned`."""
+    value = context.env[f"backend_{backend_name}"]
+    host, _, port = value.rpartition(":")
+    return host, int(port)
+
+
+async def deploy_nversioned(
+    cluster: Cluster,
+    name: str,
+    factories: list[PodFactory],
+    *,
+    config: RddrConfig | None = None,
+    backends: dict[str, Address] | None = None,
+    backend_protocol: str | None = None,
+) -> NVersionedService:
+    """Stand up a protected microservice on ``cluster``.
+
+    ``factories`` is one pod factory per instance — pass different
+    factories to express version/vendor diversity.  ``backends`` maps
+    backend names to real backend addresses; each gets an outgoing proxy.
+    """
+    if len(factories) < 2:
+        raise ValueError("N-versioning requires at least 2 instances")
+    rddr = RddrDeployment(name, config or RddrConfig())
+    try:
+        for backend_name, address in (backends or {}).items():
+            await rddr.add_outgoing_proxy(
+                backend_name,
+                address,
+                instance_count=len(factories),
+                protocol=backend_protocol,
+            )
+        spec = DeploymentSpec(
+            name=name,
+            factories=[_with_backend_env(factory, rddr) for factory in factories],
+        )
+        pods = await cluster.apply_deployment(spec)
+        await rddr.start_incoming_proxy([pod.address for pod in pods])
+    except Exception:
+        await rddr.close()
+        raise
+    return NVersionedService(name=name, rddr=rddr, pods=pods)

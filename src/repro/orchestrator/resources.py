@@ -1,0 +1,91 @@
+"""Orchestrator resource model: containers, deployments, services.
+
+A deliberately Kubernetes-shaped API (Deployments own replicated Pods;
+Services give them stable names) reduced to what RDDR consumes: the
+ability to start N — possibly *diverse* — instances of a microservice and
+address them.  Pods are in-process asyncio servers rather than containers;
+the lifecycle contract (start, address, close) is the same.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Awaitable, Callable, Protocol
+
+
+class PodRuntime(Protocol):
+    """What a running pod must expose.  Matched by HttpServer,
+    PgWireServer, the RDDR proxies, and every app server in the repo."""
+
+    @property
+    def address(self) -> tuple[str, int]: ...
+
+    async def close(self) -> None: ...
+
+
+@dataclass
+class PodContext:
+    """Everything a pod factory gets to know about its placement."""
+
+    deployment: str
+    index: int
+    host: str
+    port: int
+    env: dict[str, str] = field(default_factory=dict)
+
+
+#: Builds and starts one pod.  The factory must bind to ``context.host`` /
+#: ``context.port`` (the cluster pre-allocates the port).
+PodFactory = Callable[[PodContext], Awaitable[PodRuntime]]
+
+
+@dataclass
+class DeploymentSpec:
+    """N replicas of a microservice.
+
+    ``factories`` has one entry per replica, which is how version/vendor
+    diversity is expressed (e.g. two postsim-10.7 pods and one 10.9 pod).
+    A homogeneous deployment passes the same factory N times via
+    :meth:`homogeneous`.
+    """
+
+    name: str
+    factories: list[PodFactory]
+    env: dict[str, str] = field(default_factory=dict)
+
+    @classmethod
+    def homogeneous(
+        cls, name: str, factory: PodFactory, replicas: int, **env: str
+    ) -> "DeploymentSpec":
+        return cls(name=name, factories=[factory] * replicas, env=dict(env))
+
+    @property
+    def replicas(self) -> int:
+        return len(self.factories)
+
+
+@dataclass
+class ServiceSpec:
+    """A stable name resolving to a deployment's pods."""
+
+    name: str
+    deployment: str
+
+
+@dataclass
+class Pod:
+    """A running pod."""
+
+    name: str
+    deployment: str
+    index: int
+    address: tuple[str, int]
+    runtime: PodRuntime
+
+    @property
+    def host(self) -> str:
+        return self.address[0]
+
+    @property
+    def port(self) -> int:
+        return self.address[1]

@@ -1,0 +1,40 @@
+"""PostgreSQL v3 wire protocol substrate: codec, server, client."""
+
+from repro.pgwire.client import PgClient, PgError, PgNotice, PgResult, QueryOutcome
+from repro.pgwire.messages import (
+    FieldDescription,
+    ProtocolError,
+    ServerMessageFields,
+    StartupMessage,
+    WireMessage,
+    parse_data_row,
+    parse_fields,
+    parse_row_description,
+    query_message,
+    read_message,
+    read_startup,
+    split_messages,
+)
+from repro.pgwire.server import PgWireServer, serve_database
+
+__all__ = [
+    "PgClient",
+    "PgError",
+    "PgNotice",
+    "PgResult",
+    "QueryOutcome",
+    "FieldDescription",
+    "ProtocolError",
+    "ServerMessageFields",
+    "StartupMessage",
+    "WireMessage",
+    "parse_data_row",
+    "parse_fields",
+    "parse_row_description",
+    "query_message",
+    "read_message",
+    "read_startup",
+    "split_messages",
+    "PgWireServer",
+    "serve_database",
+]

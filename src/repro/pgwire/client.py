@@ -1,0 +1,185 @@
+"""A pgwire client for the simple query protocol.
+
+Used by the workloads (TPC-H, pgbench), the DVWA/GitLab apps, and tests
+to talk to vendor databases — directly or through RDDR's incoming proxy,
+which is transparent at this layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.pgwire import messages as wire
+from repro.transport.retry import open_connection_retry
+from repro.transport.streams import close_writer, drain_write
+
+
+@dataclass
+class PgNotice:
+    severity: str
+    message: str
+
+
+@dataclass
+class PgError(Exception):
+    severity: str
+    sqlstate: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.severity} ({self.sqlstate}): {self.message}"
+
+
+@dataclass
+class PgResult:
+    """One statement's result within a simple-query cycle."""
+
+    columns: list[str] = field(default_factory=list)
+    rows: list[list[str | None]] = field(default_factory=list)
+    command_tag: str = ""
+
+
+@dataclass
+class QueryOutcome:
+    """Everything returned by one Query message."""
+
+    results: list[PgResult] = field(default_factory=list)
+    notices: list[PgNotice] = field(default_factory=list)
+    error: PgError | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    @property
+    def rows(self) -> list[list[str | None]]:
+        return self.results[-1].rows if self.results else []
+
+
+class PgClient:
+    """A connected pgwire session."""
+
+    def __init__(self, reader, writer, parameters: dict[str, str]) -> None:
+        self._reader = reader
+        self._writer = writer
+        self.parameters = parameters
+
+    @classmethod
+    async def connect(
+        cls, host: str, port: int, *, user: str = "postgres", database: str = "postgres"
+    ) -> "PgClient":
+        reader, writer = await open_connection_retry(host, port)
+        startup = wire.StartupMessage(parameters={"user": user, "database": database})
+        writer.write(startup.encode())
+        await drain_write(writer)
+        parameters: dict[str, str] = {}
+        while True:
+            message = await wire.read_message(reader)
+            if message.tag == b"R":
+                continue  # trust auth: AuthenticationOk
+            if message.tag == b"S":
+                name, _, value = message.body.rstrip(b"\x00").partition(b"\x00")
+                parameters[name.decode()] = value.decode()
+                continue
+            if message.tag == b"K":
+                continue
+            if message.tag == b"Z":
+                return cls(reader, writer, parameters)
+            if message.tag == b"E":
+                fields = wire.parse_fields(message)
+                raise PgError(fields.severity, fields.sqlstate, fields.message)
+            raise wire.ProtocolError(f"unexpected startup message {message.tag!r}")
+
+    async def query(self, sql: str) -> QueryOutcome:
+        """Send one Query message and collect the full response cycle."""
+        self._writer.write(wire.query_message(sql).encode())
+        await drain_write(self._writer)
+        outcome = QueryOutcome()
+        current: PgResult | None = None
+        while True:
+            message = await wire.read_message(self._reader)
+            tag = message.tag
+            if tag == b"T":
+                current = PgResult(
+                    columns=[f.name for f in wire.parse_row_description(message)]
+                )
+            elif tag == b"D":
+                if current is None:
+                    current = PgResult()
+                current.rows.append(wire.parse_data_row(message))
+            elif tag == b"C":
+                if current is None:
+                    current = PgResult()
+                current.command_tag = message.body.rstrip(b"\x00").decode()
+                outcome.results.append(current)
+                current = None
+            elif tag == b"N":
+                fields = wire.parse_fields(message)
+                outcome.notices.append(PgNotice(fields.severity, fields.message))
+            elif tag == b"E":
+                fields = wire.parse_fields(message)
+                outcome.error = PgError(fields.severity, fields.sqlstate, fields.message)
+            elif tag == b"I":
+                outcome.results.append(PgResult(command_tag="EMPTY"))
+            elif tag == b"Z":
+                return outcome
+            else:
+                raise wire.ProtocolError(f"unexpected message {tag!r} in query cycle")
+
+    async def execute_prepared(
+        self, sql: str, params: list[str | None]
+    ) -> QueryOutcome:
+        """Run one parameterized statement via the extended protocol.
+
+        Sends Parse/Bind/Execute/Sync with text-format parameters and
+        collects the pipelined response.  Rows arrive without column
+        names (this server answers Describe with NoData).
+        """
+        self._writer.write(wire.parse_message("", sql).encode())
+        self._writer.write(wire.bind_message("", "", params).encode())
+        self._writer.write(wire.execute_message("").encode())
+        self._writer.write(wire.sync_message().encode())
+        await drain_write(self._writer)
+        outcome = QueryOutcome()
+        current: PgResult | None = None
+        while True:
+            message = await wire.read_message(self._reader)
+            tag = message.tag
+            if tag in (b"1", b"2", b"3", b"n", b"t", b"T"):
+                continue  # pipeline acknowledgements / descriptions
+            if tag == b"D":
+                if current is None:
+                    current = PgResult()
+                current.rows.append(wire.parse_data_row(message))
+            elif tag == b"C":
+                if current is None:
+                    current = PgResult()
+                current.command_tag = message.body.rstrip(b"\x00").decode()
+                outcome.results.append(current)
+                current = None
+            elif tag == b"N":
+                fields = wire.parse_fields(message)
+                outcome.notices.append(PgNotice(fields.severity, fields.message))
+            elif tag == b"E":
+                fields = wire.parse_fields(message)
+                outcome.error = PgError(fields.severity, fields.sqlstate, fields.message)
+            elif tag == b"Z":
+                return outcome
+            else:
+                raise wire.ProtocolError(
+                    f"unexpected message {tag!r} in extended-query cycle"
+                )
+
+    async def close(self) -> None:
+        try:
+            self._writer.write(wire.terminate_message().encode())
+            await drain_write(self._writer)
+        except Exception:
+            pass
+        await close_writer(self._writer)
+
+    async def __aenter__(self) -> "PgClient":
+        return self
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.close()

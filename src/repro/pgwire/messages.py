@@ -1,0 +1,366 @@
+"""PostgreSQL v3 wire protocol message codec.
+
+Implements the subset of the protocol the paper's evaluation exercises:
+startup (with SSLRequest refusal), trust authentication, the simple query
+cycle (Query / RowDescription / DataRow / CommandComplete / ReadyForQuery),
+ErrorResponse, and NoticeResponse — the channel both CVE exploits leak on.
+
+Framing follows the official message format documentation (chapter 52.7
+of the PostgreSQL manual, which the paper cites as [1]): a one-byte type
+tag (absent for startup-phase messages) followed by a big-endian int32
+length that includes itself.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import struct
+from dataclasses import dataclass, field
+
+from repro.transport.streams import ConnectionClosed, read_exact
+
+PROTOCOL_VERSION = 196608  # 3.0
+SSL_REQUEST_CODE = 80877103
+CANCEL_REQUEST_CODE = 80877102
+
+_INT32 = struct.Struct(">i")
+_INT16 = struct.Struct(">h")
+
+#: Largest frame the codec will accept (matches real servers' sanity caps).
+MAX_MESSAGE_SIZE = 64 * 1024 * 1024
+
+
+class ProtocolError(Exception):
+    """The byte stream violates the wire protocol."""
+
+
+# --------------------------------------------------------------------------
+# Front-end (client -> server) startup-phase messages
+
+
+@dataclass
+class StartupMessage:
+    parameters: dict[str, str]
+
+    def encode(self) -> bytes:
+        payload = _INT32.pack(PROTOCOL_VERSION)
+        for key, value in self.parameters.items():
+            payload += key.encode() + b"\x00" + value.encode() + b"\x00"
+        payload += b"\x00"
+        return _INT32.pack(len(payload) + 4) + payload
+
+
+@dataclass
+class SslRequest:
+    def encode(self) -> bytes:
+        return _INT32.pack(8) + _INT32.pack(SSL_REQUEST_CODE)
+
+
+async def read_startup(reader: asyncio.StreamReader) -> StartupMessage | SslRequest:
+    """Read the first (untyped) message of a connection."""
+    (length,) = _INT32.unpack(await read_exact(reader, 4))
+    if length < 8 or length > MAX_MESSAGE_SIZE:
+        raise ProtocolError(f"bad startup length {length}")
+    payload = await read_exact(reader, length - 4)
+    (code,) = _INT32.unpack(payload[:4])
+    if code == SSL_REQUEST_CODE:
+        return SslRequest()
+    if code != PROTOCOL_VERSION:
+        raise ProtocolError(f"unsupported protocol version {code}")
+    parameters: dict[str, str] = {}
+    rest = payload[4:]
+    parts = rest.split(b"\x00")
+    for i in range(0, len(parts) - 1, 2):
+        if parts[i] == b"":
+            break
+        parameters[parts[i].decode()] = parts[i + 1].decode()
+    return StartupMessage(parameters=parameters)
+
+
+# --------------------------------------------------------------------------
+# Typed messages (both directions)
+
+
+@dataclass
+class WireMessage:
+    """A raw typed message: tag byte plus body."""
+
+    tag: bytes  # single byte
+    body: bytes
+
+    def encode(self) -> bytes:
+        return self.tag + _INT32.pack(len(self.body) + 4) + self.body
+
+
+async def read_message(reader: asyncio.StreamReader) -> WireMessage:
+    tag = await read_exact(reader, 1)
+    (length,) = _INT32.unpack(await read_exact(reader, 4))
+    if length < 4 or length > MAX_MESSAGE_SIZE:
+        raise ProtocolError(f"bad message length {length} for tag {tag!r}")
+    body = await read_exact(reader, length - 4)
+    return WireMessage(tag=tag, body=body)
+
+
+def split_messages(data: bytes) -> tuple[list[WireMessage], bytes]:
+    """Split a buffer into complete typed messages plus the unparsed tail.
+
+    Used by RDDR's pgwire protocol module to tokenize captured traffic.
+    """
+    messages: list[WireMessage] = []
+    offset = 0
+    while offset + 5 <= len(data):
+        tag = data[offset : offset + 1]
+        (length,) = _INT32.unpack(data[offset + 1 : offset + 5])
+        if length < 4 or length > MAX_MESSAGE_SIZE:
+            raise ProtocolError(f"bad message length {length} in buffer")
+        end = offset + 1 + length
+        if end > len(data):
+            break
+        messages.append(WireMessage(tag=tag, body=data[offset + 5 : end]))
+        offset = end
+    return messages, data[offset:]
+
+
+# --------------------------------------------------------------------------
+# Concrete message constructors / parsers
+
+
+def query_message(sql: str) -> WireMessage:
+    return WireMessage(tag=b"Q", body=sql.encode() + b"\x00")
+
+
+def parse_query(message: WireMessage) -> str:
+    if message.tag != b"Q":
+        raise ProtocolError(f"expected Query, got {message.tag!r}")
+    return message.body.rstrip(b"\x00").decode()
+
+
+def terminate_message() -> WireMessage:
+    return WireMessage(tag=b"X", body=b"")
+
+
+# --------------------------------------------------------------------------
+# Extended query protocol (Parse / Bind / Execute / Sync)
+
+
+def parse_message(statement_name: str, sql: str) -> WireMessage:
+    """Frontend Parse: name a prepared statement (no parameter OIDs)."""
+    body = statement_name.encode() + b"\x00" + sql.encode() + b"\x00" + _INT16.pack(0)
+    return WireMessage(tag=b"P", body=body)
+
+
+def decode_parse(message: WireMessage) -> tuple[str, str]:
+    if message.tag != b"P":
+        raise ProtocolError(f"expected Parse, got {message.tag!r}")
+    name_end = message.body.index(b"\x00")
+    sql_end = message.body.index(b"\x00", name_end + 1)
+    return (
+        message.body[:name_end].decode(),
+        message.body[name_end + 1 : sql_end].decode(),
+    )
+
+
+def bind_message(
+    portal: str, statement_name: str, params: list[str | None]
+) -> WireMessage:
+    """Frontend Bind: text-format parameters only."""
+    body = portal.encode() + b"\x00" + statement_name.encode() + b"\x00"
+    body += _INT16.pack(0)  # all parameters in text format
+    body += _INT16.pack(len(params))
+    for param in params:
+        if param is None:
+            body += _INT32.pack(-1)
+        else:
+            encoded = param.encode()
+            body += _INT32.pack(len(encoded)) + encoded
+    body += _INT16.pack(0)  # all results in text format
+    return WireMessage(tag=b"B", body=body)
+
+
+def decode_bind(message: WireMessage) -> tuple[str, str, list[str | None]]:
+    if message.tag != b"B":
+        raise ProtocolError(f"expected Bind, got {message.tag!r}")
+    body = message.body
+    portal_end = body.index(b"\x00")
+    statement_end = body.index(b"\x00", portal_end + 1)
+    portal = body[:portal_end].decode()
+    statement = body[portal_end + 1 : statement_end].decode()
+    offset = statement_end + 1
+    (format_count,) = _INT16.unpack(body[offset : offset + 2])
+    offset += 2 + 2 * format_count
+    (param_count,) = _INT16.unpack(body[offset : offset + 2])
+    offset += 2
+    params: list[str | None] = []
+    for _ in range(param_count):
+        (length,) = _INT32.unpack(body[offset : offset + 4])
+        offset += 4
+        if length == -1:
+            params.append(None)
+        else:
+            params.append(body[offset : offset + length].decode())
+            offset += length
+    return portal, statement, params
+
+
+def execute_message(portal: str = "", max_rows: int = 0) -> WireMessage:
+    return WireMessage(tag=b"E", body=portal.encode() + b"\x00" + _INT32.pack(max_rows))
+
+
+def decode_execute(message: WireMessage) -> str:
+    if message.tag != b"E":
+        raise ProtocolError(f"expected Execute, got {message.tag!r}")
+    return message.body[: message.body.index(b"\x00")].decode()
+
+
+def sync_message() -> WireMessage:
+    return WireMessage(tag=b"S", body=b"")
+
+
+def parse_complete() -> WireMessage:
+    return WireMessage(tag=b"1", body=b"")
+
+
+def bind_complete() -> WireMessage:
+    return WireMessage(tag=b"2", body=b"")
+
+
+def no_data() -> WireMessage:
+    return WireMessage(tag=b"n", body=b"")
+
+
+def authentication_ok() -> WireMessage:
+    return WireMessage(tag=b"R", body=_INT32.pack(0))
+
+
+def parameter_status(name: str, value: str) -> WireMessage:
+    return WireMessage(tag=b"S", body=name.encode() + b"\x00" + value.encode() + b"\x00")
+
+
+def backend_key_data(pid: int, secret: int) -> WireMessage:
+    return WireMessage(tag=b"K", body=_INT32.pack(pid) + _INT32.pack(secret))
+
+
+def ready_for_query(status: bytes = b"I") -> WireMessage:
+    return WireMessage(tag=b"Z", body=status)
+
+
+def command_complete(tag_text: str) -> WireMessage:
+    return WireMessage(tag=b"C", body=tag_text.encode() + b"\x00")
+
+
+def empty_query_response() -> WireMessage:
+    return WireMessage(tag=b"I", body=b"")
+
+
+@dataclass
+class FieldDescription:
+    name: str
+    type_oid: int = 25  # text
+
+
+def row_description(fields: list[FieldDescription]) -> WireMessage:
+    body = _INT16.pack(len(fields))
+    for field_ in fields:
+        body += field_.name.encode() + b"\x00"
+        body += _INT32.pack(0)  # table oid
+        body += _INT16.pack(0)  # attribute number
+        body += _INT32.pack(field_.type_oid)
+        body += _INT16.pack(-1)  # type length
+        body += _INT32.pack(-1)  # type modifier
+        body += _INT16.pack(0)  # text format
+    return WireMessage(tag=b"T", body=body)
+
+
+def parse_row_description(message: WireMessage) -> list[FieldDescription]:
+    if message.tag != b"T":
+        raise ProtocolError(f"expected RowDescription, got {message.tag!r}")
+    body = message.body
+    (count,) = _INT16.unpack(body[:2])
+    fields: list[FieldDescription] = []
+    offset = 2
+    for _ in range(count):
+        end = body.index(b"\x00", offset)
+        name = body[offset:end].decode()
+        offset = end + 1
+        (type_oid,) = _INT32.unpack(body[offset + 6 : offset + 10])
+        offset += 18
+        fields.append(FieldDescription(name=name, type_oid=type_oid))
+    return fields
+
+
+def data_row(values: list[str | None]) -> WireMessage:
+    body = _INT16.pack(len(values))
+    for value in values:
+        if value is None:
+            body += _INT32.pack(-1)
+        else:
+            encoded = value.encode()
+            body += _INT32.pack(len(encoded)) + encoded
+    return WireMessage(tag=b"D", body=body)
+
+
+def parse_data_row(message: WireMessage) -> list[str | None]:
+    if message.tag != b"D":
+        raise ProtocolError(f"expected DataRow, got {message.tag!r}")
+    body = message.body
+    (count,) = _INT16.unpack(body[:2])
+    values: list[str | None] = []
+    offset = 2
+    for _ in range(count):
+        (length,) = _INT32.unpack(body[offset : offset + 4])
+        offset += 4
+        if length == -1:
+            values.append(None)
+        else:
+            values.append(body[offset : offset + length].decode())
+            offset += length
+    return values
+
+
+@dataclass
+class ServerMessageFields:
+    """Decoded fields of an ErrorResponse or NoticeResponse."""
+
+    severity: str = ""
+    sqlstate: str = ""
+    message: str = ""
+    extra: dict[str, str] = field(default_factory=dict)
+
+
+def error_response(severity: str, sqlstate: str, message: str) -> WireMessage:
+    return _fields_message(b"E", severity, sqlstate, message)
+
+
+def notice_response(severity: str, message: str, sqlstate: str = "00000") -> WireMessage:
+    return _fields_message(b"N", severity, sqlstate, message)
+
+
+def _fields_message(tag: bytes, severity: str, sqlstate: str, message: str) -> WireMessage:
+    body = b"S" + severity.encode() + b"\x00"
+    body += b"V" + severity.encode() + b"\x00"
+    body += b"C" + sqlstate.encode() + b"\x00"
+    body += b"M" + message.encode() + b"\x00"
+    body += b"\x00"
+    return WireMessage(tag=tag, body=body)
+
+
+def parse_fields(message: WireMessage) -> ServerMessageFields:
+    if message.tag not in (b"E", b"N"):
+        raise ProtocolError(f"expected Error/Notice, got {message.tag!r}")
+    fields = ServerMessageFields()
+    body = message.body
+    offset = 0
+    while offset < len(body) and body[offset : offset + 1] != b"\x00":
+        code = body[offset : offset + 1].decode()
+        end = body.index(b"\x00", offset + 1)
+        value = body[offset + 1 : end].decode()
+        offset = end + 1
+        if code == "S":
+            fields.severity = value
+        elif code == "C":
+            fields.sqlstate = value
+        elif code == "M":
+            fields.message = value
+        else:
+            fields.extra[code] = value
+    return fields

@@ -1,0 +1,304 @@
+"""A pgwire server adapter: serves a :class:`repro.sqlengine.Database`.
+
+Together with the codec this is the "PostgreSQL" the rest of the repo
+deploys: the vendor layer wraps it into postsim/roachsim instances, DVWA
+and GitLab talk to it, and RDDR's pgwire protocol module diffs its bytes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import secrets
+
+from repro.pgwire import messages as wire
+from repro.sqlengine.database import Database
+from repro.sqlengine.errors import SqlError
+from repro.sqlengine.executor import QueryResult
+from repro.sqlengine.types import TYPE_OIDS
+from repro.sqlengine.types import format_value
+from repro.transport.server import ServerHandle, start_server
+from repro.transport.streams import ConnectionClosed, drain_write
+
+_backend_pids = itertools.count(1000)
+
+
+def substitute_params(sql: str, params: list[str | None]) -> str:
+    """Inline text-format parameters into ``$n`` placeholders.
+
+    Values are quoted as SQL literals (with ``''`` escaping); NULL binds
+    to the NULL keyword.  Placeholders inside string literals are left
+    untouched.  This emulation (rather than a true plan/bind split)
+    matches what connection poolers commonly do and keeps the engine's
+    single execution path.
+    """
+    out: list[str] = []
+    i = 0
+    in_string = False
+    while i < len(sql):
+        ch = sql[i]
+        if ch == "'":
+            # handle '' escapes inside literals
+            if in_string and sql[i + 1 : i + 2] == "'":
+                out.append("''")
+                i += 2
+                continue
+            in_string = not in_string
+            out.append(ch)
+            i += 1
+            continue
+        if ch == "$" and not in_string and sql[i + 1 : i + 2].isdigit():
+            j = i + 1
+            while j < len(sql) and sql[j].isdigit():
+                j += 1
+            index = int(sql[i + 1 : j]) - 1
+            if index < 0 or index >= len(params):
+                raise ValueError(f"no parameter ${sql[i + 1:j]}")
+            value = params[index]
+            if value is None:
+                out.append("NULL")
+            else:
+                escaped = value.replace("'", "''")
+                out.append(f"'{escaped}'")
+            i = j
+            continue
+        out.append(ch)
+        i += 1
+    return "".join(out)
+
+
+class PgWireServer:
+    """Serves the simple-query protocol over a Database instance."""
+
+    def __init__(
+        self,
+        database: Database,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        name: str = "pgwire",
+    ) -> None:
+        self.database = database
+        self.host = host
+        self.port = port
+        self.name = name
+        self.handle: ServerHandle | None = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        if self.handle is None:
+            raise RuntimeError("server not started")
+        return self.handle.address
+
+    async def start(self) -> ServerHandle:
+        self.handle = await start_server(
+            self._serve_connection, self.host, self.port, name=self.name
+        )
+        self.port = self.handle.port
+        return self.handle
+
+    async def close(self) -> None:
+        if self.handle is not None:
+            await self.handle.close()
+
+    # ------------------------------------------------------------------
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            startup = await wire.read_startup(reader)
+            if isinstance(startup, wire.SslRequest):
+                writer.write(b"N")  # SSL not supported on this listener
+                await drain_write(writer)
+                startup = await wire.read_startup(reader)
+                if not isinstance(startup, wire.StartupMessage):
+                    return
+            user = startup.parameters.get("user", "postgres")
+            session = self.database.create_session(user=user)
+            writer.write(wire.authentication_ok().encode())
+            writer.write(
+                wire.parameter_status(
+                    "server_version", self.database.profile.version
+                ).encode()
+            )
+            writer.write(wire.parameter_status("client_encoding", "UTF8").encode())
+            writer.write(
+                wire.backend_key_data(
+                    next(_backend_pids), secrets.randbits(31)
+                ).encode()
+            )
+            writer.write(wire.ready_for_query(b"I").encode())
+            await drain_write(writer)
+            await self._query_loop(reader, writer, session)
+        except (ConnectionClosed, wire.ProtocolError):
+            return
+
+    async def _query_loop(self, reader, writer, session) -> None:
+        # Extended-query state: prepared statements, bound portals, and
+        # the output pipeline buffered until Sync.
+        prepared: dict[str, str] = {}
+        portals: dict[str, str] = {}
+        pipeline: list[bytes] = []
+        pipeline_error = False
+        while True:
+            message = await wire.read_message(reader)
+            tag = message.tag
+            if tag == b"X":
+                return
+            if tag == b"Q":
+                sql = wire.parse_query(message)
+                if not sql.strip():
+                    writer.write(wire.empty_query_response().encode())
+                    writer.write(wire.ready_for_query(b"I").encode())
+                    await drain_write(writer)
+                    continue
+                await self._run_script(sql, writer, session)
+                continue
+            if tag == b"P":
+                if not pipeline_error:
+                    try:
+                        name, sql = wire.decode_parse(message)
+                        prepared[name] = sql
+                        pipeline.append(wire.parse_complete().encode())
+                    except (wire.ProtocolError, ValueError) as error:
+                        pipeline.append(
+                            wire.error_response("ERROR", "08P01", str(error)).encode()
+                        )
+                        pipeline_error = True
+                continue
+            if tag == b"B":
+                if not pipeline_error:
+                    try:
+                        portal, statement, params = wire.decode_bind(message)
+                        sql = prepared[statement]
+                        portals[portal] = substitute_params(sql, params)
+                        pipeline.append(wire.bind_complete().encode())
+                    except KeyError:
+                        pipeline.append(
+                            wire.error_response(
+                                "ERROR", "26000", "prepared statement does not exist"
+                            ).encode()
+                        )
+                        pipeline_error = True
+                    except (wire.ProtocolError, ValueError) as error:
+                        pipeline.append(
+                            wire.error_response("ERROR", "08P01", str(error)).encode()
+                        )
+                        pipeline_error = True
+                continue
+            if tag == b"D":
+                # Describe: this server reports NoData (clients that rely
+                # on Describe metadata should use the simple protocol).
+                if not pipeline_error:
+                    pipeline.append(wire.no_data().encode())
+                continue
+            if tag == b"E":
+                if not pipeline_error:
+                    portal = wire.decode_execute(message)
+                    sql = portals.get(portal)
+                    if sql is None:
+                        pipeline.append(
+                            wire.error_response(
+                                "ERROR", "34000", "portal does not exist"
+                            ).encode()
+                        )
+                        pipeline_error = True
+                    else:
+                        pipeline_error = not self._execute_portal(
+                            sql, pipeline, session
+                        )
+                continue
+            if tag == b"C":  # Close statement/portal: always succeeds here
+                if not pipeline_error:
+                    pipeline.append(wire.WireMessage(tag=b"3", body=b"").encode())
+                continue
+            if tag == b"S":  # Sync: flush the pipeline
+                for chunk in pipeline:
+                    writer.write(chunk)
+                pipeline.clear()
+                pipeline_error = False
+                portals.clear()
+                writer.write(wire.ready_for_query(b"I").encode())
+                await drain_write(writer)
+                continue
+            writer.write(
+                wire.error_response(
+                    "ERROR", "08P01", f"unsupported message {tag!r}"
+                ).encode()
+            )
+            writer.write(wire.ready_for_query(b"I").encode())
+            await drain_write(writer)
+
+    def _execute_portal(self, sql: str, pipeline: list[bytes], session) -> bool:
+        """Run one bound portal, appending its messages; False on error."""
+        outcomes = self.database.execute(sql, session)
+        for outcome in outcomes:
+            if self._notices_enabled(session):
+                for notice in outcome.notices:
+                    pipeline.append(
+                        wire.notice_response(notice.level, notice.message).encode()
+                    )
+            if outcome.error is not None:
+                pipeline.append(
+                    wire.error_response(
+                        "ERROR", outcome.error.sqlstate, outcome.error.message
+                    ).encode()
+                )
+                return False
+            assert outcome.result is not None
+            result = outcome.result
+            for row in result.rows:
+                rendered = [
+                    None if value is None else format_value(value) for value in row
+                ]
+                pipeline.append(wire.data_row(rendered).encode())
+            pipeline.append(wire.command_complete(result.command_tag).encode())
+        return True
+
+    async def _run_script(self, sql: str, writer, session) -> None:
+        outcomes = self.database.execute(sql, session)
+        errored = False
+        for outcome in outcomes:
+            if self._notices_enabled(session):
+                for notice in outcome.notices:
+                    writer.write(
+                        wire.notice_response(notice.level, notice.message).encode()
+                    )
+            if outcome.error is not None:
+                error = outcome.error
+                writer.write(
+                    wire.error_response("ERROR", error.sqlstate, error.message).encode()
+                )
+                errored = True
+                break
+            assert outcome.result is not None
+            self._write_result(writer, outcome.result)
+        status = b"E" if errored and session.in_transaction else b"I"
+        writer.write(wire.ready_for_query(status).encode())
+        await drain_write(writer)
+
+    def _write_result(self, writer, result: QueryResult) -> None:
+        if result.columns:
+            fields = [
+                wire.FieldDescription(name=name, type_oid=TYPE_OIDS.get(type_name, 25))
+                for name, type_name in result.columns
+            ]
+            writer.write(wire.row_description(fields).encode())
+            for row in result.rows:
+                rendered = [
+                    None if value is None else format_value(value) for value in row
+                ]
+                writer.write(wire.data_row(rendered).encode())
+        writer.write(wire.command_complete(result.command_tag).encode())
+
+    def _notices_enabled(self, session) -> bool:
+        level = session.settings.get("client_min_messages", "notice")
+        return level in ("debug", "log", "notice", "info")
+
+
+async def serve_database(database: Database, **kwargs: object) -> PgWireServer:
+    """Start a pgwire listener for ``database``."""
+    server = PgWireServer(database, **kwargs)  # type: ignore[arg-type]
+    await server.start()
+    return server

@@ -1,0 +1,32 @@
+"""Protocol modules for RDDR (paper section IV-B1).
+
+Each module implements :class:`repro.protocols.base.ProtocolModule` and
+registers itself in the shared :data:`repro.protocols.base.registry`.
+Available out of the box: ``tcp`` (line-framed), ``http``, ``json``
+(newline-delimited JSON), ``pgwire`` (PostgreSQL v3), ``resp`` (Redis RESP2 — the extensibility demo).
+"""
+
+from repro.protocols.base import ProtocolModule, ProtocolRegistry, registry
+from repro.protocols.http import HttpProtocol
+from repro.protocols.json_proto import JsonLinesProtocol
+from repro.protocols.pgwire_proto import PgWireProtocol
+from repro.protocols.resp import RespProtocol
+from repro.protocols.tcp import TcpLineProtocol
+
+
+def get_protocol(name: str, **kwargs: object) -> ProtocolModule:
+    """Instantiate a protocol module by registry name."""
+    return registry.create(name, **kwargs)
+
+
+__all__ = [
+    "ProtocolModule",
+    "ProtocolRegistry",
+    "registry",
+    "HttpProtocol",
+    "JsonLinesProtocol",
+    "PgWireProtocol",
+    "RespProtocol",
+    "TcpLineProtocol",
+    "get_protocol",
+]

@@ -1,0 +1,78 @@
+"""Protocol module interface (paper section IV-B1).
+
+Application-layer protocol support in RDDR is pluggable: a module knows
+how to (a) frame one client request and one server response out of a byte
+stream, (b) tokenize a message for diffing, and (c) produce the response
+RDDR serves when it blocks a divergent exchange.  The incoming and
+outgoing proxies are protocol-agnostic and drive everything through this
+interface, so supporting a new protocol means writing one module.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from abc import ABC, abstractmethod
+
+
+class ProtocolModule(ABC):
+    """One application-layer protocol's framing/diffing rules."""
+
+    #: Registry name, e.g. ``"http"``.
+    name: str = "abstract"
+
+    def new_connection_state(self) -> object:
+        """Per-connection mutable state (protocol phase tracking)."""
+        return None
+
+    @abstractmethod
+    async def read_client_message(
+        self, reader: asyncio.StreamReader, state: object
+    ) -> bytes | None:
+        """Read one request unit from the client side; ``None`` on EOF."""
+
+    @abstractmethod
+    async def read_server_message(
+        self, reader: asyncio.StreamReader, state: object, request: bytes
+    ) -> bytes:
+        """Read one response unit corresponding to ``request``."""
+
+    def expects_response(self, request: bytes, state: object) -> bool:
+        """Whether the server will answer ``request`` at all."""
+        return True
+
+    @abstractmethod
+    def tokenize(self, message: bytes) -> list[bytes]:
+        """Split a message into comparison tokens (lines, wire messages)."""
+
+    def canonicalize(self, message: bytes) -> bytes:
+        """Transform applied before tokenizing (e.g. gzip decompression)."""
+        return message
+
+    @abstractmethod
+    def block_response(self, message: str) -> bytes:
+        """Bytes served to the client when RDDR intervenes."""
+
+
+class ProtocolRegistry:
+    """Name -> module factory registry, extendable by users."""
+
+    def __init__(self) -> None:
+        self._factories: dict[str, type[ProtocolModule]] = {}
+
+    def register(self, cls: type[ProtocolModule]) -> type[ProtocolModule]:
+        self._factories[cls.name] = cls
+        return cls
+
+    def create(self, name: str, **kwargs: object) -> ProtocolModule:
+        try:
+            factory = self._factories[name]
+        except KeyError:
+            known = ", ".join(sorted(self._factories))
+            raise KeyError(f"unknown protocol {name!r} (known: {known})") from None
+        return factory(**kwargs)  # type: ignore[arg-type]
+
+    def names(self) -> list[str]:
+        return sorted(self._factories)
+
+
+registry = ProtocolRegistry()

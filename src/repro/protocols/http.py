@@ -1,0 +1,141 @@
+"""HTTP protocol module (paper section IV-B1).
+
+Framing uses the full HTTP/1.1 parser from :mod:`repro.web.http11`
+(Content-Length and chunked bodies).  For diffing, the module follows the
+paper: it interprets the header, decompresses gzip bodies, and tokenizes
+at the newline boundary so that lines are compared.
+
+Hop-dependent headers (``Connection``) and headers that restate what the
+body comparison already covers (``Content-Length``, ``Content-Encoding``)
+are excluded from tokens: instances legitimately differ there when only
+one compressed or when keep-alive differs, and the body tokens carry the
+security-relevant content.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+
+from repro.protocols.base import ProtocolModule, registry
+from repro.transport.streams import ConnectionClosed
+from repro.web.http11 import (
+    HttpParseError,
+    ParserOptions,
+    read_request,
+    read_response,
+    serialize_response,
+    parse_response_bytes,
+    serialize_request,
+)
+from repro.web.app import text_response
+
+_EXCLUDED_HEADERS = {"connection", "content-length", "content-encoding", "date", "keep-alive"}
+#: Additionally excluded when tokenizing *requests* (outgoing proxy):
+#: each instance addresses its own per-instance backend port, so Host
+#: differs benignly by construction of the port-based attribution scheme.
+_EXCLUDED_REQUEST_HEADERS = _EXCLUDED_HEADERS | {"host"}
+
+
+@dataclass
+class _HttpConnectionState:
+    """Pipeline of request methods awaiting their responses."""
+
+    pending_methods: list[str] = field(default_factory=list)
+
+
+@registry.register
+class HttpProtocol(ProtocolModule):
+    """HTTP/1.1 request/response framing and line tokenization."""
+
+    name = "http"
+
+    def __init__(self, parser_options: ParserOptions | None = None) -> None:
+        self.parser_options = parser_options or ParserOptions()
+
+    def new_connection_state(self) -> _HttpConnectionState:
+        return _HttpConnectionState()
+
+    async def read_client_message(
+        self, reader: asyncio.StreamReader, state: object
+    ) -> bytes | None:
+        assert isinstance(state, _HttpConnectionState)
+        try:
+            request = await read_request(reader, self.parser_options)
+        except (HttpParseError, ConnectionClosed):
+            return None
+        if request is None:
+            return None
+        state.pending_methods.append(request.method)
+        return serialize_request(request)
+
+    async def read_server_message(
+        self, reader: asyncio.StreamReader, state: object, request: bytes
+    ) -> bytes:
+        assert isinstance(state, _HttpConnectionState)
+        method = state.pending_methods[0] if state.pending_methods else None
+        response = await read_response(
+            reader, self.parser_options, request_method=method
+        )
+        return serialize_response(response)
+
+    def finish_exchange(self, state: object) -> None:
+        """Called by the proxy once all instances answered one request."""
+        assert isinstance(state, _HttpConnectionState)
+        if state.pending_methods:
+            state.pending_methods.pop(0)
+
+    def tokenize(self, message: bytes) -> list[bytes]:
+        if message.startswith(b"HTTP/"):
+            try:
+                return self._tokenize_response(message)
+            except Exception:
+                return message.split(b"\n")
+        try:
+            return self._tokenize_request(message)
+        except Exception:
+            return message.split(b"\n")
+
+    def _tokenize_response(self, message: bytes) -> list[bytes]:
+        response = parse_response_bytes(message, self.parser_options)
+        tokens: list[bytes] = [
+            f"{response.version} {response.status} {response.reason_phrase}".encode(
+                "latin-1"
+            )
+        ]
+        for name, value in response.headers.items():
+            if name.lower() in _EXCLUDED_HEADERS:
+                continue
+            tokens.append(f"{name}: {value}".encode("latin-1"))
+        try:
+            body = response.decompressed_body()
+        except Exception:
+            body = response.body
+        if body:
+            tokens.extend(body.split(b"\n"))
+        return tokens
+
+    def _tokenize_request(self, message: bytes) -> list[bytes]:
+        """Tokenize an instance-initiated request (outgoing proxy side)."""
+        from repro.web.http11 import parse_request_bytes
+
+        request = parse_request_bytes(message, self.parser_options)
+        tokens: list[bytes] = [
+            f"{request.method} {request.target} {request.version}".encode("latin-1")
+        ]
+        for name, value in request.headers.items():
+            if name.lower() in _EXCLUDED_REQUEST_HEADERS:
+                continue
+            tokens.append(f"{name}: {value}".encode("latin-1"))
+        if request.body:
+            tokens.extend(request.body.split(b"\n"))
+        return tokens
+
+    def block_response(self, message: str) -> bytes:
+        body = (
+            "<html><head><title>RDDR</title></head>"
+            f"<body><h1>RDDR intervened</h1><p>{message}</p></body></html>"
+        )
+        response = text_response(body, status=403, content_type="text/html; charset=utf-8")
+        response.headers.set("Connection", "close")
+        return serialize_response(response)

@@ -1,0 +1,60 @@
+"""JSON protocol module: newline-delimited JSON messages.
+
+Tokenization canonicalizes each message (sorted keys, tight separators)
+so that two implementations emitting semantically identical objects with
+different key order or whitespace never read as divergent — the kind of
+benign variance diverse library implementations produce constantly.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from repro.protocols.base import ProtocolModule, registry
+from repro.protocols.tcp import _read_line
+from repro.transport.streams import ConnectionClosed
+
+
+@registry.register
+class JsonLinesProtocol(ProtocolModule):
+    """One JSON document per line, canonicalized before diffing."""
+
+    name = "json"
+
+    def __init__(self, max_line: int = 4 * 1024 * 1024) -> None:
+        self.max_line = max_line
+
+    async def read_client_message(
+        self, reader: asyncio.StreamReader, state: object
+    ) -> bytes | None:
+        return await _read_line(reader, self.max_line)
+
+    async def read_server_message(
+        self, reader: asyncio.StreamReader, state: object, request: bytes
+    ) -> bytes:
+        line = await _read_line(reader, self.max_line)
+        if line is None:
+            raise ConnectionClosed("server closed before responding")
+        return line
+
+    def tokenize(self, message: bytes) -> list[bytes]:
+        text = message.rstrip(b"\n")
+        try:
+            document = json.loads(text.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            return [text]
+        canonical = json.dumps(document, sort_keys=True, separators=(",", ":"))
+        # Token per top-level key keeps noise masking fine-grained for
+        # objects; scalars and arrays stay one token.
+        if isinstance(document, dict):
+            return [
+                json.dumps({key: document[key]}, sort_keys=True, separators=(",", ":")).encode()
+                for key in sorted(document)
+            ] or [canonical.encode()]
+        return [canonical.encode()]
+
+    def block_response(self, message: str) -> bytes:
+        return (
+            json.dumps({"error": "rddr_divergence", "message": message}) + "\n"
+        ).encode()

@@ -1,0 +1,133 @@
+"""PostgreSQL wire protocol module for RDDR (paper section IV-B1).
+
+Framing follows the v3 protocol phases:
+
+* The first client message is untyped (StartupMessage or SSLRequest).
+  An SSLRequest's response unit is the single ``N``/``S`` byte; a
+  StartupMessage's response unit is everything through ReadyForQuery.
+* Thereafter one client message is one typed frontend message and one
+  response unit is all backend messages through ReadyForQuery.
+
+Tokenization emits one token per wire message ("tokenizes traffic into
+separate messages according to the PostgreSQL message format"), and
+compares **known critical types** — row data, errors, notices, command
+tags, row descriptions.  Messages that are instance-specific by design
+(BackendKeyData's pid/secret) are excluded from comparison.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import struct
+from dataclasses import dataclass
+
+from repro.pgwire import messages as wire
+from repro.protocols.base import ProtocolModule, registry
+from repro.transport.streams import ConnectionClosed, read_exact
+
+_INT32 = struct.Struct(">i")
+
+#: Message tags whose *content* is security-relevant and compared.
+CRITICAL_TAGS = {b"T", b"D", b"C", b"E", b"N", b"I", b"S", b"Z"}
+#: Tags excluded from comparison entirely (instance-specific by design).
+EXCLUDED_TAGS = {b"K", b"R"}
+
+
+@dataclass
+class _PgConnectionState:
+    phase: str = "startup"  # 'startup' | 'ssl_reply' | 'query'
+    closed: bool = False
+
+
+@registry.register
+class PgWireProtocol(ProtocolModule):
+    """PostgreSQL v3 framing and message-level tokenization."""
+
+    name = "pgwire"
+
+    def new_connection_state(self) -> _PgConnectionState:
+        return _PgConnectionState()
+
+    async def read_client_message(
+        self, reader: asyncio.StreamReader, state: object
+    ) -> bytes | None:
+        assert isinstance(state, _PgConnectionState)
+        try:
+            if state.phase in ("startup", "ssl_reply"):
+                length_bytes = await read_exact(reader, 4)
+                (length,) = _INT32.unpack(length_bytes)
+                if length < 8 or length > wire.MAX_MESSAGE_SIZE:
+                    return None
+                payload = await read_exact(reader, length - 4)
+                (code,) = _INT32.unpack(payload[:4])
+                if code == wire.SSL_REQUEST_CODE:
+                    state.phase = "ssl_reply"
+                else:
+                    state.phase = "query"
+                    # Startup proper: next exchange enters the query cycle.
+                    state.closed = False
+                return length_bytes + payload
+            message = await wire.read_message(reader)
+            if message.tag == b"X":
+                state.closed = True
+            return message.encode()
+        except (ConnectionClosed, wire.ProtocolError):
+            return None
+
+    def expects_response(self, request: bytes, state: object) -> bool:
+        if not request:
+            return False
+        tag = request[0:1]
+        # Terminate gets no response; extended-query pipeline messages
+        # (Parse/Bind/Describe/Execute/Close/Flush) are answered only
+        # after Sync ('S' from the frontend) flushes the pipeline.
+        if tag == b"X":
+            return False
+        if tag in (b"P", b"B", b"D", b"E", b"C", b"H"):
+            return False
+        return True
+
+    async def read_server_message(
+        self, reader: asyncio.StreamReader, state: object, request: bytes
+    ) -> bytes:
+        assert isinstance(state, _PgConnectionState)
+        # Response to an SSLRequest is exactly one byte.
+        if len(request) == 8 and request[4:8] == _INT32.pack(wire.SSL_REQUEST_CODE):
+            return await read_exact(reader, 1)
+        chunks: list[bytes] = []
+        while True:
+            message = await wire.read_message(reader)
+            chunks.append(message.encode())
+            if message.tag == b"Z":
+                return b"".join(chunks)
+            if message.tag == b"E" and self._fatal_error(message):
+                return b"".join(chunks)
+
+    def _fatal_error(self, message: wire.WireMessage) -> bool:
+        try:
+            fields = wire.parse_fields(message)
+        except wire.ProtocolError:
+            return False
+        return fields.severity == "FATAL"
+
+    def tokenize(self, message: bytes) -> list[bytes]:
+        # The single-byte SSL reply has no framing.
+        if message in (b"N", b"S"):
+            return [b"ssl:" + message]
+        try:
+            messages, tail = wire.split_messages(message)
+        except wire.ProtocolError:
+            return [message]
+        tokens: list[bytes] = []
+        for wire_message in messages:
+            if wire_message.tag in EXCLUDED_TAGS:
+                continue
+            tokens.append(wire_message.tag + wire_message.body)
+        if tail:
+            tokens.append(tail)
+        return tokens
+
+    def block_response(self, message: str) -> bytes:
+        # An ErrorResponse the client library will surface, then FATAL
+        # close — mirrors the paper's "closes the connection" behaviour.
+        return wire.error_response("FATAL", "XX000", f"RDDR intervened: {message}").encode()

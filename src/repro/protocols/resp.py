@@ -1,0 +1,132 @@
+"""RESP (Redis Serialization Protocol) module.
+
+Not one of the paper's three protocols — it exists to demonstrate the
+section IV-B1 claim that "support for application layer protocols is
+implemented by Python modules that comply with a standard interface,
+allowing developers to extend RDDR to support other protocols": this
+module plus :mod:`repro.apps.kvstore` N-versions a Redis-like cache with
+no change to either proxy.
+
+Framing implements RESP2: simple strings (``+``), errors (``-``),
+integers (``:``), bulk strings (``$``), and arrays (``*``, the request
+form).  One request unit is one value; one response unit likewise.
+Tokenization emits one token per RESP element so positional noise
+masking works inside multi-element replies.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.protocols.base import ProtocolModule, registry
+from repro.transport.streams import ConnectionClosed, read_exact, read_until
+
+MAX_BULK = 16 * 1024 * 1024
+
+
+class RespError(Exception):
+    """Malformed RESP framing."""
+
+
+async def read_value(reader: asyncio.StreamReader) -> bytes | None:
+    """Read one complete RESP value; ``None`` on clean EOF."""
+    try:
+        header = await read_until(reader, b"\r\n")
+    except ConnectionClosed as exc:
+        if not exc.partial:
+            return None
+        raise RespError("connection closed mid value") from exc
+    kind = header[:1]
+    if kind in (b"+", b"-", b":"):
+        return header
+    if kind == b"$":
+        length = _int_of(header[1:-2])
+        if length == -1:
+            return header  # null bulk string
+        if length > MAX_BULK:
+            raise RespError(f"bulk string of {length} bytes too large")
+        body = await read_exact(reader, length + 2)
+        return header + body
+    if kind == b"*":
+        count = _int_of(header[1:-2])
+        if count == -1:
+            return header
+        parts = [header]
+        for _ in range(count):
+            element = await read_value(reader)
+            if element is None:
+                raise RespError("connection closed mid array")
+            parts.append(element)
+        return b"".join(parts)
+    raise RespError(f"unknown RESP type {kind!r}")
+
+
+def _int_of(data: bytes) -> int:
+    try:
+        return int(data)
+    except ValueError as exc:
+        raise RespError(f"bad RESP length {data!r}") from exc
+
+
+def encode_command(*parts: bytes | str) -> bytes:
+    """Encode a client command as a RESP array of bulk strings."""
+    chunks = [f"*{len(parts)}\r\n".encode()]
+    for part in parts:
+        raw = part.encode() if isinstance(part, str) else part
+        chunks.append(f"${len(raw)}\r\n".encode() + raw + b"\r\n")
+    return b"".join(chunks)
+
+
+def split_elements(value: bytes) -> list[bytes]:
+    """Split a complete RESP value into its top-level elements."""
+    elements: list[bytes] = []
+    offset = 0
+    while offset < len(value):
+        end = value.index(b"\r\n", offset) + 2
+        header = value[offset:end]
+        kind = header[:1]
+        if kind == b"$":
+            length = _int_of(header[1:-2])
+            if length >= 0:
+                end += length + 2
+            elements.append(value[offset:end])
+        elif kind == b"*":
+            # keep the array header as its own token; elements follow
+            elements.append(header)
+        else:
+            elements.append(header)
+        offset = end
+    return elements
+
+
+@registry.register
+class RespProtocol(ProtocolModule):
+    """RESP request/response framing for RDDR."""
+
+    name = "resp"
+
+    async def read_client_message(
+        self, reader: asyncio.StreamReader, state: object
+    ) -> bytes | None:
+        try:
+            return await read_value(reader)
+        except RespError:
+            return None
+
+    async def read_server_message(
+        self, reader: asyncio.StreamReader, state: object, request: bytes
+    ) -> bytes:
+        value = await read_value(reader)
+        if value is None:
+            raise ConnectionClosed("server closed before responding")
+        return value
+
+    def tokenize(self, message: bytes) -> list[bytes]:
+        try:
+            return split_elements(message)
+        except (RespError, ValueError):
+            return [message]
+
+    def block_response(self, message: str) -> bytes:
+        safe = message.replace("\r", " ").replace("\n", " ")
+        return f"-RDDRERR {safe}\r\n".encode()

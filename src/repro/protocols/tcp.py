@@ -1,0 +1,59 @@
+"""Line-oriented raw TCP protocol module.
+
+The transport-layer fallback for services without a richer module: one
+request is one ``\\n``-terminated line, one response likewise.  The ASLR
+proof-of-concept echo service (paper section V-E) runs over this module.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.protocols.base import ProtocolModule, registry
+from repro.transport.streams import ConnectionClosed
+
+
+@registry.register
+class TcpLineProtocol(ProtocolModule):
+    """Newline-framed request/response exchange over raw TCP."""
+
+    name = "tcp"
+
+    def __init__(self, max_line: int = 1024 * 1024) -> None:
+        self.max_line = max_line
+
+    async def read_client_message(
+        self, reader: asyncio.StreamReader, state: object
+    ) -> bytes | None:
+        return await _read_line(reader, self.max_line)
+
+    async def read_server_message(
+        self, reader: asyncio.StreamReader, state: object, request: bytes
+    ) -> bytes:
+        line = await _read_line(reader, self.max_line)
+        if line is None:
+            raise ConnectionClosed("server closed before responding")
+        return line
+
+    def tokenize(self, message: bytes) -> list[bytes]:
+        # One line is one exchange; split on spaces so positional noise
+        # masking can localise random fields inside the line.
+        return message.rstrip(b"\n").split(b" ")
+
+    def block_response(self, message: str) -> bytes:
+        return b""  # raw TCP: RDDR just closes the connection
+
+
+async def _read_line(reader: asyncio.StreamReader, max_line: int) -> bytes | None:
+    try:
+        line = await reader.readuntil(b"\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        return exc.partial
+    except asyncio.LimitOverrunError as exc:  # line too long: take what's there
+        chunk = await reader.read(max_line)
+        return chunk
+    except ConnectionError:
+        return None
+    return line

@@ -1,0 +1,6 @@
+"""Table I scenarios: one runnable mitigation demonstration per row."""
+
+import repro.scenarios.table1  # noqa: F401  (registers the scenarios)
+from repro.scenarios.base import Scenario, ScenarioResult, registry
+
+__all__ = ["Scenario", "ScenarioResult", "registry"]

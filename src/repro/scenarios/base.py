@@ -1,0 +1,69 @@
+"""Scenario framework for the Table I evaluation.
+
+Each scenario stands up one N-versioned deployment, verifies three
+things, and tears everything down:
+
+1. **benign_ok** — representative benign traffic passes through RDDR;
+2. **leak_without_rddr** — the exploit really leaks when aimed at a
+   vulnerable instance directly (the attack is real, not a strawman);
+3. **mitigated** — through RDDR the exploit is blocked: the leak marker
+   never reaches the client and a divergence is recorded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Awaitable, Callable
+
+
+@dataclass
+class ScenarioResult:
+    """One Table I row's outcome."""
+
+    scenario_id: str
+    cve: str
+    microservice: str
+    exploit: str
+    cwe: str
+    owasp: str
+    diversity: str
+    benign_ok: bool = False
+    leak_without_rddr: bool = False
+    mitigated: bool = False
+    divergences: int = 0
+    notes: str = ""
+
+    @property
+    def passed(self) -> bool:
+        """The paper's claim holds for this scenario."""
+        return self.benign_ok and self.leak_without_rddr and self.mitigated
+
+
+#: A scenario is an async callable producing its result.
+Scenario = Callable[[], Awaitable[ScenarioResult]]
+
+
+@dataclass
+class ScenarioRegistry:
+    """Named registry of the Table I scenarios."""
+
+    scenarios: dict[str, Scenario] = field(default_factory=dict)
+
+    def register(self, name: str) -> Callable[[Scenario], Scenario]:
+        def decorator(func: Scenario) -> Scenario:
+            self.scenarios[name] = func
+            return func
+
+        return decorator
+
+    def names(self) -> list[str]:
+        return list(self.scenarios)
+
+    async def run(self, name: str) -> ScenarioResult:
+        return await self.scenarios[name]()
+
+    async def run_all(self) -> list[ScenarioResult]:
+        return [await self.run(name) for name in self.scenarios]
+
+
+registry = ScenarioRegistry()

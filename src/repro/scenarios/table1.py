@@ -1,0 +1,687 @@
+"""The ten Table I mitigation scenarios, end to end.
+
+Each function stands up the paper's deployment for one row of Table I,
+demonstrates the exploit against a bare vulnerable instance, then shows
+RDDR blocking it while benign traffic flows.  The table-regeneration
+benchmark (benchmarks/test_table1_mitigations.py) and the integration
+tests both drive these.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import re
+import tempfile
+from pathlib import Path
+from urllib.parse import quote
+
+from repro.apps.aslr import VulnerableEchoServer, build_overflow_payload
+from repro.apps.dvwa import SQLI_EXPLOIT_ID, DvwaApp, deploy_dvwa, load_schema
+from repro.apps.proxies import HaproxySim, NginxSim, build_smuggling_payload
+from repro.apps.restful import (
+    make_decrypt_server,
+    make_markdown_server,
+    make_sanitize_server,
+    make_svg_server,
+)
+from repro.apps.restful.libs import (
+    CairosvgLike,
+    CryptoLike,
+    LxmlCleanLike,
+    Markdown2Like,
+    MarkdownLike,
+    PyRsaLike,
+    SanitizeHtmlLike,
+    SvglibLike,
+    benign_html,
+    benign_markdown,
+    benign_svg,
+    encrypt,
+    exploit_ciphertext,
+    exploit_html,
+    exploit_markdown,
+    exploit_svg,
+)
+from repro.core.config import RddrConfig
+from repro.core.rddr import RddrDeployment
+from repro.core.variance import POSTGRES_VERSION_RULES, VarianceRule
+from repro.pgwire.client import PgClient
+from repro.pgwire.server import PgWireServer
+from repro.scenarios.base import ScenarioResult, registry
+from repro.sqlengine.database import Database
+from repro.transport.retry import open_connection_retry
+from repro.transport.streams import close_writer
+from repro.vendors import create_postsim, create_roachsim
+from repro.web.app import App, text_response
+from repro.web.client import HttpClient
+from repro.web.forms import encode_urlencoded
+from repro.web.http11 import ParserOptions
+from repro.web.server import HttpServer
+
+EXCHANGE_TIMEOUT = 2.0
+
+#: Vendor banners differ deterministically across implementations; the
+#: operator configures them away (paper section V-C2).
+VENDOR_BANNER_RULES = [
+    VarianceRule(
+        pattern=r"(PostgreSQL|CockroachDB|EnterpriseDB)[^\x00\r\n]*",
+        description="database vendor banner",
+    ),
+    *POSTGRES_VERSION_RULES,
+]
+
+
+# ---------------------------------------------------------------------------
+# helpers
+
+
+async def _http_pair_scenario(
+    result: ScenarioResult,
+    apps: list[App],
+    *,
+    benign: tuple[str, str, bytes],
+    exploit: tuple[str, str, bytes],
+    leak_marker: bytes,
+    filter_pair: tuple[int, int] | None = None,
+) -> ScenarioResult:
+    """Common driver for the RESTful library-pair scenarios."""
+    servers = [HttpServer(app) for app in apps]
+    for server in servers:
+        await server.start()
+    rddr = RddrDeployment(
+        result.scenario_id,
+        RddrConfig(
+            protocol="http", exchange_timeout=EXCHANGE_TIMEOUT, filter_pair=filter_pair
+        ),
+    )
+    try:
+        # (2) the exploit leaks against the bare vulnerable instance
+        method, path, body = exploit
+        async with HttpClient(*servers[0].address) as client:
+            direct = await client.request(
+                method, path, body=body, headers={"Content-Type": "application/json"}
+            )
+        result.leak_without_rddr = leak_marker in direct.body
+
+        await rddr.start_incoming_proxy([server.address for server in servers])
+        # (1) benign traffic passes
+        method, path, body = benign
+        async with HttpClient(*rddr.address) as client:
+            response = await client.request(
+                method, path, body=body, headers={"Content-Type": "application/json"}
+            )
+        result.benign_ok = response.status == 200
+        # (3) the exploit is blocked
+        method, path, body = exploit
+        async with HttpClient(*rddr.address) as client:
+            response = await client.request(
+                method, path, body=body, headers={"Content-Type": "application/json"}
+            )
+        blocked = response.status == 403 and leak_marker not in response.body
+        result.divergences = len(rddr.events.divergences())
+        result.mitigated = blocked and result.divergences > 0
+        return result
+    finally:
+        await rddr.close()
+        for server in servers:
+            await server.close()
+
+
+async def _start_pg_rddr(
+    engines: list[Database],
+    *,
+    filter_pair: tuple[int, int] | None,
+    variance_rules: list[VarianceRule],
+) -> tuple[RddrDeployment, list[PgWireServer]]:
+    servers = []
+    for index, engine in enumerate(engines):
+        server = PgWireServer(engine, name=f"db-{index}")
+        await server.start()
+        servers.append(server)
+    rddr = RddrDeployment(
+        "pg",
+        RddrConfig(
+            protocol="pgwire",
+            exchange_timeout=EXCHANGE_TIMEOUT,
+            filter_pair=filter_pair,
+            variance_rules=variance_rules,
+        ),
+    )
+    await rddr.start_incoming_proxy([server.address for server in servers])
+    return rddr, servers
+
+
+async def _run_sql_script(
+    address: tuple[str, int], statements: list[str], user: str
+) -> tuple[list[str], bool]:
+    """Run statements one connection each (the attacker reconnects after
+    every RDDR intervention).  Returns (collected notices, any_blocked)."""
+    notices: list[str] = []
+    blocked = False
+    for sql in statements:
+        try:
+            client = await PgClient.connect(*address, user=user)
+        except (ConnectionError, Exception):
+            blocked = True
+            continue
+        try:
+            outcome = await client.query(sql)
+            notices.extend(notice.message for notice in outcome.notices)
+            if outcome.error is not None and "RDDR" in outcome.error.message:
+                blocked = True
+        except Exception:
+            blocked = True
+        finally:
+            try:
+                await client.close()
+            except Exception:
+                pass
+    return notices, blocked
+
+
+# ---------------------------------------------------------------------------
+# scenario 1: CVE-2017-7484 — Postgres planner stats leak, diverse vendors
+
+
+LISTING1_SETUP = """
+CREATE TABLE some_table (col_to_leak integer);
+INSERT INTO some_table VALUES (41), (42), (43);
+CREATE TABLE products (id integer PRIMARY KEY, label text);
+INSERT INTO products VALUES (1, 'widget'), (2, 'gadget');
+CREATE USER attacker;
+GRANT SELECT ON products TO attacker;
+"""
+
+LISTING1_STEPS = [
+    (
+        "CREATE FUNCTION leak2(integer,integer) RETURNS boolean "
+        "AS $$BEGIN RAISE NOTICE 'leak % %', $1, $2; RETURN $1 > $2; END$$ "
+        "LANGUAGE plpgsql immutable"
+    ),
+    (
+        "CREATE OPERATOR >>> (procedure=leak2, leftarg=integer, "
+        "rightarg=integer, restrict=scalargtsel)"
+    ),
+    "SET client_min_messages TO 'notice'",
+    "EXPLAIN (COSTS OFF) SELECT * FROM some_table WHERE col_to_leak >>> 0",
+]
+
+
+@registry.register("cve_2017_7484")
+async def cve_2017_7484() -> ScenarioResult:
+    result = ScenarioResult(
+        scenario_id="cve_2017_7484",
+        cve="CVE-2017-7484",
+        microservice="PostgreSQL",
+        exploit="Exposure of sensitive information to an unauthorized actor",
+        cwe="200,285",
+        owasp="1",
+        diversity="Identical API, different program",
+    )
+
+    def engines() -> list[Database]:
+        built = [create_postsim("9.2.20"), create_postsim("9.2.20"), create_roachsim()]
+        for engine in built:
+            for outcome in engine.execute(LISTING1_SETUP):
+                if outcome.error is not None:
+                    raise outcome.error
+        return built
+
+    # (2) direct: the planner leaks the protected column's values
+    direct = create_postsim("9.2.20")
+    for outcome in direct.execute(LISTING1_SETUP):
+        assert outcome.error is None
+    server = PgWireServer(direct)
+    await server.start()
+    notices, _ = await _run_sql_script(server.address, LISTING1_STEPS, user="attacker")
+    result.leak_without_rddr = any("leak 41" in n for n in notices)
+    await server.close()
+
+    rddr, servers = await _start_pg_rddr(
+        engines(), filter_pair=(0, 1), variance_rules=VENDOR_BANNER_RULES
+    )
+    try:
+        # (1) benign: a granted SELECT answers identically everywhere
+        client = await PgClient.connect(*rddr.address, user="attacker")
+        outcome = await client.query("SELECT label FROM products ORDER BY id")
+        result.benign_ok = outcome.ok and [r[0] for r in outcome.rows] == [
+            "widget",
+            "gadget",
+        ]
+        await client.close()
+        # (3) the exploit is blocked (CockroachDB cannot CREATE FUNCTION)
+        notices, blocked = await _run_sql_script(
+            rddr.address, LISTING1_STEPS, user="attacker"
+        )
+        leaked = any("leak 41" in n for n in notices)
+        result.divergences = len(rddr.events.divergences())
+        result.mitigated = blocked and not leaked and result.divergences > 0
+        return result
+    finally:
+        await rddr.close()
+        for server in servers:
+            await server.close()
+
+
+# ---------------------------------------------------------------------------
+# scenario 2: CVE-2017-7529 — nginx Range overflow, version diversity
+
+
+@registry.register("cve_2017_7529")
+async def cve_2017_7529() -> ScenarioResult:
+    result = ScenarioResult(
+        scenario_id="cve_2017_7529",
+        cve="CVE-2017-7529",
+        microservice="Nginx",
+        exploit="Integer overflow",
+        cwe="190",
+        owasp="N/A",
+        diversity="Version number",
+    )
+    files = {"/index.html": b"<html>hello world</html>" + b"x" * 76}
+    servers = [
+        await NginxSim(None, version=version, static_files=files).start()
+        for version in ("1.13.2", "1.13.2", "1.13.4")
+    ]
+    rddr = RddrDeployment(
+        "nginx",
+        RddrConfig(protocol="http", exchange_timeout=EXCHANGE_TIMEOUT, filter_pair=(0, 1)),
+    )
+    try:
+        async with HttpClient(*servers[0].address) as client:
+            direct = await client.get("/index.html", headers={"Range": "bytes=-600"})
+        result.leak_without_rddr = b"cached-secret" in direct.body
+
+        await rddr.start_incoming_proxy([server.address for server in servers])
+        async with HttpClient(*rddr.address) as client:
+            benign = await client.get("/index.html", headers={"Range": "bytes=0-9"})
+        result.benign_ok = benign.status == 206 and benign.body == b"<html>hell"
+        async with HttpClient(*rddr.address) as client:
+            attack = await client.get("/index.html", headers={"Range": "bytes=-600"})
+        result.divergences = len(rddr.events.divergences())
+        result.mitigated = (
+            attack.status == 403
+            and b"cached-secret" not in attack.body
+            and result.divergences > 0
+        )
+        return result
+    finally:
+        await rddr.close()
+        for server in servers:
+            await server.close()
+
+
+# ---------------------------------------------------------------------------
+# scenario 3: CVE-2019-10130 — Postgres RLS pushdown leak, version diversity
+
+
+LISTING2_SETUP = """
+CREATE TABLE some_table (col_to_leak integer, secret text);
+INSERT INTO some_table VALUES (1, 'public-a'), (2, 'public-b'), (999, 'PROTECTED-ROW');
+ALTER TABLE some_table ENABLE ROW LEVEL SECURITY;
+CREATE POLICY p ON some_table USING (col_to_leak < 100);
+CREATE USER attacker;
+GRANT SELECT ON some_table TO attacker;
+CREATE TABLE products (id integer PRIMARY KEY, label text);
+INSERT INTO products VALUES (1, 'widget'), (2, 'gadget');
+GRANT SELECT ON products TO attacker;
+"""
+
+LISTING2_STEPS = [
+    (
+        "CREATE FUNCTION op_leak(text, text) RETURNS bool AS "
+        "'BEGIN RAISE NOTICE ''leak %, %'', $1, $2; RETURN $1 < $2; END' "
+        "LANGUAGE plpgsql"
+    ),
+    (
+        "CREATE OPERATOR <<< (procedure=op_leak, leftarg=text, "
+        "rightarg=text, restrict=scalarltsel)"
+    ),
+    "SELECT * FROM some_table WHERE secret <<< 'zzzz'",
+]
+
+
+@registry.register("cve_2019_10130")
+async def cve_2019_10130() -> ScenarioResult:
+    result = ScenarioResult(
+        scenario_id="cve_2019_10130",
+        cve="CVE-2019-10130",
+        microservice="PostgreSQL",
+        exploit="Improper access control",
+        cwe="284",
+        owasp="1",
+        diversity="Version number",
+    )
+
+    def engines() -> list[Database]:
+        built = [create_postsim("10.7"), create_postsim("10.7"), create_postsim("10.9")]
+        for engine in built:
+            for outcome in engine.execute(LISTING2_SETUP):
+                if outcome.error is not None:
+                    raise outcome.error
+        return built
+
+    direct = create_postsim("10.7")
+    for outcome in direct.execute(LISTING2_SETUP):
+        assert outcome.error is None
+    server = PgWireServer(direct)
+    await server.start()
+    notices, _ = await _run_sql_script(server.address, LISTING2_STEPS, user="attacker")
+    result.leak_without_rddr = any("PROTECTED-ROW" in n for n in notices)
+    await server.close()
+
+    rddr, servers = await _start_pg_rddr(
+        engines(), filter_pair=(0, 1), variance_rules=VENDOR_BANNER_RULES
+    )
+    try:
+        client = await PgClient.connect(*rddr.address, user="attacker")
+        outcome = await client.query("SELECT label FROM products ORDER BY id")
+        result.benign_ok = outcome.ok and len(outcome.rows) == 2
+        await client.close()
+        notices, blocked = await _run_sql_script(
+            rddr.address, LISTING2_STEPS, user="attacker"
+        )
+        leaked = any("PROTECTED-ROW" in n for n in notices)
+        result.divergences = len(rddr.events.divergences())
+        result.mitigated = blocked and not leaked and result.divergences > 0
+        return result
+    finally:
+        await rddr.close()
+        for server in servers:
+            await server.close()
+
+
+# ---------------------------------------------------------------------------
+# scenario 4: CVE-2019-18277 — HAProxy request smuggling, multi-program
+
+
+def _make_s1_app() -> App:
+    app = App("s1")
+
+    @app.route("/public", methods=("GET", "POST"))
+    async def public(ctx):
+        return text_response("public ok")
+
+    @app.route("/internal/secret")
+    async def secret(ctx):
+        return text_response("SECRET: internal API data")
+
+    return app
+
+
+@registry.register("cve_2019_18277")
+async def cve_2019_18277() -> ScenarioResult:
+    result = ScenarioResult(
+        scenario_id="cve_2019_18277",
+        cve="CVE-2019-18277",
+        microservice="HAProxy",
+        exploit="HTTP Request Smuggling",
+        cwe="444",
+        owasp="4",
+        diversity="Multi-program",
+    )
+    backend = HttpServer(
+        _make_s1_app(), parser_options=ParserOptions(lenient_te_whitespace=True)
+    )
+    await backend.start()
+    deny = ["/internal"]
+    haproxy = await HaproxySim(backend.address, version="1.5.3", deny_paths=deny).start()
+    nginx = await NginxSim(backend.address, version="1.17.0", deny_paths=deny).start()
+    rddr = RddrDeployment(
+        "revproxy", RddrConfig(protocol="http", exchange_timeout=EXCHANGE_TIMEOUT)
+    )
+
+    async def smuggle(address: tuple[str, int]) -> bytes:
+        reader, writer = await open_connection_retry(*address)
+        try:
+            writer.write(build_smuggling_payload())
+            await writer.drain()
+            await asyncio.wait_for(reader.read(400), EXCHANGE_TIMEOUT)
+            writer.write(b"GET /public HTTP/1.1\r\nHost: x\r\n\r\n")
+            await writer.drain()
+            return await asyncio.wait_for(reader.read(600), EXCHANGE_TIMEOUT)
+        except asyncio.TimeoutError:
+            return b""
+        finally:
+            await close_writer(writer)
+
+    try:
+        result.leak_without_rddr = b"SECRET" in await smuggle(haproxy.address)
+        await rddr.start_incoming_proxy([haproxy.address, nginx.address])
+        async with HttpClient(*rddr.address) as client:
+            benign = await client.get("/public")
+        result.benign_ok = benign.status == 200 and benign.body == b"public ok"
+        followup = await smuggle(rddr.address)
+        result.divergences = len(rddr.events.divergences())
+        result.mitigated = b"SECRET" not in followup and result.divergences > 0
+        return result
+    finally:
+        await rddr.close()
+        await haproxy.close()
+        await nginx.close()
+        await backend.close()
+
+
+# ---------------------------------------------------------------------------
+# scenarios 5-8: RESTful library pairs
+
+
+def _json_body(payload: dict) -> bytes:
+    return json.dumps(payload).encode()
+
+
+@registry.register("cve_2014_3146")
+async def cve_2014_3146() -> ScenarioResult:
+    result = ScenarioResult(
+        scenario_id="cve_2014_3146",
+        cve="CVE-2014-3146",
+        microservice="lxml lib/RESTful",
+        exploit="Cross site scripting",
+        cwe="Other",
+        owasp="3",
+        diversity="Library in different language",
+    )
+    return await _http_pair_scenario(
+        result,
+        [
+            make_sanitize_server(LxmlCleanLike()),
+            make_sanitize_server(SanitizeHtmlLike()),
+        ],
+        benign=("POST", "/sanitize", _json_body({"html": benign_html()})),
+        exploit=("POST", "/sanitize", _json_body({"html": exploit_html()})),
+        leak_marker=b"ascript:alert(1)",
+    )
+
+
+@registry.register("cve_2020_10799")
+async def cve_2020_10799() -> ScenarioResult:
+    result = ScenarioResult(
+        scenario_id="cve_2020_10799",
+        cve="CVE-2020-10799",
+        microservice="svglib lib/RESTful",
+        exploit="Improper restriction of XML external entity reference",
+        cwe="611",
+        owasp="5",
+        diversity="Compatible libraries",
+    )
+    with tempfile.NamedTemporaryFile("w", suffix=".txt", delete=False) as handle:
+        handle.write("TOP-SECRET-FILE-CONTENT")
+        secret_path = handle.name
+    try:
+        return await _http_pair_scenario(
+            result,
+            [make_svg_server(SvglibLike()), make_svg_server(CairosvgLike())],
+            benign=("POST", "/convert", _json_body({"svg": benign_svg()})),
+            exploit=("POST", "/convert", _json_body({"svg": exploit_svg(secret_path)})),
+            leak_marker=b"TOP-SECRET-FILE-CONTENT".hex().encode(),
+        )
+    finally:
+        Path(secret_path).unlink(missing_ok=True)
+
+
+@registry.register("cve_2020_13757")
+async def cve_2020_13757() -> ScenarioResult:
+    result = ScenarioResult(
+        scenario_id="cve_2020_13757",
+        cve="CVE-2020-13757",
+        microservice="rsa lib/RESTful",
+        exploit="Use of risky crypto",
+        cwe="327",
+        owasp="2",
+        diversity="Compatible libraries",
+    )
+    return await _http_pair_scenario(
+        result,
+        [make_decrypt_server(PyRsaLike()), make_decrypt_server(CryptoLike())],
+        benign=(
+            "POST",
+            "/decrypt",
+            _json_body({"ciphertext_hex": encrypt(b"hello world").hex()}),
+        ),
+        exploit=(
+            "POST",
+            "/decrypt",
+            _json_body({"ciphertext_hex": exploit_ciphertext(b"forged-msg").hex()}),
+        ),
+        leak_marker=b"forged-msg",
+    )
+
+
+@registry.register("cve_2020_11888")
+async def cve_2020_11888() -> ScenarioResult:
+    result = ScenarioResult(
+        scenario_id="cve_2020_11888",
+        cve="CVE-2020-11888",
+        microservice="markdown2 lib/RESTful",
+        exploit="Cross site scripting",
+        cwe="79",
+        owasp="3",
+        diversity="Compatible libraries",
+    )
+    return await _http_pair_scenario(
+        result,
+        [make_markdown_server(Markdown2Like()), make_markdown_server(MarkdownLike())],
+        benign=("POST", "/render", _json_body({"markdown": benign_markdown()})),
+        exploit=("POST", "/render", _json_body({"markdown": exploit_markdown()})),
+        leak_marker=b"javascript:alert",
+    )
+
+
+# ---------------------------------------------------------------------------
+# scenario 9: DVWA SQL injection
+
+
+@registry.register("dvwa_sqli")
+async def dvwa_sqli() -> ScenarioResult:
+    result = ScenarioResult(
+        scenario_id="dvwa_sqli",
+        cve="N/A",
+        microservice="DVWA",
+        exploit="SQL injection",
+        cwe="89*",
+        owasp="3",
+        diversity="Multi-programming",
+    )
+
+    async def sqli_post(address: tuple[str, int], user_id: str) -> bytes:
+        async with HttpClient(*address) as client:
+            page = await client.get("/vulnerabilities/sqli")
+            match = re.search(rb"name='user_token' value='(\w+)'", page.body)
+            if match is None:
+                return b""
+            cookie = (page.header("Set-Cookie") or "").split(";")[0]
+            body = encode_urlencoded({"id": user_id, "user_token": match.group(1).decode()})
+            response = await client.post(
+                "/vulnerabilities/sqli",
+                body=body,
+                headers={
+                    "Content-Type": "application/x-www-form-urlencoded",
+                    "Cookie": cookie,
+                },
+            )
+            return response.body
+
+    # (2) direct: one low-security DVWA on a bare backend dumps the table
+    from repro.vendors import create_postsim as _pg
+
+    direct_db = _pg("13.0")
+    load_schema(direct_db)
+    direct_db.execute("CREATE USER dvwa; GRANT SELECT ON users TO dvwa;")
+    direct_backend = PgWireServer(direct_db)
+    await direct_backend.start()
+    direct_app = DvwaApp(direct_backend.address, security="low")
+    direct_server = HttpServer(direct_app.app)
+    await direct_server.start()
+    dumped = await sqli_post(direct_server.address, SQLI_EXPLOIT_ID)
+    result.leak_without_rddr = b"Gordon" in dumped and b"Pablo" in dumped
+    await direct_server.close()
+    await direct_backend.close()
+
+    deployment = await deploy_dvwa(exchange_timeout=EXCHANGE_TIMEOUT)
+    try:
+        benign = await sqli_post(deployment.address, "1")
+        result.benign_ok = b"admin" in benign and b"Gordon" not in benign
+        try:
+            attacked = await sqli_post(deployment.address, SQLI_EXPLOIT_ID)
+        except Exception:
+            attacked = b""
+        result.divergences = len(deployment.rddr.events.divergences())
+        result.mitigated = (
+            b"Gordon" not in attacked
+            and b"Pablo" not in attacked
+            and result.divergences > 0
+        )
+        return result
+    finally:
+        await deployment.close()
+
+
+# ---------------------------------------------------------------------------
+# scenario 10: ASLR pointer leak
+
+
+@registry.register("aslr_poc")
+async def aslr_poc() -> ScenarioResult:
+    result = ScenarioResult(
+        scenario_id="aslr_poc",
+        cve="N/A",
+        microservice="ASLR POC",
+        exploit="Heap overflow",
+        cwe="122*",
+        owasp="N/A",
+        diversity="Random memory layout",
+    )
+
+    async def exchange(address: tuple[str, int], payload: bytes) -> bytes:
+        reader, writer = await open_connection_retry(*address)
+        try:
+            writer.write(payload + b"\n")
+            await writer.drain()
+            return await asyncio.wait_for(reader.readline(), EXCHANGE_TIMEOUT)
+        except (asyncio.TimeoutError, ConnectionError, asyncio.IncompleteReadError):
+            return b""
+        finally:
+            await close_writer(writer)
+
+    overflow = build_overflow_payload()
+    servers = [await VulnerableEchoServer(aslr=True).start() for _ in range(2)]
+    rddr = RddrDeployment(
+        "aslr", RddrConfig(protocol="tcp", exchange_timeout=EXCHANGE_TIMEOUT)
+    )
+    try:
+        direct = await exchange(servers[0].address, overflow)
+        result.leak_without_rddr = len(direct.rstrip(b"\n")) > len(overflow)
+
+        await rddr.start_incoming_proxy([server.address for server in servers])
+        benign = await exchange(rddr.address, b"hello aslr world")
+        result.benign_ok = benign == b"hello aslr world\n"
+        leaked = await exchange(rddr.address, overflow)
+        pointer_leaked = len(leaked.rstrip(b"\n")) > len(overflow)
+        result.divergences = len(rddr.events.divergences())
+        result.mitigated = not pointer_leaked and result.divergences > 0
+        return result
+    finally:
+        await rddr.close()
+        for server in servers:
+            await server.close()

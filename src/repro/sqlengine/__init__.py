@@ -1,0 +1,44 @@
+"""Mini SQL engine substrate.
+
+A from-scratch SQL database engine sufficient for the paper's evaluation:
+DDL/DML, joins, aggregation, user-defined plpgsql functions and custom
+operators (the CVE exploit vectors), row-level security, privileges, and
+EXPLAIN with (optionally leaky) selectivity estimation.
+
+Public entry point: :class:`repro.sqlengine.database.Database` configured
+with an :class:`repro.sqlengine.database.EngineProfile`.
+"""
+
+from repro.sqlengine.database import Database, EngineProfile, ExecutionOutcome
+from repro.sqlengine.errors import (
+    FeatureNotSupportedError,
+    InsufficientPrivilegeError,
+    SqlError,
+    SqlSyntaxError,
+    UndefinedColumnError,
+    UndefinedFunctionError,
+    UndefinedTableError,
+)
+from repro.sqlengine.evaluator import Notice, Session, WorkCounters
+from repro.sqlengine.executor import QueryResult
+from repro.sqlengine.parser import parse_expression, parse_sql, parse_statement
+
+__all__ = [
+    "Database",
+    "EngineProfile",
+    "ExecutionOutcome",
+    "FeatureNotSupportedError",
+    "InsufficientPrivilegeError",
+    "SqlError",
+    "SqlSyntaxError",
+    "UndefinedColumnError",
+    "UndefinedFunctionError",
+    "UndefinedTableError",
+    "Notice",
+    "Session",
+    "WorkCounters",
+    "QueryResult",
+    "parse_expression",
+    "parse_sql",
+    "parse_statement",
+]

@@ -1,0 +1,294 @@
+"""AST node definitions for the SQL engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sqlengine.types import Interval
+
+# --------------------------------------------------------------------------
+# Expressions
+
+
+class Expr:
+    """Base class for expression nodes."""
+
+
+@dataclass(frozen=True)
+class Literal(Expr):
+    value: object
+
+
+@dataclass(frozen=True)
+class IntervalLiteral(Expr):
+    interval: Interval
+
+
+@dataclass(frozen=True)
+class Column(Expr):
+    name: str
+    table: str | None = None
+
+    def display(self) -> str:
+        return f"{self.table}.{self.name}" if self.table else self.name
+
+
+@dataclass(frozen=True)
+class Star(Expr):
+    table: str | None = None
+
+
+@dataclass(frozen=True)
+class Param(Expr):
+    index: int  # 1-based, as in $1
+
+
+@dataclass(frozen=True)
+class Unary(Expr):
+    op: str  # '-', '+', 'NOT'
+    operand: Expr
+
+
+@dataclass(frozen=True)
+class Binary(Expr):
+    op: str  # arithmetic, comparison, AND/OR, LIKE, '||', or a custom operator
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class InList(Expr):
+    expr: Expr
+    items: tuple[Expr, ...]
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class Between(Expr):
+    expr: Expr
+    low: Expr
+    high: Expr
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class IsNull(Expr):
+    expr: Expr
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class CaseWhen(Expr):
+    whens: tuple[tuple[Expr, Expr], ...]
+    default: Expr | None = None
+
+
+@dataclass(frozen=True)
+class FuncCall(Expr):
+    name: str
+    args: tuple[Expr, ...] = ()
+    star: bool = False  # count(*)
+    distinct: bool = False
+
+
+@dataclass(frozen=True)
+class Cast(Expr):
+    expr: Expr
+    type_name: str
+
+
+@dataclass(frozen=True)
+class Extract(Expr):
+    what: str  # 'year', 'month', 'day'
+    source: Expr
+
+
+@dataclass(frozen=True)
+class Substring(Expr):
+    source: Expr
+    start: Expr
+    length: Expr | None = None
+
+
+@dataclass(frozen=True)
+class Subquery(Expr):
+    """A scalar subquery: ``(SELECT ...)`` used as an expression."""
+
+    select: "Select"
+
+
+@dataclass(frozen=True)
+class InSubquery(Expr):
+    """``expr [NOT] IN (SELECT ...)``."""
+
+    expr: Expr
+    select: "Select"
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class Exists(Expr):
+    """``[NOT] EXISTS (SELECT ...)``."""
+
+    select: "Select"
+    negated: bool = False
+
+
+# --------------------------------------------------------------------------
+# Statements
+
+
+class Statement:
+    """Base class for statement nodes."""
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    expr: Expr
+    alias: str | None = None
+
+
+@dataclass(frozen=True)
+class TableRef:
+    name: str
+    alias: str | None = None
+    join_type: str = "cross"  # 'cross' (comma), 'inner', 'left'
+    on: Expr | None = None
+
+    @property
+    def binding(self) -> str:
+        return self.alias or self.name
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    expr: Expr
+    ascending: bool = True
+
+
+@dataclass(frozen=True)
+class Select(Statement):
+    items: tuple[SelectItem, ...]
+    tables: tuple[TableRef, ...] = ()
+    where: Expr | None = None
+    group_by: tuple[Expr, ...] = ()
+    having: Expr | None = None
+    order_by: tuple[OrderItem, ...] = ()
+    limit: int | None = None
+    offset: int | None = None
+    distinct: bool = False
+
+
+@dataclass(frozen=True)
+class Insert(Statement):
+    table: str
+    columns: tuple[str, ...]
+    rows: tuple[tuple[Expr, ...], ...]
+
+
+@dataclass(frozen=True)
+class Update(Statement):
+    table: str
+    assignments: tuple[tuple[str, Expr], ...]
+    where: Expr | None = None
+
+
+@dataclass(frozen=True)
+class Delete(Statement):
+    table: str
+    where: Expr | None = None
+
+
+@dataclass(frozen=True)
+class ColumnDef:
+    name: str
+    type_name: str
+    primary_key: bool = False
+    not_null: bool = False
+
+
+@dataclass(frozen=True)
+class CreateTable(Statement):
+    name: str
+    columns: tuple[ColumnDef, ...]
+    if_not_exists: bool = False
+
+
+@dataclass(frozen=True)
+class DropTable(Statement):
+    name: str
+    if_exists: bool = False
+
+
+@dataclass(frozen=True)
+class CreateFunction(Statement):
+    name: str
+    arg_types: tuple[str, ...]
+    return_type: str
+    body: str
+    language: str = "plpgsql"
+    volatility: str = "volatile"
+
+
+@dataclass(frozen=True)
+class CreateOperator(Statement):
+    name: str
+    options: dict[str, str] = field(default_factory=dict)
+
+    def __hash__(self) -> int:  # dict field prevents auto-hash
+        return hash((self.name, tuple(sorted(self.options.items()))))
+
+
+@dataclass(frozen=True)
+class SetStatement(Statement):
+    name: str
+    value: str
+
+
+@dataclass(frozen=True)
+class ShowStatement(Statement):
+    name: str
+
+
+@dataclass(frozen=True)
+class Explain(Statement):
+    statement: Statement
+    costs: bool = True
+
+
+@dataclass(frozen=True)
+class Transaction(Statement):
+    kind: str  # 'begin', 'commit', 'rollback'
+
+
+@dataclass(frozen=True)
+class Grant(Statement):
+    privilege: str
+    table: str
+    grantee: str
+
+
+@dataclass(frozen=True)
+class CreateUser(Statement):
+    name: str
+
+
+@dataclass(frozen=True)
+class CreatePolicy(Statement):
+    name: str
+    table: str
+    using: Expr
+
+
+@dataclass(frozen=True)
+class AlterTableRowSecurity(Statement):
+    table: str
+    enable: bool = True
+
+
+@dataclass(frozen=True)
+class CreateIndex(Statement):
+    name: str
+    table: str
+    columns: tuple[str, ...]
+    unique: bool = False

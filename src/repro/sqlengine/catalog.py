@@ -1,0 +1,156 @@
+"""Catalog objects: tables, functions, operators, users, privileges."""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass, field
+
+from repro.sqlengine import ast_nodes as ast
+from repro.sqlengine.errors import (
+    ConstraintViolationError,
+    DuplicateObjectError,
+    UndefinedColumnError,
+    UndefinedTableError,
+)
+from repro.sqlengine.types import coerce
+
+
+@dataclass
+class TablePolicy:
+    """A row-level security policy: rows must satisfy ``using``."""
+
+    name: str
+    using: ast.Expr
+
+
+class Table:
+    """Row storage plus schema for one table."""
+
+    def __init__(self, name: str, columns: tuple[ast.ColumnDef, ...], owner: str) -> None:
+        self.name = name
+        self.columns = columns
+        self.owner = owner
+        self.rows: list[list[object]] = []
+        self.rls_enabled = False
+        self.policies: list[TablePolicy] = []
+        self._column_index = {col.name: i for i, col in enumerate(columns)}
+        self._primary_key = [i for i, col in enumerate(columns) if col.primary_key]
+        self._pk_values: set[object] = set()
+        #: PK value -> row, for indexed point lookups (single-column PKs).
+        self._pk_index: dict[object, list[object]] = {}
+
+    @property
+    def column_names(self) -> list[str]:
+        return [col.name for col in self.columns]
+
+    def column_position(self, name: str) -> int:
+        try:
+            return self._column_index[name]
+        except KeyError:
+            raise UndefinedColumnError(
+                f'column "{name}" of relation "{self.name}" does not exist'
+            ) from None
+
+    def has_column(self, name: str) -> bool:
+        return name in self._column_index
+
+    def insert(self, values: list[object]) -> None:
+        """Insert a coerced row, enforcing the primary key if one exists."""
+        coerced = [coerce(v, col.type_name) for v, col in zip(values, self.columns)]
+        if self._primary_key:
+            key = tuple(coerced[i] for i in self._primary_key)
+            if key in self._pk_values:
+                raise ConstraintViolationError(
+                    f'duplicate key value violates unique constraint on "{self.name}"'
+                )
+            self._pk_values.add(key)
+            if len(self._primary_key) == 1:
+                self._pk_index[coerced[self._primary_key[0]]] = coerced
+        self.rows.append(coerced)
+
+    @property
+    def single_pk_column(self) -> str | None:
+        """Name of the primary-key column if it is a single column."""
+        if len(self._primary_key) == 1:
+            return self.columns[self._primary_key[0]].name
+        return None
+
+    def lookup_pk(self, value: object) -> list[object] | None:
+        """Indexed point lookup on a single-column primary key."""
+        return self._pk_index.get(value)
+
+    def rebuild_pk_index(self) -> None:
+        """Recompute the PK indexes after UPDATE/DELETE mutated rows."""
+        if self._primary_key:
+            self._pk_values = {
+                tuple(row[i] for i in self._primary_key) for row in self.rows
+            }
+            if len(self._primary_key) == 1:
+                position = self._primary_key[0]
+                self._pk_index = {row[position]: row for row in self.rows}
+
+    def estimated_bytes(self) -> int:
+        """Rough resident size, used by the resource-accounting substrate."""
+        if not self.rows:
+            return 256
+        sample = self.rows[0]
+        row_bytes = sum(sys.getsizeof(v) for v in sample) + 64
+        return 256 + row_bytes * len(self.rows)
+
+
+@dataclass
+class UserFunction:
+    """A user-defined function (plpgsql), the CVE exploit vector."""
+
+    name: str
+    arg_types: tuple[str, ...]
+    return_type: str
+    body: str
+    language: str = "plpgsql"
+    volatility: str = "volatile"
+
+
+@dataclass
+class OperatorDef:
+    """A user-defined operator bound to a procedure."""
+
+    name: str
+    procedure: str
+    leftarg: str | None = None
+    rightarg: str | None = None
+    restrict: str | None = None
+
+
+@dataclass
+class Catalog:
+    """All named objects in one database."""
+
+    tables: dict[str, Table] = field(default_factory=dict)
+    functions: dict[str, UserFunction] = field(default_factory=dict)
+    operators: dict[str, OperatorDef] = field(default_factory=dict)
+    users: set[str] = field(default_factory=lambda: {"postgres"})
+    superusers: set[str] = field(default_factory=lambda: {"postgres"})
+    #: table name -> set of users granted SELECT
+    select_grants: dict[str, set[str]] = field(default_factory=dict)
+
+    def table(self, name: str) -> Table:
+        try:
+            return self.tables[name]
+        except KeyError:
+            raise UndefinedTableError(f'relation "{name}" does not exist') from None
+
+    def add_table(self, table: Table, *, if_not_exists: bool = False) -> bool:
+        if table.name in self.tables:
+            if if_not_exists:
+                return False
+            raise DuplicateObjectError(f'relation "{table.name}" already exists')
+        self.tables[table.name] = table
+        return True
+
+    def can_select(self, user: str, table: Table) -> bool:
+        if user in self.superusers or user == table.owner:
+            return True
+        return user in self.select_grants.get(table.name, set())
+
+    def total_bytes(self) -> int:
+        return sum(table.estimated_bytes() for table in self.tables.values())

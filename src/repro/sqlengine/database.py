@@ -1,0 +1,111 @@
+"""The top-level Database object: profiles, sessions, script execution.
+
+A :class:`Database` is one *engine instance*.  Its behaviour — version
+string, UDF support, and whether the two CVE leak paths are present — is
+set by its :class:`EngineProfile`, which is how the vendor layer expresses
+"PostgreSQL 10.7" versus "PostgreSQL 10.9" versus "CockroachDB".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sqlengine.catalog import Catalog
+from repro.sqlengine.errors import SqlError
+from repro.sqlengine.evaluator import Notice, Session, WorkCounters
+from repro.sqlengine.executor import Executor, QueryResult
+from repro.sqlengine.parser import parse_sql
+
+
+@dataclass
+class EngineProfile:
+    """Behavioural fingerprint of one database engine version."""
+
+    name: str = "postsim"
+    version: str = "13.0"
+    version_string: str = "PostgreSQL 13.0 (postsim) on x86_64-repro"
+    supports_udf: bool = True
+    udf_error_message: str = "user-defined functions are not supported"
+    #: CVE-2017-7484: EXPLAIN feeds unprivileged stats to restrict estimators.
+    planner_stats_leak: bool = False
+    #: CVE-2019-10130: user operators run before row-level security filters.
+    rls_pushdown_leak: bool = False
+    #: Ablation knob modelling engines with unspecified row order.
+    reverse_unordered_scans: bool = False
+    defaults: dict[str, str] = field(
+        default_factory=lambda: {
+            "client_min_messages": "notice",
+            "default_transaction_isolation": "read committed",
+        }
+    )
+
+
+@dataclass
+class ExecutionOutcome:
+    """One statement's result plus the notices it raised."""
+
+    result: QueryResult | None
+    notices: list[Notice]
+    error: SqlError | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+class Database:
+    """One engine instance: a catalog plus an executor and sessions."""
+
+    def __init__(self, profile: EngineProfile | None = None) -> None:
+        self.profile = profile or EngineProfile()
+        self.catalog = Catalog()
+        self.executor = Executor(self.catalog, self.profile)
+        self.total_work = WorkCounters()
+
+    def create_session(self, user: str = "postgres") -> Session:
+        session = Session(user=user, settings=dict(self.profile.defaults))
+        return session
+
+    def execute(self, sql: str, session: Session | None = None) -> list[ExecutionOutcome]:
+        """Run a script; each statement yields an :class:`ExecutionOutcome`.
+
+        A statement error aborts the rest of the script (like a simple-query
+        batch in PostgreSQL) and is reported in the final outcome.
+        """
+        session = session or self.create_session()
+        outcomes: list[ExecutionOutcome] = []
+        try:
+            statements = parse_sql(sql)
+        except SqlError as error:
+            return [ExecutionOutcome(result=None, notices=[], error=error)]
+        for statement in statements:
+            try:
+                result = self.executor.execute(statement, session)
+            except SqlError as error:
+                outcomes.append(
+                    ExecutionOutcome(
+                        result=None, notices=session.drain_notices(), error=error
+                    )
+                )
+                break
+            outcomes.append(
+                ExecutionOutcome(result=result, notices=session.drain_notices())
+            )
+        self.total_work.merge(session.work)
+        session.work = WorkCounters()
+        return outcomes
+
+    def query(self, sql: str, session: Session | None = None) -> QueryResult:
+        """Run a single statement and return its result, raising on error."""
+        outcomes = self.execute(sql, session)
+        if len(outcomes) != 1:
+            raise SqlError(f"expected one statement, got {len(outcomes)}")
+        outcome = outcomes[0]
+        if outcome.error is not None:
+            raise outcome.error
+        assert outcome.result is not None
+        return outcome.result
+
+    def resident_bytes(self) -> int:
+        """Approximate memory footprint of the stored data."""
+        return self.catalog.total_bytes()

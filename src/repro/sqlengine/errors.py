@@ -1,0 +1,64 @@
+"""SQL engine error hierarchy.
+
+Errors carry PostgreSQL-style SQLSTATE codes so the pgwire server can
+emit faithful ErrorResponse messages, and so diverse vendor databases
+(:mod:`repro.vendors`) can differ in *which* error they raise — the very
+signal RDDR diffs on.
+"""
+
+from __future__ import annotations
+
+
+class SqlError(Exception):
+    """Base class for all SQL engine errors."""
+
+    sqlstate = "XX000"  # internal_error
+
+    def __init__(self, message: str, sqlstate: str | None = None) -> None:
+        super().__init__(message)
+        if sqlstate is not None:
+            self.sqlstate = sqlstate
+
+    @property
+    def message(self) -> str:
+        return str(self)
+
+
+class SqlSyntaxError(SqlError):
+    sqlstate = "42601"
+
+
+class UndefinedTableError(SqlError):
+    sqlstate = "42P01"
+
+
+class UndefinedColumnError(SqlError):
+    sqlstate = "42703"
+
+
+class UndefinedFunctionError(SqlError):
+    sqlstate = "42883"
+
+
+class DuplicateObjectError(SqlError):
+    sqlstate = "42710"
+
+
+class FeatureNotSupportedError(SqlError):
+    sqlstate = "0A000"
+
+
+class InsufficientPrivilegeError(SqlError):
+    sqlstate = "42501"
+
+
+class DataTypeError(SqlError):
+    sqlstate = "42804"
+
+
+class DivisionByZeroError(SqlError):
+    sqlstate = "22012"
+
+
+class ConstraintViolationError(SqlError):
+    sqlstate = "23505"

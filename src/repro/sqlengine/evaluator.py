@@ -1,0 +1,641 @@
+"""Expression evaluation, sessions, and work accounting.
+
+The evaluator is shared by the executor (row predicates, projections), the
+plpgsql interpreter (function bodies), and the planner's selectivity
+estimation path (which is where CVE-2017-7484 leaks).
+"""
+
+from __future__ import annotations
+
+import datetime
+import re
+from dataclasses import dataclass, field
+
+from repro.sqlengine import ast_nodes as ast
+from repro.sqlengine import plpgsql
+from repro.sqlengine.catalog import Catalog, OperatorDef, UserFunction
+from repro.sqlengine.errors import (
+    DataTypeError,
+    DivisionByZeroError,
+    SqlError,
+    UndefinedColumnError,
+    UndefinedFunctionError,
+)
+from repro.sqlengine.types import Interval, coerce, format_value
+
+AGGREGATE_NAMES = {"count", "sum", "avg", "min", "max"}
+
+
+@dataclass
+class Notice:
+    """A server message on the NOTICE channel (the CVE leak vector)."""
+
+    level: str
+    message: str
+
+
+@dataclass
+class WorkCounters:
+    """Execution-cost accounting consumed by the resource simulator."""
+
+    rows_scanned: int = 0
+    rows_returned: int = 0
+    function_calls: int = 0
+    comparisons: int = 0
+    bytes_processed: int = 0
+
+    def merge(self, other: "WorkCounters") -> None:
+        self.rows_scanned += other.rows_scanned
+        self.rows_returned += other.rows_returned
+        self.function_calls += other.function_calls
+        self.comparisons += other.comparisons
+        self.bytes_processed += other.bytes_processed
+
+    def total_units(self) -> int:
+        """A single scalar cost used by the simulated host."""
+        return (
+            self.rows_scanned
+            + self.rows_returned * 2
+            + self.function_calls * 5
+            + self.comparisons
+            + self.bytes_processed // 64
+        )
+
+
+@dataclass
+class Session:
+    """Per-connection state: user identity, settings, notices, work."""
+
+    user: str = "postgres"
+    settings: dict[str, str] = field(default_factory=dict)
+    notices: list[Notice] = field(default_factory=list)
+    work: WorkCounters = field(default_factory=WorkCounters)
+    in_transaction: bool = False
+
+    def notice(self, message: str, level: str = "NOTICE") -> None:
+        self.notices.append(Notice(level=level, message=message))
+
+    def drain_notices(self) -> list[Notice]:
+        notices, self.notices = self.notices, []
+        return notices
+
+
+class Scope:
+    """Column bindings for the current row during evaluation.
+
+    ``parent`` chains to an enclosing query's scope, which is how
+    correlated subqueries see the outer row's columns.
+    """
+
+    def __init__(self, parent: "Scope | None" = None) -> None:
+        self._bindings: dict[str, tuple[dict[str, int], list[object]]] = {}
+        self.parent = parent
+
+    def bind(self, name: str, colmap: dict[str, int], values: list[object]) -> None:
+        self._bindings[name] = (colmap, values)
+
+    def lookup(self, table: str | None, column: str) -> object:
+        if table is not None:
+            entry = self._bindings.get(table)
+            if entry is None:
+                if self.parent is not None:
+                    return self.parent.lookup(table, column)
+                raise UndefinedColumnError(
+                    f'missing FROM-clause entry for table "{table}"'
+                )
+            colmap, values = entry
+            index = colmap.get(column)
+            if index is None:
+                raise UndefinedColumnError(
+                    f'column {table}.{column} does not exist'
+                )
+            return values[index]
+        matches = []
+        for name, (colmap, values) in self._bindings.items():
+            index = colmap.get(column)
+            if index is not None:
+                matches.append(values[index])
+        if not matches:
+            if self.parent is not None:
+                return self.parent.lookup(table, column)
+            raise UndefinedColumnError(f'column "{column}" does not exist')
+        if len(matches) > 1:
+            raise UndefinedColumnError(f'column reference "{column}" is ambiguous')
+        return matches[0]
+
+    def bindings(self) -> dict[str, tuple[dict[str, int], list[object]]]:
+        return self._bindings
+
+
+_EMPTY_SCOPE = Scope()
+_LIKE_CACHE: dict[str, re.Pattern[str]] = {}
+_MISSING = object()
+
+
+class _RecordingScope:
+    """Wraps an outer scope, recording which columns a subquery reads.
+
+    Stands in as a Scope ``parent``: only :meth:`lookup` is needed.
+    """
+
+    def __init__(self, inner: Scope) -> None:
+        self._inner = inner
+        self.recorded: set[tuple[str | None, str]] = set()
+
+    def lookup(self, table: str | None, column: str) -> object:
+        value = self._inner.lookup(table, column)
+        self.recorded.add((table, column))
+        return value
+
+
+class Evaluator:
+    """Evaluates expressions against a scope, catalog, and session."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        session: Session,
+        *,
+        builtins: dict[str, object] | None = None,
+        version_string: str = "PostgreSQL (repro)",
+    ) -> None:
+        self.catalog = catalog
+        self.session = session
+        self.version_string = version_string
+        self._builtins = builtins or {}
+        #: Installed by the executor: runs a Select with an outer scope
+        #: and returns its rows.  None until an executor owns this
+        #: evaluator (expressions with subqueries then fail cleanly).
+        self.subquery_runner = None
+        #: Results of uncorrelated subqueries, evaluated once per query.
+        self._subquery_cache: dict[int, list[list[object]]] = {}
+        #: For uncorrelated IN-subqueries: first-column value sets.
+        self._subquery_set_cache: dict[int, set[object]] = {}
+        #: For correlated subqueries: which outer refs each node reads...
+        self._correlated_refs: dict[int, list[tuple[str | None, str]]] = {}
+        #: ...and the memoized rows per outer-value combination.
+        self._correlated_cache: dict[tuple[object, ...], list[list[object]]] = {}
+
+    # -- public API ---------------------------------------------------------
+
+    def evaluate(
+        self,
+        expr: ast.Expr,
+        scope: Scope | None = None,
+        *,
+        params: list[object] | None = None,
+        agg_values: dict[int, object] | None = None,
+    ) -> object:
+        scope = scope or _EMPTY_SCOPE
+        return self._eval(expr, scope, params or [], agg_values or {})
+
+    def truthy(self, value: object) -> bool:
+        """SQL three-valued logic collapsed for filtering: NULL is false."""
+        return value is True
+
+    # -- dispatch -------------------------------------------------------------
+
+    def _eval(
+        self,
+        expr: ast.Expr,
+        scope: Scope,
+        params: list[object],
+        agg_values: dict[int, object],
+    ) -> object:
+        if id(expr) in agg_values:
+            return agg_values[id(expr)]
+        if isinstance(expr, ast.Literal):
+            return expr.value
+        if isinstance(expr, ast.IntervalLiteral):
+            return expr.interval
+        if isinstance(expr, ast.Column):
+            return scope.lookup(expr.table, expr.name)
+        if isinstance(expr, ast.Param):
+            if expr.index < 1 or expr.index > len(params):
+                raise SqlError(f"there is no parameter ${expr.index}")
+            return params[expr.index - 1]
+        if isinstance(expr, ast.Unary):
+            return self._eval_unary(expr, scope, params, agg_values)
+        if isinstance(expr, ast.Binary):
+            return self._eval_binary(expr, scope, params, agg_values)
+        if isinstance(expr, ast.InList):
+            return self._eval_in(expr, scope, params, agg_values)
+        if isinstance(expr, ast.Between):
+            value = self._eval(expr.expr, scope, params, agg_values)
+            low = self._eval(expr.low, scope, params, agg_values)
+            high = self._eval(expr.high, scope, params, agg_values)
+            if value is None or low is None or high is None:
+                return None
+            self.session.work.comparisons += 2
+            result = low <= value <= high
+            return (not result) if expr.negated else result
+        if isinstance(expr, ast.IsNull):
+            value = self._eval(expr.expr, scope, params, agg_values)
+            return (value is not None) if expr.negated else (value is None)
+        if isinstance(expr, ast.CaseWhen):
+            for condition, result in expr.whens:
+                if self.truthy(self._eval(condition, scope, params, agg_values)):
+                    return self._eval(result, scope, params, agg_values)
+            if expr.default is not None:
+                return self._eval(expr.default, scope, params, agg_values)
+            return None
+        if isinstance(expr, ast.FuncCall):
+            return self._eval_call(expr, scope, params, agg_values)
+        if isinstance(expr, ast.Cast):
+            value = self._eval(expr.expr, scope, params, agg_values)
+            return coerce(value, expr.type_name)
+        if isinstance(expr, ast.Extract):
+            return self._eval_extract(expr, scope, params, agg_values)
+        if isinstance(expr, ast.Substring):
+            return self._eval_substring(expr, scope, params, agg_values)
+        if isinstance(expr, ast.Subquery):
+            rows = self._subquery_rows(expr.select, expr, scope)
+            if not rows:
+                return None
+            if len(rows) > 1:
+                raise SqlError("more than one row returned by a subquery used as an expression")
+            if len(rows[0]) != 1:
+                raise SqlError("subquery must return a single column")
+            return rows[0][0]
+        if isinstance(expr, ast.InSubquery):
+            value = self._eval(expr.expr, scope, params, agg_values)
+            if value is None:
+                return None
+            # Uncorrelated IN-subqueries become a hashed membership set
+            # (the semi-join real planners build).
+            members = self._subquery_set_cache.get(id(expr))
+            if members is None:
+                rows = self._subquery_rows(expr.select, expr, scope)
+                if id(expr) in self._subquery_cache:
+                    members = {row[0] for row in rows if row[0] is not None}
+                    self._subquery_set_cache[id(expr)] = members
+                else:
+                    members = {row[0] for row in rows if row[0] is not None}
+            self.session.work.comparisons += 1
+            found = value in members
+            if not found and not isinstance(value, str):
+                # cross-type equality (int column vs text subquery)
+                found = any(
+                    _unify_comparable(value, m)[0] == _unify_comparable(value, m)[1]
+                    for m in members
+                    if isinstance(m, str)
+                )
+            return (not found) if expr.negated else found
+        if isinstance(expr, ast.Exists):
+            rows = self._subquery_rows(expr.select, expr, scope)
+            return (not rows) if expr.negated else bool(rows)
+        if isinstance(expr, ast.Star):
+            raise SqlError("'*' is not allowed in this context")
+        raise SqlError(f"cannot evaluate expression {expr!r}")
+
+    def _subquery_rows(
+        self, select: "ast.Select", node: ast.Expr, scope: Scope
+    ) -> list[list[object]]:
+        """Run a subquery, caching uncorrelated results by AST node.
+
+        Correlation is detected empirically: the subquery first runs
+        *without* the outer scope; only if that fails on an unresolvable
+        column does it rerun per-row with the outer scope chained.
+        """
+        if self.subquery_runner is None:
+            raise SqlError("subqueries are not supported in this context")
+        key = id(node)
+        if key in self._subquery_cache:
+            return self._subquery_cache[key]
+        refs = self._correlated_refs.get(key)
+        if refs is None:
+            try:
+                rows = self.subquery_runner(select, None)
+                self._subquery_cache[key] = rows
+                return rows
+            except UndefinedColumnError:
+                # Correlated: rerun with the outer scope, recording which
+                # outer columns the subquery reads so later rows can be
+                # answered from the memo.
+                recorder = _RecordingScope(scope)
+                rows = self.subquery_runner(select, recorder)
+                refs = sorted(recorder.recorded)
+                self._correlated_refs[key] = refs
+                memo_key = self._memo_key(key, refs, scope)
+                self._correlated_cache[memo_key] = rows
+                return rows
+        memo_key = self._memo_key(key, refs, scope)
+        cached = self._correlated_cache.get(memo_key)
+        if cached is not None:
+            return cached
+        rows = self.subquery_runner(select, scope)
+        self._correlated_cache[memo_key] = rows
+        return rows
+
+    def _memo_key(
+        self, node_key: int, refs: list[tuple[str | None, str]], scope: Scope
+    ) -> tuple[object, ...]:
+        values: list[object] = [node_key]
+        for table, column in refs:
+            try:
+                values.append(scope.lookup(table, column))
+            except UndefinedColumnError:
+                values.append(_MISSING)
+        return tuple(values)
+
+    # -- operators -------------------------------------------------------------
+
+    def _eval_unary(
+        self, expr: ast.Unary, scope: Scope, params: list[object], agg: dict[int, object]
+    ) -> object:
+        value = self._eval(expr.operand, scope, params, agg)
+        if expr.op == "NOT":
+            if value is None:
+                return None
+            return not value
+        if value is None:
+            return None
+        if expr.op == "-":
+            return -value  # type: ignore[operator]
+        return value
+
+    def _eval_binary(
+        self, expr: ast.Binary, scope: Scope, params: list[object], agg: dict[int, object]
+    ) -> object:
+        op = expr.op
+        if op == "AND":
+            left = self._eval(expr.left, scope, params, agg)
+            if left is False:
+                return False
+            right = self._eval(expr.right, scope, params, agg)
+            if left is None or right is None:
+                return None if right is not False else False
+            return bool(left) and bool(right)
+        if op == "OR":
+            left = self._eval(expr.left, scope, params, agg)
+            if left is True:
+                return True
+            right = self._eval(expr.right, scope, params, agg)
+            if left is None or right is None:
+                return None if right is not True else True
+            return bool(left) or bool(right)
+
+        left = self._eval(expr.left, scope, params, agg)
+        right = self._eval(expr.right, scope, params, agg)
+
+        if op in ("=", "<>", "!=", "<", "<=", ">", ">="):
+            return self._compare(op, left, right)
+        if op == "LIKE":
+            if left is None or right is None:
+                return None
+            return _like_match(str(left), str(right))
+        if op == "||":
+            if left is None or right is None:
+                return None
+            return format_value(left) + format_value(right)
+        if op in ("+", "-", "*", "/", "%"):
+            return self._arithmetic(op, left, right)
+        return self._custom_operator(op, left, right)
+
+    def _compare(self, op: str, left: object, right: object) -> object:
+        if left is None or right is None:
+            return None
+        self.session.work.comparisons += 1
+        left, right = _unify_comparable(left, right)
+        try:
+            if op == "=":
+                return left == right
+            if op in ("<>", "!="):
+                return left != right
+            if op == "<":
+                return left < right  # type: ignore[operator]
+            if op == "<=":
+                return left <= right  # type: ignore[operator]
+            if op == ">":
+                return left > right  # type: ignore[operator]
+            return left >= right  # type: ignore[operator]
+        except TypeError as exc:
+            raise DataTypeError(
+                f"cannot compare {type(left).__name__} and {type(right).__name__}"
+            ) from exc
+
+    def _arithmetic(self, op: str, left: object, right: object) -> object:
+        if left is None or right is None:
+            return None
+        if isinstance(left, datetime.date) and isinstance(right, Interval):
+            return right.add_to(left) if op == "+" else right.subtract_from(left)
+        if isinstance(right, datetime.date) and isinstance(left, Interval) and op == "+":
+            return left.add_to(right)
+        if isinstance(left, datetime.date) and isinstance(right, datetime.date) and op == "-":
+            return (left - right).days
+        try:
+            if op == "+":
+                return left + right  # type: ignore[operator]
+            if op == "-":
+                return left - right  # type: ignore[operator]
+            if op == "*":
+                return left * right  # type: ignore[operator]
+            if op == "/":
+                if right == 0:
+                    raise DivisionByZeroError("division by zero")
+                if isinstance(left, int) and isinstance(right, int):
+                    # SQL integer division truncates toward zero.
+                    return int(left / right)
+                return left / right  # type: ignore[operator]
+            if right == 0:
+                raise DivisionByZeroError("division by zero")
+            return left % right  # type: ignore[operator]
+        except TypeError as exc:
+            raise DataTypeError(
+                f"invalid operands for {op}: {type(left).__name__}, {type(right).__name__}"
+            ) from exc
+
+    def _custom_operator(self, op: str, left: object, right: object) -> object:
+        operator = self.catalog.operators.get(op)
+        if operator is None:
+            raise UndefinedFunctionError(f"operator does not exist: {op}")
+        return self.call_operator_procedure(operator, [left, right])
+
+    def call_operator_procedure(self, operator: OperatorDef, args: list[object]) -> object:
+        function = self.catalog.functions.get(operator.procedure)
+        if function is None:
+            raise UndefinedFunctionError(
+                f"function {operator.procedure} does not exist"
+            )
+        return self.call_function(function, args)
+
+    def call_function(self, function: UserFunction, args: list[object]) -> object:
+        """Run a plpgsql function body; NOTICEs land on the session."""
+        self.session.work.function_calls += 1
+        statements = plpgsql.parse_body(function.body)
+        for statement in statements:
+            if isinstance(statement, plpgsql.RaiseStatement):
+                values = [
+                    self._eval(arg, _EMPTY_SCOPE, args, {}) for arg in statement.args
+                ]
+                message = plpgsql.render_format(statement.format_string, values)
+                if statement.level == "exception":
+                    raise SqlError(message, sqlstate="P0001")
+                self.session.notice(message)
+            elif isinstance(statement, plpgsql.ReturnStatement):
+                value = self._eval(statement.expr, _EMPTY_SCOPE, args, {})
+                return coerce(value, function.return_type)
+        raise SqlError("control reached end of function without RETURN")
+
+    # -- built-in functions -------------------------------------------------
+
+    def _eval_call(
+        self, expr: ast.FuncCall, scope: Scope, params: list[object], agg: dict[int, object]
+    ) -> object:
+        name = expr.name
+        if name in AGGREGATE_NAMES:
+            raise SqlError(f"aggregate function {name} used outside of a grouped query")
+        args = [self._eval(arg, scope, params, agg) for arg in expr.args]
+        if name == "version":
+            return self.version_string
+        if name == "current_user":
+            return self.session.user
+        if name == "coalesce":
+            for value in args:
+                if value is not None:
+                    return value
+            return None
+        if name == "upper":
+            return None if args[0] is None else str(args[0]).upper()
+        if name == "lower":
+            return None if args[0] is None else str(args[0]).lower()
+        if name in ("length", "char_length"):
+            return None if args[0] is None else len(str(args[0]))
+        if name == "abs":
+            return None if args[0] is None else abs(args[0])  # type: ignore[arg-type]
+        if name == "round":
+            if args[0] is None:
+                return None
+            digits = int(args[1]) if len(args) > 1 and args[1] is not None else 0
+            return round(float(args[0]), digits)
+        if name == "floor":
+            import math
+
+            return None if args[0] is None else float(math.floor(args[0]))  # type: ignore[arg-type]
+        if name == "ceil" or name == "ceiling":
+            import math
+
+            return None if args[0] is None else float(math.ceil(args[0]))  # type: ignore[arg-type]
+        if name == "mod":
+            if args[0] is None or args[1] is None:
+                return None
+            return args[0] % args[1]  # type: ignore[operator]
+        if name == "current_date":
+            return datetime.date.today()
+        if name == "md5":
+            import hashlib
+
+            return None if args[0] is None else hashlib.md5(str(args[0]).encode()).hexdigest()
+        if name == "concat":
+            return "".join(format_value(a) for a in args if a is not None)
+        if name == "date_part":
+            return _extract_field(str(args[0]).lower(), args[1])
+        if name == "substr" or name == "substring":
+            source = str(args[0])
+            start = int(args[1])
+            if len(args) > 2 and args[2] is not None:
+                return source[start - 1 : start - 1 + int(args[2])]
+            return source[start - 1 :]
+        if name in self._builtins:
+            handler = self._builtins[name]
+            return handler(self.session, args)  # type: ignore[operator]
+        function = self.catalog.functions.get(name)
+        if function is not None:
+            return self.call_function(function, args)
+        raise UndefinedFunctionError(f"function {name} does not exist")
+
+    def _eval_in(
+        self, expr: ast.InList, scope: Scope, params: list[object], agg: dict[int, object]
+    ) -> object:
+        value = self._eval(expr.expr, scope, params, agg)
+        if value is None:
+            return None
+        found = False
+        for item in expr.items:
+            candidate = self._eval(item, scope, params, agg)
+            self.session.work.comparisons += 1
+            if candidate is not None:
+                left, right = _unify_comparable(value, candidate)
+                if left == right:
+                    found = True
+                    break
+        return (not found) if expr.negated else found
+
+    def _eval_extract(
+        self, expr: ast.Extract, scope: Scope, params: list[object], agg: dict[int, object]
+    ) -> object:
+        source = self._eval(expr.source, scope, params, agg)
+        return _extract_field(expr.what, source)
+
+    def _eval_substring(
+        self, expr: ast.Substring, scope: Scope, params: list[object], agg: dict[int, object]
+    ) -> object:
+        source = self._eval(expr.source, scope, params, agg)
+        if source is None:
+            return None
+        start = int(self._eval(expr.start, scope, params, agg))  # type: ignore[arg-type]
+        text = str(source)
+        if expr.length is not None:
+            length = int(self._eval(expr.length, scope, params, agg))  # type: ignore[arg-type]
+            return text[start - 1 : start - 1 + length]
+        return text[start - 1 :]
+
+
+def _extract_field(what: str, value: object) -> object:
+    if value is None:
+        return None
+    if not isinstance(value, datetime.date):
+        raise DataTypeError(f"EXTRACT source must be a date, got {value!r}")
+    if what == "year":
+        return value.year
+    if what == "month":
+        return value.month
+    if what == "day":
+        return value.day
+    if what in ("dow", "dayofweek"):
+        return (value.weekday() + 1) % 7
+    raise DataTypeError(f"unsupported EXTRACT field: {what}")
+
+
+def _like_match(text: str, pattern: str) -> bool:
+    compiled = _LIKE_CACHE.get(pattern)
+    if compiled is None:
+        regex = "".join(
+            ".*" if ch == "%" else "." if ch == "_" else re.escape(ch) for ch in pattern
+        )
+        compiled = re.compile(f"^{regex}$", re.DOTALL)
+        if len(_LIKE_CACHE) > 1024:
+            _LIKE_CACHE.clear()
+        _LIKE_CACHE[pattern] = compiled
+    return compiled.match(text) is not None
+
+
+def _unify_comparable(left: object, right: object) -> tuple[object, object]:
+    """Coerce mixed numeric / text-date pairs so comparison is defined."""
+    if isinstance(left, bool) or isinstance(right, bool):
+        return left, right
+    if isinstance(left, (int, float)) and isinstance(right, (int, float)):
+        return left, right
+    if isinstance(left, datetime.date) and isinstance(right, str):
+        from repro.sqlengine.types import parse_date
+
+        return left, parse_date(right)
+    if isinstance(right, datetime.date) and isinstance(left, str):
+        from repro.sqlengine.types import parse_date
+
+        return parse_date(left), right
+    # Numeric-string coercion: integer columns compare against quoted
+    # literals ("user_id = '1'") throughout the DVWA-style apps.  A
+    # non-numeric string simply compares unequal (MySQL-style looseness,
+    # which the injection scenarios rely on).
+    if isinstance(left, (int, float)) and isinstance(right, str):
+        try:
+            return left, float(right) if "." in right else int(right)
+        except ValueError:
+            return left, right
+    if isinstance(right, (int, float)) and isinstance(left, str):
+        try:
+            return float(left) if "." in left else int(left), right
+        except ValueError:
+            return left, right
+    return left, right

@@ -1,0 +1,1112 @@
+"""Statement execution: scans, joins, aggregation, DDL, and EXPLAIN.
+
+The executor also hosts the two version-parameterized PostgreSQL
+vulnerabilities the paper exploits:
+
+* **CVE-2017-7484** (planner statistics leak): during ``EXPLAIN``,
+  selectivity estimation invokes a user-defined operator's procedure on
+  sample values of the referenced column *without* checking SELECT
+  privilege.  Fixed engines check privilege before consulting statistics.
+* **CVE-2019-10130** (row-level security pushdown leak): a user-defined
+  operator in WHERE is evaluated on *all* rows before the RLS policy
+  filter, so its ``RAISE NOTICE`` side channel sees protected rows.
+  Fixed engines filter by policy before running user predicates.
+
+Which behaviour an engine exhibits is controlled by its
+:class:`~repro.sqlengine.database.EngineProfile`, letting the vendor
+layer (:mod:`repro.vendors`) express "postsim 10.7" vs "postsim 10.9".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sqlengine import ast_nodes as ast
+from repro.sqlengine.catalog import Catalog, OperatorDef, Table, TablePolicy, UserFunction
+from repro.sqlengine.errors import (
+    DuplicateObjectError,
+    FeatureNotSupportedError,
+    InsufficientPrivilegeError,
+    SqlError,
+    UndefinedColumnError,
+    UndefinedTableError,
+)
+from repro.sqlengine.evaluator import AGGREGATE_NAMES, Evaluator, Scope, Session
+from repro.sqlengine.render import render_expr
+from repro.sqlengine.types import BOOL, FLOAT, INT, TEXT, infer_type
+
+#: How many sample values the (leaky) planner feeds to restrict estimators.
+PLANNER_SAMPLE_ROWS = 100
+
+
+@dataclass
+class QueryResult:
+    """Result of one statement."""
+
+    columns: list[tuple[str, str]] = field(default_factory=list)
+    rows: list[list[object]] = field(default_factory=list)
+    command_tag: str = "SELECT 0"
+
+    @property
+    def column_names(self) -> list[str]:
+        return [name for name, _ in self.columns]
+
+    def scalar(self) -> object:
+        """The single value of a 1x1 result (test convenience)."""
+        if len(self.rows) != 1 or len(self.rows[0]) != 1:
+            raise ValueError("result is not 1x1")
+        return self.rows[0][0]
+
+
+class _JoinRow:
+    """An intermediate joined row: per-binding value lists."""
+
+    __slots__ = ("values",)
+
+    def __init__(self, values: dict[str, list[object]]) -> None:
+        self.values = values
+
+    def extended(self, binding: str, row: list[object]) -> "_JoinRow":
+        merged = dict(self.values)
+        merged[binding] = row
+        return _JoinRow(merged)
+
+
+class Executor:
+    """Executes parsed statements against a catalog."""
+
+    def __init__(self, catalog: Catalog, profile: "EngineProfileLike") -> None:
+        self.catalog = catalog
+        self.profile = profile
+
+    # ------------------------------------------------------------------ api
+
+    def execute(self, statement: ast.Statement, session: Session) -> QueryResult:
+        evaluator = Evaluator(
+            self.catalog, session, version_string=self.profile.version_string
+        )
+        evaluator.subquery_runner = (
+            lambda select, outer: self._execute_select(
+                select, session, evaluator, outer=outer
+            ).rows
+        )
+        if isinstance(statement, ast.Select):
+            return self._execute_select(statement, session, evaluator)
+        if isinstance(statement, ast.Insert):
+            return self._execute_insert(statement, session, evaluator)
+        if isinstance(statement, ast.Update):
+            return self._execute_update(statement, session, evaluator)
+        if isinstance(statement, ast.Delete):
+            return self._execute_delete(statement, session, evaluator)
+        if isinstance(statement, ast.CreateTable):
+            return self._execute_create_table(statement, session)
+        if isinstance(statement, ast.DropTable):
+            return self._execute_drop_table(statement)
+        if isinstance(statement, ast.CreateFunction):
+            return self._execute_create_function(statement)
+        if isinstance(statement, ast.CreateOperator):
+            return self._execute_create_operator(statement)
+        if isinstance(statement, ast.CreateUser):
+            self.catalog.users.add(statement.name)
+            return QueryResult(command_tag="CREATE ROLE")
+        if isinstance(statement, ast.Grant):
+            return self._execute_grant(statement)
+        if isinstance(statement, ast.CreatePolicy):
+            return self._execute_create_policy(statement)
+        if isinstance(statement, ast.AlterTableRowSecurity):
+            table = self.catalog.table(statement.table)
+            table.rls_enabled = statement.enable
+            return QueryResult(command_tag="ALTER TABLE")
+        if isinstance(statement, ast.CreateIndex):
+            self.catalog.table(statement.table)  # existence check
+            return QueryResult(command_tag="CREATE INDEX")
+        if isinstance(statement, ast.SetStatement):
+            session.settings[statement.name.lower()] = str(statement.value).lower()
+            return QueryResult(command_tag="SET")
+        if isinstance(statement, ast.ShowStatement):
+            return self._execute_show(statement, session)
+        if isinstance(statement, ast.Transaction):
+            session.in_transaction = statement.kind == "begin"
+            return QueryResult(command_tag=statement.kind.upper())
+        if isinstance(statement, ast.Explain):
+            return self._execute_explain(statement, session, evaluator)
+        raise SqlError(f"unsupported statement: {type(statement).__name__}")
+
+    # ------------------------------------------------------------- SELECT
+
+    def _execute_select(
+        self,
+        select: ast.Select,
+        session: Session,
+        evaluator: Evaluator,
+        outer: Scope | None = None,
+    ) -> QueryResult:
+        rows, schemas = self._produce_joined_rows(select, session, evaluator, outer)
+        aggregates = self._collect_aggregates(select)
+        if select.group_by or aggregates:
+            output_rows, order_keys = self._execute_grouped(
+                select, rows, schemas, evaluator, aggregates, outer
+            )
+        else:
+            output_rows, order_keys = self._project(select, rows, schemas, evaluator, outer)
+        if select.distinct:
+            output_rows, order_keys = _distinct(output_rows, order_keys)
+        output_rows = _sort_rows(select.order_by, output_rows, order_keys)
+        if select.offset:
+            output_rows = output_rows[select.offset :]
+        if select.limit is not None:
+            output_rows = output_rows[: select.limit]
+        if self.profile.reverse_unordered_scans and not select.order_by:
+            output_rows = list(reversed(output_rows))
+        columns = self._output_columns(select, schemas, output_rows)
+        session.work.rows_returned += len(output_rows)
+        return QueryResult(
+            columns=columns,
+            rows=output_rows,
+            command_tag=f"SELECT {len(output_rows)}",
+        )
+
+    def _produce_joined_rows(
+        self,
+        select: ast.Select,
+        session: Session,
+        evaluator: Evaluator,
+        outer: Scope | None = None,
+    ) -> tuple[list[_JoinRow], dict[str, dict[str, int]]]:
+        """Join the FROM tables, pushing WHERE conjuncts down eagerly."""
+        schemas: dict[str, dict[str, int]] = {}
+        if not select.tables:
+            return [_JoinRow({})], schemas
+
+        conjuncts = _split_conjuncts(select.where)
+        # RLS post-filters for the *leaky* pushdown mode: (binding, policies)
+        leak_post_filters: list[tuple[str, Table]] = []
+        pending = list(conjuncts)
+        rows: list[_JoinRow] | None = None
+
+        for ref in select.tables:
+            table = self.catalog.table(ref.name)
+            self._check_select_privilege(session, table)
+            binding = ref.binding
+            if binding in schemas:
+                raise SqlError(f'duplicate table binding "{binding}"')
+            colmap = {name: i for i, name in enumerate(table.column_names)}
+
+            base_rows = None
+            if rows is None and not (
+                table.rls_enabled and self.profile.rls_pushdown_leak
+            ):
+                lookup = self._try_pk_lookup(table, binding, pending, evaluator, session)
+                if lookup is not None:
+                    base_rows, pending = lookup
+                    if table.rls_enabled and table.policies and (
+                        session.user not in self.catalog.superusers
+                        and session.user != table.owner
+                    ):
+                        base_rows = [
+                            row
+                            for row in base_rows
+                            if self._row_passes_policies(table, row, evaluator)
+                        ]
+            if base_rows is None:
+                base_rows = self._scan_table(
+                    table, session, evaluator, leak_post_filters, binding
+                )
+
+            if rows is None:
+                schemas[binding] = colmap
+                rows = [_JoinRow({binding: row}) for row in base_rows]
+                rows, pending = self._apply_ready_conjuncts(
+                    rows, pending, schemas, evaluator, outer
+                )
+                continue
+
+            if ref.join_type == "left":
+                rows = self._left_join(
+                    rows, base_rows, binding, colmap, ref.on, schemas, evaluator
+                )
+                schemas[binding] = colmap
+            else:
+                join_conjuncts = list(_split_conjuncts(ref.on))
+                candidate_schemas = dict(schemas)
+                candidate_schemas[binding] = colmap
+                # WHERE conjuncts that become fully bound once this table
+                # joins can be applied as join predicates.
+                movable = [
+                    c
+                    for c in pending
+                    if _is_fully_bound(c, candidate_schemas)
+                    and not _is_fully_bound(c, schemas)
+                ]
+                pending = [c for c in pending if c not in movable]
+                join_conjuncts.extend(movable)
+                rows = self._inner_join(
+                    rows, base_rows, binding, colmap, join_conjuncts, schemas, evaluator
+                )
+                schemas[binding] = colmap
+
+            rows, pending = self._apply_ready_conjuncts(
+                rows, pending, schemas, evaluator, outer
+            )
+
+        assert rows is not None
+        # Any conjunct still pending references an unknown binding.
+        for conjunct in pending:
+            rows = [
+                row
+                for row in rows
+                if evaluator.truthy(
+                    evaluator.evaluate(conjunct, _scope_for(row, schemas, outer))
+                )
+            ]
+        # Leaky RLS mode: policies are applied only now, after user
+        # predicates already ran over protected rows (CVE-2019-10130).
+        for binding, table in leak_post_filters:
+            rows = [
+                row
+                for row in rows
+                if self._row_passes_policies(table, row.values[binding], evaluator)
+            ]
+        return rows, schemas
+
+    def _try_pk_lookup(
+        self,
+        table: Table,
+        binding: str,
+        pending: list[ast.Expr],
+        evaluator: Evaluator,
+        session: Session,
+    ) -> tuple[list[list[object]], list[ast.Expr]] | None:
+        """Indexed point access for ``pk_column = <constant>`` predicates."""
+        pk_column = table.single_pk_column
+        if pk_column is None:
+            return None
+        for conjunct in pending:
+            if not (isinstance(conjunct, ast.Binary) and conjunct.op == "="):
+                continue
+            column, constant = conjunct.left, conjunct.right
+            if not isinstance(column, ast.Column):
+                column, constant = constant, column
+            if not isinstance(column, ast.Column) or not isinstance(constant, ast.Literal):
+                continue
+            if column.name != pk_column:
+                continue
+            if column.table is not None and column.table != binding:
+                continue
+            key = constant.value
+            pk_type = table.columns[table.column_position(pk_column)].type_name
+            try:
+                from repro.sqlengine.types import coerce
+
+                key = coerce(key, pk_type)
+            except Exception:
+                return None
+            session.work.rows_scanned += 1
+            row = table.lookup_pk(key)
+            remaining = [c for c in pending if c is not conjunct]
+            return ([row] if row is not None else []), remaining
+        return None
+
+    def _scan_table(
+        self,
+        table: Table,
+        session: Session,
+        evaluator: Evaluator,
+        leak_post_filters: list[tuple[str, Table]],
+        binding: str,
+    ) -> list[list[object]]:
+        session.work.rows_scanned += len(table.rows)
+        rls_applies = (
+            table.rls_enabled
+            and session.user not in self.catalog.superusers
+            and session.user != table.owner
+            and table.policies
+        )
+        if not rls_applies:
+            return table.rows
+        if self.profile.rls_pushdown_leak:
+            leak_post_filters.append((binding, table))
+            return table.rows
+        return [
+            row for row in table.rows if self._row_passes_policies(table, row, evaluator)
+        ]
+
+    def _row_passes_policies(
+        self, table: Table, row: list[object], evaluator: Evaluator
+    ) -> bool:
+        scope = Scope()
+        colmap = {name: i for i, name in enumerate(table.column_names)}
+        scope.bind(table.name, colmap, row)
+        return all(
+            evaluator.truthy(evaluator.evaluate(policy.using, scope))
+            for policy in table.policies
+        )
+
+    def _apply_ready_conjuncts(
+        self,
+        rows: list[_JoinRow],
+        pending: list[ast.Expr],
+        schemas: dict[str, dict[str, int]],
+        evaluator: Evaluator,
+        outer: Scope | None = None,
+    ) -> tuple[list[_JoinRow], list[ast.Expr]]:
+        ready = [c for c in pending if _is_fully_bound(c, schemas)]
+        if not ready:
+            return rows, pending
+        remaining = [c for c in pending if c not in ready]
+        filtered = []
+        for row in rows:
+            scope = _scope_for(row, schemas, outer)
+            if all(evaluator.truthy(evaluator.evaluate(c, scope)) for c in ready):
+                filtered.append(row)
+        return filtered, remaining
+
+    def _inner_join(
+        self,
+        left_rows: list[_JoinRow],
+        right_rows: list[list[object]],
+        binding: str,
+        colmap: dict[str, int],
+        join_conjuncts: list[ast.Expr],
+        schemas: dict[str, dict[str, int]],
+        evaluator: Evaluator,
+    ) -> list[_JoinRow]:
+        candidate_schemas = dict(schemas)
+        candidate_schemas[binding] = colmap
+        hash_pair = _find_equi_pair(join_conjuncts, schemas, colmap, binding)
+        if hash_pair is not None:
+            conjunct, left_col, right_index = hash_pair
+            remaining = [c for c in join_conjuncts if c is not conjunct]
+            buckets: dict[object, list[list[object]]] = {}
+            for row in right_rows:
+                buckets.setdefault(row[right_index], []).append(row)
+            joined: list[_JoinRow] = []
+            for left in left_rows:
+                key = evaluator.evaluate(left_col, _scope_for(left, schemas))
+                for right in buckets.get(key, ()):
+                    combined = left.extended(binding, right)
+                    if remaining:
+                        scope = _scope_for(combined, candidate_schemas)
+                        if not all(
+                            evaluator.truthy(evaluator.evaluate(c, scope))
+                            for c in remaining
+                        ):
+                            continue
+                    joined.append(combined)
+            return joined
+        joined = []
+        for left in left_rows:
+            for right in right_rows:
+                combined = left.extended(binding, right)
+                if join_conjuncts:
+                    scope = _scope_for(combined, candidate_schemas)
+                    if not all(
+                        evaluator.truthy(evaluator.evaluate(c, scope))
+                        for c in join_conjuncts
+                    ):
+                        continue
+                joined.append(combined)
+        return joined
+
+    def _left_join(
+        self,
+        left_rows: list[_JoinRow],
+        right_rows: list[list[object]],
+        binding: str,
+        colmap: dict[str, int],
+        on: ast.Expr | None,
+        schemas: dict[str, dict[str, int]],
+        evaluator: Evaluator,
+    ) -> list[_JoinRow]:
+        candidate_schemas = dict(schemas)
+        candidate_schemas[binding] = colmap
+        null_row: list[object] = [None] * len(colmap)
+        joined: list[_JoinRow] = []
+        for left in left_rows:
+            matched = False
+            for right in right_rows:
+                combined = left.extended(binding, right)
+                if on is not None:
+                    scope = _scope_for(combined, candidate_schemas)
+                    if not evaluator.truthy(evaluator.evaluate(on, scope)):
+                        continue
+                matched = True
+                joined.append(combined)
+            if not matched:
+                joined.append(left.extended(binding, null_row))
+        return joined
+
+    # ----------------------------------------------------------- projection
+
+    def _project(
+        self,
+        select: ast.Select,
+        rows: list[_JoinRow],
+        schemas: dict[str, dict[str, int]],
+        evaluator: Evaluator,
+        outer: Scope | None = None,
+    ) -> tuple[list[list[object]], list[tuple[object, ...]]]:
+        """Evaluate the select list per row; also compute ORDER BY keys."""
+        expanded = self._expand_items(select.items, schemas)
+        order_exprs = self._order_exprs(select, expanded)
+        output: list[list[object]] = []
+        order_keys: list[tuple[object, ...]] = []
+        for row in rows:
+            scope = _scope_for(row, schemas, outer)
+            values = [evaluator.evaluate(expr, scope) for expr, _ in expanded]
+            output.append(values)
+            order_keys.append(
+                tuple(
+                    values[key] if isinstance(key, int) else evaluator.evaluate(key, scope)
+                    for key in order_exprs
+                )
+            )
+        return output, order_keys
+
+    def _execute_grouped(
+        self,
+        select: ast.Select,
+        rows: list[_JoinRow],
+        schemas: dict[str, dict[str, int]],
+        evaluator: Evaluator,
+        aggregates: list[ast.FuncCall],
+        outer: Scope | None = None,
+    ) -> tuple[list[list[object]], list[tuple[object, ...]]]:
+        expanded = self._expand_items(select.items, schemas)
+        groups: dict[tuple[object, ...], list[_JoinRow]] = {}
+        group_order: list[tuple[object, ...]] = []
+        for row in rows:
+            scope = _scope_for(row, schemas, outer)
+            key = tuple(evaluator.evaluate(e, scope) for e in select.group_by)
+            if key not in groups:
+                groups[key] = []
+                group_order.append(key)
+            groups[key].append(row)
+        if not select.group_by and not groups:
+            groups[()] = []
+            group_order.append(())
+
+        order_exprs = self._order_exprs(select, expanded)
+        output: list[list[object]] = []
+        order_keys: list[tuple[object, ...]] = []
+        for key in group_order:
+            members = groups[key]
+            agg_values = self._compute_aggregates(
+                aggregates, members, schemas, evaluator, outer
+            )
+            representative = members[0] if members else _JoinRow(
+                {b: [None] * len(cm) for b, cm in schemas.items()}
+            )
+            scope = _scope_for(representative, schemas, outer)
+            if select.having is not None and not evaluator.truthy(
+                evaluator.evaluate(select.having, scope, agg_values=agg_values)
+            ):
+                continue
+            values = [
+                evaluator.evaluate(expr, scope, agg_values=agg_values)
+                for expr, _ in expanded
+            ]
+            output.append(values)
+            order_keys.append(
+                tuple(
+                    values[k]
+                    if isinstance(k, int)
+                    else evaluator.evaluate(k, scope, agg_values=agg_values)
+                    for k in order_exprs
+                )
+            )
+        return output, order_keys
+
+    def _compute_aggregates(
+        self,
+        aggregates: list[ast.FuncCall],
+        members: list[_JoinRow],
+        schemas: dict[str, dict[str, int]],
+        evaluator: Evaluator,
+        outer: Scope | None = None,
+    ) -> dict[int, object]:
+        results: dict[int, object] = {}
+        for agg in aggregates:
+            if agg.star:
+                results[id(agg)] = len(members)
+                continue
+            raw: list[object] = []
+            for row in members:
+                scope = _scope_for(row, schemas, outer)
+                raw.append(evaluator.evaluate(agg.args[0], scope))
+            values = [v for v in raw if v is not None]
+            if agg.distinct:
+                seen: list[object] = []
+                for value in values:
+                    if value not in seen:
+                        seen.append(value)
+                values = seen
+            name = agg.name
+            if name == "count":
+                results[id(agg)] = len(values)
+            elif name == "sum":
+                results[id(agg)] = sum(values) if values else None  # type: ignore[arg-type]
+            elif name == "avg":
+                results[id(agg)] = (sum(values) / len(values)) if values else None  # type: ignore[arg-type]
+            elif name == "min":
+                results[id(agg)] = min(values) if values else None
+            elif name == "max":
+                results[id(agg)] = max(values) if values else None
+            else:  # pragma: no cover - AGGREGATE_NAMES is closed
+                raise SqlError(f"unknown aggregate {name}")
+        return results
+
+    def _collect_aggregates(self, select: ast.Select) -> list[ast.FuncCall]:
+        found: list[ast.FuncCall] = []
+
+        def walk(expr: ast.Expr | None) -> None:
+            if expr is None:
+                return
+            if isinstance(expr, ast.FuncCall) and expr.name in AGGREGATE_NAMES:
+                found.append(expr)
+                return
+            for child in _children(expr):
+                walk(child)
+
+        for item in select.items:
+            walk(item.expr)
+        walk(select.having)
+        for order in select.order_by:
+            walk(order.expr)
+        return found
+
+    def _expand_items(
+        self, items: tuple[ast.SelectItem, ...], schemas: dict[str, dict[str, int]]
+    ) -> list[tuple[ast.Expr, str]]:
+        """Expand ``*`` and name every output column."""
+        expanded: list[tuple[ast.Expr, str]] = []
+        for item in items:
+            if isinstance(item.expr, ast.Star):
+                targets = (
+                    [item.expr.table]
+                    if item.expr.table is not None
+                    else list(schemas.keys())
+                )
+                for binding in targets:
+                    colmap = schemas.get(binding)
+                    if colmap is None:
+                        raise UndefinedTableError(f'unknown table "{binding}" in select *')
+                    for column in colmap:
+                        expanded.append(
+                            (ast.Column(name=column, table=binding), column)
+                        )
+                continue
+            expanded.append((item.expr, item.alias or _default_name(item.expr)))
+        return expanded
+
+    def _order_exprs(
+        self, select: ast.Select, expanded: list[tuple[ast.Expr, str]]
+    ) -> list[object]:
+        """Resolve ORDER BY items to output ordinals or raw expressions."""
+        resolved: list[object] = []
+        names = [name for _, name in expanded]
+        for order in select.order_by:
+            expr = order.expr
+            if isinstance(expr, ast.Literal) and isinstance(expr.value, int):
+                index = expr.value - 1
+                if not 0 <= index < len(expanded):
+                    raise SqlError(f"ORDER BY position {expr.value} is out of range")
+                resolved.append(index)
+                continue
+            if isinstance(expr, ast.Column) and expr.table is None and expr.name in names:
+                resolved.append(names.index(expr.name))
+                continue
+            resolved.append(expr)
+        return resolved
+
+    def _output_columns(
+        self,
+        select: ast.Select,
+        schemas: dict[str, dict[str, int]],
+        rows: list[list[object]],
+    ) -> list[tuple[str, str]]:
+        expanded = self._expand_items(select.items, schemas)
+        columns: list[tuple[str, str]] = []
+        for position, (expr, name) in enumerate(expanded):
+            type_name = self._infer_expr_type(expr, rows, position)
+            columns.append((name, type_name))
+        return columns
+
+    def _infer_expr_type(
+        self, expr: ast.Expr, rows: list[list[object]], position: int
+    ) -> str:
+        if isinstance(expr, ast.Column):
+            table = self.catalog.tables.get(expr.table or "")
+            if table is not None and table.has_column(expr.name):
+                return table.columns[table.column_position(expr.name)].type_name
+            for table in self.catalog.tables.values():
+                if table.has_column(expr.name):
+                    return table.columns[table.column_position(expr.name)].type_name
+        if isinstance(expr, ast.FuncCall) and expr.name == "count":
+            return INT
+        if isinstance(expr, ast.FuncCall) and expr.name in ("sum", "avg"):
+            return FLOAT
+        if isinstance(expr, ast.Cast):
+            return expr.type_name
+        if isinstance(expr, ast.Literal):
+            return infer_type(expr.value)
+        for row in rows:
+            if row[position] is not None:
+                return infer_type(row[position])
+        return TEXT
+
+    # ------------------------------------------------------------------ DML
+
+    def _execute_insert(
+        self, insert: ast.Insert, session: Session, evaluator: Evaluator
+    ) -> QueryResult:
+        table = self.catalog.table(insert.table)
+        columns = list(insert.columns) or table.column_names
+        positions = [table.column_position(c) for c in columns]
+        inserted = 0
+        for row_exprs in insert.rows:
+            if len(row_exprs) != len(columns):
+                raise SqlError(
+                    f"INSERT has {len(row_exprs)} expressions but {len(columns)} columns"
+                )
+            full_row: list[object] = [None] * len(table.columns)
+            for position, expr in zip(positions, row_exprs):
+                full_row[position] = evaluator.evaluate(expr)
+            table.insert(full_row)
+            inserted += 1
+        session.work.rows_returned += inserted
+        return QueryResult(command_tag=f"INSERT 0 {inserted}")
+
+    def _execute_update(
+        self, update: ast.Update, session: Session, evaluator: Evaluator
+    ) -> QueryResult:
+        from repro.sqlengine.types import coerce
+
+        table = self.catalog.table(update.table)
+        colmap = {name: i for i, name in enumerate(table.column_names)}
+        assignments = [
+            (table.column_position(column), expr) for column, expr in update.assignments
+        ]
+        updated = 0
+        session.work.rows_scanned += len(table.rows)
+        for row in table.rows:
+            scope = Scope()
+            scope.bind(update.table, colmap, row)
+            if update.where is not None and not evaluator.truthy(
+                evaluator.evaluate(update.where, scope)
+            ):
+                continue
+            for position, expr in assignments:
+                value = evaluator.evaluate(expr, scope)
+                row[position] = coerce(value, table.columns[position].type_name)
+            updated += 1
+        table.rebuild_pk_index()
+        return QueryResult(command_tag=f"UPDATE {updated}")
+
+    def _execute_delete(
+        self, delete: ast.Delete, session: Session, evaluator: Evaluator
+    ) -> QueryResult:
+        table = self.catalog.table(delete.table)
+        colmap = {name: i for i, name in enumerate(table.column_names)}
+        session.work.rows_scanned += len(table.rows)
+        kept: list[list[object]] = []
+        deleted = 0
+        for row in table.rows:
+            scope = Scope()
+            scope.bind(delete.table, colmap, row)
+            if delete.where is None or evaluator.truthy(
+                evaluator.evaluate(delete.where, scope)
+            ):
+                deleted += 1
+            else:
+                kept.append(row)
+        table.rows = kept
+        table.rebuild_pk_index()
+        return QueryResult(command_tag=f"DELETE {deleted}")
+
+    # ------------------------------------------------------------------ DDL
+
+    def _execute_create_table(
+        self, create: ast.CreateTable, session: Session
+    ) -> QueryResult:
+        table = Table(create.name, create.columns, owner=session.user)
+        self.catalog.add_table(table, if_not_exists=create.if_not_exists)
+        return QueryResult(command_tag="CREATE TABLE")
+
+    def _execute_drop_table(self, drop: ast.DropTable) -> QueryResult:
+        if drop.name not in self.catalog.tables:
+            if drop.if_exists:
+                return QueryResult(command_tag="DROP TABLE")
+            raise UndefinedTableError(f'table "{drop.name}" does not exist')
+        del self.catalog.tables[drop.name]
+        self.catalog.select_grants.pop(drop.name, None)
+        return QueryResult(command_tag="DROP TABLE")
+
+    def _execute_create_function(self, create: ast.CreateFunction) -> QueryResult:
+        if not self.profile.supports_udf:
+            raise FeatureNotSupportedError(self.profile.udf_error_message)
+        if create.name in self.catalog.functions:
+            raise DuplicateObjectError(f'function "{create.name}" already exists')
+        self.catalog.functions[create.name] = UserFunction(
+            name=create.name,
+            arg_types=create.arg_types,
+            return_type=create.return_type,
+            body=create.body,
+            language=create.language,
+            volatility=create.volatility,
+        )
+        return QueryResult(command_tag="CREATE FUNCTION")
+
+    def _execute_create_operator(self, create: ast.CreateOperator) -> QueryResult:
+        if not self.profile.supports_udf:
+            raise FeatureNotSupportedError(self.profile.udf_error_message)
+        if create.name in self.catalog.operators:
+            raise DuplicateObjectError(f'operator "{create.name}" already exists')
+        options = create.options
+        procedure = options.get("procedure")
+        if procedure is None:
+            raise SqlError("operator requires a procedure option")
+        self.catalog.operators[create.name] = OperatorDef(
+            name=create.name,
+            procedure=procedure,
+            leftarg=options.get("leftarg"),
+            rightarg=options.get("rightarg"),
+            restrict=options.get("restrict"),
+        )
+        return QueryResult(command_tag="CREATE OPERATOR")
+
+    def _execute_grant(self, grant: ast.Grant) -> QueryResult:
+        table = self.catalog.table(grant.table)
+        if grant.privilege != "select":
+            raise FeatureNotSupportedError(
+                f"GRANT {grant.privilege.upper()} is not supported"
+            )
+        self.catalog.select_grants.setdefault(table.name, set()).add(grant.grantee)
+        return QueryResult(command_tag="GRANT")
+
+    def _execute_create_policy(self, create: ast.CreatePolicy) -> QueryResult:
+        table = self.catalog.table(create.table)
+        table.policies.append(TablePolicy(name=create.name, using=create.using))
+        return QueryResult(command_tag="CREATE POLICY")
+
+    def _execute_show(self, show: ast.ShowStatement, session: Session) -> QueryResult:
+        name = show.name.lower()
+        if name == "server_version":
+            # SHOW server_version reports the bare version number; the
+            # full banner comes from SELECT version().
+            value = self.profile.version
+        elif name == "version":
+            value = self.profile.version_string
+        else:
+            value = session.settings.get(name, self.profile.defaults.get(name, ""))
+        return QueryResult(
+            columns=[(name, TEXT)], rows=[[value]], command_tag="SHOW"
+        )
+
+    # --------------------------------------------------------------- EXPLAIN
+
+    def _execute_explain(
+        self, explain: ast.Explain, session: Session, evaluator: Evaluator
+    ) -> QueryResult:
+        if not isinstance(explain.statement, ast.Select):
+            raise FeatureNotSupportedError("EXPLAIN supports only SELECT")
+        select = explain.statement
+        self._plan_selectivity(select, session, evaluator)
+        lines: list[str] = []
+        for position, ref in enumerate(select.tables):
+            table = self.catalog.table(ref.name)
+            indent = "  " * position
+            arrow = "->  " if position else ""
+            cost = ""
+            if explain.costs:
+                width = 8 + 4 * len(table.columns)
+                cost = (
+                    f"  (cost=0.00..{len(table.rows) * 0.01 + 1.0:.2f} "
+                    f"rows={max(len(table.rows), 1)} width={width})"
+                )
+            lines.append(f"{indent}{arrow}Seq Scan on {ref.name}{cost}")
+        if select.where is not None:
+            lines.append(f"  Filter: {render_expr(select.where)}")
+        if not select.tables:
+            lines.append("Result" + ("  (cost=0.00..0.01 rows=1 width=4)" if explain.costs else ""))
+        return QueryResult(
+            columns=[("QUERY PLAN", TEXT)],
+            rows=[[line] for line in lines],
+            command_tag=f"EXPLAIN",
+        )
+
+    def _plan_selectivity(
+        self, select: ast.Select, session: Session, evaluator: Evaluator
+    ) -> None:
+        """Selectivity estimation — the CVE-2017-7484 leak site.
+
+        For each WHERE conjunct using a custom operator with a ``restrict``
+        estimator, the planner samples the referenced column and calls the
+        operator's procedure on the sampled values.  A leaky engine does so
+        without checking SELECT privilege on the sampled table.
+        """
+        if select.where is None:
+            return
+        for conjunct in _split_conjuncts(select.where):
+            if not isinstance(conjunct, ast.Binary):
+                continue
+            operator = self.catalog.operators.get(conjunct.op)
+            if operator is None or operator.restrict is None:
+                continue
+            column_side, constant_side = None, None
+            if isinstance(conjunct.left, ast.Column):
+                column_side, constant_side = conjunct.left, conjunct.right
+            elif isinstance(conjunct.right, ast.Column):
+                column_side, constant_side = conjunct.right, conjunct.left
+            if column_side is None or not isinstance(constant_side, ast.Literal):
+                continue
+            table = self._find_table_for_column(select, column_side)
+            if table is None:
+                continue
+            if not self.profile.planner_stats_leak:
+                # Fixed engines refuse to feed stats of tables the user
+                # cannot read into non-leakproof functions.
+                continue
+            position = table.column_position(column_side.name)
+            sample = [row[position] for row in table.rows[:PLANNER_SAMPLE_ROWS]]
+            constant = constant_side.value
+            for value in sample:
+                try:
+                    if isinstance(conjunct.left, ast.Column):
+                        evaluator.call_operator_procedure(operator, [value, constant])
+                    else:
+                        evaluator.call_operator_procedure(operator, [constant, value])
+                except SqlError:
+                    # Estimation failures are swallowed by the planner.
+                    continue
+
+    def _find_table_for_column(
+        self, select: ast.Select, column: ast.Column
+    ) -> Table | None:
+        for ref in select.tables:
+            if column.table is not None and ref.binding != column.table:
+                continue
+            table = self.catalog.tables.get(ref.name)
+            if table is not None and table.has_column(column.name):
+                return table
+        return None
+
+    # ------------------------------------------------------------- helpers
+
+    def _check_select_privilege(self, session: Session, table: Table) -> None:
+        if not self.catalog.can_select(session.user, table):
+            raise InsufficientPrivilegeError(
+                f"permission denied for table {table.name}"
+            )
+
+
+# --------------------------------------------------------------------------
+# module-level helpers
+
+
+class EngineProfileLike:
+    """Protocol-ish base so Executor can be used without the database layer."""
+
+    version = "13.0"
+    version_string = "PostgreSQL (repro)"
+    supports_udf = True
+    udf_error_message = "user-defined functions are not supported"
+    planner_stats_leak = False
+    rls_pushdown_leak = False
+    reverse_unordered_scans = False
+    defaults: dict[str, str] = {}
+
+
+def _split_conjuncts(expr: ast.Expr | None) -> list[ast.Expr]:
+    if expr is None:
+        return []
+    if isinstance(expr, ast.Binary) and expr.op == "AND":
+        return _split_conjuncts(expr.left) + _split_conjuncts(expr.right)
+    return [expr]
+
+
+def _children(expr: ast.Expr) -> list[ast.Expr]:
+    if isinstance(expr, ast.Unary):
+        return [expr.operand]
+    if isinstance(expr, ast.Binary):
+        return [expr.left, expr.right]
+    if isinstance(expr, ast.InList):
+        return [expr.expr, *expr.items]
+    if isinstance(expr, ast.InSubquery):
+        return [expr.expr]
+    if isinstance(expr, ast.Between):
+        return [expr.expr, expr.low, expr.high]
+    if isinstance(expr, ast.IsNull):
+        return [expr.expr]
+    if isinstance(expr, ast.CaseWhen):
+        children = []
+        for condition, result in expr.whens:
+            children.extend([condition, result])
+        if expr.default is not None:
+            children.append(expr.default)
+        return children
+    if isinstance(expr, ast.FuncCall):
+        return list(expr.args)
+    if isinstance(expr, ast.Cast):
+        return [expr.expr]
+    if isinstance(expr, ast.Extract):
+        return [expr.source]
+    if isinstance(expr, ast.Substring):
+        children = [expr.source, expr.start]
+        if expr.length is not None:
+            children.append(expr.length)
+        return children
+    return []
+
+
+def _free_bindings(expr: ast.Expr, schemas: dict[str, dict[str, int]]) -> set[str] | None:
+    """Bindings referenced by ``expr``; None if a reference is unresolvable."""
+    bindings: set[str] = set()
+
+    def walk(node: ast.Expr) -> bool:
+        if isinstance(node, (ast.Subquery, ast.InSubquery, ast.Exists)):
+            # A subquery may correlate on any binding; keep the conjunct
+            # pending until every table is joined.
+            return False
+        if isinstance(node, ast.Column):
+            if node.table is not None:
+                bindings.add(node.table)
+                return True
+            owners = [b for b, cm in schemas.items() if node.name in cm]
+            if len(owners) != 1:
+                return False
+            bindings.add(owners[0])
+            return True
+        return all(walk(child) for child in _children(node))
+
+    if not walk(expr):
+        return None
+    return bindings
+
+
+def _is_fully_bound(expr: ast.Expr, schemas: dict[str, dict[str, int]]) -> bool:
+    bindings = _free_bindings(expr, schemas)
+    return bindings is not None and bindings.issubset(schemas.keys())
+
+
+def _find_equi_pair(
+    conjuncts: list[ast.Expr],
+    left_schemas: dict[str, dict[str, int]],
+    right_colmap: dict[str, int],
+    right_binding: str,
+) -> tuple[ast.Expr, ast.Column, int] | None:
+    """Find ``left.col = right.col`` to drive a hash join."""
+    for conjunct in conjuncts:
+        if not (isinstance(conjunct, ast.Binary) and conjunct.op == "="):
+            continue
+        sides = [conjunct.left, conjunct.right]
+        if not all(isinstance(s, ast.Column) for s in sides):
+            continue
+        left_expr, right_expr = sides
+        assert isinstance(left_expr, ast.Column) and isinstance(right_expr, ast.Column)
+        for a, b in ((left_expr, right_expr), (right_expr, left_expr)):
+            a_binding = _column_binding(a, left_schemas)
+            b_is_right = _column_belongs(b, right_binding, right_colmap)
+            if a_binding is not None and b_is_right:
+                return conjunct, a, right_colmap[b.name]
+    return None
+
+
+def _column_binding(column: ast.Column, schemas: dict[str, dict[str, int]]) -> str | None:
+    if column.table is not None:
+        if column.table in schemas and column.name in schemas[column.table]:
+            return column.table
+        return None
+    owners = [b for b, cm in schemas.items() if column.name in cm]
+    return owners[0] if len(owners) == 1 else None
+
+
+def _column_belongs(
+    column: ast.Column, binding: str, colmap: dict[str, int]
+) -> bool:
+    if column.table is not None:
+        return column.table == binding and column.name in colmap
+    return column.name in colmap
+
+
+def _scope_for(
+    row: _JoinRow, schemas: dict[str, dict[str, int]], outer: Scope | None = None
+) -> Scope:
+    scope = Scope(parent=outer)
+    for binding, values in row.values.items():
+        colmap = schemas.get(binding)
+        if colmap is not None:
+            scope.bind(binding, colmap, values)
+    return scope
+
+
+def _default_name(expr: ast.Expr) -> str:
+    if isinstance(expr, ast.Column):
+        return expr.name
+    if isinstance(expr, ast.FuncCall):
+        return expr.name
+    if isinstance(expr, ast.Cast):
+        return _default_name(expr.expr)
+    return "?column?"
+
+
+def _distinct(
+    rows: list[list[object]], order_keys: list[tuple[object, ...]]
+) -> tuple[list[list[object]], list[tuple[object, ...]]]:
+    seen: set[tuple[object, ...]] = set()
+    out_rows: list[list[object]] = []
+    out_keys: list[tuple[object, ...]] = []
+    for row, key in zip(rows, order_keys):
+        marker = tuple(row)
+        if marker in seen:
+            continue
+        seen.add(marker)
+        out_rows.append(row)
+        out_keys.append(key)
+    return out_rows, out_keys
+
+
+def _sort_rows(
+    order_by: tuple[ast.OrderItem, ...],
+    rows: list[list[object]],
+    order_keys: list[tuple[object, ...]],
+) -> list[list[object]]:
+    if not order_by:
+        return rows
+    paired = list(zip(rows, order_keys))
+    # Stable multi-pass sort from the least-significant key to the most.
+    for position in range(len(order_by) - 1, -1, -1):
+        ascending = order_by[position].ascending
+
+        def sort_key(item: tuple[list[object], tuple[object, ...]]):
+            value = item[1][position]
+            # PostgreSQL semantics: NULLS LAST for ASC, NULLS FIRST for
+            # DESC.  Ranking NULL highest achieves both (DESC reverses).
+            null_rank = 1 if value is None else 0
+            return (null_rank, _Orderable(value))
+
+        paired.sort(key=sort_key, reverse=not ascending)
+    return [row for row, _ in paired]
+
+
+class _Orderable:
+    """Wrap heterogeneous values so sort comparisons never raise."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: object) -> None:
+        self.value = value
+
+    def __lt__(self, other: "_Orderable") -> bool:
+        a, b = self.value, other.value
+        if a is None:
+            return False
+        if b is None:
+            return True
+        try:
+            return a < b  # type: ignore[operator]
+        except TypeError:
+            return str(a) < str(b)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _Orderable) and self.value == other.value

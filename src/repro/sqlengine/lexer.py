@@ -1,0 +1,174 @@
+"""SQL lexer.
+
+Produces a flat token stream for the recursive-descent parser.  Operator
+tokens are greedy over PostgreSQL's operator character set so that custom
+operators such as ``>>>`` (used by the CVE-2017-7484 exploit) lex as a
+single token.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sqlengine.errors import SqlSyntaxError
+
+# Characters PostgreSQL allows in operator names.
+_OPERATOR_CHARS = set("+-*/<>=~!@#%^&|`?")
+
+_PUNCTUATION = {"(", ")", ",", ";", "."}
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # 'ident', 'keyword'(upper), 'number', 'string', 'operator', 'punct', 'param', 'eof'
+    value: str
+    position: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind}, {self.value!r})"
+
+
+# Words that the parser treats as keywords.  Everything else is an identifier.
+KEYWORDS = {
+    "SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER", "LIMIT",
+    "OFFSET", "AS", "AND", "OR", "NOT", "IN", "IS", "NULL", "LIKE",
+    "BETWEEN", "CASE", "WHEN", "THEN", "ELSE", "END", "DISTINCT", "ASC",
+    "DESC", "INSERT", "INTO", "VALUES", "UPDATE", "SET", "DELETE", "CREATE",
+    "TABLE", "DROP", "FUNCTION", "RETURNS", "LANGUAGE", "OPERATOR",
+    "EXPLAIN", "COSTS", "OFF", "ON", "JOIN", "INNER", "LEFT", "OUTER",
+    "CROSS", "BEGIN", "COMMIT", "ROLLBACK", "GRANT", "REVOKE", "TO", "USER",
+    "POLICY", "ALTER", "ENABLE", "ROW", "LEVEL", "SECURITY", "USING",
+    "PRIMARY", "KEY", "INDEX", "TRUE", "FALSE", "INTERVAL", "DATE", "CAST",
+    "EXTRACT", "SUBSTRING", "FOR", "IMMUTABLE", "STRICT", "VOLATILE",
+    "STABLE", "RETURN", "RAISE", "NOTICE", "EXCEPTION", "IF", "EXISTS",
+    "UNIQUE", "DEFAULT", "CHECK", "REFERENCES", "FOREIGN", "ALL",
+    "SHOW", "VERSION",
+}
+
+
+def tokenize(sql: str) -> list[Token]:
+    """Lex ``sql`` into tokens, ending with an ``eof`` token."""
+    tokens: list[Token] = []
+    i = 0
+    length = len(sql)
+    while i < length:
+        ch = sql[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if sql.startswith("--", i):
+            newline = sql.find("\n", i)
+            i = length if newline == -1 else newline + 1
+            continue
+        if sql.startswith("/*", i):
+            end = sql.find("*/", i + 2)
+            if end == -1:
+                raise SqlSyntaxError("unterminated block comment")
+            i = end + 2
+            continue
+        if ch == "'":
+            value, i = _lex_string(sql, i)
+            tokens.append(Token("string", value, i))
+            continue
+        if ch == "$" and sql.startswith("$$", i):
+            value, i = _lex_dollar_quoted(sql, i)
+            tokens.append(Token("string", value, i))
+            continue
+        if ch == "$" and i + 1 < length and sql[i + 1].isdigit():
+            j = i + 1
+            while j < length and sql[j].isdigit():
+                j += 1
+            tokens.append(Token("param", sql[i + 1 : j], i))
+            i = j
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < length and sql[i + 1].isdigit()):
+            value, i = _lex_number(sql, i)
+            tokens.append(Token("number", value, i))
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < length and (sql[j].isalnum() or sql[j] == "_"):
+                j += 1
+            word = sql[i:j]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token("keyword", upper, i))
+            else:
+                tokens.append(Token("ident", word.lower(), i))
+            i = j
+            continue
+        if ch == '"':
+            end = sql.find('"', i + 1)
+            if end == -1:
+                raise SqlSyntaxError("unterminated quoted identifier")
+            tokens.append(Token("ident", sql[i + 1 : end], i))
+            i = end + 1
+            continue
+        if ch == ":" and sql.startswith("::", i):
+            tokens.append(Token("operator", "::", i))
+            i += 2
+            continue
+        if ch in _PUNCTUATION:
+            tokens.append(Token("punct", ch, i))
+            i += 1
+            continue
+        if ch in _OPERATOR_CHARS:
+            j = i
+            while j < length and sql[j] in _OPERATOR_CHARS:
+                j += 1
+            tokens.append(Token("operator", sql[i:j], i))
+            i = j
+            continue
+        raise SqlSyntaxError(f"unexpected character {ch!r} at position {i}")
+    tokens.append(Token("eof", "", length))
+    return tokens
+
+
+def _lex_string(sql: str, start: int) -> tuple[str, int]:
+    """Lex a single-quoted string with ``''`` escapes."""
+    chunks: list[str] = []
+    i = start + 1
+    length = len(sql)
+    while i < length:
+        ch = sql[i]
+        if ch == "'":
+            if i + 1 < length and sql[i + 1] == "'":
+                chunks.append("'")
+                i += 2
+                continue
+            return "".join(chunks), i + 1
+        chunks.append(ch)
+        i += 1
+    raise SqlSyntaxError("unterminated string literal")
+
+
+def _lex_dollar_quoted(sql: str, start: int) -> tuple[str, int]:
+    """Lex a ``$$ ... $$`` dollar-quoted string (function bodies)."""
+    end = sql.find("$$", start + 2)
+    if end == -1:
+        raise SqlSyntaxError("unterminated dollar-quoted string")
+    return sql[start + 2 : end], end + 2
+
+
+def _lex_number(sql: str, start: int) -> tuple[str, int]:
+    i = start
+    length = len(sql)
+    seen_dot = False
+    seen_exp = False
+    while i < length:
+        ch = sql[i]
+        if ch.isdigit():
+            i += 1
+        elif ch == "." and not seen_dot and not seen_exp:
+            seen_dot = True
+            i += 1
+        elif ch in "eE" and not seen_exp and i > start:
+            nxt = sql[i + 1] if i + 1 < length else ""
+            if nxt.isdigit() or nxt in "+-":
+                seen_exp = True
+                i += 2 if nxt in "+-" else 1
+            else:
+                break
+        else:
+            break
+    return sql[start:i], i

@@ -1,0 +1,751 @@
+"""Recursive-descent SQL parser.
+
+Covers the dialect the evaluation needs: full SELECT (joins, aggregates,
+GROUP BY/HAVING/ORDER BY/LIMIT), DML, DDL, user-defined functions and
+operators (the CVE exploit vectors), row-level security, privileges, SET/
+SHOW, and EXPLAIN.
+"""
+
+from __future__ import annotations
+
+from repro.sqlengine import ast_nodes as ast
+from repro.sqlengine.errors import SqlSyntaxError
+from repro.sqlengine.lexer import Token, tokenize
+from repro.sqlengine.types import Interval, normalize_type, parse_interval
+
+# Operators with built-in comparison semantics; anything else at this
+# precedence level is dispatched to the catalog as a custom operator.
+_COMPARISON_OPS = {"=", "<>", "!=", "<", "<=", ">", ">="}
+_ADDITIVE_OPS = {"+", "-", "||"}
+_MULTIPLICATIVE_OPS = {"*", "/", "%"}
+
+# Multi-word type names that may appear in casts and column definitions.
+_TYPE_KEYWORDS = {"double", "character"}
+
+
+def parse_sql(sql: str) -> list[ast.Statement]:
+    """Parse a semicolon-separated script into statements."""
+    return _Parser(tokenize(sql)).parse_script()
+
+
+def parse_statement(sql: str) -> ast.Statement:
+    """Parse exactly one statement."""
+    statements = parse_sql(sql)
+    if len(statements) != 1:
+        raise SqlSyntaxError(f"expected one statement, got {len(statements)}")
+    return statements[0]
+
+
+def parse_expression(sql: str) -> ast.Expr:
+    """Parse a standalone expression (used by RLS policies and configs)."""
+    parser = _Parser(tokenize(sql))
+    expr = parser.parse_expr()
+    parser.expect_eof()
+    return expr
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token helpers ----------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self._tokens[self._pos]
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.kind != "eof":
+            self._pos += 1
+        return token
+
+    def check_keyword(self, *words: str) -> bool:
+        return self.current.kind == "keyword" and self.current.value in words
+
+    def accept_keyword(self, *words: str) -> bool:
+        if self.check_keyword(*words):
+            self.advance()
+            return True
+        return False
+
+    def expect_keyword(self, word: str) -> None:
+        if not self.accept_keyword(word):
+            raise SqlSyntaxError(f"expected {word}, found {self.current.value!r}")
+
+    def accept_punct(self, value: str) -> bool:
+        if self.current.kind == "punct" and self.current.value == value:
+            self.advance()
+            return True
+        return False
+
+    def expect_punct(self, value: str) -> None:
+        if not self.accept_punct(value):
+            raise SqlSyntaxError(f"expected {value!r}, found {self.current.value!r}")
+
+    def accept_operator(self, value: str) -> bool:
+        if self.current.kind == "operator" and self.current.value == value:
+            self.advance()
+            return True
+        return False
+
+    def expect_ident(self) -> str:
+        token = self.current
+        if token.kind == "ident":
+            self.advance()
+            return token.value
+        # Allow non-reserved keywords where identifiers are expected
+        # (e.g. a column named "level" or a function named "version").
+        if token.kind == "keyword":
+            self.advance()
+            return token.value.lower()
+        raise SqlSyntaxError(f"expected identifier, found {token.value!r}")
+
+    def expect_eof(self) -> None:
+        if self.current.kind != "eof":
+            raise SqlSyntaxError(f"unexpected trailing input: {self.current.value!r}")
+
+    # -- script / statements ----------------------------------------------
+
+    def parse_script(self) -> list[ast.Statement]:
+        statements: list[ast.Statement] = []
+        while True:
+            while self.accept_punct(";"):
+                pass
+            if self.current.kind == "eof":
+                return statements
+            statements.append(self.parse_statement())
+
+    def parse_statement(self) -> ast.Statement:
+        if self.check_keyword("SELECT"):
+            return self.parse_select()
+        if self.check_keyword("INSERT"):
+            return self.parse_insert()
+        if self.check_keyword("UPDATE"):
+            return self.parse_update()
+        if self.check_keyword("DELETE"):
+            return self.parse_delete()
+        if self.check_keyword("CREATE"):
+            return self.parse_create()
+        if self.check_keyword("DROP"):
+            return self.parse_drop()
+        if self.check_keyword("EXPLAIN"):
+            return self.parse_explain()
+        if self.check_keyword("SET"):
+            return self.parse_set()
+        if self.check_keyword("SHOW"):
+            self.advance()
+            return ast.ShowStatement(self.expect_ident())
+        if self.check_keyword("BEGIN", "COMMIT", "ROLLBACK"):
+            kind = self.advance().value.lower()
+            return ast.Transaction(kind)
+        if self.check_keyword("GRANT"):
+            return self.parse_grant()
+        if self.check_keyword("ALTER"):
+            return self.parse_alter()
+        raise SqlSyntaxError(f"unsupported statement start: {self.current.value!r}")
+
+    # -- SELECT ------------------------------------------------------------
+
+    def parse_select(self) -> ast.Select:
+        self.expect_keyword("SELECT")
+        distinct = self.accept_keyword("DISTINCT")
+        if distinct:
+            self.accept_keyword("ALL")
+        items = [self.parse_select_item()]
+        while self.accept_punct(","):
+            items.append(self.parse_select_item())
+        tables: list[ast.TableRef] = []
+        if self.accept_keyword("FROM"):
+            tables = self.parse_from_clause()
+        where = self.parse_expr() if self.accept_keyword("WHERE") else None
+        group_by: list[ast.Expr] = []
+        if self.accept_keyword("GROUP"):
+            self.expect_keyword("BY")
+            group_by.append(self.parse_expr())
+            while self.accept_punct(","):
+                group_by.append(self.parse_expr())
+        having = self.parse_expr() if self.accept_keyword("HAVING") else None
+        order_by: list[ast.OrderItem] = []
+        if self.accept_keyword("ORDER"):
+            self.expect_keyword("BY")
+            order_by.append(self.parse_order_item())
+            while self.accept_punct(","):
+                order_by.append(self.parse_order_item())
+        limit = offset = None
+        if self.accept_keyword("LIMIT"):
+            limit = self._parse_int_literal()
+        if self.accept_keyword("OFFSET"):
+            offset = self._parse_int_literal()
+        return ast.Select(
+            items=tuple(items),
+            tables=tuple(tables),
+            where=where,
+            group_by=tuple(group_by),
+            having=having,
+            order_by=tuple(order_by),
+            limit=limit,
+            offset=offset,
+            distinct=distinct,
+        )
+
+    def _parse_int_literal(self) -> int:
+        token = self.current
+        if token.kind != "number":
+            raise SqlSyntaxError(f"expected integer, found {token.value!r}")
+        self.advance()
+        return int(token.value)
+
+    def parse_select_item(self) -> ast.SelectItem:
+        if self.current.kind == "operator" and self.current.value == "*":
+            self.advance()
+            return ast.SelectItem(ast.Star())
+        expr = self.parse_expr()
+        alias = None
+        if self.accept_keyword("AS"):
+            alias = self.expect_ident()
+        elif self.current.kind == "ident":
+            alias = self.expect_ident()
+        return ast.SelectItem(expr, alias)
+
+    def parse_from_clause(self) -> list[ast.TableRef]:
+        tables = [self.parse_table_ref("cross")]
+        while True:
+            if self.accept_punct(","):
+                tables.append(self.parse_table_ref("cross"))
+                continue
+            join_type = None
+            if self.accept_keyword("JOIN"):
+                join_type = "inner"
+            elif self.check_keyword("INNER"):
+                self.advance()
+                self.expect_keyword("JOIN")
+                join_type = "inner"
+            elif self.check_keyword("LEFT"):
+                self.advance()
+                self.accept_keyword("OUTER")
+                self.expect_keyword("JOIN")
+                join_type = "left"
+            elif self.check_keyword("CROSS"):
+                self.advance()
+                self.expect_keyword("JOIN")
+                join_type = "cross"
+            if join_type is None:
+                return tables
+            ref = self.parse_table_ref(join_type)
+            if join_type != "cross":
+                self.expect_keyword("ON")
+                ref = ast.TableRef(ref.name, ref.alias, join_type, self.parse_expr())
+            tables.append(ref)
+
+    def parse_table_ref(self, join_type: str) -> ast.TableRef:
+        name = self.expect_ident()
+        alias = None
+        if self.accept_keyword("AS"):
+            alias = self.expect_ident()
+        elif self.current.kind == "ident":
+            alias = self.expect_ident()
+        return ast.TableRef(name=name, alias=alias, join_type=join_type)
+
+    def parse_order_item(self) -> ast.OrderItem:
+        expr = self.parse_expr()
+        ascending = True
+        if self.accept_keyword("DESC"):
+            ascending = False
+        else:
+            self.accept_keyword("ASC")
+        return ast.OrderItem(expr, ascending)
+
+    # -- DML ----------------------------------------------------------------
+
+    def parse_insert(self) -> ast.Insert:
+        self.expect_keyword("INSERT")
+        self.expect_keyword("INTO")
+        table = self.expect_ident()
+        columns: list[str] = []
+        if self.accept_punct("("):
+            columns.append(self.expect_ident())
+            while self.accept_punct(","):
+                columns.append(self.expect_ident())
+            self.expect_punct(")")
+        self.expect_keyword("VALUES")
+        rows: list[tuple[ast.Expr, ...]] = []
+        while True:
+            self.expect_punct("(")
+            row = [self.parse_expr()]
+            while self.accept_punct(","):
+                row.append(self.parse_expr())
+            self.expect_punct(")")
+            rows.append(tuple(row))
+            if not self.accept_punct(","):
+                break
+        return ast.Insert(table=table, columns=tuple(columns), rows=tuple(rows))
+
+    def parse_update(self) -> ast.Update:
+        self.expect_keyword("UPDATE")
+        table = self.expect_ident()
+        self.expect_keyword("SET")
+        assignments = [self._parse_assignment()]
+        while self.accept_punct(","):
+            assignments.append(self._parse_assignment())
+        where = self.parse_expr() if self.accept_keyword("WHERE") else None
+        return ast.Update(table=table, assignments=tuple(assignments), where=where)
+
+    def _parse_assignment(self) -> tuple[str, ast.Expr]:
+        column = self.expect_ident()
+        if not self.accept_operator("="):
+            raise SqlSyntaxError(f"expected '=' in assignment near {self.current.value!r}")
+        return column, self.parse_expr()
+
+    def parse_delete(self) -> ast.Delete:
+        self.expect_keyword("DELETE")
+        self.expect_keyword("FROM")
+        table = self.expect_ident()
+        where = self.parse_expr() if self.accept_keyword("WHERE") else None
+        return ast.Delete(table=table, where=where)
+
+    # -- DDL ----------------------------------------------------------------
+
+    def parse_create(self) -> ast.Statement:
+        self.expect_keyword("CREATE")
+        if self.accept_keyword("TABLE"):
+            return self._parse_create_table()
+        if self.accept_keyword("FUNCTION"):
+            return self._parse_create_function()
+        if self.accept_keyword("OPERATOR"):
+            return self._parse_create_operator()
+        if self.accept_keyword("USER"):
+            return ast.CreateUser(self.expect_ident())
+        if self.accept_keyword("POLICY"):
+            return self._parse_create_policy()
+        if self.accept_keyword("UNIQUE"):
+            self.expect_keyword("INDEX")
+            return self._parse_create_index(unique=True)
+        if self.accept_keyword("INDEX"):
+            return self._parse_create_index(unique=False)
+        raise SqlSyntaxError(f"unsupported CREATE target: {self.current.value!r}")
+
+    def _parse_create_table(self) -> ast.CreateTable:
+        if_not_exists = False
+        if self.accept_keyword("IF"):
+            self.expect_keyword("NOT")
+            self.expect_keyword("EXISTS")
+            if_not_exists = True
+        name = self.expect_ident()
+        self.expect_punct("(")
+        columns = [self._parse_column_def()]
+        while self.accept_punct(","):
+            columns.append(self._parse_column_def())
+        self.expect_punct(")")
+        return ast.CreateTable(name=name, columns=tuple(columns), if_not_exists=if_not_exists)
+
+    def _parse_column_def(self) -> ast.ColumnDef:
+        name = self.expect_ident()
+        type_name = self._parse_type_name()
+        primary_key = False
+        not_null = False
+        while True:
+            if self.accept_keyword("PRIMARY"):
+                self.expect_keyword("KEY")
+                primary_key = True
+            elif self.accept_keyword("NOT"):
+                self.expect_keyword("NULL")
+                not_null = True
+            elif self.accept_keyword("UNIQUE"):
+                pass
+            elif self.accept_keyword("DEFAULT"):
+                self.parse_expr()  # parsed and ignored
+            else:
+                break
+        return ast.ColumnDef(name=name, type_name=type_name, primary_key=primary_key, not_null=not_null)
+
+    def _parse_type_name(self) -> str:
+        words = [self.expect_ident()]
+        # Multi-word types: "double precision", "character varying".
+        if words[0] in _TYPE_KEYWORDS and self.current.kind == "ident":
+            words.append(self.expect_ident())
+        if self.accept_punct("("):
+            while not self.accept_punct(")"):
+                self.advance()
+        return normalize_type(" ".join(words))
+
+    def _parse_create_function(self) -> ast.CreateFunction:
+        name = self.expect_ident()
+        self.expect_punct("(")
+        arg_types: list[str] = []
+        if not self.accept_punct(")"):
+            arg_types.append(self._parse_type_name())
+            while self.accept_punct(","):
+                arg_types.append(self._parse_type_name())
+            self.expect_punct(")")
+        self.expect_keyword("RETURNS")
+        return_type = self._parse_type_name()
+        body = ""
+        language = "plpgsql"
+        volatility = "volatile"
+        while True:
+            if self.accept_keyword("AS"):
+                token = self.current
+                if token.kind != "string":
+                    raise SqlSyntaxError("function body must be a string literal")
+                self.advance()
+                body = token.value
+            elif self.accept_keyword("LANGUAGE"):
+                language = self.expect_ident()
+            elif self.check_keyword("IMMUTABLE", "STABLE", "VOLATILE", "STRICT"):
+                volatility = self.advance().value.lower()
+            else:
+                break
+        if not body:
+            raise SqlSyntaxError("CREATE FUNCTION requires a body")
+        return ast.CreateFunction(
+            name=name,
+            arg_types=tuple(arg_types),
+            return_type=return_type,
+            body=body,
+            language=language,
+            volatility=volatility,
+        )
+
+    def _parse_create_operator(self) -> ast.CreateOperator:
+        token = self.current
+        if token.kind != "operator":
+            raise SqlSyntaxError(f"expected operator name, found {token.value!r}")
+        self.advance()
+        name = token.value
+        self.expect_punct("(")
+        options: dict[str, str] = {}
+        while not self.accept_punct(")"):
+            key = self.expect_ident()
+            if not self.accept_operator("="):
+                raise SqlSyntaxError("expected '=' in operator option")
+            options[key] = self._parse_operator_option_value()
+            self.accept_punct(",")
+        return ast.CreateOperator(name=name, options=options)
+
+    def _parse_operator_option_value(self) -> str:
+        # Option values are identifiers (procedure names, type names) which
+        # may be multi-word types such as "double precision".
+        words = [self.expect_ident()]
+        if words[0] in _TYPE_KEYWORDS and self.current.kind == "ident":
+            words.append(self.expect_ident())
+        return " ".join(words)
+
+    def _parse_create_policy(self) -> ast.CreatePolicy:
+        name = self.expect_ident()
+        self.expect_keyword("ON")
+        table = self.expect_ident()
+        self.expect_keyword("USING")
+        self.expect_punct("(")
+        using = self.parse_expr()
+        self.expect_punct(")")
+        return ast.CreatePolicy(name=name, table=table, using=using)
+
+    def _parse_create_index(self, unique: bool) -> ast.CreateIndex:
+        name = self.expect_ident()
+        self.expect_keyword("ON")
+        table = self.expect_ident()
+        self.expect_punct("(")
+        columns = [self.expect_ident()]
+        while self.accept_punct(","):
+            columns.append(self.expect_ident())
+        self.expect_punct(")")
+        return ast.CreateIndex(name=name, table=table, columns=tuple(columns), unique=unique)
+
+    def parse_drop(self) -> ast.DropTable:
+        self.expect_keyword("DROP")
+        self.expect_keyword("TABLE")
+        if_exists = False
+        if self.accept_keyword("IF"):
+            self.expect_keyword("EXISTS")
+            if_exists = True
+        return ast.DropTable(name=self.expect_ident(), if_exists=if_exists)
+
+    # -- misc ----------------------------------------------------------------
+
+    def parse_explain(self) -> ast.Explain:
+        self.expect_keyword("EXPLAIN")
+        costs = True
+        if self.accept_punct("("):
+            while not self.accept_punct(")"):
+                if self.accept_keyword("COSTS"):
+                    if self.accept_keyword("OFF"):
+                        costs = False
+                    else:
+                        self.accept_keyword("ON")
+                else:
+                    self.advance()
+                self.accept_punct(",")
+        return ast.Explain(statement=self.parse_statement(), costs=costs)
+
+    def parse_set(self) -> ast.SetStatement:
+        self.expect_keyword("SET")
+        name = self.expect_ident()
+        # Compound GUC names like client_min_messages lex as one ident, but
+        # dotted names (e.g. search.path) need reassembly.
+        while self.accept_punct("."):
+            name += "." + self.expect_ident()
+        if not (self.accept_keyword("TO") or self.accept_operator("=")):
+            raise SqlSyntaxError("expected TO or = in SET")
+        token = self.current
+        if token.kind in ("string", "number", "ident", "keyword"):
+            self.advance()
+            return ast.SetStatement(name=name, value=token.value)
+        raise SqlSyntaxError(f"bad SET value: {token.value!r}")
+
+    def parse_grant(self) -> ast.Grant:
+        self.expect_keyword("GRANT")
+        privilege = self.advance().value.lower()
+        self.expect_keyword("ON")
+        self.accept_keyword("TABLE")
+        table = self.expect_ident()
+        self.expect_keyword("TO")
+        grantee = self.expect_ident()
+        return ast.Grant(privilege=privilege, table=table, grantee=grantee)
+
+    def parse_alter(self) -> ast.AlterTableRowSecurity:
+        self.expect_keyword("ALTER")
+        self.expect_keyword("TABLE")
+        table = self.expect_ident()
+        self.expect_keyword("ENABLE")
+        self.expect_keyword("ROW")
+        self.expect_keyword("LEVEL")
+        self.expect_keyword("SECURITY")
+        return ast.AlterTableRowSecurity(table=table, enable=True)
+
+    # -- expressions ----------------------------------------------------------
+
+    def parse_expr(self) -> ast.Expr:
+        return self._parse_or()
+
+    def _parse_or(self) -> ast.Expr:
+        left = self._parse_and()
+        while self.accept_keyword("OR"):
+            left = ast.Binary("OR", left, self._parse_and())
+        return left
+
+    def _parse_and(self) -> ast.Expr:
+        left = self._parse_not()
+        while self.accept_keyword("AND"):
+            left = ast.Binary("AND", left, self._parse_not())
+        return left
+
+    def _parse_not(self) -> ast.Expr:
+        if self.check_keyword("NOT"):
+            nxt = self._tokens[self._pos + 1]
+            if not (nxt.kind == "keyword" and nxt.value == "EXISTS"):
+                self.advance()
+                return ast.Unary("NOT", self._parse_not())
+            self.advance()
+            self.expect_keyword("EXISTS")
+            return self._parse_exists(negated=True)
+        if self.accept_keyword("EXISTS"):
+            return self._parse_exists(negated=False)
+        return self._parse_comparison()
+
+    def _parse_exists(self, negated: bool) -> ast.Exists:
+        self.expect_punct("(")
+        select = self.parse_select()
+        self.expect_punct(")")
+        return ast.Exists(select, negated=negated)
+
+    def _parse_comparison(self) -> ast.Expr:
+        left = self._parse_additive()
+        while True:
+            token = self.current
+            if token.kind == "operator" and token.value not in ("::",) and (
+                token.value in _COMPARISON_OPS
+                or token.value not in _ADDITIVE_OPS | _MULTIPLICATIVE_OPS
+            ):
+                self.advance()
+                left = ast.Binary(token.value, left, self._parse_additive())
+                continue
+            if self.check_keyword("LIKE"):
+                self.advance()
+                left = ast.Binary("LIKE", left, self._parse_additive())
+                continue
+            if self.check_keyword("NOT"):
+                # lookahead for NOT LIKE / NOT IN / NOT BETWEEN
+                nxt = self._tokens[self._pos + 1]
+                if nxt.kind == "keyword" and nxt.value in ("LIKE", "IN", "BETWEEN"):
+                    self.advance()
+                    if self.accept_keyword("LIKE"):
+                        left = ast.Unary("NOT", ast.Binary("LIKE", left, self._parse_additive()))
+                    elif self.accept_keyword("IN"):
+                        left = self._parse_in(left, negated=True)
+                    else:
+                        self.expect_keyword("BETWEEN")
+                        left = self._parse_between(left, negated=True)
+                    continue
+                break
+            if self.check_keyword("IN"):
+                self.advance()
+                left = self._parse_in(left, negated=False)
+                continue
+            if self.check_keyword("BETWEEN"):
+                self.advance()
+                left = self._parse_between(left, negated=False)
+                continue
+            if self.check_keyword("IS"):
+                self.advance()
+                negated = self.accept_keyword("NOT")
+                self.expect_keyword("NULL")
+                left = ast.IsNull(left, negated=negated)
+                continue
+            break
+        return left
+
+    def _parse_in(self, expr: ast.Expr, negated: bool) -> ast.Expr:
+        self.expect_punct("(")
+        if self.check_keyword("SELECT"):
+            select = self.parse_select()
+            self.expect_punct(")")
+            return ast.InSubquery(expr, select, negated=negated)
+        items = [self.parse_expr()]
+        while self.accept_punct(","):
+            items.append(self.parse_expr())
+        self.expect_punct(")")
+        return ast.InList(expr, tuple(items), negated=negated)
+
+    def _parse_between(self, expr: ast.Expr, negated: bool) -> ast.Expr:
+        low = self._parse_additive()
+        self.expect_keyword("AND")
+        high = self._parse_additive()
+        return ast.Between(expr, low, high, negated=negated)
+
+    def _parse_additive(self) -> ast.Expr:
+        left = self._parse_multiplicative()
+        while self.current.kind == "operator" and self.current.value in _ADDITIVE_OPS:
+            op = self.advance().value
+            left = ast.Binary(op, left, self._parse_multiplicative())
+        return left
+
+    def _parse_multiplicative(self) -> ast.Expr:
+        left = self._parse_unary()
+        while self.current.kind == "operator" and self.current.value in _MULTIPLICATIVE_OPS:
+            op = self.advance().value
+            left = ast.Binary(op, left, self._parse_unary())
+        return left
+
+    def _parse_unary(self) -> ast.Expr:
+        if self.current.kind == "operator" and self.current.value in ("-", "+"):
+            op = self.advance().value
+            return ast.Unary(op, self._parse_unary())
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> ast.Expr:
+        expr = self._parse_primary()
+        while self.accept_operator("::"):
+            expr = ast.Cast(expr, self._parse_type_name())
+        return expr
+
+    def _parse_primary(self) -> ast.Expr:
+        token = self.current
+        if token.kind == "number":
+            self.advance()
+            text = token.value
+            if "." in text or "e" in text or "E" in text:
+                return ast.Literal(float(text))
+            return ast.Literal(int(text))
+        if token.kind == "string":
+            self.advance()
+            return ast.Literal(token.value)
+        if token.kind == "param":
+            self.advance()
+            return ast.Param(int(token.value))
+        if self.accept_punct("("):
+            if self.check_keyword("SELECT"):
+                select = self.parse_select()
+                self.expect_punct(")")
+                return ast.Subquery(select)
+            expr = self.parse_expr()
+            self.expect_punct(")")
+            return expr
+        if self.accept_keyword("TRUE"):
+            return ast.Literal(True)
+        if self.accept_keyword("FALSE"):
+            return ast.Literal(False)
+        if self.accept_keyword("NULL"):
+            return ast.Literal(None)
+        if self.accept_keyword("DATE"):
+            literal = self.current
+            if literal.kind == "string":
+                self.advance()
+                from repro.sqlengine.types import parse_date
+
+                return ast.Literal(parse_date(literal.value))
+            return self._finish_ident_expr("date")
+        if self.accept_keyword("INTERVAL"):
+            literal = self.current
+            if literal.kind != "string":
+                raise SqlSyntaxError("INTERVAL requires a string literal")
+            self.advance()
+            return ast.IntervalLiteral(parse_interval(literal.value))
+        if self.accept_keyword("CASE"):
+            return self._parse_case()
+        if self.accept_keyword("CAST"):
+            self.expect_punct("(")
+            expr = self.parse_expr()
+            self.expect_keyword("AS")
+            type_name = self._parse_type_name()
+            self.expect_punct(")")
+            return ast.Cast(expr, type_name)
+        if self.accept_keyword("EXTRACT"):
+            self.expect_punct("(")
+            what = self.expect_ident()
+            self.expect_keyword("FROM")
+            source = self.parse_expr()
+            self.expect_punct(")")
+            return ast.Extract(what=what.lower(), source=source)
+        if self.accept_keyword("SUBSTRING"):
+            self.expect_punct("(")
+            source = self.parse_expr()
+            self.expect_keyword("FROM")
+            start = self.parse_expr()
+            length = None
+            if self.accept_keyword("FOR"):
+                length = self.parse_expr()
+            self.expect_punct(")")
+            return ast.Substring(source=source, start=start, length=length)
+        if token.kind == "ident" or token.kind == "keyword":
+            name = self.expect_ident()
+            return self._finish_ident_expr(name)
+        raise SqlSyntaxError(f"unexpected token {token.value!r}")
+
+    def _parse_case(self) -> ast.CaseWhen:
+        whens: list[tuple[ast.Expr, ast.Expr]] = []
+        while self.accept_keyword("WHEN"):
+            condition = self.parse_expr()
+            self.expect_keyword("THEN")
+            whens.append((condition, self.parse_expr()))
+        default = self.parse_expr() if self.accept_keyword("ELSE") else None
+        self.expect_keyword("END")
+        return ast.CaseWhen(whens=tuple(whens), default=default)
+
+    def _finish_ident_expr(self, name: str) -> ast.Expr:
+        if self.accept_punct("("):
+            return self._parse_call(name)
+        if self.accept_punct("."):
+            if self.current.kind == "operator" and self.current.value == "*":
+                self.advance()
+                return ast.Star(table=name)
+            column = self.expect_ident()
+            if self.accept_punct("("):
+                raise SqlSyntaxError("schema-qualified function calls not supported")
+            return ast.Column(name=column, table=name)
+        return ast.Column(name=name)
+
+    def _parse_call(self, name: str) -> ast.FuncCall:
+        if self.current.kind == "operator" and self.current.value == "*":
+            self.advance()
+            self.expect_punct(")")
+            return ast.FuncCall(name=name.lower(), star=True)
+        if self.accept_punct(")"):
+            return ast.FuncCall(name=name.lower())
+        distinct = self.accept_keyword("DISTINCT")
+        args = [self.parse_expr()]
+        while self.accept_punct(","):
+            args.append(self.parse_expr())
+        self.expect_punct(")")
+        return ast.FuncCall(name=name.lower(), args=tuple(args), distinct=distinct)

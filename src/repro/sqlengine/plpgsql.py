@@ -1,0 +1,137 @@
+"""A tiny plpgsql interpreter — just enough for the CVE exploit bodies.
+
+The exploits for CVE-2017-7484 and CVE-2019-10130 define functions such as::
+
+    BEGIN RAISE NOTICE 'leak % %', $1, $2; RETURN $1 > $2; END
+
+The interpreter supports a statement list of ``RAISE NOTICE`` /
+``RAISE EXCEPTION`` and ``RETURN <expr>`` inside an optional
+``BEGIN ... END`` block, which covers every body the paper's evaluation
+uses while remaining an honest (small) language.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sqlengine import ast_nodes as ast
+from repro.sqlengine.errors import SqlError, SqlSyntaxError
+from repro.sqlengine.lexer import Token, tokenize
+from repro.sqlengine.types import format_value
+
+
+@dataclass(frozen=True)
+class RaiseStatement:
+    level: str  # 'notice' or 'exception'
+    format_string: str
+    args: tuple[ast.Expr, ...]
+
+
+@dataclass(frozen=True)
+class ReturnStatement:
+    expr: ast.Expr
+
+
+PlStatement = RaiseStatement | ReturnStatement
+
+
+def parse_body(body: str) -> list[PlStatement]:
+    """Parse a plpgsql function body into a statement list."""
+    tokens = tokenize(body)
+    parser = _BodyParser(tokens)
+    return parser.parse()
+
+
+class _BodyParser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    @property
+    def current(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _advance(self) -> Token:
+        token = self.current
+        if token.kind != "eof":
+            self._pos += 1
+        return token
+
+    def _accept_keyword(self, word: str) -> bool:
+        if self.current.kind == "keyword" and self.current.value == word:
+            self._advance()
+            return True
+        return False
+
+    def _accept_punct(self, value: str) -> bool:
+        if self.current.kind == "punct" and self.current.value == value:
+            self._advance()
+            return True
+        return False
+
+    def parse(self) -> list[PlStatement]:
+        self._accept_keyword("BEGIN")
+        statements: list[PlStatement] = []
+        while True:
+            while self._accept_punct(";"):
+                pass
+            if self._accept_keyword("END") or self.current.kind == "eof":
+                break
+            statements.append(self._parse_statement())
+        if not any(isinstance(s, ReturnStatement) for s in statements):
+            raise SqlSyntaxError("plpgsql body has no RETURN statement")
+        return statements
+
+    def _parse_statement(self) -> PlStatement:
+        if self._accept_keyword("RAISE"):
+            level = "notice"
+            if self._accept_keyword("NOTICE"):
+                level = "notice"
+            elif self._accept_keyword("EXCEPTION"):
+                level = "exception"
+            token = self.current
+            if token.kind != "string":
+                raise SqlSyntaxError("RAISE requires a format string")
+            self._advance()
+            args: list[ast.Expr] = []
+            while self._accept_punct(","):
+                args.append(self._parse_expr())
+            return RaiseStatement(level=level, format_string=token.value, args=tuple(args))
+        if self._accept_keyword("RETURN"):
+            return ReturnStatement(expr=self._parse_expr())
+        raise SqlSyntaxError(
+            f"unsupported plpgsql statement near {self.current.value!r}"
+        )
+
+    def _parse_expr(self) -> ast.Expr:
+        # Reuse the SQL expression grammar on the remaining token slice.
+        from repro.sqlengine.parser import _Parser
+
+        sub = _Parser(self._tokens)
+        sub._pos = self._pos
+        expr = sub.parse_expr()
+        self._pos = sub._pos
+        return expr
+
+
+def render_format(format_string: str, values: list[object]) -> str:
+    """Substitute ``%`` placeholders the way plpgsql RAISE does."""
+    pieces: list[str] = []
+    value_iter = iter(values)
+    i = 0
+    while i < len(format_string):
+        ch = format_string[i]
+        if ch == "%":
+            if i + 1 < len(format_string) and format_string[i + 1] == "%":
+                pieces.append("%")
+                i += 2
+                continue
+            try:
+                pieces.append(format_value(next(value_iter)))
+            except StopIteration:
+                raise SqlError("too few parameters for RAISE format") from None
+            i += 1
+            continue
+        pieces.append(ch)
+        i += 1
+    return "".join(pieces)

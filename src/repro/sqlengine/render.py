@@ -1,0 +1,73 @@
+"""Render AST expressions back to SQL text (EXPLAIN output, logging)."""
+
+from __future__ import annotations
+
+from repro.sqlengine import ast_nodes as ast
+from repro.sqlengine.types import format_value
+
+
+def render_expr(expr: ast.Expr) -> str:
+    """A compact, parenthesised SQL rendering of an expression."""
+    if isinstance(expr, ast.Literal):
+        if expr.value is None:
+            return "NULL"
+        if isinstance(expr.value, str):
+            escaped = expr.value.replace("'", "''")
+            return f"'{escaped}'"
+        if isinstance(expr.value, bool):
+            return "true" if expr.value else "false"
+        return format_value(expr.value)
+    if isinstance(expr, ast.Column):
+        return expr.display()
+    if isinstance(expr, ast.Star):
+        return f"{expr.table}.*" if expr.table else "*"
+    if isinstance(expr, ast.Param):
+        return f"${expr.index}"
+    if isinstance(expr, ast.Unary):
+        if expr.op == "NOT":
+            return f"NOT {render_expr(expr.operand)}"
+        return f"{expr.op}{render_expr(expr.operand)}"
+    if isinstance(expr, ast.Binary):
+        return f"({render_expr(expr.left)} {expr.op} {render_expr(expr.right)})"
+    if isinstance(expr, ast.InList):
+        items = ", ".join(render_expr(item) for item in expr.items)
+        keyword = "NOT IN" if expr.negated else "IN"
+        return f"({render_expr(expr.expr)} {keyword} ({items}))"
+    if isinstance(expr, ast.Between):
+        keyword = "NOT BETWEEN" if expr.negated else "BETWEEN"
+        return (
+            f"({render_expr(expr.expr)} {keyword} "
+            f"{render_expr(expr.low)} AND {render_expr(expr.high)})"
+        )
+    if isinstance(expr, ast.IsNull):
+        suffix = "IS NOT NULL" if expr.negated else "IS NULL"
+        return f"({render_expr(expr.expr)} {suffix})"
+    if isinstance(expr, ast.CaseWhen):
+        parts = ["CASE"]
+        for condition, result in expr.whens:
+            parts.append(f"WHEN {render_expr(condition)} THEN {render_expr(result)}")
+        if expr.default is not None:
+            parts.append(f"ELSE {render_expr(expr.default)}")
+        parts.append("END")
+        return " ".join(parts)
+    if isinstance(expr, ast.FuncCall):
+        if expr.star:
+            return f"{expr.name}(*)"
+        args = ", ".join(render_expr(arg) for arg in expr.args)
+        prefix = "DISTINCT " if expr.distinct else ""
+        return f"{expr.name}({prefix}{args})"
+    if isinstance(expr, ast.Cast):
+        return f"({render_expr(expr.expr)})::{expr.type_name}"
+    if isinstance(expr, ast.Extract):
+        return f"EXTRACT({expr.what} FROM {render_expr(expr.source)})"
+    if isinstance(expr, ast.Substring):
+        inner = f"SUBSTRING({render_expr(expr.source)} FROM {render_expr(expr.start)}"
+        if expr.length is not None:
+            inner += f" FOR {render_expr(expr.length)}"
+        return inner + ")"
+    if isinstance(expr, ast.IntervalLiteral):
+        interval = expr.interval
+        if interval.months:
+            return f"INTERVAL '{interval.months} month'"
+        return f"INTERVAL '{interval.days} day'"
+    return repr(expr)

@@ -1,0 +1,180 @@
+"""SQL value types and conversion rules for the mini engine."""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass
+
+from repro.sqlengine.errors import DataTypeError
+
+#: Canonical type names the engine understands.  Aliases map onto these.
+INT = "integer"
+BIGINT = "bigint"
+FLOAT = "double precision"
+NUMERIC = "numeric"
+TEXT = "text"
+BOOL = "boolean"
+DATE = "date"
+
+_ALIASES = {
+    "int": INT,
+    "int4": INT,
+    "integer": INT,
+    "serial": INT,
+    "bigint": BIGINT,
+    "int8": BIGINT,
+    "bigserial": BIGINT,
+    "float": FLOAT,
+    "float8": FLOAT,
+    "double": FLOAT,
+    "double precision": FLOAT,
+    "real": FLOAT,
+    "numeric": NUMERIC,
+    "decimal": NUMERIC,
+    "text": TEXT,
+    "varchar": TEXT,
+    "character varying": TEXT,
+    "char": TEXT,
+    "character": TEXT,
+    "bool": BOOL,
+    "boolean": BOOL,
+    "date": DATE,
+}
+
+#: PostgreSQL type OIDs, used by the pgwire RowDescription message.
+TYPE_OIDS = {
+    INT: 23,
+    BIGINT: 20,
+    FLOAT: 701,
+    NUMERIC: 1700,
+    TEXT: 25,
+    BOOL: 16,
+    DATE: 1082,
+}
+
+
+def normalize_type(name: str) -> str:
+    """Map a declared type name (possibly an alias) to its canonical form.
+
+    Parenthesised size arguments like ``varchar(32)`` are ignored, as the
+    engine does not enforce lengths.
+    """
+    base = name.strip().lower().split("(")[0].strip()
+    if base not in _ALIASES:
+        raise DataTypeError(f"unknown type: {name!r}")
+    return _ALIASES[base]
+
+
+def coerce(value: object, type_name: str) -> object:
+    """Coerce a Python value to the storage representation of a SQL type."""
+    if value is None:
+        return None
+    try:
+        if type_name in (INT, BIGINT):
+            if isinstance(value, bool):
+                return int(value)
+            return int(value)
+        if type_name in (FLOAT, NUMERIC):
+            return float(value)
+        if type_name == TEXT:
+            return value if isinstance(value, str) else format_value(value)
+        if type_name == BOOL:
+            if isinstance(value, bool):
+                return value
+            if isinstance(value, (int, float)):
+                return bool(value)
+            text = str(value).strip().lower()
+            if text in ("t", "true", "yes", "on", "1"):
+                return True
+            if text in ("f", "false", "no", "off", "0"):
+                return False
+            raise DataTypeError(f"invalid boolean literal: {value!r}")
+        if type_name == DATE:
+            if isinstance(value, datetime.date):
+                return value
+            return parse_date(str(value))
+    except (TypeError, ValueError) as exc:
+        raise DataTypeError(f"cannot coerce {value!r} to {type_name}") from exc
+    raise DataTypeError(f"unknown type: {type_name!r}")
+
+
+def parse_date(text: str) -> datetime.date:
+    """Parse a ``YYYY-MM-DD`` date literal."""
+    try:
+        return datetime.date.fromisoformat(text.strip())
+    except ValueError as exc:
+        raise DataTypeError(f"invalid date literal: {text!r}") from exc
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A coarse SQL interval (TPC-H needs day/month/year arithmetic)."""
+
+    days: int = 0
+    months: int = 0
+
+    def add_to(self, date: datetime.date) -> datetime.date:
+        month_index = date.month - 1 + self.months
+        year = date.year + month_index // 12
+        month = month_index % 12 + 1
+        day = min(date.day, _days_in_month(year, month))
+        return datetime.date(year, month, day) + datetime.timedelta(days=self.days)
+
+    def subtract_from(self, date: datetime.date) -> datetime.date:
+        return Interval(days=-self.days, months=-self.months).add_to(date)
+
+
+def parse_interval(text: str) -> Interval:
+    """Parse interval literals like ``'3 month'``, ``'90 day'``, ``'1 year'``."""
+    parts = text.strip().lower().split()
+    if len(parts) != 2:
+        raise DataTypeError(f"unsupported interval literal: {text!r}")
+    try:
+        amount = int(parts[0])
+    except ValueError as exc:
+        raise DataTypeError(f"unsupported interval literal: {text!r}") from exc
+    unit = parts[1].rstrip("s")
+    if unit == "day":
+        return Interval(days=amount)
+    if unit == "month":
+        return Interval(months=amount)
+    if unit == "year":
+        return Interval(months=12 * amount)
+    if unit == "week":
+        return Interval(days=7 * amount)
+    raise DataTypeError(f"unsupported interval unit: {unit!r}")
+
+
+def _days_in_month(year: int, month: int) -> int:
+    if month == 12:
+        return 31
+    first_next = datetime.date(year + (month // 12), month % 12 + 1, 1)
+    return (first_next - datetime.timedelta(days=1)).day
+
+
+def format_value(value: object) -> str:
+    """Render a value the way PostgreSQL's text protocol does."""
+    if value is None:
+        return ""
+    if isinstance(value, bool):
+        return "t" if value else "f"
+    if isinstance(value, float):
+        if value == int(value) and abs(value) < 1e15:
+            return f"{value:.1f}"
+        return repr(value)
+    if isinstance(value, datetime.date):
+        return value.isoformat()
+    return str(value)
+
+
+def infer_type(value: object) -> str:
+    """Infer the SQL type of a Python literal (for computed columns)."""
+    if isinstance(value, bool):
+        return BOOL
+    if isinstance(value, int):
+        return INT
+    if isinstance(value, float):
+        return FLOAT
+    if isinstance(value, datetime.date):
+        return DATE
+    return TEXT

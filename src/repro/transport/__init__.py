@@ -1,0 +1,42 @@
+"""Transport-layer substrate shared by every networked component.
+
+RDDR and all the evaluation microservices in this repository communicate
+over real asyncio TCP (optionally TLS) sockets on localhost.  This package
+provides the small set of primitives they share:
+
+* :mod:`repro.transport.ports` -- free-port allocation for deployments.
+* :mod:`repro.transport.server` -- a managed ``asyncio`` server handle.
+* :mod:`repro.transport.streams` -- stream framing and pumping helpers.
+* :mod:`repro.transport.retry` -- connection establishment with retries.
+* :mod:`repro.transport.tls` -- SSL contexts backed by a bundled
+  self-signed localhost certificate.
+"""
+
+from repro.transport.ports import PortAllocator, allocate_port
+from repro.transport.retry import open_connection_retry
+from repro.transport.server import ServerHandle, start_server
+from repro.transport.streams import (
+    ConnectionClosed,
+    drain_write,
+    read_exact,
+    read_frame,
+    read_until,
+    write_frame,
+)
+from repro.transport.tls import client_ssl_context, server_ssl_context
+
+__all__ = [
+    "PortAllocator",
+    "allocate_port",
+    "open_connection_retry",
+    "ServerHandle",
+    "start_server",
+    "ConnectionClosed",
+    "drain_write",
+    "read_exact",
+    "read_frame",
+    "read_until",
+    "write_frame",
+    "client_ssl_context",
+    "server_ssl_context",
+]

@@ -1,0 +1,60 @@
+"""Free-port allocation for localhost deployments.
+
+Every microservice instance, proxy, and backend in a deployment needs its
+own TCP port.  The orchestrator asks a :class:`PortAllocator` for ports so
+that concurrently running deployments (for example, parallel tests) do not
+collide.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+
+
+class PortAllocator:
+    """Hands out currently-free localhost TCP ports.
+
+    Ports are discovered by binding an ephemeral socket and recording the
+    kernel-assigned port.  Allocated ports are remembered so one allocator
+    never hands the same port out twice, even if the service that should
+    occupy it has not started listening yet.
+    """
+
+    def __init__(self, host: str = "127.0.0.1") -> None:
+        self.host = host
+        self._lock = threading.Lock()
+        self._allocated: set[int] = set()
+
+    def allocate(self) -> int:
+        """Return a free TCP port on :attr:`host`."""
+        with self._lock:
+            while True:
+                port = _probe_free_port(self.host)
+                if port not in self._allocated:
+                    self._allocated.add(port)
+                    return port
+
+    def allocate_many(self, count: int) -> list[int]:
+        """Return ``count`` distinct free ports."""
+        return [self.allocate() for _ in range(count)]
+
+    def release(self, port: int) -> None:
+        """Forget an allocation so the port may be handed out again."""
+        with self._lock:
+            self._allocated.discard(port)
+
+
+def _probe_free_port(host: str) -> int:
+    with socket.socket(socket.AF_INET, socket.SOCK_STREAM) as sock:
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        sock.bind((host, 0))
+        return sock.getsockname()[1]
+
+
+_DEFAULT_ALLOCATOR = PortAllocator()
+
+
+def allocate_port() -> int:
+    """Allocate a free port from the process-wide default allocator."""
+    return _DEFAULT_ALLOCATOR.allocate()

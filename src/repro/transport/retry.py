@@ -1,0 +1,45 @@
+"""Connection establishment with bounded retries.
+
+Deployments start many servers concurrently; a client (or RDDR proxy) may
+race a service that is still binding its socket.  ``open_connection_retry``
+absorbs that startup window with capped exponential backoff.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import ssl
+
+
+async def open_connection_retry(
+    host: str,
+    port: int,
+    *,
+    attempts: int = 20,
+    initial_delay: float = 0.01,
+    max_delay: float = 0.25,
+    ssl_context: ssl.SSLContext | None = None,
+    server_hostname: str | None = None,
+) -> tuple[asyncio.StreamReader, asyncio.StreamWriter]:
+    """Open a stream connection, retrying on refusal during service startup.
+
+    Raises the final ``ConnectionError`` if the service never comes up.
+    """
+    delay = initial_delay
+    last_error: Exception | None = None
+    for attempt in range(attempts):
+        try:
+            if ssl_context is not None:
+                return await asyncio.open_connection(
+                    host, port, ssl=ssl_context, server_hostname=server_hostname or host
+                )
+            return await asyncio.open_connection(host, port)
+        except (ConnectionRefusedError, OSError) as exc:
+            last_error = exc
+            if attempt == attempts - 1:
+                break
+            await asyncio.sleep(delay)
+            delay = min(delay * 2, max_delay)
+    raise ConnectionError(
+        f"could not connect to {host}:{port} after {attempts} attempts"
+    ) from last_error

@@ -1,0 +1,99 @@
+"""A managed asyncio server with deterministic startup and shutdown.
+
+Every listening component (microservice instances, RDDR proxies, backend
+services) wraps its connection handler in a :class:`ServerHandle` so that
+deployments can be started, queried for their bound address, and torn down
+symmetrically.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import logging
+import ssl
+from typing import Awaitable, Callable
+
+logger = logging.getLogger(__name__)
+
+ConnectionHandler = Callable[
+    [asyncio.StreamReader, asyncio.StreamWriter], Awaitable[None]
+]
+
+
+class ServerHandle:
+    """A started asyncio TCP/TLS server plus its lifecycle management.
+
+    Connection-handler exceptions are contained per connection: a failure in
+    one handler closes that client's socket but leaves the server (and every
+    other connection) running, which mirrors how a real microservice behaves
+    when one request crashes.
+    """
+
+    def __init__(self, name: str, server: asyncio.base_events.Server, host: str, port: int) -> None:
+        self.name = name
+        self.host = host
+        self.port = port
+        self._server = server
+        self._closed = False
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return (self.host, self.port)
+
+    async def close(self) -> None:
+        """Stop accepting connections and wait for the listener to close."""
+        if self._closed:
+            return
+        self._closed = True
+        self._server.close()
+        with contextlib.suppress(Exception):
+            await self._server.wait_closed()
+
+    async def __aenter__(self) -> "ServerHandle":
+        return self
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ServerHandle {self.name} on {self.host}:{self.port}>"
+
+
+async def start_server(
+    handler: ConnectionHandler,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    *,
+    name: str = "server",
+    ssl_context: ssl.SSLContext | None = None,
+) -> ServerHandle:
+    """Start a TCP (or TLS) server and return its :class:`ServerHandle`.
+
+    ``port=0`` asks the kernel for an ephemeral port; the handle reports the
+    actual bound port.
+    """
+
+    async def guarded(reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        try:
+            await handler(reader, writer)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        except asyncio.CancelledError:
+            # Server shutdown cancels in-flight handlers; the connection
+            # is going away regardless, so don't let asyncio log it.
+            pass
+        except Exception:
+            # Contain handler bugs to this connection, like a real server.
+            logger.exception("unhandled error in %s connection handler", name)
+        finally:
+            # wait_closed() may be cancelled when the whole server shuts
+            # down mid-connection; swallow that too -- the transport is
+            # being torn down either way.
+            with contextlib.suppress(Exception, asyncio.CancelledError):
+                writer.close()
+                await writer.wait_closed()
+
+    server = await asyncio.start_server(guarded, host, port, ssl=ssl_context)
+    bound_port = server.sockets[0].getsockname()[1]
+    return ServerHandle(name, server, host, bound_port)

@@ -1,0 +1,87 @@
+"""Stream helpers: exact reads, delimiter reads, and length-prefixed frames.
+
+The protocol modules in :mod:`repro.protocols` parse application messages
+out of byte streams; these helpers centralise the error handling around
+connection shutdown so that every caller sees one exception type,
+:class:`ConnectionClosed`, instead of the zoo of ``IncompleteReadError`` /
+``ConnectionResetError`` / empty-read conditions asyncio can produce.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import struct
+
+_FRAME_HEADER = struct.Struct(">I")
+
+#: Upper bound for a single length-prefixed frame (16 MiB).  Guards against
+#: a corrupted or malicious length header allocating unbounded memory.
+MAX_FRAME_SIZE = 16 * 1024 * 1024
+
+
+class ConnectionClosed(Exception):
+    """The peer closed the connection before a full message arrived."""
+
+    def __init__(self, message: str = "connection closed", partial: bytes = b"") -> None:
+        super().__init__(message)
+        self.partial = partial
+
+
+async def read_exact(reader: asyncio.StreamReader, size: int) -> bytes:
+    """Read exactly ``size`` bytes or raise :class:`ConnectionClosed`."""
+    if size == 0:
+        return b""
+    try:
+        return await reader.readexactly(size)
+    except asyncio.IncompleteReadError as exc:
+        raise ConnectionClosed(partial=exc.partial) from exc
+    except ConnectionError as exc:
+        raise ConnectionClosed(str(exc)) from exc
+
+
+async def read_until(reader: asyncio.StreamReader, delimiter: bytes) -> bytes:
+    """Read up to and including ``delimiter`` or raise :class:`ConnectionClosed`."""
+    try:
+        return await reader.readuntil(delimiter)
+    except asyncio.IncompleteReadError as exc:
+        raise ConnectionClosed(partial=exc.partial) from exc
+    except ConnectionError as exc:
+        raise ConnectionClosed(str(exc)) from exc
+
+
+async def read_frame(reader: asyncio.StreamReader) -> bytes:
+    """Read one big-endian length-prefixed frame."""
+    header = await read_exact(reader, _FRAME_HEADER.size)
+    (length,) = _FRAME_HEADER.unpack(header)
+    if length > MAX_FRAME_SIZE:
+        raise ValueError(f"frame of {length} bytes exceeds MAX_FRAME_SIZE")
+    return await read_exact(reader, length)
+
+
+async def write_frame(writer: asyncio.StreamWriter, payload: bytes) -> None:
+    """Write one big-endian length-prefixed frame and drain."""
+    if len(payload) > MAX_FRAME_SIZE:
+        raise ValueError(f"frame of {len(payload)} bytes exceeds MAX_FRAME_SIZE")
+    writer.write(_FRAME_HEADER.pack(len(payload)) + payload)
+    await drain_write(writer)
+
+
+async def drain_write(writer: asyncio.StreamWriter) -> None:
+    """Drain a writer, mapping connection errors to :class:`ConnectionClosed`."""
+    try:
+        await writer.drain()
+    except ConnectionError as exc:
+        raise ConnectionClosed(str(exc)) from exc
+
+
+async def close_writer(writer: asyncio.StreamWriter) -> None:
+    """Close a writer and wait for the transport to release, ignoring resets."""
+    try:
+        writer.close()
+        await writer.wait_closed()
+    except (ConnectionError, BrokenPipeError):
+        pass
+    except asyncio.CancelledError:
+        # Event-loop teardown while draining the close; the socket is
+        # already closed locally, nothing left to wait for.
+        pass

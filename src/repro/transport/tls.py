@@ -1,0 +1,37 @@
+"""SSL/TLS contexts for encrypted transport (paper section IV-B1).
+
+RDDR supports SSL/TLS at the transport layer via Python's ``ssl`` module.
+A self-signed certificate for ``localhost`` is bundled with the package so
+encrypted deployments work offline; clients trust exactly that certificate.
+"""
+
+from __future__ import annotations
+
+import ssl
+from importlib import resources
+
+_CERT_PACKAGE = "repro.transport.certs"
+_CERT_FILE = "localhost.crt"
+_KEY_FILE = "localhost.key"
+
+
+def _cert_paths() -> tuple[str, str]:
+    base = resources.files(_CERT_PACKAGE)
+    return str(base / _CERT_FILE), str(base / _KEY_FILE)
+
+
+def server_ssl_context() -> ssl.SSLContext:
+    """A server-side context using the bundled localhost certificate."""
+    context = ssl.SSLContext(ssl.PROTOCOL_TLS_SERVER)
+    cert, key = _cert_paths()
+    context.load_cert_chain(cert, key)
+    return context
+
+
+def client_ssl_context() -> ssl.SSLContext:
+    """A client-side context that trusts (only) the bundled certificate."""
+    cert, _ = _cert_paths()
+    context = ssl.SSLContext(ssl.PROTOCOL_TLS_CLIENT)
+    context.load_verify_locations(cert)
+    context.check_hostname = False
+    return context

@@ -1,0 +1,21 @@
+"""Diverse vendor database engines (paper section IV-C / V-C2).
+
+Three pgwire-compatible engines built on the same mini SQL substrate but
+with the behavioural differences of their real-world counterparts:
+
+* :func:`create_postsim` — PostgreSQL-like, version-parameterized CVEs.
+* :func:`create_roachsim` — CockroachDB-like, rejects UDFs.
+* :func:`create_enterprisesim` — EnterpriseDB-like, fixed behaviour.
+"""
+
+from repro.vendors.enterprisesim import create_enterprisesim
+from repro.vendors.postsim import create_postsim, parse_version, profile_for_version
+from repro.vendors.roachsim import create_roachsim
+
+__all__ = [
+    "create_enterprisesim",
+    "create_postsim",
+    "create_roachsim",
+    "parse_version",
+    "profile_for_version",
+]

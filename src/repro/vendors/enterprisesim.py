@@ -1,0 +1,29 @@
+"""enterprisesim — the EnterpriseDB-like vendor engine.
+
+The paper lists EnterpriseDB as a third pgwire-compatible implementation
+suitable for diverse deployment.  enterprisesim behaves like a fixed
+postsim (no CVE leak paths) with its own version string, giving tests a
+third independent "vendor" for 3-way implementation diversity.
+"""
+
+from __future__ import annotations
+
+from repro.sqlengine.database import Database, EngineProfile
+
+
+def profile_for_version(version: str = "13.5.9") -> EngineProfile:
+    return EngineProfile(
+        name="enterprisesim",
+        version=version,
+        version_string=(
+            f"EnterpriseDB Advanced Server {version} (enterprisesim) on x86_64-repro"
+        ),
+        supports_udf=True,
+        planner_stats_leak=False,
+        rls_pushdown_leak=False,
+    )
+
+
+def create_enterprisesim(version: str = "13.5.9") -> Database:
+    """Create an enterprisesim engine instance at ``version``."""
+    return Database(profile_for_version(version))

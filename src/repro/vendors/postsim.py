@@ -1,0 +1,46 @@
+"""postsim — the PostgreSQL-like vendor engine, version-parameterized.
+
+``create_postsim("10.7")`` returns a database whose observable behaviour
+matches the vulnerability state of that PostgreSQL version for the two
+CVEs the paper exploits:
+
+* versions <= 9.2.20 carry **CVE-2017-7484** (planner statistics leak);
+* versions 10.0 – 10.7 carry **CVE-2019-10130** (RLS pushdown leak).
+
+Everything else (SQL dialect, wire protocol, UDF support) is identical
+across versions, exactly the property version diversity relies on.
+"""
+
+from __future__ import annotations
+
+from repro.sqlengine.database import Database, EngineProfile
+
+#: Fix boundaries, from the CVE advisories the paper cites.
+PLANNER_LEAK_FIXED_IN = (9, 2, 21)
+RLS_LEAK_INTRODUCED_IN = (10, 0)
+RLS_LEAK_FIXED_IN = (10, 8)
+
+
+def parse_version(version: str) -> tuple[int, ...]:
+    """Parse a dotted version string into a comparable tuple."""
+    return tuple(int(part) for part in version.strip().split("."))
+
+
+def profile_for_version(version: str) -> EngineProfile:
+    """The :class:`EngineProfile` matching one postsim release."""
+    parsed = parse_version(version)
+    return EngineProfile(
+        name="postsim",
+        version=version,
+        version_string=(
+            f"PostgreSQL {version} (postsim) on x86_64-repro, compiled by repro-cc"
+        ),
+        supports_udf=True,
+        planner_stats_leak=parsed < PLANNER_LEAK_FIXED_IN,
+        rls_pushdown_leak=RLS_LEAK_INTRODUCED_IN <= parsed < RLS_LEAK_FIXED_IN,
+    )
+
+
+def create_postsim(version: str = "13.0") -> Database:
+    """Create a postsim engine instance at ``version``."""
+    return Database(profile_for_version(version))

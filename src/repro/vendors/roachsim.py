@@ -1,0 +1,45 @@
+"""roachsim — the CockroachDB-like vendor engine.
+
+Speaks the same wire protocol and SQL dialect as postsim (CockroachDB is
+pgwire-compatible), but diverges exactly where the real product does in
+the paper's evaluation (section V-C2):
+
+* **No user-defined functions or operators.**  ``CREATE FUNCTION`` fails
+  with an "unimplemented" error — which is why CVE-2017-7484 cannot be
+  exploited against it, and why RDDR sees a divergence at the exploit's
+  first step.
+* **Serializable-only isolation** is reported, matching the paper's note
+  that Postgres had to be configured to serializable to behave
+  identically.
+* A CockroachDB-style version string.
+"""
+
+from __future__ import annotations
+
+from repro.sqlengine.database import Database, EngineProfile
+
+
+def profile_for_version(version: str = "21.2.5") -> EngineProfile:
+    return EngineProfile(
+        name="roachsim",
+        version=version,
+        version_string=(
+            f"CockroachDB CCL v{version} (roachsim, x86_64-repro)"
+        ),
+        supports_udf=False,
+        udf_error_message=(
+            "unimplemented: CREATE FUNCTION unsupported: user-defined "
+            "functions are not yet supported"
+        ),
+        planner_stats_leak=False,
+        rls_pushdown_leak=False,
+        defaults={
+            "client_min_messages": "notice",
+            "default_transaction_isolation": "serializable",
+        },
+    )
+
+
+def create_roachsim(version: str = "21.2.5") -> Database:
+    """Create a roachsim engine instance at ``version``."""
+    return Database(profile_for_version(version))

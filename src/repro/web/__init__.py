@@ -1,0 +1,57 @@
+"""Micro web framework and HTTP/1.1 implementation (substrate).
+
+The paper's evaluation builds its microservices on Flask/PHP/Node; this
+package is the equivalent substrate here: an HTTP/1.1 message model and
+parser (:mod:`repro.web.http11`), an asyncio server and client, a routing
+application framework, plus cookies, sessions, forms, and CSRF tokens.
+"""
+
+from repro.web.app import (
+    App,
+    RequestContext,
+    html_response,
+    json_response,
+    redirect_response,
+    set_cookie,
+    text_response,
+)
+from repro.web.client import HttpClient, fetch
+from repro.web.http11 import (
+    HeaderMap,
+    HttpParseError,
+    ParserOptions,
+    Request,
+    Response,
+    parse_request_bytes,
+    parse_response_bytes,
+    read_request,
+    read_response,
+    serialize_request,
+    serialize_response,
+)
+from repro.web.server import HttpServer, serve_app
+
+__all__ = [
+    "App",
+    "RequestContext",
+    "html_response",
+    "json_response",
+    "redirect_response",
+    "set_cookie",
+    "text_response",
+    "HttpClient",
+    "fetch",
+    "HeaderMap",
+    "HttpParseError",
+    "ParserOptions",
+    "Request",
+    "Response",
+    "parse_request_bytes",
+    "parse_response_bytes",
+    "read_request",
+    "read_response",
+    "serialize_request",
+    "serialize_response",
+    "HttpServer",
+    "serve_app",
+]

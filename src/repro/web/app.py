@@ -1,0 +1,167 @@
+"""A micro web framework: routing, request context, and responses.
+
+The evaluation microservices (RESTful library servers, DVWA, the GitLab
+components) are built on this framework the way the paper's equivalents
+were built on Flask/PHP.  It is intentionally small: route registration by
+decorator, path parameters, query/form access, cookies, sessions, and JSON
+helpers.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass, field
+from typing import Awaitable, Callable
+from urllib.parse import parse_qsl, unquote, urlsplit
+
+from repro.web.cookies import format_set_cookie, parse_cookie_header
+from repro.web.http11 import HeaderMap, Request, Response
+
+Handler = Callable[["RequestContext"], Awaitable[Response] | Response]
+
+_PARAM_RE = re.compile(r"<(?:(path):)?([a-zA-Z_][a-zA-Z0-9_]*)>")
+
+
+@dataclass
+class RequestContext:
+    """Everything a handler needs about one request."""
+
+    request: Request
+    path_params: dict[str, str] = field(default_factory=dict)
+    app: "App | None" = None
+
+    @property
+    def method(self) -> str:
+        return self.request.method
+
+    @property
+    def path(self) -> str:
+        return unquote(urlsplit(self.request.target).path)
+
+    @property
+    def query(self) -> dict[str, str]:
+        return dict(parse_qsl(urlsplit(self.request.target).query, keep_blank_values=True))
+
+    @property
+    def form(self) -> dict[str, str]:
+        content_type = (self.request.header("Content-Type") or "").split(";")[0].strip()
+        if content_type == "application/x-www-form-urlencoded":
+            return dict(
+                parse_qsl(
+                    self.request.body.decode("utf-8", errors="replace"),
+                    keep_blank_values=True,
+                )
+            )
+        return {}
+
+    @property
+    def cookies(self) -> dict[str, str]:
+        return parse_cookie_header(self.request.header("Cookie"))
+
+    def json(self) -> object:
+        """Decode the request body as JSON; raises ``ValueError`` if invalid."""
+        return json.loads(self.request.body.decode("utf-8"))
+
+
+class _Route:
+    def __init__(self, pattern: str, methods: tuple[str, ...], handler: Handler) -> None:
+        self.pattern = pattern
+        self.methods = methods
+        self.handler = handler
+        escaped = re.escape(pattern).replace(r"\<", "<").replace(r"\>", ">")
+        # Flask-style params: `<name>` matches one path segment,
+        # `<path:name>` spans segments.
+        regex = _PARAM_RE.sub(
+            lambda m: f"(?P<{m.group(2)}>.+)" if m.group(1) else f"(?P<{m.group(2)}>[^/]+)",
+            escaped.replace(r"\:", ":"),
+        )
+        self._regex = re.compile(f"^{regex}$")
+
+    def match(self, path: str) -> dict[str, str] | None:
+        found = self._regex.match(path)
+        if found is None:
+            return None
+        return found.groupdict()
+
+
+class App:
+    """Route table plus the async request dispatcher."""
+
+    def __init__(self, name: str = "app") -> None:
+        self.name = name
+        self._routes: list[_Route] = []
+        self.server_header: str | None = None
+
+    def route(self, pattern: str, methods: tuple[str, ...] = ("GET",)) -> Callable[[Handler], Handler]:
+        """Register a handler for ``pattern`` (``/users/<user_id>`` style)."""
+
+        def decorator(handler: Handler) -> Handler:
+            self._routes.append(_Route(pattern, tuple(m.upper() for m in methods), handler))
+            return handler
+
+        return decorator
+
+    def add_route(self, pattern: str, handler: Handler, methods: tuple[str, ...] = ("GET",)) -> None:
+        self._routes.append(_Route(pattern, tuple(m.upper() for m in methods), handler))
+
+    async def handle(self, request: Request) -> Response:
+        """Dispatch one request to the matching route."""
+        path = unquote(urlsplit(request.target).path)
+        allowed: list[str] = []
+        for route in self._routes:
+            params = route.match(path)
+            if params is None:
+                continue
+            if request.method not in route.methods:
+                allowed.extend(route.methods)
+                continue
+            context = RequestContext(request=request, path_params=params, app=self)
+            result = route.handler(context)
+            if hasattr(result, "__await__"):
+                result = await result
+            response = result if isinstance(result, Response) else text_response(str(result))
+            break
+        else:
+            if allowed:
+                response = text_response("method not allowed", status=405)
+                response.headers.set("Allow", ", ".join(sorted(set(allowed))))
+            else:
+                response = text_response("not found", status=404)
+        if self.server_header and "Server" not in response.headers:
+            response.headers.set("Server", self.server_header)
+        return response
+
+
+def text_response(body: str, status: int = 200, content_type: str = "text/plain; charset=utf-8") -> Response:
+    """Plain-text (or custom content-type) response."""
+    headers = HeaderMap([("Content-Type", content_type)])
+    return Response(status=status, headers=headers, body=body.encode("utf-8"))
+
+
+def html_response(body: str, status: int = 200) -> Response:
+    """HTML response."""
+    return text_response(body, status=status, content_type="text/html; charset=utf-8")
+
+
+def json_response(payload: object, status: int = 200, *, sort_keys: bool = True) -> Response:
+    """JSON response.
+
+    Keys are sorted by default so identical payloads serialize to identical
+    bytes across diverse implementations — dict ordering must not read as
+    divergence to RDDR.
+    """
+    body = json.dumps(payload, sort_keys=sort_keys, separators=(",", ":")).encode("utf-8")
+    headers = HeaderMap([("Content-Type", "application/json")])
+    return Response(status=status, headers=headers, body=body)
+
+
+def redirect_response(location: str, status: int = 302) -> Response:
+    headers = HeaderMap([("Location", location)])
+    return Response(status=status, headers=headers, body=b"")
+
+
+def set_cookie(response: Response, name: str, value: str, **kwargs: object) -> Response:
+    """Attach a ``Set-Cookie`` header to ``response`` and return it."""
+    response.headers.add("Set-Cookie", format_set_cookie(name, value, **kwargs))  # type: ignore[arg-type]
+    return response

@@ -1,0 +1,106 @@
+"""Asyncio HTTP/1.1 client used by tests, workloads, and composite apps."""
+
+from __future__ import annotations
+
+import ssl
+
+from repro.transport.retry import open_connection_retry
+from repro.transport.streams import close_writer, drain_write
+from repro.web.http11 import (
+    HeaderMap,
+    Request,
+    Response,
+    read_response,
+    serialize_request,
+)
+
+
+class HttpClient:
+    """A keep-alive HTTP client bound to one host:port."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        ssl_context: ssl.SSLContext | None = None,
+        default_headers: dict[str, str] | None = None,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.ssl_context = ssl_context
+        self.default_headers = dict(default_headers or {})
+        self._reader = None
+        self._writer = None
+
+    async def __aenter__(self) -> "HttpClient":
+        return self
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.close()
+
+    async def _ensure_connection(self) -> None:
+        if self._writer is not None and not self._writer.is_closing():
+            return
+        self._reader, self._writer = await open_connection_retry(
+            self.host, self.port, ssl_context=self.ssl_context
+        )
+
+    async def request(
+        self,
+        method: str,
+        target: str,
+        *,
+        headers: dict[str, str] | None = None,
+        body: bytes = b"",
+    ) -> Response:
+        """Issue one request, transparently reconnecting if needed."""
+        merged = dict(self.default_headers)
+        merged.update(headers or {})
+        merged.setdefault("Host", f"{self.host}:{self.port}")
+        request = Request(
+            method=method.upper(),
+            target=target,
+            headers=HeaderMap.from_dict(merged),
+            body=body,
+        )
+        for attempt in (1, 2):
+            await self._ensure_connection()
+            assert self._reader is not None and self._writer is not None
+            try:
+                self._writer.write(serialize_request(request))
+                await drain_write(self._writer)
+                return await read_response(self._reader, request_method=request.method)
+            except Exception:
+                await self.close()
+                if attempt == 2:
+                    raise
+        raise AssertionError("unreachable")
+
+    async def get(self, target: str, **kwargs: object) -> Response:
+        return await self.request("GET", target, **kwargs)  # type: ignore[arg-type]
+
+    async def post(self, target: str, **kwargs: object) -> Response:
+        return await self.request("POST", target, **kwargs)  # type: ignore[arg-type]
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            await close_writer(self._writer)
+        self._reader = None
+        self._writer = None
+
+
+async def fetch(
+    host: str,
+    port: int,
+    method: str,
+    target: str,
+    *,
+    headers: dict[str, str] | None = None,
+    body: bytes = b"",
+    ssl_context: ssl.SSLContext | None = None,
+) -> Response:
+    """One-shot convenience request (opens and closes a connection)."""
+    async with HttpClient(host, port, ssl_context=ssl_context) as client:
+        response = await client.request(method, target, headers=headers, body=body)
+        return response

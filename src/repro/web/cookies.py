@@ -1,0 +1,32 @@
+"""Minimal cookie parsing and serialization (RFC 6265 subset)."""
+
+from __future__ import annotations
+
+
+def parse_cookie_header(value: str | None) -> dict[str, str]:
+    """Parse a ``Cookie:`` request header into a name->value dict."""
+    cookies: dict[str, str] = {}
+    if not value:
+        return cookies
+    for part in value.split(";"):
+        name, sep, val = part.strip().partition("=")
+        if sep and name:
+            cookies[name] = val
+    return cookies
+
+
+def format_set_cookie(
+    name: str,
+    value: str,
+    *,
+    path: str = "/",
+    http_only: bool = True,
+    max_age: int | None = None,
+) -> str:
+    """Build a ``Set-Cookie:`` response header value."""
+    parts = [f"{name}={value}", f"Path={path}"]
+    if max_age is not None:
+        parts.append(f"Max-Age={max_age}")
+    if http_only:
+        parts.append("HttpOnly")
+    return "; ".join(parts)

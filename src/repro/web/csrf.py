@@ -1,0 +1,33 @@
+"""CSRF token helpers for the evaluation web apps.
+
+Tokens are random alphanumeric strings embedded in HTML forms — the exact
+kind of ephemeral per-instance state RDDR's HTTP plugin must capture and
+re-substitute (paper section IV-B3).  The default length comfortably
+exceeds RDDR's >= 10 character detection threshold, like real framework
+tokens do.
+"""
+
+from __future__ import annotations
+
+import secrets
+
+DEFAULT_TOKEN_LENGTH = 32
+
+_ALPHABET = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"
+
+
+def generate_token(length: int = DEFAULT_TOKEN_LENGTH) -> str:
+    """Mint a random alphanumeric CSRF token."""
+    return "".join(secrets.choice(_ALPHABET) for _ in range(length))
+
+
+def hidden_field(token: str, name: str = "user_token") -> str:
+    """Render the hidden ``<input>`` that carries the token in a form."""
+    return f"<input type='hidden' name='{name}' value='{token}' />"
+
+
+def tokens_match(expected: str | None, submitted: str | None) -> bool:
+    """Constant-time-ish comparison; both must be present and equal."""
+    if not expected or not submitted:
+        return False
+    return secrets.compare_digest(expected, submitted)

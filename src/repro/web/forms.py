@@ -1,0 +1,34 @@
+"""Form encoding/decoding and HTML escaping helpers."""
+
+from __future__ import annotations
+
+from urllib.parse import parse_qsl, quote_plus, urlencode
+
+_HTML_ESCAPES = {
+    "&": "&amp;",
+    "<": "&lt;",
+    ">": "&gt;",
+    '"': "&quot;",
+    "'": "&#x27;",
+}
+
+
+def parse_urlencoded(data: bytes | str) -> dict[str, str]:
+    """Decode ``application/x-www-form-urlencoded`` into a flat dict.
+
+    Repeated keys keep the last occurrence, matching the behaviour of the
+    simple PHP-style apps we model.
+    """
+    if isinstance(data, bytes):
+        data = data.decode("utf-8", errors="replace")
+    return dict(parse_qsl(data, keep_blank_values=True))
+
+
+def encode_urlencoded(fields: dict[str, str]) -> bytes:
+    """Encode a flat dict as ``application/x-www-form-urlencoded``."""
+    return urlencode(fields, quote_via=quote_plus).encode("ascii")
+
+
+def html_escape(text: str) -> str:
+    """Escape text for safe interpolation into HTML."""
+    return "".join(_HTML_ESCAPES.get(ch, ch) for ch in text)

@@ -1,0 +1,443 @@
+"""HTTP/1.1 message model, parser, and serializer.
+
+This module is the HTTP substrate for the whole repository: the micro web
+framework (:mod:`repro.web.app`), the HTTP client, the reverse-proxy
+simulators, and RDDR's HTTP protocol plugin all parse and emit messages
+through it.
+
+Design notes
+------------
+* Messages are fully materialised (no streaming bodies).  The paper's
+  proxy also buffers a full response before diffing, so this matches the
+  system under reproduction.
+* ``HeaderMap`` preserves insertion order and the original header casing
+  while being case-insensitive for lookup, as HTTP requires.
+* Parsing strictness is configurable through :class:`ParserOptions`.  The
+  reverse-proxy simulators use lenient modes to reproduce CVE-2019-18277
+  (request smuggling: two parsers disagreeing about ``Transfer-Encoding``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import gzip
+from dataclasses import dataclass, field
+from urllib.parse import urlsplit
+
+from repro.transport.streams import ConnectionClosed, read_exact, read_until
+
+#: Canonical reason phrases for the status codes the repo emits.
+REASON_PHRASES = {
+    100: "Continue",
+    200: "OK",
+    201: "Created",
+    204: "No Content",
+    206: "Partial Content",
+    301: "Moved Permanently",
+    302: "Found",
+    303: "See Other",
+    304: "Not Modified",
+    400: "Bad Request",
+    401: "Unauthorized",
+    403: "Forbidden",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    411: "Length Required",
+    413: "Payload Too Large",
+    416: "Range Not Satisfiable",
+    422: "Unprocessable Entity",
+    500: "Internal Server Error",
+    501: "Not Implemented",
+    502: "Bad Gateway",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+MAX_HEADER_BYTES = 64 * 1024
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+
+class HttpParseError(Exception):
+    """The byte stream is not a valid HTTP/1.1 message."""
+
+
+class HeaderMap:
+    """Ordered, case-insensitive multimap of HTTP headers."""
+
+    def __init__(self, items: list[tuple[str, str]] | None = None) -> None:
+        self._items: list[tuple[str, str]] = list(items or [])
+
+    @classmethod
+    def from_dict(cls, mapping: dict[str, str]) -> "HeaderMap":
+        return cls([(name, value) for name, value in mapping.items()])
+
+    def get(self, name: str, default: str | None = None) -> str | None:
+        """First value for ``name`` (case-insensitive), or ``default``."""
+        lowered = name.lower()
+        for key, value in self._items:
+            if key.lower() == lowered:
+                return value
+        return default
+
+    def get_all(self, name: str) -> list[str]:
+        lowered = name.lower()
+        return [value for key, value in self._items if key.lower() == lowered]
+
+    def set(self, name: str, value: str) -> None:
+        """Replace all values of ``name`` with a single value."""
+        self.remove(name)
+        self._items.append((name, value))
+
+    def add(self, name: str, value: str) -> None:
+        self._items.append((name, value))
+
+    def remove(self, name: str) -> None:
+        lowered = name.lower()
+        self._items = [(k, v) for k, v in self._items if k.lower() != lowered]
+
+    def __contains__(self, name: object) -> bool:
+        if not isinstance(name, str):
+            return False
+        return self.get(name) is not None
+
+    def items(self) -> list[tuple[str, str]]:
+        return list(self._items)
+
+    def copy(self) -> "HeaderMap":
+        return HeaderMap(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, HeaderMap):
+            return NotImplemented
+        return self._items == other._items
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"HeaderMap({self._items!r})"
+
+
+@dataclass
+class Request:
+    """A fully-read HTTP request."""
+
+    method: str
+    target: str
+    headers: HeaderMap = field(default_factory=HeaderMap)
+    body: bytes = b""
+    version: str = "HTTP/1.1"
+
+    @property
+    def path(self) -> str:
+        return urlsplit(self.target).path
+
+    @property
+    def query_string(self) -> str:
+        return urlsplit(self.target).query
+
+    def header(self, name: str, default: str | None = None) -> str | None:
+        return self.headers.get(name, default)
+
+    def copy(self) -> "Request":
+        return Request(self.method, self.target, self.headers.copy(), self.body, self.version)
+
+
+@dataclass
+class Response:
+    """A fully-read HTTP response."""
+
+    status: int = 200
+    headers: HeaderMap = field(default_factory=HeaderMap)
+    body: bytes = b""
+    version: str = "HTTP/1.1"
+    reason: str | None = None
+
+    @property
+    def reason_phrase(self) -> str:
+        if self.reason is not None:
+            return self.reason
+        return REASON_PHRASES.get(self.status, "Unknown")
+
+    def header(self, name: str, default: str | None = None) -> str | None:
+        return self.headers.get(name, default)
+
+    def copy(self) -> "Response":
+        return Response(self.status, self.headers.copy(), self.body, self.version, self.reason)
+
+    def decompressed_body(self) -> bytes:
+        """Body with any ``Content-Encoding: gzip`` undone (for diffing)."""
+        if (self.headers.get("Content-Encoding") or "").lower() == "gzip":
+            return gzip.decompress(self.body)
+        return self.body
+
+
+@dataclass
+class ParserOptions:
+    """Strictness knobs used by the proxy simulators.
+
+    ``honor_transfer_encoding``
+        When false the parser ignores ``Transfer-Encoding`` entirely and
+        frames by ``Content-Length`` (HAProxy 1.5.3's CVE-2019-18277
+        behaviour for obfuscated TE headers).
+    ``lenient_te_whitespace``
+        When true a value like ``"\\x0bchunked"`` still counts as chunked
+        (how vulnerable chains end up disagreeing about message framing).
+    """
+
+    honor_transfer_encoding: bool = True
+    lenient_te_whitespace: bool = False
+    max_body: int = MAX_BODY_BYTES
+
+
+DEFAULT_OPTIONS = ParserOptions()
+
+
+def _is_chunked(headers: HeaderMap, options: ParserOptions) -> bool:
+    te = headers.get("Transfer-Encoding")
+    if te is None or not options.honor_transfer_encoding:
+        return False
+    value = te.strip(" \t").lower()
+    if value == "chunked":
+        return True
+    if options.lenient_te_whitespace and value.lstrip("\x0b\x0c ").lower() == "chunked":
+        return True
+    return False
+
+
+async def _read_headers(reader: asyncio.StreamReader) -> list[tuple[str, str]]:
+    items: list[tuple[str, str]] = []
+    total = 0
+    while True:
+        line = await read_until(reader, b"\r\n")
+        total += len(line)
+        if total > MAX_HEADER_BYTES:
+            raise HttpParseError("header section too large")
+        if line == b"\r\n":
+            return items
+        try:
+            text = line[:-2].decode("latin-1")
+            name, _, value = text.partition(":")
+        except Exception as exc:  # pragma: no cover - latin-1 never fails
+            raise HttpParseError("undecodable header line") from exc
+        if not _:
+            raise HttpParseError(f"malformed header line: {text!r}")
+        # HTTP field whitespace is SP and HTAB only.  Python's str.strip()
+        # would also remove \x0b/\x0c — exactly the characters smuggling
+        # payloads use to obfuscate Transfer-Encoding (CVE-2019-18277) —
+        # so be precise here.
+        items.append((name.strip(" \t"), value.strip(" \t")))
+
+
+async def _read_chunked_body(reader: asyncio.StreamReader, options: ParserOptions) -> bytes:
+    chunks: list[bytes] = []
+    total = 0
+    while True:
+        size_line = await read_until(reader, b"\r\n")
+        size_text = size_line[:-2].split(b";")[0].strip()
+        try:
+            size = int(size_text, 16)
+        except ValueError as exc:
+            raise HttpParseError(f"bad chunk size {size_text!r}") from exc
+        if size == 0:
+            # Trailer section: read until the final blank line.
+            while True:
+                trailer = await read_until(reader, b"\r\n")
+                if trailer == b"\r\n":
+                    return b"".join(chunks)
+        total += size
+        if total > options.max_body:
+            raise HttpParseError("chunked body too large")
+        chunks.append(await read_exact(reader, size))
+        terminator = await read_exact(reader, 2)
+        if terminator != b"\r\n":
+            raise HttpParseError("chunk not terminated by CRLF")
+
+
+async def _read_body(
+    reader: asyncio.StreamReader,
+    headers: HeaderMap,
+    options: ParserOptions,
+    *,
+    is_response: bool,
+    request_method: str | None,
+    status: int | None,
+) -> bytes:
+    # HEAD and bodyless statuses never carry a body, even when framing
+    # headers (Content-Length of the would-be GET body) are present.
+    if is_response and (status in (204, 304) or request_method == "HEAD"):
+        return b""
+    if _is_chunked(headers, options):
+        return await _read_chunked_body(reader, options)
+    length_text = headers.get("Content-Length")
+    if length_text is not None:
+        try:
+            length = int(length_text)
+        except ValueError as exc:
+            raise HttpParseError(f"bad Content-Length {length_text!r}") from exc
+        if length < 0 or length > options.max_body:
+            raise HttpParseError(f"unreasonable Content-Length {length}")
+        return await read_exact(reader, length)
+    if is_response:
+        if status in (204, 304) or request_method == "HEAD":
+            return b""
+        # No framing headers: body runs until the server closes.
+        body = await reader.read(options.max_body)
+        return body
+    return b""
+
+
+async def read_request(
+    reader: asyncio.StreamReader, options: ParserOptions = DEFAULT_OPTIONS
+) -> Request | None:
+    """Read one request; ``None`` on clean EOF before the first byte."""
+    try:
+        line = await read_until(reader, b"\r\n")
+    except ConnectionClosed as exc:
+        if not exc.partial:
+            return None
+        raise HttpParseError("connection closed mid request line") from exc
+    parts = line[:-2].decode("latin-1").split(" ")
+    if len(parts) != 3:
+        raise HttpParseError(f"malformed request line: {line!r}")
+    method, target, version = parts
+    if not version.startswith("HTTP/"):
+        raise HttpParseError(f"bad HTTP version: {version!r}")
+    headers = HeaderMap(await _read_headers(reader))
+    body = await _read_body(
+        reader, headers, options, is_response=False, request_method=method, status=None
+    )
+    return Request(method=method, target=target, headers=headers, body=body, version=version)
+
+
+async def read_response(
+    reader: asyncio.StreamReader,
+    options: ParserOptions = DEFAULT_OPTIONS,
+    *,
+    request_method: str | None = None,
+) -> Response:
+    """Read one response from the stream."""
+    line = await read_until(reader, b"\r\n")
+    parts = line[:-2].decode("latin-1").split(" ", 2)
+    if len(parts) < 2 or not parts[0].startswith("HTTP/"):
+        raise HttpParseError(f"malformed status line: {line!r}")
+    version = parts[0]
+    try:
+        status = int(parts[1])
+    except ValueError as exc:
+        raise HttpParseError(f"bad status code {parts[1]!r}") from exc
+    reason = parts[2] if len(parts) == 3 else ""
+    headers = HeaderMap(await _read_headers(reader))
+    body = await _read_body(
+        reader,
+        headers,
+        options,
+        is_response=True,
+        request_method=request_method,
+        status=status,
+    )
+    return Response(status=status, headers=headers, body=body, version=version, reason=reason)
+
+
+def serialize_request(request: Request) -> bytes:
+    """Serialize a request, supplying Content-Length when needed."""
+    headers = request.headers.copy()
+    if request.body and "Content-Length" not in headers and "Transfer-Encoding" not in headers:
+        headers.set("Content-Length", str(len(request.body)))
+    lines = [f"{request.method} {request.target} {request.version}\r\n"]
+    lines.extend(f"{name}: {value}\r\n" for name, value in headers.items())
+    lines.append("\r\n")
+    return "".join(lines).encode("latin-1") + request.body
+
+
+def serialize_response(response: Response) -> bytes:
+    """Serialize a response, supplying Content-Length when needed."""
+    headers = response.headers.copy()
+    if "Content-Length" not in headers and "Transfer-Encoding" not in headers:
+        headers.set("Content-Length", str(len(response.body)))
+    status_line = f"{response.version} {response.status} {response.reason_phrase}\r\n"
+    lines = [status_line]
+    lines.extend(f"{name}: {value}\r\n" for name, value in headers.items())
+    lines.append("\r\n")
+    return "".join(lines).encode("latin-1") + response.body
+
+
+def parse_request_bytes(data: bytes, options: ParserOptions = DEFAULT_OPTIONS) -> Request:
+    """Parse a single request from a complete byte string (test helper)."""
+    return _run_sync(read_request, data, options)
+
+
+def parse_response_bytes(
+    data: bytes,
+    options: ParserOptions = DEFAULT_OPTIONS,
+    *,
+    request_method: str | None = None,
+) -> Response:
+    """Parse a single response from a complete byte string (test helper)."""
+
+    async def parse(reader: asyncio.StreamReader) -> Response:
+        return await read_response(reader, options, request_method=request_method)
+
+    return _run_sync_reader(parse, data)
+
+
+class BufferedByteReader:
+    """A StreamReader-compatible reader over an in-memory buffer.
+
+    Lets the async parsers above run synchronously on complete messages
+    (RDDR tokenizes captured responses that are already fully buffered),
+    with no event loop involved.
+    """
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._pos = 0
+
+    async def readexactly(self, size: int) -> bytes:
+        if self._pos + size > len(self._data):
+            partial = self._data[self._pos :]
+            self._pos = len(self._data)
+            raise asyncio.IncompleteReadError(partial, size)
+        chunk = self._data[self._pos : self._pos + size]
+        self._pos += size
+        return chunk
+
+    async def readuntil(self, delimiter: bytes = b"\n") -> bytes:
+        index = self._data.find(delimiter, self._pos)
+        if index == -1:
+            partial = self._data[self._pos :]
+            self._pos = len(self._data)
+            raise asyncio.IncompleteReadError(partial, None)
+        end = index + len(delimiter)
+        chunk = self._data[self._pos : end]
+        self._pos = end
+        return chunk
+
+    async def read(self, size: int = -1) -> bytes:
+        if size < 0:
+            size = len(self._data) - self._pos
+        chunk = self._data[self._pos : self._pos + size]
+        self._pos += len(chunk)
+        return chunk
+
+    def at_eof(self) -> bool:
+        return self._pos >= len(self._data)
+
+
+def drive_sync(coro):
+    """Run a parser coroutine that can complete without awaiting I/O."""
+    try:
+        coro.send(None)
+    except StopIteration as stop:
+        return stop.value
+    coro.close()
+    raise HttpParseError("incomplete message: parser would block")
+
+
+def _run_sync(parser, data: bytes, options: ParserOptions):
+    return drive_sync(parser(BufferedByteReader(data), options))
+
+
+def _run_sync_reader(parse, data: bytes):
+    return drive_sync(parse(BufferedByteReader(data)))

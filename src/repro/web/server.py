@@ -1,0 +1,130 @@
+"""Asyncio HTTP server that serves an :class:`repro.web.app.App`.
+
+Supports HTTP/1.1 keep-alive, per-request error containment (a handler
+exception becomes a 500 instead of killing the connection), and optional
+gzip response compression so RDDR's decompress-before-diff path is
+exercised by real traffic.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import gzip
+import ssl
+
+from repro.transport.server import ServerHandle, start_server
+from repro.transport.streams import ConnectionClosed, drain_write
+from repro.web.app import App, text_response
+from repro.web.http11 import (
+    HttpParseError,
+    ParserOptions,
+    Request,
+    Response,
+    read_request,
+    serialize_response,
+)
+
+
+class HttpServer:
+    """Binds an :class:`App` to a listening socket."""
+
+    def __init__(
+        self,
+        app: App,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        gzip_responses: bool = False,
+        gzip_min_bytes: int = 64,
+        ssl_context: ssl.SSLContext | None = None,
+        parser_options: "ParserOptions | None" = None,
+    ) -> None:
+        self.app = app
+        self.host = host
+        self.port = port
+        self.gzip_responses = gzip_responses
+        self.gzip_min_bytes = gzip_min_bytes
+        self.ssl_context = ssl_context
+        self.parser_options = parser_options or ParserOptions()
+        self.handle: ServerHandle | None = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        if self.handle is None:
+            raise RuntimeError("server not started")
+        return self.handle.address
+
+    async def start(self) -> ServerHandle:
+        self.handle = await start_server(
+            self._serve_connection,
+            self.host,
+            self.port,
+            name=self.app.name,
+            ssl_context=self.ssl_context,
+        )
+        self.port = self.handle.port
+        return self.handle
+
+    async def close(self) -> None:
+        if self.handle is not None:
+            await self.handle.close()
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        while True:
+            try:
+                request = await read_request(reader, self.parser_options)
+            except HttpParseError:
+                writer.write(serialize_response(text_response("bad request", status=400)))
+                await drain_write(writer)
+                return
+            except ConnectionClosed:
+                return
+            if request is None:
+                return
+            try:
+                response = await self.app.handle(request)
+            except Exception:
+                response = text_response("internal server error", status=500)
+            response = self._maybe_compress(request, response)
+            keep_alive = _wants_keep_alive(request)
+            response.headers.set("Connection", "keep-alive" if keep_alive else "close")
+            try:
+                writer.write(serialize_response(response))
+                await drain_write(writer)
+            except ConnectionClosed:
+                return
+            if not keep_alive:
+                return
+
+    def _maybe_compress(self, request: Request, response: Response) -> Response:
+        if not self.gzip_responses:
+            return response
+        accepts = (request.header("Accept-Encoding") or "").lower()
+        if "gzip" not in accepts:
+            return response
+        if len(response.body) < self.gzip_min_bytes:
+            return response
+        if "Content-Encoding" in response.headers:
+            return response
+        compressed = response.copy()
+        # mtime=0 keeps the gzip container deterministic across instances.
+        compressed.body = gzip.compress(response.body, mtime=0)
+        compressed.headers.set("Content-Encoding", "gzip")
+        compressed.headers.remove("Content-Length")
+        return compressed
+
+
+def _wants_keep_alive(request: Request) -> bool:
+    connection = (request.header("Connection") or "").lower()
+    if request.version == "HTTP/1.0":
+        return connection == "keep-alive"
+    return connection != "close"
+
+
+async def serve_app(app: App, **kwargs: object) -> HttpServer:
+    """Start serving ``app``; returns the running :class:`HttpServer`."""
+    server = HttpServer(app, **kwargs)  # type: ignore[arg-type]
+    await server.start()
+    return server

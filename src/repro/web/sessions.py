@@ -1,0 +1,44 @@
+"""In-memory session store keyed by a random session-id cookie.
+
+Session ids are a deliberate source of per-instance nondeterminism: the
+paper's de-noising filter pair exists precisely because each of the N
+microservice instances mints different random ids (section IV-B2).
+"""
+
+from __future__ import annotations
+
+import secrets
+
+SESSION_COOKIE = "PHPSESSID"
+
+
+class SessionStore:
+    """Maps session ids to mutable per-session dicts."""
+
+    def __init__(self, token_bytes: int = 16) -> None:
+        self._sessions: dict[str, dict[str, object]] = {}
+        self._token_bytes = token_bytes
+
+    def create(self) -> str:
+        """Mint a new session and return its id."""
+        session_id = secrets.token_hex(self._token_bytes)
+        self._sessions[session_id] = {}
+        return session_id
+
+    def get(self, session_id: str | None) -> dict[str, object] | None:
+        if session_id is None:
+            return None
+        return self._sessions.get(session_id)
+
+    def get_or_create(self, session_id: str | None) -> tuple[str, dict[str, object], bool]:
+        """Return ``(id, data, created)`` — reusing a valid id if given."""
+        if session_id is not None and session_id in self._sessions:
+            return session_id, self._sessions[session_id], False
+        new_id = self.create()
+        return new_id, self._sessions[new_id], True
+
+    def destroy(self, session_id: str) -> None:
+        self._sessions.pop(session_id, None)
+
+    def __len__(self) -> int:
+        return len(self._sessions)

@@ -1,0 +1,26 @@
+"""Benchmark workloads: TPC-H, pgbench, client drivers, resource model."""
+
+from repro.workloads.clients import RunResult, run_pg_clients
+from repro.workloads.pgbench import load_pgbench, select_transaction, transaction_stream
+from repro.workloads.resources import (
+    ExecutionEstimate,
+    ResourceSample,
+    SimulatedHost,
+    WorkSampler,
+)
+from repro.workloads.tpch import load_tpch, query_set, row_counts
+
+__all__ = [
+    "RunResult",
+    "run_pg_clients",
+    "load_pgbench",
+    "select_transaction",
+    "transaction_stream",
+    "ExecutionEstimate",
+    "ResourceSample",
+    "SimulatedHost",
+    "WorkSampler",
+    "load_tpch",
+    "query_set",
+    "row_counts",
+]

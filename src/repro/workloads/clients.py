@@ -1,0 +1,83 @@
+"""Concurrent client driver for the throughput/latency benchmarks.
+
+Closed-loop clients, as in pgbench: each client runs its transactions
+back to back on its own connection; throughput is completed transactions
+over wall-clock time, latency is per-transaction.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+
+from repro.analysis.stats import percentile
+from repro.pgwire.client import PgClient
+
+Address = tuple[str, int]
+
+
+@dataclass
+class RunResult:
+    """One benchmark run's measurements."""
+
+    clients: int
+    transactions: int
+    duration_s: float
+    latencies_s: list[float] = field(default_factory=list)
+    errors: int = 0
+
+    @property
+    def throughput_tps(self) -> float:
+        if self.duration_s <= 0:
+            return 0.0
+        return self.transactions / self.duration_s
+
+    @property
+    def mean_latency_ms(self) -> float:
+        if not self.latencies_s:
+            return 0.0
+        return 1000 * sum(self.latencies_s) / len(self.latencies_s)
+
+    def latency_percentile_ms(self, q: float) -> float:
+        if not self.latencies_s:
+            return 0.0
+        return 1000 * percentile(self.latencies_s, q)
+
+
+async def run_pg_clients(
+    address: Address,
+    streams: list[list[str]],
+    *,
+    user: str = "postgres",
+) -> RunResult:
+    """Run one closed-loop pgwire client per stream, concurrently."""
+    latencies: list[float] = []
+    errors = 0
+    completed = 0
+
+    async def client_loop(statements: list[str]) -> None:
+        nonlocal errors, completed
+        connection = await PgClient.connect(*address, user=user)
+        try:
+            for sql in statements:
+                started = time.perf_counter()
+                outcome = await connection.query(sql)
+                latencies.append(time.perf_counter() - started)
+                if outcome.error is not None:
+                    errors += 1
+                else:
+                    completed += 1
+        finally:
+            await connection.close()
+
+    started = time.perf_counter()
+    await asyncio.gather(*(client_loop(stream) for stream in streams))
+    duration = time.perf_counter() - started
+    return RunResult(
+        clients=len(streams),
+        transactions=completed,
+        duration_s=duration,
+        latencies_s=latencies,
+        errors=errors,
+    )

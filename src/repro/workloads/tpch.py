@@ -1,0 +1,459 @@
+"""TPC-H workload: schema, deterministic data generator, and query set.
+
+The paper's Figure 4 runs the 22 TPC-H queries (minus one that could not
+execute in parallel, i.e. 21) against a scale-factor-10 PostgreSQL.  Here
+the schema and column distributions follow the TPC-H specification; the
+scale is laptop-sized (default SF 0.002) and the 21-query set is derived
+from the TPC-H shapes expressible in the mini engine's dialect — the
+eight canonical no-subquery queries (Q1, Q3, Q5, Q6, Q10, Q12, Q14, Q19)
+instantiated with the specification's parameter-substitution variants to
+fill out 21 entries.  EXPERIMENTS.md documents this substitution.
+"""
+
+from __future__ import annotations
+
+import datetime
+
+import numpy as np
+
+from repro.sqlengine.database import Database
+
+#: Rows per table at SF 1, from the TPC-H specification.
+BASE_ROWS = {
+    "region": 5,
+    "nation": 25,
+    "supplier": 10_000,
+    "customer": 150_000,
+    "part": 200_000,
+    "partsupp": 800_000,
+    "orders": 1_500_000,
+    "lineitem": 6_000_000,
+}
+
+SCHEMA = """
+CREATE TABLE region (r_regionkey integer PRIMARY KEY, r_name text, r_comment text);
+CREATE TABLE nation (n_nationkey integer PRIMARY KEY, n_name text,
+                     n_regionkey integer, n_comment text);
+CREATE TABLE supplier (s_suppkey integer PRIMARY KEY, s_name text, s_address text,
+                       s_nationkey integer, s_phone text, s_acctbal double precision,
+                       s_comment text);
+CREATE TABLE customer (c_custkey integer PRIMARY KEY, c_name text, c_address text,
+                       c_nationkey integer, c_phone text, c_acctbal double precision,
+                       c_mktsegment text, c_comment text);
+CREATE TABLE part (p_partkey integer PRIMARY KEY, p_name text, p_mfgr text,
+                   p_brand text, p_type text, p_size integer, p_container text,
+                   p_retailprice double precision, p_comment text);
+CREATE TABLE partsupp (ps_partkey integer, ps_suppkey integer,
+                       ps_availqty integer, ps_supplycost double precision,
+                       ps_comment text);
+CREATE TABLE orders (o_orderkey integer PRIMARY KEY, o_custkey integer,
+                     o_orderstatus text, o_totalprice double precision,
+                     o_orderdate date, o_orderpriority text, o_clerk text,
+                     o_shippriority integer, o_comment text);
+CREATE TABLE lineitem (l_orderkey integer, l_partkey integer, l_suppkey integer,
+                       l_linenumber integer, l_quantity double precision,
+                       l_extendedprice double precision, l_discount double precision,
+                       l_tax double precision, l_returnflag text, l_linestatus text,
+                       l_shipdate date, l_commitdate date, l_receiptdate date,
+                       l_shipinstruct text, l_shipmode text, l_comment text);
+"""
+
+_REGIONS = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"]
+_NATIONS = [
+    ("ALGERIA", 0), ("ARGENTINA", 1), ("BRAZIL", 1), ("CANADA", 1),
+    ("EGYPT", 4), ("ETHIOPIA", 0), ("FRANCE", 3), ("GERMANY", 3),
+    ("INDIA", 2), ("INDONESIA", 2), ("IRAN", 4), ("IRAQ", 4),
+    ("JAPAN", 2), ("JORDAN", 4), ("KENYA", 0), ("MOROCCO", 0),
+    ("MOZAMBIQUE", 0), ("PERU", 1), ("CHINA", 2), ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4), ("VIETNAM", 2), ("RUSSIA", 3),
+    ("UNITED KINGDOM", 3), ("UNITED STATES", 1),
+]
+_SEGMENTS = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"]
+_PRIORITIES = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"]
+_SHIPMODES = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"]
+_SHIPINSTRUCT = ["DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"]
+_BRANDS = [f"Brand#{m}{n}" for m in range(1, 6) for n in range(1, 6)]
+_TYPES = [
+    f"{a} {b} {c}"
+    for a in ("STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO")
+    for b in ("ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED")
+    for c in ("TIN", "NICKEL", "BRASS", "STEEL", "COPPER")
+]
+_CONTAINERS = [
+    f"{a} {b}"
+    for a in ("SM", "MED", "LG", "JUMBO", "WRAP")
+    for b in ("CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM")
+]
+
+_START = datetime.date(1992, 1, 1).toordinal()
+_END = datetime.date(1998, 8, 2).toordinal()
+
+
+def row_counts(scale_factor: float) -> dict[str, int]:
+    """Table sizes at ``scale_factor`` (fixed tables stay fixed)."""
+    counts = {}
+    for table, base in BASE_ROWS.items():
+        if table in ("region", "nation"):
+            counts[table] = base
+        else:
+            counts[table] = max(1, int(base * scale_factor))
+    return counts
+
+
+def load_tpch(database: Database, scale_factor: float = 0.002, seed: int = 7) -> dict[str, int]:
+    """Create the schema and deterministically populate ``database``.
+
+    Rows are loaded through the storage API (not INSERT statements) for
+    speed; values follow the TPC-H column domains.
+    """
+    for outcome in database.execute(SCHEMA):
+        if outcome.error is not None:
+            raise outcome.error
+    rng = np.random.default_rng(seed)
+    counts = row_counts(scale_factor)
+
+    region = database.catalog.table("region")
+    for key, name in enumerate(_REGIONS):
+        region.insert([key, name, f"region {name.lower()}"])
+
+    nation = database.catalog.table("nation")
+    for key, (name, regionkey) in enumerate(_NATIONS):
+        nation.insert([key, name, regionkey, f"nation {name.lower()}"])
+
+    supplier = database.catalog.table("supplier")
+    for key in range(1, counts["supplier"] + 1):
+        supplier.insert(
+            [
+                key,
+                f"Supplier#{key:09d}",
+                f"addr-{key}",
+                int(rng.integers(0, 25)),
+                f"{rng.integers(10, 35)}-555-{key % 10000:04d}",
+                float(np.round(rng.uniform(-999.99, 9999.99), 2)),
+                "supplier comment",
+            ]
+        )
+
+    customer = database.catalog.table("customer")
+    for key in range(1, counts["customer"] + 1):
+        customer.insert(
+            [
+                key,
+                f"Customer#{key:09d}",
+                f"addr-{key}",
+                int(rng.integers(0, 25)),
+                f"{rng.integers(10, 35)}-555-{key % 10000:04d}",
+                float(np.round(rng.uniform(-999.99, 9999.99), 2)),
+                _SEGMENTS[int(rng.integers(0, len(_SEGMENTS)))],
+                "customer comment",
+            ]
+        )
+
+    part = database.catalog.table("part")
+    for key in range(1, counts["part"] + 1):
+        part.insert(
+            [
+                key,
+                f"part {key} goldenrod",
+                f"Manufacturer#{key % 5 + 1}",
+                _BRANDS[int(rng.integers(0, len(_BRANDS)))],
+                _TYPES[int(rng.integers(0, len(_TYPES)))],
+                int(rng.integers(1, 51)),
+                _CONTAINERS[int(rng.integers(0, len(_CONTAINERS)))],
+                float(np.round(900 + (key % 1000) * 0.1, 2)),
+                "part comment",
+            ]
+        )
+
+    partsupp = database.catalog.table("partsupp")
+    suppliers = counts["supplier"]
+    for key in range(1, counts["partsupp"] + 1):
+        partkey = (key - 1) % counts["part"] + 1
+        partsupp.insert(
+            [
+                partkey,
+                int(rng.integers(1, suppliers + 1)),
+                int(rng.integers(1, 10000)),
+                float(np.round(rng.uniform(1.0, 1000.0), 2)),
+                "partsupp comment",
+            ]
+        )
+
+    orders = database.catalog.table("orders")
+    lineitem = database.catalog.table("lineitem")
+    customers = counts["customer"]
+    parts = counts["part"]
+    order_dates: dict[int, datetime.date] = {}
+    for key in range(1, counts["orders"] + 1):
+        orderdate = datetime.date.fromordinal(int(rng.integers(_START, _END - 151)))
+        order_dates[key] = orderdate
+        orders.insert(
+            [
+                key,
+                int(rng.integers(1, customers + 1)),
+                str(rng.choice(["O", "F", "P"])),
+                float(np.round(rng.uniform(1000.0, 400000.0), 2)),
+                orderdate,
+                _PRIORITIES[int(rng.integers(0, len(_PRIORITIES)))],
+                f"Clerk#{int(rng.integers(1, 1000)):09d}",
+                0,
+                "order comment",
+            ]
+        )
+    lines_per_order = max(1, counts["lineitem"] // max(counts["orders"], 1))
+    linenumber_counter = 0
+    for orderkey in range(1, counts["orders"] + 1):
+        orderdate = order_dates[orderkey]
+        for line in range(1, lines_per_order + 1):
+            linenumber_counter += 1
+            if linenumber_counter > counts["lineitem"]:
+                break
+            shipdate = orderdate + datetime.timedelta(days=int(rng.integers(1, 122)))
+            commitdate = orderdate + datetime.timedelta(days=int(rng.integers(30, 91)))
+            receiptdate = shipdate + datetime.timedelta(days=int(rng.integers(1, 31)))
+            quantity = float(rng.integers(1, 51))
+            price = float(np.round(rng.uniform(901.0, 104949.5), 2))
+            lineitem.insert(
+                [
+                    orderkey,
+                    int(rng.integers(1, parts + 1)),
+                    int(rng.integers(1, suppliers + 1)),
+                    line,
+                    quantity,
+                    price,
+                    float(np.round(rng.uniform(0.0, 0.10), 2)),
+                    float(np.round(rng.uniform(0.0, 0.08), 2)),
+                    str(rng.choice(["R", "A", "N"])),
+                    str(rng.choice(["O", "F"])),
+                    shipdate,
+                    commitdate,
+                    receiptdate,
+                    _SHIPINSTRUCT[int(rng.integers(0, len(_SHIPINSTRUCT)))],
+                    _SHIPMODES[int(rng.integers(0, len(_SHIPMODES)))],
+                    "lineitem comment",
+                ]
+            )
+    return counts
+
+
+# ---------------------------------------------------------------------------
+# Query set
+
+
+def q1(delta: int = 90) -> str:
+    return f"""
+SELECT l_returnflag, l_linestatus,
+       sum(l_quantity) AS sum_qty,
+       sum(l_extendedprice) AS sum_base_price,
+       sum(l_extendedprice * (1 - l_discount)) AS sum_disc_price,
+       sum(l_extendedprice * (1 - l_discount) * (1 + l_tax)) AS sum_charge,
+       avg(l_quantity) AS avg_qty,
+       avg(l_extendedprice) AS avg_price,
+       avg(l_discount) AS avg_disc,
+       count(*) AS count_order
+FROM lineitem
+WHERE l_shipdate <= DATE '1998-12-01' - INTERVAL '{delta} day'
+GROUP BY l_returnflag, l_linestatus
+ORDER BY l_returnflag, l_linestatus
+"""
+
+
+def q3(segment: str = "BUILDING", day: str = "1995-03-15") -> str:
+    return f"""
+SELECT l_orderkey,
+       sum(l_extendedprice * (1 - l_discount)) AS revenue,
+       o_orderdate, o_shippriority
+FROM customer, orders, lineitem
+WHERE c_mktsegment = '{segment}'
+  AND c_custkey = o_custkey
+  AND l_orderkey = o_orderkey
+  AND o_orderdate < DATE '{day}'
+  AND l_shipdate > DATE '{day}'
+GROUP BY l_orderkey, o_orderdate, o_shippriority
+ORDER BY revenue DESC, o_orderdate
+LIMIT 10
+"""
+
+
+def q5(region: str = "ASIA", start: str = "1994-01-01") -> str:
+    return f"""
+SELECT n_name, sum(l_extendedprice * (1 - l_discount)) AS revenue
+FROM customer, orders, lineitem, supplier, nation, region
+WHERE c_custkey = o_custkey
+  AND l_orderkey = o_orderkey
+  AND l_suppkey = s_suppkey
+  AND c_nationkey = s_nationkey
+  AND s_nationkey = n_nationkey
+  AND n_regionkey = r_regionkey
+  AND r_name = '{region}'
+  AND o_orderdate >= DATE '{start}'
+  AND o_orderdate < DATE '{start}' + INTERVAL '1 year'
+GROUP BY n_name
+ORDER BY revenue DESC
+"""
+
+
+def q6(start: str = "1994-01-01", discount: float = 0.06, quantity: int = 24) -> str:
+    return f"""
+SELECT sum(l_extendedprice * l_discount) AS revenue
+FROM lineitem
+WHERE l_shipdate >= DATE '{start}'
+  AND l_shipdate < DATE '{start}' + INTERVAL '1 year'
+  AND l_discount BETWEEN {discount - 0.01:.2f} AND {discount + 0.01:.2f}
+  AND l_quantity < {quantity}
+"""
+
+
+def q10(start: str = "1993-10-01") -> str:
+    return f"""
+SELECT c_custkey, c_name,
+       sum(l_extendedprice * (1 - l_discount)) AS revenue,
+       c_acctbal, n_name, c_address, c_phone
+FROM customer, orders, lineitem, nation
+WHERE c_custkey = o_custkey
+  AND l_orderkey = o_orderkey
+  AND o_orderdate >= DATE '{start}'
+  AND o_orderdate < DATE '{start}' + INTERVAL '3 month'
+  AND l_returnflag = 'R'
+  AND c_nationkey = n_nationkey
+GROUP BY c_custkey, c_name, c_acctbal, c_phone, n_name, c_address
+ORDER BY revenue DESC
+LIMIT 20
+"""
+
+
+def q12(mode1: str = "MAIL", mode2: str = "SHIP", start: str = "1994-01-01") -> str:
+    return f"""
+SELECT l_shipmode,
+       sum(CASE WHEN o_orderpriority = '1-URGENT' OR o_orderpriority = '2-HIGH'
+                THEN 1 ELSE 0 END) AS high_line_count,
+       sum(CASE WHEN o_orderpriority <> '1-URGENT' AND o_orderpriority <> '2-HIGH'
+                THEN 1 ELSE 0 END) AS low_line_count
+FROM orders, lineitem
+WHERE o_orderkey = l_orderkey
+  AND l_shipmode IN ('{mode1}', '{mode2}')
+  AND l_commitdate < l_receiptdate
+  AND l_shipdate < l_commitdate
+  AND l_receiptdate >= DATE '{start}'
+  AND l_receiptdate < DATE '{start}' + INTERVAL '1 year'
+GROUP BY l_shipmode
+ORDER BY l_shipmode
+"""
+
+
+def q14(start: str = "1995-09-01") -> str:
+    return f"""
+SELECT 100.00 * sum(CASE WHEN p_type LIKE 'PROMO%'
+                         THEN l_extendedprice * (1 - l_discount)
+                         ELSE 0 END) / sum(l_extendedprice * (1 - l_discount))
+       AS promo_revenue
+FROM lineitem, part
+WHERE l_partkey = p_partkey
+  AND l_shipdate >= DATE '{start}'
+  AND l_shipdate < DATE '{start}' + INTERVAL '1 month'
+"""
+
+
+def q4(start: str = "1993-07-01") -> str:
+    """Q4 in its standard decorrelated (semi-join) form: ``EXISTS`` over
+    lineitem becomes ``IN`` over the late-lineitem order keys, which the
+    engine answers with a hashed membership set."""
+    return f"""
+SELECT o_orderpriority, count(*) AS order_count
+FROM orders
+WHERE o_orderdate >= DATE '{start}'
+  AND o_orderdate < DATE '{start}' + INTERVAL '3 month'
+  AND o_orderkey IN (
+      SELECT l_orderkey FROM lineitem WHERE l_commitdate < l_receiptdate
+  )
+GROUP BY o_orderpriority
+ORDER BY o_orderpriority
+"""
+
+
+def q17(brand: str = "Brand#23", container: str = "MED BOX") -> str:
+    return f"""
+SELECT sum(l_extendedprice) / 7.0 AS avg_yearly
+FROM lineitem, part
+WHERE p_partkey = l_partkey
+  AND p_brand = '{brand}'
+  AND p_container = '{container}'
+  AND l_quantity < (
+      SELECT 0.2 * avg(l_quantity) FROM lineitem
+      WHERE l_partkey = p_partkey
+  )
+"""
+
+
+def q18(quantity: int = 150) -> str:
+    return f"""
+SELECT c_name, c_custkey, o_orderkey, o_orderdate, o_totalprice,
+       sum(l_quantity)
+FROM customer, orders, lineitem
+WHERE o_orderkey IN (
+      SELECT l_orderkey FROM lineitem
+      GROUP BY l_orderkey HAVING sum(l_quantity) > {quantity}
+  )
+  AND c_custkey = o_custkey
+  AND o_orderkey = l_orderkey
+GROUP BY c_name, c_custkey, o_orderkey, o_orderdate, o_totalprice
+ORDER BY o_totalprice DESC, o_orderdate
+LIMIT 100
+"""
+
+
+def q22(balance: float = 0.0) -> str:
+    """A Q22-shaped query: customers above the average balance who have
+    never ordered (scalar subquery + NOT EXISTS)."""
+    return f"""
+SELECT count(*) AS numcust, sum(c_acctbal) AS totacctbal
+FROM customer
+WHERE c_acctbal > (
+      SELECT avg(c_acctbal) FROM customer WHERE c_acctbal > {balance}
+  )
+  AND NOT EXISTS (
+      SELECT 1 FROM orders WHERE o_custkey = c_custkey
+  )
+"""
+
+
+def q19(brand: str = "Brand#12", quantity: int = 1) -> str:
+    return f"""
+SELECT sum(l_extendedprice * (1 - l_discount)) AS revenue
+FROM lineitem, part
+WHERE p_partkey = l_partkey
+  AND p_brand = '{brand}'
+  AND l_quantity >= {quantity} AND l_quantity <= {quantity + 10}
+  AND p_size BETWEEN 1 AND 15
+  AND l_shipmode IN ('AIR', 'REG AIR')
+  AND l_shipinstruct = 'DELIVER IN PERSON'
+"""
+
+
+def query_set() -> list[tuple[str, str]]:
+    """The 21 named queries of the Figure 4 run."""
+    queries: list[tuple[str, str]] = [
+        ("Q1", q1()),
+        ("Q1b", q1(delta=60)),
+        ("Q3", q3()),
+        ("Q3b", q3(segment="MACHINERY", day="1995-03-22")),
+        ("Q4", q4()),
+        ("Q4b", q4(start="1994-01-01")),
+        ("Q5", q5()),
+        ("Q5b", q5(region="EUROPE", start="1995-01-01")),
+        ("Q6", q6()),
+        ("Q6b", q6(start="1995-01-01", discount=0.05, quantity=30)),
+        ("Q10", q10()),
+        ("Q10b", q10(start="1994-01-01")),
+        ("Q12", q12()),
+        ("Q12b", q12(mode1="RAIL", mode2="TRUCK", start="1995-01-01")),
+        ("Q14", q14()),
+        ("Q14b", q14(start="1994-03-01")),
+        ("Q17", q17()),
+        ("Q18", q18()),
+        ("Q19", q19()),
+        ("Q19b", q19(brand="Brand#23", quantity=10)),
+        ("Q22", q22()),
+    ]
+    assert len(queries) == 21
+    return queries

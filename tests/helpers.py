@@ -1,0 +1,24 @@
+"""Shared test helpers.
+
+pytest-asyncio is not available offline, so async tests run through
+:func:`run`, which adds a global timeout so a deadlocked proxy fails the
+test instead of hanging the suite.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Awaitable, TypeVar
+
+T = TypeVar("T")
+
+DEFAULT_TIMEOUT = 30.0
+
+
+def run(coro: Awaitable[T], timeout: float = DEFAULT_TIMEOUT) -> T:
+    """Run an async test body with a safety timeout."""
+
+    async def wrapper() -> T:
+        return await asyncio.wait_for(coro, timeout=timeout)
+
+    return asyncio.run(wrapper())

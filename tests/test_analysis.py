@@ -1,0 +1,125 @@
+"""Tests for the analysis helpers: stats, reports, topology."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    BoxStats,
+    build_social_network,
+    format_series,
+    format_table,
+    mean,
+    normalize,
+    percentile,
+    selective_overhead,
+    user_facing_services,
+    whole_app_overhead,
+)
+
+
+class TestStats:
+    def test_percentile_basics(self):
+        data = [1.0, 2.0, 3.0, 4.0, 5.0]
+        assert percentile(data, 0) == 1.0
+        assert percentile(data, 50) == 3.0
+        assert percentile(data, 100) == 5.0
+
+    def test_percentile_interpolates(self):
+        assert percentile([0.0, 10.0], 25) == pytest.approx(2.5)
+
+    def test_percentile_validates(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            percentile([1.0], 200)
+
+    def test_mean(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+        with pytest.raises(ValueError):
+            mean([])
+
+    def test_box_stats(self):
+        stats = BoxStats.from_samples([float(i) for i in range(1, 101)])
+        assert stats.median == pytest.approx(50.5)
+        assert stats.p5 < stats.median < stats.p95
+        assert stats.mean == pytest.approx(50.5)
+
+    def test_normalize(self):
+        assert normalize([2.0, 9.0], [1.0, 3.0]) == [2.0, 3.0]
+        with pytest.raises(ValueError):
+            normalize([1.0], [1.0, 2.0])
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=50))
+    def test_property_percentile_bounded_by_extremes(self, samples):
+        for q in (0, 25, 50, 75, 100):
+            value = percentile(samples, q)
+            assert min(samples) <= value <= max(samples)
+
+    @given(
+        st.lists(st.floats(min_value=0.1, max_value=1e6), min_size=2, max_size=50),
+        st.floats(min_value=0, max_value=100),
+        st.floats(min_value=0, max_value=100),
+    )
+    def test_property_percentile_monotone(self, samples, q1, q2):
+        low, high = sorted((q1, q2))
+        p_low, p_high = percentile(samples, low), percentile(samples, high)
+        # monotone up to interpolation round-off
+        tolerance = 1e-9 * max(abs(p_low), abs(p_high), 1.0)
+        assert p_low <= p_high + tolerance
+
+
+class TestReport:
+    def test_format_table_aligns(self):
+        text = format_table(["name", "n"], [["a", 1], ["longer", 22]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1]
+        assert all("|" in line for line in lines[1:] if "-+-" not in line)
+
+    def test_format_series(self):
+        text = format_series(
+            "clients", [1, 2], {"tps": [10.0, 20.0], "ms": [1.5, 2.5]}
+        )
+        assert "clients" in text
+        assert "10.0" in text and "2.5" in text
+
+    def test_bool_rendering(self):
+        text = format_table(["ok"], [[True], [False]])
+        assert "yes" in text and "no" in text
+
+
+class TestTopology:
+    def test_social_network_shape(self):
+        graph = build_social_network()
+        assert graph.number_of_nodes() == 20
+        assert graph.has_edge("frontend-logic", "search")
+        assert graph.has_edge("compose-post", "post-storage")
+
+    def test_motivation_claim_selective_vs_whole(self):
+        """The section II claim: ~20% vs 300% for 3-versioning."""
+        graph = build_social_network()
+        selective = selective_overhead(graph, {"search": 3, "compose-post": 3})
+        whole = whole_app_overhead(graph, 3)
+        assert selective.overhead_fraction == pytest.approx(0.20)
+        assert whole.overhead_fraction == pytest.approx(2.0)
+
+    def test_unknown_service_rejected(self):
+        graph = build_social_network()
+        with pytest.raises(KeyError):
+            selective_overhead(graph, {"nope": 3})
+
+    def test_user_facing_candidates_include_parsers_and_search(self):
+        graph = build_social_network()
+        candidates = user_facing_services(graph)
+        assert "search" in candidates
+        assert "compose-post" in candidates
+        assert "post-storage" not in candidates  # storage tier is not user-facing
+
+    def test_two_versioning_is_cheaper(self):
+        graph = build_social_network()
+        two = selective_overhead(graph, {"search": 2})
+        three = selective_overhead(graph, {"search": 3})
+        assert two.added_cost < three.added_cost

@@ -1,0 +1,234 @@
+"""Tests for the DVWA, GitLab, and ASLR evaluation applications."""
+
+from __future__ import annotations
+
+import asyncio
+import re
+from urllib.parse import quote
+
+from repro.apps.aslr import (
+    AddressSpace,
+    VulnerableEchoServer,
+    build_overflow_payload,
+)
+from repro.apps.aslr.echo_vuln import BUFFER_SIZE, gadget_address_from_leak
+from repro.apps.dvwa import SQLI_EXPLOIT_ID, deploy_dvwa
+from repro.apps.gitlab import CVE_2019_10130_STEPS, deploy_gitlab, injection_for
+from repro.transport.retry import open_connection_retry
+from repro.transport.streams import close_writer
+from repro.web import HttpClient
+from repro.web.forms import encode_urlencoded
+from tests.helpers import run
+
+
+class TestAddressSpace:
+    def test_aslr_bases_differ_between_processes(self):
+        spaces = [AddressSpace(aslr=True) for _ in range(8)]
+        assert len({s.base for s in spaces}) > 1
+
+    def test_no_aslr_bases_identical(self):
+        a, b = AddressSpace(aslr=False), AddressSpace(aslr=False)
+        assert a.base == b.base
+        assert a.pointer_bytes() == b.pointer_bytes()
+
+    def test_gadget_computable_from_leak(self):
+        space = AddressSpace(aslr=True)
+        leaked = space.pointer_bytes()
+        assert gadget_address_from_leak(leaked) == space.gadget_address()
+
+
+class TestVulnerableEcho:
+    def test_benign_echo(self):
+        async def main():
+            server = await VulnerableEchoServer().start()
+            reader, writer = await open_connection_retry(*server.address)
+            writer.write(b"hello\n")
+            await writer.drain()
+            assert await reader.readline() == b"hello\n"
+            await close_writer(writer)
+            await server.close()
+
+        run(main())
+
+    def test_exact_buffer_size_does_not_leak(self):
+        async def main():
+            server = await VulnerableEchoServer().start()
+            reader, writer = await open_connection_retry(*server.address)
+            payload = b"A" * BUFFER_SIZE
+            writer.write(payload + b"\n")
+            await writer.drain()
+            assert await reader.readline() == payload + b"\n"
+            await close_writer(writer)
+            await server.close()
+
+        run(main())
+
+    def test_overflow_leaks_pointer(self):
+        async def main():
+            server = await VulnerableEchoServer().start()
+            reader, writer = await open_connection_retry(*server.address)
+            payload = build_overflow_payload()
+            writer.write(payload + b"\n")
+            await writer.drain()
+            reply = (await reader.readline()).rstrip(b"\n")
+            assert len(reply) == BUFFER_SIZE + 16  # truncated echo + pointer
+            leaked = reply[BUFFER_SIZE:]
+            assert gadget_address_from_leak(leaked) == server.address_space.gadget_address()
+            await close_writer(writer)
+            await server.close()
+
+        run(main())
+
+
+class TestDvwaDeployment:
+    @staticmethod
+    async def _sqli(address, user_id: str) -> bytes:
+        async with HttpClient(*address) as client:
+            page = await client.get("/vulnerabilities/sqli")
+            match = re.search(rb"name='user_token' value='(\w+)'", page.body)
+            assert match is not None
+            cookie = (page.header("Set-Cookie") or "").split(";")[0]
+            response = await client.post(
+                "/vulnerabilities/sqli",
+                body=encode_urlencoded(
+                    {"id": user_id, "user_token": match.group(1).decode()}
+                ),
+                headers={
+                    "Content-Type": "application/x-www-form-urlencoded",
+                    "Cookie": cookie,
+                },
+            )
+            return response.body
+
+    def test_full_benign_flow_with_csrf(self):
+        async def main():
+            deployment = await deploy_dvwa()
+            body = await self._sqli(deployment.address, "2")
+            assert b"Gordon" in body and b"Brown" in body
+            assert len(deployment.rddr.events.divergences()) == 0
+            await deployment.close()
+
+        run(main())
+
+    def test_wrong_csrf_token_rejected_uniformly(self):
+        async def main():
+            deployment = await deploy_dvwa()
+            async with HttpClient(*deployment.address) as client:
+                page = await client.get("/vulnerabilities/sqli")
+                cookie = (page.header("Set-Cookie") or "").split(";")[0]
+                response = await client.post(
+                    "/vulnerabilities/sqli",
+                    body=encode_urlencoded(
+                        {"id": "1", "user_token": "WRONGTOKEN12345"}
+                    ),
+                    headers={
+                        "Content-Type": "application/x-www-form-urlencoded",
+                        "Cookie": cookie,
+                    },
+                )
+            # all instances reject identically -> uniform 403, no divergence
+            assert response.status == 403
+            assert b"CSRF token incorrect" in response.body
+            await deployment.close()
+
+        run(main())
+
+    def test_injection_diverges_at_outgoing_proxy(self):
+        async def main():
+            deployment = await deploy_dvwa()
+            try:
+                body = await self._sqli(deployment.address, SQLI_EXPLOIT_ID)
+            except Exception:
+                body = b""
+            assert b"Gordon" not in body  # nothing dumped
+            divergences = deployment.rddr.events.divergences()
+            assert len(divergences) >= 1
+            await deployment.close()
+
+        run(main())
+
+
+class TestGitLabDeployment:
+    def test_benign_traffic_flows(self):
+        async def main():
+            deployment = await deploy_gitlab()
+            async with HttpClient(*deployment.address) as client:
+                assert (await client.get("/")).status == 200
+                projects = await client.get("/projects")
+                assert b"infra-tools" in projects.body
+                sign_in = await client.post(
+                    "/users/sign_in",
+                    body=encode_urlencoded(
+                        {
+                            "username": "root",
+                            "password_hash": "63a9f0ea7bb98050796b649e85481845",
+                        }
+                    ),
+                    headers={"Content-Type": "application/x-www-form-urlencoded"},
+                )
+                assert b'"signed_in":true' in sign_in.body
+                pages = await client.get("/pages/docs")
+                assert pages.status == 200
+            # sidekiq background jobs run against the same N-versioned DB
+            async with HttpClient(*deployment.sidekiq_server.address) as client:
+                tick = await client.post("/tick")
+                assert b'"ok":true' in tick.body
+            assert len(deployment.rddr.events.divergences()) == 0
+            await deployment.close()
+
+        run(main())
+
+    def test_exploit_blocked_benign_continues(self):
+        async def main():
+            deployment = await deploy_gitlab()
+            leaked = False
+            for step in CVE_2019_10130_STEPS:
+                async with HttpClient(*deployment.address) as client:
+                    response = await client.get("/search?q=" + quote(injection_for(step)))
+                    if b"glpat-root-AAAA1111SECRET" in response.body:
+                        leaked = True
+            assert not leaked
+            assert len(deployment.rddr.events.divergences()) >= 1
+            # the deployment recovers for benign users
+            async with HttpClient(*deployment.address) as client:
+                assert (await client.get("/projects")).status == 200
+            await deployment.close()
+
+        run(main())
+
+
+class TestDvwaImpossibleLevel:
+    """DVWA's parameterized "impossible" level: injection dies at the
+    application, so homogeneous impossible-level instances never diverge."""
+
+    def test_injection_neutralised_without_divergence(self):
+        async def main():
+            deployment = await deploy_dvwa(
+                securities=("impossible", "impossible", "impossible"),
+                filter_pair=(1, 2),
+            )
+            body = await TestDvwaDeployment._sqli(deployment.address, SQLI_EXPLOIT_ID)
+            # parameterized query: the whole injection string is one value,
+            # matching no row — nothing dumped, nothing divergent
+            assert b"Gordon" not in body and b"Pablo" not in body
+            assert len(deployment.rddr.events.divergences()) == 0
+            benign = await TestDvwaDeployment._sqli(deployment.address, "2")
+            assert b"Gordon" in benign
+            await deployment.close()
+
+        run(main())
+
+    def test_mixed_levels_diverge_on_injection(self):
+        """An impossible-level instance alongside low-level ones is itself
+        a diversity source: the injection produces different SQL traffic."""
+
+        async def main():
+            deployment = await deploy_dvwa(
+                securities=("impossible", "low", "low"), filter_pair=(1, 2)
+            )
+            body = await TestDvwaDeployment._sqli(deployment.address, SQLI_EXPLOIT_ID)
+            assert b"Gordon" not in body and b"Pablo" not in body
+            assert len(deployment.rddr.events.divergences()) >= 1
+            await deployment.close()
+
+        run(main())

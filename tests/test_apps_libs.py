@@ -1,0 +1,168 @@
+"""Tests for the diverse library pairs (paper section V-A).
+
+The load-bearing property for every pair: *benign inputs produce
+byte-identical outputs; the exploit input produces divergent outputs.*
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.apps.restful.libs import (
+    CairosvgLike,
+    ConversionError,
+    CryptoLike,
+    DecryptionError,
+    LxmlCleanLike,
+    Markdown2Like,
+    MarkdownLike,
+    PyRsaLike,
+    SanitizeHtmlLike,
+    SvglibLike,
+    benign_html,
+    benign_markdown,
+    benign_svg,
+    encrypt,
+    exploit_ciphertext,
+    exploit_html,
+    exploit_markdown,
+    exploit_svg,
+)
+from repro.apps.restful.libs.rsa_pair import KEY_BYTES
+
+
+class TestRsaPair:
+    def test_benign_round_trip_identical(self):
+        ciphertext = encrypt(b"hello world")
+        assert PyRsaLike().decrypt(ciphertext) == b"hello world"
+        assert CryptoLike().decrypt(ciphertext) == b"hello world"
+
+    def test_exploit_diverges(self):
+        payload = exploit_ciphertext(b"forged")
+        assert PyRsaLike().decrypt(payload) == b"forged"  # the CVE
+        with pytest.raises(DecryptionError):
+            CryptoLike().decrypt(payload)
+
+    def test_short_ciphertext_rejected_by_strict(self):
+        with pytest.raises(DecryptionError):
+            CryptoLike().decrypt(b"\x01" * (KEY_BYTES - 1))
+
+    def test_garbage_rejected_by_both(self):
+        garbage = b"\xff" * KEY_BYTES
+        with pytest.raises(DecryptionError):
+            PyRsaLike().decrypt(garbage)
+        with pytest.raises(DecryptionError):
+            CryptoLike().decrypt(garbage)
+
+    def test_message_too_long_for_key(self):
+        with pytest.raises(ValueError):
+            encrypt(b"x" * (KEY_BYTES - 10))
+
+    @given(st.binary(min_size=0, max_size=KEY_BYTES - 11))
+    def test_property_pair_agrees_on_all_valid_ciphertexts(self, message):
+        ciphertext = encrypt(message)
+        assert PyRsaLike().decrypt(ciphertext) == CryptoLike().decrypt(ciphertext) == message
+
+
+class TestMarkdownPair:
+    def test_benign_documents_identical(self):
+        source = benign_markdown()
+        assert Markdown2Like().render(source) == MarkdownLike().render(source)
+
+    def test_exploit_diverges(self):
+        source = exploit_markdown()
+        vulnerable = Markdown2Like().render(source)
+        fixed = MarkdownLike().render(source)
+        assert "javascript:" in vulnerable
+        assert "javascript:" not in fixed
+        assert vulnerable != fixed
+
+    def test_obfuscated_scheme_also_neutralised_by_fixed(self):
+        source = "[x](JaVaScRiPt:alert(1))"
+        assert "javascript" not in MarkdownLike().render(source).lower().replace(
+            "javascript", "", 0
+        ) or 'href="#"' in MarkdownLike().render(source)
+
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "plain paragraph",
+            "# Heading",
+            "## Sub *heading*",
+            "text with **bold** and *em* and `code`",
+            "[link](https://example.com/path?q=1)",
+            "para one\n\npara two\n\npara three",
+            "multi\nline\nparagraph",
+        ],
+    )
+    def test_supported_benign_subset_identical(self, source):
+        assert Markdown2Like().render(source) == MarkdownLike().render(source)
+
+
+class TestSvgPair:
+    def test_benign_documents_identical(self):
+        source = benign_svg()
+        assert SvglibLike().convert(source) == CairosvgLike().convert(source)
+
+    def test_exploit_diverges_and_leaks(self, tmp_path):
+        secret = tmp_path / "secret.txt"
+        secret.write_text("FILE-CONTENT-XYZ")
+        source = exploit_svg(str(secret))
+        leaked = SvglibLike().convert(source)
+        assert b"FILE-CONTENT-XYZ" in leaked  # the XXE leak is real
+        with pytest.raises(ConversionError):
+            CairosvgLike().convert(source)
+
+    def test_internal_entities_resolved_by_both(self):
+        source = (
+            "<?xml version='1.0'?>"
+            "<!DOCTYPE svg [<!ENTITY greeting \"hello\">]>"
+            "<svg><text>&greeting; world</text></svg>"
+        )
+        assert SvglibLike().convert(source) == CairosvgLike().convert(source)
+
+    def test_non_svg_rejected(self):
+        with pytest.raises(ConversionError):
+            SvglibLike().convert("<html></html>")
+
+    def test_missing_file_yields_empty_not_crash(self):
+        source = exploit_svg("/nonexistent/path/file.txt")
+        png = SvglibLike().convert(source)
+        assert png.startswith(b"\x89PNG")
+
+    def test_png_magic_present(self):
+        assert CairosvgLike().convert(benign_svg()).startswith(b"\x89PNG\r\n\x1a\n")
+
+
+class TestSanitizerPair:
+    def test_benign_documents_identical(self):
+        source = benign_html()
+        out_a = LxmlCleanLike().sanitize(source)
+        out_b = SanitizeHtmlLike().sanitize(source)
+        assert out_a == out_b
+        assert "<script>" not in out_a  # both remove script tags
+
+    def test_plain_javascript_url_removed_by_both(self):
+        source = '<a href="javascript:alert(1)">x</a>'
+        assert 'href=""' in LxmlCleanLike().sanitize(source)
+        assert 'href=""' in SanitizeHtmlLike().sanitize(source)
+
+    def test_exploit_diverges(self):
+        source = exploit_html()
+        vulnerable = LxmlCleanLike().sanitize(source)
+        fixed = SanitizeHtmlLike().sanitize(source)
+        assert "ascript:alert" in vulnerable  # bypass survives the cleaner
+        assert "ascript:alert" not in fixed
+        assert vulnerable != fixed
+
+    def test_event_handlers_stripped_by_both(self):
+        source = '<p onclick="evil()">x</p>'
+        assert "onclick" not in LxmlCleanLike().sanitize(source)
+        assert "onclick" not in SanitizeHtmlLike().sanitize(source)
+
+    @pytest.mark.parametrize("control", ["\x01", "\x02", "\x0b", "\t", " "])
+    def test_any_control_obfuscation_caught_by_fixed(self, control):
+        source = f'<a href="jav{control}ascript:alert(1)">x</a>'
+        assert "alert" not in SanitizeHtmlLike().sanitize(source)

@@ -1,0 +1,250 @@
+"""Tests for the HAProxy/nginx/Envoy simulators."""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.apps.proxies import EnvoySim, HaproxySim, NginxSim, build_smuggling_payload
+from repro.transport.retry import open_connection_retry
+from repro.transport.streams import close_writer
+from repro.web import App, HttpClient, serve_app, text_response
+from repro.web.http11 import ParserOptions
+from repro.web.server import HttpServer
+from tests.helpers import run
+
+
+def _backend_app() -> App:
+    app = App("s1")
+
+    @app.route("/public", methods=("GET", "POST"))
+    async def public(ctx):
+        return text_response("public ok")
+
+    @app.route("/internal/secret")
+    async def secret(ctx):
+        return text_response("SECRET-DATA")
+
+    return app
+
+
+async def _lenient_backend() -> HttpServer:
+    server = HttpServer(
+        _backend_app(), parser_options=ParserOptions(lenient_te_whitespace=True)
+    )
+    await server.start()
+    return server
+
+
+class TestReverseProxying:
+    def test_haproxy_forwards_benign_traffic(self):
+        async def main():
+            backend = await _lenient_backend()
+            proxy = await HaproxySim(backend.address, deny_paths=["/internal"]).start()
+            async with HttpClient(*proxy.address) as client:
+                response = await client.get("/public")
+            assert response.body == b"public ok"
+            await proxy.close()
+            await backend.close()
+
+        run(main())
+
+    def test_both_proxies_enforce_acl(self):
+        async def main():
+            backend = await _lenient_backend()
+            for cls in (HaproxySim, NginxSim):
+                proxy = await cls(backend.address, deny_paths=["/internal"]).start()
+                async with HttpClient(*proxy.address) as client:
+                    response = await client.get("/internal/secret")
+                assert response.status == 403
+                assert b"SECRET" not in response.body
+                await proxy.close()
+            await backend.close()
+
+        run(main())
+
+    def test_vulnerable_haproxy_desyncs(self):
+        async def main():
+            backend = await _lenient_backend()
+            proxy = await HaproxySim(
+                backend.address, version="1.5.3", deny_paths=["/internal"]
+            ).start()
+            assert proxy.vulnerable
+            reader, writer = await open_connection_retry(*proxy.address)
+            writer.write(build_smuggling_payload())
+            await writer.drain()
+            await asyncio.wait_for(reader.read(300), 2)
+            writer.write(b"GET /public HTTP/1.1\r\nHost: x\r\n\r\n")
+            await writer.drain()
+            poisoned = await asyncio.wait_for(reader.read(500), 2)
+            assert b"SECRET-DATA" in poisoned  # the queued smuggled response
+            await close_writer(writer)
+            await proxy.close()
+            await backend.close()
+
+        run(main())
+
+    def test_fixed_haproxy_does_not_desync(self):
+        async def main():
+            backend = await _lenient_backend()
+            proxy = await HaproxySim(
+                backend.address, version="2.0.0", deny_paths=["/internal"]
+            ).start()
+            assert not proxy.vulnerable
+            reader, writer = await open_connection_retry(*proxy.address)
+            writer.write(build_smuggling_payload())
+            await writer.drain()
+            await asyncio.wait_for(reader.read(300), 2)
+            writer.write(b"GET /public HTTP/1.1\r\nHost: x\r\n\r\n")
+            await writer.drain()
+            response = await asyncio.wait_for(reader.read(500), 2)
+            assert b"SECRET-DATA" not in response
+            await close_writer(writer)
+            await proxy.close()
+            await backend.close()
+
+        run(main())
+
+    def test_nginx_normalisation_defeats_smuggling(self):
+        async def main():
+            backend = await _lenient_backend()
+            proxy = await NginxSim(backend.address, deny_paths=["/internal"]).start()
+            reader, writer = await open_connection_retry(*proxy.address)
+            writer.write(build_smuggling_payload())
+            await writer.drain()
+            await asyncio.wait_for(reader.read(300), 2)
+            writer.write(b"GET /public HTTP/1.1\r\nHost: x\r\n\r\n")
+            await writer.drain()
+            response = await asyncio.wait_for(reader.read(500), 2)
+            assert b"public ok" in response
+            assert b"SECRET-DATA" not in response
+            await close_writer(writer)
+            await proxy.close()
+            await backend.close()
+
+        run(main())
+
+
+class TestNginxStatic:
+    FILES = {"/doc.bin": bytes(range(100)) + b"z" * 56}
+
+    def test_full_document(self):
+        async def main():
+            server = await NginxSim(None, static_files=self.FILES).start()
+            async with HttpClient(*server.address) as client:
+                response = await client.get("/doc.bin")
+            assert response.status == 200
+            assert response.body == self.FILES["/doc.bin"]
+            await server.close()
+
+        run(main())
+
+    def test_explicit_range(self):
+        async def main():
+            server = await NginxSim(None, static_files=self.FILES).start()
+            async with HttpClient(*server.address) as client:
+                response = await client.get("/doc.bin", headers={"Range": "bytes=10-19"})
+            assert response.status == 206
+            assert response.body == self.FILES["/doc.bin"][10:20]
+            assert "bytes 10-19" in (response.header("Content-Range") or "")
+            await server.close()
+
+        run(main())
+
+    def test_suffix_range_within_bounds(self):
+        async def main():
+            server = await NginxSim(None, static_files=self.FILES).start()
+            async with HttpClient(*server.address) as client:
+                response = await client.get("/doc.bin", headers={"Range": "bytes=-10"})
+            assert response.status == 206
+            assert response.body == self.FILES["/doc.bin"][-10:]
+            await server.close()
+
+        run(main())
+
+    def test_vulnerable_version_leaks_on_overflow(self):
+        async def main():
+            server = await NginxSim(
+                None, version="1.13.2", static_files=self.FILES
+            ).start()
+            assert server.range_vulnerable
+            async with HttpClient(*server.address) as client:
+                response = await client.get("/doc.bin", headers={"Range": "bytes=-500"})
+            assert response.status == 206
+            assert b"cached-secret" in response.body
+            await server.close()
+
+        run(main())
+
+    def test_fixed_version_rejects_overflow(self):
+        async def main():
+            server = await NginxSim(
+                None, version="1.13.4", static_files=self.FILES
+            ).start()
+            assert not server.range_vulnerable
+            async with HttpClient(*server.address) as client:
+                response = await client.get("/doc.bin", headers={"Range": "bytes=-500"})
+            assert response.status == 416
+            assert b"cached-secret" not in response.body
+            await server.close()
+
+        run(main())
+
+    def test_invalid_ranges_rejected(self):
+        async def main():
+            server = await NginxSim(None, static_files=self.FILES).start()
+            async with HttpClient(*server.address) as client:
+                for bad in ("chunks=1-2", "bytes=abc-def", "bytes=200-300", "bytes=9-2"):
+                    response = await client.get("/doc.bin", headers={"Range": bad})
+                    assert response.status == 416, bad
+            await server.close()
+
+        run(main())
+
+
+class TestEnvoySim:
+    def test_transparent_http_forwarding(self):
+        async def main():
+            backend = await serve_app(_backend_app())
+            envoy = await EnvoySim(backend.address).start()
+            async with HttpClient(*envoy.address) as client:
+                response = await client.get("/public")
+            assert response.body == b"public ok"
+            assert envoy.connections_total == 1
+            assert envoy.bytes_proxied > 0
+            await envoy.close()
+            await backend.close()
+
+        run(main())
+
+    def test_transparent_pgwire_forwarding(self):
+        async def main():
+            from repro.pgwire import PgClient, serve_database
+            from repro.sqlengine import Database
+
+            db = Database()
+            db.execute("CREATE TABLE t (a int); INSERT INTO t VALUES (7)")
+            backend = await serve_database(db)
+            envoy = await EnvoySim(backend.address).start()
+            async with await PgClient.connect(*envoy.address) as client:
+                outcome = await client.query("SELECT a FROM t")
+            assert outcome.rows == [["7"]]
+            await envoy.close()
+            await backend.close()
+
+        run(main())
+
+    def test_dead_upstream_closes_client(self):
+        async def main():
+            backend = await serve_app(_backend_app())
+            address = backend.address
+            await backend.close()
+            envoy = await EnvoySim(address).start()
+            reader, writer = await open_connection_retry(*envoy.address)
+            writer.write(b"GET / HTTP/1.1\r\n\r\n")
+            await writer.drain()
+            data = await asyncio.wait_for(reader.read(100), 5)
+            assert data == b""
+            await close_writer(writer)
+            await envoy.close()
+
+        run(main())

@@ -1,0 +1,123 @@
+"""Endpoint tests for the RESTful library servers."""
+
+from __future__ import annotations
+
+import json
+
+from repro.apps.restful import (
+    make_decrypt_server,
+    make_markdown_server,
+    make_sanitize_server,
+    make_svg_server,
+)
+from repro.apps.restful.libs import (
+    CairosvgLike,
+    CryptoLike,
+    LxmlCleanLike,
+    Markdown2Like,
+    PyRsaLike,
+    SvglibLike,
+    benign_svg,
+    encrypt,
+)
+from repro.web import HttpClient, serve_app
+from tests.helpers import run
+
+
+def _post(server, path: str, payload: dict):
+    async def main():
+        http = await serve_app(server)
+        async with HttpClient(*http.address) as client:
+            response = await client.post(
+                path,
+                body=json.dumps(payload).encode(),
+                headers={"Content-Type": "application/json"},
+            )
+        await http.close()
+        return response
+
+    return run(main())
+
+
+class TestDecryptServer:
+    def test_round_trip(self):
+        response = _post(
+            make_decrypt_server(CryptoLike()),
+            "/decrypt",
+            {"ciphertext_hex": encrypt(b"payload").hex()},
+        )
+        assert response.status == 200
+        assert json.loads(response.body) == {"plaintext": "payload"}
+
+    def test_bad_hex_is_400(self):
+        response = _post(
+            make_decrypt_server(PyRsaLike()), "/decrypt", {"ciphertext_hex": "zz"}
+        )
+        assert response.status == 400
+
+    def test_missing_field_is_400(self):
+        response = _post(make_decrypt_server(PyRsaLike()), "/decrypt", {})
+        assert response.status == 400
+
+    def test_decryption_error_is_clean_400(self):
+        response = _post(
+            make_decrypt_server(CryptoLike()), "/decrypt", {"ciphertext_hex": "00"}
+        )
+        assert response.status == 400
+        assert json.loads(response.body)["error"] == "decryption failed"
+
+    def test_health(self):
+        async def main():
+            http = await serve_app(make_decrypt_server(PyRsaLike()))
+            async with HttpClient(*http.address) as client:
+                response = await client.get("/health")
+            await http.close()
+            return response
+
+        assert run(main()).status == 200
+
+
+class TestMarkdownServer:
+    def test_render(self):
+        response = _post(
+            make_markdown_server(Markdown2Like()), "/render", {"markdown": "# Hi"}
+        )
+        assert response.status == 200
+        assert "<h1>Hi</h1>" in json.loads(response.body)["html"]
+
+    def test_non_json_body_is_400(self):
+        async def main():
+            http = await serve_app(make_markdown_server(Markdown2Like()))
+            async with HttpClient(*http.address) as client:
+                response = await client.post("/render", body=b"not json")
+            await http.close()
+            return response
+
+        assert run(main()).status == 400
+
+
+class TestSvgServer:
+    def test_convert(self):
+        response = _post(
+            make_svg_server(CairosvgLike()), "/convert", {"svg": benign_svg()}
+        )
+        assert response.status == 200
+        png = bytes.fromhex(json.loads(response.body)["png_hex"])
+        assert png.startswith(b"\x89PNG")
+
+    def test_conversion_error_is_422(self):
+        response = _post(
+            make_svg_server(SvglibLike()), "/convert", {"svg": "<html></html>"}
+        )
+        assert response.status == 422
+
+
+class TestSanitizeServer:
+    def test_sanitize(self):
+        response = _post(
+            make_sanitize_server(LxmlCleanLike()),
+            "/sanitize",
+            {"html": "<p>x</p><script>evil()</script>"},
+        )
+        assert response.status == 200
+        assert "<script>" not in json.loads(response.body)["html"]

@@ -1,0 +1,63 @@
+"""Tests for RDDR configuration serialization."""
+
+from __future__ import annotations
+
+from repro.core.config import RddrConfig
+from repro.core.denoise import FilterPair
+from repro.core.variance import VarianceRule
+
+
+class TestDefaults:
+    def test_default_config(self):
+        config = RddrConfig()
+        assert config.protocol == "tcp"
+        assert config.filter_pair is None
+        assert config.ephemeral_state is True
+        assert config.canonical_instance == 0
+
+    def test_filter_pair_object(self):
+        assert RddrConfig().filter_pair_obj() is None
+        pair = RddrConfig(filter_pair=(1, 2)).filter_pair_obj()
+        assert isinstance(pair, FilterPair)
+        assert pair.indices() == (1, 2)
+
+
+class TestRoundTrip:
+    def _config(self) -> RddrConfig:
+        return RddrConfig(
+            protocol="http",
+            filter_pair=(0, 1),
+            variance_rules=[
+                VarianceRule(pattern=r"v\d+", description="version"),
+            ],
+            exchange_timeout=3.5,
+            ephemeral_state=False,
+            ephemeral_min_length=8,
+            canonical_instance=2,
+            block_message="nope",
+        )
+
+    def test_dict_round_trip(self):
+        config = self._config()
+        restored = RddrConfig.from_dict(config.to_dict())
+        assert restored.protocol == "http"
+        assert restored.filter_pair == (0, 1)
+        assert restored.exchange_timeout == 3.5
+        assert restored.ephemeral_state is False
+        assert restored.ephemeral_min_length == 8
+        assert restored.canonical_instance == 2
+        assert restored.block_message == "nope"
+        assert restored.variance_rules[0].pattern == r"v\d+"
+
+    def test_file_round_trip(self, tmp_path):
+        path = tmp_path / "rddr.json"
+        config = self._config()
+        config.dump(path)
+        restored = RddrConfig.load(path)
+        assert restored.to_dict() == config.to_dict()
+
+    def test_from_minimal_dict(self):
+        config = RddrConfig.from_dict({"protocol": "pgwire"})
+        assert config.protocol == "pgwire"
+        assert config.filter_pair is None
+        assert config.variance_rules == []

@@ -1,0 +1,125 @@
+"""Tests for filter-pair de-noising (paper section IV-B2)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.denoise import (
+    FilterPair,
+    FilterPairDenoiser,
+    learn_noise_mask,
+    widen_over_alnum,
+)
+from repro.core.diff import TOKEN_WILDCARD, CharRange, diff_tokens
+
+
+class TestFilterPair:
+    def test_distinct_indices_required(self):
+        with pytest.raises(ValueError):
+            FilterPair(1, 1)
+
+    def test_indices(self):
+        assert FilterPair(0, 2).indices() == (0, 2)
+
+
+class TestWidenOverAlnum:
+    def test_widens_to_alnum_run_boundaries(self):
+        token = b"sid=abc123; path=/"
+        # only positions 6..8 differ, but the whole run "abc123" widens
+        ranges = widen_over_alnum(token, [CharRange(6, 9)])
+        assert ranges == [CharRange(4, 10)]
+
+    def test_stops_at_non_alnum(self):
+        token = b"x=a|b=c"
+        assert widen_over_alnum(token, [CharRange(2, 3)]) == [CharRange(2, 3)]
+
+    def test_merges_overlapping_results(self):
+        token = b"abcdef"
+        ranges = widen_over_alnum(token, [CharRange(1, 2), CharRange(3, 4)])
+        assert ranges == [CharRange(0, 6)]
+
+    def test_empty_input(self):
+        assert widen_over_alnum(b"abc", []) == []
+
+
+class TestLearnNoiseMask:
+    def test_identical_streams_learn_nothing(self):
+        mask = learn_noise_mask([b"a", b"b"], [b"a", b"b"])
+        assert mask.token_ranges == {}
+        assert mask.tail_from is None
+
+    def test_equal_length_difference_masks_ranges(self):
+        mask = learn_noise_mask([b"id=aaaa done"], [b"id=bbbb done"])
+        ranges = mask.ranges_for(0)
+        assert len(ranges) == 1
+        # widened over the alnum run containing the difference
+        assert ranges[0] == CharRange(3, 7)
+
+    def test_length_difference_masks_whole_token(self):
+        mask = learn_noise_mask([b"short"], [b"longer-token"])
+        assert mask.token_ranges[0] == TOKEN_WILDCARD
+
+    def test_count_difference_sets_tail(self):
+        mask = learn_noise_mask([b"a"], [b"a", b"b"])
+        assert mask.tail_from == 1
+
+    def test_mask_admits_third_instance_random_token(self):
+        # the core false-positive scenario: three random hex ids
+        a = [b"session=0011223344556677 end"]
+        b = [b"session=8899aabbccddeeff end"]
+        c = [b"session=deadbeefcafef00d end"]
+        mask = learn_noise_mask(a, b)
+        assert not diff_tokens([a, b, c], mask).divergent
+
+    def test_mask_still_catches_structural_change(self):
+        a = [b"session=0011223344556677 end"]
+        b = [b"session=8899aabbccddeeff end"]
+        evil = [b"session=deadbeefcafef00d LEAKED-DATA"]
+        mask = learn_noise_mask(a, b)
+        assert diff_tokens([a, b, evil], mask).divergent
+
+
+class TestFilterPairDenoiser:
+    def test_disabled_denoiser_returns_empty_mask(self):
+        denoiser = FilterPairDenoiser(None)
+        assert not denoiser.enabled
+        mask = denoiser.mask_for([[b"x"], [b"y"]])
+        assert mask.token_ranges == {}
+
+    def test_enabled_denoiser_learns_from_pair(self):
+        denoiser = FilterPairDenoiser(FilterPair(0, 1))
+        mask = denoiser.mask_for([[b"aaaa"], [b"bbbb"], [b"cccc"]])
+        assert 0 in mask.token_ranges
+
+    def test_out_of_range_pair_rejected(self):
+        denoiser = FilterPairDenoiser(FilterPair(0, 5))
+        with pytest.raises(IndexError):
+            denoiser.mask_for([[b"a"], [b"b"]])
+
+
+@given(
+    st.lists(
+        st.text(alphabet="abcdef0123456789", min_size=4, max_size=12),
+        min_size=3,
+        max_size=3,
+        unique=True,
+    )
+)
+def test_property_equal_length_random_fields_never_diverge(ids):
+    """Any trio of equal-length alphanumeric ids passes under the mask."""
+    padded = [i.ljust(12, "0") for i in ids]
+    streams = [[f"token={p};fixed".encode()] for p in padded]
+    mask = learn_noise_mask(streams[0], streams[1])
+    assert not diff_tokens(streams, mask).divergent
+
+
+@given(st.binary(min_size=1, max_size=32))
+def test_property_learning_from_identical_pair_is_strict(payload):
+    """An identical filter pair masks nothing, so any third-instance
+    corruption is caught."""
+    stream = [payload]
+    mask = learn_noise_mask(stream, list(stream))
+    corrupted = [payload + b"!"]
+    assert diff_tokens([stream, stream, corrupted], mask).divergent

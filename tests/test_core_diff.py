@@ -1,0 +1,163 @@
+"""Unit and property tests for the tokenized diff engine."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.diff import (
+    TOKEN_WILDCARD,
+    CharRange,
+    NoiseMask,
+    diff_tokens,
+    differing_ranges,
+)
+
+
+class TestCharRange:
+    def test_valid_range(self):
+        r = CharRange(2, 5)
+        assert (r.start, r.end) == (2, 5)
+
+    def test_empty_range_allowed(self):
+        assert CharRange(3, 3).end == 3
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            CharRange(-1, 2)
+
+    def test_inverted_range_rejected(self):
+        with pytest.raises(ValueError):
+            CharRange(5, 2)
+
+
+class TestDifferingRanges:
+    def test_equal_tokens_have_no_ranges(self):
+        assert differing_ranges(b"hello", b"hello") == []
+
+    def test_single_difference(self):
+        assert differing_ranges(b"abc", b"aXc") == [CharRange(1, 2)]
+
+    def test_contiguous_run_collapses(self):
+        assert differing_ranges(b"abcdef", b"aXYZef") == [CharRange(1, 4)]
+
+    def test_multiple_runs(self):
+        assert differing_ranges(b"abcdef", b"Xbcdef"[:6]) == [CharRange(0, 1)]
+        assert differing_ranges(b"abcdef", b"XbcdeY") == [
+            CharRange(0, 1),
+            CharRange(5, 6),
+        ]
+
+    def test_trailing_difference(self):
+        assert differing_ranges(b"abc", b"abX") == [CharRange(2, 3)]
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            differing_ranges(b"ab", b"abc")
+
+    @given(st.binary(min_size=0, max_size=64))
+    def test_identical_inputs_always_empty(self, data):
+        assert differing_ranges(data, data) == []
+
+    @given(st.binary(min_size=1, max_size=64), st.binary(min_size=1, max_size=64))
+    def test_ranges_cover_exactly_the_differences(self, a, b):
+        size = min(len(a), len(b))
+        a, b = a[:size], b[:size]
+        ranges = differing_ranges(a, b)
+        covered = set()
+        for r in ranges:
+            covered.update(range(r.start, r.end))
+        expected = {i for i in range(size) if a[i] != b[i]}
+        assert covered == expected
+
+
+class TestNoiseMask:
+    def test_wildcard_token_is_noise(self):
+        mask = NoiseMask(token_ranges={2: TOKEN_WILDCARD})
+        assert mask.is_noise_token(2)
+        assert not mask.is_noise_token(1)
+
+    def test_tail_marks_everything_beyond(self):
+        mask = NoiseMask(tail_from=3)
+        assert not mask.is_noise_token(2)
+        assert mask.is_noise_token(3)
+        assert mask.is_noise_token(10)
+
+    def test_mask_token_blanks_ranges(self):
+        mask = NoiseMask(token_ranges={0: [CharRange(1, 3)]})
+        assert mask.mask_token(0, b"abcd") == b"a\x00\x00d"
+
+    def test_mask_token_wildcard_empties(self):
+        mask = NoiseMask(token_ranges={0: TOKEN_WILDCARD})
+        assert mask.mask_token(0, b"abcd") == b""
+
+    def test_mask_range_beyond_token_end_is_clamped(self):
+        mask = NoiseMask(token_ranges={0: [CharRange(2, 100)]})
+        assert mask.mask_token(0, b"abcd") == b"ab\x00\x00"
+
+
+class TestDiffTokens:
+    def test_unanimous_streams(self):
+        streams = [[b"a", b"b"], [b"a", b"b"], [b"a", b"b"]]
+        result = diff_tokens(streams)
+        assert not result.divergent
+        assert result.reason == "unanimous"
+
+    def test_single_stream_never_diverges(self):
+        assert not diff_tokens([[b"a"]]).divergent
+
+    def test_token_value_divergence(self):
+        result = diff_tokens([[b"a"], [b"b"]])
+        assert result.divergent
+        assert result.differences[0].token_index == 0
+        assert result.differences[0].values == (b"a", b"b")
+
+    def test_token_count_divergence(self):
+        result = diff_tokens([[b"a"], [b"a", b"extra"]])
+        assert result.divergent
+        assert result.token_counts == (1, 2)
+
+    def test_masked_difference_is_ignored(self):
+        mask = NoiseMask(token_ranges={0: [CharRange(0, 1)]})
+        result = diff_tokens([[b"Xrest"], [b"Yrest"]], mask)
+        assert not result.divergent
+
+    def test_difference_outside_mask_still_detected(self):
+        mask = NoiseMask(token_ranges={0: [CharRange(0, 1)]})
+        result = diff_tokens([[b"Xrest"], [b"YrestZ"]], mask)
+        assert result.divergent
+
+    def test_wildcard_token_ignored(self):
+        mask = NoiseMask(token_ranges={1: TOKEN_WILDCARD})
+        result = diff_tokens([[b"a", b"x"], [b"a", b"y"]], mask)
+        assert not result.divergent
+
+    def test_masked_tail_allows_count_mismatch(self):
+        mask = NoiseMask(tail_from=1)
+        result = diff_tokens([[b"a"], [b"a", b"junk"]], mask)
+        assert not result.divergent
+
+    def test_count_mismatch_before_masked_tail_diverges(self):
+        mask = NoiseMask(tail_from=3)
+        result = diff_tokens([[b"a"], [b"a", b"b"]], mask)
+        assert result.divergent
+
+    def test_max_differences_caps_report(self):
+        streams = [[bytes([i]) for i in range(64)], [bytes([i + 1]) for i in range(64)]]
+        result = diff_tokens(streams, max_differences=4)
+        assert result.divergent
+        assert len(result.differences) == 4
+
+    @given(
+        st.lists(st.binary(min_size=0, max_size=8), min_size=0, max_size=8),
+        st.integers(min_value=2, max_value=5),
+    )
+    def test_identical_streams_never_diverge(self, tokens, n):
+        assert not diff_tokens([list(tokens) for _ in range(n)]).divergent
+
+    @given(st.lists(st.binary(min_size=1, max_size=8), min_size=1, max_size=8))
+    def test_any_single_token_corruption_is_detected(self, tokens):
+        corrupted = list(tokens)
+        corrupted[0] = corrupted[0] + b"\xff"
+        assert diff_tokens([list(tokens), corrupted]).divergent

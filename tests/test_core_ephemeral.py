@@ -1,0 +1,131 @@
+"""Tests for ephemeral-state (CSRF token) handling (section IV-B3)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.ephemeral import EphemeralStateStore
+
+
+def _form_line(token: str) -> bytes:
+    return f"<input type='hidden' name='user_token' value='{token}' />".encode()
+
+
+class TestCapture:
+    def test_captures_equal_length_alnum_tokens(self):
+        store = EphemeralStateStore(instance_count=2)
+        captured = store.capture(
+            [[_form_line("AAAABBBBCCCCDDDD")], [_form_line("EEEEFFFFGGGGHHHH")]]
+        )
+        assert len(captured) == 1
+        assert captured[0].canonical == b"AAAABBBBCCCCDDDD"
+        assert captured[0].per_instance == (b"AAAABBBBCCCCDDDD", b"EEEEFFFFGGGGHHHH")
+
+    def test_short_runs_are_ignored(self):
+        store = EphemeralStateStore(instance_count=2)
+        captured = store.capture([[_form_line("AAA")], [_form_line("BBB")]])
+        assert captured == []
+        assert len(store) == 0
+
+    def test_min_length_is_configurable(self):
+        store = EphemeralStateStore(instance_count=2, min_length=3)
+        captured = store.capture([[_form_line("AAA")], [_form_line("BBB")]])
+        assert len(captured) == 1
+
+    def test_non_alnum_ranges_are_ignored(self):
+        store = EphemeralStateStore(instance_count=2)
+        captured = store.capture(
+            [[b"ptr=0x7ffe!0000!11112222"], [b"ptr=0x8ffe!1111!33334444"]]
+        )
+        # 'x' widens into hex runs but the '!' bytes break candidate runs
+        for binding in captured:
+            assert binding.canonical.isalnum()
+
+    def test_identical_lines_not_captured(self):
+        store = EphemeralStateStore(instance_count=3)
+        captured = store.capture(
+            [[_form_line("SAMESAMESAME")] for _ in range(3)]
+        )
+        assert captured == []
+
+    def test_lines_equal_between_some_instances_not_captured(self):
+        # paper: only lines that differ across *all* instances qualify
+        store = EphemeralStateStore(instance_count=3)
+        captured = store.capture(
+            [
+                [_form_line("AAAABBBBCCCCDDDD")],
+                [_form_line("AAAABBBBCCCCDDDD")],
+                [_form_line("EEEEFFFFGGGGHHHH")],
+            ]
+        )
+        assert captured == []
+
+    def test_length_mismatch_lines_skipped(self):
+        store = EphemeralStateStore(instance_count=2)
+        captured = store.capture([[b"token=" + b"A" * 20], [b"token=" + b"B" * 24]])
+        assert captured == []
+
+    def test_wrong_stream_count_rejected(self):
+        store = EphemeralStateStore(instance_count=3)
+        with pytest.raises(ValueError):
+            store.capture([[b"a"], [b"b"]])
+
+
+class TestRewrite:
+    def _store_with_binding(self) -> EphemeralStateStore:
+        store = EphemeralStateStore(instance_count=2)
+        store.capture(
+            [[_form_line("AAAABBBBCCCCDDDD")], [_form_line("EEEEFFFFGGGGHHHH")]]
+        )
+        return store
+
+    def test_rewrites_for_each_instance(self):
+        store = self._store_with_binding()
+        request = b"POST / HTTP/1.1\r\n\r\ntoken=AAAABBBBCCCCDDDD"
+        assert b"AAAABBBBCCCCDDDD" in store.rewrite_for_instance(request, 0)
+        assert b"EEEEFFFFGGGGHHHH" in store.rewrite_for_instance(request, 1)
+
+    def test_rewrite_preserves_length(self):
+        store = self._store_with_binding()
+        request = b"token=AAAABBBBCCCCDDDD"
+        assert len(store.rewrite_for_instance(request, 1)) == len(request)
+
+    def test_unrelated_data_untouched(self):
+        store = self._store_with_binding()
+        request = b"GET /other HTTP/1.1"
+        assert store.rewrite_for_instance(request, 1) == request
+
+    def test_consume_deletes_used_bindings(self):
+        store = self._store_with_binding()
+        assert len(store) == 1
+        consumed = store.consume_used(b"token=AAAABBBBCCCCDDDD")
+        assert consumed == 1
+        assert len(store) == 0
+
+    def test_consume_ignores_unused(self):
+        store = self._store_with_binding()
+        assert store.consume_used(b"nothing here") == 0
+        assert len(store) == 1
+
+
+@given(
+    st.lists(
+        st.text(alphabet="abcdefghijklmnopqrstuvwxyz0123456789", min_size=12, max_size=12),
+        min_size=3,
+        max_size=3,
+        unique=True,
+    )
+)
+def test_property_round_trip_capture_and_rewrite(tokens):
+    """Whatever equal-length alnum tokens the instances mint, rewriting
+    the canonical token yields each instance's own."""
+    store = EphemeralStateStore(instance_count=3)
+    streams = [[f"value='{t}'".encode()] for t in tokens]
+    captured = store.capture(streams)
+    assert len(captured) == 1
+    canonical = tokens[0].encode()
+    for index, token in enumerate(tokens):
+        rewritten = store.rewrite_for_instance(b"x=" + canonical, index)
+        assert rewritten == b"x=" + token.encode()

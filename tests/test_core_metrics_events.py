@@ -1,0 +1,74 @@
+"""Tests for proxy metrics and the event log."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.events import DIVERGENCE, EXCHANGE_OK, EventLog
+from repro.core.metrics import LatencyHistogram, ProxyMetrics
+
+
+class TestLatencyHistogram:
+    def test_empty_percentile_is_zero(self):
+        assert LatencyHistogram().percentile(99) == 0.0
+
+    def test_single_sample(self):
+        h = LatencyHistogram()
+        h.observe(0.5)
+        assert h.percentile(0) == 0.5
+        assert h.percentile(100) == 0.5
+        assert h.mean == 0.5
+
+    def test_percentile_interpolates(self):
+        h = LatencyHistogram(samples=[0.0, 1.0])
+        assert h.percentile(50) == pytest.approx(0.5)
+
+    def test_percentile_bounds_checked(self):
+        h = LatencyHistogram(samples=[1.0])
+        with pytest.raises(ValueError):
+            h.percentile(101)
+
+    def test_mean_and_count(self):
+        h = LatencyHistogram(samples=[1.0, 2.0, 3.0])
+        assert h.mean == pytest.approx(2.0)
+        assert h.count == 3
+
+
+class TestProxyMetrics:
+    def test_block_rate(self):
+        metrics = ProxyMetrics()
+        assert metrics.block_rate == 0.0
+        metrics.exchanges_total = 10
+        metrics.exchanges_blocked = 3
+        assert metrics.block_rate == pytest.approx(0.3)
+
+
+class TestEventLog:
+    def test_record_and_filter(self):
+        log = EventLog()
+        log.record(EXCHANGE_OK, "fine", proxy="p", exchange=0)
+        log.record(DIVERGENCE, "bad", proxy="p", exchange=1)
+        assert len(log) == 2
+        assert len(log.divergences()) == 1
+        assert log.divergences()[0].detail == "bad"
+        assert len(log.events(EXCHANGE_OK)) == 1
+
+    def test_clear(self):
+        log = EventLog()
+        log.record(DIVERGENCE, "x")
+        log.clear()
+        assert len(log) == 0
+
+    def test_timestamps_monotonic(self):
+        ticks = iter(range(100))
+        log = EventLog(clock=lambda: next(ticks))
+        a = log.record("a", "")
+        b = log.record("b", "")
+        assert b.timestamp > a.timestamp
+
+    def test_empty_log_is_falsy_but_usable(self):
+        # regression guard: proxies must not replace a shared empty log
+        log = EventLog()
+        assert not log  # has __len__, so empty means falsy
+        log.record("kind", "detail")
+        assert log.events("kind")

@@ -1,0 +1,66 @@
+"""Tests for known-variance masking (paper section IV-B4)."""
+
+from __future__ import annotations
+
+from repro.core.diff import diff_tokens
+from repro.core.variance import (
+    HTTP_SERVER_HEADER_RULES,
+    POSTGRES_VERSION_RULES,
+    VarianceMasker,
+    VarianceRule,
+)
+
+
+class TestVarianceRule:
+    def test_rule_compiles_and_substitutes(self):
+        rule = VarianceRule(pattern=r"v\d+\.\d+")
+        masker = VarianceMasker([rule])
+        assert masker.mask_token(b"version v1.2 here") == b"version \x00VARIANT\x00 here"
+
+    def test_custom_replacement(self):
+        rule = VarianceRule(pattern=r"\d+", replacement=b"N")
+        masker = VarianceMasker([rule])
+        assert masker.mask_token(b"abc123def456") == b"abcNdefN"
+
+
+class TestVarianceMasker:
+    def test_no_rules_is_identity(self):
+        masker = VarianceMasker()
+        tokens = [b"a", b"b"]
+        assert masker.mask_stream(tokens) is tokens
+
+    def test_mask_streams_applies_everywhere(self):
+        masker = VarianceMasker([VarianceRule(pattern=r"\d+")])
+        out = masker.mask_streams([[b"x1"], [b"x2"]])
+        assert out[0] == out[1]
+
+    def test_rules_added_incrementally(self):
+        masker = VarianceMasker()
+        masker.add_rule(VarianceRule(pattern=r"foo"))
+        assert masker.mask_token(b"foobar") != b"foobar"
+
+    def test_version_divergence_suppressed_end_to_end(self):
+        """The section V-C2 case: diverse DB vendors differ only in their
+        version banner; with the rule configured, no divergence."""
+        masker = VarianceMasker(POSTGRES_VERSION_RULES)
+        streams = [
+            [b"PostgreSQL 10.7 on x86_64", b"row data"],
+            [b"PostgreSQL 10.9 on x86_64", b"row data"],
+        ]
+        masked = masker.mask_streams(streams)
+        assert not diff_tokens(masked).divergent
+
+    def test_real_divergence_survives_version_rule(self):
+        masker = VarianceMasker(POSTGRES_VERSION_RULES)
+        streams = [
+            [b"PostgreSQL 10.7", b"row data"],
+            [b"PostgreSQL 10.9", b"LEAKED row"],
+        ]
+        masked = masker.mask_streams(streams)
+        assert diff_tokens(masked).divergent
+
+    def test_http_server_header_rule(self):
+        masker = VarianceMasker(HTTP_SERVER_HEADER_RULES)
+        a = masker.mask_token(b"Server: nginx/1.13.2")
+        b = masker.mask_token(b"Server: HAProxy 1.5.3")
+        assert a == b

@@ -1,0 +1,313 @@
+"""Integration tests for the Incoming Request Proxy."""
+
+from __future__ import annotations
+
+import asyncio
+import secrets
+
+import pytest
+
+from repro.apps.echo import EchoServer
+from repro.core.config import RddrConfig
+from repro.core.incoming import IncomingRequestProxy
+from repro.core.variance import VarianceRule
+from repro.protocols import get_protocol
+from repro.transport.retry import open_connection_retry
+from repro.transport.streams import close_writer
+from repro.transport.tls import client_ssl_context, server_ssl_context
+from repro.web import App, HttpClient, html_response, json_response, serve_app
+from tests.helpers import run
+
+
+async def _tcp_exchange(address, line: bytes, timeout: float = 3.0) -> bytes:
+    reader, writer = await open_connection_retry(*address)
+    try:
+        writer.write(line + b"\n")
+        await writer.drain()
+        return await asyncio.wait_for(reader.readline(), timeout)
+    except asyncio.TimeoutError:
+        return b""
+    finally:
+        await close_writer(writer)
+
+
+class TestTcpProxying:
+    def test_identical_instances_pass_through(self):
+        async def main():
+            servers = [await EchoServer().start() for _ in range(3)]
+            proxy = IncomingRequestProxy(
+                [s.address for s in servers],
+                get_protocol("tcp"),
+                RddrConfig(protocol="tcp", exchange_timeout=2.0),
+            )
+            await proxy.start()
+            assert await _tcp_exchange(proxy.address, b"hello") == b"hello\n"
+            assert proxy.metrics.exchanges_total == 1
+            assert proxy.metrics.exchanges_blocked == 0
+            await proxy.close()
+            for s in servers:
+                await s.close()
+
+        run(main())
+
+    def test_divergent_instance_blocks(self):
+        async def main():
+            servers = [
+                await EchoServer().start(),
+                await EchoServer(tag="buggy-v2").start(),
+            ]
+            proxy = IncomingRequestProxy(
+                [s.address for s in servers],
+                get_protocol("tcp"),
+                RddrConfig(protocol="tcp", exchange_timeout=2.0),
+            )
+            await proxy.start()
+            reply = await _tcp_exchange(proxy.address, b"hello")
+            assert reply == b""  # connection closed without data
+            assert proxy.metrics.divergences == 1
+            assert len(proxy.events.divergences()) == 1
+            await proxy.close()
+            for s in servers:
+                await s.close()
+
+        run(main())
+
+    def test_requires_two_instances(self):
+        with pytest.raises(ValueError):
+            IncomingRequestProxy([("127.0.0.1", 1)], get_protocol("tcp"))
+
+    def test_instance_down_blocks_exchange(self):
+        async def main():
+            live = await EchoServer().start()
+            dead = await EchoServer().start()
+            proxy = IncomingRequestProxy(
+                [live.address, dead.address],
+                get_protocol("tcp"),
+                RddrConfig(protocol="tcp", exchange_timeout=1.0),
+            )
+            await proxy.start()
+            await dead.close()  # dies after the proxy learned its address
+            reply = await _tcp_exchange(proxy.address, b"hi")
+            assert reply == b""
+            await proxy.close()
+            await live.close()
+
+        run(main())
+
+    def test_timeout_counts_as_divergence(self):
+        async def main():
+            from repro.transport.server import start_server
+
+            async def silent(reader, writer):
+                await reader.readline()
+                await asyncio.sleep(30)  # never answers
+
+            echo = await EchoServer().start()
+            stuck = await start_server(silent)
+            proxy = IncomingRequestProxy(
+                [echo.address, stuck.address],
+                get_protocol("tcp"),
+                RddrConfig(protocol="tcp", exchange_timeout=0.3),
+            )
+            await proxy.start()
+            reply = await _tcp_exchange(proxy.address, b"hi")
+            assert reply == b""
+            assert proxy.metrics.timeouts == 1
+            await proxy.close()
+            await echo.close()
+            await stuck.close()
+
+        run(main())
+
+    def test_multiple_sequential_exchanges(self):
+        async def main():
+            servers = [await EchoServer().start() for _ in range(2)]
+            proxy = IncomingRequestProxy(
+                [s.address for s in servers],
+                get_protocol("tcp"),
+                RddrConfig(protocol="tcp", exchange_timeout=2.0),
+            )
+            await proxy.start()
+            reader, writer = await open_connection_retry(*proxy.address)
+            for i in range(10):
+                writer.write(f"msg {i}\n".encode())
+                await writer.drain()
+                assert await reader.readline() == f"msg {i}\n".encode()
+            await close_writer(writer)
+            assert proxy.metrics.exchanges_total == 10
+            assert proxy.metrics.latency.count == 10
+            await proxy.close()
+            for s in servers:
+                await s.close()
+
+        run(main())
+
+
+def _version_app(version: int) -> App:
+    app = App(f"v{version}")
+
+    @app.route("/data")
+    async def data(ctx):
+        return json_response({"value": 42})
+
+    @app.route("/banner")
+    async def banner(ctx):
+        return json_response({"server": f"app/{version}.0"})
+
+    @app.route("/leak")
+    async def leak(ctx):
+        payload = {"value": 42}
+        if version == 2:
+            payload["secret"] = "internal-key-123"
+        return json_response(payload)
+
+    @app.route("/random")
+    async def random_page(ctx):
+        return html_response(f"<p>sid={secrets.token_hex(8)}</p>")
+
+    return app
+
+
+class TestHttpProxying:
+    def test_benign_forwarded_with_canonical_bytes(self):
+        async def main():
+            servers = [await serve_app(_version_app(1)) for _ in range(2)]
+            proxy = IncomingRequestProxy(
+                [s.address for s in servers],
+                get_protocol("http"),
+                RddrConfig(protocol="http", exchange_timeout=2.0),
+            )
+            await proxy.start()
+            async with HttpClient(*proxy.address) as client:
+                response = await client.get("/data")
+            assert response.status == 200
+            assert response.body == b'{"value":42}'
+            await proxy.close()
+            for s in servers:
+                await s.close()
+
+        run(main())
+
+    def test_leaking_version_blocked(self):
+        async def main():
+            servers = [await serve_app(_version_app(v)) for v in (1, 2)]
+            proxy = IncomingRequestProxy(
+                [s.address for s in servers],
+                get_protocol("http"),
+                RddrConfig(protocol="http", exchange_timeout=2.0),
+            )
+            await proxy.start()
+            async with HttpClient(*proxy.address) as client:
+                response = await client.get("/leak")
+            assert response.status == 403
+            assert b"internal-key-123" not in response.body
+            await proxy.close()
+            for s in servers:
+                await s.close()
+
+        run(main())
+
+    def test_variance_rule_suppresses_banner_difference(self):
+        async def main():
+            servers = [await serve_app(_version_app(v)) for v in (1, 2)]
+            config = RddrConfig(
+                protocol="http",
+                exchange_timeout=2.0,
+                variance_rules=[VarianceRule(pattern=r"app/\d+\.\d+")],
+            )
+            proxy = IncomingRequestProxy(
+                [s.address for s in servers], get_protocol("http"), config
+            )
+            await proxy.start()
+            async with HttpClient(*proxy.address) as client:
+                response = await client.get("/banner")
+            assert response.status == 200
+            assert b"app/1.0" in response.body  # canonical instance's bytes
+            await proxy.close()
+            for s in servers:
+                await s.close()
+
+        run(main())
+
+    def test_filter_pair_absorbs_nondeterminism(self):
+        async def main():
+            servers = [await serve_app(_version_app(1)) for _ in range(3)]
+            config = RddrConfig(
+                protocol="http", exchange_timeout=2.0, filter_pair=(0, 1)
+            )
+            proxy = IncomingRequestProxy(
+                [s.address for s in servers], get_protocol("http"), config
+            )
+            await proxy.start()
+            async with HttpClient(*proxy.address) as client:
+                for _ in range(20):
+                    response = await client.get("/random")
+                    assert response.status == 200
+            assert proxy.metrics.divergences == 0
+            await proxy.close()
+            for s in servers:
+                await s.close()
+
+        run(main())
+
+    def test_without_filter_pair_nondeterminism_blocks(self):
+        """Ablation: the same nondeterministic app without a filter pair
+        is unusable — every exchange diverges."""
+
+        async def main():
+            servers = [await serve_app(_version_app(1)) for _ in range(2)]
+            config = RddrConfig(
+                protocol="http", exchange_timeout=2.0, ephemeral_state=False
+            )
+            proxy = IncomingRequestProxy(
+                [s.address for s in servers], get_protocol("http"), config
+            )
+            await proxy.start()
+            async with HttpClient(*proxy.address) as client:
+                response = await client.get("/random")
+            assert response.status == 403
+            await proxy.close()
+            for s in servers:
+                await s.close()
+
+        run(main())
+
+    def test_tls_termination(self):
+        async def main():
+            servers = [await serve_app(_version_app(1)) for _ in range(2)]
+            proxy = IncomingRequestProxy(
+                [s.address for s in servers],
+                get_protocol("http"),
+                RddrConfig(protocol="http", exchange_timeout=2.0),
+                server_ssl=server_ssl_context(),
+            )
+            await proxy.start()
+            async with HttpClient(
+                *proxy.address, ssl_context=client_ssl_context()
+            ) as client:
+                response = await client.get("/data")
+            assert response.status == 200
+            await proxy.close()
+            for s in servers:
+                await s.close()
+
+        run(main())
+
+    def test_metrics_account_bytes(self):
+        async def main():
+            servers = [await serve_app(_version_app(1)) for _ in range(2)]
+            proxy = IncomingRequestProxy(
+                [s.address for s in servers],
+                get_protocol("http"),
+                RddrConfig(protocol="http", exchange_timeout=2.0),
+            )
+            await proxy.start()
+            async with HttpClient(*proxy.address) as client:
+                await client.get("/data")
+            assert proxy.metrics.bytes_from_clients > 0
+            assert proxy.metrics.bytes_to_clients > 0
+            await proxy.close()
+            for s in servers:
+                await s.close()
+
+        run(main())

@@ -1,0 +1,118 @@
+"""Tests for cluster-managed N-versioned deployments."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import RddrConfig
+from repro.orchestrator import Cluster, deploy_nversioned, parse_backend_env
+from repro.pgwire import PgClient, PgWireServer, serve_database
+from repro.sqlengine import Database
+from repro.vendors import create_postsim
+from repro.web import App, HttpClient, json_response
+from repro.web.server import HttpServer
+from tests.helpers import run
+
+
+def _pg_factory(version: str):
+    async def factory(ctx):
+        server = PgWireServer(create_postsim(version), host=ctx.host, port=ctx.port)
+        await server.start()
+        return server
+
+    return factory
+
+
+class TestDeployNVersioned:
+    def test_incoming_only_service(self):
+        async def main():
+            async with Cluster() as cluster:
+                service = await deploy_nversioned(
+                    cluster,
+                    "db",
+                    [_pg_factory("13.0"), _pg_factory("13.0")],
+                    config=RddrConfig(protocol="pgwire", exchange_timeout=2.0),
+                )
+                async with await PgClient.connect(*service.address) as client:
+                    outcome = await client.query("SELECT 1 + 1")
+                assert outcome.rows == [["2"]]
+                assert len(service.pods) == 2
+                await service.close()
+
+        run(main())
+
+    def test_backend_addresses_injected_per_instance(self):
+        async def main():
+            backend_db = Database()
+            backend_db.execute("CREATE TABLE t (v text); INSERT INTO t VALUES ('shared')")
+            backend = await serve_database(backend_db)
+
+            def api_factory():
+                async def factory(ctx):
+                    db_address = parse_backend_env(ctx, "database")
+                    app = App(f"api-{ctx.index}")
+
+                    @app.route("/value")
+                    async def value(ctx2):
+                        client = await PgClient.connect(*db_address)
+                        try:
+                            outcome = await client.query("SELECT v FROM t")
+                            return json_response({"v": outcome.rows[0][0]})
+                        finally:
+                            await client.close()
+
+                    server = HttpServer(app, host=ctx.host, port=ctx.port)
+                    await server.start()
+                    return server
+
+                return factory
+
+            async with Cluster() as cluster:
+                service = await deploy_nversioned(
+                    cluster,
+                    "api",
+                    [api_factory(), api_factory()],
+                    config=RddrConfig(protocol="http", exchange_timeout=3.0),
+                    backends={"database": backend.address},
+                    backend_protocol="pgwire",
+                )
+                # each instance got a *different* outgoing-proxy port
+                proxy = service.rddr.outgoing["database"]
+                assert proxy.address_for_instance(0) != proxy.address_for_instance(1)
+                # and the whole chain works end to end
+                async with HttpClient(*service.address) as client:
+                    response = await client.get("/value")
+                assert response.status == 200
+                assert b'"v":"shared"' in response.body
+                await service.close()
+            await backend.close()
+
+        run(main())
+
+    def test_requires_two_factories(self):
+        async def main():
+            async with Cluster() as cluster:
+                with pytest.raises(ValueError):
+                    await deploy_nversioned(
+                        cluster, "x", [_pg_factory("13.0")],
+                        config=RddrConfig(protocol="pgwire"),
+                    )
+
+        run(main())
+
+    def test_failed_pod_startup_cleans_up(self):
+        async def main():
+            async def broken(ctx):
+                raise RuntimeError("image pull backoff")
+
+            async with Cluster() as cluster:
+                with pytest.raises(RuntimeError):
+                    await deploy_nversioned(
+                        cluster,
+                        "broken",
+                        [_pg_factory("13.0"), broken],
+                        config=RddrConfig(protocol="pgwire"),
+                    )
+                assert "broken" not in cluster.deployments()
+
+        run(main())

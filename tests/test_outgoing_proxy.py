@@ -1,0 +1,269 @@
+"""Integration tests for the Outgoing Request Proxy."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.core.config import RddrConfig
+from repro.core.outgoing import OutgoingRequestProxy
+from repro.pgwire import PgClient, serve_database
+from repro.protocols import get_protocol
+from repro.sqlengine import Database
+from tests.helpers import run
+
+
+def _backend() -> Database:
+    db = Database()
+    db.execute(
+        "CREATE TABLE kv (k text, v text);"
+        "INSERT INTO kv VALUES ('a', '1'), ('b', '2');"
+    )
+    return db
+
+
+async def _instance_query(address, sql: str):
+    client = await PgClient.connect(*address)
+    try:
+        return await client.query(sql)
+    finally:
+        await client.close()
+
+
+class TestGrouping:
+    def test_identical_requests_merge_to_one_backend_query(self):
+        async def main():
+            db = _backend()
+            backend = await serve_database(db)
+            proxy = OutgoingRequestProxy(
+                backend.address,
+                2,
+                get_protocol("pgwire"),
+                RddrConfig(protocol="pgwire", exchange_timeout=2.0),
+            )
+            await proxy.start()
+            work_before = db.total_work.rows_returned
+            sql = "SELECT v FROM kv WHERE k = 'a'"
+            results = await asyncio.gather(
+                _instance_query(proxy.address_for_instance(0), sql),
+                _instance_query(proxy.address_for_instance(1), sql),
+            )
+            # both instances saw the same answer...
+            assert [r.rows for r in results] == [[["1"]], [["1"]]]
+            # ...produced by a single backend execution (the "merge")
+            assert db.total_work.rows_returned == work_before + 1
+            await proxy.close()
+            await backend.close()
+
+        run(main())
+
+    def test_divergent_requests_blocked(self):
+        async def main():
+            backend = await serve_database(_backend())
+            proxy = OutgoingRequestProxy(
+                backend.address,
+                2,
+                get_protocol("pgwire"),
+                RddrConfig(protocol="pgwire", exchange_timeout=1.0),
+            )
+            await proxy.start()
+            results = await asyncio.gather(
+                _instance_query(proxy.address_for_instance(0), "SELECT v FROM kv WHERE k = 'a'"),
+                _instance_query(proxy.address_for_instance(1), "SELECT v FROM kv WHERE k = 'b'"),
+                return_exceptions=True,
+            )
+            assert all(isinstance(r, Exception) for r in results)
+            assert len(proxy.events.divergences()) >= 1
+            await proxy.close()
+            await backend.close()
+
+        run(main())
+
+    def test_missing_instance_request_times_out_as_divergence(self):
+        """The smuggling signature: one instance issues a call its peers
+        never make."""
+
+        async def main():
+            backend = await serve_database(_backend())
+            proxy = OutgoingRequestProxy(
+                backend.address,
+                2,
+                get_protocol("pgwire"),
+                RddrConfig(protocol="pgwire", exchange_timeout=0.5),
+            )
+            await proxy.start()
+
+            async def chatty():
+                client = await PgClient.connect(*proxy.address_for_instance(0))
+                try:
+                    await client.query("SELECT v FROM kv WHERE k = 'a'")
+                    # second query that instance 1 will never send
+                    await client.query("SELECT v FROM kv WHERE k = 'b'")
+                finally:
+                    await client.close()
+
+            async def quiet():
+                client = await PgClient.connect(*proxy.address_for_instance(1))
+                try:
+                    await client.query("SELECT v FROM kv WHERE k = 'a'")
+                    await asyncio.sleep(1.2)  # stays connected, stays silent
+                finally:
+                    await client.close()
+
+            results = await asyncio.gather(chatty(), quiet(), return_exceptions=True)
+            assert any(isinstance(r, Exception) for r in results)
+            assert proxy.metrics.timeouts >= 1
+            await proxy.close()
+            await backend.close()
+
+        run(main())
+
+    def test_incomplete_group_times_out(self):
+        async def main():
+            backend = await serve_database(_backend())
+            proxy = OutgoingRequestProxy(
+                backend.address,
+                2,
+                get_protocol("pgwire"),
+                RddrConfig(protocol="pgwire", exchange_timeout=0.4),
+            )
+            await proxy.start()
+            # only instance 0 ever connects
+            with pytest.raises(Exception):
+                await _instance_query(
+                    proxy.address_for_instance(0), "SELECT v FROM kv WHERE k = 'a'"
+                )
+            assert proxy.metrics.timeouts >= 1
+            await proxy.close()
+            await backend.close()
+
+        run(main())
+
+    def test_multiple_groups_are_independent(self):
+        async def main():
+            backend = await serve_database(_backend())
+            proxy = OutgoingRequestProxy(
+                backend.address,
+                2,
+                get_protocol("pgwire"),
+                RddrConfig(protocol="pgwire", exchange_timeout=2.0),
+            )
+            await proxy.start()
+            sql = "SELECT v FROM kv WHERE k = 'b'"
+            for _ in range(3):  # three successive connection groups
+                results = await asyncio.gather(
+                    _instance_query(proxy.address_for_instance(0), sql),
+                    _instance_query(proxy.address_for_instance(1), sql),
+                )
+                assert [r.rows for r in results] == [[["2"]], [["2"]]]
+            await proxy.close()
+            await backend.close()
+
+        run(main())
+
+    def test_filter_pair_masks_nondeterministic_requests(self):
+        async def main():
+            backend = await serve_database(_backend())
+            proxy = OutgoingRequestProxy(
+                backend.address,
+                3,
+                get_protocol("pgwire"),
+                RddrConfig(protocol="pgwire", exchange_timeout=2.0, filter_pair=(0, 1)),
+            )
+            await proxy.start()
+            # each instance embeds its own random-ish token of equal length
+            sqls = [
+                "SELECT v FROM kv WHERE k = 'a' AND 'r1111' = 'r1111'",
+                "SELECT v FROM kv WHERE k = 'a' AND 'r2222' = 'r2222'",
+                "SELECT v FROM kv WHERE k = 'a' AND 'r3333' = 'r3333'",
+            ]
+            results = await asyncio.gather(
+                *(
+                    _instance_query(proxy.address_for_instance(i), sqls[i])
+                    for i in range(3)
+                )
+            )
+            assert all(r.ok for r in results)
+            assert len(proxy.events.divergences()) == 0
+            await proxy.close()
+            await backend.close()
+
+        run(main())
+
+    def test_requires_two_instances(self):
+        with pytest.raises(ValueError):
+            OutgoingRequestProxy(("127.0.0.1", 1), 1, get_protocol("pgwire"))
+
+
+class TestHttpOutgoing:
+    """The outgoing proxy speaking HTTP (instances calling a REST backend)."""
+
+    def test_http_requests_merge_and_fan_out(self):
+        async def main():
+            from repro.web import App, HttpClient, json_response, serve_app
+
+            calls = {"count": 0}
+            app = App("backend-api")
+
+            @app.route("/quota")
+            async def quota(ctx):
+                calls["count"] += 1
+                return json_response({"remaining": 7})
+
+            backend = await serve_app(app)
+            proxy = OutgoingRequestProxy(
+                backend.address,
+                2,
+                get_protocol("http"),
+                RddrConfig(protocol="http", exchange_timeout=2.0),
+            )
+            await proxy.start()
+
+            async def instance(i: int):
+                async with HttpClient(*proxy.address_for_instance(i)) as client:
+                    return await client.get("/quota")
+
+            responses = await asyncio.gather(instance(0), instance(1))
+            assert [r.status for r in responses] == [200, 200]
+            assert all(r.body == b'{"remaining":7}' for r in responses)
+            assert calls["count"] == 1  # merged into one backend call
+            await proxy.close()
+            await backend.close()
+
+        run(main())
+
+    def test_divergent_http_requests_blocked(self):
+        async def main():
+            from repro.web import App, HttpClient, json_response, serve_app
+
+            app = App("backend-api")
+
+            @app.route("/data/<key>")
+            async def data(ctx):
+                return json_response({"key": ctx.path_params["key"]})
+
+            backend = await serve_app(app)
+            proxy = OutgoingRequestProxy(
+                backend.address,
+                2,
+                get_protocol("http"),
+                RddrConfig(protocol="http", exchange_timeout=1.0),
+            )
+            await proxy.start()
+
+            async def instance(i: int, path: str):
+                async with HttpClient(*proxy.address_for_instance(i)) as client:
+                    return await client.get(path)
+
+            results = await asyncio.gather(
+                instance(0, "/data/expected"),
+                instance(1, "/data/EXFILTRATED-SECRET"),
+                return_exceptions=True,
+            )
+            assert all(isinstance(r, Exception) for r in results)
+            assert len(proxy.events.divergences()) >= 1
+            await proxy.close()
+            await backend.close()
+
+        run(main())

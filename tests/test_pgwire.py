@@ -1,0 +1,239 @@
+"""Tests for the PostgreSQL wire protocol codec, server, and client."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.pgwire import messages as wire
+from repro.pgwire.client import PgClient, PgError
+from repro.pgwire.server import serve_database
+from repro.sqlengine import Database
+from repro.transport.retry import open_connection_retry
+from repro.transport.streams import close_writer
+from tests.helpers import run
+
+
+class TestCodec:
+    def test_startup_round_trip(self):
+        async def main():
+            message = wire.StartupMessage({"user": "bob", "database": "db"})
+            reader = asyncio.StreamReader()
+            reader.feed_data(message.encode())
+            parsed = await wire.read_startup(reader)
+            assert isinstance(parsed, wire.StartupMessage)
+            assert parsed.parameters == {"user": "bob", "database": "db"}
+
+        run(main())
+
+    def test_ssl_request_detected(self):
+        async def main():
+            reader = asyncio.StreamReader()
+            reader.feed_data(wire.SslRequest().encode())
+            parsed = await wire.read_startup(reader)
+            assert isinstance(parsed, wire.SslRequest)
+
+        run(main())
+
+    def test_typed_message_round_trip(self):
+        async def main():
+            message = wire.query_message("SELECT 1")
+            reader = asyncio.StreamReader()
+            reader.feed_data(message.encode())
+            parsed = await wire.read_message(reader)
+            assert parsed.tag == b"Q"
+            assert wire.parse_query(parsed) == "SELECT 1"
+
+        run(main())
+
+    def test_row_description_round_trip(self):
+        fields = [wire.FieldDescription("id", 23), wire.FieldDescription("name", 25)]
+        parsed = wire.parse_row_description(wire.row_description(fields))
+        assert [(f.name, f.type_oid) for f in parsed] == [("id", 23), ("name", 25)]
+
+    def test_data_row_round_trip_with_null(self):
+        values = ["x", None, "42"]
+        assert wire.parse_data_row(wire.data_row(values)) == values
+
+    def test_error_fields_round_trip(self):
+        message = wire.error_response("ERROR", "42P01", "no such relation")
+        fields = wire.parse_fields(message)
+        assert fields.severity == "ERROR"
+        assert fields.sqlstate == "42P01"
+        assert fields.message == "no such relation"
+
+    def test_split_messages(self):
+        blob = (
+            wire.command_complete("SELECT 1").encode()
+            + wire.ready_for_query().encode()
+        )
+        messages, tail = wire.split_messages(blob)
+        assert [m.tag for m in messages] == [b"C", b"Z"]
+        assert tail == b""
+
+    def test_split_messages_partial_tail(self):
+        blob = wire.ready_for_query().encode()
+        messages, tail = wire.split_messages(blob + b"D\x00\x00")
+        assert len(messages) == 1
+        assert tail == b"D\x00\x00"
+
+    def test_split_rejects_bad_length(self):
+        with pytest.raises(wire.ProtocolError):
+            wire.split_messages(b"Q\x00\x00\x00\x01")
+
+    @given(st.lists(st.one_of(st.none(), st.text(max_size=32)), max_size=8))
+    def test_property_data_row_round_trip(self, values):
+        assert wire.parse_data_row(wire.data_row(values)) == values
+
+    @given(st.text(alphabet=st.characters(codec="utf-8", blacklist_characters="\x00"), max_size=64))
+    def test_property_query_round_trip(self, sql):
+        assert wire.parse_query(wire.query_message(sql)) == sql
+
+
+class TestServerClient:
+    def test_query_cycle(self):
+        async def main():
+            db = Database()
+            server = await serve_database(db)
+            async with await PgClient.connect(*server.address) as client:
+                outcome = await client.query("SELECT 1 + 1")
+                assert outcome.ok
+                assert outcome.rows == [["2"]]
+            await server.close()
+
+        run(main())
+
+    def test_multi_statement_script(self):
+        async def main():
+            db = Database()
+            server = await serve_database(db)
+            async with await PgClient.connect(*server.address) as client:
+                outcome = await client.query(
+                    "CREATE TABLE t (a int); INSERT INTO t VALUES (1); SELECT a FROM t"
+                )
+                assert [r.command_tag for r in outcome.results] == [
+                    "CREATE TABLE",
+                    "INSERT 0 1",
+                    "SELECT 1",
+                ]
+            await server.close()
+
+        run(main())
+
+    def test_error_response(self):
+        async def main():
+            db = Database()
+            server = await serve_database(db)
+            async with await PgClient.connect(*server.address) as client:
+                outcome = await client.query("SELECT * FROM missing")
+                assert not outcome.ok
+                assert outcome.error.sqlstate == "42P01"
+                # the connection survives: the next query works
+                assert (await client.query("SELECT 1")).ok
+            await server.close()
+
+        run(main())
+
+    def test_notices_delivered(self):
+        async def main():
+            db = Database()
+            server = await serve_database(db)
+            async with await PgClient.connect(*server.address) as client:
+                await client.query(
+                    "CREATE FUNCTION n() RETURNS int AS "
+                    "'BEGIN RAISE NOTICE ''hi''; RETURN 1; END' LANGUAGE plpgsql"
+                )
+                outcome = await client.query("SELECT n()")
+                assert [n.message for n in outcome.notices] == ["hi"]
+            await server.close()
+
+        run(main())
+
+    def test_notices_suppressed_by_setting(self):
+        async def main():
+            db = Database()
+            server = await serve_database(db)
+            async with await PgClient.connect(*server.address) as client:
+                await client.query(
+                    "CREATE FUNCTION n() RETURNS int AS "
+                    "'BEGIN RAISE NOTICE ''hi''; RETURN 1; END' LANGUAGE plpgsql"
+                )
+                await client.query("SET client_min_messages TO 'error'")
+                outcome = await client.query("SELECT n()")
+                assert outcome.notices == []
+            await server.close()
+
+        run(main())
+
+    def test_session_user_from_startup(self):
+        async def main():
+            db = Database()
+            db.execute("CREATE TABLE t (a int); CREATE USER eve;")
+            server = await serve_database(db)
+            async with await PgClient.connect(*server.address, user="eve") as client:
+                outcome = await client.query("SELECT * FROM t")
+                assert outcome.error is not None  # eve lacks SELECT
+                assert outcome.error.sqlstate == "42501"
+            await server.close()
+
+        run(main())
+
+    def test_ssl_request_refused_then_plaintext(self):
+        async def main():
+            db = Database()
+            server = await serve_database(db)
+            reader, writer = await open_connection_retry(*server.address)
+            writer.write(wire.SslRequest().encode())
+            await writer.drain()
+            assert await reader.readexactly(1) == b"N"
+            writer.write(wire.StartupMessage({"user": "postgres"}).encode())
+            await writer.drain()
+            message = await wire.read_message(reader)
+            assert message.tag == b"R"  # AuthenticationOk
+            await close_writer(writer)
+            await server.close()
+
+        run(main())
+
+    def test_empty_query(self):
+        async def main():
+            db = Database()
+            server = await serve_database(db)
+            async with await PgClient.connect(*server.address) as client:
+                outcome = await client.query("   ")
+                assert outcome.results[0].command_tag == "EMPTY"
+            await server.close()
+
+        run(main())
+
+    def test_server_version_parameter(self):
+        async def main():
+            from repro.vendors import create_postsim
+
+            server = await serve_database(create_postsim("10.7"))
+            client = await PgClient.connect(*server.address)
+            assert client.parameters["server_version"] == "10.7"
+            await client.close()
+            await server.close()
+
+        run(main())
+
+    def test_concurrent_clients(self):
+        async def main():
+            db = Database()
+            db.execute("CREATE TABLE t (a int); INSERT INTO t VALUES (1)")
+            server = await serve_database(db)
+
+            async def one(i: int) -> str:
+                async with await PgClient.connect(*server.address) as client:
+                    outcome = await client.query("SELECT a FROM t")
+                    return outcome.rows[0][0]
+
+            results = await asyncio.gather(*(one(i) for i in range(16)))
+            assert results == ["1"] * 16
+            await server.close()
+
+        run(main())

@@ -1,0 +1,184 @@
+"""Tests for the pgwire extended-query protocol (Parse/Bind/Execute/Sync)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import RddrConfig
+from repro.core.incoming import IncomingRequestProxy
+from repro.pgwire import PgClient, serve_database
+from repro.pgwire.server import substitute_params
+from repro.protocols import get_protocol
+from repro.sqlengine import Database
+from tests.helpers import run
+
+
+class TestSubstituteParams:
+    def test_basic_substitution(self):
+        assert (
+            substitute_params("SELECT * FROM t WHERE a = $1 AND b = $2", ["x", "2"])
+            == "SELECT * FROM t WHERE a = 'x' AND b = '2'"
+        )
+
+    def test_null_parameter(self):
+        assert substitute_params("SELECT $1", [None]) == "SELECT NULL"
+
+    def test_quote_escaping_blocks_injection(self):
+        sql = substitute_params("SELECT * FROM t WHERE a = $1", ["' OR '1'='1"])
+        assert sql == "SELECT * FROM t WHERE a = ''' OR ''1''=''1'"
+
+    def test_placeholder_inside_literal_untouched(self):
+        assert substitute_params("SELECT '$1'", ["x"]) == "SELECT '$1'"
+
+    def test_repeated_and_multidigit(self):
+        sql = substitute_params(
+            "SELECT $1, $1, $10", [str(i) for i in range(1, 11)]
+        )
+        assert sql == "SELECT '1', '1', '10'"
+
+    def test_missing_parameter_rejected(self):
+        with pytest.raises(ValueError):
+            substitute_params("SELECT $2", ["only-one"])
+
+
+def _db() -> Database:
+    db = Database()
+    db.execute(
+        "CREATE TABLE accounts (aid integer PRIMARY KEY, abalance integer);"
+        "INSERT INTO accounts VALUES (1, 10), (2, 20), (3, 30);"
+    )
+    return db
+
+
+class TestExtendedQueryCycle:
+    def test_prepared_select(self):
+        async def main():
+            server = await serve_database(_db())
+            async with await PgClient.connect(*server.address) as client:
+                outcome = await client.execute_prepared(
+                    "SELECT abalance FROM accounts WHERE aid = $1", ["2"]
+                )
+                assert outcome.ok
+                assert outcome.rows == [["20"]]
+            await server.close()
+
+        run(main())
+
+    def test_prepared_insert_then_simple_query(self):
+        async def main():
+            server = await serve_database(_db())
+            async with await PgClient.connect(*server.address) as client:
+                outcome = await client.execute_prepared(
+                    "INSERT INTO accounts VALUES ($1, $2)", ["4", "40"]
+                )
+                assert outcome.results[0].command_tag == "INSERT 0 1"
+                # simple and extended protocols interleave cleanly
+                simple = await client.query("SELECT count(*) FROM accounts")
+                assert simple.rows == [["4"]]
+            await server.close()
+
+        run(main())
+
+    def test_null_parameter_round_trip(self):
+        async def main():
+            server = await serve_database(_db())
+            async with await PgClient.connect(*server.address) as client:
+                outcome = await client.execute_prepared(
+                    "SELECT count(*) FROM accounts WHERE abalance = $1", [None]
+                )
+                assert outcome.rows == [["0"]]  # = NULL matches nothing
+            await server.close()
+
+        run(main())
+
+    def test_parameter_cannot_inject(self):
+        async def main():
+            server = await serve_database(_db())
+            async with await PgClient.connect(*server.address) as client:
+                outcome = await client.execute_prepared(
+                    "SELECT abalance FROM accounts WHERE aid = $1", ["1 OR 1=1"]
+                )
+                assert outcome.ok
+                assert outcome.rows == []  # treated as one (non-numeric) value
+            await server.close()
+
+        run(main())
+
+    def test_error_in_pipeline_reported_and_recovers(self):
+        async def main():
+            server = await serve_database(_db())
+            async with await PgClient.connect(*server.address) as client:
+                outcome = await client.execute_prepared(
+                    "SELECT * FROM missing WHERE x = $1", ["1"]
+                )
+                assert outcome.error is not None
+                assert outcome.error.sqlstate == "42P01"
+                # connection recovers after Sync
+                again = await client.execute_prepared(
+                    "SELECT aid FROM accounts WHERE aid = $1", ["3"]
+                )
+                assert again.rows == [["3"]]
+            await server.close()
+
+        run(main())
+
+
+class TestExtendedThroughRddr:
+    def test_prepared_statements_replicate_and_diff(self):
+        async def main():
+            servers = [await serve_database(_db()) for _ in range(2)]
+            proxy = IncomingRequestProxy(
+                [s.address for s in servers],
+                get_protocol("pgwire"),
+                RddrConfig(protocol="pgwire", exchange_timeout=2.0),
+            )
+            await proxy.start()
+            async with await PgClient.connect(*proxy.address) as client:
+                outcome = await client.execute_prepared(
+                    "SELECT abalance FROM accounts WHERE aid = $1", ["2"]
+                )
+                assert outcome.ok
+                assert outcome.rows == [["20"]]
+                # writes replicate to every instance
+                await client.execute_prepared(
+                    "UPDATE accounts SET abalance = $1 WHERE aid = $2", ["99", "1"]
+                )
+            for server in servers:
+                assert (
+                    server.database.query(
+                        "SELECT abalance FROM accounts WHERE aid = 1"
+                    ).scalar()
+                    == 99
+                )
+            assert proxy.metrics.divergences == 0
+            await proxy.close()
+            for server in servers:
+                await server.close()
+
+        run(main())
+
+    def test_divergent_prepared_responses_blocked(self):
+        async def main():
+            diverged = _db()
+            diverged.execute("UPDATE accounts SET abalance = 12345 WHERE aid = 2")
+            servers = [await serve_database(_db()), await serve_database(diverged)]
+            proxy = IncomingRequestProxy(
+                [s.address for s in servers],
+                get_protocol("pgwire"),
+                RddrConfig(protocol="pgwire", exchange_timeout=2.0),
+            )
+            await proxy.start()
+            client = await PgClient.connect(*proxy.address)
+            with pytest.raises(Exception):
+                outcome = await client.execute_prepared(
+                    "SELECT abalance FROM accounts WHERE aid = $1", ["2"]
+                )
+                assert outcome.error is not None and "RDDR" in outcome.error.message
+                raise ConnectionError("blocked")  # either path counts
+            assert len(proxy.events.divergences()) == 1
+            await client.close()
+            await proxy.close()
+            for server in servers:
+                await server.close()
+
+        run(main())

@@ -1,0 +1,234 @@
+"""Tests for the protocol modules (framing + tokenization)."""
+
+from __future__ import annotations
+
+import asyncio
+import gzip
+import json
+
+import pytest
+
+from repro.pgwire import messages as wire
+from repro.protocols import get_protocol, registry
+from repro.protocols.base import ProtocolModule
+from repro.web.http11 import HeaderMap, Response, serialize_response
+from tests.helpers import run
+
+
+def _feed(data: bytes) -> asyncio.StreamReader:
+    reader = asyncio.StreamReader()
+    reader.feed_data(data)
+    reader.feed_eof()
+    return reader
+
+
+class TestRegistry:
+    def test_known_protocols(self):
+        assert set(registry.names()) >= {"tcp", "http", "json", "pgwire"}
+
+    def test_unknown_protocol(self):
+        with pytest.raises(KeyError, match="unknown protocol"):
+            get_protocol("gopher")
+
+    def test_custom_registration(self):
+        @registry.register
+        class FakeProtocol(ProtocolModule):
+            name = "fake-proto"
+
+            async def read_client_message(self, reader, state):
+                return None
+
+            async def read_server_message(self, reader, state, request):
+                return b""
+
+            def tokenize(self, message):
+                return [message]
+
+            def block_response(self, message):
+                return b""
+
+        assert isinstance(get_protocol("fake-proto"), FakeProtocol)
+
+
+class TestTcpProtocol:
+    def test_line_framing(self):
+        async def main():
+            protocol = get_protocol("tcp")
+            state = protocol.new_connection_state()
+            reader = _feed(b"first line\nsecond line\n")
+            assert await protocol.read_client_message(reader, state) == b"first line\n"
+            assert await protocol.read_client_message(reader, state) == b"second line\n"
+            assert await protocol.read_client_message(reader, state) is None
+
+        run(main())
+
+    def test_tokenize_splits_fields(self):
+        protocol = get_protocol("tcp")
+        assert protocol.tokenize(b"a b c\n") == [b"a", b"b", b"c"]
+
+    def test_block_response_is_silent_close(self):
+        assert get_protocol("tcp").block_response("x") == b""
+
+
+class TestJsonProtocol:
+    def test_tokenize_canonicalizes_key_order(self):
+        protocol = get_protocol("json")
+        a = protocol.tokenize(b'{"b": 1, "a": 2}\n')
+        b = protocol.tokenize(b'{"a": 2, "b": 1}\n')
+        assert a == b
+
+    def test_tokenize_whitespace_insensitive(self):
+        protocol = get_protocol("json")
+        assert protocol.tokenize(b'{ "k" : 1 }\n') == protocol.tokenize(b'{"k":1}\n')
+
+    def test_per_key_tokens(self):
+        protocol = get_protocol("json")
+        tokens = protocol.tokenize(b'{"a": 1, "b": 2}\n')
+        assert len(tokens) == 2
+
+    def test_invalid_json_falls_back_to_raw(self):
+        protocol = get_protocol("json")
+        assert protocol.tokenize(b"not json\n") == [b"not json"]
+
+    def test_block_response_is_json(self):
+        body = get_protocol("json").block_response("diverged")
+        payload = json.loads(body)
+        assert payload["error"] == "rddr_divergence"
+
+
+class TestHttpProtocol:
+    def test_request_framing_tracks_methods(self):
+        async def main():
+            protocol = get_protocol("http")
+            state = protocol.new_connection_state()
+            reader = _feed(b"HEAD /x HTTP/1.1\r\nHost: h\r\n\r\n")
+            message = await protocol.read_client_message(reader, state)
+            assert message is not None and message.startswith(b"HEAD /x")
+            # HEAD response framing: no body expected
+            response_reader = _feed(b"HTTP/1.1 200 OK\r\nContent-Length: 5\r\n\r\n")
+            response = await protocol.read_server_message(response_reader, state, message)
+            assert b"200" in response
+
+        run(main())
+
+    def test_tokenize_lines_and_headers(self):
+        protocol = get_protocol("http")
+        response = Response(
+            status=200,
+            headers=HeaderMap([("Content-Type", "text/plain")]),
+            body=b"line1\nline2",
+        )
+        tokens = protocol.tokenize(serialize_response(response))
+        assert tokens[0] == b"HTTP/1.1 200 OK"
+        assert b"Content-Type: text/plain" in tokens
+        assert tokens[-2:] == [b"line1", b"line2"]
+
+    def test_tokenize_excludes_hop_headers(self):
+        protocol = get_protocol("http")
+        response = Response(
+            status=200,
+            headers=HeaderMap([("Connection", "close"), ("Date", "whenever")]),
+            body=b"x",
+        )
+        tokens = protocol.tokenize(serialize_response(response))
+        assert not any(t.lower().startswith(b"connection") for t in tokens)
+        assert not any(t.lower().startswith(b"date") for t in tokens)
+
+    def test_tokenize_decompresses_gzip(self):
+        protocol = get_protocol("http")
+        plain = Response(status=200, body=b"same content")
+        compressed = Response(
+            status=200,
+            headers=HeaderMap([("Content-Encoding", "gzip")]),
+            body=gzip.compress(b"same content", mtime=0),
+        )
+        plain_tokens = protocol.tokenize(serialize_response(plain))
+        gzip_tokens = protocol.tokenize(serialize_response(compressed))
+        assert plain_tokens[-1] == gzip_tokens[-1] == b"same content"
+
+    def test_block_response_is_403_html(self):
+        body = get_protocol("http").block_response("because")
+        assert body.startswith(b"HTTP/1.1 403")
+        assert b"RDDR intervened" in body
+        assert b"because" in body
+
+
+class TestPgwireProtocol:
+    def test_startup_then_query_framing(self):
+        async def main():
+            protocol = get_protocol("pgwire")
+            state = protocol.new_connection_state()
+            startup = wire.StartupMessage({"user": "u"}).encode()
+            query = wire.query_message("SELECT 1").encode()
+            reader = _feed(startup + query)
+            first = await protocol.read_client_message(reader, state)
+            assert first == startup
+            second = await protocol.read_client_message(reader, state)
+            assert second == query
+
+        run(main())
+
+    def test_response_framed_to_ready_for_query(self):
+        async def main():
+            protocol = get_protocol("pgwire")
+            state = protocol.new_connection_state()
+            response = (
+                wire.row_description([wire.FieldDescription("a")]).encode()
+                + wire.data_row(["1"]).encode()
+                + wire.command_complete("SELECT 1").encode()
+                + wire.ready_for_query().encode()
+            )
+            reader = _feed(response + b"LEFTOVER")
+            message = await protocol.read_server_message(
+                reader, state, wire.query_message("SELECT 1").encode()
+            )
+            assert message == response  # stops exactly at ReadyForQuery
+
+        run(main())
+
+    def test_ssl_request_reply_is_one_byte(self):
+        async def main():
+            protocol = get_protocol("pgwire")
+            state = protocol.new_connection_state()
+            reader = _feed(b"N" + b"MORE")
+            reply = await protocol.read_server_message(
+                reader, state, wire.SslRequest().encode()
+            )
+            assert reply == b"N"
+
+        run(main())
+
+    def test_terminate_expects_no_response(self):
+        protocol = get_protocol("pgwire")
+        state = protocol.new_connection_state()
+        terminate = wire.terminate_message().encode()
+        assert not protocol.expects_response(terminate, state)
+        assert protocol.expects_response(wire.query_message("x").encode(), state)
+
+    def test_tokenize_excludes_backend_key_data(self):
+        protocol = get_protocol("pgwire")
+        blob = (
+            wire.backend_key_data(123, 456).encode()
+            + wire.command_complete("SELECT 1").encode()
+        )
+        tokens = protocol.tokenize(blob)
+        assert len(tokens) == 1
+        assert tokens[0].startswith(b"C")
+
+    def test_tokenize_includes_notices_and_errors(self):
+        protocol = get_protocol("pgwire")
+        blob = (
+            wire.notice_response("NOTICE", "leak 41 0").encode()
+            + wire.error_response("ERROR", "42501", "denied").encode()
+        )
+        tokens = protocol.tokenize(blob)
+        assert len(tokens) == 2
+        assert b"leak 41 0" in tokens[0]
+        assert b"denied" in tokens[1]
+
+    def test_block_response_is_fatal_error(self):
+        body = get_protocol("pgwire").block_response("diverged")
+        messages, _ = wire.split_messages(body)
+        fields = wire.parse_fields(messages[0])
+        assert fields.severity == "FATAL"
+        assert "RDDR intervened" in fields.message

@@ -1,0 +1,92 @@
+"""Tests for the RddrDeployment wiring helper."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.echo import EchoServer
+from repro.core.config import RddrConfig
+from repro.core.rddr import RddrDeployment
+from repro.pgwire import serve_database
+from repro.sqlengine import Database
+from tests.helpers import run
+
+
+class TestWiring:
+    def test_address_requires_started_incoming(self):
+        deployment = RddrDeployment("x", RddrConfig(protocol="tcp"))
+        with pytest.raises(RuntimeError):
+            _ = deployment.address
+
+    def test_duplicate_incoming_rejected(self):
+        async def main():
+            servers = [await EchoServer().start() for _ in range(2)]
+            async with RddrDeployment("x", RddrConfig(protocol="tcp")) as deployment:
+                await deployment.start_incoming_proxy([s.address for s in servers])
+                with pytest.raises(ValueError):
+                    await deployment.start_incoming_proxy([s.address for s in servers])
+            for server in servers:
+                await server.close()
+
+        run(main())
+
+    def test_duplicate_outgoing_name_rejected(self):
+        async def main():
+            backend = await serve_database(Database())
+            async with RddrDeployment("x", RddrConfig(protocol="pgwire")) as deployment:
+                await deployment.add_outgoing_proxy("db", backend.address, 2)
+                with pytest.raises(ValueError):
+                    await deployment.add_outgoing_proxy("db", backend.address, 2)
+            await backend.close()
+
+        run(main())
+
+    def test_outgoing_protocol_override(self):
+        async def main():
+            backend = await serve_database(Database())
+            # deployment default is http; the DB leg overrides to pgwire
+            async with RddrDeployment("x", RddrConfig(protocol="http")) as deployment:
+                proxy = await deployment.add_outgoing_proxy(
+                    "db", backend.address, 2, protocol="pgwire"
+                )
+                assert proxy.protocol.name == "pgwire"
+                assert len(proxy.addresses) == 2
+            await backend.close()
+
+        run(main())
+
+    def test_intervened_reflects_shared_event_log(self):
+        async def main():
+            good = await EchoServer().start()
+            bad = await EchoServer(tag="v2").start()
+            async with RddrDeployment(
+                "x", RddrConfig(protocol="tcp", exchange_timeout=1.0)
+            ) as deployment:
+                await deployment.start_incoming_proxy([good.address, bad.address])
+                assert not deployment.intervened
+                from repro.transport.retry import open_connection_retry
+                from repro.transport.streams import close_writer
+
+                reader, writer = await open_connection_retry(*deployment.address)
+                writer.write(b"x\n")
+                await writer.drain()
+                await reader.read(16)
+                await close_writer(writer)
+                assert deployment.intervened
+                assert len(deployment.divergences()) == 1
+            await good.close()
+            await bad.close()
+
+        run(main())
+
+    def test_close_is_idempotent(self):
+        async def main():
+            servers = [await EchoServer().start() for _ in range(2)]
+            deployment = RddrDeployment("x", RddrConfig(protocol="tcp"))
+            await deployment.start_incoming_proxy([s.address for s in servers])
+            await deployment.close()
+            await deployment.close()
+            for server in servers:
+                await server.close()
+
+        run(main())

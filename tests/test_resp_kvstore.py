@@ -1,0 +1,202 @@
+"""Tests for the RESP protocol module and the kvstore pair.
+
+Together these validate the paper's extensibility claim (section IV-B1):
+a new application-layer protocol plugs into both proxies untouched.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.kvstore import (
+    KeyDbLikeServer,
+    RedisLikeServer,
+    kv_command,
+)
+from repro.core.config import RddrConfig
+from repro.core.incoming import IncomingRequestProxy
+from repro.protocols import get_protocol
+from repro.protocols.resp import RespError, encode_command, read_value, split_elements
+from tests.helpers import run
+
+
+def _feed(data: bytes) -> asyncio.StreamReader:
+    reader = asyncio.StreamReader()
+    reader.feed_data(data)
+    reader.feed_eof()
+    return reader
+
+
+class TestRespFraming:
+    @pytest.mark.parametrize(
+        "value",
+        [
+            b"+OK\r\n",
+            b"-ERR nope\r\n",
+            b":42\r\n",
+            b"$5\r\nhello\r\n",
+            b"$-1\r\n",
+            b"$0\r\n\r\n",
+            b"*2\r\n$3\r\nGET\r\n$3\r\nfoo\r\n",
+            b"*0\r\n",
+        ],
+    )
+    def test_read_value_round_trips(self, value):
+        async def main():
+            assert await read_value(_feed(value + b"TRAILER")) == value
+
+        run(main())
+
+    def test_eof_returns_none(self):
+        async def main():
+            assert await read_value(_feed(b"")) is None
+
+        run(main())
+
+    def test_bad_type_rejected(self):
+        async def main():
+            with pytest.raises(RespError):
+                await read_value(_feed(b"?what\r\n"))
+
+        run(main())
+
+    def test_encode_command(self):
+        assert encode_command("GET", "key") == b"*2\r\n$3\r\nGET\r\n$3\r\nkey\r\n"
+
+    def test_split_elements(self):
+        value = b"*2\r\n$3\r\nGET\r\n$3\r\nfoo\r\n"
+        elements = split_elements(value)
+        assert elements == [b"*2\r\n", b"$3\r\nGET\r\n", b"$3\r\nfoo\r\n"]
+
+    def test_tokenizer_registered(self):
+        protocol = get_protocol("resp")
+        tokens = protocol.tokenize(b"+PONG\r\n")
+        assert tokens == [b"+PONG\r\n"]
+
+    def test_block_response_is_resp_error(self):
+        block = get_protocol("resp").block_response("diverged\r\nbadly")
+        assert block.startswith(b"-RDDRERR")
+        assert b"\r\n" == block[-2:]
+        assert block.count(b"\r\n") == 1  # newlines in the message sanitised
+
+    @given(st.binary(min_size=0, max_size=128))
+    @settings(max_examples=100)
+    def test_tokenizer_total_on_garbage(self, data):
+        tokens = get_protocol("resp").tokenize(data)
+        assert isinstance(tokens, list)
+
+
+class TestKvServers:
+    def test_basic_commands(self):
+        async def main():
+            server = await RedisLikeServer().start()
+            assert await kv_command(server.address, "PING") == b"+PONG\r\n"
+            assert await kv_command(server.address, "SET", "k", "v") == b"+OK\r\n"
+            assert await kv_command(server.address, "GET", "k") == b"$1\r\nv\r\n"
+            assert await kv_command(server.address, "EXISTS", "k") == b":1\r\n"
+            assert await kv_command(server.address, "DEL", "k") == b":1\r\n"
+            assert await kv_command(server.address, "GET", "k") == b"$-1\r\n"
+            assert (await kv_command(server.address, "BOGUS")).startswith(b"-ERR")
+            await server.close()
+
+        run(main())
+
+    def test_keys_listing_sorted(self):
+        async def main():
+            server = await RedisLikeServer().start()
+            await kv_command(server.address, "SET", "b", "2")
+            await kv_command(server.address, "SET", "a", "1")
+            reply = await kv_command(server.address, "KEYS", "*")
+            assert reply == b"*2\r\n$1\r\na\r\n$1\r\nb\r\n"
+            await server.close()
+
+        run(main())
+
+    def test_vulnerable_keydb_leaks_same_prefix_entry(self):
+        async def main():
+            server = await KeyDbLikeServer(version="6.0.0").start()
+            assert server.vulnerable
+            await kv_command(server.address, "SET", "tenant:alice:token", "SECRET-A")
+            reply = await kv_command(server.address, "GET", "tenant:bob:token")
+            assert b"SECRET-A" in reply  # the leak
+            await server.close()
+
+        run(main())
+
+    def test_fixed_keydb_does_not_leak(self):
+        async def main():
+            server = await KeyDbLikeServer(version="6.2.0").start()
+            assert not server.vulnerable
+            await kv_command(server.address, "SET", "tenant:alice:token", "SECRET-A")
+            reply = await kv_command(server.address, "GET", "tenant:bob:token")
+            assert reply == b"$-1\r\n"
+            await server.close()
+
+        run(main())
+
+    def test_pair_agrees_on_benign_traffic(self):
+        async def main():
+            redis = await RedisLikeServer().start()
+            keydb = await KeyDbLikeServer(version="6.0.0").start()
+            for server in (redis, keydb):
+                await kv_command(server.address, "SET", "k1", "v1")
+            for command in (("GET", "k1"), ("EXISTS", "k1"), ("PING",), ("KEYS", "*")):
+                a = await kv_command(redis.address, *command)
+                b = await kv_command(keydb.address, *command)
+                assert a == b, command
+            await redis.close()
+            await keydb.close()
+
+        run(main())
+
+
+class TestRespBehindRddr:
+    def test_cache_leak_mitigated_by_diversity(self):
+        """The full extensibility demo: a brand-new protocol module
+        N-versions a brand-new service class with zero proxy changes."""
+
+        async def main():
+            redis = await RedisLikeServer().start()
+            keydb = await KeyDbLikeServer(version="6.0.0").start()
+            proxy = IncomingRequestProxy(
+                [redis.address, keydb.address],
+                get_protocol("resp"),
+                RddrConfig(protocol="resp", exchange_timeout=2.0),
+            )
+            await proxy.start()
+            # benign writes/reads replicate to both implementations
+            assert await kv_command(proxy.address, "SET", "tenant:alice:token", "SECRET-A") == b"+OK\r\n"
+            reply = await kv_command(proxy.address, "GET", "tenant:alice:token")
+            assert b"SECRET-A" in reply
+            # the exploit: missing key under a shared prefix
+            leaked = await kv_command(proxy.address, "GET", "tenant:bob:token")
+            assert b"SECRET-A" not in leaked
+            assert len(proxy.events.divergences()) == 1
+            await proxy.close()
+            await redis.close()
+            await keydb.close()
+
+        run(main())
+
+    def test_benign_resp_traffic_not_blocked(self):
+        async def main():
+            servers = [await RedisLikeServer().start() for _ in range(2)]
+            proxy = IncomingRequestProxy(
+                [s.address for s in servers],
+                get_protocol("resp"),
+                RddrConfig(protocol="resp", exchange_timeout=2.0),
+            )
+            await proxy.start()
+            for i in range(10):
+                assert await kv_command(proxy.address, "SET", f"k{i}", f"v{i}") == b"+OK\r\n"
+            assert await kv_command(proxy.address, "GET", "k3") == b"$2\r\nv3\r\n"
+            assert proxy.metrics.divergences == 0
+            await proxy.close()
+            for server in servers:
+                await server.close()
+
+        run(main())

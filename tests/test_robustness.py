@@ -1,0 +1,215 @@
+"""Robustness and failure-injection tests.
+
+A proxy that dies on malformed input is itself a DoS target; these tests
+throw garbage and mid-exchange failures at every parser and at the
+proxies and assert containment (clean errors, no hangs, no crashes).
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.echo import EchoServer
+from repro.core.config import RddrConfig
+from repro.core.incoming import IncomingRequestProxy
+from repro.pgwire import messages as wire
+from repro.protocols import get_protocol
+from repro.sqlengine import Database
+from repro.transport.retry import open_connection_retry
+from repro.transport.server import start_server
+from repro.transport.streams import close_writer
+from repro.web.http11 import HttpParseError, parse_request_bytes, parse_response_bytes
+from tests.helpers import run
+
+
+class TestHttpParserFuzz:
+    @given(st.binary(min_size=0, max_size=256))
+    @settings(max_examples=200)
+    def test_arbitrary_bytes_never_crash_request_parser(self, data):
+        try:
+            parse_request_bytes(data)
+        except (HttpParseError, Exception) as error:
+            # any *Python* error type is fine as long as it is an
+            # exception, not a hang/segfault; but prefer HttpParseError
+            assert isinstance(error, Exception)
+
+    @given(st.binary(min_size=0, max_size=256))
+    @settings(max_examples=200)
+    def test_arbitrary_bytes_never_crash_response_parser(self, data):
+        try:
+            parse_response_bytes(data)
+        except Exception as error:
+            assert isinstance(error, Exception)
+
+    @given(st.binary(min_size=0, max_size=128))
+    @settings(max_examples=100)
+    def test_http_tokenizer_total(self, data):
+        protocol = get_protocol("http")
+        tokens = protocol.tokenize(data)
+        assert isinstance(tokens, list)
+
+
+class TestPgwireCodecFuzz:
+    @given(st.binary(min_size=0, max_size=256))
+    @settings(max_examples=200)
+    def test_split_messages_never_crashes(self, data):
+        try:
+            messages, tail = wire.split_messages(data)
+            assert isinstance(messages, list)
+        except wire.ProtocolError:
+            pass
+
+    @given(st.binary(min_size=0, max_size=128))
+    @settings(max_examples=100)
+    def test_pgwire_tokenizer_total(self, data):
+        protocol = get_protocol("pgwire")
+        tokens = protocol.tokenize(data)
+        assert isinstance(tokens, list)
+
+    def test_server_survives_garbage_connection(self):
+        async def main():
+            from repro.pgwire import PgClient, serve_database
+
+            server = await serve_database(Database())
+            reader, writer = await open_connection_retry(*server.address)
+            writer.write(b"\xff" * 64)
+            await writer.drain()
+            await close_writer(writer)
+            # server still answers a well-formed client afterwards
+            async with await PgClient.connect(*server.address) as client:
+                assert (await client.query("SELECT 1")).ok
+            await server.close()
+
+        run(main())
+
+
+class TestSqlParserFuzz:
+    @given(st.text(max_size=80))
+    @settings(max_examples=200)
+    def test_arbitrary_text_never_crashes_execute(self, sql):
+        db = Database()
+        outcomes = db.execute(sql)
+        for outcome in outcomes:
+            assert outcome.ok or outcome.error is not None
+
+
+class TestProxyFailureInjection:
+    def test_instance_dying_mid_response_blocks_cleanly(self):
+        async def main():
+            async def half_responder(reader, writer):
+                await reader.readline()
+                writer.write(b"partial")  # no newline, then hang up
+                await writer.drain()
+                writer.close()
+
+            good = await EchoServer().start()
+            flaky = await start_server(half_responder)
+            proxy = IncomingRequestProxy(
+                [good.address, flaky.address],
+                get_protocol("tcp"),
+                RddrConfig(protocol="tcp", exchange_timeout=1.0),
+            )
+            await proxy.start()
+            reader, writer = await open_connection_retry(*proxy.address)
+            writer.write(b"hello\n")
+            await writer.drain()
+            reply = await asyncio.wait_for(reader.read(64), 3)
+            # tcp block response is a bare close; the point is: no hang,
+            # no partial data passthrough
+            assert b"partial" not in reply
+            await close_writer(writer)
+            await proxy.close()
+            await good.close()
+            await flaky.close()
+
+        run(main())
+
+    def test_client_abandoning_mid_exchange(self):
+        async def main():
+            servers = [await EchoServer().start() for _ in range(2)]
+            proxy = IncomingRequestProxy(
+                [s.address for s in servers],
+                get_protocol("tcp"),
+                RddrConfig(protocol="tcp", exchange_timeout=1.0),
+            )
+            await proxy.start()
+            _, writer = await open_connection_retry(*proxy.address)
+            writer.write(b"no newline yet")
+            await writer.drain()
+            await close_writer(writer)  # vanish mid-request
+            await asyncio.sleep(0.2)
+            # proxy still serves new clients
+            reader, writer = await open_connection_retry(*proxy.address)
+            writer.write(b"after\n")
+            await writer.drain()
+            assert await asyncio.wait_for(reader.readline(), 2) == b"after\n"
+            await close_writer(writer)
+            await proxy.close()
+            for server in servers:
+                await server.close()
+
+        run(main())
+
+    def test_gzip_asymmetry_not_divergent(self):
+        """One instance compresses, the other does not: the HTTP module
+        diffs decompressed bodies, so content equality wins."""
+
+        async def main():
+            from repro.web import App, HttpClient, serve_app, text_response
+
+            def make_app():
+                app = App("gz")
+
+                @app.route("/data")
+                async def data(ctx):
+                    return text_response("x" * 512)
+
+                return app
+
+            plain = await serve_app(make_app(), gzip_responses=False)
+            gzipped = await serve_app(make_app(), gzip_responses=True)
+            proxy = IncomingRequestProxy(
+                [plain.address, gzipped.address],
+                get_protocol("http"),
+                RddrConfig(protocol="http", exchange_timeout=2.0),
+            )
+            await proxy.start()
+            async with HttpClient(*proxy.address) as client:
+                response = await client.get(
+                    "/data", headers={"Accept-Encoding": "gzip"}
+                )
+            assert response.status == 200
+            assert proxy.metrics.divergences == 0
+            await proxy.close()
+            await plain.close()
+            await gzipped.close()
+
+        run(main())
+
+    def test_slowloris_request_does_not_stall_other_clients(self):
+        async def main():
+            servers = [await EchoServer().start() for _ in range(2)]
+            proxy = IncomingRequestProxy(
+                [s.address for s in servers],
+                get_protocol("tcp"),
+                RddrConfig(protocol="tcp", exchange_timeout=1.0),
+            )
+            await proxy.start()
+            # slow client connects and sends nothing
+            _, slow_writer = await open_connection_retry(*proxy.address)
+            # fast client still gets service
+            reader, writer = await open_connection_retry(*proxy.address)
+            writer.write(b"fast\n")
+            await writer.drain()
+            assert await asyncio.wait_for(reader.readline(), 2) == b"fast\n"
+            await close_writer(writer)
+            await close_writer(slow_writer)
+            await proxy.close()
+            for server in servers:
+                await server.close()
+
+        run(main())

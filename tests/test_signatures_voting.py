@@ -1,0 +1,262 @@
+"""Tests for the section IV-D extensions: signature learning and voting."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.apps.echo import EchoServer
+from repro.core import events as ev
+from repro.core.config import RddrConfig
+from repro.core.incoming import IncomingRequestProxy, _majority_indices
+from repro.core.signatures import (
+    DivergenceSignature,
+    SignatureStore,
+    normalize_request,
+)
+from repro.protocols import get_protocol
+from repro.transport.retry import open_connection_retry
+from repro.transport.streams import close_writer
+from tests.helpers import run
+
+
+class TestNormalization:
+    def test_long_alnum_runs_wildcarded(self):
+        a = normalize_request(b"GET /x?sid=AAAABBBBCCCC111 HTTP/1.1")
+        b = normalize_request(b"GET /x?sid=ZZZZYYYYXXXX999 HTTP/1.1")
+        assert a == b
+
+    def test_short_runs_preserved(self):
+        assert normalize_request(b"id=42") == b"id=42"
+
+    def test_structure_differences_distinguish(self):
+        assert normalize_request(b"GET /a HTTP/1.1") != normalize_request(
+            b"GET /b HTTP/1.1"
+        )
+
+
+class TestSignatureStore:
+    def test_learn_and_match(self):
+        store = SignatureStore()
+        store.learn(b"evil payload AAAABBBBCCCC", "token 0 differs")
+        match = store.match(b"evil payload DDDDEEEEFFFF")
+        assert isinstance(match, DivergenceSignature)
+        assert match.reason == "token 0 differs"
+        assert store.hits == 1
+
+    def test_non_matching_request(self):
+        store = SignatureStore()
+        store.learn(b"evil payload", "r")
+        assert store.match(b"benign request") is None
+        assert store.hits == 0
+
+    def test_eviction_bounds_memory(self):
+        store = SignatureStore(max_signatures=3)
+        for i in range(10):
+            store.learn(f"pattern-{i}".encode(), "r")
+        assert len(store) == 3
+
+    def test_ttl_expiry(self):
+        store = SignatureStore(ttl=100.0)
+        ticks = iter([0.0, 50.0, 250.0])
+        store._clock = lambda: next(ticks)  # type: ignore[assignment]
+        store.learn(b"evil", "r")  # created at t=0
+        assert store.match(b"evil") is not None  # t=50: still fresh
+        assert store.match(b"evil") is None  # t=250: expired
+
+
+async def _tcp_exchange(address, line: bytes, timeout: float = 2.0) -> bytes | None:
+    reader, writer = await open_connection_retry(*address)
+    try:
+        writer.write(line + b"\n")
+        await writer.drain()
+        reply = await asyncio.wait_for(reader.readline(), timeout)
+        return reply if reply else None
+    except (asyncio.TimeoutError, ConnectionError):
+        return None
+    finally:
+        await close_writer(writer)
+
+
+class TestSignatureLearningEndToEnd:
+    def test_repeat_exploit_blocked_without_replication(self):
+        async def main():
+            # v2 diverges only on lines containing "exploit"
+            class SelectiveBug(EchoServer):
+                async def _serve(self, reader, writer):
+                    while True:
+                        try:
+                            line = await reader.readuntil(b"\n")
+                        except (asyncio.IncompleteReadError, ConnectionError):
+                            return
+                        text = line.rstrip(b"\n")
+                        if b"exploit" in text:
+                            text += b" LEAKED-BYTES"
+                        writer.write(text + b"\n")
+                        await writer.drain()
+
+            good = await EchoServer().start()
+            bad = await SelectiveBug().start()
+            proxy = IncomingRequestProxy(
+                [good.address, bad.address],
+                get_protocol("tcp"),
+                RddrConfig(
+                    protocol="tcp", exchange_timeout=2.0, signature_learning=True
+                ),
+            )
+            await proxy.start()
+
+            assert await _tcp_exchange(proxy.address, b"hello") == b"hello\n"
+
+            # first exploit: replicated, diverges, learned.  The nonce is
+            # long enough (>= 8 alnum chars) to be wildcarded, like the
+            # session ids real exploit tooling rotates per attempt.
+            assert await _tcp_exchange(proxy.address, b"exploit run AAAABBBB0001") is None
+            assert len(proxy.signatures) == 1
+            exchanges_after_first = proxy.metrics.exchanges_total
+
+            # repeat with a different nonce: rejected pre-replication
+            assert await _tcp_exchange(proxy.address, b"exploit run ZZZZYYYY9999") is None
+            blocked = proxy.events.events(ev.SIGNATURE_BLOCKED)
+            assert len(blocked) == 1
+            assert proxy.signatures.hits == 1
+
+            # benign traffic still flows afterwards
+            assert await _tcp_exchange(proxy.address, b"still fine") == b"still fine\n"
+            assert proxy.metrics.exchanges_total > exchanges_after_first
+
+            await proxy.close()
+            await good.close()
+            await bad.close()
+
+        run(main())
+
+    def test_learning_disabled_by_default(self):
+        async def main():
+            good = await EchoServer().start()
+            bad = await EchoServer(tag="bug").start()
+            proxy = IncomingRequestProxy(
+                [good.address, bad.address],
+                get_protocol("tcp"),
+                RddrConfig(protocol="tcp", exchange_timeout=2.0),
+            )
+            await proxy.start()
+            await _tcp_exchange(proxy.address, b"anything")
+            assert len(proxy.signatures) == 0
+            await proxy.close()
+            await good.close()
+            await bad.close()
+
+        run(main())
+
+
+class TestMajority:
+    def test_strict_majority_found(self):
+        masked = [(b"a",), (b"a",), (b"b",)]
+        assert _majority_indices(masked) == [0, 1]
+
+    def test_no_majority_on_even_split(self):
+        assert _majority_indices([(b"a",), (b"b",)]) is None
+
+    def test_no_majority_three_way(self):
+        assert _majority_indices([(b"a",), (b"b",), (b"c",)]) is None
+
+    def test_unanimous_is_majority(self):
+        assert _majority_indices([(b"a",)] * 3) == [0, 1, 2]
+
+
+class TestVotingPolicy:
+    async def _deployment(self, *, quarantine: bool):
+        good1 = await EchoServer().start()
+        good2 = await EchoServer().start()
+        bad = await EchoServer(tag="compromised").start()
+        proxy = IncomingRequestProxy(
+            [good1.address, good2.address, bad.address],
+            get_protocol("tcp"),
+            RddrConfig(
+                protocol="tcp",
+                exchange_timeout=2.0,
+                divergence_policy="vote",
+                quarantine_minority=quarantine,
+            ),
+        )
+        await proxy.start()
+        return proxy, [good1, good2, bad]
+
+    def test_majority_response_forwarded(self):
+        async def main():
+            proxy, servers = await self._deployment(quarantine=False)
+            reply = await _tcp_exchange(proxy.address, b"hello")
+            assert reply == b"hello\n"  # the majority's answer, not blocked
+            votes = proxy.events.events(ev.VOTE_OVERRIDE)
+            assert len(votes) == 1
+            assert "instance 2" not in votes[0].detail or "outvoted" in votes[0].detail
+            await proxy.close()
+            for server in servers:
+                await server.close()
+
+        run(main())
+
+    def test_quarantine_drops_minority(self):
+        async def main():
+            proxy, servers = await self._deployment(quarantine=True)
+            reader, writer = await open_connection_retry(*proxy.address)
+            writer.write(b"first\n")
+            await writer.drain()
+            assert await reader.readline() == b"first\n"
+            assert len(proxy.events.events(ev.QUARANTINE)) == 1
+            # subsequent exchanges on the same connection run on the
+            # surviving pair and are unanimous
+            writer.write(b"second\n")
+            await writer.drain()
+            assert await reader.readline() == b"second\n"
+            assert len(proxy.events.events(ev.VOTE_OVERRIDE)) == 1
+            await close_writer(writer)
+            await proxy.close()
+            for server in servers:
+                await server.close()
+
+        run(main())
+
+    def test_two_instances_cannot_vote(self):
+        async def main():
+            good = await EchoServer().start()
+            bad = await EchoServer(tag="bug").start()
+            proxy = IncomingRequestProxy(
+                [good.address, bad.address],
+                get_protocol("tcp"),
+                RddrConfig(
+                    protocol="tcp", exchange_timeout=2.0, divergence_policy="vote"
+                ),
+            )
+            await proxy.start()
+            # 1 vs 1 has no strict majority: falls back to blocking
+            assert await _tcp_exchange(proxy.address, b"x") is None
+            assert len(proxy.events.divergences()) == 1
+            await proxy.close()
+            await good.close()
+            await bad.close()
+
+        run(main())
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            IncomingRequestProxy(
+                [("127.0.0.1", 1), ("127.0.0.1", 2)],
+                get_protocol("tcp"),
+                RddrConfig(protocol="tcp", divergence_policy="retry"),
+            )
+
+    def test_config_round_trip_includes_extensions(self):
+        config = RddrConfig(
+            divergence_policy="vote",
+            quarantine_minority=True,
+            signature_learning=True,
+            signature_ttl=30.0,
+        )
+        restored = RddrConfig.from_dict(config.to_dict())
+        assert restored.divergence_policy == "vote"
+        assert restored.quarantine_minority is True
+        assert restored.signature_learning is True
+        assert restored.signature_ttl == 30.0

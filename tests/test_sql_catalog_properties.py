@@ -1,0 +1,170 @@
+"""Catalog internals and engine-level property tests."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sqlengine import Database
+from repro.sqlengine.ast_nodes import ColumnDef
+from repro.sqlengine.catalog import Catalog, Table
+from repro.sqlengine.errors import (
+    ConstraintViolationError,
+    UndefinedColumnError,
+    UndefinedTableError,
+)
+
+
+def _table(name: str = "t") -> Table:
+    return Table(
+        name,
+        (
+            ColumnDef("id", "integer", primary_key=True),
+            ColumnDef("label", "text"),
+        ),
+        owner="postgres",
+    )
+
+
+class TestTable:
+    def test_insert_coerces_by_column_type(self):
+        table = _table()
+        table.insert(["7", 123])
+        assert table.rows == [[7, "123"]]
+
+    def test_pk_index_lookup(self):
+        table = _table()
+        table.insert([1, "a"])
+        table.insert([2, "b"])
+        assert table.lookup_pk(2) == [2, "b"]
+        assert table.lookup_pk(9) is None
+        assert table.single_pk_column == "id"
+
+    def test_pk_duplicate_rejected(self):
+        table = _table()
+        table.insert([1, "a"])
+        with pytest.raises(ConstraintViolationError):
+            table.insert([1, "dup"])
+
+    def test_rebuild_pk_index_after_mutation(self):
+        table = _table()
+        table.insert([1, "a"])
+        table.rows[0][0] = 5  # simulate an in-place UPDATE
+        table.rebuild_pk_index()
+        assert table.lookup_pk(5) == [5, "a"]
+        assert table.lookup_pk(1) is None
+
+    def test_composite_pk_has_no_single_index(self):
+        table = Table(
+            "t2",
+            (
+                ColumnDef("a", "integer", primary_key=True),
+                ColumnDef("b", "integer", primary_key=True),
+            ),
+            owner="postgres",
+        )
+        table.insert([1, 2])
+        assert table.single_pk_column is None
+        with pytest.raises(ConstraintViolationError):
+            table.insert([1, 2])
+        table.insert([1, 3])  # differs in the second key component
+
+    def test_column_position_and_errors(self):
+        table = _table()
+        assert table.column_position("label") == 1
+        assert table.has_column("id")
+        with pytest.raises(UndefinedColumnError):
+            table.column_position("ghost")
+
+    def test_estimated_bytes_grows_with_rows(self):
+        table = _table()
+        empty = table.estimated_bytes()
+        for i in range(100):
+            table.insert([i, f"label-{i}"])
+        assert table.estimated_bytes() > empty
+
+
+class TestCatalog:
+    def test_table_lookup_and_error(self):
+        catalog = Catalog()
+        catalog.add_table(_table())
+        assert catalog.table("t").name == "t"
+        with pytest.raises(UndefinedTableError):
+            catalog.table("ghost")
+
+    def test_if_not_exists_semantics(self):
+        catalog = Catalog()
+        assert catalog.add_table(_table()) is True
+        assert catalog.add_table(_table(), if_not_exists=True) is False
+
+    def test_can_select_rules(self):
+        catalog = Catalog()
+        table = _table()
+        catalog.add_table(table)
+        catalog.users.add("eve")
+        assert catalog.can_select("postgres", table)  # superuser
+        assert not catalog.can_select("eve", table)
+        catalog.select_grants.setdefault("t", set()).add("eve")
+        assert catalog.can_select("eve", table)
+
+    def test_total_bytes_sums_tables(self):
+        catalog = Catalog()
+        catalog.add_table(_table("a"))
+        catalog.add_table(_table("b"))
+        assert catalog.total_bytes() >= 2 * 256
+
+
+_ROWS = st.lists(
+    st.tuples(st.integers(min_value=-1000, max_value=1000), st.text(max_size=8)),
+    min_size=0,
+    max_size=25,
+    unique_by=lambda r: r[0],
+)
+
+
+class TestEngineProperties:
+    @given(_ROWS)
+    @settings(max_examples=50, deadline=None)
+    def test_order_by_returns_sorted(self, rows):
+        db = Database()
+        db.execute("CREATE TABLE t (id integer PRIMARY KEY, label text)")
+        table = db.catalog.table("t")
+        for row_id, label in rows:
+            table.insert([row_id, label])
+        result = db.query("SELECT id FROM t ORDER BY id")
+        values = [r[0] for r in result.rows]
+        assert values == sorted(row_id for row_id, _ in rows)
+
+    @given(_ROWS)
+    @settings(max_examples=50, deadline=None)
+    def test_count_matches_inserted(self, rows):
+        db = Database()
+        db.execute("CREATE TABLE t (id integer PRIMARY KEY, label text)")
+        table = db.catalog.table("t")
+        for row_id, label in rows:
+            table.insert([row_id, label])
+        assert db.query("SELECT count(*) FROM t").scalar() == len(rows)
+
+    @given(_ROWS, st.integers(min_value=-1000, max_value=1000))
+    @settings(max_examples=50, deadline=None)
+    def test_pk_lookup_agrees_with_scan(self, rows, probe):
+        db = Database()
+        db.execute("CREATE TABLE t (id integer PRIMARY KEY, label text)")
+        table = db.catalog.table("t")
+        for row_id, label in rows:
+            table.insert([row_id, label])
+        indexed = db.query(f"SELECT label FROM t WHERE id = {probe}").rows
+        scanned = db.query(f"SELECT label FROM t WHERE id + 0 = {probe}").rows
+        assert indexed == scanned
+
+    @given(_ROWS)
+    @settings(max_examples=30, deadline=None)
+    def test_delete_then_count_zero(self, rows):
+        db = Database()
+        db.execute("CREATE TABLE t (id integer PRIMARY KEY, label text)")
+        table = db.catalog.table("t")
+        for row_id, label in rows:
+            table.insert([row_id, label])
+        db.query("DELETE FROM t")
+        assert db.query("SELECT count(*) FROM t").scalar() == 0

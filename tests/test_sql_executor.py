@@ -1,0 +1,225 @@
+"""Tests for statement execution: DDL, DML, SELECT pipeline."""
+
+from __future__ import annotations
+
+import datetime
+
+import pytest
+
+from repro.sqlengine import (
+    Database,
+    EngineProfile,
+    SqlError,
+    UndefinedColumnError,
+    UndefinedTableError,
+)
+from repro.sqlengine.errors import ConstraintViolationError
+
+
+@pytest.fixture()
+def db() -> Database:
+    database = Database()
+    database.execute(
+        """
+        CREATE TABLE users (id integer PRIMARY KEY, name text, age integer,
+                            balance double precision);
+        INSERT INTO users VALUES
+            (1, 'alice', 30, 10.5),
+            (2, 'bob', 25, -3.25),
+            (3, 'carol', 35, 100.0),
+            (4, 'dave', NULL, 0.0);
+        """
+    )
+    return database
+
+
+class TestDdl:
+    def test_create_and_drop(self, db):
+        db.query("CREATE TABLE t (a int)")
+        assert "t" in db.catalog.tables
+        db.query("DROP TABLE t")
+        assert "t" not in db.catalog.tables
+
+    def test_create_duplicate_rejected(self, db):
+        with pytest.raises(SqlError):
+            db.query("CREATE TABLE users (x int)")
+
+    def test_if_not_exists(self, db):
+        db.query("CREATE TABLE IF NOT EXISTS users (x int)")  # no error
+
+    def test_drop_missing(self, db):
+        with pytest.raises(UndefinedTableError):
+            db.query("DROP TABLE missing")
+        db.query("DROP TABLE IF EXISTS missing")
+
+    def test_create_index_checks_table(self, db):
+        db.query("CREATE INDEX idx ON users (name)")
+        with pytest.raises(UndefinedTableError):
+            db.query("CREATE INDEX idx2 ON missing (x)")
+
+
+class TestDml:
+    def test_insert_with_columns(self, db):
+        result = db.query("INSERT INTO users (id, name) VALUES (10, 'eve')")
+        assert result.command_tag == "INSERT 0 1"
+        row = db.query("SELECT name, age FROM users WHERE id = 10")
+        assert row.rows == [["eve", None]]
+
+    def test_primary_key_enforced(self, db):
+        with pytest.raises(ConstraintViolationError):
+            db.query("INSERT INTO users VALUES (1, 'dup', 1, 0.0)")
+
+    def test_insert_arity_checked(self, db):
+        with pytest.raises(SqlError):
+            db.query("INSERT INTO users (id, name) VALUES (11)")
+
+    def test_update(self, db):
+        result = db.query("UPDATE users SET age = age + 1 WHERE id <= 2")
+        assert result.command_tag == "UPDATE 2"
+        assert db.query("SELECT age FROM users WHERE id = 1").scalar() == 31
+
+    def test_update_all_rows(self, db):
+        assert db.query("UPDATE users SET balance = 0").command_tag == "UPDATE 4"
+
+    def test_delete(self, db):
+        assert db.query("DELETE FROM users WHERE age IS NULL").command_tag == "DELETE 1"
+        assert db.query("SELECT count(*) FROM users").scalar() == 3
+
+    def test_delete_then_reinsert_pk(self, db):
+        db.query("DELETE FROM users WHERE id = 1")
+        db.query("INSERT INTO users VALUES (1, 'again', 1, 1.0)")  # pk free again
+
+
+class TestSelect:
+    def test_projection_and_where(self, db):
+        result = db.query("SELECT name FROM users WHERE age > 26 ORDER BY name")
+        assert result.rows == [["alice"], ["carol"]]
+
+    def test_star_expansion(self, db):
+        result = db.query("SELECT * FROM users WHERE id = 2")
+        assert result.column_names == ["id", "name", "age", "balance"]
+
+    def test_expressions_in_select(self, db):
+        result = db.query("SELECT id * 2 + 1 AS x FROM users WHERE id = 3")
+        assert result.scalar() == 7
+        assert result.column_names == ["x"]
+
+    def test_order_by_desc_with_nulls(self, db):
+        result = db.query("SELECT age FROM users ORDER BY age DESC")
+        assert result.rows == [[None], [35], [30], [25]]  # NULLS FIRST on DESC
+
+    def test_order_by_asc_nulls_last(self, db):
+        result = db.query("SELECT age FROM users ORDER BY age")
+        assert result.rows == [[25], [30], [35], [None]]
+
+    def test_order_by_ordinal_and_alias(self, db):
+        by_ordinal = db.query(
+            "SELECT name, age FROM users WHERE age IS NOT NULL ORDER BY 2 DESC LIMIT 1"
+        )
+        by_alias = db.query(
+            "SELECT name, age a FROM users WHERE age IS NOT NULL ORDER BY a DESC LIMIT 1"
+        )
+        assert by_ordinal.rows == by_alias.rows == [["carol", 35]]
+
+    def test_limit_offset(self, db):
+        result = db.query("SELECT id FROM users ORDER BY id LIMIT 2 OFFSET 1")
+        assert result.rows == [[2], [3]]
+
+    def test_distinct(self, db):
+        db.query("INSERT INTO users VALUES (5, 'alice', 30, 1.0)")
+        result = db.query("SELECT DISTINCT name FROM users ORDER BY name")
+        assert [r[0] for r in result.rows] == ["alice", "bob", "carol", "dave"]
+
+    def test_like(self, db):
+        result = db.query("SELECT name FROM users WHERE name LIKE '%a%' ORDER BY name")
+        assert [r[0] for r in result.rows] == ["alice", "carol", "dave"]
+
+    def test_in_and_between(self, db):
+        assert db.query("SELECT count(*) FROM users WHERE id IN (1, 3)").scalar() == 2
+        assert db.query("SELECT count(*) FROM users WHERE age BETWEEN 25 AND 30").scalar() == 2
+
+    def test_case_when(self, db):
+        result = db.query(
+            "SELECT name, CASE WHEN age >= 30 THEN 'senior' ELSE 'junior' END "
+            "FROM users WHERE age IS NOT NULL ORDER BY id"
+        )
+        assert [r[1] for r in result.rows] == ["senior", "junior", "senior"]
+
+    def test_unknown_column(self, db):
+        with pytest.raises(UndefinedColumnError):
+            db.query("SELECT nosuch FROM users")
+
+    def test_unknown_table(self, db):
+        with pytest.raises(UndefinedTableError):
+            db.query("SELECT * FROM missing")
+
+    def test_select_without_from(self, db):
+        assert db.query("SELECT 40 + 2").scalar() == 42
+
+    def test_string_coercion_in_comparison(self, db):
+        assert db.query("SELECT name FROM users WHERE id = '2'").scalar() == "bob"
+
+    def test_division(self, db):
+        assert db.query("SELECT 7 / 2").scalar() == 3  # integer division
+        assert db.query("SELECT 7.0 / 2").scalar() == 3.5
+        with pytest.raises(SqlError):
+            db.query("SELECT 1 / 0")
+
+    def test_date_arithmetic(self, db):
+        result = db.query("SELECT DATE '2020-01-31' + INTERVAL '1 month'")
+        assert result.scalar() == datetime.date(2020, 2, 29)
+        result = db.query("SELECT DATE '2020-03-10' - DATE '2020-03-01'")
+        assert result.scalar() == 9
+
+    def test_pk_point_lookup_uses_index(self, db):
+        session = db.create_session()
+        db.query("SELECT name FROM users WHERE id = 3", session)
+        # indexed access scans 1 row, not the whole table
+        assert db.total_work.rows_scanned < 4
+
+    def test_scan_counts_rows(self, db):
+        session = db.create_session()
+        db.query("SELECT count(*) FROM users WHERE name LIKE '%'", session)
+        assert db.total_work.rows_scanned >= 4
+
+
+class TestShowSetTransactions:
+    def test_show_version(self, db):
+        assert str(db.query("SHOW server_version").scalar()) == db.profile.version
+        assert "postsim" in str(db.query("SELECT version()").scalar())
+
+    def test_set_and_show_setting(self, db):
+        session = db.create_session()
+        db.execute("SET client_min_messages TO 'error'", session)
+        result = db.query("SHOW client_min_messages", session)
+        assert result.scalar() == "error"
+
+    def test_transactions_are_tracked(self, db):
+        session = db.create_session()
+        db.execute("BEGIN", session)
+        assert session.in_transaction
+        db.execute("COMMIT", session)
+        assert not session.in_transaction
+
+
+class TestErrorHandling:
+    def test_script_stops_at_first_error(self, db):
+        outcomes = db.execute("SELECT 1; SELECT * FROM missing; SELECT 2")
+        assert len(outcomes) == 2
+        assert outcomes[0].ok
+        assert not outcomes[1].ok
+
+    def test_syntax_error_reported(self, db):
+        outcomes = db.execute("SELEC 1")
+        assert len(outcomes) == 1
+        assert outcomes[0].error is not None
+
+
+class TestReverseUnorderedScans:
+    def test_ablation_profile_reverses_unordered_results(self):
+        db = Database(EngineProfile(reverse_unordered_scans=True))
+        db.execute("CREATE TABLE t (a int); INSERT INTO t VALUES (1), (2), (3)")
+        unordered = db.query("SELECT a FROM t")
+        assert unordered.rows == [[3], [2], [1]]
+        ordered = db.query("SELECT a FROM t ORDER BY a")
+        assert ordered.rows == [[1], [2], [3]]  # ORDER BY still respected

@@ -1,0 +1,159 @@
+"""Tests for joins, grouping, and aggregation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sqlengine import Database, SqlError
+
+
+@pytest.fixture()
+def db() -> Database:
+    database = Database()
+    database.execute(
+        """
+        CREATE TABLE dept (id integer PRIMARY KEY, name text);
+        INSERT INTO dept VALUES (1, 'eng'), (2, 'ops'), (3, 'empty');
+        CREATE TABLE emp (id integer PRIMARY KEY, dept_id integer, name text,
+                          salary integer);
+        INSERT INTO emp VALUES
+            (1, 1, 'alice', 100),
+            (2, 1, 'bob', 80),
+            (3, 2, 'carol', 90),
+            (4, NULL, 'drifter', 10);
+        """
+    )
+    return database
+
+
+class TestJoins:
+    def test_comma_join_with_where(self, db):
+        result = db.query(
+            "SELECT emp.name, dept.name FROM emp, dept "
+            "WHERE emp.dept_id = dept.id ORDER BY emp.id"
+        )
+        assert result.rows == [["alice", "eng"], ["bob", "eng"], ["carol", "ops"]]
+
+    def test_explicit_inner_join(self, db):
+        result = db.query(
+            "SELECT emp.name FROM emp JOIN dept ON emp.dept_id = dept.id "
+            "WHERE dept.name = 'ops'"
+        )
+        assert result.rows == [["carol"]]
+
+    def test_left_join_pads_nulls(self, db):
+        result = db.query(
+            "SELECT dept.name, emp.name FROM dept LEFT JOIN emp "
+            "ON dept.id = emp.dept_id ORDER BY dept.id, emp.id"
+        )
+        assert ["empty", None] in result.rows
+
+    def test_aliased_join(self, db):
+        result = db.query(
+            "SELECT e.name FROM emp e, dept d WHERE e.dept_id = d.id "
+            "AND d.name = 'eng' ORDER BY e.name"
+        )
+        assert result.rows == [["alice"], ["bob"]]
+
+    def test_self_join_with_aliases(self, db):
+        result = db.query(
+            "SELECT a.name, b.name FROM emp a, emp b "
+            "WHERE a.dept_id = b.dept_id AND a.id < b.id"
+        )
+        assert result.rows == [["alice", "bob"]]
+
+    def test_three_way_join(self, db):
+        db.execute(
+            "CREATE TABLE loc (dept_id integer, city text);"
+            "INSERT INTO loc VALUES (1, 'nyc'), (2, 'sfo');"
+        )
+        result = db.query(
+            "SELECT emp.name, loc.city FROM emp, dept, loc "
+            "WHERE emp.dept_id = dept.id AND dept.id = loc.dept_id "
+            "ORDER BY emp.id"
+        )
+        assert result.rows == [["alice", "nyc"], ["bob", "nyc"], ["carol", "sfo"]]
+
+    def test_cross_join_cardinality(self, db):
+        result = db.query("SELECT count(*) FROM emp, dept")
+        assert result.scalar() == 12
+
+    def test_ambiguous_column_rejected(self, db):
+        with pytest.raises(SqlError):
+            db.query("SELECT id FROM emp, dept")
+
+    def test_duplicate_binding_rejected(self, db):
+        with pytest.raises(SqlError):
+            db.query("SELECT * FROM emp, emp")
+
+    def test_non_equi_join_condition(self, db):
+        result = db.query(
+            "SELECT count(*) FROM emp JOIN dept ON emp.dept_id < dept.id"
+        )
+        # alice(1): depts 2,3; bob(1): depts 2,3; carol(2): dept 3
+        assert result.scalar() == 5
+
+
+class TestAggregates:
+    def test_global_aggregates(self, db):
+        result = db.query(
+            "SELECT count(*), sum(salary), avg(salary), min(salary), max(salary) FROM emp"
+        )
+        assert result.rows == [[4, 280, 70.0, 10, 100]]
+
+    def test_count_skips_nulls(self, db):
+        assert db.query("SELECT count(dept_id) FROM emp").scalar() == 3
+
+    def test_count_distinct(self, db):
+        assert db.query("SELECT count(DISTINCT dept_id) FROM emp").scalar() == 2
+
+    def test_group_by(self, db):
+        result = db.query(
+            "SELECT dept_id, count(*), sum(salary) FROM emp "
+            "WHERE dept_id IS NOT NULL GROUP BY dept_id ORDER BY dept_id"
+        )
+        assert result.rows == [[1, 2, 180], [2, 1, 90]]
+
+    def test_group_by_with_having(self, db):
+        result = db.query(
+            "SELECT dept_id FROM emp WHERE dept_id IS NOT NULL "
+            "GROUP BY dept_id HAVING count(*) > 1"
+        )
+        assert result.rows == [[1]]
+
+    def test_aggregate_expression(self, db):
+        result = db.query("SELECT sum(salary * 2) FROM emp WHERE dept_id = 1")
+        assert result.scalar() == 360
+
+    def test_expression_of_aggregates(self, db):
+        result = db.query("SELECT max(salary) - min(salary) FROM emp")
+        assert result.scalar() == 90
+
+    def test_empty_group_aggregates(self, db):
+        result = db.query("SELECT count(*), sum(salary) FROM emp WHERE id > 100")
+        assert result.rows == [[0, None]]
+
+    def test_group_by_preserves_first_seen_order_then_sorts(self, db):
+        result = db.query(
+            "SELECT dept_id, count(*) FROM emp GROUP BY dept_id ORDER BY 2 DESC, 1"
+        )
+        assert result.rows[0] == [1, 2]
+
+    def test_order_by_aggregate_alias(self, db):
+        result = db.query(
+            "SELECT dept_id, sum(salary) AS total FROM emp "
+            "WHERE dept_id IS NOT NULL GROUP BY dept_id ORDER BY total DESC"
+        )
+        assert result.rows == [[1, 180], [2, 90]]
+
+    def test_aggregate_outside_group_context_rejected(self, db):
+        with pytest.raises(SqlError):
+            db.query("SELECT name FROM emp WHERE sum(salary) > 10")
+
+    def test_having_filters_groups(self, db):
+        result = db.query(
+            "SELECT dept_id, avg(salary) FROM emp WHERE dept_id IS NOT NULL "
+            "GROUP BY dept_id HAVING avg(salary) > 85 ORDER BY dept_id"
+        )
+        # dept 1 averages (100+80)/2 = 90, dept 2 averages 90
+        assert result.rows == [[1, 90.0], [2, 90.0]]

@@ -1,0 +1,302 @@
+"""Tests for the SQL lexer and parser."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sqlengine import ast_nodes as ast
+from repro.sqlengine.errors import SqlSyntaxError
+from repro.sqlengine.lexer import tokenize
+from repro.sqlengine.parser import parse_expression, parse_sql, parse_statement
+
+
+class TestLexer:
+    def test_keywords_uppercased(self):
+        tokens = tokenize("select FROM Where")
+        assert [t.kind for t in tokens[:3]] == ["keyword"] * 3
+        assert [t.value for t in tokens[:3]] == ["SELECT", "FROM", "WHERE"]
+
+    def test_identifiers_lowercased(self):
+        tokens = tokenize("MyTable my_col")
+        assert [t.value for t in tokens[:2]] == ["mytable", "my_col"]
+
+    def test_string_with_escaped_quote(self):
+        tokens = tokenize("'it''s'")
+        assert tokens[0].kind == "string"
+        assert tokens[0].value == "it's"
+
+    def test_dollar_quoted_string(self):
+        tokens = tokenize("$$BEGIN RETURN 1; END$$")
+        assert tokens[0].kind == "string"
+        assert "RETURN 1" in tokens[0].value
+
+    def test_numbers(self):
+        tokens = tokenize("42 3.14 1e6 2.5E-3")
+        assert [t.kind for t in tokens[:4]] == ["number"] * 4
+
+    def test_params(self):
+        tokens = tokenize("$1 $22")
+        assert [(t.kind, t.value) for t in tokens[:2]] == [("param", "1"), ("param", "22")]
+
+    def test_custom_operator_lexes_greedily(self):
+        tokens = tokenize("a >>> b <<< c")
+        operators = [t.value for t in tokens if t.kind == "operator"]
+        assert operators == [">>>", "<<<"]
+
+    def test_comments_skipped(self):
+        tokens = tokenize("SELECT -- inline comment\n 1 /* block */ ;")
+        kinds = [t.kind for t in tokens]
+        assert "number" in kinds
+
+    def test_quoted_identifier(self):
+        tokens = tokenize('"MixedCase"')
+        assert tokens[0] == tokens[0].__class__("ident", "MixedCase", 0)
+
+    def test_unterminated_string_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("'oops")
+
+    def test_double_colon_cast_token(self):
+        tokens = tokenize("x::int")
+        assert any(t.kind == "operator" and t.value == "::" for t in tokens)
+
+
+class TestSelectParsing:
+    def test_simple_select(self):
+        stmt = parse_statement("SELECT a, b FROM t WHERE a > 1")
+        assert isinstance(stmt, ast.Select)
+        assert len(stmt.items) == 2
+        assert stmt.tables[0].name == "t"
+        assert isinstance(stmt.where, ast.Binary)
+
+    def test_star(self):
+        stmt = parse_statement("SELECT * FROM t")
+        assert isinstance(stmt.items[0].expr, ast.Star)
+
+    def test_qualified_star(self):
+        stmt = parse_statement("SELECT t.* FROM t")
+        assert stmt.items[0].expr == ast.Star(table="t")
+
+    def test_aliases(self):
+        stmt = parse_statement("SELECT a AS x, b y FROM t AS u")
+        assert stmt.items[0].alias == "x"
+        assert stmt.items[1].alias == "y"
+        assert stmt.tables[0].alias == "u"
+
+    def test_group_by_having_order_limit(self):
+        stmt = parse_statement(
+            "SELECT a, count(*) FROM t GROUP BY a HAVING count(*) > 1 "
+            "ORDER BY 2 DESC, a ASC LIMIT 5 OFFSET 2"
+        )
+        assert len(stmt.group_by) == 1
+        assert stmt.having is not None
+        assert stmt.order_by[0].ascending is False
+        assert stmt.order_by[1].ascending is True
+        assert stmt.limit == 5
+        assert stmt.offset == 2
+
+    def test_joins(self):
+        stmt = parse_statement(
+            "SELECT * FROM a JOIN b ON a.id = b.id LEFT JOIN c ON b.id = c.id"
+        )
+        assert stmt.tables[1].join_type == "inner"
+        assert stmt.tables[2].join_type == "left"
+        assert stmt.tables[1].on is not None
+
+    def test_comma_join(self):
+        stmt = parse_statement("SELECT * FROM a, b, c")
+        assert len(stmt.tables) == 3
+        assert all(t.join_type == "cross" for t in stmt.tables)
+
+    def test_distinct(self):
+        assert parse_statement("SELECT DISTINCT a FROM t").distinct
+
+    def test_select_without_from(self):
+        stmt = parse_statement("SELECT 1 + 2")
+        assert stmt.tables == ()
+
+
+class TestExpressionParsing:
+    def test_precedence(self):
+        expr = parse_expression("1 + 2 * 3")
+        assert isinstance(expr, ast.Binary)
+        assert expr.op == "+"
+        assert expr.right == ast.Binary("*", ast.Literal(2), ast.Literal(3))
+
+    def test_and_or_precedence(self):
+        expr = parse_expression("a OR b AND c")
+        assert expr.op == "OR"
+
+    def test_not(self):
+        expr = parse_expression("NOT a = 1")
+        assert isinstance(expr, ast.Unary)
+        assert expr.op == "NOT"
+
+    def test_in_list(self):
+        expr = parse_expression("x IN (1, 2, 3)")
+        assert isinstance(expr, ast.InList)
+        assert len(expr.items) == 3
+
+    def test_not_in(self):
+        expr = parse_expression("x NOT IN (1)")
+        assert isinstance(expr, ast.InList)
+        assert expr.negated
+
+    def test_between(self):
+        expr = parse_expression("x BETWEEN 1 AND 10")
+        assert isinstance(expr, ast.Between)
+
+    def test_not_between(self):
+        expr = parse_expression("x NOT BETWEEN 1 AND 10")
+        assert expr.negated
+
+    def test_like_and_not_like(self):
+        assert parse_expression("x LIKE 'a%'").op == "LIKE"
+        negated = parse_expression("x NOT LIKE 'a%'")
+        assert isinstance(negated, ast.Unary) and negated.op == "NOT"
+
+    def test_is_null(self):
+        assert isinstance(parse_expression("x IS NULL"), ast.IsNull)
+        assert parse_expression("x IS NOT NULL").negated
+
+    def test_case_when(self):
+        expr = parse_expression("CASE WHEN a = 1 THEN 'one' ELSE 'other' END")
+        assert isinstance(expr, ast.CaseWhen)
+        assert expr.default == ast.Literal("other")
+
+    def test_cast_postfix_and_function(self):
+        assert parse_expression("x::int") == ast.Cast(ast.Column("x"), "integer")
+        assert parse_expression("CAST(x AS text)") == ast.Cast(ast.Column("x"), "text")
+
+    def test_date_and_interval_literals(self):
+        import datetime
+
+        expr = parse_expression("DATE '2020-01-02'")
+        assert expr == ast.Literal(datetime.date(2020, 1, 2))
+        interval = parse_expression("INTERVAL '3 month'")
+        assert isinstance(interval, ast.IntervalLiteral)
+        assert interval.interval.months == 3
+
+    def test_extract_and_substring(self):
+        assert parse_expression("EXTRACT(year FROM d)").what == "year"
+        sub = parse_expression("SUBSTRING(s FROM 2 FOR 3)")
+        assert isinstance(sub, ast.Substring)
+
+    def test_custom_operator(self):
+        expr = parse_expression("a >>> 0")
+        assert expr.op == ">>>"
+
+    def test_function_calls(self):
+        assert parse_expression("count(*)").star
+        call = parse_expression("count(DISTINCT x)")
+        assert call.distinct
+        assert parse_expression("coalesce(a, b, 0)").name == "coalesce"
+
+    def test_qualified_column(self):
+        assert parse_expression("t.col") == ast.Column(name="col", table="t")
+
+
+class TestOtherStatements:
+    def test_insert(self):
+        stmt = parse_statement("INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')")
+        assert isinstance(stmt, ast.Insert)
+        assert stmt.columns == ("a", "b")
+        assert len(stmt.rows) == 2
+
+    def test_update(self):
+        stmt = parse_statement("UPDATE t SET a = 1, b = b + 1 WHERE id = 2")
+        assert isinstance(stmt, ast.Update)
+        assert len(stmt.assignments) == 2
+
+    def test_delete(self):
+        stmt = parse_statement("DELETE FROM t WHERE a IS NULL")
+        assert isinstance(stmt, ast.Delete)
+
+    def test_create_table(self):
+        stmt = parse_statement(
+            "CREATE TABLE t (id integer PRIMARY KEY, name varchar(32) NOT NULL, "
+            "score double precision)"
+        )
+        assert isinstance(stmt, ast.CreateTable)
+        assert stmt.columns[0].primary_key
+        assert stmt.columns[1].not_null
+        assert stmt.columns[2].type_name == "double precision"
+
+    def test_create_table_if_not_exists(self):
+        stmt = parse_statement("CREATE TABLE IF NOT EXISTS t (a int)")
+        assert stmt.if_not_exists
+
+    def test_create_function(self):
+        stmt = parse_statement(
+            "CREATE FUNCTION f(integer, integer) RETURNS boolean "
+            "AS $$BEGIN RETURN $1 > $2; END$$ LANGUAGE plpgsql immutable"
+        )
+        assert isinstance(stmt, ast.CreateFunction)
+        assert stmt.arg_types == ("integer", "integer")
+        assert stmt.volatility == "immutable"
+
+    def test_create_operator(self):
+        stmt = parse_statement(
+            "CREATE OPERATOR >>> (procedure=f, leftarg=integer, "
+            "rightarg=integer, restrict=scalargtsel)"
+        )
+        assert isinstance(stmt, ast.CreateOperator)
+        assert stmt.name == ">>>"
+        assert stmt.options["procedure"] == "f"
+        assert stmt.options["restrict"] == "scalargtsel"
+
+    def test_set_and_show(self):
+        stmt = parse_statement("SET client_min_messages TO 'notice'")
+        assert isinstance(stmt, ast.SetStatement)
+        assert stmt.name == "client_min_messages"
+        stmt = parse_statement("SHOW server_version")
+        assert isinstance(stmt, ast.ShowStatement)
+
+    def test_explain(self):
+        stmt = parse_statement("EXPLAIN (COSTS OFF) SELECT * FROM t")
+        assert isinstance(stmt, ast.Explain)
+        assert not stmt.costs
+        assert parse_statement("EXPLAIN SELECT 1").costs
+
+    def test_transactions(self):
+        for kind in ("BEGIN", "COMMIT", "ROLLBACK"):
+            stmt = parse_statement(kind)
+            assert isinstance(stmt, ast.Transaction)
+            assert stmt.kind == kind.lower()
+
+    def test_grant_policy_rls(self):
+        assert isinstance(parse_statement("GRANT SELECT ON t TO bob"), ast.Grant)
+        stmt = parse_statement("CREATE POLICY p ON t USING (a < 10)")
+        assert isinstance(stmt, ast.CreatePolicy)
+        stmt = parse_statement("ALTER TABLE t ENABLE ROW LEVEL SECURITY")
+        assert isinstance(stmt, ast.AlterTableRowSecurity)
+
+    def test_multi_statement_script(self):
+        statements = parse_sql("SELECT 1; SELECT 2;; SELECT 3")
+        assert len(statements) == 3
+
+    def test_syntax_error(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_statement("SELECT FROM WHERE")
+
+    def test_trailing_garbage_in_expression(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_expression("1 + 2 extra garbage (")
+
+
+@given(st.integers(min_value=-10**6, max_value=10**6))
+def test_property_integer_literals_round_trip(n):
+    expr = parse_expression(str(n))
+    if n < 0:
+        assert isinstance(expr, ast.Unary)
+    else:
+        assert expr == ast.Literal(n)
+
+
+@given(st.text(alphabet=st.characters(blacklist_characters="\x00", codec="utf-8"), max_size=40))
+def test_property_string_literals_round_trip(text):
+    escaped = text.replace("'", "''")
+    expr = parse_expression(f"'{escaped}'")
+    assert expr == ast.Literal(text)

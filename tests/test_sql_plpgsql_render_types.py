@@ -1,0 +1,185 @@
+"""Tests for the plpgsql interpreter, expression renderer, and types."""
+
+from __future__ import annotations
+
+import datetime
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sqlengine import plpgsql
+from repro.sqlengine.errors import DataTypeError, SqlError, SqlSyntaxError
+from repro.sqlengine.parser import parse_expression
+from repro.sqlengine.render import render_expr
+from repro.sqlengine.types import (
+    Interval,
+    coerce,
+    format_value,
+    infer_type,
+    normalize_type,
+    parse_date,
+    parse_interval,
+)
+
+
+class TestPlpgsqlParsing:
+    def test_begin_end_block(self):
+        statements = plpgsql.parse_body("BEGIN RETURN 1; END")
+        assert len(statements) == 1
+        assert isinstance(statements[0], plpgsql.ReturnStatement)
+
+    def test_bare_return(self):
+        statements = plpgsql.parse_body("RETURN $1 + $2")
+        assert len(statements) == 1
+
+    def test_raise_notice_with_args(self):
+        statements = plpgsql.parse_body(
+            "BEGIN RAISE NOTICE 'leak % %', $1, $2; RETURN true; END"
+        )
+        raise_stmt = statements[0]
+        assert isinstance(raise_stmt, plpgsql.RaiseStatement)
+        assert raise_stmt.level == "notice"
+        assert raise_stmt.format_string == "leak % %"
+        assert len(raise_stmt.args) == 2
+
+    def test_raise_exception(self):
+        statements = plpgsql.parse_body("BEGIN RAISE EXCEPTION 'no'; RETURN 1; END")
+        assert statements[0].level == "exception"
+
+    def test_missing_return_rejected(self):
+        with pytest.raises(SqlSyntaxError, match="no RETURN"):
+            plpgsql.parse_body("BEGIN RAISE NOTICE 'x'; END")
+
+    def test_unsupported_statement_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            plpgsql.parse_body("BEGIN UPDATE t SET x = 1; RETURN 1; END")
+
+    def test_raise_requires_format_string(self):
+        with pytest.raises(SqlSyntaxError):
+            plpgsql.parse_body("BEGIN RAISE NOTICE $1; RETURN 1; END")
+
+
+class TestRenderFormat:
+    def test_percent_substitution(self):
+        assert plpgsql.render_format("leak % %", [1, "two"]) == "leak 1 two"
+
+    def test_escaped_percent(self):
+        assert plpgsql.render_format("100%%", []) == "100%"
+
+    def test_too_few_args(self):
+        with pytest.raises(SqlError):
+            plpgsql.render_format("% %", [1])
+
+    def test_value_formatting(self):
+        assert plpgsql.render_format("%", [True]) == "t"
+        assert plpgsql.render_format("%", [None]) == ""
+
+
+class TestRenderExpr:
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            "a + 1",
+            "a >>> 0",
+            "x LIKE 'a%'",
+            "x IN (1, 2)",
+            "x NOT IN (1)",
+            "x BETWEEN 1 AND 2",
+            "x IS NULL",
+            "x IS NOT NULL",
+            "NOT a",
+            "count(*)",
+            "coalesce(a, 'x')",
+            "CASE WHEN a = 1 THEN 'one' ELSE 'other' END",
+            "CAST(x AS integer)",
+            "EXTRACT(year FROM d)",
+            "SUBSTRING(s FROM 1 FOR 2)",
+        ],
+    )
+    def test_render_is_reparseable(self, sql):
+        expr = parse_expression(sql)
+        rendered = render_expr(expr)
+        reparsed = parse_expression(rendered)
+        assert render_expr(reparsed) == rendered  # fixed point
+
+    def test_string_escaping(self):
+        expr = parse_expression("'it''s'")
+        assert render_expr(expr) == "'it''s'"
+
+    def test_null_and_booleans(self):
+        assert render_expr(parse_expression("NULL")) == "NULL"
+        assert render_expr(parse_expression("TRUE")) == "true"
+
+
+class TestTypes:
+    def test_normalize_aliases(self):
+        assert normalize_type("int4") == "integer"
+        assert normalize_type("VARCHAR(32)") == "text"
+        assert normalize_type("double precision") == "double precision"
+        with pytest.raises(DataTypeError):
+            normalize_type("geometry")
+
+    def test_coerce_int(self):
+        assert coerce("42", "integer") == 42
+        assert coerce(True, "integer") == 1
+        assert coerce(None, "integer") is None
+        with pytest.raises(DataTypeError):
+            coerce("nope", "integer")
+
+    def test_coerce_bool(self):
+        assert coerce("t", "boolean") is True
+        assert coerce("false", "boolean") is False
+        assert coerce(1, "boolean") is True
+        with pytest.raises(DataTypeError):
+            coerce("maybe", "boolean")
+
+    def test_coerce_date(self):
+        assert coerce("2020-05-06", "date") == datetime.date(2020, 5, 6)
+        with pytest.raises(DataTypeError):
+            parse_date("junk")
+
+    def test_format_value(self):
+        assert format_value(None) == ""
+        assert format_value(True) == "t"
+        assert format_value(2.0) == "2.0"
+        assert format_value(datetime.date(2020, 1, 2)) == "2020-01-02"
+
+    def test_infer_type(self):
+        assert infer_type(True) == "boolean"
+        assert infer_type(3) == "integer"
+        assert infer_type(3.5) == "double precision"
+        assert infer_type(datetime.date.today()) == "date"
+        assert infer_type("x") == "text"
+
+
+class TestInterval:
+    def test_parse_units(self):
+        assert parse_interval("90 day").days == 90
+        assert parse_interval("3 months").months == 3
+        assert parse_interval("1 year").months == 12
+        assert parse_interval("2 weeks").days == 14
+        with pytest.raises(DataTypeError):
+            parse_interval("5 fortnights")
+        with pytest.raises(DataTypeError):
+            parse_interval("soon")
+
+    def test_month_arithmetic_clamps_day(self):
+        jan31 = datetime.date(2021, 1, 31)
+        assert Interval(months=1).add_to(jan31) == datetime.date(2021, 2, 28)
+
+    def test_year_rollover(self):
+        nov = datetime.date(2020, 11, 15)
+        assert Interval(months=3).add_to(nov) == datetime.date(2021, 2, 15)
+
+    def test_subtract(self):
+        march = datetime.date(2021, 3, 31)
+        assert Interval(months=1).subtract_from(march) == datetime.date(2021, 2, 28)
+
+    @given(
+        st.dates(min_value=datetime.date(1990, 1, 1), max_value=datetime.date(2050, 1, 1)),
+        st.integers(min_value=0, max_value=48),
+    )
+    def test_property_add_months_is_monotone(self, date, months):
+        later = Interval(months=months).add_to(date)
+        assert later >= date

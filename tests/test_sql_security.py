@@ -1,0 +1,223 @@
+"""Tests for UDFs, custom operators, privileges, RLS, and the CVE paths."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sqlengine import (
+    Database,
+    EngineProfile,
+    FeatureNotSupportedError,
+    InsufficientPrivilegeError,
+    SqlError,
+    UndefinedFunctionError,
+)
+
+LEAK_FUNCTION = (
+    "CREATE FUNCTION leak2(integer,integer) RETURNS boolean "
+    "AS $$BEGIN RAISE NOTICE 'leak % %', $1, $2; RETURN $1 > $2; END$$ "
+    "LANGUAGE plpgsql immutable"
+)
+LEAK_OPERATOR = (
+    "CREATE OPERATOR >>> (procedure=leak2, leftarg=integer, "
+    "rightarg=integer, restrict=scalargtsel)"
+)
+
+
+class TestUserFunctions:
+    def test_function_call_and_notice(self):
+        db = Database()
+        session = db.create_session()
+        db.execute(LEAK_FUNCTION, session)
+        outcome = db.execute("SELECT leak2(5, 3)", session)[0]
+        assert outcome.result.rows == [[True]]
+        assert [n.message for n in outcome.notices] == ["leak 5 3"]
+
+    def test_duplicate_function_rejected(self):
+        db = Database()
+        db.query(LEAK_FUNCTION)
+        with pytest.raises(SqlError):
+            db.query(LEAK_FUNCTION)
+
+    def test_function_return_type_coerced(self):
+        db = Database()
+        db.query(
+            "CREATE FUNCTION one() RETURNS integer AS 'BEGIN RETURN 1.0; END' "
+            "LANGUAGE plpgsql"
+        )
+        value = db.query("SELECT one()").scalar()
+        assert value == 1 and isinstance(value, int)
+
+    def test_raise_exception(self):
+        db = Database()
+        db.query(
+            "CREATE FUNCTION boom() RETURNS integer AS "
+            "'BEGIN RAISE EXCEPTION ''nope''; RETURN 1; END' LANGUAGE plpgsql"
+        )
+        with pytest.raises(SqlError, match="nope"):
+            db.query("SELECT boom()")
+
+    def test_unknown_function(self):
+        with pytest.raises(UndefinedFunctionError):
+            Database().query("SELECT nosuchfn(1)")
+
+
+class TestCustomOperators:
+    def test_operator_dispatches_to_function(self):
+        db = Database()
+        session = db.create_session()
+        db.execute(LEAK_FUNCTION + ";" + LEAK_OPERATOR, session)
+        outcome = db.execute("SELECT 7 >>> 3", session)[0]
+        assert outcome.result.rows == [[True]]
+        assert outcome.notices[0].message == "leak 7 3"
+
+    def test_operator_in_where_runs_per_row(self):
+        db = Database()
+        session = db.create_session()
+        db.execute(
+            "CREATE TABLE t (a int); INSERT INTO t VALUES (1), (5), (9);"
+            + LEAK_FUNCTION + ";" + LEAK_OPERATOR,
+            session,
+        )
+        outcome = db.execute("SELECT a FROM t WHERE a >>> 4", session)[0]
+        assert outcome.result.rows == [[5], [9]]
+        assert len(outcome.notices) == 3  # called on every row
+
+    def test_unknown_operator(self):
+        with pytest.raises(UndefinedFunctionError):
+            Database().query("SELECT 1 %%% 2")
+
+    def test_operator_requires_procedure_option(self):
+        with pytest.raises(SqlError):
+            Database().query("CREATE OPERATOR >>> (leftarg=int, rightarg=int)")
+
+
+class TestVendorUdfGate:
+    def test_udf_disabled_profile_rejects(self):
+        db = Database(EngineProfile(supports_udf=False, udf_error_message="unimplemented"))
+        with pytest.raises(FeatureNotSupportedError, match="unimplemented"):
+            db.query(LEAK_FUNCTION)
+        with pytest.raises(FeatureNotSupportedError):
+            db.query(LEAK_OPERATOR.replace("leak2", "whatever"))
+
+
+class TestPrivileges:
+    def _db(self) -> Database:
+        db = Database()
+        db.execute(
+            "CREATE TABLE secret (x int); INSERT INTO secret VALUES (1);"
+            "CREATE TABLE open_table (x int); INSERT INTO open_table VALUES (2);"
+            "CREATE USER bob; GRANT SELECT ON open_table TO bob;"
+        )
+        return db
+
+    def test_denied_without_grant(self):
+        db = self._db()
+        bob = db.create_session("bob")
+        with pytest.raises(InsufficientPrivilegeError):
+            db.query("SELECT * FROM secret", bob)
+
+    def test_allowed_with_grant(self):
+        db = self._db()
+        bob = db.create_session("bob")
+        assert db.query("SELECT x FROM open_table", bob).scalar() == 2
+
+    def test_owner_always_allowed(self):
+        db = self._db()
+        assert db.query("SELECT x FROM secret").scalar() == 1
+
+
+class TestRowLevelSecurity:
+    SETUP = """
+    CREATE TABLE t (id int, secret text);
+    INSERT INTO t VALUES (1, 'a'), (2, 'b'), (999, 'PROTECTED');
+    ALTER TABLE t ENABLE ROW LEVEL SECURITY;
+    CREATE POLICY p ON t USING (id < 100);
+    CREATE USER bob;
+    GRANT SELECT ON t TO bob;
+    """
+
+    def test_policy_filters_rows_for_grantee(self):
+        db = Database()
+        db.execute(self.SETUP)
+        bob = db.create_session("bob")
+        rows = db.query("SELECT id FROM t ORDER BY id", bob).rows
+        assert rows == [[1], [2]]
+
+    def test_owner_sees_everything(self):
+        db = Database()
+        db.execute(self.SETUP)
+        assert len(db.query("SELECT id FROM t").rows) == 3
+
+    def test_fixed_engine_does_not_leak_via_operator(self):
+        db = Database(EngineProfile(rls_pushdown_leak=False))
+        db.execute(self.SETUP)
+        bob = db.create_session("bob")
+        db.execute(
+            "CREATE FUNCTION snoop(text, text) RETURNS bool AS "
+            "'BEGIN RAISE NOTICE ''saw %'', $1; RETURN true; END' LANGUAGE plpgsql;"
+            "CREATE OPERATOR <<< (procedure=snoop, leftarg=text, rightarg=text);",
+            bob,
+        )
+        outcome = db.execute("SELECT id FROM t WHERE secret <<< 'x'", bob)[0]
+        seen = [n.message for n in outcome.notices]
+        assert "saw PROTECTED" not in seen
+        assert len(seen) == 2
+
+    def test_leaky_engine_leaks_but_still_filters_results(self):
+        db = Database(EngineProfile(rls_pushdown_leak=True))
+        db.execute(self.SETUP)
+        bob = db.create_session("bob")
+        db.execute(
+            "CREATE FUNCTION snoop(text, text) RETURNS bool AS "
+            "'BEGIN RAISE NOTICE ''saw %'', $1; RETURN true; END' LANGUAGE plpgsql;"
+            "CREATE OPERATOR <<< (procedure=snoop, leftarg=text, rightarg=text);",
+            bob,
+        )
+        outcome = db.execute("SELECT id FROM t WHERE secret <<< 'x'", bob)[0]
+        seen = [n.message for n in outcome.notices]
+        assert "saw PROTECTED" in seen  # the CVE-2019-10130 side channel
+        assert outcome.result.rows == [[1], [2]]  # results still filtered
+
+
+class TestPlannerLeak:
+    SETUP = """
+    CREATE TABLE some_table (col_to_leak integer);
+    INSERT INTO some_table VALUES (41), (42), (43);
+    CREATE USER attacker;
+    """
+    EXPLOIT = (
+        LEAK_FUNCTION + ";" + LEAK_OPERATOR + ";"
+        "SET client_min_messages TO 'notice';"
+        "EXPLAIN (COSTS OFF) SELECT * FROM some_table WHERE col_to_leak >>> 0"
+    )
+
+    def test_vulnerable_engine_leaks_statistics(self):
+        db = Database(EngineProfile(planner_stats_leak=True))
+        db.execute(self.SETUP)
+        attacker = db.create_session("attacker")
+        outcomes = db.execute(self.EXPLOIT, attacker)
+        notices = [n.message for o in outcomes for n in o.notices]
+        assert "leak 41 0" in notices and "leak 43 0" in notices
+
+    def test_fixed_engine_does_not_leak(self):
+        db = Database(EngineProfile(planner_stats_leak=False))
+        db.execute(self.SETUP)
+        attacker = db.create_session("attacker")
+        outcomes = db.execute(self.EXPLOIT, attacker)
+        notices = [n.message for o in outcomes for n in o.notices]
+        assert notices == []
+
+    def test_explain_emits_plan_rows(self):
+        db = Database()
+        db.execute("CREATE TABLE t (a int)")
+        result = db.query("EXPLAIN (COSTS OFF) SELECT * FROM t WHERE a = 1")
+        assert result.column_names == ["QUERY PLAN"]
+        assert any("Seq Scan on t" in row[0] for row in result.rows)
+        assert any("Filter:" in row[0] for row in result.rows)
+
+    def test_explain_with_costs(self):
+        db = Database()
+        db.execute("CREATE TABLE t (a int); INSERT INTO t VALUES (1)")
+        result = db.query("EXPLAIN SELECT * FROM t")
+        assert "cost=" in result.rows[0][0]

@@ -1,0 +1,146 @@
+"""Tests for subquery support: scalar, IN, EXISTS, correlation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sqlengine import Database, SqlError
+
+
+@pytest.fixture()
+def db() -> Database:
+    database = Database()
+    database.execute(
+        """
+        CREATE TABLE dept (id integer PRIMARY KEY, name text);
+        INSERT INTO dept VALUES (1, 'eng'), (2, 'ops'), (3, 'empty');
+        CREATE TABLE emp (id integer PRIMARY KEY, dept_id integer, name text,
+                          salary integer);
+        INSERT INTO emp VALUES
+            (1, 1, 'alice', 100),
+            (2, 1, 'bob', 80),
+            (3, 2, 'carol', 90);
+        """
+    )
+    return database
+
+
+class TestScalarSubqueries:
+    def test_uncorrelated_scalar(self, db):
+        result = db.query(
+            "SELECT name FROM emp WHERE salary > (SELECT avg(salary) FROM emp)"
+        )
+        assert result.rows == [["alice"]]
+
+    def test_scalar_in_select_list(self, db):
+        result = db.query("SELECT (SELECT max(salary) FROM emp)")
+        assert result.scalar() == 100
+
+    def test_empty_scalar_subquery_is_null(self, db):
+        result = db.query("SELECT (SELECT salary FROM emp WHERE id = 99)")
+        assert result.scalar() is None
+
+    def test_multi_row_scalar_subquery_rejected(self, db):
+        with pytest.raises(SqlError, match="more than one row"):
+            db.query("SELECT (SELECT salary FROM emp)")
+
+    def test_multi_column_scalar_subquery_rejected(self, db):
+        with pytest.raises(SqlError, match="single column"):
+            db.query("SELECT (SELECT id, salary FROM emp WHERE id = 1)")
+
+    def test_correlated_scalar(self, db):
+        result = db.query(
+            "SELECT name FROM emp e WHERE salary = "
+            "(SELECT max(salary) FROM emp WHERE dept_id = e.dept_id) "
+            "ORDER BY name"
+        )
+        assert result.rows == [["alice"], ["carol"]]
+
+
+class TestInSubqueries:
+    def test_uncorrelated_in(self, db):
+        result = db.query(
+            "SELECT name FROM dept WHERE id IN (SELECT dept_id FROM emp) ORDER BY id"
+        )
+        assert result.rows == [["eng"], ["ops"]]
+
+    def test_not_in(self, db):
+        result = db.query(
+            "SELECT name FROM dept WHERE id NOT IN (SELECT dept_id FROM emp)"
+        )
+        assert result.rows == [["empty"]]
+
+    def test_in_with_filtered_subquery(self, db):
+        result = db.query(
+            "SELECT name FROM dept WHERE id IN "
+            "(SELECT dept_id FROM emp WHERE salary > 85) ORDER BY id"
+        )
+        assert result.rows == [["eng"], ["ops"]]
+
+    def test_in_subquery_reused_across_rows(self, db):
+        """The membership set is built once (uncorrelated semi-join)."""
+        session = db.create_session()
+        db.query(
+            "SELECT name FROM dept WHERE id IN (SELECT dept_id FROM emp)", session
+        )
+        # one scan of dept (3) + one scan of emp (3), not dept x emp
+        assert db.total_work.rows_scanned <= 10
+
+
+class TestExists:
+    def test_correlated_exists(self, db):
+        result = db.query(
+            "SELECT name FROM dept WHERE EXISTS "
+            "(SELECT 1 FROM emp WHERE emp.dept_id = dept.id) ORDER BY id"
+        )
+        assert result.rows == [["eng"], ["ops"]]
+
+    def test_not_exists(self, db):
+        result = db.query(
+            "SELECT name FROM dept WHERE NOT EXISTS "
+            "(SELECT 1 FROM emp WHERE emp.dept_id = dept.id)"
+        )
+        assert result.rows == [["empty"]]
+
+    def test_uncorrelated_exists(self, db):
+        assert db.query(
+            "SELECT count(*) FROM dept WHERE EXISTS (SELECT 1 FROM emp)"
+        ).scalar() == 3
+        assert db.query(
+            "SELECT count(*) FROM dept WHERE EXISTS (SELECT 1 FROM emp WHERE id > 99)"
+        ).scalar() == 0
+
+
+class TestCorrelationMemo:
+    def test_repeated_outer_values_hit_the_memo(self, db):
+        """alice and bob share dept_id=1: the correlated subquery runs
+        once per distinct correlation value, not once per row."""
+        session = db.create_session()
+        before = db.total_work.rows_scanned
+        db.query(
+            "SELECT name FROM emp e WHERE salary >= "
+            "(SELECT avg(salary) FROM emp WHERE dept_id = e.dept_id)",
+            session,
+        )
+        scanned = db.total_work.rows_scanned - before
+        # 3 outer rows + 1 failed uncorrelated probe (3) + 2 distinct
+        # dept_ids -> 2 inner scans (bob's dept hits the memo)
+        assert scanned <= 3 + 3 + 2 * 3
+        # without the memo it would be 3 inner scans: 3 + 3 + 3*3 = 15
+        assert scanned < 15
+
+    def test_correlated_in_update_where(self, db):
+        db.query(
+            "UPDATE emp SET salary = salary + 1 WHERE dept_id IN "
+            "(SELECT id FROM dept WHERE name = 'eng')"
+        )
+        assert db.query("SELECT salary FROM emp WHERE id = 1").scalar() == 101
+
+    def test_nested_subqueries(self, db):
+        result = db.query(
+            "SELECT name FROM emp WHERE dept_id IN ("
+            "  SELECT id FROM dept WHERE id IN ("
+            "    SELECT dept_id FROM emp WHERE salary > 85)"
+            ") ORDER BY name"
+        )
+        assert result.rows == [["alice"], ["bob"], ["carol"]]

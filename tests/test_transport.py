@@ -1,0 +1,221 @@
+"""Tests for the transport substrate: ports, streams, server, retry, TLS."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.transport import (
+    ConnectionClosed,
+    PortAllocator,
+    allocate_port,
+    client_ssl_context,
+    open_connection_retry,
+    read_exact,
+    read_frame,
+    read_until,
+    server_ssl_context,
+    start_server,
+    write_frame,
+)
+from repro.transport.streams import MAX_FRAME_SIZE, close_writer
+from tests.helpers import run
+
+
+class TestPortAllocator:
+    def test_allocates_distinct_ports(self):
+        allocator = PortAllocator()
+        ports = allocator.allocate_many(16)
+        assert len(set(ports)) == 16
+
+    def test_release_allows_reuse(self):
+        allocator = PortAllocator()
+        port = allocator.allocate()
+        allocator.release(port)
+        assert port not in allocator._allocated
+
+    def test_default_allocator(self):
+        assert isinstance(allocate_port(), int)
+
+
+class TestStreams:
+    def test_frame_round_trip(self):
+        async def main():
+            async def echo(reader, writer):
+                payload = await read_frame(reader)
+                await write_frame(writer, payload[::-1])
+
+            server = await start_server(echo)
+            reader, writer = await open_connection_retry(*server.address)
+            await write_frame(writer, b"abc")
+            assert await read_frame(reader) == b"cba"
+            await close_writer(writer)
+            await server.close()
+
+        run(main())
+
+    def test_oversized_frame_rejected_on_write(self):
+        async def main():
+            server = await start_server(lambda r, w: asyncio.sleep(0))
+            _, writer = await open_connection_retry(*server.address)
+            with pytest.raises(ValueError):
+                await write_frame(writer, b"x" * (MAX_FRAME_SIZE + 1))
+            await close_writer(writer)
+            await server.close()
+
+        run(main())
+
+    def test_read_exact_raises_on_early_close(self):
+        async def main():
+            async def close_fast(reader, writer):
+                writer.write(b"ab")
+                await writer.drain()
+                writer.close()
+
+            server = await start_server(close_fast)
+            reader, writer = await open_connection_retry(*server.address)
+            with pytest.raises(ConnectionClosed) as info:
+                await read_exact(reader, 10)
+            assert info.value.partial == b"ab"
+            await close_writer(writer)
+            await server.close()
+
+        run(main())
+
+    def test_read_until_raises_on_early_close(self):
+        async def main():
+            async def close_fast(reader, writer):
+                writer.write(b"no newline")
+                await writer.drain()
+                writer.close()
+
+            server = await start_server(close_fast)
+            reader, writer = await open_connection_retry(*server.address)
+            with pytest.raises(ConnectionClosed):
+                await read_until(reader, b"\n")
+            await close_writer(writer)
+            await server.close()
+
+        run(main())
+
+    def test_zero_length_read_exact(self):
+        async def main():
+            reader = asyncio.StreamReader()
+            assert await read_exact(reader, 0) == b""
+
+        run(main())
+
+
+class TestServerHandle:
+    def test_reports_bound_address(self):
+        async def main():
+            server = await start_server(lambda r, w: asyncio.sleep(0), name="t")
+            host, port = server.address
+            assert host == "127.0.0.1"
+            assert port > 0
+            await server.close()
+
+        run(main())
+
+    def test_close_is_idempotent(self):
+        async def main():
+            server = await start_server(lambda r, w: asyncio.sleep(0))
+            await server.close()
+            await server.close()
+
+        run(main())
+
+    def test_handler_error_does_not_kill_server(self):
+        async def main():
+            async def crashy(reader, writer):
+                raise RuntimeError("boom")
+
+            server = await start_server(crashy)
+            # first connection crashes the handler...
+            _, w1 = await open_connection_retry(*server.address)
+            await close_writer(w1)
+            # ...but the server still accepts more connections
+            _, w2 = await open_connection_retry(*server.address)
+            await close_writer(w2)
+            await server.close()
+
+        run(main())
+
+    def test_async_context_manager(self):
+        async def main():
+            async with await start_server(lambda r, w: asyncio.sleep(0)) as server:
+                assert server.port > 0
+
+        run(main())
+
+
+class TestRetry:
+    def test_connect_failure_raises_connection_error(self):
+        async def main():
+            port = allocate_port()  # nothing listening there
+            with pytest.raises(ConnectionError):
+                await open_connection_retry("127.0.0.1", port, attempts=2, initial_delay=0.01)
+
+        run(main())
+
+    def test_connects_to_late_starting_server(self):
+        async def main():
+            port = allocate_port()
+
+            async def start_late():
+                await asyncio.sleep(0.1)
+                return await start_server(
+                    lambda r, w: asyncio.sleep(0), port=port
+                )
+
+            starter = asyncio.ensure_future(start_late())
+            reader, writer = await open_connection_retry(
+                "127.0.0.1", port, attempts=50, initial_delay=0.02
+            )
+            server = await starter
+            await close_writer(writer)
+            await server.close()
+
+        run(main())
+
+
+class TestTls:
+    def test_encrypted_round_trip(self):
+        async def main():
+            async def echo(reader, writer):
+                data = await read_frame(reader)
+                await write_frame(writer, data)
+
+            server = await start_server(echo, ssl_context=server_ssl_context())
+            reader, writer = await open_connection_retry(
+                *server.address, ssl_context=client_ssl_context()
+            )
+            await write_frame(writer, b"secret-payload")
+            assert await read_frame(reader) == b"secret-payload"
+            await close_writer(writer)
+            await server.close()
+
+        run(main())
+
+    def test_plaintext_client_cannot_complete_tls_frame(self):
+        async def main():
+            async def echo(reader, writer):
+                data = await read_frame(reader)
+                await write_frame(writer, data)
+
+            server = await start_server(echo, ssl_context=server_ssl_context())
+            reader, writer = await open_connection_retry(*server.address)
+            writer.write(b"plaintext nonsense\n")
+            try:
+                await writer.drain()
+                data = await asyncio.wait_for(reader.read(64), timeout=2)
+            except (ConnectionError, asyncio.TimeoutError):
+                data = b""
+            # server speaks TLS: the reply is a TLS alert or a hangup,
+            # never an echo of our bytes
+            assert b"plaintext nonsense" not in data
+            await close_writer(writer)
+            await server.close()
+
+        run(main())

@@ -1,0 +1,193 @@
+"""Tests for the vendor engines and the in-process orchestrator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.orchestrator import Cluster, ClusterError, DeploymentSpec, ServiceSpec
+from repro.pgwire import PgClient, PgWireServer
+from repro.sqlengine import FeatureNotSupportedError
+from repro.vendors import (
+    create_enterprisesim,
+    create_postsim,
+    create_roachsim,
+    parse_version,
+)
+from tests.helpers import run
+
+
+class TestPostsimVersions:
+    def test_parse_version(self):
+        assert parse_version("10.7") == (10, 7)
+        assert parse_version("9.2.20") == (9, 2, 20)
+
+    @pytest.mark.parametrize(
+        "version,planner_leak,rls_leak",
+        [
+            ("9.2.19", True, False),
+            ("9.2.20", True, False),
+            ("9.2.21", False, False),
+            ("10.0", False, True),
+            ("10.7", False, True),
+            ("10.8", False, False),
+            ("10.9", False, False),
+            ("13.0", False, False),
+        ],
+    )
+    def test_cve_windows(self, version, planner_leak, rls_leak):
+        db = create_postsim(version)
+        assert db.profile.planner_stats_leak is planner_leak
+        assert db.profile.rls_pushdown_leak is rls_leak
+
+    def test_version_string_embeds_version(self):
+        db = create_postsim("10.7")
+        assert "10.7" in db.profile.version_string
+        assert db.query("SELECT version()").scalar() == db.profile.version_string
+
+
+class TestRoachsim:
+    def test_rejects_udf_like_cockroachdb(self):
+        db = create_roachsim()
+        with pytest.raises(FeatureNotSupportedError, match="unimplemented"):
+            db.query(
+                "CREATE FUNCTION f() RETURNS int AS 'BEGIN RETURN 1; END' "
+                "LANGUAGE plpgsql"
+            )
+
+    def test_serializable_default(self):
+        db = create_roachsim()
+        session = db.create_session()
+        result = db.query("SHOW default_transaction_isolation", session)
+        assert result.scalar() == "serializable"
+
+    def test_same_sql_dialect_as_postsim(self):
+        """Benign queries answer identically across vendors — the property
+        implementation diversity depends on."""
+        queries = [
+            "CREATE TABLE t (a int, b text)",
+            "INSERT INTO t VALUES (1, 'x'), (2, 'y')",
+            "SELECT b FROM t WHERE a = 2",
+            "SELECT count(*) FROM t",
+        ]
+        engines = [create_postsim("13.0"), create_roachsim(), create_enterprisesim()]
+        for sql in queries:
+            rows = []
+            for engine in engines:
+                rows.append(engine.query(sql).rows)
+            assert rows[0] == rows[1] == rows[2]
+
+
+class TestCluster:
+    @staticmethod
+    def _pg_factory(version: str):
+        async def factory(ctx):
+            server = PgWireServer(
+                create_postsim(version), host=ctx.host, port=ctx.port
+            )
+            await server.start()
+            return server
+
+        return factory
+
+    def test_deploy_and_resolve(self):
+        async def main():
+            async with Cluster() as cluster:
+                await cluster.apply_deployment(
+                    DeploymentSpec.homogeneous("db", self._pg_factory("13.0"), 2)
+                )
+                cluster.apply_service(ServiceSpec(name="db-svc", deployment="db"))
+                addresses = cluster.resolve("db-svc")
+                assert len(addresses) == 2
+                for address in addresses:
+                    async with await PgClient.connect(*address) as client:
+                        assert (await client.query("SELECT 1")).rows == [["1"]]
+
+        run(main())
+
+    def test_heterogeneous_deployment(self):
+        async def main():
+            async with Cluster() as cluster:
+                await cluster.apply_deployment(
+                    DeploymentSpec(
+                        name="db",
+                        factories=[self._pg_factory("10.7"), self._pg_factory("10.9")],
+                    )
+                )
+                versions = []
+                for pod in cluster.pods("db"):
+                    async with await PgClient.connect(*pod.address) as client:
+                        versions.append((await client.query("SHOW server_version")).rows[0][0])
+                assert versions == ["10.7", "10.9"]
+
+        run(main())
+
+    def test_scale_up_and_down(self):
+        async def main():
+            async with Cluster() as cluster:
+                await cluster.apply_deployment(
+                    DeploymentSpec.homogeneous("db", self._pg_factory("13.0"), 1)
+                )
+                pods = await cluster.scale("db", 3)
+                assert len(pods) == 3
+                pods = await cluster.scale("db", 1)
+                assert len(pods) == 1
+                assert len(cluster.pods("db")) == 1
+
+        run(main())
+
+    def test_duplicate_deployment_rejected(self):
+        async def main():
+            async with Cluster() as cluster:
+                spec = DeploymentSpec.homogeneous("db", self._pg_factory("13.0"), 1)
+                await cluster.apply_deployment(spec)
+                with pytest.raises(ClusterError):
+                    await cluster.apply_deployment(
+                        DeploymentSpec.homogeneous("db", self._pg_factory("13.0"), 1)
+                    )
+
+        run(main())
+
+    def test_service_to_unknown_deployment_rejected(self):
+        async def main():
+            async with Cluster() as cluster:
+                with pytest.raises(ClusterError):
+                    cluster.apply_service(ServiceSpec(name="s", deployment="nope"))
+
+        run(main())
+
+    def test_resolve_one(self):
+        async def main():
+            async with Cluster() as cluster:
+                await cluster.apply_deployment(
+                    DeploymentSpec.homogeneous("db", self._pg_factory("13.0"), 2)
+                )
+                cluster.apply_service(ServiceSpec(name="s", deployment="db"))
+                with pytest.raises(ClusterError):
+                    cluster.resolve_one("s")
+
+        run(main())
+
+    def test_delete_deployment_closes_pods(self):
+        async def main():
+            async with Cluster() as cluster:
+                pods = await cluster.apply_deployment(
+                    DeploymentSpec.homogeneous("db", self._pg_factory("13.0"), 1)
+                )
+                address = pods[0].address
+                await cluster.delete_deployment("db")
+                with pytest.raises(ClusterError):
+                    cluster.pods("db")
+                with pytest.raises(ConnectionError):
+                    await PgClient.connect(*address)
+
+        run(main())
+
+    def test_unknown_deployment_queries_rejected(self):
+        async def main():
+            async with Cluster() as cluster:
+                with pytest.raises(ClusterError):
+                    cluster.pods("ghost")
+                with pytest.raises(ClusterError):
+                    await cluster.scale("ghost", 2)
+
+        run(main())

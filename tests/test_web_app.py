@@ -1,0 +1,189 @@
+"""Tests for the routing micro-framework."""
+
+from __future__ import annotations
+
+import json
+
+from repro.web.app import (
+    App,
+    html_response,
+    json_response,
+    redirect_response,
+    set_cookie,
+    text_response,
+)
+from repro.web.cookies import format_set_cookie, parse_cookie_header
+from repro.web.forms import encode_urlencoded, html_escape, parse_urlencoded
+from repro.web.http11 import HeaderMap, Request
+from tests.helpers import run
+
+
+def _request(method: str, target: str, body: bytes = b"", headers=None) -> Request:
+    return Request(
+        method=method,
+        target=target,
+        headers=HeaderMap.from_dict(headers or {}),
+        body=body,
+    )
+
+
+class TestRouting:
+    def _app(self) -> App:
+        app = App("t")
+
+        @app.route("/hello/<name>")
+        async def hello(ctx):
+            return text_response(f"hi {ctx.path_params['name']}")
+
+        @app.route("/files/<path:rest>")
+        async def files(ctx):
+            return text_response(ctx.path_params["rest"])
+
+        @app.route("/only-post", methods=("POST",))
+        async def post_only(ctx):
+            return text_response("posted")
+
+        @app.route("/sync")
+        def sync_handler(ctx):
+            return text_response("sync ok")
+
+        return app
+
+    def test_path_param(self):
+        response = run(self._app().handle(_request("GET", "/hello/world")))
+        assert response.body == b"hi world"
+
+    def test_multi_segment_param(self):
+        response = run(self._app().handle(_request("GET", "/files/a/b/c.txt")))
+        assert response.body == b"a/b/c.txt"
+
+    def test_404_for_unknown_path(self):
+        response = run(self._app().handle(_request("GET", "/nope")))
+        assert response.status == 404
+
+    def test_405_with_allow_header(self):
+        response = run(self._app().handle(_request("GET", "/only-post")))
+        assert response.status == 405
+        assert "POST" in (response.header("Allow") or "")
+
+    def test_sync_handler_supported(self):
+        response = run(self._app().handle(_request("GET", "/sync")))
+        assert response.body == b"sync ok"
+
+    def test_url_decoding_in_path(self):
+        response = run(self._app().handle(_request("GET", "/hello/a%20b")))
+        assert response.body == b"hi a b"
+
+    def test_server_header_applied(self):
+        app = self._app()
+        app.server_header = "unit/1.0"
+        response = run(app.handle(_request("GET", "/sync")))
+        assert response.header("Server") == "unit/1.0"
+
+
+class TestRequestContext:
+    def test_query_parsing(self):
+        app = App("t")
+
+        @app.route("/q")
+        async def q(ctx):
+            return json_response(ctx.query)
+
+        response = run(app.handle(_request("GET", "/q?a=1&b=two&empty=")))
+        assert json.loads(response.body) == {"a": "1", "b": "two", "empty": ""}
+
+    def test_form_parsing(self):
+        app = App("t")
+
+        @app.route("/f", methods=("POST",))
+        async def f(ctx):
+            return json_response(ctx.form)
+
+        body = encode_urlencoded({"x": "1", "y": "a b"})
+        response = run(
+            app.handle(
+                _request(
+                    "POST",
+                    "/f",
+                    body=body,
+                    headers={"Content-Type": "application/x-www-form-urlencoded"},
+                )
+            )
+        )
+        assert json.loads(response.body) == {"x": "1", "y": "a b"}
+
+    def test_form_requires_content_type(self):
+        app = App("t")
+
+        @app.route("/f", methods=("POST",))
+        async def f(ctx):
+            return json_response(ctx.form)
+
+        response = run(app.handle(_request("POST", "/f", body=b"x=1")))
+        assert json.loads(response.body) == {}
+
+    def test_json_body(self):
+        app = App("t")
+
+        @app.route("/j", methods=("POST",))
+        async def j(ctx):
+            return json_response({"got": ctx.json()})
+
+        response = run(app.handle(_request("POST", "/j", body=b'{"k": [1, 2]}')))
+        assert json.loads(response.body) == {"got": {"k": [1, 2]}}
+
+    def test_cookie_parsing(self):
+        app = App("t")
+
+        @app.route("/c")
+        async def c(ctx):
+            return json_response(ctx.cookies)
+
+        response = run(
+            app.handle(_request("GET", "/c", headers={"Cookie": "a=1; b=2"}))
+        )
+        assert json.loads(response.body) == {"a": "1", "b": "2"}
+
+
+class TestResponses:
+    def test_json_sorted_keys(self):
+        a = json_response({"b": 1, "a": 2})
+        b = json_response({"a": 2, "b": 1})
+        assert a.body == b.body  # key order can never diverge
+
+    def test_html_response_content_type(self):
+        response = html_response("<p>x</p>")
+        assert "text/html" in (response.header("Content-Type") or "")
+
+    def test_redirect(self):
+        response = redirect_response("/elsewhere")
+        assert response.status == 302
+        assert response.header("Location") == "/elsewhere"
+
+    def test_set_cookie_appends(self):
+        response = text_response("x")
+        set_cookie(response, "sid", "abc")
+        set_cookie(response, "other", "def")
+        cookies = response.headers.get_all("Set-Cookie")
+        assert len(cookies) == 2
+        assert cookies[0].startswith("sid=abc")
+
+
+class TestCookiesAndForms:
+    def test_parse_cookie_header(self):
+        assert parse_cookie_header("a=1; b=two;c=3") == {"a": "1", "b": "two", "c": "3"}
+        assert parse_cookie_header(None) == {}
+        assert parse_cookie_header("malformed") == {}
+
+    def test_format_set_cookie(self):
+        value = format_set_cookie("sid", "x", max_age=60)
+        assert "sid=x" in value
+        assert "Max-Age=60" in value
+        assert "HttpOnly" in value
+
+    def test_urlencoded_round_trip(self):
+        fields = {"a": "1", "b": "hello world", "c": "sp&cial=chars"}
+        assert parse_urlencoded(encode_urlencoded(fields)) == fields
+
+    def test_html_escape(self):
+        assert html_escape("<script>'\"&") == "&lt;script&gt;&#x27;&quot;&amp;"

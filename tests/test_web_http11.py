@@ -1,0 +1,224 @@
+"""Tests for the HTTP/1.1 parser, serializer, and framing options."""
+
+from __future__ import annotations
+
+import gzip
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.web.http11 import (
+    HeaderMap,
+    HttpParseError,
+    ParserOptions,
+    Request,
+    Response,
+    parse_request_bytes,
+    parse_response_bytes,
+    serialize_request,
+    serialize_response,
+)
+
+
+class TestHeaderMap:
+    def test_case_insensitive_lookup(self):
+        headers = HeaderMap([("Content-Type", "text/html")])
+        assert headers.get("content-type") == "text/html"
+        assert "CONTENT-TYPE" in headers
+
+    def test_preserves_order_and_casing(self):
+        headers = HeaderMap([("X-B", "2"), ("X-A", "1")])
+        assert headers.items() == [("X-B", "2"), ("X-A", "1")]
+
+    def test_set_replaces_all(self):
+        headers = HeaderMap([("Set-Cookie", "a=1"), ("Set-Cookie", "b=2")])
+        headers.set("Set-Cookie", "c=3")
+        assert headers.get_all("set-cookie") == ["c=3"]
+
+    def test_add_appends(self):
+        headers = HeaderMap()
+        headers.add("Set-Cookie", "a=1")
+        headers.add("Set-Cookie", "b=2")
+        assert headers.get_all("Set-Cookie") == ["a=1", "b=2"]
+
+    def test_remove(self):
+        headers = HeaderMap([("X", "1")])
+        headers.remove("x")
+        assert "X" not in headers
+
+    def test_copy_is_independent(self):
+        headers = HeaderMap([("X", "1")])
+        clone = headers.copy()
+        clone.set("X", "2")
+        assert headers.get("X") == "1"
+
+
+class TestRequestParsing:
+    def test_simple_get(self):
+        request = parse_request_bytes(b"GET /path?q=1 HTTP/1.1\r\nHost: h\r\n\r\n")
+        assert request.method == "GET"
+        assert request.path == "/path"
+        assert request.query_string == "q=1"
+        assert request.header("Host") == "h"
+
+    def test_content_length_body(self):
+        request = parse_request_bytes(
+            b"POST / HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello"
+        )
+        assert request.body == b"hello"
+
+    def test_chunked_body(self):
+        raw = (
+            b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+            b"5\r\nhello\r\n6\r\n world\r\n0\r\n\r\n"
+        )
+        assert parse_request_bytes(raw).body == b"hello world"
+
+    def test_chunk_extension_ignored(self):
+        raw = (
+            b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+            b"5;ext=1\r\nhello\r\n0\r\n\r\n"
+        )
+        assert parse_request_bytes(raw).body == b"hello"
+
+    def test_malformed_request_line(self):
+        with pytest.raises(HttpParseError):
+            parse_request_bytes(b"GARBAGE\r\n\r\n")
+
+    def test_bad_content_length(self):
+        with pytest.raises(HttpParseError):
+            parse_request_bytes(b"POST / HTTP/1.1\r\nContent-Length: nan\r\n\r\n")
+
+    def test_bad_chunk_size(self):
+        with pytest.raises(HttpParseError):
+            parse_request_bytes(
+                b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\nZZ\r\n\r\n"
+            )
+
+    def test_header_whitespace_is_sp_htab_only(self):
+        """\\x0b must survive parsing — it is the smuggling obfuscator."""
+        request = parse_request_bytes(
+            b"POST / HTTP/1.1\r\nTransfer-Encoding: \x0bchunked\r\nContent-Length: 0\r\n\r\n"
+        )
+        assert request.header("Transfer-Encoding") == "\x0bchunked"
+
+
+class TestFramingOptions:
+    SMUGGLE = (
+        b"POST / HTTP/1.1\r\n"
+        b"Transfer-Encoding: \x0bchunked\r\n"
+        b"Content-Length: 11\r\n"
+        b"\r\n"
+        b"0\r\n\r\nHIDDEN"
+    )
+
+    def test_strict_parser_frames_by_content_length(self):
+        request = parse_request_bytes(self.SMUGGLE, ParserOptions())
+        assert request.body == b"0\r\n\r\nHIDDEN"
+
+    def test_lenient_parser_honours_obfuscated_te(self):
+        request = parse_request_bytes(
+            self.SMUGGLE, ParserOptions(lenient_te_whitespace=True)
+        )
+        assert request.body == b""  # chunked body terminates at the 0-chunk
+
+    def test_te_ignoring_parser_frames_by_content_length(self):
+        raw = (
+            b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n"
+            b"Content-Length: 4\r\n\r\nBODY"
+        )
+        request = parse_request_bytes(
+            raw, ParserOptions(honor_transfer_encoding=False)
+        )
+        assert request.body == b"BODY"
+
+
+class TestResponseParsing:
+    def test_simple_response(self):
+        response = parse_response_bytes(
+            b"HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\nhi"
+        )
+        assert response.status == 200
+        assert response.body == b"hi"
+
+    def test_head_response_has_no_body(self):
+        response = parse_response_bytes(
+            b"HTTP/1.1 200 OK\r\n\r\n", request_method="HEAD"
+        )
+        assert response.body == b""
+
+    def test_204_has_no_body(self):
+        assert parse_response_bytes(b"HTTP/1.1 204 No Content\r\n\r\n").body == b""
+
+    def test_read_to_eof_without_framing(self):
+        response = parse_response_bytes(b"HTTP/1.1 200 OK\r\n\r\nuntil eof")
+        assert response.body == b"until eof"
+
+    def test_gzip_decompression(self):
+        body = gzip.compress(b"payload", mtime=0)
+        response = Response(
+            status=200,
+            headers=HeaderMap([("Content-Encoding", "gzip")]),
+            body=body,
+        )
+        assert response.decompressed_body() == b"payload"
+
+    def test_malformed_status_line(self):
+        with pytest.raises(HttpParseError):
+            parse_response_bytes(b"NOT-HTTP\r\n\r\n")
+
+
+class TestSerialization:
+    def test_request_round_trip(self):
+        request = Request(
+            method="POST",
+            target="/x",
+            headers=HeaderMap([("Host", "h"), ("X-Custom", "v")]),
+            body=b"data",
+        )
+        parsed = parse_request_bytes(serialize_request(request))
+        assert parsed.method == "POST"
+        assert parsed.body == b"data"
+        assert parsed.header("X-Custom") == "v"
+
+    def test_response_round_trip(self):
+        response = Response(status=404, body=b"missing")
+        parsed = parse_response_bytes(serialize_response(response))
+        assert parsed.status == 404
+        assert parsed.body == b"missing"
+
+    def test_content_length_supplied_automatically(self):
+        data = serialize_response(Response(status=200, body=b"abc"))
+        assert b"Content-Length: 3" in data
+
+    def test_existing_framing_headers_respected(self):
+        response = Response(
+            status=200,
+            headers=HeaderMap([("Content-Length", "3")]),
+            body=b"abc",
+        )
+        assert serialize_response(response).count(b"Content-Length") == 1
+
+    @given(
+        method=st.sampled_from(["GET", "POST", "PUT", "DELETE"]),
+        target=st.text(
+            alphabet="abcdefghijklmnopqrstuvwxyz/0123456789", min_size=1, max_size=20
+        ).map(lambda s: "/" + s),
+        body=st.binary(max_size=128),
+    )
+    def test_property_request_round_trip(self, method, target, body):
+        request = Request(method=method, target=target, body=body)
+        parsed = parse_request_bytes(serialize_request(request))
+        assert parsed.method == method
+        assert parsed.target == target
+        assert parsed.body == body
+
+    @given(status=st.sampled_from([200, 201, 204, 301, 403, 404, 500]), body=st.binary(max_size=128))
+    def test_property_response_round_trip(self, status, body):
+        if status == 204:
+            body = b""
+        response = Response(status=status, body=body)
+        parsed = parse_response_bytes(serialize_response(response))
+        assert parsed.status == status
+        assert parsed.body == body

@@ -1,0 +1,190 @@
+"""Integration tests for the HTTP server and client over real sockets."""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.transport.tls import client_ssl_context, server_ssl_context
+from repro.web import App, HttpClient, json_response, serve_app, text_response
+from repro.web.sessions import SessionStore
+from repro.web.csrf import generate_token, hidden_field, tokens_match
+from tests.helpers import run
+
+
+def _demo_app() -> App:
+    app = App("demo")
+
+    @app.route("/ping")
+    async def ping(ctx):
+        return text_response("pong")
+
+    @app.route("/big")
+    async def big(ctx):
+        return text_response("x" * 2048)
+
+    @app.route("/boom")
+    async def boom(ctx):
+        raise RuntimeError("handler bug")
+
+    @app.route("/echo", methods=("POST",))
+    async def echo(ctx):
+        return json_response({"len": len(ctx.request.body)})
+
+    return app
+
+
+class TestServerClient:
+    def test_basic_request(self):
+        async def main():
+            server = await serve_app(_demo_app())
+            async with HttpClient(*server.address) as client:
+                response = await client.get("/ping")
+            assert response.status == 200
+            assert response.body == b"pong"
+            await server.close()
+
+        run(main())
+
+    def test_keep_alive_reuses_connection(self):
+        async def main():
+            server = await serve_app(_demo_app())
+            async with HttpClient(*server.address) as client:
+                for _ in range(5):
+                    response = await client.get("/ping")
+                    assert response.status == 200
+            await server.close()
+
+        run(main())
+
+    def test_handler_exception_becomes_500(self):
+        async def main():
+            server = await serve_app(_demo_app())
+            async with HttpClient(*server.address) as client:
+                response = await client.get("/boom")
+                assert response.status == 500
+                # connection survives the handler crash
+                response = await client.get("/ping")
+                assert response.status == 200
+            await server.close()
+
+        run(main())
+
+    def test_post_body(self):
+        async def main():
+            server = await serve_app(_demo_app())
+            async with HttpClient(*server.address) as client:
+                response = await client.post("/echo", body=b"x" * 100)
+            assert response.body == b'{"len":100}'
+            await server.close()
+
+        run(main())
+
+    def test_gzip_negotiated(self):
+        async def main():
+            server = await serve_app(_demo_app(), gzip_responses=True)
+            async with HttpClient(*server.address) as client:
+                response = await client.get("/big", headers={"Accept-Encoding": "gzip"})
+                assert response.header("Content-Encoding") == "gzip"
+                assert len(response.body) < 2048
+                assert response.decompressed_body() == b"x" * 2048
+                # without Accept-Encoding the body is plain
+                response = await client.get("/big")
+                assert response.header("Content-Encoding") is None
+            await server.close()
+
+        run(main())
+
+    def test_small_responses_not_compressed(self):
+        async def main():
+            server = await serve_app(_demo_app(), gzip_responses=True)
+            async with HttpClient(*server.address) as client:
+                response = await client.get("/ping", headers={"Accept-Encoding": "gzip"})
+            assert response.header("Content-Encoding") is None
+            await server.close()
+
+        run(main())
+
+    def test_connection_close_honoured(self):
+        async def main():
+            server = await serve_app(_demo_app())
+            async with HttpClient(*server.address) as client:
+                response = await client.get("/ping", headers={"Connection": "close"})
+                assert response.header("Connection") == "close"
+                # client transparently reconnects
+                response = await client.get("/ping")
+                assert response.status == 200
+            await server.close()
+
+        run(main())
+
+    def test_https_round_trip(self):
+        async def main():
+            server = await serve_app(_demo_app(), ssl_context=server_ssl_context())
+            async with HttpClient(
+                *server.address, ssl_context=client_ssl_context()
+            ) as client:
+                response = await client.get("/ping")
+            assert response.body == b"pong"
+            await server.close()
+
+        run(main())
+
+    def test_bad_request_returns_400(self):
+        async def main():
+            server = await serve_app(_demo_app())
+            reader, writer = await asyncio.open_connection(*server.address)
+            writer.write(b"NONSENSE\r\n\r\n")
+            await writer.drain()
+            data = await reader.read(64)
+            assert b"400" in data
+            writer.close()
+            await server.close()
+
+        run(main())
+
+
+class TestSessions:
+    def test_create_and_get(self):
+        store = SessionStore()
+        sid = store.create()
+        assert store.get(sid) == {}
+        assert store.get("missing") is None
+        assert store.get(None) is None
+
+    def test_get_or_create_reuses(self):
+        store = SessionStore()
+        sid, data, created = store.get_or_create(None)
+        assert created
+        data["k"] = 1
+        sid2, data2, created2 = store.get_or_create(sid)
+        assert sid2 == sid and not created2 and data2["k"] == 1
+
+    def test_destroy(self):
+        store = SessionStore()
+        sid = store.create()
+        store.destroy(sid)
+        assert store.get(sid) is None
+
+    def test_ids_are_unique_and_long(self):
+        store = SessionStore()
+        ids = {store.create() for _ in range(50)}
+        assert len(ids) == 50
+        assert all(len(i) == 32 for i in ids)
+
+
+class TestCsrf:
+    def test_token_is_alnum_and_long(self):
+        token = generate_token()
+        assert token.isalnum()
+        assert len(token) >= 10  # always above RDDR's detection threshold
+
+    def test_tokens_match(self):
+        token = generate_token()
+        assert tokens_match(token, token)
+        assert not tokens_match(token, generate_token())
+        assert not tokens_match(None, token)
+        assert not tokens_match(token, None)
+
+    def test_hidden_field_embeds_token(self):
+        token = generate_token()
+        assert token in hidden_field(token)

@@ -1,0 +1,188 @@
+"""Tests for the TPC-H / pgbench workloads and the resource model."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.pgwire import serve_database
+from repro.sqlengine import Database
+from repro.workloads import (
+    SimulatedHost,
+    WorkSampler,
+    load_pgbench,
+    load_tpch,
+    query_set,
+    row_counts,
+    run_pg_clients,
+    select_transaction,
+    transaction_stream,
+)
+from repro.workloads.pgbench import ACCOUNTS_PER_SCALE
+from repro.workloads.resources import CONNECTION_BYTES
+from tests.helpers import run
+
+
+class TestTpch:
+    @pytest.fixture(scope="class")
+    def db(self) -> Database:
+        database = Database()
+        load_tpch(database, scale_factor=0.001, seed=3)
+        return database
+
+    def test_row_counts_scale(self):
+        counts = row_counts(0.001)
+        assert counts["lineitem"] == 6000
+        assert counts["nation"] == 25  # fixed tables do not scale
+        assert counts["region"] == 5
+
+    def test_all_tables_loaded(self, db):
+        for table, expected in row_counts(0.001).items():
+            assert len(db.catalog.table(table).rows) == expected
+
+    def test_loading_is_deterministic(self):
+        a, b = Database(), Database()
+        load_tpch(a, scale_factor=0.0005, seed=9)
+        load_tpch(b, scale_factor=0.0005, seed=9)
+        assert a.catalog.table("lineitem").rows == b.catalog.table("lineitem").rows
+
+    def test_query_set_has_21_entries(self):
+        queries = query_set()
+        assert len(queries) == 21
+        assert len({name for name, _ in queries}) == 21
+
+    def test_every_query_executes(self, db):
+        for name, sql in query_set():
+            result = db.query(sql)
+            assert result.command_tag.startswith("SELECT"), name
+
+    def test_q1_aggregates_look_sane(self, db):
+        from repro.workloads.tpch import q1
+
+        result = db.query(q1())
+        # <= 6 groups of (returnflag, linestatus); positive sums
+        assert 1 <= len(result.rows) <= 6
+        by_name = dict(zip(result.column_names, result.rows[0]))
+        assert by_name["sum_qty"] > 0
+        assert by_name["count_order"] > 0
+
+    def test_q6_revenue_positive(self, db):
+        from repro.workloads.tpch import q6
+
+        revenue = db.query(q6()).scalar()
+        assert revenue is None or revenue > 0
+
+
+class TestPgbench:
+    def test_loader_populates_tables(self):
+        db = Database()
+        counts = load_pgbench(db, scale=1)
+        assert counts["pgbench_accounts"] == ACCOUNTS_PER_SCALE
+        assert len(db.catalog.table("pgbench_accounts").rows) == ACCOUNTS_PER_SCALE
+        assert len(db.catalog.table("pgbench_branches").rows) == 1
+
+    def test_select_transaction_runs(self):
+        db = Database()
+        load_pgbench(db, scale=1)
+        result = db.query(select_transaction(57))
+        assert len(result.rows) == 1
+
+    def test_transaction_stream_deterministic_and_in_range(self):
+        a = transaction_stream(50, scale=2, seed=1)
+        b = transaction_stream(50, scale=2, seed=1)
+        assert a == b
+        c = transaction_stream(50, scale=2, seed=2)
+        assert a != c
+
+    def test_client_driver_measures(self):
+        async def main():
+            db = Database()
+            load_pgbench(db, scale=1)
+            server = await serve_database(db)
+            streams = [transaction_stream(20, scale=1, seed=i) for i in range(4)]
+            result = await run_pg_clients(server.address, streams)
+            assert result.transactions == 80
+            assert result.errors == 0
+            assert result.throughput_tps > 0
+            assert result.mean_latency_ms > 0
+            assert result.latency_percentile_ms(95) >= result.latency_percentile_ms(50)
+            await server.close()
+
+        run(main())
+
+
+class TestSimulatedHost:
+    def test_serial_floor_dominates_single_client(self):
+        host = SimulatedHost(cores=32)
+        est = host.execute(
+            total_work=1_000_000,
+            client_chains=[1_000_000],
+            resident_bytes=10**9,
+            connections=1,
+        )
+        # one client cannot use more than one core
+        assert est.cpu_utilization == pytest.approx(1 / 32)
+
+    def test_parallel_floor_dominates_many_clients(self):
+        host = SimulatedHost(cores=4)
+        est = host.execute(
+            total_work=4_000_000,
+            client_chains=[500_000] * 8,
+            resident_bytes=0,
+            connections=8,
+        )
+        assert est.cpu_utilization == pytest.approx(1.0)
+
+    def test_memory_includes_connections(self):
+        host = SimulatedHost()
+        est = host.execute(1, [1], resident_bytes=1000, connections=3)
+        assert est.peak_memory_bytes == 1000 + 3 * CONNECTION_BYTES
+
+    def test_three_instance_ratios_have_paper_shape(self):
+        """The Figure 4 shape: 3x memory always; CPU ratio 3x at one
+        client, declining as clients saturate the host."""
+        host = SimulatedHost(cores=32)
+        per_client_work = 1_000_000
+
+        def ratios(clients: int) -> tuple[float, float]:
+            base = host.execute(
+                per_client_work * clients,
+                [per_client_work] * clients,
+                10**9,
+                clients,
+            )
+            rddr = host.execute(
+                3 * per_client_work * clients,
+                [per_client_work] * clients,
+                3 * 10**9,
+                clients,
+            )
+            return (
+                rddr.cpu_utilization / base.cpu_utilization,
+                rddr.peak_memory_bytes / base.peak_memory_bytes,
+            )
+
+        cpu_1, mem_1 = ratios(1)
+        cpu_16, mem_16 = ratios(16)
+        assert cpu_1 == pytest.approx(3.0)
+        assert cpu_16 < cpu_1  # saturation closes the gap
+        assert 2.5 < mem_1 < 3.5 and 2.5 < mem_16 < 3.5
+
+    def test_work_sampler_collects_series(self):
+        async def main():
+            db = Database()
+            load_pgbench(db, scale=1)
+            server = await serve_database(db)
+            sampler = WorkSampler([db], SimulatedHost(), interval_s=0.05, connections=2)
+            sampler.start()
+            streams = [transaction_stream(50, scale=1, seed=i) for i in range(2)]
+            await run_pg_clients(server.address, streams)
+            await asyncio.sleep(0.1)
+            samples = await sampler.stop()
+            assert len(samples) >= 2
+            assert any(s.cpu_percent > 0 for s in samples)
+            assert all(s.memory_bytes > 0 for s in samples)
+            await server.close()
+
+        run(main())
