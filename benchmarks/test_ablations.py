@@ -16,11 +16,11 @@ import secrets
 from benchmarks.conftest import emit, run
 from repro.analysis import format_table
 from repro.core.config import RddrConfig
-from repro.core.denoise import learn_noise_mask, widen_over_alnum
+from repro.core.denoise import learn_noise_mask
 from repro.core.diff import NoiseMask, diff_tokens, differing_ranges
 from repro.core.ephemeral import EphemeralStateStore
 from repro.core.rddr import RddrDeployment
-from repro.core.variance import POSTGRES_VERSION_RULES, VarianceMasker
+from repro.core.variance import POSTGRES_VERSION_RULES
 from repro.pgwire import PgClient, serve_database
 from repro.sqlengine.database import Database, EngineProfile
 from repro.web import App, HttpClient, html_response, serve_app
@@ -146,7 +146,6 @@ async def _signature_learning_cost(enabled: bool, attempts: int = 10) -> int:
 
     from repro.apps.echo import EchoServer
     from repro.core.incoming import IncomingRequestProxy
-    from repro.protocols import get_protocol
     from repro.transport.retry import open_connection_retry
     from repro.transport.streams import close_writer
 
@@ -167,7 +166,7 @@ async def _signature_learning_cost(enabled: bool, attempts: int = 10) -> int:
     buggy = await Buggy().start()
     proxy = IncomingRequestProxy(
         [good.address, buggy.address],
-        get_protocol("tcp"),
+        "tcp",
         RddrConfig(protocol="tcp", exchange_timeout=1.0, signature_learning=enabled),
     )
     await proxy.start()
@@ -181,8 +180,12 @@ async def _signature_learning_cost(enabled: bool, attempts: int = 10) -> int:
             pass
         finally:
             await close_writer(writer)
-    replicated = proxy.metrics.exchanges_total - len(
-        proxy.events.events("signature_blocked")
+    registry = proxy.observer.registry
+    replicated = int(
+        registry.total("rddr_exchanges_started_total", proxy=proxy.name)
+        - registry.total(
+            "rddr_events_total", proxy=proxy.name, kind="signature_blocked"
+        )
     )
     await proxy.close()
     await good.close()

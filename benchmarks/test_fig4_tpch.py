@@ -72,6 +72,14 @@ async def _profile_single() -> DeploymentProfile:
     )
 
 
+def _proxy_client_bytes(rddr: RddrDeployment) -> float:
+    """Client-side bytes through the incoming proxy, from the labeled
+    metrics registry (replaces the old ad-hoc counter reads)."""
+    return rddr.observer.registry.total(
+        "rddr_client_bytes_total", proxy=f"{rddr.name}-in"
+    )
+
+
 async def _profile_rddr() -> DeploymentProfile:
     engines = [create_postsim("13.0") for _ in range(INSTANCES)]
     servers = []
@@ -94,29 +102,30 @@ async def _profile_rddr() -> DeploymentProfile:
     async with await PgClient.connect(*rddr.address) as client:
         for name, sql in query_set():
             work_before = sum(e.total_work.total_units() for e in engines)
-            bytes_before = (
-                rddr.incoming_metrics.bytes_from_clients
-                + rddr.incoming_metrics.bytes_to_clients
-            )
+            bytes_before = _proxy_client_bytes(rddr)
             started = time.perf_counter()
             outcome = await client.query(sql)
             wall = time.perf_counter() - started
             assert outcome.ok, f"{name}: {outcome.error}"
             work_after = sum(e.total_work.total_units() for e in engines)
-            bytes_after = (
-                rddr.incoming_metrics.bytes_from_clients
-                + rddr.incoming_metrics.bytes_to_clients
-            )
+            bytes_after = _proxy_client_bytes(rddr)
             size = sum(len(v or "") for row in outcome.rows for v in row)
             costs.append(
                 QueryCost(
                     name,
-                    (work_after - work_before) + (bytes_after - bytes_before) // 64,
+                    (work_after - work_before) + int(bytes_after - bytes_before) // 64,
                     size,
                     wall,
                 )
             )
     assert not rddr.intervened, "benign TPC-H run must not diverge"
+    registry = rddr.observer.registry
+    assert registry.total("rddr_exchanges_total", verdict="divergent") == 0
+    unanimous = registry.total("rddr_exchanges_total", verdict="unanimous")
+    emit(
+        f"registry: {int(unanimous)} unanimous exchanges, "
+        f"{int(_proxy_client_bytes(rddr))} client bytes through the proxy"
+    )
     await rddr.close()
     for server in servers:
         await server.close()

@@ -70,15 +70,27 @@ async def _sweep():
     for clients in CLIENT_COUNTS:
         results["RDDR (3x)"][clients] = await _measure(rddr.address, clients)
     assert not rddr.intervened, "benign pgbench run must not diverge"
+    registry = rddr.observer.registry
+    assert registry.total("rddr_exchanges_total", verdict="divergent") == 0
+    latency_series = registry.get("rddr_exchange_latency_seconds").labels(
+        proxy="pgbench-in", protocol="pgwire"
+    )
+    obs_summary = {
+        "exchanges": int(registry.total("rddr_exchanges_total", proxy="pgbench-in")),
+        "latency_p50_ms": latency_series.quantile(50) * 1000,
+        "latency_p95_ms": latency_series.quantile(95) * 1000,
+    }
     await rddr.close()
     for server in servers:
         await server.close()
     await bare.close()
-    return results
+    return results, obs_summary
 
 
 def test_fig5_pgbench(benchmark):
-    results = benchmark.pedantic(lambda: run(_sweep()), rounds=1, iterations=1)
+    results, obs_summary = benchmark.pedantic(
+        lambda: run(_sweep()), rounds=1, iterations=1
+    )
 
     throughput = {
         name: [series[c].throughput_tps for c in CLIENT_COUNTS]
@@ -124,6 +136,12 @@ def test_fig5_pgbench(benchmark):
     # RDDR latency overhead exists but is bounded (constant-factor)
     ratio = latency["RDDR (3x)"][mid] / latency["1x postsim + envoy"][mid]
     assert 1.0 < ratio < 20.0
+    assert obs_summary["exchanges"] > 0
+    emit(
+        f"\nregistry: {obs_summary['exchanges']} RDDR exchanges, proxy-side "
+        f"latency p50 {obs_summary['latency_p50_ms']:.2f} ms / "
+        f"p95 {obs_summary['latency_p95_ms']:.2f} ms (bucket estimate)"
+    )
     emit(
         f"\nShape check @8 clients: RDDR/envoy latency ratio {ratio:.1f}x; "
         "ordering bare >= envoy > RDDR holds (paper: 10% throughput cost vs "

@@ -109,6 +109,17 @@ async def _calibrate() -> list[DeploymentCosts]:
     result = await run_pg_clients(rddr.address, stream)
     rddr_cpu = (time.process_time() - cpu_before) / result.transactions - client_cpu
     assert result.errors == 0 and not rddr.intervened
+    snapshot = rddr.metrics_snapshot()
+    proxy_latency = next(
+        s for s in snapshot["rddr_exchange_latency_seconds"]["series"]
+        if s["labels"]["proxy"] == "fig6-in"
+    )
+    assert proxy_latency["count"] > 0
+    emit(
+        f"registry: calibration drove {proxy_latency['count']} exchanges through "
+        f"the fig6 proxy, mean client-visible latency "
+        f"{proxy_latency['sum'] / proxy_latency['count'] * 1000:.2f} ms"
+    )
     # the measured per-tx CPU covers all three replicas plus the proxy;
     # the client-visible latency on the paper's host (replicas parallel)
     # is one replica's latency plus the proxy's compute share

@@ -1,19 +1,24 @@
 #!/usr/bin/env python3
-"""Quickstart: N-version a microservice with RDDR in ~40 lines.
+"""Quickstart: N-version a microservice with RDDR in ~50 lines.
 
 Deploys two versions of a tiny line-echo microservice — the current
 release and a "patched" build that accidentally decorates its output —
-behind RDDR's incoming proxy, then shows:
+behind RDDR's incoming proxy via the `repro.deploy(...)` facade, then
+shows:
 
-1. benign traffic flowing through unanimously, and
-2. RDDR blocking the exchange the moment the versions diverge.
+1. benign traffic flowing through unanimously,
+2. RDDR blocking the exchange the moment the versions diverge, and
+3. the observability surface: the blocked exchange's JSON trace (span
+   tree, per-instance latencies, verdict) and the Prometheus exposition
+   with the divergence counter incremented.
 
 Run:  python examples/quickstart.py
 """
 
 import asyncio
+import json
 
-from repro import RddrConfig, RddrDeployment
+import repro
 from repro.apps.echo import EchoServer
 from repro.transport.retry import open_connection_retry
 
@@ -40,19 +45,43 @@ async def main() -> None:
     buggy = await EchoServer(name="echo-v2", tag="v2").start()
 
     # Scenario 1: identical versions — everything passes.
-    async with RddrDeployment("demo", RddrConfig(protocol="tcp", exchange_timeout=2.0)) as rddr:
-        await rddr.start_incoming_proxy([v1.address, v2.address])
+    async with await repro.deploy(
+        instances=[v1.address, v2.address], protocol="tcp", name="demo"
+    ) as rddr:
         print("deployment: 2 identical instances behind RDDR")
         print("  client sends 'hello'  ->", repr(await exchange(rddr.address, "hello")))
         print("  divergences:", len(rddr.divergences()))
+        while not rddr.traces():
+            await asyncio.sleep(0.01)
+        print("  last trace verdict:", rddr.traces()[-1]["verdict"])
 
     # Scenario 2: one instance diverges — RDDR halts the connection.
-    async with RddrDeployment("demo2", RddrConfig(protocol="tcp", exchange_timeout=2.0)) as rddr:
-        await rddr.start_incoming_proxy([v1.address, buggy.address])
+    async with await repro.deploy(
+        instances=[v1.address, buggy.address], protocol="tcp", name="demo2"
+    ) as rddr:
         print("\ndeployment: v1 + buggy v2 behind RDDR")
         print("  client sends 'hello'  ->", repr(await exchange(rddr.address, "hello")))
         for event in rddr.events.divergences():
             print("  RDDR intervened:", event.detail)
+
+        # The same intervention, as the observability layer saw it.  The
+        # trace is exported when the proxy's handler finishes the
+        # exchange, a moment after the client sees the connection close.
+        while not rddr.traces():
+            await asyncio.sleep(0.01)
+        trace = rddr.traces()[-1]
+        print("\n  the blocked exchange's trace (JSON):")
+        print("   ", json.dumps(
+            {key: trace[key] for key in
+             ("exchange_id", "verdict", "reason", "duration_s", "instances")},
+        ))
+        print("    spans:", " -> ".join(
+            span["name"] for span in trace["spans"]["children"]
+        ))
+        print("\n  Prometheus exposition (exchange verdicts):")
+        for line in rddr.metrics_text().splitlines():
+            if line.startswith("rddr_exchanges_total{"):
+                print("   ", line)
 
     for server in (v1, v2, buggy):
         await server.close()

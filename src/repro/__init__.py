@@ -12,11 +12,14 @@ Table I, and the TPC-H / pgbench workloads behind Figures 4-6.
 
 Quick start::
 
-    from repro import RddrDeployment, RddrConfig
+    import repro
 
-    deployment = RddrDeployment("demo", RddrConfig(protocol="http"))
-    await deployment.start_incoming_proxy([(host1, p1), (host2, p2)])
+    deployment = await repro.deploy(
+        instances=[(host1, p1), (host2, p2)], protocol="http"
+    )
     # clients now talk to deployment.address
+    print(deployment.metrics_text())      # Prometheus exposition
+    print(deployment.traces()[-1])        # last exchange's span tree
 """
 
 from repro.core import (
@@ -32,21 +35,74 @@ from repro.core import (
     VarianceRule,
     diff_tokens,
 )
+from repro.obs import MetricsRegistry, Observer, TraceSink
 from repro.protocols import get_protocol
+from repro.protocols.base import ProtocolModule
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+
+async def deploy(
+    *,
+    instances: list[tuple[str, int]],
+    protocol: str | ProtocolModule | None = None,
+    config: RddrConfig | None = None,
+    observer: Observer | None = None,
+    name: str = "rddr",
+    host: str = "127.0.0.1",
+    port: int = 0,
+) -> RddrDeployment:
+    """Stand up RDDR over already-running instances — the one-call facade.
+
+    Keyword-only, consistently named parameters:
+
+    * ``instances`` — the N instance addresses the incoming proxy guards;
+    * ``protocol`` — a registry name (``"tcp"``, ``"http"``, ``"json"``,
+      ``"pgwire"``, ``"resp"``) or a :class:`ProtocolModule` instance;
+    * ``config`` — a full :class:`RddrConfig` when defaults don't fit
+      (``protocol`` still wins for the incoming leg when both are given);
+    * ``observer`` — a :class:`repro.obs.Observer` collecting metrics and
+      exchange traces (a deployment-private one is created by default).
+
+    Returns a started :class:`RddrDeployment` (an async context manager);
+    clients connect to ``deployment.address``.  For microservices that
+    also *call* backends, use :meth:`RddrDeployment.add_outgoing_proxy`
+    before starting the instances.
+    """
+    if config is None:
+        protocol_name = (
+            protocol if isinstance(protocol, str)
+            else protocol.name if protocol is not None
+            else "tcp"
+        )
+        config = RddrConfig(protocol=protocol_name)
+    deployment = RddrDeployment(name, config, host, observer=observer)
+    try:
+        await deployment.start_incoming_proxy(
+            list(instances), port=port, protocol=protocol
+        )
+    except Exception:
+        await deployment.close()
+        raise
+    return deployment
+
 
 __all__ = [
     "EphemeralStateStore",
     "EventLog",
     "FilterPair",
     "IncomingRequestProxy",
+    "MetricsRegistry",
     "NoiseMask",
+    "Observer",
     "OutgoingRequestProxy",
+    "ProtocolModule",
     "ProxyMetrics",
     "RddrConfig",
     "RddrDeployment",
+    "TraceSink",
     "VarianceRule",
+    "deploy",
     "diff_tokens",
     "get_protocol",
     "__version__",

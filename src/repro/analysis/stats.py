@@ -21,7 +21,11 @@ def percentile(samples: list[float], q: float) -> float:
     if low == high:
         return ordered[low]
     weight = rank - low
-    return ordered[low] * (1 - weight) + ordered[high] * weight
+    low_value, high_value = ordered[low], ordered[high]
+    # a + (b-a)*w keeps denormals inside [a, b] where a*(1-w) + b*w can
+    # underflow to 0 below a; clamp against round-off at the top end too.
+    value = low_value + (high_value - low_value) * weight
+    return min(max(value, low_value), high_value)
 
 
 def mean(samples: list[float]) -> float:

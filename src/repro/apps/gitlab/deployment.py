@@ -13,7 +13,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.apps.gitlab.services import (
-    GITLAB_SCHEMA,
     RailsApp,
     SidekiqApp,
     WorkhorseApp,

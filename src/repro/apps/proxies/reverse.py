@@ -34,7 +34,7 @@ import asyncio
 
 from repro.transport.retry import open_connection_retry
 from repro.transport.server import ServerHandle, start_server
-from repro.transport.streams import ConnectionClosed, close_writer, drain_write, read_until
+from repro.transport.streams import ConnectionClosed, close_writer, drain_write
 from repro.web.http11 import (
     HeaderMap,
     HttpParseError,

@@ -8,7 +8,7 @@ acted, not just that a connection died.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 @dataclass(frozen=True)
@@ -21,11 +21,20 @@ class Event:
 
 
 class EventLog:
-    """Append-only in-memory event log shared by a deployment's proxies."""
+    """Append-only in-memory event log shared by a deployment's proxies.
 
-    def __init__(self, clock=time.monotonic) -> None:
+    When bound to a :class:`repro.obs.Observer`, every recorded event is
+    also counted in the registry (``rddr_events_total{proxy,kind}``).
+    """
+
+    def __init__(self, clock=time.monotonic, *, observer=None) -> None:
         self._events: list[Event] = []
         self._clock = clock
+        self._observer = observer
+
+    def bind_observer(self, observer) -> None:
+        """Attach (or replace) the observer counting these events."""
+        self._observer = observer
 
     def record(self, kind: str, detail: str, *, proxy: str = "", exchange: int = -1) -> Event:
         event = Event(
@@ -36,6 +45,8 @@ class EventLog:
             timestamp=self._clock(),
         )
         self._events.append(event)
+        if self._observer is not None:
+            self._observer.event_recorded(event)
         return event
 
     def events(self, kind: str | None = None) -> list[Event]:

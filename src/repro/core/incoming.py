@@ -37,7 +37,8 @@ from repro.core.events import EventLog
 from repro.core.metrics import ProxyMetrics
 from repro.core.signatures import SignatureStore
 from repro.core.variance import VarianceMasker
-from repro.protocols.base import ProtocolModule
+from repro.obs import ExchangeTrace, Observer, active_observer
+from repro.protocols.base import ProtocolModule, resolve
 from repro.transport.retry import open_connection_retry
 from repro.transport.server import ServerHandle, start_server
 from repro.transport.streams import ConnectionClosed, close_writer, drain_write
@@ -60,7 +61,7 @@ class IncomingRequestProxy:
     def __init__(
         self,
         instances: list[Address],
-        protocol: ProtocolModule,
+        protocol: ProtocolModule | str,
         config: RddrConfig | None = None,
         *,
         host: str = "127.0.0.1",
@@ -68,13 +69,15 @@ class IncomingRequestProxy:
         name: str = "rddr-incoming",
         event_log: EventLog | None = None,
         metrics: ProxyMetrics | None = None,
+        observer: Observer | None = None,
         server_ssl: ssl.SSLContext | None = None,
         instance_ssl: ssl.SSLContext | None = None,
     ) -> None:
         if len(instances) < 2:
             raise ValueError("N-versioning requires at least 2 instances")
         self.instances = list(instances)
-        self.protocol = protocol
+        self.protocol = resolve(protocol)
+        protocol = self.protocol
         self.config = config or RddrConfig(protocol=protocol.name)
         if self.config.divergence_policy not in ("block", "vote"):
             raise ValueError(
@@ -84,8 +87,17 @@ class IncomingRequestProxy:
         self.port = port
         self.name = name
         # Explicit None checks: an empty EventLog is falsy (it has __len__).
-        self.events = event_log if event_log is not None else EventLog()
-        self.metrics = metrics if metrics is not None else ProxyMetrics()
+        self.observer = (
+            observer if observer is not None else (active_observer() or Observer())
+        )
+        self.events = (
+            event_log if event_log is not None else EventLog(observer=self.observer)
+        )
+        self.metrics = (
+            metrics
+            if metrics is not None
+            else self.observer.proxy_metrics(name, protocol.name)
+        )
         self.server_ssl = server_ssl
         self.instance_ssl = instance_ssl
         self.handle: ServerHandle | None = None
@@ -166,22 +178,50 @@ class IncomingRequestProxy:
             self._exchange_counter += 1
             self.metrics.exchanges_total += 1
             self.metrics.bytes_from_clients += len(request)
-            started = time.monotonic()
+            trace = self.observer.begin_exchange(
+                proxy=self.name,
+                protocol=self.protocol.name,
+                direction="incoming",
+                exchange=exchange,
+            )
+            try:
+                links = await self._run_exchange(
+                    request, client_writer, links, state, exchange, trace
+                )
+            finally:
+                self.observer.finish_exchange(trace)
+            if links is None:
+                return
 
-            # Section IV-D: reject remembered diverging inputs outright.
-            if self.config.signature_learning:
-                signature = self.signatures.match(request)
-                if signature is not None:
-                    self.events.record(
-                        ev.SIGNATURE_BLOCKED,
-                        f"matched signature learned for: {signature.reason}",
-                        proxy=self.name,
-                        exchange=exchange,
-                    )
-                    await self._block(client_writer, links, exchange, None)
-                    return
+    async def _run_exchange(
+        self,
+        request: bytes,
+        client_writer: asyncio.StreamWriter,
+        links: list[_InstanceLink],
+        state: object,
+        exchange: int,
+        trace: ExchangeTrace,
+    ) -> list[_InstanceLink] | None:
+        """One exchange; returns the surviving links, or ``None`` to stop
+        serving this client connection."""
+        started = time.monotonic()
 
-            # Replicate, substituting each instance's own ephemeral state.
+        # Section IV-D: reject remembered diverging inputs outright.
+        if self.config.signature_learning:
+            signature = self.signatures.match(request)
+            if signature is not None:
+                self.events.record(
+                    ev.SIGNATURE_BLOCKED,
+                    f"matched signature learned for: {signature.reason}",
+                    proxy=self.name,
+                    exchange=exchange,
+                )
+                trace.set_verdict("blocked_signature", signature.reason)
+                await self._block(client_writer, links, exchange, None)
+                return None
+
+        # Replicate, substituting each instance's own ephemeral state.
+        with trace.span("replicate") as replicate:
             for link in links:
                 payload = request
                 if self.config.ephemeral_state:
@@ -193,69 +233,80 @@ class IncomingRequestProxy:
                             proxy=self.name,
                             exchange=exchange,
                         )
-                link.writer.write(payload)
-                try:
-                    await drain_write(link.writer)
-                except ConnectionClosed:
-                    await self._block(
-                        client_writer,
-                        links,
-                        exchange,
-                        f"instance {link.index} connection lost",
-                        request=request,
-                    )
-                    return
-            if self.config.ephemeral_state:
-                self._ephemeral.consume_used(request)
-
-            if not self.protocol.expects_response(request, state):
-                continue
-
-            responses = await self._gather_responses(links, state, request, exchange)
-            if responses is None:
-                await self._block(
-                    client_writer, links, exchange, "instance failure/timeout",
-                    request=request,
-                )
-                return
-
-            verdict, masked = self._analyse(responses, links, exchange)
-            if verdict is not None:
-                if self.config.divergence_policy == "vote" and len(links) >= 3:
-                    majority = _majority_indices(masked)
-                    if majority is not None:
-                        links = await self._vote_respond(
+                with trace.span("send", parent=replicate, instance=link.index):
+                    link.writer.write(payload)
+                    try:
+                        await drain_write(link.writer)
+                    except ConnectionClosed:
+                        trace.set_verdict(
+                            "instance_error", f"instance {link.index} connection lost"
+                        )
+                        await self._block(
                             client_writer,
                             links,
-                            responses,
-                            majority,
                             exchange,
-                            verdict,
+                            f"instance {link.index} connection lost",
+                            request=request,
                         )
-                        if links is None:
-                            return
-                        self.metrics.latency.observe(time.monotonic() - started)
-                        self._finish_exchange(state)
-                        continue
-                await self._block(
-                    client_writer, links, exchange, verdict, request=request
-                )
-                return
+                        return None
+        if self.config.ephemeral_state:
+            self._ephemeral.consume_used(request)
 
-            canonical = self._response_for(
-                links, responses, self.config.canonical_instance
+        if not self.protocol.expects_response(request, state):
+            trace.set_verdict("oneway")
+            return links
+
+        responses = await self._gather_responses(links, state, request, exchange, trace)
+        if responses is None:
+            await self._block(
+                client_writer, links, exchange, "instance failure/timeout",
+                request=request,
             )
-            self.metrics.bytes_to_clients += len(canonical)
+            return None
+
+        verdict, masked = self._analyse(responses, links, exchange, trace)
+        if verdict is not None:
+            trace.set_verdict("divergent", verdict)
+            if self.config.divergence_policy == "vote" and len(links) >= 3:
+                majority = _majority_indices(masked)
+                if majority is not None:
+                    trace.set_verdict("vote_majority", verdict)
+                    links = await self._vote_respond(
+                        client_writer,
+                        links,
+                        responses,
+                        majority,
+                        exchange,
+                        verdict,
+                    )
+                    if links is None:
+                        return None
+                    self.metrics.latency.observe(time.monotonic() - started)
+                    self._finish_exchange(state)
+                    return links
+            await self._block(
+                client_writer, links, exchange, verdict, request=request
+            )
+            return None
+
+        canonical = self._response_for(
+            links, responses, self.config.canonical_instance
+        )
+        self.metrics.bytes_to_clients += len(canonical)
+        with trace.span("respond"):
             client_writer.write(canonical)
             try:
                 await drain_write(client_writer)
             except ConnectionClosed:
-                return
-            self.metrics.latency.observe(time.monotonic() - started)
-            self.events.record(
-                ev.EXCHANGE_OK, "unanimous", proxy=self.name, exchange=exchange
-            )
-            self._finish_exchange(state)
+                trace.set_verdict("client_closed")
+                return None
+        self.metrics.latency.observe(time.monotonic() - started)
+        trace.set_verdict("unanimous")
+        self.events.record(
+            ev.EXCHANGE_OK, "unanimous", proxy=self.name, exchange=exchange
+        )
+        self._finish_exchange(state)
+        return links
 
     def _finish_exchange(self, state: object) -> None:
         finish = getattr(self.protocol, "finish_exchange", None)
@@ -278,68 +329,84 @@ class IncomingRequestProxy:
         state: object,
         request: bytes,
         exchange: int,
+        trace: ExchangeTrace,
     ) -> list[bytes] | None:
-        try:
-            return list(
-                await asyncio.wait_for(
-                    asyncio.gather(
-                        *(
-                            self.protocol.read_server_message(link.reader, state, request)
-                            for link in links
-                        )
-                    ),
-                    timeout=self.config.exchange_timeout,
+        async def read_from(link: _InstanceLink, parent) -> bytes:
+            with trace.span("recv", parent=parent, instance=link.index):
+                return await self.protocol.read_server_message(
+                    link.reader, state, request
                 )
-            )
-        except asyncio.TimeoutError:
-            self.metrics.timeouts += 1
-            self.events.record(
-                ev.TIMEOUT,
-                f"no unanimous response within {self.config.exchange_timeout}s",
-                proxy=self.name,
-                exchange=exchange,
-            )
-            return None
-        except (ConnectionClosed, ConnectionError) as error:
-            self.events.record(
-                ev.INSTANCE_ERROR, str(error), proxy=self.name, exchange=exchange
-            )
-            return None
+
+        with trace.span("collect") as collect:
+            try:
+                return list(
+                    await asyncio.wait_for(
+                        asyncio.gather(*(read_from(link, collect) for link in links)),
+                        timeout=self.config.exchange_timeout,
+                    )
+                )
+            except asyncio.TimeoutError:
+                trace.set_verdict(
+                    "timeout",
+                    f"no unanimous response within {self.config.exchange_timeout}s",
+                )
+                self.metrics.timeouts += 1
+                self.events.record(
+                    ev.TIMEOUT,
+                    f"no unanimous response within {self.config.exchange_timeout}s",
+                    proxy=self.name,
+                    exchange=exchange,
+                )
+                return None
+            except (ConnectionClosed, ConnectionError) as error:
+                trace.set_verdict("instance_error", str(error))
+                self.events.record(
+                    ev.INSTANCE_ERROR, str(error), proxy=self.name, exchange=exchange
+                )
+                return None
 
     def _analyse(
-        self, responses: list[bytes], links: list[_InstanceLink], exchange: int
+        self,
+        responses: list[bytes],
+        links: list[_InstanceLink],
+        exchange: int,
+        trace: ExchangeTrace,
     ) -> tuple[str | None, list[tuple[bytes, ...]]]:
         """Tokenize, capture ephemeral state, de-noise, and diff.
 
         Returns ``(divergence reason or None, per-instance masked token
         tuples)`` — the masked tuples feed majority voting.
         """
-        raw_tokens = [self.protocol.tokenize(response) for response in responses]
-        if self.config.ephemeral_state and len(links) == len(self.instances):
-            captured = self._ephemeral.capture(raw_tokens)
-            if captured:
-                self.metrics.ephemeral_tokens_captured += len(captured)
+        with trace.span("denoise") as denoise:
+            raw_tokens = [self.protocol.tokenize(response) for response in responses]
+            if self.config.ephemeral_state and len(links) == len(self.instances):
+                captured = self._ephemeral.capture(raw_tokens)
+                if captured:
+                    self.metrics.ephemeral_tokens_captured += len(captured)
+                    self.events.record(
+                        ev.EPHEMERAL_CAPTURED,
+                        f"{len(captured)} token(s)",
+                        proxy=self.name,
+                        exchange=exchange,
+                    )
+            tokens = self._variance.mask_streams(raw_tokens)
+            mask = self._mask_for(tokens, links)
+            if mask.token_ranges or mask.tail_from is not None:
+                self.metrics.noise_filtered_tokens += len(mask.token_ranges)
+                denoise.attrs["masked_tokens"] = len(mask.token_ranges)
                 self.events.record(
-                    ev.EPHEMERAL_CAPTURED,
-                    f"{len(captured)} token(s)",
+                    ev.NOISE_FILTERED,
+                    f"{len(mask.token_ranges)} token(s) masked",
                     proxy=self.name,
                     exchange=exchange,
                 )
-        tokens = self._variance.mask_streams(raw_tokens)
-        mask = self._mask_for(tokens, links)
-        if mask.token_ranges or mask.tail_from is not None:
-            self.metrics.noise_filtered_tokens += len(mask.token_ranges)
-            self.events.record(
-                ev.NOISE_FILTERED,
-                f"{len(mask.token_ranges)} token(s) masked",
-                proxy=self.name,
-                exchange=exchange,
-            )
-        result = diff_tokens(tokens, mask)
-        masked_tuples = [
-            tuple(mask.mask_token(i, token) for i, token in enumerate(stream))
-            for stream in tokens
-        ]
+        with trace.span("diff") as diff_span:
+            result = diff_tokens(tokens, mask)
+            masked_tuples = [
+                tuple(mask.mask_token(i, token) for i, token in enumerate(stream))
+                for stream in tokens
+            ]
+            diff_span.attrs["divergent"] = result.divergent
         if result.divergent:
             self.metrics.divergences += 1
             return result.reason, masked_tuples

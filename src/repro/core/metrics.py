@@ -1,22 +1,69 @@
-"""Proxy metrics: exchange counters and latency distribution."""
+"""Proxy metrics: exchange counters and latency distribution.
+
+Since the `repro.obs` redesign, :class:`ProxyMetrics` is a thin
+backward-compatible *view* over a labeled
+:class:`~repro.obs.metrics.MetricsRegistry`: every attribute read or
+assignment goes straight to the registry series labeled with this
+proxy's ``proxy``/``protocol``, so one deployment-wide registry feeds
+both the legacy attribute API and the Prometheus/JSON export surfaces.
+:class:`LatencyHistogram` keeps raw samples for exact small-N
+percentiles, but is memory-bounded by a reservoir.
+"""
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+import random
+
+from repro.obs.metrics import LATENCY_BUCKETS, HistogramSeries, MetricsRegistry
+
+#: Raw samples retained by a LatencyHistogram before reservoir sampling
+#: kicks in.  Below the cap percentiles are exact; above, approximate.
+DEFAULT_SAMPLE_CAP = 2048
 
 
-@dataclass
 class LatencyHistogram:
-    """Latency samples with percentile queries (stored in seconds)."""
+    """Latency samples with percentile queries (stored in seconds).
 
-    samples: list[float] = field(default_factory=list)
+    Memory is bounded: at most ``cap`` raw samples are retained.  Up to
+    the cap, ``percentile()`` is exact; past it, Vitter's algorithm R
+    keeps a uniform reservoir so percentiles become approximate, while
+    ``mean`` and ``count`` stay exact via running aggregates.  The
+    reservoir's RNG is seeded, so runs are reproducible.
+    """
+
+    def __init__(
+        self,
+        samples: list[float] | None = None,
+        *,
+        cap: int = DEFAULT_SAMPLE_CAP,
+        seed: int = 0,
+    ) -> None:
+        if cap < 1:
+            raise ValueError("cap must be >= 1")
+        self.cap = cap
+        self.samples: list[float] = []
+        self._count = 0
+        self._sum = 0.0
+        self._rng = random.Random(seed)
+        for sample in samples or ():
+            self.observe(sample)
 
     def observe(self, seconds: float) -> None:
-        self.samples.append(seconds)
+        self._count += 1
+        self._sum += seconds
+        if len(self.samples) < self.cap:
+            self.samples.append(seconds)
+        else:
+            slot = self._rng.randrange(self._count)
+            if slot < self.cap:
+                self.samples[slot] = seconds
 
     def percentile(self, q: float) -> float:
-        """The ``q``-th percentile (0..100) by linear interpolation."""
+        """The ``q``-th percentile (0..100) by linear interpolation.
+
+        Exact while ``count <= cap``; a uniform-reservoir estimate above.
+        """
         if not self.samples:
             return 0.0
         if not 0 <= q <= 100:
@@ -30,34 +77,129 @@ class LatencyHistogram:
         if low == high:
             return ordered[low]
         weight = rank - low
-        return ordered[low] * (1 - weight) + ordered[high] * weight
+        low_value, high_value = ordered[low], ordered[high]
+        # a + (b-a)*w keeps denormals in [a, b] where a*(1-w) + b*w can
+        # underflow below a; clamp against round-off at the top end too.
+        value = low_value + (high_value - low_value) * weight
+        return min(max(value, low_value), high_value)
 
     @property
     def mean(self) -> float:
-        return sum(self.samples) / len(self.samples) if self.samples else 0.0
+        return self._sum / self._count if self._count else 0.0
 
     @property
     def count(self) -> int:
-        return len(self.samples)
+        return self._count
 
 
-@dataclass
+class _RegistryLatency(LatencyHistogram):
+    """LatencyHistogram that also feeds a registry histogram series."""
+
+    def __init__(self, series: HistogramSeries) -> None:
+        super().__init__()
+        self._series = series
+
+    def observe(self, seconds: float) -> None:
+        super().observe(seconds)
+        self._series.observe(seconds)
+
+
 class ProxyMetrics:
-    """Counters one RDDR proxy maintains."""
+    """Counters one RDDR proxy maintains — a view over the registry.
 
-    exchanges_total: int = 0
-    exchanges_blocked: int = 0
-    divergences: int = 0
-    timeouts: int = 0
-    noise_filtered_tokens: int = 0
-    ephemeral_tokens_captured: int = 0
-    bytes_from_clients: int = 0
-    bytes_to_clients: int = 0
-    connections_total: int = 0
-    latency: LatencyHistogram = field(default_factory=LatencyHistogram)
+    ``ProxyMetrics()`` with no arguments creates a private registry, so
+    standalone use (and the pre-`repro.obs` API) keeps working; proxies
+    normally get a view bound to the deployment's shared registry via
+    :meth:`repro.obs.Observer.proxy_metrics`.
+    """
+
+    _COUNTERS = {
+        "exchanges_total": (
+            "rddr_exchanges_started_total",
+            "Exchanges begun (client requests replicated / request groups formed).",
+        ),
+        "exchanges_blocked": (
+            "rddr_exchanges_blocked_total",
+            "Exchanges ended by an RDDR intervention.",
+        ),
+        "divergences": (
+            "rddr_divergences_total",
+            "Divergent exchanges detected after de-noising.",
+        ),
+        "timeouts": (
+            "rddr_timeouts_total",
+            "Exchanges abandoned because an instance missed the timeout.",
+        ),
+        "noise_filtered_tokens": (
+            "rddr_noise_filtered_tokens_total",
+            "Response tokens masked by the de-noising filter pair.",
+        ),
+        "ephemeral_tokens_captured": (
+            "rddr_ephemeral_tokens_total",
+            "Ephemeral-state tokens (CSRF, session ids) captured.",
+        ),
+        "connections_total": (
+            "rddr_connections_total",
+            "Connections accepted from clients or instances.",
+        ),
+    }
+
+    def __init__(
+        self,
+        registry: MetricsRegistry | None = None,
+        *,
+        proxy: str = "",
+        protocol: str = "",
+    ) -> None:
+        self._registry = registry if registry is not None else MetricsRegistry()
+        self._proxy = proxy
+        self._protocol = protocol
+        labels = {"proxy": proxy, "protocol": protocol}
+        self._series = {}
+        for attr, (name, help) in self._COUNTERS.items():
+            family = self._registry.counter(name, help, ("proxy", "protocol"))
+            self._series[attr] = family.labels(**labels)
+        bytes_family = self._registry.counter(
+            "rddr_client_bytes_total",
+            "Bytes through the proxy, by direction (in = from clients).",
+            ("proxy", "protocol", "direction"),
+        )
+        self._series["bytes_from_clients"] = bytes_family.labels(direction="in", **labels)
+        self._series["bytes_to_clients"] = bytes_family.labels(direction="out", **labels)
+        latency_family = self._registry.histogram(
+            "rddr_exchange_latency_seconds",
+            "Client-visible exchange latency through the proxy.",
+            ("proxy", "protocol"),
+            buckets=LATENCY_BUCKETS,
+        )
+        self.latency = _RegistryLatency(latency_family.labels(**labels))
+
+    @property
+    def registry(self) -> MetricsRegistry:
+        return self._registry
 
     @property
     def block_rate(self) -> float:
         if self.exchanges_total == 0:
             return 0.0
         return self.exchanges_blocked / self.exchanges_total
+
+    def __repr__(self) -> str:
+        fields = ", ".join(f"{attr}={getattr(self, attr)}" for attr in self._series)
+        return f"ProxyMetrics(proxy={self._proxy!r}, {fields})"
+
+
+def _series_property(attr: str) -> property:
+    def fget(self: ProxyMetrics) -> int | float:
+        value = self._series[attr].value
+        return int(value) if float(value).is_integer() else value
+
+    def fset(self: ProxyMetrics, value: float) -> None:
+        self._series[attr].set(float(value))
+
+    return property(fget, fset)
+
+
+for _attr in (*ProxyMetrics._COUNTERS, "bytes_from_clients", "bytes_to_clients"):
+    setattr(ProxyMetrics, _attr, _series_property(_attr))
+del _attr

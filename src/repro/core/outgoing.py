@@ -31,7 +31,8 @@ from repro.core.diff import diff_tokens
 from repro.core.events import EventLog
 from repro.core.metrics import ProxyMetrics
 from repro.core.variance import VarianceMasker
-from repro.protocols.base import ProtocolModule
+from repro.obs import ExchangeTrace, Observer, active_observer
+from repro.protocols.base import ProtocolModule, resolve
 from repro.transport.retry import open_connection_retry
 from repro.transport.server import ServerHandle, start_server
 from repro.transport.streams import ConnectionClosed, close_writer, drain_write
@@ -62,25 +63,36 @@ class OutgoingRequestProxy:
         self,
         backend: Address,
         instance_count: int,
-        protocol: ProtocolModule,
+        protocol: ProtocolModule | str,
         config: RddrConfig | None = None,
         *,
         host: str = "127.0.0.1",
         name: str = "rddr-outgoing",
         event_log: EventLog | None = None,
         metrics: ProxyMetrics | None = None,
+        observer: Observer | None = None,
     ) -> None:
         if instance_count < 2:
             raise ValueError("N-versioning requires at least 2 instances")
         self.backend = backend
         self.instance_count = instance_count
-        self.protocol = protocol
+        self.protocol = resolve(protocol)
+        protocol = self.protocol
         self.config = config or RddrConfig(protocol=protocol.name)
         self.host = host
         self.name = name
         # Explicit None checks: an empty EventLog is falsy (it has __len__).
-        self.events = event_log if event_log is not None else EventLog()
-        self.metrics = metrics if metrics is not None else ProxyMetrics()
+        self.observer = (
+            observer if observer is not None else (active_observer() or Observer())
+        )
+        self.events = (
+            event_log if event_log is not None else EventLog(observer=self.observer)
+        )
+        self.metrics = (
+            metrics
+            if metrics is not None
+            else self.observer.proxy_metrics(name, protocol.name)
+        )
         self.handles: list[ServerHandle] = []
         self._denoiser = FilterPairDenoiser(self.config.filter_pair_obj())
         self._variance = VarianceMasker(self.config.variance_rules)
@@ -180,47 +192,27 @@ class OutgoingRequestProxy:
         try:
             backend_reader, backend_writer = await open_connection_retry(*self.backend)
             while True:
-                requests = await self._gather_requests(readers, states)
-                if requests is None:
-                    await self._record_block(group_index, "missing/late instance request")
-                    return
-                if all(request is None for request in requests):
-                    return  # all instances closed cleanly
-                if any(request is None for request in requests):
-                    await self._record_block(
-                        group_index, "instance closed while peers kept talking"
+                trace = self.observer.begin_exchange(
+                    proxy=self.name,
+                    protocol=self.protocol.name,
+                    direction="outgoing",
+                    exchange=self._exchange_counter,
+                )
+                try:
+                    stop = await self._run_group_exchange(
+                        group_index,
+                        readers,
+                        writers,
+                        states,
+                        backend_reader,
+                        backend_writer,
+                        backend_state,
+                        trace,
                     )
+                finally:
+                    self.observer.finish_exchange(trace)
+                if stop:
                     return
-                exchange = self._exchange_counter
-                self._exchange_counter += 1
-                self.metrics.exchanges_total += 1
-
-                verdict = self._analyse([r for r in requests if r is not None], exchange)
-                if verdict is not None:
-                    await self._record_block(group_index, verdict)
-                    return
-
-                canonical = requests[self.config.canonical_instance]
-                assert canonical is not None
-                backend_writer.write(canonical)
-                await drain_write(backend_writer)
-                started = time.monotonic()
-
-                if not self.protocol.expects_response(canonical, backend_state):
-                    continue
-                response = await asyncio.wait_for(
-                    self.protocol.read_server_message(
-                        backend_reader, backend_state, canonical
-                    ),
-                    timeout=self.config.exchange_timeout,
-                )
-                for writer in writers:
-                    writer.write(response)
-                    await drain_write(writer)
-                self.metrics.latency.observe(time.monotonic() - started)
-                self.events.record(
-                    ev.EXCHANGE_OK, "unanimous", proxy=self.name, exchange=exchange
-                )
         except (ConnectionClosed, ConnectionError, asyncio.TimeoutError) as error:
             self.events.record(
                 ev.INSTANCE_ERROR, f"group {group_index}: {error}", proxy=self.name
@@ -232,19 +224,93 @@ class OutgoingRequestProxy:
             if backend_writer is not None:
                 await close_writer(backend_writer)
 
+    async def _run_group_exchange(
+        self,
+        group_index: int,
+        readers: list[asyncio.StreamReader],
+        writers: list[asyncio.StreamWriter],
+        states: list[object],
+        backend_reader: asyncio.StreamReader,
+        backend_writer: asyncio.StreamWriter,
+        backend_state: object,
+        trace: ExchangeTrace,
+    ) -> bool:
+        """One outgoing exchange; returns True when the group is done."""
+        with trace.span("collect") as collect:
+            requests = await self._gather_requests(readers, states, trace, collect)
+        if requests is None:
+            trace.set_verdict("timeout", "missing/late instance request")
+            await self._record_block(group_index, "missing/late instance request")
+            return True
+        if all(request is None for request in requests):
+            trace.discard = True  # all instances closed cleanly; not an exchange
+            return True
+        if any(request is None for request in requests):
+            trace.set_verdict("divergent", "instance closed while peers kept talking")
+            await self._record_block(
+                group_index, "instance closed while peers kept talking"
+            )
+            return True
+        exchange = self._exchange_counter
+        self._exchange_counter += 1
+        self.metrics.exchanges_total += 1
+        trace.exchange = exchange
+
+        with trace.span("merge") as merge:
+            verdict = self._analyse(
+                [r for r in requests if r is not None], exchange, trace, merge
+            )
+        if verdict is not None:
+            trace.set_verdict("divergent", verdict)
+            await self._record_block(group_index, verdict)
+            return True
+
+        canonical = requests[self.config.canonical_instance]
+        assert canonical is not None
+        with trace.span("backend"):
+            backend_writer.write(canonical)
+            await drain_write(backend_writer)
+            started = time.monotonic()
+
+            if not self.protocol.expects_response(canonical, backend_state):
+                trace.set_verdict("oneway")
+                return False
+            response = await asyncio.wait_for(
+                self.protocol.read_server_message(
+                    backend_reader, backend_state, canonical
+                ),
+                timeout=self.config.exchange_timeout,
+            )
+        with trace.span("fan-back") as fan_back:
+            for index, writer in enumerate(writers):
+                with trace.span("send", parent=fan_back, instance=index):
+                    writer.write(response)
+                    await drain_write(writer)
+        self.metrics.latency.observe(time.monotonic() - started)
+        trace.set_verdict("unanimous")
+        self.events.record(
+            ev.EXCHANGE_OK, "unanimous", proxy=self.name, exchange=exchange
+        )
+        return False
+
     async def _gather_requests(
         self,
         readers: list[asyncio.StreamReader],
         states: list[object],
+        trace: ExchangeTrace,
+        parent,
     ) -> list[bytes | None] | None:
         """One request from every instance, or ``None`` on timeout."""
 
-        async def read_one(reader: asyncio.StreamReader, state: object) -> bytes | None:
-            return await self.protocol.read_client_message(reader, state)
+        async def read_one(
+            position: int, reader: asyncio.StreamReader, state: object
+        ) -> bytes | None:
+            with trace.span("recv", parent=parent, instance=position):
+                return await self.protocol.read_client_message(reader, state)
 
         tasks = [
-            asyncio.ensure_future(read_one(reader, state))
-            for reader, state in zip(readers, states)
+            asyncio.ensure_future(read_one(position, reader, state))
+            for position, (reader, state) in enumerate(zip(readers, states))
         ]
         # An idle group is benign: wait indefinitely for the *first*
         # instance to speak (or hang up).  Once one has, the rest must
@@ -264,19 +330,25 @@ class OutgoingRequestProxy:
                 return None
         return [task.result() for task in tasks]
 
-    def _analyse(self, requests: list[bytes], exchange: int) -> str | None:
-        raw_tokens = [self.protocol.tokenize(request) for request in requests]
-        tokens = self._variance.mask_streams(raw_tokens)
-        mask = self._denoiser.mask_for(tokens)
-        if mask.token_ranges or mask.tail_from is not None:
-            self.metrics.noise_filtered_tokens += len(mask.token_ranges)
-            self.events.record(
-                ev.NOISE_FILTERED,
-                f"{len(mask.token_ranges)} token(s) masked",
-                proxy=self.name,
-                exchange=exchange,
-            )
-        result = diff_tokens(tokens, mask)
+    def _analyse(
+        self, requests: list[bytes], exchange: int, trace: ExchangeTrace, parent
+    ) -> str | None:
+        with trace.span("denoise", parent=parent) as denoise:
+            raw_tokens = [self.protocol.tokenize(request) for request in requests]
+            tokens = self._variance.mask_streams(raw_tokens)
+            mask = self._denoiser.mask_for(tokens)
+            if mask.token_ranges or mask.tail_from is not None:
+                self.metrics.noise_filtered_tokens += len(mask.token_ranges)
+                denoise.attrs["masked_tokens"] = len(mask.token_ranges)
+                self.events.record(
+                    ev.NOISE_FILTERED,
+                    f"{len(mask.token_ranges)} token(s) masked",
+                    proxy=self.name,
+                    exchange=exchange,
+                )
+        with trace.span("diff", parent=parent) as diff_span:
+            result = diff_tokens(tokens, mask)
+            diff_span.attrs["divergent"] = result.divergent
         if result.divergent:
             self.metrics.divergences += 1
             return result.reason

@@ -4,39 +4,60 @@ Start order matters: outgoing proxies must exist *before* the instances
 (instances are configured with their per-instance backend address, which
 is an outgoing-proxy port), and the incoming proxy starts last, once all
 instance addresses are known.  :class:`RddrDeployment` walks callers
-through that order and shares one event log and metrics across the
+through that order and shares one event log, one metrics registry, and
+one trace sink — bundled in a :class:`repro.obs.Observer` — across the
 deployment's proxies, matching Figure 2 of the paper.
+
+If no observer is passed, the deployment joins the *active* observer
+installed via :func:`repro.obs.use`, falling back to a private one, so
+callers can collect traces/metrics from code that creates deployments
+internally (scenarios, app helpers) without plumbing changes.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import ssl
 
 from repro.core.config import RddrConfig
 from repro.core.events import EventLog
 from repro.core.incoming import IncomingRequestProxy
 from repro.core.metrics import ProxyMetrics
 from repro.core.outgoing import OutgoingRequestProxy
-from repro.protocols import get_protocol
-from repro.protocols.base import ProtocolModule
+from repro.obs import Observer, active_observer
+from repro.protocols.base import ProtocolModule, resolve
 
 Address = tuple[str, int]
 
 
-@dataclass
 class RddrDeployment:
-    """One protected microservice: its proxies, events, and metrics."""
+    """One protected microservice: its proxies, events, metrics, traces."""
 
-    name: str
-    config: RddrConfig = field(default_factory=RddrConfig)
-    host: str = "127.0.0.1"
-    events: EventLog = field(default_factory=EventLog)
-    incoming: IncomingRequestProxy | None = None
-    outgoing: dict[str, OutgoingRequestProxy] = field(default_factory=dict)
-    incoming_metrics: ProxyMetrics = field(default_factory=ProxyMetrics)
+    def __init__(
+        self,
+        name: str,
+        config: RddrConfig | None = None,
+        host: str = "127.0.0.1",
+        *,
+        observer: Observer | None = None,
+        events: EventLog | None = None,
+    ) -> None:
+        self.name = name
+        self.config = config if config is not None else RddrConfig()
+        self.host = host
+        self.observer = (
+            observer if observer is not None else (active_observer() or Observer())
+        )
+        self.events = (
+            events if events is not None else EventLog(observer=self.observer)
+        )
+        self.incoming: IncomingRequestProxy | None = None
+        self.outgoing: dict[str, OutgoingRequestProxy] = {}
+        self.incoming_metrics: ProxyMetrics = self.observer.proxy_metrics(
+            f"{name}-in", self.config.protocol
+        )
 
-    def _protocol(self, override: str | None = None) -> ProtocolModule:
-        return get_protocol(override or self.config.protocol)
+    def _protocol(self, override: str | ProtocolModule | None = None) -> ProtocolModule:
+        return resolve(override if override is not None else self.config.protocol)
 
     # ------------------------------------------------------------ outgoing
 
@@ -46,7 +67,7 @@ class RddrDeployment:
         backend: Address,
         instance_count: int,
         *,
-        protocol: str | None = None,
+        protocol: str | ProtocolModule | None = None,
         config: RddrConfig | None = None,
     ) -> OutgoingRequestProxy:
         """Guard one backend the protected microservice talks to.
@@ -64,6 +85,7 @@ class RddrDeployment:
             host=self.host,
             name=f"{self.name}-out-{backend_name}",
             event_log=self.events,
+            observer=self.observer,
         )
         await proxy.start()
         self.outgoing[backend_name] = proxy
@@ -76,9 +98,9 @@ class RddrDeployment:
         instances: list[Address],
         *,
         port: int = 0,
-        protocol: str | None = None,
-        server_ssl=None,
-        instance_ssl=None,
+        protocol: str | ProtocolModule | None = None,
+        server_ssl: ssl.SSLContext | None = None,
+        instance_ssl: ssl.SSLContext | None = None,
     ) -> IncomingRequestProxy:
         """Start the client-facing proxy over the N running instances."""
         if self.incoming is not None:
@@ -92,6 +114,7 @@ class RddrDeployment:
             name=f"{self.name}-in",
             event_log=self.events,
             metrics=self.incoming_metrics,
+            observer=self.observer,
             server_ssl=server_ssl,
             instance_ssl=instance_ssl,
         )
@@ -114,6 +137,22 @@ class RddrDeployment:
     def intervened(self) -> bool:
         """Did RDDR block anything since the deployment started?"""
         return bool(self.events.divergences())
+
+    # ------------------------------------------------------- observability
+
+    def metrics_text(self) -> str:
+        """Prometheus text exposition of the deployment's registry."""
+        return self.observer.metrics_text()
+
+    def metrics_snapshot(self) -> dict:
+        """JSON-able snapshot of every metric family and series."""
+        return self.observer.metrics_snapshot()
+
+    def traces(self) -> list[dict]:
+        """The buffered exchange traces (oldest first)."""
+        return self.observer.traces()
+
+    # ------------------------------------------------------------ lifecycle
 
     async def close(self) -> None:
         if self.incoming is not None:

@@ -1,0 +1,43 @@
+"""repro.obs — observability for RDDR deployments.
+
+Two pillars behind one :class:`Observer` bundle:
+
+* **Trace layer** (:mod:`repro.obs.trace`) — every exchange gets a
+  stable exchange id and a span tree with per-instance timings and the
+  divergence verdict, exported as JSON lines through a ring-buffered
+  :class:`TraceSink`.
+* **Labeled metrics** (:mod:`repro.obs.metrics`) — ``Counter`` /
+  ``Gauge`` / fixed-bucket ``Histogram`` families with bounded label
+  cardinality, a Prometheus text exposition, and a JSON snapshot API.
+
+See ``docs/observability.md`` for the trace schema and metric names.
+"""
+
+from repro.obs.metrics import (
+    LATENCY_BUCKETS,
+    OVERFLOW_LABEL_VALUE,
+    CounterSeries,
+    GaugeSeries,
+    HistogramSeries,
+    MetricFamily,
+    MetricsRegistry,
+)
+from repro.obs.observer import Observer, active_observer, use
+from repro.obs.trace import ExchangeTrace, Span, Tracer, TraceSink
+
+__all__ = [
+    "LATENCY_BUCKETS",
+    "OVERFLOW_LABEL_VALUE",
+    "CounterSeries",
+    "GaugeSeries",
+    "HistogramSeries",
+    "MetricFamily",
+    "MetricsRegistry",
+    "Observer",
+    "active_observer",
+    "use",
+    "ExchangeTrace",
+    "Span",
+    "Tracer",
+    "TraceSink",
+]

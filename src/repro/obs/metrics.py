@@ -1,0 +1,363 @@
+"""Labeled metrics registry (paper section V-G's accounting, productionised).
+
+A :class:`MetricsRegistry` holds named metric *families* — ``Counter``,
+``Gauge``, and fixed-bucket ``Histogram`` — each carrying a declared set
+of label names.  ``family.labels(proxy="x", protocol="tcp")`` returns the
+*series* for that label combination, which is the object the hot path
+increments.  Two export surfaces:
+
+* :meth:`MetricsRegistry.expose_text` — Prometheus text exposition
+  (``# HELP`` / ``# TYPE`` headers, alphabetically ordered families and
+  series, escaped label values);
+* :meth:`MetricsRegistry.snapshot` — a JSON-able dict the benchmark
+  harnesses consume.
+
+Cardinality is bounded: each family accepts at most
+``max_series_per_family`` distinct label sets; further combinations
+collapse into a single overflow series whose label values are
+``"_other_"``, so a label leak (e.g. a client-controlled value) degrades
+aggregation instead of exhausting memory.
+"""
+
+from __future__ import annotations
+
+import re
+from bisect import bisect_left
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: Label value substituted when a family exceeds its cardinality bound.
+OVERFLOW_LABEL_VALUE = "_other_"
+
+#: Default buckets for latency histograms (seconds).
+LATENCY_BUCKETS = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+
+def _format_value(value: float) -> str:
+    """Prometheus-style number: integral values without a decimal point."""
+    if value == float("inf"):
+        return "+Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _render_labels(labelnames: tuple[str, ...], labelvalues: tuple[str, ...],
+                   extra: tuple[tuple[str, str], ...] = ()) -> str:
+    pairs = sorted(tuple(zip(labelnames, labelvalues)) + extra)
+    if not pairs:
+        return ""
+    body = ",".join(f'{name}="{_escape_label_value(value)}"' for name, value in pairs)
+    return "{" + body + "}"
+
+
+class _Series:
+    """One (family, label set) combination."""
+
+    __slots__ = ("labelvalues",)
+
+    def __init__(self, labelvalues: tuple[str, ...]) -> None:
+        self.labelvalues = labelvalues
+
+
+class CounterSeries(_Series):
+    __slots__ = ("_value",)
+
+    def __init__(self, labelvalues: tuple[str, ...]) -> None:
+        super().__init__(labelvalues)
+        self._value = 0.0
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters cannot decrease")
+        self._value += amount
+
+    def set(self, value: float) -> None:
+        """Overwrite the total — compatibility hook for the legacy
+        ``ProxyMetrics`` attribute-assignment API; not part of the
+        Prometheus counter contract."""
+        self._value = float(value)
+
+
+class GaugeSeries(_Series):
+    __slots__ = ("_value",)
+
+    def __init__(self, labelvalues: tuple[str, ...]) -> None:
+        super().__init__(labelvalues)
+        self._value = 0.0
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def set(self, value: float) -> None:
+        self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._value -= amount
+
+
+class HistogramSeries(_Series):
+    """Fixed-bucket histogram: bounded memory regardless of sample count."""
+
+    __slots__ = ("buckets", "bucket_counts", "_sum", "_count")
+
+    def __init__(self, labelvalues: tuple[str, ...], buckets: tuple[float, ...]) -> None:
+        super().__init__(labelvalues)
+        self.buckets = buckets
+        self.bucket_counts = [0] * (len(buckets) + 1)  # last = +Inf
+        self._sum = 0.0
+        self._count = 0
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self._count if self._count else 0.0
+
+    def observe(self, value: float) -> None:
+        self.bucket_counts[bisect_left(self.buckets, value)] += 1
+        self._sum += value
+        self._count += 1
+
+    def cumulative_counts(self) -> list[int]:
+        total = 0
+        out = []
+        for count in self.bucket_counts:
+            total += count
+            out.append(total)
+        return out
+
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-th quantile (0..100), interpolated within the
+        containing bucket — the standard fixed-bucket estimate."""
+        if not 0 <= q <= 100:
+            raise ValueError("quantile must be in [0, 100]")
+        if self._count == 0:
+            return 0.0
+        rank = (q / 100) * self._count
+        cumulative = self.cumulative_counts()
+        for i, seen in enumerate(cumulative):
+            if seen >= rank:
+                upper = self.buckets[i] if i < len(self.buckets) else self.buckets[-1]
+                lower = self.buckets[i - 1] if i > 0 else 0.0
+                in_bucket = self.bucket_counts[i]
+                if in_bucket == 0 or i >= len(self.buckets):
+                    return upper
+                below = cumulative[i] - in_bucket
+                fraction = (rank - below) / in_bucket
+                return lower + (upper - lower) * min(max(fraction, 0.0), 1.0)
+        return self.buckets[-1]
+
+
+class MetricFamily:
+    """A named metric with a fixed label-name set and bounded cardinality."""
+
+    def __init__(
+        self,
+        kind: str,
+        name: str,
+        help: str,
+        labelnames: tuple[str, ...],
+        *,
+        max_series: int,
+        buckets: tuple[float, ...] | None = None,
+    ) -> None:
+        if not _NAME_RE.match(name):
+            raise ValueError(f"invalid metric name {name!r}")
+        for label in labelnames:
+            if not _LABEL_RE.match(label):
+                raise ValueError(f"invalid label name {label!r}")
+        if buckets is not None and list(buckets) != sorted(set(buckets)):
+            raise ValueError("histogram buckets must be strictly increasing")
+        self.kind = kind
+        self.name = name
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        self.max_series = max_series
+        self.buckets = tuple(buckets) if buckets is not None else None
+        self.dropped_series = 0
+        self._series: dict[tuple[str, ...], _Series] = {}
+
+    def _make_series(self, labelvalues: tuple[str, ...]) -> _Series:
+        if self.kind == "counter":
+            return CounterSeries(labelvalues)
+        if self.kind == "gauge":
+            return GaugeSeries(labelvalues)
+        assert self.buckets is not None
+        return HistogramSeries(labelvalues, self.buckets)
+
+    def labels(self, **labelvalues: str):
+        if set(labelvalues) != set(self.labelnames):
+            raise ValueError(
+                f"{self.name}: expected labels {sorted(self.labelnames)}, "
+                f"got {sorted(labelvalues)}"
+            )
+        key = tuple(str(labelvalues[name]) for name in self.labelnames)
+        series = self._series.get(key)
+        if series is not None:
+            return series
+        if len(self._series) >= self.max_series:
+            self.dropped_series += 1
+            overflow_key = tuple(OVERFLOW_LABEL_VALUE for _ in self.labelnames)
+            series = self._series.get(overflow_key)
+            if series is None:
+                series = self._make_series(overflow_key)
+                self._series[overflow_key] = series
+            return series
+        series = self._make_series(key)
+        self._series[key] = series
+        return series
+
+    def series(self) -> list[_Series]:
+        return [self._series[key] for key in sorted(self._series)]
+
+    def __len__(self) -> int:
+        return len(self._series)
+
+
+class MetricsRegistry:
+    """Registry of metric families with text and JSON export surfaces."""
+
+    def __init__(self, *, max_series_per_family: int = 256) -> None:
+        self.max_series_per_family = max_series_per_family
+        self._families: dict[str, MetricFamily] = {}
+
+    # ------------------------------------------------------------ creation
+
+    def _family(
+        self,
+        kind: str,
+        name: str,
+        help: str,
+        labelnames: tuple[str, ...],
+        buckets: tuple[float, ...] | None = None,
+    ) -> MetricFamily:
+        existing = self._families.get(name)
+        if existing is not None:
+            if existing.kind != kind or existing.labelnames != tuple(labelnames):
+                raise ValueError(
+                    f"metric {name!r} already registered as {existing.kind} "
+                    f"with labels {existing.labelnames}"
+                )
+            return existing
+        family = MetricFamily(
+            kind, name, help, tuple(labelnames),
+            max_series=self.max_series_per_family, buckets=buckets,
+        )
+        self._families[name] = family
+        return family
+
+    def counter(self, name: str, help: str = "", labelnames: tuple[str, ...] = ()) -> MetricFamily:
+        return self._family("counter", name, help, tuple(labelnames))
+
+    def gauge(self, name: str, help: str = "", labelnames: tuple[str, ...] = ()) -> MetricFamily:
+        return self._family("gauge", name, help, tuple(labelnames))
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: tuple[str, ...] = (),
+        *,
+        buckets: tuple[float, ...] = LATENCY_BUCKETS,
+    ) -> MetricFamily:
+        return self._family("histogram", name, help, tuple(labelnames), tuple(buckets))
+
+    # ------------------------------------------------------------- queries
+
+    def get(self, name: str) -> MetricFamily | None:
+        return self._families.get(name)
+
+    def families(self) -> list[MetricFamily]:
+        return [self._families[name] for name in sorted(self._families)]
+
+    def total(self, name: str, **label_filter: str) -> float:
+        """Sum of all series of ``name`` whose labels match the filter.
+
+        For histograms the per-series *count* is summed.  Unknown metric
+        names total 0.0, so callers can probe before traffic has flowed.
+        """
+        family = self._families.get(name)
+        if family is None:
+            return 0.0
+        total = 0.0
+        for series in family.series():
+            labels = dict(zip(family.labelnames, series.labelvalues))
+            if all(labels.get(key) == str(value) for key, value in label_filter.items()):
+                if isinstance(series, HistogramSeries):
+                    total += series.count
+                else:
+                    total += series.value
+        return total
+
+    # ------------------------------------------------------------- export
+
+    def expose_text(self) -> str:
+        """Prometheus text exposition format (version 0.0.4)."""
+        lines: list[str] = []
+        for family in self.families():
+            lines.append(f"# HELP {family.name} {family.help}")
+            lines.append(f"# TYPE {family.name} {family.kind}")
+            for series in family.series():
+                labels = _render_labels(family.labelnames, series.labelvalues)
+                if isinstance(series, HistogramSeries):
+                    cumulative = series.cumulative_counts()
+                    bounds = [*series.buckets, float("inf")]
+                    for bound, count in zip(bounds, cumulative):
+                        bucket_labels = _render_labels(
+                            family.labelnames,
+                            series.labelvalues,
+                            extra=(("le", _format_value(bound)),),
+                        )
+                        lines.append(f"{family.name}_bucket{bucket_labels} {count}")
+                    lines.append(f"{family.name}_sum{labels} {_format_value(series.sum)}")
+                    lines.append(f"{family.name}_count{labels} {series.count}")
+                else:
+                    lines.append(f"{family.name}{labels} {_format_value(series.value)}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def snapshot(self) -> dict[str, dict]:
+        """JSON-able view of every family and series."""
+        out: dict[str, dict] = {}
+        for family in self.families():
+            rendered = []
+            for series in family.series():
+                labels = dict(zip(family.labelnames, series.labelvalues))
+                if isinstance(series, HistogramSeries):
+                    rendered.append({
+                        "labels": labels,
+                        "buckets": list(series.buckets),
+                        "bucket_counts": list(series.bucket_counts),
+                        "sum": series.sum,
+                        "count": series.count,
+                    })
+                else:
+                    rendered.append({"labels": labels, "value": series.value})
+            out[family.name] = {
+                "type": family.kind,
+                "help": family.help,
+                "series": rendered,
+            }
+        return out

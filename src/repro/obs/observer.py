@@ -1,0 +1,129 @@
+"""The Observer: one bundle of registry + tracer + sink per deployment.
+
+Proxies report through an :class:`Observer`; a deployment shares one so
+every proxy's exchanges land in the same registry and trace ring.  The
+*active observer* is a context-variable: wrap any code standing up its
+own :class:`~repro.core.rddr.RddrDeployment` (scenario runners, app
+deployment helpers) in :func:`use` and the deployments it creates report
+into your observer without plumbing changes::
+
+    observer = Observer()
+    with obs.use(observer):
+        await scenario()            # creates RddrDeployment internally
+    print(observer.metrics_text())
+    print(observer.sink.jsonl())
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import time
+from typing import Callable, Iterator
+
+from repro.obs.metrics import LATENCY_BUCKETS, MetricsRegistry
+from repro.obs.trace import ExchangeTrace, TraceSink, Tracer
+
+_ACTIVE: contextvars.ContextVar["Observer | None"] = contextvars.ContextVar(
+    "repro_obs_active_observer", default=None
+)
+
+
+def active_observer() -> "Observer | None":
+    """The observer installed by the innermost :func:`use`, if any."""
+    return _ACTIVE.get()
+
+
+@contextlib.contextmanager
+def use(observer: "Observer") -> Iterator["Observer"]:
+    """Make ``observer`` the default for deployments created inside."""
+    token = _ACTIVE.set(observer)
+    try:
+        yield observer
+    finally:
+        _ACTIVE.reset(token)
+
+
+class Observer:
+    """Shared observability context: metrics registry, tracer, trace sink."""
+
+    def __init__(
+        self,
+        *,
+        registry: MetricsRegistry | None = None,
+        sink: TraceSink | None = None,
+        trace_capacity: int = 1024,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.sink = sink if sink is not None else TraceSink(capacity=trace_capacity)
+        self.tracer = Tracer(self.sink, clock=clock)
+        self._exchanges = self.registry.counter(
+            "rddr_exchanges_total",
+            "Exchanges completed, by divergence verdict.",
+            ("proxy", "protocol", "verdict"),
+        )
+        self._instance_latency = self.registry.histogram(
+            "rddr_instance_latency_seconds",
+            "Per-instance response read time within an exchange.",
+            ("proxy", "instance"),
+            buckets=LATENCY_BUCKETS,
+        )
+        self._events = self.registry.counter(
+            "rddr_events_total",
+            "Structured events recorded, by kind.",
+            ("proxy", "kind"),
+        )
+
+    # ---------------------------------------------------------- factories
+
+    def proxy_metrics(self, proxy: str, protocol: str):
+        """A :class:`~repro.core.metrics.ProxyMetrics` view labeled for
+        one proxy, backed by this observer's registry."""
+        from repro.core.metrics import ProxyMetrics
+
+        return ProxyMetrics(self.registry, proxy=proxy, protocol=protocol)
+
+    # ---------------------------------------------------------- exchanges
+
+    def begin_exchange(
+        self, *, proxy: str, protocol: str, direction: str, exchange: int
+    ) -> ExchangeTrace:
+        return self.tracer.begin(
+            proxy=proxy, protocol=protocol, direction=direction, exchange=exchange
+        )
+
+    def finish_exchange(self, trace: ExchangeTrace) -> dict | None:
+        """Close the trace, account its verdict and per-instance latencies,
+        and export it (unless the trace was marked ``discard``)."""
+        trace.finish()
+        if trace.discard:
+            return None
+        if trace.verdict == ExchangeTrace.UNFINISHED:
+            trace.set_verdict("error")
+        self._exchanges.labels(
+            proxy=trace.proxy, protocol=trace.protocol, verdict=trace.verdict
+        ).inc()
+        for index, timings in trace.instance_timings().items():
+            recv = timings.get("recv_s")
+            if recv is not None and not timings.get("recv_cancelled"):
+                self._instance_latency.labels(
+                    proxy=trace.proxy, instance=str(index)
+                ).observe(recv)
+        return self.tracer.finish(trace)
+
+    # ------------------------------------------------------------- events
+
+    def event_recorded(self, event) -> None:
+        self._events.labels(proxy=event.proxy, kind=event.kind).inc()
+
+    # ------------------------------------------------------------ exports
+
+    def metrics_text(self) -> str:
+        return self.registry.expose_text()
+
+    def metrics_snapshot(self) -> dict:
+        return self.registry.snapshot()
+
+    def traces(self) -> list[dict]:
+        return self.sink.traces()

@@ -1,0 +1,229 @@
+"""Exchange-level tracing: span trees per client exchange, ring-buffered.
+
+Every exchange an RDDR proxy handles gets one :class:`ExchangeTrace` — a
+stable exchange id plus a span tree recording where the time went
+(``replicate`` → per-instance ``send``/``recv`` → ``denoise`` → ``diff``
+→ ``respond`` on the incoming proxy; ``collect`` → ``merge`` →
+``backend`` → ``fan-back`` on the outgoing one) and the divergence
+verdict.  Finished traces are exported as JSON-able dicts into a
+:class:`TraceSink`, a fixed-capacity ring buffer with a JSON-lines view,
+so tracing is always-on without unbounded memory (the MicroFuzz
+"cheap always-on instrumentation" requirement).
+
+Spans are wall-clock timed with a monotonic clock and safe to open from
+concurrently-scheduled coroutines on one event loop; a span cancelled
+mid-``await`` (e.g. a per-instance read abandoned by the exchange
+timeout) is closed with ``cancelled: true`` so per-instance timings
+survive timeouts.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from collections import deque
+from typing import IO, Callable, Iterator
+
+
+class Span:
+    """One timed step; children nest under it in the exported tree."""
+
+    __slots__ = ("name", "start", "end", "attrs", "children")
+
+    def __init__(self, name: str, start: float, **attrs: object) -> None:
+        self.name = name
+        self.start = start
+        self.end: float | None = None
+        self.attrs: dict[str, object] = attrs
+        self.children: list[Span] = []
+
+    @property
+    def duration_s(self) -> float:
+        return (self.end - self.start) if self.end is not None else 0.0
+
+    def to_dict(self, origin: float) -> dict:
+        out: dict[str, object] = {
+            "name": self.name,
+            "start_s": round(self.start - origin, 9),
+            "duration_s": round(self.duration_s, 9),
+        }
+        if self.attrs:
+            out["attrs"] = dict(self.attrs)
+        if self.children:
+            out["children"] = [child.to_dict(origin) for child in self.children]
+        return out
+
+    def walk(self) -> Iterator["Span"]:
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+
+class _SpanContext:
+    __slots__ = ("_span", "_clock")
+
+    def __init__(self, span: Span, clock: Callable[[], float]) -> None:
+        self._span = span
+        self._clock = clock
+
+    def __enter__(self) -> Span:
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc is not None:
+            if isinstance(exc, asyncio.CancelledError):
+                self._span.attrs["cancelled"] = True
+            else:
+                self._span.attrs["error"] = type(exc).__name__
+        self._span.end = self._clock()
+        return False
+
+
+class ExchangeTrace:
+    """The span tree and verdict for one exchange through one proxy."""
+
+    #: Verdict before any stage has decided the exchange's fate.
+    UNFINISHED = "unfinished"
+
+    def __init__(
+        self,
+        *,
+        exchange_id: str,
+        proxy: str,
+        protocol: str,
+        direction: str,
+        exchange: int,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.exchange_id = exchange_id
+        self.proxy = proxy
+        self.protocol = protocol
+        self.direction = direction
+        self.exchange = exchange
+        self._clock = clock
+        self.started_wall = time.time()
+        self.root = Span("exchange", clock())
+        self.verdict = self.UNFINISHED
+        self.reason: str | None = None
+        #: Set to skip export (e.g. a connection group closing cleanly).
+        self.discard = False
+
+    # ------------------------------------------------------------- spans
+
+    def span(self, name: str, *, parent: Span | None = None, **attrs: object) -> _SpanContext:
+        """Open a child span (of ``parent``, or of the root) as a context
+        manager; the span closes — recording its duration — on exit."""
+        span = Span(name, self._clock(), **attrs)
+        (parent or self.root).children.append(span)
+        return _SpanContext(span, self._clock)
+
+    def set_verdict(self, verdict: str, reason: str | None = None) -> None:
+        self.verdict = verdict
+        if reason is not None:
+            self.reason = reason
+
+    def finish(self) -> None:
+        if self.root.end is None:
+            self.root.end = self._clock()
+
+    @property
+    def finished(self) -> bool:
+        return self.root.end is not None
+
+    # ----------------------------------------------------------- queries
+
+    def instance_timings(self) -> dict[int, dict[str, float]]:
+        """Per-instance send/recv durations collected from the span tree,
+        e.g. ``{0: {"send_s": ..., "recv_s": ...}, 1: {...}}``."""
+        timings: dict[int, dict[str, float]] = {}
+        for span in self.root.walk():
+            instance = span.attrs.get("instance")
+            if instance is None or span.name not in ("send", "recv"):
+                continue
+            entry = timings.setdefault(int(instance), {})  # type: ignore[arg-type]
+            entry[f"{span.name}_s"] = round(span.duration_s, 9)
+            if span.attrs.get("cancelled"):
+                entry[f"{span.name}_cancelled"] = True
+        return timings
+
+    def to_dict(self) -> dict:
+        self.finish()
+        return {
+            "exchange_id": self.exchange_id,
+            "proxy": self.proxy,
+            "protocol": self.protocol,
+            "direction": self.direction,
+            "exchange": self.exchange,
+            "verdict": self.verdict,
+            "reason": self.reason,
+            "started_wall": self.started_wall,
+            "duration_s": round(self.root.duration_s, 9),
+            "instances": {str(k): v for k, v in sorted(self.instance_timings().items())},
+            "spans": self.root.to_dict(self.root.start),
+        }
+
+
+class TraceSink:
+    """Fixed-capacity ring buffer of finished traces, exported as JSONL."""
+
+    def __init__(self, capacity: int = 1024, *, stream: IO[str] | None = None) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._buffer: deque[dict] = deque(maxlen=capacity)
+        self._stream = stream
+        self.emitted = 0
+
+    def emit(self, trace: dict) -> None:
+        self._buffer.append(trace)
+        self.emitted += 1
+        if self._stream is not None:
+            self._stream.write(json.dumps(trace, sort_keys=True) + "\n")
+
+    def traces(self) -> list[dict]:
+        return list(self._buffer)
+
+    def last(self) -> dict | None:
+        return self._buffer[-1] if self._buffer else None
+
+    def jsonl(self) -> str:
+        return "".join(json.dumps(trace, sort_keys=True) + "\n" for trace in self._buffer)
+
+    def write_jsonl(self, path: str) -> int:
+        """Dump the buffered traces to ``path``; returns the trace count."""
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.jsonl())
+        return len(self._buffer)
+
+    def clear(self) -> None:
+        self._buffer.clear()
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+
+class Tracer:
+    """Creates exchange traces and exports them into a sink."""
+
+    def __init__(self, sink: TraceSink, *, clock: Callable[[], float] = time.monotonic) -> None:
+        self.sink = sink
+        self._clock = clock
+
+    def begin(self, *, proxy: str, protocol: str, direction: str, exchange: int) -> ExchangeTrace:
+        return ExchangeTrace(
+            exchange_id=f"{proxy}-{exchange:06d}",
+            proxy=proxy,
+            protocol=protocol,
+            direction=direction,
+            exchange=exchange,
+            clock=self._clock,
+        )
+
+    def finish(self, trace: ExchangeTrace) -> dict | None:
+        trace.finish()
+        if trace.discard:
+            return None
+        exported = trace.to_dict()
+        self.sink.emit(exported)
+        return exported

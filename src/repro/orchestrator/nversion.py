@@ -20,6 +20,7 @@ from dataclasses import dataclass
 
 from repro.core.config import RddrConfig
 from repro.core.rddr import RddrDeployment
+from repro.obs import Observer
 from repro.orchestrator.cluster import Cluster
 from repro.orchestrator.resources import DeploymentSpec, Pod, PodContext, PodFactory
 
@@ -68,16 +69,18 @@ async def deploy_nversioned(
     config: RddrConfig | None = None,
     backends: dict[str, Address] | None = None,
     backend_protocol: str | None = None,
+    observer: Observer | None = None,
 ) -> NVersionedService:
     """Stand up a protected microservice on ``cluster``.
 
     ``factories`` is one pod factory per instance — pass different
     factories to express version/vendor diversity.  ``backends`` maps
     backend names to real backend addresses; each gets an outgoing proxy.
+    ``observer`` (optional) collects the deployment's metrics and traces.
     """
     if len(factories) < 2:
         raise ValueError("N-versioning requires at least 2 instances")
-    rddr = RddrDeployment(name, config or RddrConfig())
+    rddr = RddrDeployment(name, config or RddrConfig(), observer=observer)
     try:
         for backend_name, address in (backends or {}).items():
             await rddr.add_outgoing_proxy(

@@ -17,7 +17,7 @@ import asyncio
 import struct
 from dataclasses import dataclass, field
 
-from repro.transport.streams import ConnectionClosed, read_exact
+from repro.transport.streams import read_exact
 
 PROTOCOL_VERSION = 196608  # 3.0
 SSL_REQUEST_CODE = 80877103

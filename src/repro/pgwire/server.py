@@ -13,7 +13,6 @@ import secrets
 
 from repro.pgwire import messages as wire
 from repro.sqlengine.database import Database
-from repro.sqlengine.errors import SqlError
 from repro.sqlengine.executor import QueryResult
 from repro.sqlengine.types import TYPE_OIDS
 from repro.sqlengine.types import format_value

@@ -6,7 +6,7 @@ Available out of the box: ``tcp`` (line-framed), ``http``, ``json``
 (newline-delimited JSON), ``pgwire`` (PostgreSQL v3), ``resp`` (Redis RESP2 — the extensibility demo).
 """
 
-from repro.protocols.base import ProtocolModule, ProtocolRegistry, registry
+from repro.protocols.base import ProtocolModule, ProtocolRegistry, registry, resolve
 from repro.protocols.http import HttpProtocol
 from repro.protocols.json_proto import JsonLinesProtocol
 from repro.protocols.pgwire_proto import PgWireProtocol
@@ -14,19 +14,36 @@ from repro.protocols.resp import RespProtocol
 from repro.protocols.tcp import TcpLineProtocol
 
 
-def get_protocol(name: str, **kwargs: object) -> ProtocolModule:
+def get(name: str, **kwargs: object) -> ProtocolModule:
     """Instantiate a protocol module by registry name."""
     return registry.create(name, **kwargs)
+
+
+def register(module: type[ProtocolModule] | ProtocolModule) -> type[ProtocolModule]:
+    """Register a protocol module class (or an instance's class) under
+    its ``name``, making it resolvable via :func:`get` everywhere —
+    proxies, configs, scenarios.  Usable as a class decorator."""
+    cls = module if isinstance(module, type) else type(module)
+    if not issubclass(cls, ProtocolModule):
+        raise TypeError(f"{cls!r} is not a ProtocolModule")
+    return registry.register(cls)
+
+
+#: Backward-compatible alias for :func:`get`.
+get_protocol = get
 
 
 __all__ = [
     "ProtocolModule",
     "ProtocolRegistry",
     "registry",
+    "resolve",
     "HttpProtocol",
     "JsonLinesProtocol",
     "PgWireProtocol",
     "RespProtocol",
     "TcpLineProtocol",
+    "get",
+    "register",
     "get_protocol",
 ]

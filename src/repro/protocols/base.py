@@ -76,3 +76,17 @@ class ProtocolRegistry:
 
 
 registry = ProtocolRegistry()
+
+
+def resolve(protocol: "ProtocolModule | str", **kwargs: object) -> ProtocolModule:
+    """A protocol module from a module instance or a registry name.
+
+    Lets proxies and scenarios accept ``protocol="http"`` without
+    importing concrete modules (the plugin-registry API).
+    """
+    if isinstance(protocol, ProtocolModule):
+        return protocol
+    # Importing the package registers the built-in modules.
+    import repro.protocols  # noqa: F401
+
+    return registry.create(protocol, **kwargs)

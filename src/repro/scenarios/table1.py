@@ -14,8 +14,6 @@ import json
 import re
 import tempfile
 from pathlib import Path
-from urllib.parse import quote
-
 from repro.apps.aslr import VulnerableEchoServer, build_overflow_payload
 from repro.apps.dvwa import SQLI_EXPLOIT_ID, DvwaApp, deploy_dvwa, load_schema
 from repro.apps.proxies import HaproxySim, NginxSim, build_smuggling_payload

@@ -28,12 +28,11 @@ from repro.sqlengine.errors import (
     FeatureNotSupportedError,
     InsufficientPrivilegeError,
     SqlError,
-    UndefinedColumnError,
     UndefinedTableError,
 )
 from repro.sqlengine.evaluator import AGGREGATE_NAMES, Evaluator, Scope, Session
 from repro.sqlengine.render import render_expr
-from repro.sqlengine.types import BOOL, FLOAT, INT, TEXT, infer_type
+from repro.sqlengine.types import FLOAT, INT, TEXT, infer_type
 
 #: How many sample values the (leaky) planner feeds to restrict estimators.
 PLANNER_SAMPLE_ROWS = 100

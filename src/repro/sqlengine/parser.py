@@ -11,7 +11,7 @@ from __future__ import annotations
 from repro.sqlengine import ast_nodes as ast
 from repro.sqlengine.errors import SqlSyntaxError
 from repro.sqlengine.lexer import Token, tokenize
-from repro.sqlengine.types import Interval, normalize_type, parse_interval
+from repro.sqlengine.types import normalize_type, parse_interval
 
 # Operators with built-in comparison semantics; anything else at this
 # precedence level is dispatched to the catalog as a custom operator.

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import asyncio
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 #: Work units one core retires per second.  A calibration constant: its
 #: absolute value cancels out of every normalized (RDDR / baseline)

@@ -1,0 +1,340 @@
+"""The labeled metrics registry and the ProxyMetrics view over it.
+
+Covers the registry's family/series model (idempotent creation, label
+validation, bounded cardinality), the two export surfaces (Prometheus
+text exposition — golden-tested — and the JSON snapshot), and the
+regression guarantee that the legacy ``ProxyMetrics`` attribute API is
+an exact view over the registry.  The reservoir-sampled
+``LatencyHistogram`` is property-tested against the old unbounded
+implementation, kept here verbatim as the oracle.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.metrics import DEFAULT_SAMPLE_CAP, LatencyHistogram, ProxyMetrics
+from repro.obs.metrics import (
+    LATENCY_BUCKETS,
+    OVERFLOW_LABEL_VALUE,
+    MetricsRegistry,
+)
+
+
+class TestRegistryFamilies:
+    def test_counter_gauge_histogram_basics(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c_total", "help", ("proxy",))
+        counter.labels(proxy="a").inc()
+        counter.labels(proxy="a").inc(2)
+        assert counter.labels(proxy="a").value == 3
+
+        gauge = registry.gauge("g", "help", ())
+        gauge.labels().set(5)
+        gauge.labels().dec(1.5)
+        assert gauge.labels().value == 3.5
+
+        histogram = registry.histogram("h_seconds", "help", (), buckets=(1.0, 2.0))
+        series = histogram.labels()
+        for value in (0.5, 1.5, 99.0):
+            series.observe(value)
+        assert series.count == 3
+        assert series.sum == pytest.approx(101.0)
+        assert series.bucket_counts == [1, 1, 1]
+        assert series.cumulative_counts() == [1, 2, 3]
+
+    def test_family_creation_is_idempotent(self):
+        registry = MetricsRegistry()
+        first = registry.counter("c_total", "help", ("proxy",))
+        assert registry.counter("c_total", "help", ("proxy",)) is first
+
+    def test_kind_or_label_mismatch_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", "help", ("proxy",))
+        with pytest.raises(ValueError):
+            registry.gauge("c_total", "help", ("proxy",))
+        with pytest.raises(ValueError):
+            registry.counter("c_total", "help", ("proxy", "verdict"))
+
+    def test_invalid_names_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.counter("0bad", "help")
+        with pytest.raises(ValueError):
+            registry.counter("ok_total", "help", ("bad-label",))
+        with pytest.raises(ValueError):
+            registry.histogram("h", "help", buckets=(2.0, 1.0))
+
+    def test_labels_must_match_declared_names_exactly(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c_total", "help", ("proxy", "verdict"))
+        with pytest.raises(ValueError):
+            counter.labels(proxy="a")
+        with pytest.raises(ValueError):
+            counter.labels(proxy="a", verdict="ok", extra="no")
+
+    def test_counters_cannot_decrease(self):
+        registry = MetricsRegistry()
+        series = registry.counter("c_total", "help", ()).labels()
+        with pytest.raises(ValueError):
+            series.inc(-1)
+
+
+class TestCardinalityBound:
+    def test_overflow_series_caps_label_cardinality(self):
+        registry = MetricsRegistry(max_series_per_family=3)
+        counter = registry.counter("c_total", "help", ("client",))
+        for i in range(10):
+            counter.labels(client=f"client-{i}").inc()
+        # 3 real series plus one overflow series, never more
+        assert len(counter) == 4
+        assert counter.dropped_series == 7
+        overflow = counter.labels(client=OVERFLOW_LABEL_VALUE)
+        assert overflow.value == 7
+        # nothing is lost in aggregate
+        assert registry.total("c_total") == 10
+
+    def test_existing_series_stay_usable_after_overflow(self):
+        registry = MetricsRegistry(max_series_per_family=2)
+        counter = registry.counter("c_total", "help", ("client",))
+        first = counter.labels(client="a")
+        counter.labels(client="b").inc()
+        counter.labels(client="c").inc()  # overflows
+        first.inc()
+        assert counter.labels(client="a") is first
+        assert first.value == 1
+
+
+class TestExport:
+    def test_exposition_golden(self):
+        registry = MetricsRegistry()
+        counter = registry.counter(
+            "rddr_exchanges_total", "Exchanges completed.", ("proxy", "verdict")
+        )
+        counter.labels(proxy="demo-in", verdict="unanimous").inc(2)
+        counter.labels(proxy="demo-in", verdict='div"ergent\n').inc()
+        registry.gauge("rddr_up", "Proxy liveness.").labels().set(1)
+        histogram = registry.histogram(
+            "latency_seconds", "Latency.", ("proxy",), buckets=(0.3, 1.0)
+        )
+        series = histogram.labels(proxy="demo-in")
+        for value in (0.25, 0.5, 4.0):
+            series.observe(value)
+        expected = (
+            "# HELP latency_seconds Latency.\n"
+            "# TYPE latency_seconds histogram\n"
+            'latency_seconds_bucket{le="0.3",proxy="demo-in"} 1\n'
+            'latency_seconds_bucket{le="1",proxy="demo-in"} 2\n'
+            'latency_seconds_bucket{le="+Inf",proxy="demo-in"} 3\n'
+            'latency_seconds_sum{proxy="demo-in"} 4.75\n'
+            'latency_seconds_count{proxy="demo-in"} 3\n'
+            "# HELP rddr_exchanges_total Exchanges completed.\n"
+            "# TYPE rddr_exchanges_total counter\n"
+            'rddr_exchanges_total{proxy="demo-in",verdict="div\\"ergent\\n"} 1\n'
+            'rddr_exchanges_total{proxy="demo-in",verdict="unanimous"} 2\n'
+            "# HELP rddr_up Proxy liveness.\n"
+            "# TYPE rddr_up gauge\n"
+            "rddr_up 1\n"
+        )
+        assert registry.expose_text() == expected
+
+    def test_empty_registry_exposes_empty_text(self):
+        assert MetricsRegistry().expose_text() == ""
+
+    def test_snapshot_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", "counts", ("proxy",)).labels(proxy="p").inc(4)
+        registry.histogram("h_seconds", "times", (), buckets=(1.0,)).labels().observe(0.5)
+        snapshot = registry.snapshot()
+        assert snapshot["c_total"] == {
+            "type": "counter",
+            "help": "counts",
+            "series": [{"labels": {"proxy": "p"}, "value": 4.0}],
+        }
+        hist = snapshot["h_seconds"]["series"][0]
+        assert hist["buckets"] == [1.0]
+        assert hist["bucket_counts"] == [1, 0]
+        assert hist["count"] == 1 and hist["sum"] == 0.5
+
+    def test_total_filters_and_histogram_counts(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c_total", "", ("proxy", "verdict"))
+        counter.labels(proxy="a", verdict="unanimous").inc(3)
+        counter.labels(proxy="a", verdict="divergent").inc()
+        counter.labels(proxy="b", verdict="divergent").inc()
+        assert registry.total("c_total") == 5
+        assert registry.total("c_total", proxy="a") == 4
+        assert registry.total("c_total", verdict="divergent") == 2
+        assert registry.total("c_total", proxy="b", verdict="unanimous") == 0
+        assert registry.total("never_registered_total") == 0.0
+        histogram = registry.histogram("h_seconds", "", ("proxy",))
+        histogram.labels(proxy="a").observe(0.1)
+        histogram.labels(proxy="a").observe(0.2)
+        assert registry.total("h_seconds", proxy="a") == 2
+
+    def test_histogram_quantile_estimates(self):
+        registry = MetricsRegistry()
+        series = registry.histogram("h", "", (), buckets=(1.0, 2.0, 4.0)).labels()
+        assert series.quantile(50) == 0.0  # empty
+        for value in (0.5, 0.5, 1.5, 3.0):
+            series.observe(value)
+        assert 0.0 <= series.quantile(50) <= 1.0
+        assert 2.0 <= series.quantile(100) <= 4.0
+        with pytest.raises(ValueError):
+            series.quantile(101)
+
+
+class TestProxyMetricsView:
+    def test_view_matches_registry(self):
+        registry = MetricsRegistry()
+        metrics = ProxyMetrics(registry, proxy="demo-in", protocol="tcp")
+        metrics.exchanges_total += 1
+        metrics.divergences += 2
+        metrics.bytes_from_clients += 10
+        metrics.bytes_to_clients += 7
+        metrics.latency.observe(0.2)
+        assert registry.total("rddr_exchanges_started_total", proxy="demo-in") == 1
+        assert registry.total("rddr_divergences_total", protocol="tcp") == 2
+        assert registry.total("rddr_client_bytes_total", direction="in") == 10
+        assert registry.total("rddr_client_bytes_total", direction="out") == 7
+        assert registry.total("rddr_exchange_latency_seconds", proxy="demo-in") == 1
+        # reads come back as ints (the legacy counter API)
+        assert metrics.exchanges_total == 1
+        assert isinstance(metrics.exchanges_total, int)
+        # legacy attribute assignment still works and lands in the registry
+        metrics.exchanges_total = 10
+        assert registry.total("rddr_exchanges_started_total", proxy="demo-in") == 10
+        assert "rddr_divergences_total" in registry.expose_text()
+        assert metrics.registry is registry
+
+    def test_two_proxies_share_one_registry_without_collisions(self):
+        registry = MetricsRegistry()
+        incoming = ProxyMetrics(registry, proxy="svc-in", protocol="http")
+        outgoing = ProxyMetrics(registry, proxy="svc-out-db", protocol="pgwire")
+        incoming.exchanges_total += 3
+        outgoing.exchanges_total += 1
+        assert registry.total("rddr_exchanges_started_total", proxy="svc-in") == 3
+        assert registry.total("rddr_exchanges_started_total", proxy="svc-out-db") == 1
+        assert registry.total("rddr_exchanges_started_total") == 4
+
+    def test_standalone_view_creates_private_registry(self):
+        metrics = ProxyMetrics()
+        metrics.exchanges_total += 1
+        metrics.exchanges_blocked += 1
+        assert metrics.block_rate == 1.0
+        assert metrics.registry.total("rddr_exchanges_started_total") == 1
+
+    def test_block_rate_zero_without_traffic(self):
+        assert ProxyMetrics().block_rate == 0.0
+
+
+# --- LatencyHistogram: reservoir bound + oracle property tests ----------
+
+
+class _UnboundedHistogram:
+    """The pre-reservoir implementation, kept as the property-test oracle."""
+
+    def __init__(self) -> None:
+        self.samples: list[float] = []
+
+    def observe(self, seconds: float) -> None:
+        self.samples.append(seconds)
+
+    def percentile(self, q: float) -> float:
+        if not self.samples:
+            return 0.0
+        ordered = sorted(self.samples)
+        if len(ordered) == 1:
+            return ordered[0]
+        rank = (q / 100) * (len(ordered) - 1)
+        low = math.floor(rank)
+        high = math.ceil(rank)
+        if low == high:
+            return ordered[low]
+        weight = rank - low
+        low_value, high_value = ordered[low], ordered[high]
+        value = low_value + (high_value - low_value) * weight
+        return min(max(value, low_value), high_value)
+
+    @property
+    def mean(self) -> float:
+        return sum(self.samples) / len(self.samples) if self.samples else 0.0
+
+
+class TestLatencyHistogramReservoir:
+    def test_memory_is_bounded_by_cap(self):
+        histogram = LatencyHistogram(cap=64)
+        for i in range(10_000):
+            histogram.observe(i / 1000)
+        assert len(histogram.samples) == 64
+        assert histogram.count == 10_000
+        assert histogram.mean == pytest.approx(
+            sum(i / 1000 for i in range(10_000)) / 10_000
+        )
+        assert 0.0 <= histogram.percentile(50) <= 9.999
+
+    def test_default_cap(self):
+        histogram = LatencyHistogram()
+        assert histogram.cap == DEFAULT_SAMPLE_CAP
+        with pytest.raises(ValueError):
+            LatencyHistogram(cap=0)
+
+    def test_seeded_reservoir_is_reproducible(self):
+        def fill(seed: int) -> list[float]:
+            histogram = LatencyHistogram(cap=16, seed=seed)
+            for i in range(1000):
+                histogram.observe(float(i))
+            return histogram.samples
+
+        assert fill(7) == fill(7)
+        assert fill(7) != fill(8)
+
+    def test_empty_percentile_and_invalid_q(self):
+        assert LatencyHistogram().percentile(99) == 0.0
+        with pytest.raises(ValueError):
+            LatencyHistogram([1.0, 2.0]).percentile(101)
+
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+            min_size=1,
+            max_size=200,
+        ),
+        st.integers(min_value=0, max_value=100),
+    )
+    def test_property_exact_below_cap(self, samples, q):
+        """Below the cap the reservoir holds every sample, so percentiles
+        and the mean match the old unbounded implementation exactly."""
+        new = LatencyHistogram(samples)
+        old = _UnboundedHistogram()
+        for sample in samples:
+            old.observe(sample)
+        assert new.count == len(samples)
+        assert new.percentile(q) == old.percentile(q)
+        assert new.mean == pytest.approx(old.mean)
+
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+            min_size=1,
+            max_size=64,
+        ),
+        st.integers(min_value=0, max_value=100),
+    )
+    def test_property_bounded_above_cap(self, samples, q):
+        """Past the cap percentiles are estimates, but they stay inside
+        the observed range and mean/count stay exact."""
+        histogram = LatencyHistogram(cap=8)
+        for sample in samples:
+            histogram.observe(sample)
+        assert min(samples) <= histogram.percentile(q) <= max(samples)
+        assert histogram.count == len(samples)
+        assert histogram.mean == pytest.approx(sum(samples) / len(samples))
+
+
+def test_latency_buckets_are_increasing():
+    assert list(LATENCY_BUCKETS) == sorted(set(LATENCY_BUCKETS))

@@ -9,7 +9,7 @@ from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.pgwire import messages as wire
-from repro.pgwire.client import PgClient, PgError
+from repro.pgwire.client import PgClient
 from repro.pgwire.server import serve_database
 from repro.sqlengine import Database
 from repro.transport.retry import open_connection_retry
