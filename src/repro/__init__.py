@@ -35,6 +35,7 @@ from repro.core import (
     VarianceRule,
     diff_tokens,
 )
+from repro.faults import FaultProxy, FaultSchedule, FaultSpec
 from repro.obs import MetricsRegistry, Observer, TraceSink
 from repro.protocols import get_protocol
 from repro.protocols.base import ProtocolModule
@@ -90,6 +91,9 @@ async def deploy(
 __all__ = [
     "EphemeralStateStore",
     "EventLog",
+    "FaultProxy",
+    "FaultSchedule",
+    "FaultSpec",
     "FilterPair",
     "IncomingRequestProxy",
     "MetricsRegistry",

@@ -31,6 +31,19 @@ class RddrConfig:
     #: Seconds to wait for every instance's response before declaring a
     #: timeout divergence (the paper's future-work DoS mitigation).
     exchange_timeout: float = 10.0
+    #: Per-instance response deadline.  ``None`` falls back to
+    #: ``exchange_timeout``.  Each instance read is bounded individually,
+    #: so one straggler cannot indefinitely hold the others' results.
+    instance_response_deadline: float | None = None
+    #: With ``divergence_policy="vote"`` and N >= 3: drop a dead or late
+    #: instance from the connection and keep serving on the surviving
+    #: strict majority (a DEGRADED event + ``rddr_degraded_exchanges_total``
+    #: record every drop) instead of blocking the client.
+    degraded_quorum: bool = False
+    #: Bounded reconnect-with-backoff when dialing instances: attempt
+    #: count and backoff delay cap in seconds.
+    connect_attempts: int = 20
+    connect_backoff_max: float = 0.25
     #: Whether ephemeral-state (CSRF) handling is active.  Only the HTTP
     #: module implements it, matching the paper.
     ephemeral_state: bool = True
@@ -58,6 +71,24 @@ class RddrConfig:
             return None
         return FilterPair(*self.filter_pair)
 
+    def instance_deadline(self) -> float:
+        """The effective per-instance response deadline in seconds."""
+        if self.instance_response_deadline is not None:
+            return self.instance_response_deadline
+        return self.exchange_timeout
+
+    def degradation_allowed(self, total: int, survivors: int) -> bool:
+        """Whether dropping down to ``survivors`` of ``total`` instances
+        may keep the connection alive: degraded-quorum mode is on, the
+        voting policy is active, and a strict majority survives."""
+        return (
+            self.degraded_quorum
+            and self.divergence_policy == "vote"
+            and total >= 3
+            and survivors >= 2
+            and survivors * 2 > total
+        )
+
     # ------------------------------------------------------------- JSON
 
     def to_dict(self) -> dict[str, object]:
@@ -73,6 +104,10 @@ class RddrConfig:
                 for rule in self.variance_rules
             ],
             "exchange_timeout": self.exchange_timeout,
+            "instance_response_deadline": self.instance_response_deadline,
+            "degraded_quorum": self.degraded_quorum,
+            "connect_attempts": self.connect_attempts,
+            "connect_backoff_max": self.connect_backoff_max,
             "ephemeral_state": self.ephemeral_state,
             "ephemeral_min_length": self.ephemeral_min_length,
             "canonical_instance": self.canonical_instance,
@@ -101,6 +136,14 @@ class RddrConfig:
             filter_pair=tuple(pair) if pair else None,  # type: ignore[arg-type]
             variance_rules=rules,
             exchange_timeout=float(data.get("exchange_timeout", 10.0)),  # type: ignore[arg-type]
+            instance_response_deadline=(
+                float(data["instance_response_deadline"])  # type: ignore[arg-type]
+                if data.get("instance_response_deadline") is not None
+                else None
+            ),
+            degraded_quorum=bool(data.get("degraded_quorum", False)),
+            connect_attempts=int(data.get("connect_attempts", 20)),  # type: ignore[arg-type]
+            connect_backoff_max=float(data.get("connect_backoff_max", 0.25)),  # type: ignore[arg-type]
             ephemeral_state=bool(data.get("ephemeral_state", True)),
             ephemeral_min_length=int(data.get("ephemeral_min_length", 10)),  # type: ignore[arg-type]
             canonical_instance=int(data.get("canonical_instance", 0)),  # type: ignore[arg-type]

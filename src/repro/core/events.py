@@ -75,3 +75,4 @@ EPHEMERAL_REWRITTEN = "ephemeral_rewritten"
 TIMEOUT = "timeout"
 INSTANCE_ERROR = "instance_error"
 EXCHANGE_OK = "exchange_ok"
+DEGRADED = "degraded"

@@ -55,6 +55,14 @@ class _InstanceLink:
     writer: asyncio.StreamWriter
 
 
+@dataclass
+class _ReadFailure:
+    """One instance's failed response read within an exchange."""
+
+    kind: str  # "deadline" or "lost"
+    detail: str
+
+
 class IncomingRequestProxy:
     """N-versioning proxy for client-initiated traffic."""
 
@@ -140,28 +148,85 @@ class IncomingRequestProxy:
         self, client_reader: asyncio.StreamReader, client_writer: asyncio.StreamWriter
     ) -> None:
         self.metrics.connections_total += 1
-        try:
-            connections = await asyncio.gather(
-                *(
-                    open_connection_retry(host, port, ssl_context=self.instance_ssl)
-                    for host, port in self.instances
-                )
-            )
-        except ConnectionError as error:
-            self.events.record(
-                ev.INSTANCE_ERROR, f"connect failed: {error}", proxy=self.name
-            )
+        links = await self._connect_instances(client_writer)
+        if links is None:
             return
-        links = [
-            _InstanceLink(index=i, reader=reader, writer=writer)
-            for i, (reader, writer) in enumerate(connections)
-        ]
         state = self.protocol.new_connection_state()
         try:
             await self._exchange_loop(client_reader, client_writer, links, state)
         finally:
             for link in links:
                 await close_writer(link.writer)
+
+    async def _connect_instances(
+        self, client_writer: asyncio.StreamWriter
+    ) -> list[_InstanceLink] | None:
+        """Dial every instance (bounded retry-with-backoff per endpoint).
+
+        On partial failure, either degrade onto the surviving majority or
+        — closing the connections that *did* open so they cannot leak —
+        serve the intervention response and close the client cleanly.
+        """
+        results = await asyncio.gather(
+            *(
+                open_connection_retry(
+                    host,
+                    port,
+                    attempts=self.config.connect_attempts,
+                    max_delay=self.config.connect_backoff_max,
+                    ssl_context=self.instance_ssl,
+                )
+                for host, port in self.instances
+            ),
+            return_exceptions=True,
+        )
+        failed = [
+            (index, result)
+            for index, result in enumerate(results)
+            if isinstance(result, BaseException)
+        ]
+        survivors = [
+            index
+            for index in range(len(results))
+            if not isinstance(results[index], BaseException)
+        ]
+        if any(isinstance(error, asyncio.CancelledError) for _, error in failed):
+            for position in survivors:
+                await close_writer(results[position][1])
+            raise asyncio.CancelledError
+        if not failed:
+            return [
+                _InstanceLink(index=i, reader=reader, writer=writer)
+                for i, (reader, writer) in enumerate(results)
+            ]
+        if self.config.degradation_allowed(len(self.instances), len(survivors)):
+            for index, error in failed:
+                self.events.record(
+                    ev.DEGRADED,
+                    f"instance {index} dropped at connect: {error}",
+                    proxy=self.name,
+                )
+            return [
+                _InstanceLink(
+                    index=index, reader=results[index][0], writer=results[index][1]
+                )
+                for index in survivors
+            ]
+        for position in survivors:
+            await close_writer(results[position][1])
+        index, error = failed[0]
+        self.events.record(
+            ev.INSTANCE_ERROR,
+            f"connect failed: instance {index}: {error}",
+            proxy=self.name,
+        )
+        block = self.protocol.block_response(self.config.block_message)
+        if block:
+            with contextlib.suppress(Exception):
+                client_writer.write(block)
+                await drain_write(client_writer)
+        await close_writer(client_writer)
+        return None
 
     async def _exchange_loop(
         self,
@@ -222,6 +287,7 @@ class IncomingRequestProxy:
 
         # Replicate, substituting each instance's own ephemeral state.
         with trace.span("replicate") as replicate:
+            send_failed: list[_InstanceLink] = []
             for link in links:
                 payload = request
                 if self.config.ephemeral_state:
@@ -238,17 +304,23 @@ class IncomingRequestProxy:
                     try:
                         await drain_write(link.writer)
                     except ConnectionClosed:
-                        trace.set_verdict(
-                            "instance_error", f"instance {link.index} connection lost"
-                        )
-                        await self._block(
-                            client_writer,
-                            links,
-                            exchange,
-                            f"instance {link.index} connection lost",
-                            request=request,
-                        )
-                        return None
+                        send_failed.append(link)
+        degraded = False
+        if send_failed:
+            survivors = [link for link in links if link not in send_failed]
+            if self.config.degradation_allowed(len(links), len(survivors)):
+                await self._drop_links(
+                    send_failed, exchange, "connection lost during replicate"
+                )
+                links = survivors
+                degraded = True
+            else:
+                reason = f"instance {send_failed[0].index} connection lost"
+                trace.set_verdict("instance_error", reason)
+                await self._block(
+                    client_writer, links, exchange, reason, request=request
+                )
+                return None
         if self.config.ephemeral_state:
             self._ephemeral.consume_used(request)
 
@@ -256,13 +328,16 @@ class IncomingRequestProxy:
             trace.set_verdict("oneway")
             return links
 
-        responses = await self._gather_responses(links, state, request, exchange, trace)
-        if responses is None:
+        outcome = await self._gather_responses(
+            links, state, request, exchange, trace, degraded=degraded
+        )
+        if outcome is None:
             await self._block(
                 client_writer, links, exchange, "instance failure/timeout",
                 request=request,
             )
             return None
+        responses, links, degraded = outcome
 
         verdict, masked = self._analyse(responses, links, exchange, trace)
         if verdict is not None:
@@ -301,10 +376,19 @@ class IncomingRequestProxy:
                 trace.set_verdict("client_closed")
                 return None
         self.metrics.latency.observe(time.monotonic() - started)
-        trace.set_verdict("unanimous")
-        self.events.record(
-            ev.EXCHANGE_OK, "unanimous", proxy=self.name, exchange=exchange
-        )
+        if degraded:
+            trace.set_verdict("degraded", "served on surviving majority")
+            self.events.record(
+                ev.EXCHANGE_OK,
+                "unanimous (degraded quorum)",
+                proxy=self.name,
+                exchange=exchange,
+            )
+        else:
+            trace.set_verdict("unanimous")
+            self.events.record(
+                ev.EXCHANGE_OK, "unanimous", proxy=self.name, exchange=exchange
+            )
         self._finish_exchange(state)
         return links
 
@@ -330,40 +414,95 @@ class IncomingRequestProxy:
         request: bytes,
         exchange: int,
         trace: ExchangeTrace,
-    ) -> list[bytes] | None:
+        *,
+        degraded: bool = False,
+    ) -> tuple[list[bytes], list[_InstanceLink], bool] | None:
+        """Collect every instance's response under per-instance deadlines.
+
+        Each read is bounded individually, so one dead or straggling
+        instance cannot hold the whole exchange hostage: with degraded
+        quorum on, the failed instances are dropped and the surviving
+        majority's responses are returned; otherwise the exchange ends in
+        a timeout/instance_error block exactly as before.
+
+        Returns ``(responses, surviving links, degraded)`` or ``None`` to
+        block the exchange.
+        """
+        deadline = self.config.instance_deadline()
+
         async def read_from(link: _InstanceLink, parent) -> bytes:
             with trace.span("recv", parent=parent, instance=link.index):
                 return await self.protocol.read_server_message(
                     link.reader, state, request
                 )
 
-        with trace.span("collect") as collect:
+        async def read_bounded(link: _InstanceLink, parent) -> bytes | _ReadFailure:
             try:
-                return list(
-                    await asyncio.wait_for(
-                        asyncio.gather(*(read_from(link, collect) for link in links)),
-                        timeout=self.config.exchange_timeout,
-                    )
-                )
+                return await asyncio.wait_for(read_from(link, parent), timeout=deadline)
             except asyncio.TimeoutError:
-                trace.set_verdict(
-                    "timeout",
-                    f"no unanimous response within {self.config.exchange_timeout}s",
-                )
-                self.metrics.timeouts += 1
+                return _ReadFailure("deadline", f"no response within {deadline}s")
+            except (ConnectionClosed, ConnectionError) as error:
+                return _ReadFailure("lost", str(error) or "connection lost")
+
+        with trace.span("collect") as collect:
+            results = await asyncio.gather(
+                *(read_bounded(link, collect) for link in links)
+            )
+
+        failed = [
+            position
+            for position, result in enumerate(results)
+            if isinstance(result, _ReadFailure)
+        ]
+        if not failed:
+            return list(results), links, degraded
+        survivors = [position for position in range(len(links)) if position not in failed]
+        if self.config.degradation_allowed(len(links), len(survivors)):
+            if not degraded:
+                self.metrics.degraded_exchanges += 1
+            for position in failed:
                 self.events.record(
-                    ev.TIMEOUT,
-                    f"no unanimous response within {self.config.exchange_timeout}s",
+                    ev.DEGRADED,
+                    f"instance {links[position].index} dropped: "
+                    f"{results[position].detail}",
                     proxy=self.name,
                     exchange=exchange,
                 )
-                return None
-            except (ConnectionClosed, ConnectionError) as error:
-                trace.set_verdict("instance_error", str(error))
-                self.events.record(
-                    ev.INSTANCE_ERROR, str(error), proxy=self.name, exchange=exchange
-                )
-                return None
+                await close_writer(links[position].writer)
+            return (
+                [results[position] for position in survivors],
+                [links[position] for position in survivors],
+                True,
+            )
+        if any(results[position].kind == "deadline" for position in failed):
+            reason = f"no unanimous response within {deadline}s"
+            trace.set_verdict("timeout", reason)
+            self.metrics.timeouts += 1
+            self.events.record(ev.TIMEOUT, reason, proxy=self.name, exchange=exchange)
+        else:
+            reason = "; ".join(
+                f"instance {links[position].index}: {results[position].detail}"
+                for position in failed
+            )
+            trace.set_verdict("instance_error", reason)
+            self.events.record(
+                ev.INSTANCE_ERROR, reason, proxy=self.name, exchange=exchange
+            )
+        return None
+
+    async def _drop_links(
+        self, dropped: list[_InstanceLink], exchange: int, why: str
+    ) -> None:
+        """Degrade: record and close the dropped instances' connections."""
+        self.metrics.degraded_exchanges += 1
+        for link in dropped:
+            self.events.record(
+                ev.DEGRADED,
+                f"instance {link.index} dropped: {why}",
+                proxy=self.name,
+                exchange=exchange,
+            )
+            await close_writer(link.writer)
 
     def _analyse(
         self,

@@ -130,6 +130,10 @@ class ProxyMetrics:
             "rddr_timeouts_total",
             "Exchanges abandoned because an instance missed the timeout.",
         ),
+        "degraded_exchanges": (
+            "rddr_degraded_exchanges_total",
+            "Exchanges served on a degraded quorum after dropping instances.",
+        ),
         "noise_filtered_tokens": (
             "rddr_noise_filtered_tokens_total",
             "Response tokens masked by the de-noising filter pair.",

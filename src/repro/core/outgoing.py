@@ -153,6 +153,23 @@ class OutgoingRequestProxy:
                     group.complete.wait(), timeout=self.config.exchange_timeout
                 )
             except asyncio.TimeoutError:
+                joined = [i for i, r in enumerate(group.readers) if r is not None]
+                if self.config.degradation_allowed(self.instance_count, len(joined)):
+                    # Degraded group formation: run on the majority that
+                    # did connect instead of tearing the group down.
+                    missing = [
+                        i for i in range(self.instance_count) if i not in joined
+                    ]
+                    self.metrics.degraded_exchanges += 1
+                    for i in missing:
+                        self.events.record(
+                            ev.DEGRADED,
+                            f"group {group_index}: instance {i} never connected",
+                            proxy=self.name,
+                        )
+                    group.complete.set()  # release the joined members' waits
+                    await self._run_group(group, group_index)
+                    return
                 self.metrics.timeouts += 1
                 self.events.record(
                     ev.TIMEOUT,
@@ -164,14 +181,18 @@ class OutgoingRequestProxy:
             await self._run_group(group, group_index)
         else:
             # Non-canonical connections stay open for the group's lifetime;
-            # if the group never completes, give up after the timeout.
+            # if the group never completes, give up after the timeout (a
+            # grace period on top of the canonical handler's, so a
+            # degraded-formation decision wins the race).
             try:
                 await asyncio.wait_for(
-                    group.complete.wait(), timeout=self.config.exchange_timeout
+                    group.complete.wait(),
+                    timeout=self.config.exchange_timeout * 1.5 + 0.1,
                 )
             except asyncio.TimeoutError:
-                await self._teardown_group(group)
-                return
+                if not group.complete.is_set():
+                    await self._teardown_group(group)
+                    return
             await group.finished.wait()
 
     async def _teardown_group(self, group: _ConnectionGroup) -> None:
@@ -183,9 +204,13 @@ class OutgoingRequestProxy:
     # ------------------------------------------------------------ exchange
 
     async def _run_group(self, group: _ConnectionGroup, group_index: int) -> None:
+        # ``indices`` keeps each member's original instance index; a
+        # degraded group (formation or mid-exchange drop) simply has
+        # fewer entries than ``instance_count``.
+        indices = [i for i, r in enumerate(group.readers) if r is not None]
         readers = [r for r in group.readers if r is not None]
         writers = [w for w in group.writers if w is not None]
-        assert len(readers) == self.instance_count
+        assert len(readers) >= 2
         backend_reader = backend_writer = None
         states = [self.protocol.new_connection_state() for _ in readers]
         backend_state = self.protocol.new_connection_state()
@@ -203,6 +228,7 @@ class OutgoingRequestProxy:
                         group_index,
                         readers,
                         writers,
+                        indices,
                         states,
                         backend_reader,
                         backend_writer,
@@ -229,28 +255,57 @@ class OutgoingRequestProxy:
         group_index: int,
         readers: list[asyncio.StreamReader],
         writers: list[asyncio.StreamWriter],
+        indices: list[int],
         states: list[object],
         backend_reader: asyncio.StreamReader,
         backend_writer: asyncio.StreamWriter,
         backend_state: object,
         trace: ExchangeTrace,
     ) -> bool:
-        """One outgoing exchange; returns True when the group is done."""
+        """One outgoing exchange; returns True when the group is done.
+
+        ``readers``/``writers``/``indices``/``states`` are parallel lists
+        describing the group's surviving members; degradation removes
+        entries from all four in place.
+        """
         with trace.span("collect") as collect:
-            requests = await self._gather_requests(readers, states, trace, collect)
-        if requests is None:
-            trace.set_verdict("timeout", "missing/late instance request")
-            await self._record_block(group_index, "missing/late instance request")
-            return True
+            requests, late = await self._gather_requests(
+                readers, indices, states, trace, collect
+            )
+        degraded = False
+        if late:
+            if self.config.degradation_allowed(len(readers), len(readers) - len(late)):
+                self._degrade_group(
+                    group_index, readers, writers, indices, states, late,
+                    "missed deadline",
+                )
+                requests = [r for p, r in enumerate(requests) if p not in late]
+                degraded = True
+            else:
+                self.metrics.timeouts += 1
+                trace.set_verdict("timeout", "missing/late instance request")
+                await self._record_block(group_index, "missing/late instance request")
+                return True
         if all(request is None for request in requests):
             trace.discard = True  # all instances closed cleanly; not an exchange
             return True
         if any(request is None for request in requests):
-            trace.set_verdict("divergent", "instance closed while peers kept talking")
-            await self._record_block(
-                group_index, "instance closed while peers kept talking"
-            )
-            return True
+            closed = [p for p, r in enumerate(requests) if r is None]
+            if self.config.degradation_allowed(len(readers), len(readers) - len(closed)):
+                self._degrade_group(
+                    group_index, readers, writers, indices, states, closed,
+                    "closed while peers kept talking",
+                )
+                requests = [r for r in requests if r is not None]
+                degraded = True
+            else:
+                trace.set_verdict(
+                    "divergent", "instance closed while peers kept talking"
+                )
+                await self._record_block(
+                    group_index, "instance closed while peers kept talking"
+                )
+                return True
         exchange = self._exchange_counter
         self._exchange_counter += 1
         self.metrics.exchanges_total += 1
@@ -265,7 +320,12 @@ class OutgoingRequestProxy:
             await self._record_block(group_index, verdict)
             return True
 
-        canonical = requests[self.config.canonical_instance]
+        canonical_position = (
+            indices.index(self.config.canonical_instance)
+            if self.config.canonical_instance in indices
+            else 0
+        )
+        canonical = requests[canonical_position]
         assert canonical is not None
         with trace.span("backend"):
             backend_writer.write(canonical)
@@ -282,53 +342,83 @@ class OutgoingRequestProxy:
                 timeout=self.config.exchange_timeout,
             )
         with trace.span("fan-back") as fan_back:
-            for index, writer in enumerate(writers):
-                with trace.span("send", parent=fan_back, instance=index):
+            for position, writer in enumerate(writers):
+                with trace.span("send", parent=fan_back, instance=indices[position]):
                     writer.write(response)
                     await drain_write(writer)
         self.metrics.latency.observe(time.monotonic() - started)
-        trace.set_verdict("unanimous")
+        trace.set_verdict("degraded" if degraded else "unanimous")
         self.events.record(
-            ev.EXCHANGE_OK, "unanimous", proxy=self.name, exchange=exchange
+            ev.EXCHANGE_OK,
+            "unanimous (degraded quorum)" if degraded else "unanimous",
+            proxy=self.name,
+            exchange=exchange,
         )
         return False
+
+    def _degrade_group(
+        self,
+        group_index: int,
+        readers: list[asyncio.StreamReader],
+        writers: list[asyncio.StreamWriter],
+        indices: list[int],
+        states: list[object],
+        positions: list[int],
+        why: str,
+    ) -> None:
+        """Drop the members at ``positions`` and keep the group serving."""
+        self.metrics.degraded_exchanges += 1
+        for position in sorted(positions, reverse=True):
+            self.events.record(
+                ev.DEGRADED,
+                f"group {group_index}: instance {indices[position]} dropped: {why}",
+                proxy=self.name,
+            )
+            writer = writers[position]
+            writer.close()  # waited on via close_writer at group teardown
+            del readers[position], writers[position], indices[position], states[position]
 
     async def _gather_requests(
         self,
         readers: list[asyncio.StreamReader],
+        indices: list[int],
         states: list[object],
         trace: ExchangeTrace,
         parent,
-    ) -> list[bytes | None] | None:
-        """One request from every instance, or ``None`` on timeout."""
+    ) -> tuple[list[bytes | None], list[int]]:
+        """One request per member, plus the positions that missed the
+        per-instance deadline (their entries are ``None``)."""
 
         async def read_one(
-            position: int, reader: asyncio.StreamReader, state: object
+            instance: int, reader: asyncio.StreamReader, state: object
         ) -> bytes | None:
-            with trace.span("recv", parent=parent, instance=position):
+            with trace.span("recv", parent=parent, instance=instance):
                 return await self.protocol.read_client_message(reader, state)
 
         tasks = [
-            asyncio.ensure_future(read_one(position, reader, state))
+            asyncio.ensure_future(read_one(indices[position], reader, state))
             for position, (reader, state) in enumerate(zip(readers, states))
         ]
         # An idle group is benign: wait indefinitely for the *first*
         # instance to speak (or hang up).  Once one has, the rest must
-        # follow within the exchange timeout — a missing request is the
-        # smuggling/divergence signature.
+        # follow within the per-instance deadline — a missing request is
+        # the smuggling/divergence signature.
         await asyncio.wait(tasks, return_when=asyncio.FIRST_COMPLETED)
         remaining = [task for task in tasks if not task.done()]
+        late: list[int] = []
         if remaining:
             _, pending = await asyncio.wait(
-                remaining, timeout=self.config.exchange_timeout
+                remaining, timeout=self.config.instance_deadline()
             )
             if pending:
+                late = [p for p, task in enumerate(tasks) if task in pending]
                 for task in pending:
                     task.cancel()
                 await asyncio.gather(*pending, return_exceptions=True)
-                self.metrics.timeouts += 1
-                return None
-        return [task.result() for task in tasks]
+        return (
+            [None if task.cancelled() else task.result() for task in tasks],
+            late,
+        )
 
     def _analyse(
         self, requests: list[bytes], exchange: int, trace: ExchangeTrace, parent

@@ -1,0 +1,40 @@
+"""repro.faults — deterministic, seeded fault injection for RDDR.
+
+The availability claims of the paper (§IV-D, §VI) are only testable if
+instance failures can be produced *on demand* and *reproducibly*.  This
+package provides that substrate:
+
+* :class:`FaultSchedule` / :class:`FaultSpec` — a declarative, JSON-able
+  schedule of faults addressed per instance index and exchange number,
+  optionally generated from a seed (same seed ⇒ identical schedule);
+* :class:`FaultProxy` — a TCP shim wrapping one instance endpoint that
+  injects response-phase faults (``stall``, ``corrupt_bytes``,
+  ``truncate_response``, ``duplicate_response``, ``close_mid_response``)
+  at exact message boundaries;
+* :func:`connect_fault_hook` — a :mod:`repro.transport` connect hook
+  injecting ``connect_refused`` / ``connect_slow`` inside
+  ``open_connection_retry`` itself.
+
+See ``docs/robustness.md`` for the schedule format and how to reproduce
+a failing run from its seed.
+"""
+
+from repro.faults.proxy import FaultProxy, FaultRecord, connect_fault_hook
+from repro.faults.schedule import (
+    CONNECT_KINDS,
+    KINDS,
+    RESPONSE_KINDS,
+    FaultSchedule,
+    FaultSpec,
+)
+
+__all__ = [
+    "CONNECT_KINDS",
+    "KINDS",
+    "RESPONSE_KINDS",
+    "FaultProxy",
+    "FaultRecord",
+    "FaultSchedule",
+    "FaultSpec",
+    "connect_fault_hook",
+]

@@ -1,0 +1,258 @@
+"""The FaultProxy TCP shim: deterministic faults between proxy and instance.
+
+A :class:`FaultProxy` sits in front of one instance endpoint and forwards
+traffic untouched *except* where its :class:`~repro.faults.FaultSchedule`
+says otherwise.  It frames messages with the same protocol modules the
+RDDR proxies use, so faults are message-scoped and exchange-addressable:
+``stall`` holds a response past the proxy's deadline, ``corrupt_bytes``
+flips one byte, ``truncate_response`` drops the message tail,
+``duplicate_response`` replays it, and ``close_mid_response`` writes a
+prefix and drops the connection.  Every injected fault is appended to
+``records`` (the byte-exact audit trail determinism tests compare) and
+counted in ``rddr_faults_injected_total{proxy,kind,instance}``.
+
+Connect-phase faults (``connect_refused``, ``connect_slow``) need to act
+*before* a socket exists, so they are injected either at this shim's
+accept time or — closer to the paper's deployment reality — inside
+``open_connection_retry`` via :func:`connect_fault_hook`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+from dataclasses import dataclass
+
+from repro.faults.schedule import CONNECT_KINDS, RESPONSE_KINDS, FaultSchedule
+from repro.obs import Observer, active_observer
+from repro.protocols.base import ProtocolModule, resolve
+from repro.transport.retry import ConnectHook, open_connection_retry
+from repro.transport.server import ServerHandle, start_server
+from repro.transport.streams import ConnectionClosed, close_writer, drain_write
+
+Address = tuple[str, int]
+
+
+@dataclass(frozen=True)
+class FaultRecord:
+    """One fault that actually fired, in firing order."""
+
+    kind: str
+    instance: int
+    exchange: int
+    detail: str = ""
+
+    def as_tuple(self) -> tuple[str, int, int, str]:
+        return (self.kind, self.instance, self.exchange, self.detail)
+
+
+class _Armed:
+    """Firing-count bookkeeping for one injector over one schedule."""
+
+    def __init__(self, schedule: FaultSchedule) -> None:
+        self.schedule = schedule
+        self._fired: dict[int, int] = {}
+
+    def take(self, instance: int, exchange: int, kinds: frozenset[str]):
+        taken = []
+        for index, spec in self.schedule.matching(instance, exchange, kinds):
+            if spec.times is not None and self._fired.get(index, 0) >= spec.times:
+                continue
+            self._fired[index] = self._fired.get(index, 0) + 1
+            taken.append(spec)
+        return taken
+
+
+class FaultProxy:
+    """A transparent per-instance TCP shim that injects scheduled faults."""
+
+    def __init__(
+        self,
+        target: Address,
+        schedule: FaultSchedule,
+        *,
+        instance: int = 0,
+        protocol: ProtocolModule | str = "tcp",
+        host: str = "127.0.0.1",
+        port: int = 0,
+        name: str | None = None,
+        observer: Observer | None = None,
+    ) -> None:
+        self.target = target
+        self.schedule = schedule
+        self.instance = instance
+        self.protocol = resolve(protocol)
+        self.host = host
+        self.port = port
+        self.name = name or f"fault-{instance}"
+        self.observer = (
+            observer if observer is not None else (active_observer() or Observer())
+        )
+        self.records: list[FaultRecord] = []
+        self.handle: ServerHandle | None = None
+        self._armed = _Armed(schedule)
+        self._connections = 0
+        self._metric = self.observer.registry.counter(
+            "rddr_faults_injected_total",
+            "Faults injected by FaultProxy shims and connect hooks.",
+            ("proxy", "kind", "instance"),
+        )
+
+    # ------------------------------------------------------------ lifecycle
+
+    @property
+    def address(self) -> Address:
+        if self.handle is None:
+            raise RuntimeError("fault proxy not started")
+        return self.handle.address
+
+    async def start(self) -> "FaultProxy":
+        self.handle = await start_server(
+            self._serve, self.host, self.port, name=self.name
+        )
+        self.port = self.handle.port
+        return self
+
+    async def close(self) -> None:
+        if self.handle is not None:
+            await self.handle.close()
+
+    # ------------------------------------------------------------ injection
+
+    def _record(self, kind: str, exchange: int, detail: str = "") -> None:
+        self.records.append(
+            FaultRecord(kind=kind, instance=self.instance, exchange=exchange, detail=detail)
+        )
+        self._metric.labels(
+            proxy=self.name, kind=kind, instance=str(self.instance)
+        ).inc()
+
+    async def _serve(
+        self, client_reader: asyncio.StreamReader, client_writer: asyncio.StreamWriter
+    ) -> None:
+        connection = self._connections
+        self._connections += 1
+        for spec in self._armed.take(self.instance, connection, CONNECT_KINDS):
+            if spec.kind == "connect_slow":
+                self._record("connect_slow", connection, f"{spec.delay_ms}ms")
+                await asyncio.sleep(spec.delay_ms / 1000.0)
+            else:
+                self._record("connect_refused", connection, "accept dropped")
+                return  # guarded() closes the client socket without a byte
+        try:
+            upstream_reader, upstream_writer = await open_connection_retry(*self.target)
+        except ConnectionError:
+            return
+        client_state = self.protocol.new_connection_state()
+        server_state = self.protocol.new_connection_state()
+        exchange = 0
+        try:
+            while True:
+                request = await self.protocol.read_client_message(
+                    client_reader, client_state
+                )
+                if request is None:
+                    return
+                upstream_writer.write(request)
+                await drain_write(upstream_writer)
+                if not self.protocol.expects_response(request, server_state):
+                    exchange += 1
+                    continue
+                response = await self.protocol.read_server_message(
+                    upstream_reader, server_state, request
+                )
+                mutated = await self._apply_response_faults(
+                    response, exchange, client_writer
+                )
+                if mutated is None:
+                    return  # the fault killed the connection
+                client_writer.write(mutated)
+                await drain_write(client_writer)
+                exchange += 1
+        except (ConnectionClosed, ConnectionError):
+            return
+        finally:
+            await close_writer(upstream_writer)
+
+    async def _apply_response_faults(
+        self, response: bytes, exchange: int, client_writer: asyncio.StreamWriter
+    ) -> bytes | None:
+        """The faulted response bytes, or ``None`` when a fault closed the
+        connection mid-response."""
+        out = response
+        for spec in self._armed.take(self.instance, exchange, RESPONSE_KINDS):
+            if spec.kind == "stall":
+                self._record("stall", exchange, f"{spec.delay_ms}ms")
+                await asyncio.sleep(spec.delay_ms / 1000.0)
+            elif spec.kind == "corrupt_bytes":
+                if out:
+                    # Clamp into the payload so line framing survives and
+                    # the corruption is visible to the diff, not a stall.
+                    position = min(spec.offset, max(0, len(out) - 2))
+                    corrupted = bytearray(out)
+                    corrupted[position] ^= spec.xor_mask or 0xFF
+                    out = bytes(corrupted)
+                    self._record(
+                        "corrupt_bytes", exchange, f"byte {position} ^ {spec.xor_mask:#x}"
+                    )
+            elif spec.kind == "truncate_response":
+                cut = _cut_point(spec.offset, len(out))
+                out = out[:cut]
+                self._record("truncate_response", exchange, f"kept {cut} bytes")
+            elif spec.kind == "duplicate_response":
+                out = out + out
+                self._record("duplicate_response", exchange, f"{len(out)} bytes")
+            elif spec.kind == "close_mid_response":
+                cut = _cut_point(spec.offset, len(out))
+                self._record("close_mid_response", exchange, f"sent {cut} bytes")
+                with contextlib.suppress(ConnectionClosed):
+                    client_writer.write(out[:cut])
+                    await drain_write(client_writer)
+                await close_writer(client_writer)
+                return None
+        return out
+
+
+def _cut_point(offset: int, length: int) -> int:
+    """Where to cut a message: the spec's offset if inside, else halfway."""
+    if 0 < offset < length:
+        return offset
+    return max(1, length // 2)
+
+
+def connect_fault_hook(
+    schedule: FaultSchedule,
+    instance_of: dict[Address, int],
+    *,
+    records: list[FaultRecord] | None = None,
+) -> ConnectHook:
+    """A transport connect hook injecting ``connect_refused``/``connect_slow``.
+
+    ``instance_of`` maps endpoint addresses to instance indices; endpoints
+    not in the map are untouched.  Connect faults address the *attempt*
+    number through their ``exchange`` field, so ``times=None`` refuses every
+    retry (a dead instance) while ``times=2`` models a flapping one that
+    comes back after the backoff.  Install with
+    :func:`repro.transport.install_connect_hook`.
+    """
+    armed = _Armed(schedule)
+
+    async def hook(host: str, port: int, attempt: int) -> None:
+        instance = instance_of.get((host, port))
+        if instance is None:
+            return
+        for spec in armed.take(instance, attempt, CONNECT_KINDS):
+            if spec.kind == "connect_slow":
+                if records is not None:
+                    records.append(
+                        FaultRecord("connect_slow", instance, attempt, f"{spec.delay_ms}ms")
+                    )
+                await asyncio.sleep(spec.delay_ms / 1000.0)
+            else:
+                if records is not None:
+                    records.append(FaultRecord("connect_refused", instance, attempt))
+                raise ConnectionRefusedError(
+                    f"fault injection: connect refused for instance {instance}"
+                )
+
+    return hook

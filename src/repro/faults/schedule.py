@@ -1,0 +1,198 @@
+"""Declarative, reproducible fault schedules.
+
+A :class:`FaultSchedule` is a plain list of :class:`FaultSpec` entries,
+each addressing one fault *kind* to an instance index and an exchange (or
+connection) number.  Schedules carry no mutable state — the injectors
+(:class:`repro.faults.FaultProxy`, :func:`repro.faults.connect_fault_hook`)
+keep their own firing counts — so one schedule can drive many runs and,
+given the same workload, produces a byte-identical fault sequence every
+time.  Schedules serialize to JSON and can be *generated* from a seed, so
+a failing run is reproduced from nothing but ``(seed, workload)``.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator
+
+#: Faults applied while establishing a connection to an instance.
+CONNECT_KINDS = frozenset({"connect_refused", "connect_slow"})
+
+#: Faults applied to one response message in an established exchange.
+RESPONSE_KINDS = frozenset(
+    {
+        "stall",
+        "close_mid_response",
+        "corrupt_bytes",
+        "duplicate_response",
+        "truncate_response",
+    }
+)
+
+KINDS = CONNECT_KINDS | RESPONSE_KINDS
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One addressable fault.
+
+    ``instance``/``exchange`` of ``None`` match every instance/exchange.
+    For connect-phase kinds, ``exchange`` addresses the *connection
+    attempt* number instead.  ``times`` bounds how often the spec fires
+    (``None`` = every match).  ``delay_ms`` parameterises ``connect_slow``
+    and ``stall``; ``offset`` is the byte position for ``corrupt_bytes``,
+    the cut point for ``close_mid_response``/``truncate_response`` (``0``
+    = half the message); ``xor_mask`` is XORed into the corrupted byte.
+    """
+
+    kind: str
+    instance: int | None = None
+    exchange: int | None = None
+    delay_ms: float = 0.0
+    offset: int = 0
+    xor_mask: int = 0xFF
+    times: int | None = 1
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r} (known: {sorted(KINDS)})")
+        if self.delay_ms < 0:
+            raise ValueError("delay_ms must be >= 0")
+        if self.offset < 0:
+            raise ValueError("offset must be >= 0")
+        if not 0 <= self.xor_mask <= 0xFF:
+            raise ValueError("xor_mask must be a byte value")
+        if self.times is not None and self.times < 1:
+            raise ValueError("times must be >= 1 (or None for unlimited)")
+
+    def matches(self, instance: int, exchange: int) -> bool:
+        return (self.instance is None or self.instance == instance) and (
+            self.exchange is None or self.exchange == exchange
+        )
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "kind": self.kind,
+            "instance": self.instance,
+            "exchange": self.exchange,
+            "delay_ms": self.delay_ms,
+            "offset": self.offset,
+            "xor_mask": self.xor_mask,
+            "times": self.times,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, object]) -> "FaultSpec":
+        return cls(
+            kind=str(data["kind"]),
+            instance=None if data.get("instance") is None else int(data["instance"]),  # type: ignore[arg-type]
+            exchange=None if data.get("exchange") is None else int(data["exchange"]),  # type: ignore[arg-type]
+            delay_ms=float(data.get("delay_ms", 0.0)),  # type: ignore[arg-type]
+            offset=int(data.get("offset", 0)),  # type: ignore[arg-type]
+            xor_mask=int(data.get("xor_mask", 0xFF)),  # type: ignore[arg-type]
+            times=None if data.get("times") is None else int(data["times"]),  # type: ignore[arg-type]
+        )
+
+
+@dataclass
+class FaultSchedule:
+    """An ordered set of fault specs, optionally born from a seed."""
+
+    specs: list[FaultSpec] = field(default_factory=list)
+    #: The seed this schedule was generated from (documentation only —
+    #: replaying a schedule never re-rolls the dice).
+    seed: int | None = None
+
+    def __iter__(self) -> Iterator[FaultSpec]:
+        return iter(self.specs)
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def matching(
+        self, instance: int, exchange: int, kinds: frozenset[str] = KINDS
+    ) -> list[tuple[int, FaultSpec]]:
+        """``(spec index, spec)`` pairs addressing this instance/exchange.
+
+        The spec index keys the injector's firing-count bookkeeping, so
+        two identical specs fire independently.
+        """
+        return [
+            (index, spec)
+            for index, spec in enumerate(self.specs)
+            if spec.kind in kinds and spec.matches(instance, exchange)
+        ]
+
+    # ------------------------------------------------------------- JSON
+
+    def to_dict(self) -> dict[str, object]:
+        return {"seed": self.seed, "faults": [spec.to_dict() for spec in self.specs]}
+
+    @classmethod
+    def from_dict(cls, data: dict[str, object]) -> "FaultSchedule":
+        return cls(
+            specs=[FaultSpec.from_dict(entry) for entry in data.get("faults", [])],  # type: ignore[union-attr]
+            seed=None if data.get("seed") is None else int(data["seed"]),  # type: ignore[arg-type]
+        )
+
+    def dumps(self) -> str:
+        return json.dumps(self.to_dict(), indent=2) + "\n"
+
+    @classmethod
+    def loads(cls, text: str) -> "FaultSchedule":
+        return cls.from_dict(json.loads(text))
+
+    def dump(self, path: str | Path) -> None:
+        Path(path).write_text(self.dumps())
+
+    @classmethod
+    def load(cls, path: str | Path) -> "FaultSchedule":
+        return cls.loads(Path(path).read_text())
+
+    # -------------------------------------------------------- generation
+
+    @classmethod
+    def random(
+        cls,
+        seed: int,
+        *,
+        instances: int,
+        exchanges: int,
+        kinds: Iterable[str] = RESPONSE_KINDS,
+        rate: float = 0.25,
+        delay_choices: tuple[float, ...] = (5.0, 600.0),
+    ) -> "FaultSchedule":
+        """A reproducible schedule: same arguments ⇒ identical specs.
+
+        Every ``(instance, exchange)`` cell independently receives one
+        fault with probability ``rate``; all randomness comes from one
+        ``random.Random(seed)``, so the draw order (instance-major, then
+        exchange) is part of the contract.
+        """
+        kind_pool = sorted(kinds)
+        for kind in kind_pool:
+            if kind not in KINDS:
+                raise ValueError(f"unknown fault kind {kind!r}")
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError("rate must be in [0, 1]")
+        rng = random.Random(seed)
+        specs: list[FaultSpec] = []
+        for instance in range(instances):
+            for exchange in range(exchanges):
+                if rng.random() >= rate:
+                    continue
+                kind = rng.choice(kind_pool)
+                specs.append(
+                    FaultSpec(
+                        kind=kind,
+                        instance=instance,
+                        exchange=exchange,
+                        delay_ms=rng.choice(delay_choices),
+                        offset=rng.randrange(0, 3),
+                        xor_mask=rng.randrange(1, 256),
+                    )
+                )
+        return cls(specs=specs, seed=seed)

@@ -16,10 +16,11 @@ returning the :class:`~repro.core.rddr.RddrDeployment` plus the pods.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.core.config import RddrConfig
 from repro.core.rddr import RddrDeployment
+from repro.faults import FaultProxy, FaultSchedule
 from repro.obs import Observer
 from repro.orchestrator.cluster import Cluster
 from repro.orchestrator.resources import DeploymentSpec, Pod, PodContext, PodFactory
@@ -34,14 +35,26 @@ class NVersionedService:
     name: str
     rddr: RddrDeployment
     pods: list[Pod]
+    #: Per-instance fault shims, present when the service was deployed
+    #: with a ``fault_schedule`` (chaos/robustness experiments).
+    fault_proxies: list[FaultProxy] = field(default_factory=list)
 
     @property
     def address(self) -> Address:
         """Where clients reach the protected service (the RDDR proxy)."""
         return self.rddr.address
 
+    def fault_records(self) -> list:
+        """The deployment-wide injected-fault audit trail, in firing order
+        per instance (concatenated instance-major)."""
+        return [
+            record for shim in self.fault_proxies for record in shim.records
+        ]
+
     async def close(self) -> None:
         await self.rddr.close()
+        for shim in self.fault_proxies:
+            await shim.close()
 
 
 def _with_backend_env(factory: PodFactory, rddr: RddrDeployment) -> PodFactory:
@@ -70,6 +83,7 @@ async def deploy_nversioned(
     backends: dict[str, Address] | None = None,
     backend_protocol: str | None = None,
     observer: Observer | None = None,
+    fault_schedule: FaultSchedule | None = None,
 ) -> NVersionedService:
     """Stand up a protected microservice on ``cluster``.
 
@@ -77,10 +91,15 @@ async def deploy_nversioned(
     factories to express version/vendor diversity.  ``backends`` maps
     backend names to real backend addresses; each gets an outgoing proxy.
     ``observer`` (optional) collects the deployment's metrics and traces.
+    ``fault_schedule`` (optional) interposes one :class:`FaultProxy` per
+    instance between the incoming proxy and its pod, so chaos experiments
+    run against cluster-managed deployments exactly as scheduled.
     """
     if len(factories) < 2:
         raise ValueError("N-versioning requires at least 2 instances")
-    rddr = RddrDeployment(name, config or RddrConfig(), observer=observer)
+    config = config or RddrConfig()
+    rddr = RddrDeployment(name, config, observer=observer)
+    fault_proxies: list[FaultProxy] = []
     try:
         for backend_name, address in (backends or {}).items():
             await rddr.add_outgoing_proxy(
@@ -94,8 +113,26 @@ async def deploy_nversioned(
             factories=[_with_backend_env(factory, rddr) for factory in factories],
         )
         pods = await cluster.apply_deployment(spec)
-        await rddr.start_incoming_proxy([pod.address for pod in pods])
+        instance_addresses = [pod.address for pod in pods]
+        if fault_schedule is not None:
+            for index, address in enumerate(instance_addresses):
+                shim = FaultProxy(
+                    address,
+                    fault_schedule,
+                    instance=index,
+                    protocol=config.protocol,
+                    name=f"{name}-fault-{index}",
+                    observer=observer,
+                )
+                await shim.start()
+                fault_proxies.append(shim)
+            instance_addresses = [shim.address for shim in fault_proxies]
+        await rddr.start_incoming_proxy(instance_addresses)
     except Exception:
         await rddr.close()
+        for shim in fault_proxies:
+            await shim.close()
         raise
-    return NVersionedService(name=name, rddr=rddr, pods=pods)
+    return NVersionedService(
+        name=name, rddr=rddr, pods=pods, fault_proxies=fault_proxies
+    )

@@ -13,7 +13,12 @@ provides the small set of primitives they share:
 """
 
 from repro.transport.ports import PortAllocator, allocate_port
-from repro.transport.retry import open_connection_retry
+from repro.transport.retry import (
+    ConnectHook,
+    current_connect_hook,
+    install_connect_hook,
+    open_connection_retry,
+)
 from repro.transport.server import ServerHandle, start_server
 from repro.transport.streams import (
     ConnectionClosed,
@@ -28,6 +33,9 @@ from repro.transport.tls import client_ssl_context, server_ssl_context
 __all__ = [
     "PortAllocator",
     "allocate_port",
+    "ConnectHook",
+    "current_connect_hook",
+    "install_connect_hook",
     "open_connection_retry",
     "ServerHandle",
     "start_server",

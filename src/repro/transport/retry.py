@@ -3,12 +3,44 @@
 Deployments start many servers concurrently; a client (or RDDR proxy) may
 race a service that is still binding its socket.  ``open_connection_retry``
 absorbs that startup window with capped exponential backoff.
+
+For deterministic fault injection (:mod:`repro.faults`), a *connect hook*
+can be installed for the current task context: it is awaited before every
+connection attempt and may delay the attempt (``connect_slow``) or raise
+``ConnectionRefusedError`` (``connect_refused``), which goes through the
+normal retry/backoff path exactly as a real refused socket would.
 """
 
 from __future__ import annotations
 
 import asyncio
+import contextlib
+import contextvars
 import ssl
+from typing import Awaitable, Callable, Iterator
+
+#: ``await hook(host, port, attempt)`` before each connection attempt; may
+#: sleep, or raise ``ConnectionRefusedError``/``OSError`` to fail the attempt.
+ConnectHook = Callable[[str, int, int], Awaitable[None]]
+
+_CONNECT_HOOK: contextvars.ContextVar[ConnectHook | None] = contextvars.ContextVar(
+    "repro_transport_connect_hook", default=None
+)
+
+
+def current_connect_hook() -> ConnectHook | None:
+    """The connect hook installed in the current context, if any."""
+    return _CONNECT_HOOK.get()
+
+
+@contextlib.contextmanager
+def install_connect_hook(hook: ConnectHook) -> Iterator[ConnectHook]:
+    """Install ``hook`` for connections opened inside the ``with`` block."""
+    token = _CONNECT_HOOK.set(hook)
+    try:
+        yield hook
+    finally:
+        _CONNECT_HOOK.reset(token)
 
 
 async def open_connection_retry(
@@ -25,10 +57,15 @@ async def open_connection_retry(
 
     Raises the final ``ConnectionError`` if the service never comes up.
     """
+    if attempts < 1:
+        raise ValueError("attempts must be >= 1")
     delay = initial_delay
     last_error: Exception | None = None
+    hook = _CONNECT_HOOK.get()
     for attempt in range(attempts):
         try:
+            if hook is not None:
+                await hook(host, port, attempt)
             if ssl_context is not None:
                 return await asyncio.open_connection(
                     host, port, ssl=ssl_context, server_hostname=server_hostname or host

@@ -1,0 +1,352 @@
+"""Graceful degradation acceptance tests (the `degraded_quorum` mode).
+
+The headline behaviours: with N=3 and degraded quorum on, killing one
+non-filter-pair instance mid-session keeps the client served by the
+surviving pair (DEGRADED event, no client-visible block); with the mode
+off, the same fault blocks exactly as before.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.apps.echo import EchoServer
+from repro.core import events as ev
+from repro.core.config import RddrConfig
+from repro.core.incoming import IncomingRequestProxy
+from repro.core.outgoing import OutgoingRequestProxy
+from repro.faults import FaultProxy, FaultSchedule, FaultSpec, connect_fault_hook
+from repro.protocols import get_protocol
+from repro.transport import install_connect_hook
+from repro.transport.retry import open_connection_retry
+from repro.transport.streams import close_writer
+from tests.helpers import run
+
+DEADLINE = 0.3
+
+
+def _config(**overrides) -> RddrConfig:
+    base = dict(
+        protocol="tcp",
+        exchange_timeout=5.0,
+        instance_response_deadline=DEADLINE,
+        ephemeral_state=False,
+        divergence_policy="vote",
+        degraded_quorum=True,
+    )
+    base.update(overrides)
+    return RddrConfig(**base)
+
+
+async def _client(address, lines: list[bytes], timeout: float = 3.0) -> list[bytes]:
+    reader, writer = await open_connection_retry(*address)
+    replies: list[bytes] = []
+    try:
+        for line in lines:
+            writer.write(line + b"\n")
+            await writer.drain()
+            try:
+                replies.append(await asyncio.wait_for(reader.readline(), timeout))
+            except (asyncio.TimeoutError, ConnectionError):
+                replies.append(b"")
+    except ConnectionError:
+        pass
+    finally:
+        await close_writer(writer)
+    replies.extend(b"" for _ in range(len(lines) - len(replies)))
+    return replies
+
+
+async def _deployment(config: RddrConfig, schedule: FaultSchedule, count: int = 3):
+    servers = [await EchoServer().start() for _ in range(count)]
+    shims = [
+        await FaultProxy(server.address, schedule, instance=index).start()
+        for index, server in enumerate(servers)
+    ]
+    proxy = IncomingRequestProxy(
+        [shim.address for shim in shims], get_protocol("tcp"), config
+    )
+    await proxy.start()
+
+    async def teardown():
+        await proxy.close()
+        for shim in shims:
+            await shim.close()
+        for server in servers:
+            await server.close()
+
+    return proxy, teardown
+
+
+# The mid-session kill: instance 2 stops answering from exchange 1 on.
+KILL_AT_1 = FaultSchedule(
+    specs=[FaultSpec(kind="stall", instance=2, exchange=1, delay_ms=600.0)]
+)
+
+
+class TestIncomingDegradation:
+    def test_mid_session_kill_keeps_serving_on_surviving_pair(self):
+        async def main():
+            proxy, teardown = await _deployment(
+                _config(filter_pair=(0, 1)), KILL_AT_1
+            )
+            try:
+                replies = await _client(proxy.address, [b"a", b"b", b"c"])
+            finally:
+                await teardown()
+            # No client-visible block: every request got its echo.
+            assert replies == [b"a\n", b"b\n", b"c\n"]
+            degraded = proxy.events.events(ev.DEGRADED)
+            assert len(degraded) == 1
+            assert "instance 2" in degraded[0].detail
+            assert proxy.metrics.degraded_exchanges == 1
+            assert proxy.metrics.exchanges_blocked == 0
+            assert proxy.metrics.timeouts == 0
+
+        run(main())
+
+    def test_same_kill_with_mode_off_blocks_as_before(self):
+        async def main():
+            proxy, teardown = await _deployment(
+                _config(degraded_quorum=False), KILL_AT_1
+            )
+            try:
+                replies = await _client(proxy.address, [b"a", b"b", b"c"])
+            finally:
+                await teardown()
+            assert replies == [b"a\n", b"", b""]
+            assert proxy.events.events(ev.DEGRADED) == []
+            assert proxy.metrics.degraded_exchanges == 0
+            assert proxy.metrics.timeouts == 1
+            assert proxy.metrics.exchanges_blocked == 1
+
+        run(main())
+
+    def test_two_instances_never_degrade(self):
+        async def main():
+            kill = FaultSchedule(
+                specs=[FaultSpec(kind="stall", instance=1, exchange=0, delay_ms=600.0)]
+            )
+            proxy, teardown = await _deployment(_config(), kill, count=2)
+            try:
+                replies = await _client(proxy.address, [b"a"])
+            finally:
+                await teardown()
+            assert replies == [b""]
+            assert proxy.events.events(ev.DEGRADED) == []
+            assert proxy.metrics.timeouts == 1
+
+        run(main())
+
+    def test_block_policy_ignores_degraded_quorum(self):
+        async def main():
+            proxy, teardown = await _deployment(
+                _config(divergence_policy="block"), KILL_AT_1
+            )
+            try:
+                replies = await _client(proxy.address, [b"a", b"b"])
+            finally:
+                await teardown()
+            assert replies == [b"a\n", b""]
+            assert proxy.events.events(ev.DEGRADED) == []
+            assert proxy.metrics.timeouts == 1
+
+        run(main())
+
+
+class TestConnectTimeDegradation:
+    def test_refused_instance_is_dropped_at_connect(self):
+        async def main():
+            servers = [await EchoServer().start() for _ in range(3)]
+            schedule = FaultSchedule(
+                specs=[FaultSpec(kind="connect_refused", instance=2, times=None)]
+            )
+            records = []
+            hook = connect_fault_hook(
+                schedule, {servers[2].address: 2}, records=records
+            )
+            proxy = IncomingRequestProxy(
+                [server.address for server in servers],
+                get_protocol("tcp"),
+                _config(connect_attempts=2),
+            )
+            # The hook travels by context: the accept callback captures the
+            # context current at start(), so install before starting.
+            with install_connect_hook(hook):
+                await proxy.start()
+                try:
+                    replies = await _client(proxy.address, [b"hi"])
+                finally:
+                    await proxy.close()
+                    for server in servers:
+                        await server.close()
+            assert replies == [b"hi\n"]
+            degraded = proxy.events.events(ev.DEGRADED)
+            assert len(degraded) == 1
+            assert "dropped at connect" in degraded[0].detail
+            # Both bounded attempts against instance 2 were refused.
+            assert [r.kind for r in records] == ["connect_refused"] * 2
+
+        run(main())
+
+    def test_flapping_instance_recovers_within_retry_budget(self):
+        async def main():
+            echo = await EchoServer().start()
+            schedule = FaultSchedule(
+                specs=[FaultSpec(kind="connect_refused", instance=0, times=2)]
+            )
+            records = []
+            hook = connect_fault_hook(schedule, {echo.address: 0}, records=records)
+            with install_connect_hook(hook):
+                reader, writer = await open_connection_retry(
+                    *echo.address, attempts=4, initial_delay=0.01
+                )
+            writer.write(b"up\n")
+            await writer.drain()
+            assert await reader.readline() == b"up\n"
+            await close_writer(writer)
+            await echo.close()
+            assert [r.as_tuple() for r in records] == [
+                ("connect_refused", 0, 0, ""),
+                ("connect_refused", 0, 1, ""),
+            ]
+
+        run(main())
+
+    def test_dead_instance_exhausts_retry_budget(self):
+        async def main():
+            echo = await EchoServer().start()
+            schedule = FaultSchedule(
+                specs=[FaultSpec(kind="connect_refused", instance=0, times=None)]
+            )
+            hook = connect_fault_hook(schedule, {echo.address: 0})
+            with install_connect_hook(hook):
+                with pytest.raises(ConnectionError, match="after 2 attempts"):
+                    await open_connection_retry(
+                        *echo.address, attempts=2, initial_delay=0.01
+                    )
+            await echo.close()
+
+        run(main())
+
+
+class TestOutgoingDegradation:
+    def test_group_forms_degraded_when_an_instance_never_connects(self):
+        async def main():
+            backend = await EchoServer().start()
+            proxy = OutgoingRequestProxy(
+                backend.address, 3, get_protocol("tcp"),
+                _config(exchange_timeout=0.4),
+            )
+            await proxy.start()
+
+            async def instance(index: int) -> bytes:
+                reader, writer = await open_connection_retry(
+                    *proxy.address_for_instance(index)
+                )
+                try:
+                    writer.write(b"q\n")
+                    await writer.drain()
+                    return await asyncio.wait_for(reader.readline(), 5.0)
+                finally:
+                    await close_writer(writer)
+
+            # Instance 2 never dials in; 0 and 1 still get served.
+            replies = await asyncio.gather(instance(0), instance(1))
+            assert replies == [b"q\n", b"q\n"]
+            degraded = proxy.events.events(ev.DEGRADED)
+            assert len(degraded) == 1
+            assert "instance 2 never connected" in degraded[0].detail
+            assert proxy.metrics.degraded_exchanges == 1
+            await proxy.close()
+            await backend.close()
+
+        run(main())
+
+    def test_member_dropped_mid_exchange_keeps_group_serving(self):
+        async def main():
+            backend = await EchoServer().start()
+            proxy = OutgoingRequestProxy(
+                backend.address, 3, get_protocol("tcp"),
+                _config(exchange_timeout=1.0),
+            )
+            await proxy.start()
+
+            async def talkative(index: int) -> list[bytes]:
+                reader, writer = await open_connection_retry(
+                    *proxy.address_for_instance(index)
+                )
+                replies = []
+                try:
+                    for line in (b"x", b"y"):
+                        writer.write(line + b"\n")
+                        await writer.drain()
+                        replies.append(await asyncio.wait_for(reader.readline(), 5.0))
+                finally:
+                    await close_writer(writer)
+                return replies
+
+            async def silent_after_first() -> list[bytes]:
+                reader, writer = await open_connection_retry(
+                    *proxy.address_for_instance(2)
+                )
+                try:
+                    writer.write(b"x\n")
+                    await writer.drain()
+                    first = await asyncio.wait_for(reader.readline(), 5.0)
+                    # Goes quiet: the group drops it at the next deadline.
+                    second = await asyncio.wait_for(reader.readline(), 5.0)
+                    return [first, second]
+                finally:
+                    await close_writer(writer)
+
+            results = await asyncio.gather(
+                talkative(0), talkative(1), silent_after_first()
+            )
+            assert results[0] == [b"x\n", b"y\n"]
+            assert results[1] == [b"x\n", b"y\n"]
+            assert results[2] == [b"x\n", b""]  # dropped: EOF, not a reply
+            degraded = proxy.events.events(ev.DEGRADED)
+            assert len(degraded) == 1
+            assert "instance 2 dropped: missed deadline" in degraded[0].detail
+            assert proxy.metrics.degraded_exchanges == 1
+            assert proxy.metrics.timeouts == 0
+            await proxy.close()
+            await backend.close()
+
+        run(main())
+
+
+class TestDegradationRule:
+    def test_requires_vote_policy_and_mode(self):
+        assert not RddrConfig(degraded_quorum=False).degradation_allowed(3, 2)
+        assert not RddrConfig(
+            degraded_quorum=True, divergence_policy="block"
+        ).degradation_allowed(3, 2)
+
+    def test_requires_strict_majority_of_at_least_three(self):
+        config = RddrConfig(degraded_quorum=True, divergence_policy="vote")
+        assert config.degradation_allowed(3, 2)
+        assert config.degradation_allowed(5, 3)
+        assert config.degradation_allowed(5, 4)
+        assert not config.degradation_allowed(2, 1)
+        assert not config.degradation_allowed(3, 1)
+        assert not config.degradation_allowed(4, 2)  # tie is not a majority
+        assert not config.degradation_allowed(5, 2)
+
+    def test_round_trips_through_json(self):
+        config = RddrConfig(
+            degraded_quorum=True,
+            instance_response_deadline=0.25,
+            connect_attempts=3,
+            connect_backoff_max=0.1,
+        )
+        loaded = RddrConfig.from_dict(config.to_dict())
+        assert loaded.degraded_quorum is True
+        assert loaded.instance_response_deadline == 0.25
+        assert loaded.connect_attempts == 3
+        assert loaded.connect_backoff_max == 0.1
+        assert loaded.instance_deadline() == 0.25
+        assert RddrConfig(exchange_timeout=7.0).instance_deadline() == 7.0

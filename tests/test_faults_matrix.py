@@ -1,0 +1,204 @@
+"""The fault x policy verdict matrix.
+
+Every injectable fault kind is driven through a 3-instance incoming
+deployment under each divergence policy, and the *exact* final verdict,
+client-visible reply, and event kind are asserted.  The same
+:class:`FaultSchedule` is handed to all three shims — only the addressed
+instance fires, which is the per-instance addressability contract.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.apps.echo import EchoServer
+from repro.core import events as ev
+from repro.core.config import RddrConfig
+from repro.core.incoming import IncomingRequestProxy
+from repro.faults import FaultProxy, FaultSchedule, FaultSpec
+from repro.obs import Observer
+from repro.protocols import get_protocol
+from repro.transport.retry import open_connection_retry
+from repro.transport.streams import close_writer
+from tests.helpers import run
+
+DEADLINE = 0.3
+
+
+def _config(policy: str) -> RddrConfig:
+    return RddrConfig(
+        protocol="tcp",
+        exchange_timeout=5.0,
+        instance_response_deadline=DEADLINE,
+        ephemeral_state=False,
+        divergence_policy="block" if policy == "block" else "vote",
+        degraded_quorum=(policy == "degraded"),
+    )
+
+
+async def _client(address, lines: list[bytes], timeout: float = 3.0) -> list[bytes]:
+    """One reply line per request line; ``b""`` for a closed/silent proxy."""
+    reader, writer = await open_connection_retry(*address)
+    replies: list[bytes] = []
+    try:
+        for line in lines:
+            writer.write(line + b"\n")
+            await writer.drain()
+            try:
+                replies.append(await asyncio.wait_for(reader.readline(), timeout))
+            except (asyncio.TimeoutError, ConnectionError):
+                replies.append(b"")
+    except ConnectionError:
+        pass
+    finally:
+        await close_writer(writer)
+    replies.extend(b"" for _ in range(len(lines) - len(replies)))
+    return replies
+
+
+async def _run_case(policy: str, spec: FaultSpec, lines: list[bytes]):
+    observer = Observer()
+    schedule = FaultSchedule(specs=[spec])
+    servers = [await EchoServer().start() for _ in range(3)]
+    shims = [
+        await FaultProxy(
+            server.address, schedule, instance=index, observer=observer
+        ).start()
+        for index, server in enumerate(servers)
+    ]
+    proxy = IncomingRequestProxy(
+        [shim.address for shim in shims],
+        get_protocol("tcp"),
+        _config(policy),
+        observer=observer,
+    )
+    await proxy.start()
+    try:
+        replies = await _client(proxy.address, lines)
+    finally:
+        await proxy.close()
+        for shim in shims:
+            await shim.close()
+        for server in servers:
+            await server.close()
+    # The client can observe EOF before the handler's finally block files
+    # the trace; wait for the sink to settle.
+    previous = -1
+    for _ in range(100):
+        current = len(observer.traces())
+        if current and current == previous:
+            break
+        previous = current
+        await asyncio.sleep(0.02)
+    verdicts = [
+        trace["verdict"]
+        for trace in observer.traces()
+        if trace["proxy"] == proxy.name
+    ]
+    return replies, verdicts, proxy
+
+
+#: fault kind -> (spec, request lines, {policy: (final verdict, final reply)})
+CASES = {
+    "stall": (
+        FaultSpec(kind="stall", instance=2, exchange=0, delay_ms=600.0),
+        [b"hi"],
+        {
+            "block": ("timeout", b""),
+            "vote": ("timeout", b""),
+            "degraded": ("degraded", b"hi\n"),
+        },
+    ),
+    "corrupt_bytes": (
+        FaultSpec(kind="corrupt_bytes", instance=2, exchange=0, offset=0, xor_mask=0x01),
+        [b"hi"],
+        {
+            "block": ("divergent", b""),
+            "vote": ("vote_majority", b"hi\n"),
+            "degraded": ("vote_majority", b"hi\n"),
+        },
+    ),
+    "close_mid_response": (
+        FaultSpec(kind="close_mid_response", instance=2, exchange=0),
+        [b"hi"],
+        {
+            "block": ("divergent", b""),
+            "vote": ("vote_majority", b"hi\n"),
+            "degraded": ("vote_majority", b"hi\n"),
+        },
+    ),
+    "truncate_response": (
+        FaultSpec(kind="truncate_response", instance=2, exchange=0),
+        [b"hi"],
+        {
+            "block": ("timeout", b""),
+            "vote": ("timeout", b""),
+            "degraded": ("degraded", b"hi\n"),
+        },
+    ),
+    # A duplicated response poisons the *next* exchange: the stale line
+    # sits buffered and answers exchange 1 in place of the real reply.
+    "duplicate_response": (
+        FaultSpec(kind="duplicate_response", instance=2, exchange=0),
+        [b"one", b"two"],
+        {
+            "block": ("divergent", b""),
+            "vote": ("vote_majority", b"two\n"),
+            "degraded": ("vote_majority", b"two\n"),
+        },
+    ),
+    # Accept-drop: the TCP connect succeeds but the shim hangs up before a
+    # byte flows, so the loss surfaces inside exchange 0.
+    "connect_refused": (
+        FaultSpec(kind="connect_refused", instance=2, exchange=0),
+        [b"hi"],
+        {
+            "block": ("instance_error", b""),
+            "vote": ("instance_error", b""),
+            "degraded": ("degraded", b"hi\n"),
+        },
+    ),
+}
+
+EVENT_FOR = {
+    "timeout": ev.TIMEOUT,
+    "divergent": ev.DIVERGENCE,
+    "vote_majority": ev.VOTE_OVERRIDE,
+    "degraded": ev.DEGRADED,
+    "instance_error": ev.INSTANCE_ERROR,
+}
+
+
+@pytest.mark.parametrize("policy", ["block", "vote", "degraded"])
+@pytest.mark.parametrize("kind", sorted(CASES))
+def test_fault_policy_matrix(kind: str, policy: str):
+    spec, lines, expectations = CASES[kind]
+    verdict_expected, reply_expected = expectations[policy]
+
+    async def main():
+        replies, verdicts, proxy = await _run_case(policy, spec, lines)
+        assert replies[-1] == reply_expected
+        assert verdicts, "no exchange trace recorded"
+        assert verdicts[-1] == verdict_expected
+        assert proxy.events.events(EVENT_FOR[verdict_expected])
+        if verdict_expected == "degraded":
+            assert proxy.metrics.degraded_exchanges == 1
+            assert proxy.metrics.exchanges_blocked == 0
+        else:
+            assert proxy.metrics.degraded_exchanges == 0
+        if verdict_expected == "timeout":
+            assert proxy.metrics.timeouts == 1
+
+    run(main())
+
+
+def test_duplicate_first_exchange_stays_unanimous():
+    spec, lines, _ = CASES["duplicate_response"]
+
+    async def main():
+        _, verdicts, _ = await _run_case("block", spec, lines)
+        assert verdicts[0] == "unanimous"
+
+    run(main())

@@ -1,0 +1,109 @@
+"""Fault schedules against cluster-managed N-versioned deployments."""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.apps.echo import EchoServer
+from repro.core import events as ev
+from repro.core.config import RddrConfig
+from repro.faults import FaultSchedule, FaultSpec
+from repro.orchestrator import Cluster, deploy_nversioned
+from repro.transport.retry import open_connection_retry
+from repro.transport.streams import close_writer
+from tests.helpers import run
+
+
+def _echo_factory():
+    async def factory(ctx):
+        return await EchoServer(host=ctx.host, port=ctx.port).start()
+
+    return factory
+
+
+async def _exchange(address, line: bytes) -> bytes:
+    reader, writer = await open_connection_retry(*address)
+    try:
+        writer.write(line + b"\n")
+        await writer.drain()
+        try:
+            return await asyncio.wait_for(reader.readline(), 3.0)
+        except (asyncio.TimeoutError, ConnectionError):
+            return b""
+    finally:
+        await close_writer(writer)
+
+
+class TestDeploymentFaultInjection:
+    def test_schedule_interposes_shims_and_voting_rides_through(self):
+        async def main():
+            schedule = FaultSchedule(
+                specs=[
+                    FaultSpec(kind="corrupt_bytes", instance=2, exchange=0, offset=0)
+                ]
+            )
+            async with Cluster() as cluster:
+                service = await deploy_nversioned(
+                    cluster,
+                    "svc",
+                    [_echo_factory() for _ in range(3)],
+                    config=RddrConfig(
+                        protocol="tcp",
+                        exchange_timeout=2.0,
+                        divergence_policy="vote",
+                        ephemeral_state=False,
+                    ),
+                    fault_schedule=schedule,
+                )
+                assert len(service.fault_proxies) == 3
+                assert await _exchange(service.address, b"hi") == b"hi\n"
+                fired = [record.as_tuple() for record in service.fault_records()]
+                assert [entry[:2] for entry in fired] == [("corrupt_bytes", 2)]
+                assert service.rddr.events.events(ev.VOTE_OVERRIDE)
+                await service.close()
+
+        run(main())
+
+    def test_degraded_quorum_survives_scheduled_instance_death(self):
+        async def main():
+            schedule = FaultSchedule(
+                specs=[
+                    FaultSpec(kind="stall", instance=1, exchange=0, delay_ms=600.0)
+                ]
+            )
+            async with Cluster() as cluster:
+                service = await deploy_nversioned(
+                    cluster,
+                    "svc",
+                    [_echo_factory() for _ in range(3)],
+                    config=RddrConfig(
+                        protocol="tcp",
+                        exchange_timeout=5.0,
+                        instance_response_deadline=0.3,
+                        divergence_policy="vote",
+                        degraded_quorum=True,
+                        ephemeral_state=False,
+                    ),
+                    fault_schedule=schedule,
+                )
+                assert await _exchange(service.address, b"hi") == b"hi\n"
+                assert service.rddr.events.events(ev.DEGRADED)
+                await service.close()
+
+        run(main())
+
+    def test_no_schedule_means_no_shims(self):
+        async def main():
+            async with Cluster() as cluster:
+                service = await deploy_nversioned(
+                    cluster,
+                    "svc",
+                    [_echo_factory() for _ in range(2)],
+                    config=RddrConfig(protocol="tcp", exchange_timeout=2.0),
+                )
+                assert service.fault_proxies == []
+                assert service.fault_records() == []
+                assert await _exchange(service.address, b"hi") == b"hi\n"
+                await service.close()
+
+        run(main())

@@ -1,0 +1,101 @@
+"""Property-style tests for the voting and diffing primitives.
+
+Random populations of masked token streams drive two invariants: the
+voter finds a strict majority exactly when one exists, and the diff
+declares divergence exactly when an unmasked difference exists.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.diff import TOKEN_WILDCARD, NoiseMask, diff_tokens
+from repro.core.incoming import _majority_indices
+
+#: A tiny alphabet keeps collisions (and thus majorities) common.
+TOKENS = [b"a", b"b", b"c"]
+
+masked_stream = st.lists(st.sampled_from(TOKENS), min_size=0, max_size=4).map(tuple)
+populations = st.lists(masked_stream, min_size=2, max_size=7)
+
+
+class TestMajorityIndices:
+    @given(populations)
+    @settings(max_examples=200, deadline=None)
+    def test_strict_majority_found_iff_one_exists(self, population):
+        counts = Counter(population)
+        winners = [
+            stream for stream, count in counts.items()
+            if count * 2 > len(population)
+        ]
+        result = _majority_indices(list(population))
+        if winners:
+            (winner,) = winners  # at most one strict majority can exist
+            assert result == [
+                position
+                for position, stream in enumerate(population)
+                if stream == winner
+            ]
+        else:
+            assert result is None
+
+    @given(masked_stream, st.integers(min_value=2, max_value=7))
+    @settings(max_examples=50, deadline=None)
+    def test_unanimous_population_is_its_own_majority(self, stream, n):
+        assert _majority_indices([stream] * n) == list(range(n))
+
+    def test_tie_is_not_a_majority(self):
+        assert _majority_indices([(b"a",), (b"a",), (b"b",), (b"b",)]) is None
+
+
+#: Equal-length token streams plus a random whole-token wildcard mask.
+@st.composite
+def streams_and_mask(draw):
+    length = draw(st.integers(min_value=1, max_value=5))
+    count = draw(st.integers(min_value=2, max_value=5))
+    streams = [
+        [draw(st.sampled_from(TOKENS)) for _ in range(length)]
+        for _ in range(count)
+    ]
+    wildcards = draw(
+        st.sets(st.integers(min_value=0, max_value=length - 1), max_size=length)
+    )
+    mask = NoiseMask(token_ranges={index: TOKEN_WILDCARD for index in wildcards})
+    return streams, mask, wildcards
+
+
+class TestDiffTokens:
+    @given(streams_and_mask())
+    @settings(max_examples=200, deadline=None)
+    def test_divergent_iff_unmasked_difference_exists(self, case):
+        streams, mask, wildcards = case
+        expected = any(
+            index not in wildcards
+            and len({stream[index] for stream in streams}) > 1
+            for index in range(len(streams[0]))
+        )
+        result = diff_tokens(streams, mask)
+        assert result.divergent == expected
+        if result.divergent:
+            first = result.differences[0]
+            assert first.token_index not in wildcards
+            assert len(set(first.values)) > 1
+
+    @given(populations.filter(lambda p: all(len(s) == len(p[0]) for s in p)))
+    @settings(max_examples=100, deadline=None)
+    def test_no_mask_divergent_iff_streams_differ(self, population):
+        streams = [list(stream) for stream in population]
+        result = diff_tokens(streams)
+        assert result.divergent == (len(set(population)) > 1)
+
+    @given(st.lists(st.sampled_from(TOKENS), min_size=1, max_size=4))
+    @settings(max_examples=50, deadline=None)
+    def test_token_count_mismatch_diverges_outside_masked_tail(self, stream):
+        longer = stream + [b"a"]
+        assert diff_tokens([stream, longer]).divergent
+        # ...unless the tail beyond the shorter stream is masked noise.
+        mask = NoiseMask(tail_from=len(stream))
+        assert not diff_tokens([stream, longer], mask).divergent

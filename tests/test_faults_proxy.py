@@ -1,0 +1,269 @@
+"""FaultProxy byte-level behaviour and schedule-driven determinism."""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.apps.echo import EchoServer
+from repro.faults import FaultProxy, FaultSchedule, FaultSpec
+from repro.obs import Observer
+from repro.transport.retry import open_connection_retry
+from repro.transport.streams import close_writer
+from tests.helpers import run
+
+
+async def _session(address, lines: list[bytes]) -> bytes:
+    """Write every line, half-close, and drain the response byte stream.
+
+    A reset (the shim dropping the socket with our unread data still
+    queued) just ends the stream: faults that kill the connection leave
+    whatever bytes arrived before the drop.
+    """
+    reader, writer = await open_connection_retry(*address)
+    chunks: list[bytes] = []
+    try:
+        for line in lines:
+            writer.write(line + b"\n")
+        await writer.drain()
+        writer.write_eof()
+        while chunk := await reader.read(4096):
+            chunks.append(chunk)
+    except ConnectionError:
+        pass
+    finally:
+        await close_writer(writer)
+    return b"".join(chunks)
+
+
+async def _faulted_echo(schedule: FaultSchedule, **kwargs):
+    echo = await EchoServer().start()
+    proxy = await FaultProxy(echo.address, schedule, **kwargs).start()
+    return echo, proxy
+
+
+class TestResponseFaults:
+    def test_empty_schedule_is_transparent(self):
+        async def main():
+            echo, proxy = await _faulted_echo(FaultSchedule())
+            assert await _session(proxy.address, [b"a", b"b"]) == b"a\nb\n"
+            assert proxy.records == []
+            await proxy.close()
+            await echo.close()
+
+        run(main())
+
+    def test_stall_delays_but_preserves_bytes(self):
+        async def main():
+            schedule = FaultSchedule(
+                specs=[FaultSpec(kind="stall", exchange=0, delay_ms=50.0)]
+            )
+            echo, proxy = await _faulted_echo(schedule)
+            started = asyncio.get_running_loop().time()
+            assert await _session(proxy.address, [b"hi"]) == b"hi\n"
+            assert asyncio.get_running_loop().time() - started >= 0.05
+            assert [r.as_tuple() for r in proxy.records] == [
+                ("stall", 0, 0, "50.0ms")
+            ]
+            await proxy.close()
+            await echo.close()
+
+        run(main())
+
+    def test_corrupt_bytes_flips_one_byte(self):
+        async def main():
+            schedule = FaultSchedule(
+                specs=[
+                    FaultSpec(kind="corrupt_bytes", exchange=0, offset=0, xor_mask=0x01)
+                ]
+            )
+            echo, proxy = await _faulted_echo(schedule)
+            # 'h' ^ 0x01 == 'i'; the fault fires once, so exchange 1 is clean.
+            assert await _session(proxy.address, [b"hi", b"hi"]) == b"ii\nhi\n"
+            await proxy.close()
+            await echo.close()
+
+        run(main())
+
+    def test_corrupt_offset_clamps_inside_payload(self):
+        async def main():
+            schedule = FaultSchedule(
+                specs=[
+                    FaultSpec(kind="corrupt_bytes", exchange=0, offset=99, xor_mask=0x01)
+                ]
+            )
+            echo, proxy = await _faulted_echo(schedule)
+            # Clamped to the last payload byte, never the trailing newline.
+            assert await _session(proxy.address, [b"hi"]) == b"hh\n"
+            await proxy.close()
+            await echo.close()
+
+        run(main())
+
+    def test_truncate_response_drops_the_tail(self):
+        async def main():
+            schedule = FaultSchedule(
+                specs=[FaultSpec(kind="truncate_response", exchange=0, offset=2)]
+            )
+            echo, proxy = await _faulted_echo(schedule)
+            assert await _session(proxy.address, [b"hello"]) == b"he"
+            assert proxy.records[0].detail == "kept 2 bytes"
+            await proxy.close()
+            await echo.close()
+
+        run(main())
+
+    def test_duplicate_response_replays_the_message(self):
+        async def main():
+            schedule = FaultSchedule(
+                specs=[FaultSpec(kind="duplicate_response", exchange=0)]
+            )
+            echo, proxy = await _faulted_echo(schedule)
+            assert await _session(proxy.address, [b"hi"]) == b"hi\nhi\n"
+            await proxy.close()
+            await echo.close()
+
+        run(main())
+
+    def test_close_mid_response_sends_a_prefix_then_eof(self):
+        async def main():
+            schedule = FaultSchedule(
+                specs=[FaultSpec(kind="close_mid_response", exchange=0)]
+            )
+            echo, proxy = await _faulted_echo(schedule)
+            # offset 0 means "halfway": 3 of the 6 response bytes.
+            assert await _session(proxy.address, [b"hello"]) == b"hel"
+            assert proxy.records[0].as_tuple() == (
+                "close_mid_response", 0, 0, "sent 3 bytes"
+            )
+            await proxy.close()
+            await echo.close()
+
+        run(main())
+
+    def test_identical_specs_fire_independently(self):
+        async def main():
+            twin = FaultSpec(kind="duplicate_response", exchange=0)
+            echo, proxy = await _faulted_echo(FaultSchedule(specs=[twin, twin]))
+            assert await _session(proxy.address, [b"x"]) == b"x\n" * 4
+            assert len(proxy.records) == 2
+            await proxy.close()
+            await echo.close()
+
+        run(main())
+
+    def test_times_none_fires_every_exchange(self):
+        async def main():
+            schedule = FaultSchedule(
+                specs=[FaultSpec(kind="duplicate_response", times=None)]
+            )
+            echo, proxy = await _faulted_echo(schedule)
+            assert await _session(proxy.address, [b"a", b"b"]) == b"a\na\nb\nb\n"
+            await proxy.close()
+            await echo.close()
+
+        run(main())
+
+
+class TestConnectFaults:
+    def test_accept_drop_refuses_first_connection_only(self):
+        async def main():
+            schedule = FaultSchedule(
+                specs=[FaultSpec(kind="connect_refused", exchange=0)]
+            )
+            echo, proxy = await _faulted_echo(schedule)
+            assert await _session(proxy.address, [b"hi"]) == b""  # dropped
+            assert await _session(proxy.address, [b"hi"]) == b"hi\n"
+            assert proxy.records[0].kind == "connect_refused"
+            await proxy.close()
+            await echo.close()
+
+        run(main())
+
+    def test_connect_slow_delays_the_first_exchange(self):
+        async def main():
+            schedule = FaultSchedule(
+                specs=[FaultSpec(kind="connect_slow", exchange=0, delay_ms=40.0)]
+            )
+            echo, proxy = await _faulted_echo(schedule)
+            started = asyncio.get_running_loop().time()
+            assert await _session(proxy.address, [b"hi"]) == b"hi\n"
+            assert asyncio.get_running_loop().time() - started >= 0.04
+            await proxy.close()
+            await echo.close()
+
+        run(main())
+
+
+class TestDeterminism:
+    WORKLOAD = [b"alpha", b"bravo", b"charlie", b"delta", b"echo", b"foxtrot"]
+
+    async def _one_run(self, schedule: FaultSchedule) -> tuple[bytes, list]:
+        echo, proxy = await _faulted_echo(schedule)
+        try:
+            received = await _session(proxy.address, self.WORKLOAD)
+            return received, [record.as_tuple() for record in proxy.records]
+        finally:
+            await proxy.close()
+            await echo.close()
+
+    def test_same_seed_same_bytes_same_fault_sequence(self):
+        async def main():
+            # Connection-preserving kinds keep the whole workload flowing,
+            # so the full byte stream can be compared run against run.
+            make = lambda: FaultSchedule.random(  # noqa: E731
+                seed=1234,
+                instances=1,
+                exchanges=len(self.WORKLOAD),
+                kinds={"stall", "corrupt_bytes", "duplicate_response",
+                       "truncate_response"},
+                rate=0.6,
+                delay_choices=(10.0,),
+            )
+            assert make() == make()  # schedule generation is reproducible
+            first = await self._one_run(make())
+            second = await self._one_run(make())
+            assert first == second  # byte-identical stream + fault audit trail
+
+        run(main())
+
+    def test_handcrafted_schedule_is_reproducible(self):
+        async def main():
+            def make() -> FaultSchedule:
+                return FaultSchedule(
+                    specs=[
+                        FaultSpec(kind="corrupt_bytes", exchange=0, offset=1),
+                        FaultSpec(kind="duplicate_response", exchange=1),
+                        FaultSpec(kind="truncate_response", exchange=2, offset=3),
+                        FaultSpec(kind="close_mid_response", exchange=5, offset=2),
+                    ]
+                )
+
+            first = await self._one_run(make())
+            second = await self._one_run(make())
+            assert first == second
+            # The audit trail is the exact, ordered fault sequence.
+            assert [entry[0] for entry in first[1]] == [
+                "corrupt_bytes",
+                "duplicate_response",
+                "truncate_response",
+                "close_mid_response",
+            ]
+
+        run(main())
+
+    def test_injected_faults_are_counted_in_the_registry(self):
+        async def main():
+            observer = Observer()
+            schedule = FaultSchedule(
+                specs=[FaultSpec(kind="duplicate_response", exchange=0)]
+            )
+            echo = await EchoServer().start()
+            proxy = await FaultProxy(
+                echo.address, schedule, observer=observer
+            ).start()
+            await _session(proxy.address, [b"x"])
+            assert "rddr_faults_injected_total" in observer.metrics_text()
+            await proxy.close()
+            await echo.close()
+
+        run(main())

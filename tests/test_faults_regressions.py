@@ -1,0 +1,151 @@
+"""Regression tests: no leaked instance connections, no hung clients.
+
+When dialing the instance set partially fails, the incoming proxy must
+close the connections that *did* open (they used to leak) and close the
+client cleanly after the intervention response (the client used to see
+its side hang until its own timeout).
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.apps.echo import EchoServer
+from repro.core import events as ev
+from repro.core.config import RddrConfig
+from repro.core.incoming import IncomingRequestProxy
+from repro.protocols import get_protocol
+from repro.transport.retry import open_connection_retry
+from repro.transport.server import ServerHandle, start_server
+from repro.transport.streams import close_writer, drain_write
+from tests.helpers import run
+
+
+class CountingEcho:
+    """Echo server that tracks its currently-open connection count."""
+
+    def __init__(self) -> None:
+        self.open = 0
+        self.total = 0
+        self.handle: ServerHandle | None = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        assert self.handle is not None
+        return self.handle.address
+
+    async def start(self) -> "CountingEcho":
+        self.handle = await start_server(self._serve, name="counting-echo")
+        return self
+
+    async def close(self) -> None:
+        if self.handle is not None:
+            await self.handle.close()
+
+    async def _serve(self, reader, writer) -> None:
+        self.open += 1
+        self.total += 1
+        try:
+            while True:
+                line = await reader.readuntil(b"\n")
+                writer.write(line)
+                await drain_write(writer)
+        except (asyncio.IncompleteReadError, ConnectionError):
+            return
+        finally:
+            self.open -= 1
+
+
+async def _dead_address() -> tuple[str, int]:
+    """An address that refuses connections (listener already gone)."""
+    placeholder = await EchoServer().start()
+    address = placeholder.address
+    await placeholder.close()
+    return address
+
+
+async def _wait_until(predicate, timeout: float = 3.0) -> bool:
+    deadline = asyncio.get_running_loop().time() + timeout
+    while asyncio.get_running_loop().time() < deadline:
+        if predicate():
+            return True
+        await asyncio.sleep(0.02)
+    return predicate()
+
+
+def _partial_failure_config() -> RddrConfig:
+    return RddrConfig(
+        protocol="tcp", exchange_timeout=1.0, connect_attempts=2,
+        connect_backoff_max=0.02,
+    )
+
+
+class TestPartialConnectFailure:
+    def test_surviving_instance_connections_are_closed(self):
+        async def main():
+            live = [await CountingEcho().start() for _ in range(2)]
+            dead = await _dead_address()
+            proxy = IncomingRequestProxy(
+                [live[0].address, live[1].address, dead],
+                get_protocol("tcp"),
+                _partial_failure_config(),
+            )
+            await proxy.start()
+            reader, writer = await open_connection_retry(*proxy.address)
+            assert await asyncio.wait_for(reader.read(), 5.0) == b""
+            await close_writer(writer)
+            # Both live instances were dialed...
+            assert await _wait_until(lambda: all(s.total == 1 for s in live))
+            # ...and their connections released, not leaked.
+            assert await _wait_until(lambda: all(s.open == 0 for s in live)), [
+                s.open for s in live
+            ]
+            errors = proxy.events.events(ev.INSTANCE_ERROR)
+            assert len(errors) == 1
+            assert "connect failed: instance 2" in errors[0].detail
+            await proxy.close()
+            for server in live:
+                await server.close()
+
+        run(main())
+
+    def test_client_is_closed_promptly_not_left_hanging(self):
+        async def main():
+            live = await CountingEcho().start()
+            dead = await _dead_address()
+            proxy = IncomingRequestProxy(
+                [live.address, dead], get_protocol("tcp"), _partial_failure_config()
+            )
+            await proxy.start()
+            started = asyncio.get_running_loop().time()
+            reader, writer = await open_connection_retry(*proxy.address)
+            # The client never sends a byte; it still must not hang.
+            assert await asyncio.wait_for(reader.read(), 5.0) == b""
+            elapsed = asyncio.get_running_loop().time() - started
+            assert elapsed < 3.0
+            await close_writer(writer)
+            await proxy.close()
+            await live.close()
+
+        run(main())
+
+    def test_successful_session_still_releases_connections(self):
+        async def main():
+            live = [await CountingEcho().start() for _ in range(2)]
+            proxy = IncomingRequestProxy(
+                [server.address for server in live],
+                get_protocol("tcp"),
+                _partial_failure_config(),
+            )
+            await proxy.start()
+            reader, writer = await open_connection_retry(*proxy.address)
+            writer.write(b"hello\n")
+            await writer.drain()
+            assert await asyncio.wait_for(reader.readline(), 5.0) == b"hello\n"
+            await close_writer(writer)
+            assert await _wait_until(lambda: all(s.open == 0 for s in live))
+            await proxy.close()
+            for server in live:
+                await server.close()
+
+        run(main())

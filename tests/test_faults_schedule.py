@@ -1,0 +1,133 @@
+"""Fault schedule specs: validation, matching, JSON, seeded generation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import (
+    CONNECT_KINDS,
+    KINDS,
+    RESPONSE_KINDS,
+    FaultSchedule,
+    FaultSpec,
+)
+
+
+class TestFaultSpec:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultSpec(kind="explode")
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError, match="delay_ms"):
+            FaultSpec(kind="stall", delay_ms=-1.0)
+
+    def test_negative_offset_rejected(self):
+        with pytest.raises(ValueError, match="offset"):
+            FaultSpec(kind="corrupt_bytes", offset=-1)
+
+    def test_xor_mask_must_be_byte(self):
+        with pytest.raises(ValueError, match="xor_mask"):
+            FaultSpec(kind="corrupt_bytes", xor_mask=256)
+
+    def test_times_must_be_positive_or_none(self):
+        with pytest.raises(ValueError, match="times"):
+            FaultSpec(kind="stall", times=0)
+        assert FaultSpec(kind="stall", times=None).times is None
+
+    def test_kind_sets_partition(self):
+        assert CONNECT_KINDS | RESPONSE_KINDS == KINDS
+        assert not CONNECT_KINDS & RESPONSE_KINDS
+
+    def test_none_fields_are_wildcards(self):
+        spec = FaultSpec(kind="stall")
+        assert spec.matches(0, 0)
+        assert spec.matches(7, 42)
+
+    def test_pinned_fields_must_match(self):
+        spec = FaultSpec(kind="stall", instance=1, exchange=3)
+        assert spec.matches(1, 3)
+        assert not spec.matches(0, 3)
+        assert not spec.matches(1, 2)
+
+    def test_dict_round_trip(self):
+        spec = FaultSpec(
+            kind="corrupt_bytes", instance=2, exchange=5, offset=3,
+            xor_mask=0x20, times=None,
+        )
+        assert FaultSpec.from_dict(spec.to_dict()) == spec
+
+
+class TestFaultSchedule:
+    def test_matching_filters_by_kind_and_address(self):
+        schedule = FaultSchedule(
+            specs=[
+                FaultSpec(kind="stall", instance=0),
+                FaultSpec(kind="connect_refused", instance=0),
+                FaultSpec(kind="stall", instance=1),
+            ]
+        )
+        hits = schedule.matching(0, 0, RESPONSE_KINDS)
+        assert [(index, spec.kind) for index, spec in hits] == [(0, "stall")]
+        hits = schedule.matching(0, 0, CONNECT_KINDS)
+        assert [(index, spec.kind) for index, spec in hits] == [(1, "connect_refused")]
+
+    def test_matching_keeps_spec_indices_for_duplicates(self):
+        twin = FaultSpec(kind="stall", instance=0, exchange=0)
+        schedule = FaultSchedule(specs=[twin, twin])
+        assert [index for index, _ in schedule.matching(0, 0)] == [0, 1]
+
+    def test_json_round_trip(self, tmp_path):
+        schedule = FaultSchedule(
+            specs=[
+                FaultSpec(kind="stall", instance=1, exchange=2, delay_ms=600.0),
+                FaultSpec(kind="connect_refused", times=None),
+            ],
+            seed=99,
+        )
+        assert FaultSchedule.loads(schedule.dumps()) == schedule
+        path = tmp_path / "faults.json"
+        schedule.dump(path)
+        assert FaultSchedule.load(path) == schedule
+
+    def test_len_and_iter(self):
+        schedule = FaultSchedule(specs=[FaultSpec(kind="stall")])
+        assert len(schedule) == 1
+        assert [spec.kind for spec in schedule] == ["stall"]
+
+
+class TestRandomGeneration:
+    def test_same_seed_same_schedule(self):
+        a = FaultSchedule.random(seed=7, instances=3, exchanges=20)
+        b = FaultSchedule.random(seed=7, instances=3, exchanges=20)
+        assert a == b
+        assert a.seed == 7
+
+    def test_different_seed_different_schedule(self):
+        a = FaultSchedule.random(seed=1, instances=3, exchanges=50, rate=0.5)
+        b = FaultSchedule.random(seed=2, instances=3, exchanges=50, rate=0.5)
+        assert a.specs != b.specs
+
+    def test_specs_stay_inside_the_grid(self):
+        schedule = FaultSchedule.random(
+            seed=3, instances=2, exchanges=10, kinds={"stall", "corrupt_bytes"}
+        )
+        for spec in schedule:
+            assert spec.kind in {"stall", "corrupt_bytes"}
+            assert 0 <= spec.instance < 2
+            assert 0 <= spec.exchange < 10
+            assert spec.delay_ms in (5.0, 600.0)
+
+    def test_generated_schedule_survives_json(self):
+        schedule = FaultSchedule.random(seed=11, instances=3, exchanges=8)
+        assert FaultSchedule.loads(schedule.dumps()) == schedule
+
+    def test_rate_zero_is_empty_rate_one_is_full(self):
+        assert len(FaultSchedule.random(seed=0, instances=2, exchanges=5, rate=0.0)) == 0
+        assert len(FaultSchedule.random(seed=0, instances=2, exchanges=5, rate=1.0)) == 10
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultSchedule.random(seed=0, instances=1, exchanges=1, kinds={"nope"})
+        with pytest.raises(ValueError, match="rate"):
+            FaultSchedule.random(seed=0, instances=1, exchanges=1, rate=1.5)

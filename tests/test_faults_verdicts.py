@@ -1,0 +1,249 @@
+"""Exact verdict/event coverage for the failure paths of both proxies:
+per-instance deadline timeouts, instance_error, and a voting deployment
+whose minority instance dies mid-exchange.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.apps.echo import EchoServer
+from repro.core import events as ev
+from repro.core.config import RddrConfig
+from repro.core.incoming import IncomingRequestProxy
+from repro.core.outgoing import OutgoingRequestProxy
+from repro.obs import Observer
+from repro.protocols import get_protocol
+from repro.transport.retry import open_connection_retry
+from repro.transport.server import start_server
+from repro.transport.streams import close_writer, drain_write
+from tests.helpers import run
+
+
+async def _settled_traces(observer: Observer, proxy_name: str) -> list[dict]:
+    """Traces for one proxy, after the sink has stopped growing."""
+    previous = -1
+    for _ in range(100):
+        current = len(observer.traces())
+        if current and current == previous:
+            break
+        previous = current
+        await asyncio.sleep(0.02)
+    return [t for t in observer.traces() if t["proxy"] == proxy_name]
+
+
+async def _client_lines(address, lines, timeout: float = 3.0) -> list[bytes]:
+    reader, writer = await open_connection_retry(*address)
+    replies: list[bytes] = []
+    try:
+        for line in lines:
+            writer.write(line + b"\n")
+            await writer.drain()
+            try:
+                replies.append(await asyncio.wait_for(reader.readline(), timeout))
+            except (asyncio.TimeoutError, ConnectionError):
+                replies.append(b"")
+    except ConnectionError:
+        pass
+    finally:
+        await close_writer(writer)
+    replies.extend(b"" for _ in range(len(lines) - len(replies)))
+    return replies
+
+
+class TestIncomingVerdicts:
+    def test_deadline_timeout_verdict_and_event(self):
+        async def main():
+            async def silent(reader, writer):
+                await reader.readline()
+                await asyncio.sleep(30)
+
+            observer = Observer()
+            echo = await EchoServer().start()
+            stuck = await start_server(silent)
+            proxy = IncomingRequestProxy(
+                [echo.address, stuck.address],
+                get_protocol("tcp"),
+                RddrConfig(
+                    protocol="tcp",
+                    exchange_timeout=5.0,
+                    instance_response_deadline=0.2,
+                ),
+                observer=observer,
+            )
+            await proxy.start()
+            assert await _client_lines(proxy.address, [b"hi"]) == [b""]
+            traces = await _settled_traces(observer, proxy.name)
+            assert traces[-1]["verdict"] == "timeout"
+            # The *per-instance* deadline, not the exchange timeout.
+            assert "0.2" in traces[-1]["reason"]
+            timeouts = proxy.events.events(ev.TIMEOUT)
+            assert len(timeouts) == 1
+            assert proxy.metrics.timeouts == 1
+            assert proxy.metrics.exchanges_blocked == 1
+            await proxy.close()
+            await echo.close()
+            await stuck.close()
+
+        run(main())
+
+    def test_instance_closing_before_response_is_instance_error(self):
+        async def main():
+            async def mute(reader, writer):
+                await reader.readline()
+                # Close without answering: a crashed instance.
+
+            observer = Observer()
+            echo = await EchoServer().start()
+            crashed = await start_server(mute)
+            proxy = IncomingRequestProxy(
+                [echo.address, crashed.address],
+                get_protocol("tcp"),
+                RddrConfig(protocol="tcp", exchange_timeout=2.0),
+                observer=observer,
+            )
+            await proxy.start()
+            assert await _client_lines(proxy.address, [b"hi"]) == [b""]
+            traces = await _settled_traces(observer, proxy.name)
+            assert traces[-1]["verdict"] == "instance_error"
+            errors = proxy.events.events(ev.INSTANCE_ERROR)
+            assert len(errors) == 1
+            assert "instance 1" in errors[0].detail
+            assert proxy.metrics.timeouts == 0
+            await proxy.close()
+            await echo.close()
+            await crashed.close()
+
+        run(main())
+
+    def test_minority_death_under_vote_quarantine_blocks(self):
+        async def main():
+            async def one_shot(reader, writer):
+                line = await reader.readline()
+                writer.write(line)
+                await drain_write(writer)
+                # Dies after its first answer, mid-session.
+
+            observer = Observer()
+            servers = [await EchoServer().start() for _ in range(2)]
+            dying = await start_server(one_shot)
+            proxy = IncomingRequestProxy(
+                [servers[0].address, servers[1].address, dying.address],
+                get_protocol("tcp"),
+                RddrConfig(
+                    protocol="tcp",
+                    exchange_timeout=2.0,
+                    divergence_policy="vote",
+                    quarantine_minority=True,
+                    ephemeral_state=False,
+                ),
+                observer=observer,
+            )
+            await proxy.start()
+            replies = await _client_lines(proxy.address, [b"a", b"b"])
+            # Exchange 0 is unanimous; the death surfaces in exchange 1 and,
+            # without degraded_quorum, voting cannot rescue a silent member.
+            assert replies == [b"a\n", b""]
+            traces = await _settled_traces(observer, proxy.name)
+            assert [t["verdict"] for t in traces] == ["unanimous", "instance_error"]
+            assert proxy.events.events(ev.INSTANCE_ERROR)
+            assert proxy.events.events(ev.DEGRADED) == []
+            assert proxy.metrics.exchanges_blocked == 1
+            await proxy.close()
+            for server in servers:
+                await server.close()
+            await dying.close()
+
+        run(main())
+
+
+class TestOutgoingVerdicts:
+    def test_missing_instance_request_is_a_timeout(self):
+        async def main():
+            observer = Observer()
+            backend = await EchoServer().start()
+            proxy = OutgoingRequestProxy(
+                backend.address, 2, get_protocol("tcp"),
+                RddrConfig(
+                    protocol="tcp",
+                    exchange_timeout=2.0,
+                    instance_response_deadline=0.25,
+                ),
+                observer=observer,
+            )
+            await proxy.start()
+
+            async def talker() -> bytes:
+                reader, writer = await open_connection_retry(
+                    *proxy.address_for_instance(0)
+                )
+                try:
+                    writer.write(b"x\n")
+                    await writer.drain()
+                    try:
+                        return await asyncio.wait_for(reader.readline(), 5.0)
+                    except (asyncio.TimeoutError, ConnectionError):
+                        return b""
+                finally:
+                    await close_writer(writer)
+
+            async def mute() -> bytes:
+                reader, writer = await open_connection_retry(
+                    *proxy.address_for_instance(1)
+                )
+                try:
+                    return await asyncio.wait_for(reader.read(), 10.0)
+                finally:
+                    await close_writer(writer)
+
+            replies = await asyncio.gather(talker(), mute())
+            assert replies == [b"", b""]  # group torn down, no responses
+            traces = await _settled_traces(observer, proxy.name)
+            assert traces[-1]["verdict"] == "timeout"
+            assert proxy.metrics.timeouts == 1
+            divergences = proxy.events.events(ev.DIVERGENCE)
+            assert len(divergences) == 1
+            assert "missing/late instance request" in divergences[0].detail
+            await proxy.close()
+            await backend.close()
+
+        run(main())
+
+    def test_backend_death_is_an_instance_error(self):
+        async def main():
+            async def vanishing_backend(reader, writer):
+                await reader.readline()
+                # Closes without responding.
+
+            observer = Observer()
+            backend = await start_server(vanishing_backend)
+            proxy = OutgoingRequestProxy(
+                backend.address, 2, get_protocol("tcp"),
+                RddrConfig(protocol="tcp", exchange_timeout=2.0),
+                observer=observer,
+            )
+            await proxy.start()
+
+            async def instance(index: int) -> bytes:
+                reader, writer = await open_connection_retry(
+                    *proxy.address_for_instance(index)
+                )
+                try:
+                    writer.write(b"x\n")
+                    await writer.drain()
+                    try:
+                        return await asyncio.wait_for(reader.readline(), 5.0)
+                    except (asyncio.TimeoutError, ConnectionError):
+                        return b""
+                finally:
+                    await close_writer(writer)
+
+            replies = await asyncio.gather(instance(0), instance(1))
+            assert replies == [b"", b""]
+            errors = proxy.events.events(ev.INSTANCE_ERROR)
+            assert len(errors) == 1
+            assert "group 0" in errors[0].detail
+            await proxy.close()
+            await backend.close()
+
+        run(main())
