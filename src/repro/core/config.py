@@ -65,6 +65,37 @@ class RddrConfig:
     signature_learning: bool = False
     #: Seconds before a learned signature expires (None = never).
     signature_ttl: float | None = None
+    #: Self-healing recovery (repro.recovery): quarantine failing
+    #: instances, respawn them, and warm-rejoin them after clean shadow
+    #: exchanges.  Off by default — with it off, behaviour is identical
+    #: to pre-recovery deployments.
+    recovery_enabled: bool = False
+    #: Health-probe period / per-probe timeout (seconds) and how many
+    #: consecutive failures quarantine an instance.
+    probe_period: float = 0.25
+    probe_timeout: float = 1.0
+    probe_failure_threshold: int = 3
+    #: Initial backoff between restart attempts for a quarantined pod
+    #: (doubles up to 1s on repeated failure).
+    restart_backoff: float = 0.1
+    #: Consecutive clean, matching shadow exchanges required before a
+    #: respawned instance is re-admitted to voting (the K in the docs).
+    rejoin_clean_exchanges: int = 3
+    #: Admission control on the incoming proxy: at most this many
+    #: exchanges in flight (None = unbounded, the pre-existing
+    #: behaviour), with up to ``admission_queue_limit`` more waiting
+    #: FIFO; anything beyond is shed with a fast-fail response.
+    max_concurrent_exchanges: int | None = None
+    admission_queue_limit: int = 0
+    #: Human-visible text served when an exchange is shed.
+    shed_message: str = "RDDR overloaded: request shed"
+    #: Circuit breaking on the outgoing proxy's backend path: after
+    #: ``breaker_failure_threshold`` consecutive connect failures the
+    #: circuit opens and groups fail fast for ``breaker_reset_timeout``
+    #: seconds before a half-open trial.
+    circuit_breaker: bool = False
+    breaker_failure_threshold: int = 5
+    breaker_reset_timeout: float = 30.0
 
     def filter_pair_obj(self) -> FilterPair | None:
         if self.filter_pair is None:
@@ -116,6 +147,18 @@ class RddrConfig:
             "quarantine_minority": self.quarantine_minority,
             "signature_learning": self.signature_learning,
             "signature_ttl": self.signature_ttl,
+            "recovery_enabled": self.recovery_enabled,
+            "probe_period": self.probe_period,
+            "probe_timeout": self.probe_timeout,
+            "probe_failure_threshold": self.probe_failure_threshold,
+            "restart_backoff": self.restart_backoff,
+            "rejoin_clean_exchanges": self.rejoin_clean_exchanges,
+            "max_concurrent_exchanges": self.max_concurrent_exchanges,
+            "admission_queue_limit": self.admission_queue_limit,
+            "shed_message": self.shed_message,
+            "circuit_breaker": self.circuit_breaker,
+            "breaker_failure_threshold": self.breaker_failure_threshold,
+            "breaker_reset_timeout": self.breaker_reset_timeout,
         }
 
     @classmethod
@@ -161,6 +204,24 @@ class RddrConfig:
                 if data.get("signature_ttl") is not None
                 else None
             ),
+            recovery_enabled=bool(data.get("recovery_enabled", False)),
+            probe_period=float(data.get("probe_period", 0.25)),  # type: ignore[arg-type]
+            probe_timeout=float(data.get("probe_timeout", 1.0)),  # type: ignore[arg-type]
+            probe_failure_threshold=int(data.get("probe_failure_threshold", 3)),  # type: ignore[arg-type]
+            restart_backoff=float(data.get("restart_backoff", 0.1)),  # type: ignore[arg-type]
+            rejoin_clean_exchanges=int(data.get("rejoin_clean_exchanges", 3)),  # type: ignore[arg-type]
+            max_concurrent_exchanges=(
+                int(data["max_concurrent_exchanges"])  # type: ignore[arg-type]
+                if data.get("max_concurrent_exchanges") is not None
+                else None
+            ),
+            admission_queue_limit=int(data.get("admission_queue_limit", 0)),  # type: ignore[arg-type]
+            shed_message=str(
+                data.get("shed_message", "RDDR overloaded: request shed")
+            ),
+            circuit_breaker=bool(data.get("circuit_breaker", False)),
+            breaker_failure_threshold=int(data.get("breaker_failure_threshold", 5)),  # type: ignore[arg-type]
+            breaker_reset_timeout=float(data.get("breaker_reset_timeout", 30.0)),  # type: ignore[arg-type]
         )
 
     def dump(self, path: str | Path) -> None:

@@ -76,3 +76,6 @@ TIMEOUT = "timeout"
 INSTANCE_ERROR = "instance_error"
 EXCHANGE_OK = "exchange_ok"
 DEGRADED = "degraded"
+RECOVERY_STATE = "recovery_state"
+SHED = "shed"
+CIRCUIT = "circuit_breaker"

@@ -18,6 +18,19 @@ implemented behind configuration flags:
   classic N-version voting: when a strict majority of instances agree,
   their response is forwarded and, optionally, the outvoted instances
   are dropped from the connection.
+
+Two robustness extensions (see ``docs/robustness.md``):
+
+* an :class:`~repro.recovery.InstanceDirectory` makes instance addresses
+  *swappable*: the proxy snapshots the directory between exchanges (never
+  mid-exchange) and re-dials changed or rejoining instances.  A
+  ``shadow``-mode (REJOINING) instance receives every replicated request
+  and has its response compared, but its vote cannot influence the
+  verdict and its failures cannot degrade the exchange;
+* admission control (``max_concurrent_exchanges`` +
+  ``admission_queue_limit``) bounds the exchanges in flight and *sheds*
+  the overflow with a fast-fail response instead of stalling every
+  client.
 """
 
 from __future__ import annotations
@@ -39,6 +52,8 @@ from repro.core.signatures import SignatureStore
 from repro.core.variance import VarianceMasker
 from repro.obs import ExchangeTrace, Observer, active_observer
 from repro.protocols.base import ProtocolModule, resolve
+from repro.recovery.admission import AdmissionController
+from repro.recovery.directory import MODE_OUT, MODE_SHADOW, InstanceDirectory
 from repro.transport.retry import open_connection_retry
 from repro.transport.server import ServerHandle, start_server
 from repro.transport.streams import ConnectionClosed, close_writer, drain_write
@@ -53,6 +68,10 @@ class _InstanceLink:
     index: int
     reader: asyncio.StreamReader
     writer: asyncio.StreamWriter
+    #: Shadow (REJOINING) links replicate and compare but never vote.
+    shadow: bool = False
+    #: The endpoint this link was dialed to (for directory refreshes).
+    address: Address | None = None
 
 
 @dataclass
@@ -80,6 +99,7 @@ class IncomingRequestProxy:
         observer: Observer | None = None,
         server_ssl: ssl.SSLContext | None = None,
         instance_ssl: ssl.SSLContext | None = None,
+        directory: InstanceDirectory | None = None,
     ) -> None:
         if len(instances) < 2:
             raise ValueError("N-versioning requires at least 2 instances")
@@ -94,6 +114,7 @@ class IncomingRequestProxy:
         self.host = host
         self.port = port
         self.name = name
+        self.directory = directory
         # Explicit None checks: an empty EventLog is falsy (it has __len__).
         self.observer = (
             observer if observer is not None else (active_observer() or Observer())
@@ -117,6 +138,10 @@ class IncomingRequestProxy:
             canonical_instance=self.config.canonical_instance,
         )
         self.signatures = SignatureStore(ttl=self.config.signature_ttl)
+        self._admission = AdmissionController(
+            self.config.max_concurrent_exchanges,
+            self.config.admission_queue_limit,
+        )
         self._exchange_counter = 0
 
     # ------------------------------------------------------------ lifecycle
@@ -148,78 +173,98 @@ class IncomingRequestProxy:
         self, client_reader: asyncio.StreamReader, client_writer: asyncio.StreamWriter
     ) -> None:
         self.metrics.connections_total += 1
-        links = await self._connect_instances(client_writer)
-        if links is None:
+        connected = await self._connect_instances(client_writer)
+        if connected is None:
             return
+        links, version = connected
         state = self.protocol.new_connection_state()
-        try:
-            await self._exchange_loop(client_reader, client_writer, links, state)
-        finally:
-            for link in links:
-                await close_writer(link.writer)
+        await self._exchange_loop(client_reader, client_writer, links, state, version)
+
+    async def _dial(self, address: Address):
+        return await open_connection_retry(
+            *address,
+            attempts=self.config.connect_attempts,
+            max_delay=self.config.connect_backoff_max,
+            ssl_context=self.instance_ssl,
+        )
 
     async def _connect_instances(
         self, client_writer: asyncio.StreamWriter
-    ) -> list[_InstanceLink] | None:
+    ) -> tuple[list[_InstanceLink], int] | None:
         """Dial every instance (bounded retry-with-backoff per endpoint).
 
-        On partial failure, either degrade onto the surviving majority or
-        — closing the connections that *did* open so they cannot leak —
-        serve the intervention response and close the client cleanly.
+        With a directory, the dial set is its current snapshot: ``out``
+        instances are skipped and ``shadow`` ones join as non-voting
+        links.  On partial failure, either degrade onto the surviving
+        majority or — closing the connections that *did* open so they
+        cannot leak — serve the intervention response and close the
+        client cleanly.
         """
-        results = await asyncio.gather(
-            *(
-                open_connection_retry(
-                    host,
-                    port,
-                    attempts=self.config.connect_attempts,
-                    max_delay=self.config.connect_backoff_max,
-                    ssl_context=self.instance_ssl,
+        version = 0
+        if self.directory is None:
+            dialable = [
+                _InstanceLink(index=i, reader=None, writer=None, address=address)  # type: ignore[arg-type]
+                for i, address in enumerate(self.instances)
+            ]
+        else:
+            version, entries = self.directory.snapshot()
+            dialable = [
+                _InstanceLink(
+                    index=entry.index,
+                    reader=None,  # type: ignore[arg-type]
+                    writer=None,  # type: ignore[arg-type]
+                    shadow=entry.mode == MODE_SHADOW,
+                    address=entry.address,
                 )
-                for host, port in self.instances
-            ),
+                for entry in entries
+                if entry.mode != MODE_OUT
+            ]
+        results = await asyncio.gather(
+            *(self._dial(link.address) for link in dialable),
             return_exceptions=True,
         )
-        failed = [
-            (index, result)
-            for index, result in enumerate(results)
-            if isinstance(result, BaseException)
-        ]
-        survivors = [
-            index
-            for index in range(len(results))
-            if not isinstance(results[index], BaseException)
-        ]
-        if any(isinstance(error, asyncio.CancelledError) for _, error in failed):
-            for position in survivors:
-                await close_writer(results[position][1])
+        if any(isinstance(result, asyncio.CancelledError) for result in results):
+            for result in results:
+                if not isinstance(result, BaseException):
+                    await close_writer(result[1])
             raise asyncio.CancelledError
-        if not failed:
-            return [
-                _InstanceLink(index=i, reader=reader, writer=writer)
-                for i, (reader, writer) in enumerate(results)
-            ]
-        if self.config.degradation_allowed(len(self.instances), len(survivors)):
-            for index, error in failed:
+        links: list[_InstanceLink] = []
+        voter_failed: list[tuple[int, BaseException]] = []
+        for link, result in zip(dialable, results):
+            if isinstance(result, BaseException):
+                if link.shadow:
+                    # A rejoining instance that cannot be dialed never
+                    # blocks the exchange; tell the supervisor instead.
+                    self._report_failure(
+                        link.index, f"shadow connect failed: {result}"
+                    )
+                    continue
+                voter_failed.append((link.index, result))
+                continue
+            link.reader, link.writer = result
+            links.append(link)
+        if not voter_failed:
+            return links, version
+        voter_total = len([link for link in dialable if not link.shadow])
+        voters = sum(1 for link in links if not link.shadow)
+        if self.config.degradation_allowed(voter_total, voters):
+            for index, error in voter_failed:
                 self.events.record(
                     ev.DEGRADED,
                     f"instance {index} dropped at connect: {error}",
                     proxy=self.name,
                 )
-            return [
-                _InstanceLink(
-                    index=index, reader=results[index][0], writer=results[index][1]
-                )
-                for index in survivors
-            ]
-        for position in survivors:
-            await close_writer(results[position][1])
-        index, error = failed[0]
+                self._report_failure(index, f"connect failed: {error}")
+            return links, version
+        for link in links:
+            await close_writer(link.writer)
+        index, error = voter_failed[0]
         self.events.record(
             ev.INSTANCE_ERROR,
             f"connect failed: instance {index}: {error}",
             proxy=self.name,
         )
+        self._report_failure(index, f"connect failed: {error}")
         block = self.protocol.block_response(self.config.block_message)
         if block:
             with contextlib.suppress(Exception):
@@ -228,35 +273,124 @@ class IncomingRequestProxy:
         await close_writer(client_writer)
         return None
 
+    def _report_failure(self, index: int, reason: str, *, fatal: bool = False) -> None:
+        if self.directory is not None:
+            self.directory.report_failure(index, reason, fatal=fatal)
+
     async def _exchange_loop(
         self,
         client_reader: asyncio.StreamReader,
         client_writer: asyncio.StreamWriter,
         links: list[_InstanceLink],
         state: object,
+        version: int,
     ) -> None:
-        while True:
-            request = await self.protocol.read_client_message(client_reader, state)
-            if request is None:
-                return
-            exchange = self._exchange_counter
-            self._exchange_counter += 1
-            self.metrics.exchanges_total += 1
-            self.metrics.bytes_from_clients += len(request)
-            trace = self.observer.begin_exchange(
-                proxy=self.name,
-                protocol=self.protocol.name,
-                direction="incoming",
-                exchange=exchange,
-            )
-            try:
-                links = await self._run_exchange(
-                    request, client_writer, links, state, exchange, trace
+        try:
+            while True:
+                request = await self.protocol.read_client_message(
+                    client_reader, state
                 )
-            finally:
-                self.observer.finish_exchange(trace)
-            if links is None:
-                return
+                if request is None:
+                    return
+                if self.directory is not None:
+                    # The atomic swap point: adopt directory changes only
+                    # at an exchange boundary, never mid-exchange.
+                    links, version = await self._refresh_links(links, version)
+                admitted = await self._admission.acquire()
+                if not admitted:
+                    await self._shed(client_writer)
+                    return
+                try:
+                    exchange = self._exchange_counter
+                    self._exchange_counter += 1
+                    self.metrics.exchanges_total += 1
+                    self.metrics.bytes_from_clients += len(request)
+                    trace = self.observer.begin_exchange(
+                        proxy=self.name,
+                        protocol=self.protocol.name,
+                        direction="incoming",
+                        exchange=exchange,
+                    )
+                    try:
+                        survivors = await self._run_exchange(
+                            request, client_writer, links, state, exchange, trace
+                        )
+                    finally:
+                        self.observer.finish_exchange(trace)
+                finally:
+                    self._admission.release()
+                if survivors is None:
+                    return
+                links = survivors
+        finally:
+            # Closing an already-closed writer is a no-op, so this safely
+            # covers links dropped (and closed) mid-exchange too.
+            for link in links:
+                await close_writer(link.writer)
+
+    async def _refresh_links(
+        self, links: list[_InstanceLink], version: int
+    ) -> tuple[list[_InstanceLink], int]:
+        """Reconcile this connection's links with the directory snapshot:
+        drop ``out`` instances, re-dial swapped addresses, and admit
+        (re)joining instances — all between exchanges."""
+        new_version, entries = self.directory.snapshot()
+        if new_version == version:
+            return links, version
+        by_index = {link.index: link for link in links}
+        for entry in entries:
+            link = by_index.get(entry.index)
+            if entry.mode == MODE_OUT:
+                if link is not None:
+                    await close_writer(link.writer)
+                    del by_index[entry.index]
+                continue
+            if link is not None and link.address != entry.address:
+                await close_writer(link.writer)
+                del by_index[entry.index]
+                link = None
+            if link is None:
+                try:
+                    reader, writer = await self._dial(entry.address)
+                except (ConnectionError, OSError) as error:
+                    self._report_failure(
+                        entry.index, f"redial failed: {error}"
+                    )
+                    continue
+                by_index[entry.index] = _InstanceLink(
+                    index=entry.index,
+                    reader=reader,
+                    writer=writer,
+                    shadow=entry.mode == MODE_SHADOW,
+                    address=entry.address,
+                )
+            else:
+                link.shadow = entry.mode == MODE_SHADOW
+        return sorted(by_index.values(), key=lambda link: link.index), new_version
+
+    async def _shed(self, client_writer: asyncio.StreamWriter) -> None:
+        """Fast-fail an exchange rejected by admission control."""
+        self.metrics.exchanges_shed += 1
+        self.events.record(
+            ev.SHED,
+            f"admission queue full ({self._admission.active} active, "
+            f"{self._admission.waiting} waiting)",
+            proxy=self.name,
+        )
+        trace = self.observer.begin_exchange(
+            proxy=self.name,
+            protocol=self.protocol.name,
+            direction="incoming",
+            exchange=self._exchange_counter,
+        )
+        trace.set_verdict("shed", "admission control")
+        self.observer.finish_exchange(trace)
+        shed = self.protocol.block_response(self.config.shed_message)
+        if shed:
+            with contextlib.suppress(Exception):
+                client_writer.write(shed)
+                await drain_write(client_writer)
+        await close_writer(client_writer)
 
     async def _run_exchange(
         self,
@@ -270,6 +404,13 @@ class IncomingRequestProxy:
         """One exchange; returns the surviving links, or ``None`` to stop
         serving this client connection."""
         started = time.monotonic()
+        trace.root.attrs["voters"] = [
+            link.index for link in links if not link.shadow
+        ]
+        if any(link.shadow for link in links):
+            trace.root.attrs["shadow"] = [
+                link.index for link in links if link.shadow
+            ]
 
         # Section IV-D: reject remembered diverging inputs outright.
         if self.config.signature_learning:
@@ -306,9 +447,19 @@ class IncomingRequestProxy:
                     except ConnectionClosed:
                         send_failed.append(link)
         degraded = False
+        shadow_failed = [link for link in send_failed if link.shadow]
+        for link in shadow_failed:
+            self._report_failure(
+                link.index, "shadow connection lost during replicate"
+            )
+            await close_writer(link.writer)
+            links = [item for item in links if item is not link]
+        send_failed = [link for link in send_failed if not link.shadow]
         if send_failed:
             survivors = [link for link in links if link not in send_failed]
-            if self.config.degradation_allowed(len(links), len(survivors)):
+            voter_total = sum(1 for link in links if not link.shadow)
+            voter_survivors = sum(1 for link in survivors if not link.shadow)
+            if self.config.degradation_allowed(voter_total, voter_survivors):
                 await self._drop_links(
                     send_failed, exchange, "connection lost during replicate"
                 )
@@ -338,19 +489,25 @@ class IncomingRequestProxy:
             )
             return None
         responses, links, degraded = outcome
+        voters = [p for p, link in enumerate(links) if not link.shadow]
 
         verdict, masked = self._analyse(responses, links, exchange, trace)
         if verdict is not None:
             trace.set_verdict("divergent", verdict)
-            if self.config.divergence_policy == "vote" and len(links) >= 3:
-                majority = _majority_indices(masked)
-                if majority is not None:
+            if self.config.divergence_policy == "vote" and len(voters) >= 3:
+                majority_rel = _majority_indices([masked[p] for p in voters])
+                if majority_rel is not None:
+                    majority = [voters[i] for i in majority_rel]
                     trace.set_verdict("vote_majority", verdict)
+                    # Report shadows against the pre-vote positions: a
+                    # quarantined minority shifts link positions below.
+                    self._report_shadows(links, masked, majority[0], exchange)
                     links = await self._vote_respond(
                         client_writer,
                         links,
                         responses,
                         majority,
+                        voters,
                         exchange,
                         verdict,
                     )
@@ -364,9 +521,10 @@ class IncomingRequestProxy:
             )
             return None
 
-        canonical = self._response_for(
-            links, responses, self.config.canonical_instance
+        canonical_position = self._position_for(
+            links, self.config.canonical_instance
         )
+        canonical = responses[canonical_position]
         self.metrics.bytes_to_clients += len(canonical)
         with trace.span("respond"):
             client_writer.write(canonical)
@@ -375,6 +533,7 @@ class IncomingRequestProxy:
             except ConnectionClosed:
                 trace.set_verdict("client_closed")
                 return None
+        self._report_shadows(links, masked, canonical_position, exchange)
         self.metrics.latency.observe(time.monotonic() - started)
         if degraded:
             trace.set_verdict("degraded", "served on surviving majority")
@@ -397,15 +556,44 @@ class IncomingRequestProxy:
         if finish is not None:
             finish(state)
 
-    def _response_for(
-        self, links: list[_InstanceLink], responses: list[bytes], preferred_index: int
-    ) -> bytes:
-        """The response of the preferred original instance, or the first
-        surviving one if the preferred instance was quarantined."""
+    def _position_for(
+        self, links: list[_InstanceLink], preferred_index: int
+    ) -> int:
+        """The position of the preferred original instance, or of the
+        first surviving *voter* if the preferred one is gone or shadow."""
+        fallback: int | None = None
         for position, link in enumerate(links):
+            if link.shadow:
+                continue
             if link.index == preferred_index:
-                return responses[position]
-        return responses[0]
+                return position
+            if fallback is None:
+                fallback = position
+        return fallback if fallback is not None else 0
+
+    def _report_shadows(
+        self,
+        links: list[_InstanceLink],
+        masked: list[tuple[bytes, ...]],
+        reference_position: int,
+        exchange: int,
+    ) -> None:
+        """Compare each shadow link's masked stream against the served
+        response's and report clean/dirty to the supervisor."""
+        if self.directory is None:
+            return
+        for position, link in enumerate(links):
+            if not link.shadow or position >= len(masked):
+                continue
+            clean = masked[position] == masked[reference_position]
+            if not clean:
+                self.events.record(
+                    ev.RECOVERY_STATE,
+                    f"instance {link.index}: dirty shadow exchange",
+                    proxy=self.name,
+                    exchange=exchange,
+                )
+            self.directory.report_shadow(link.index, clean)
 
     async def _gather_responses(
         self,
@@ -423,7 +611,9 @@ class IncomingRequestProxy:
         instance cannot hold the whole exchange hostage: with degraded
         quorum on, the failed instances are dropped and the surviving
         majority's responses are returned; otherwise the exchange ends in
-        a timeout/instance_error block exactly as before.
+        a timeout/instance_error block exactly as before.  A failed
+        *shadow* read never affects the exchange: the shadow link is
+        dropped silently and the supervisor notified.
 
         Returns ``(responses, surviving links, degraded)`` or ``None`` to
         block the exchange.
@@ -449,6 +639,22 @@ class IncomingRequestProxy:
                 *(read_bounded(link, collect) for link in links)
             )
 
+        shadow_failed = [
+            position
+            for position, result in enumerate(results)
+            if isinstance(result, _ReadFailure) and links[position].shadow
+        ]
+        for position in shadow_failed:
+            self._report_failure(
+                links[position].index,
+                f"shadow read failed: {results[position].detail}",
+            )
+            await close_writer(links[position].writer)
+        if shadow_failed:
+            keep = [p for p in range(len(links)) if p not in shadow_failed]
+            links = [links[p] for p in keep]
+            results = [results[p] for p in keep]
+
         failed = [
             position
             for position, result in enumerate(results)
@@ -457,7 +663,9 @@ class IncomingRequestProxy:
         if not failed:
             return list(results), links, degraded
         survivors = [position for position in range(len(links)) if position not in failed]
-        if self.config.degradation_allowed(len(links), len(survivors)):
+        voter_total = sum(1 for link in links if not link.shadow)
+        voter_survivors = sum(1 for p in survivors if not links[p].shadow)
+        if self.config.degradation_allowed(voter_total, voter_survivors):
             if not degraded:
                 self.metrics.degraded_exchanges += 1
             for position in failed:
@@ -467,6 +675,9 @@ class IncomingRequestProxy:
                     f"{results[position].detail}",
                     proxy=self.name,
                     exchange=exchange,
+                )
+                self._report_failure(
+                    links[position].index, results[position].detail
                 )
                 await close_writer(links[position].writer)
             return (
@@ -502,6 +713,7 @@ class IncomingRequestProxy:
                 proxy=self.name,
                 exchange=exchange,
             )
+            self._report_failure(link.index, why)
             await close_writer(link.writer)
 
     def _analyse(
@@ -513,12 +725,17 @@ class IncomingRequestProxy:
     ) -> tuple[str | None, list[tuple[bytes, ...]]]:
         """Tokenize, capture ephemeral state, de-noise, and diff.
 
-        Returns ``(divergence reason or None, per-instance masked token
-        tuples)`` — the masked tuples feed majority voting.
+        Returns ``(divergence reason or None, per-link masked token
+        tuples)``.  Only *voter* streams feed the diff; masked tuples are
+        produced for every link so shadow comparison can reuse them.
         """
         with trace.span("denoise") as denoise:
             raw_tokens = [self.protocol.tokenize(response) for response in responses]
-            if self.config.ephemeral_state and len(links) == len(self.instances):
+            if (
+                self.config.ephemeral_state
+                and len(links) == len(self.instances)
+                and not any(link.shadow for link in links)
+            ):
                 captured = self._ephemeral.capture(raw_tokens)
                 if captured:
                     self.metrics.ephemeral_tokens_captured += len(captured)
@@ -540,7 +757,12 @@ class IncomingRequestProxy:
                     exchange=exchange,
                 )
         with trace.span("diff") as diff_span:
-            result = diff_tokens(tokens, mask)
+            voter_tokens = [
+                tokens[position]
+                for position, link in enumerate(links)
+                if not link.shadow
+            ]
+            result = diff_tokens(voter_tokens, mask)
             masked_tuples = [
                 tuple(mask.mask_token(i, token) for i, token in enumerate(stream))
                 for stream in tokens
@@ -574,18 +796,22 @@ class IncomingRequestProxy:
         links: list[_InstanceLink],
         responses: list[bytes],
         majority: list[int],
+        voters: list[int],
         exchange: int,
         reason: str,
     ) -> list[_InstanceLink] | None:
         """Forward the majority's response; optionally quarantine the rest.
 
+        ``majority`` and ``voters`` are positions into ``links``; shadow
+        links are never part of either and always survive a vote.
+
         Returns the (possibly reduced) link list, or ``None`` if the
         client connection died.
         """
-        minority = [p for p in range(len(links)) if p not in majority]
+        minority = [p for p in voters if p not in majority]
         self.events.record(
             ev.VOTE_OVERRIDE,
-            f"{len(majority)}/{len(links)} agreed ({reason}); "
+            f"{len(majority)}/{len(voters)} agreed ({reason}); "
             f"outvoted instances: {[links[p].index for p in minority]}",
             proxy=self.name,
             exchange=exchange,
@@ -599,6 +825,7 @@ class IncomingRequestProxy:
         except ConnectionClosed:
             return None
         if self.config.quarantine_minority:
+            drop = set()
             for position in minority:
                 link = links[position]
                 self.events.record(
@@ -607,8 +834,15 @@ class IncomingRequestProxy:
                     proxy=self.name,
                     exchange=exchange,
                 )
+                self._report_failure(
+                    link.index, f"outvoted: {reason}", fatal=True
+                )
                 await close_writer(link.writer)
-            links = [links[p] for p in majority]
+                drop.add(position)
+            links = [
+                link for position, link in enumerate(links)
+                if position not in drop
+            ]
         return links
 
     # ------------------------------------------------------------ blocking

@@ -134,6 +134,10 @@ class ProxyMetrics:
             "rddr_degraded_exchanges_total",
             "Exchanges served on a degraded quorum after dropping instances.",
         ),
+        "exchanges_shed": (
+            "rddr_exchanges_shed_total",
+            "Exchanges rejected by admission control under overload.",
+        ),
         "noise_filtered_tokens": (
             "rddr_noise_filtered_tokens_total",
             "Response tokens masked by the de-noising filter pair.",

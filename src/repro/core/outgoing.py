@@ -33,7 +33,8 @@ from repro.core.metrics import ProxyMetrics
 from repro.core.variance import VarianceMasker
 from repro.obs import ExchangeTrace, Observer, active_observer
 from repro.protocols.base import ProtocolModule, resolve
-from repro.transport.retry import open_connection_retry
+from repro.recovery.breaker import CircuitBreaker
+from repro.transport.retry import CircuitOpenError, open_connection_retry
 from repro.transport.server import ServerHandle, start_server
 from repro.transport.streams import ConnectionClosed, close_writer, drain_write
 
@@ -71,6 +72,7 @@ class OutgoingRequestProxy:
         event_log: EventLog | None = None,
         metrics: ProxyMetrics | None = None,
         observer: Observer | None = None,
+        breaker: CircuitBreaker | None = None,
     ) -> None:
         if instance_count < 2:
             raise ValueError("N-versioning requires at least 2 instances")
@@ -99,6 +101,19 @@ class OutgoingRequestProxy:
         self._groups: list[_ConnectionGroup] = []
         self._next_group_index: list[int] = [0] * instance_count
         self._exchange_counter = 0
+        if breaker is None and self.config.circuit_breaker:
+            breaker = CircuitBreaker(
+                failure_threshold=self.config.breaker_failure_threshold,
+                reset_timeout=self.config.breaker_reset_timeout,
+            )
+        self.breaker = breaker
+        if self.breaker is not None and self.breaker.on_transition is None:
+            self.breaker.on_transition = self._breaker_transition
+
+    def _breaker_transition(self, old: str, new: str) -> None:
+        self.events.record(
+            ev.CIRCUIT, f"backend breaker {old} -> {new}", proxy=self.name
+        )
 
     # ------------------------------------------------------------ lifecycle
 
@@ -126,6 +141,18 @@ class OutgoingRequestProxy:
     async def close(self) -> None:
         for handle in self.handles:
             await handle.close()
+
+    def reset_instance(self, index: int) -> None:
+        """Realign a respawned instance's connection grouping.
+
+        A freshly respawned instance restarts its backend connections
+        from scratch, so its k-th connection no longer corresponds to its
+        peers' k-th.  Aligning its next-group counter with the most
+        advanced peer makes its next connection land in the same group as
+        the peers' *next* connections; older groups still waiting for it
+        resolve through the group-formation timeout (degrade or teardown).
+        """
+        self._next_group_index[index] = max(self._next_group_index)
 
     # ------------------------------------------------------------ grouping
 
@@ -215,7 +242,9 @@ class OutgoingRequestProxy:
         states = [self.protocol.new_connection_state() for _ in readers]
         backend_state = self.protocol.new_connection_state()
         try:
-            backend_reader, backend_writer = await open_connection_retry(*self.backend)
+            backend_reader, backend_writer = await open_connection_retry(
+                *self.backend, breaker=self.breaker
+            )
             while True:
                 trace = self.observer.begin_exchange(
                     proxy=self.name,
@@ -239,6 +268,12 @@ class OutgoingRequestProxy:
                     self.observer.finish_exchange(trace)
                 if stop:
                     return
+        except CircuitOpenError as error:
+            # Fast-fail: the backend breaker is open, so the group is torn
+            # down immediately instead of burning the full retry budget.
+            self.events.record(
+                ev.CIRCUIT, f"group {group_index}: {error}", proxy=self.name
+            )
         except (ConnectionClosed, ConnectionError, asyncio.TimeoutError) as error:
             self.events.record(
                 ev.INSTANCE_ERROR, f"group {group_index}: {error}", proxy=self.name

@@ -101,8 +101,14 @@ class RddrDeployment:
         protocol: str | ProtocolModule | None = None,
         server_ssl: ssl.SSLContext | None = None,
         instance_ssl: ssl.SSLContext | None = None,
+        directory=None,
     ) -> IncomingRequestProxy:
-        """Start the client-facing proxy over the N running instances."""
+        """Start the client-facing proxy over the N running instances.
+
+        ``directory`` (an :class:`repro.recovery.InstanceDirectory`)
+        makes the instance set dynamic: the proxy re-snapshots it between
+        exchanges, which is how recovered instances warm-rejoin.
+        """
         if self.incoming is not None:
             raise ValueError("incoming proxy already started")
         self.incoming = IncomingRequestProxy(
@@ -117,6 +123,7 @@ class RddrDeployment:
             observer=self.observer,
             server_ssl=server_ssl,
             instance_ssl=instance_ssl,
+            directory=directory,
         )
         await self.incoming.start()
         return self.incoming

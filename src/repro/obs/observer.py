@@ -74,6 +74,26 @@ class Observer:
             "Structured events recorded, by kind.",
             ("proxy", "kind"),
         )
+        self._live_instances = self.registry.gauge(
+            "rddr_live_instances",
+            "Instances currently LIVE (full voting members).",
+            ("service",),
+        )
+        self._quarantined_instances = self.registry.gauge(
+            "rddr_quarantined_instances",
+            "Instances currently quarantined or restarting.",
+            ("service",),
+        )
+        self._recoveries = self.registry.counter(
+            "rddr_recoveries_total",
+            "Instances warm-rejoined after quarantine and respawn.",
+            ("service",),
+        )
+        self._recovery_transitions = self.registry.counter(
+            "rddr_recovery_transitions_total",
+            "Recovery state-machine transitions, by target state.",
+            ("service", "to"),
+        )
 
     # ---------------------------------------------------------- factories
 
@@ -116,6 +136,34 @@ class Observer:
 
     def event_recorded(self, event) -> None:
         self._events.labels(proxy=event.proxy, kind=event.kind).inc()
+
+    # ----------------------------------------------------------- recovery
+
+    def record_recovery_transition(
+        self, *, service: str, instance: int, old: str, new: str, reason: str = ""
+    ) -> dict:
+        """Account a recovery state-machine transition and tag it into the
+        trace sink, so a quarantine → rejoin timeline reads inline with
+        the exchange traces it interleaves with."""
+        self._recovery_transitions.labels(service=service, to=new).inc()
+        record = {
+            "type": "recovery",
+            "service": service,
+            "instance": instance,
+            "from": old,
+            "to": new,
+            "reason": reason,
+            "started_wall": time.time(),
+        }
+        self.sink.emit(record)
+        return record
+
+    def set_instance_gauges(self, *, service: str, live: int, quarantined: int) -> None:
+        self._live_instances.labels(service=service).set(float(live))
+        self._quarantined_instances.labels(service=service).set(float(quarantined))
+
+    def recovery_completed(self, *, service: str) -> None:
+        self._recoveries.labels(service=service).inc()
 
     # ------------------------------------------------------------ exports
 

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import asyncio
+import contextlib
 
 from repro.orchestrator.resources import (
     DeploymentSpec,
@@ -32,6 +33,10 @@ class Cluster:
         self._deployments: dict[str, DeploymentSpec] = {}
         self._pods: dict[str, list[Pod]] = {}
         self._services: dict[str, ServiceSpec] = {}
+        #: Free-form per-pod health annotations (deployment -> index ->
+        #: state string), written by a recovery supervisor; scale-down
+        #: prefers terminating annotated-unhealthy pods.
+        self._pod_health: dict[str, dict[int, str]] = {}
 
     # ------------------------------------------------------------- apply
 
@@ -101,25 +106,107 @@ class Cluster:
             )
         return addresses[0]
 
+    # ------------------------------------------------------------- health
+
+    def set_pod_health(self, deployment: str, index: int, state: str) -> None:
+        """Annotate one pod's health (e.g. the recovery supervisor's
+        LIVE/SUSPECT/QUARANTINED states); consumed by :meth:`scale`."""
+        self._pod_health.setdefault(deployment, {})[index] = state
+
+    def pod_health(self, deployment: str, index: int) -> str | None:
+        return self._pod_health.get(deployment, {}).get(index)
+
     # -------------------------------------------------------------- scale
 
-    async def scale(self, deployment: str, replicas: int) -> list[Pod]:
-        """Grow or shrink a homogeneous deployment to ``replicas`` pods."""
+    async def scale(
+        self, deployment: str, replicas: int, *, drain_deadline: float = 1.0
+    ) -> list[Pod]:
+        """Grow or shrink a homogeneous deployment to ``replicas`` pods.
+
+        Scaling down prefers terminating pods annotated QUARANTINED (then
+        SUSPECT) over healthy ones, and gives each terminating pod up to
+        ``drain_deadline`` seconds to finish in-flight exchanges before
+        its close is abandoned.
+        """
         spec = self._deployments.get(deployment)
         if spec is None:
             raise ClusterError(f'unknown deployment "{deployment}"')
         pods = self._pods[deployment]
         while len(pods) > replicas:
-            pod = pods.pop()
-            await pod.runtime.close()
+            pod = self._pick_scale_down(deployment, pods)
+            pods.remove(pod)
+            self._pod_health.get(deployment, {}).pop(pod.index, None)
+            await self._drain_pod(pod, drain_deadline)
         template = spec.factories[0]
         while len(pods) < replicas:
-            await self._start_pod(spec, len(pods), template)
+            index = max((pod.index for pod in pods), default=-1) + 1
+            await self._start_pod(spec, index, template)
         return list(pods)
+
+    def _pick_scale_down(self, deployment: str, pods: list[Pod]) -> Pod:
+        health = self._pod_health.get(deployment, {})
+        for preferred in ("QUARANTINED", "SUSPECT"):
+            candidates = [pod for pod in pods if health.get(pod.index) == preferred]
+            if candidates:
+                return candidates[-1]
+        return pods[-1]
+
+    @staticmethod
+    async def _drain_pod(pod: Pod, drain_deadline: float) -> None:
+        """Close a pod, bounding the drain of its in-flight handlers.
+
+        On Python 3.12+ ``Server.wait_closed()`` waits for live handlers,
+        so an unbounded close of a pod with long-lived proxy links would
+        hang; past the deadline the close is cancelled and the pod's
+        sockets die with the event loop's usual cleanup.
+        """
+        with contextlib.suppress(asyncio.TimeoutError):
+            await asyncio.wait_for(pod.runtime.close(), timeout=drain_deadline)
+
+    async def restart_pod(
+        self, deployment: str, index: int, *, drain_deadline: float = 1.0
+    ) -> Pod:
+        """Terminate and respawn one pod through its original factory.
+
+        The replacement keeps the pod's deployment index and name but
+        binds a freshly allocated port; the caller (normally a recovery
+        supervisor) is responsible for republishing the new address to
+        whatever dials the pod.
+        """
+        spec = self._deployments.get(deployment)
+        if spec is None:
+            raise ClusterError(f'unknown deployment "{deployment}"')
+        pods = self._pods[deployment]
+        position = next(
+            (p for p, pod in enumerate(pods) if pod.index == index), None
+        )
+        if position is None:
+            raise ClusterError(f'deployment "{deployment}" has no pod {index}')
+        await self._drain_pod(pods[position], drain_deadline)
+        factory = spec.factories[min(index, len(spec.factories) - 1)]
+        port = self.ports.allocate()
+        context = PodContext(
+            deployment=spec.name,
+            index=index,
+            host=self.host,
+            port=port,
+            env=dict(spec.env),
+        )
+        runtime = await factory(context)
+        pod = Pod(
+            name=f"{spec.name}-{index}",
+            deployment=spec.name,
+            index=index,
+            address=runtime.address,
+            runtime=runtime,
+        )
+        pods[position] = pod
+        return pod
 
     async def delete_deployment(self, deployment: str) -> None:
         pods = self._pods.pop(deployment, [])
         self._deployments.pop(deployment, None)
+        self._pod_health.pop(deployment, None)
         for service in [s for s, spec in self._services.items() if spec.deployment == deployment]:
             del self._services[service]
         await asyncio.gather(

@@ -24,6 +24,7 @@ from repro.faults import FaultProxy, FaultSchedule
 from repro.obs import Observer
 from repro.orchestrator.cluster import Cluster
 from repro.orchestrator.resources import DeploymentSpec, Pod, PodContext, PodFactory
+from repro.recovery import InstanceDirectory, RecoverySupervisor
 
 Address = tuple[str, int]
 
@@ -36,8 +37,17 @@ class NVersionedService:
     rddr: RddrDeployment
     pods: list[Pod]
     #: Per-instance fault shims, present when the service was deployed
-    #: with a ``fault_schedule`` (chaos/robustness experiments).
+    #: with a ``fault_schedule`` (chaos/robustness experiments).  The
+    #: recovery supervisor replaces entries in place when it respawns a
+    #: pod; the replaced shims move to ``retired_fault_proxies`` so their
+    #: fault records survive.
     fault_proxies: list[FaultProxy] = field(default_factory=list)
+    retired_fault_proxies: list[FaultProxy] = field(default_factory=list)
+    #: Present when the service was deployed with
+    #: ``config.recovery_enabled``: the shared instance directory and the
+    #: supervisor driving quarantine → respawn → warm rejoin.
+    directory: InstanceDirectory | None = None
+    supervisor: RecoverySupervisor | None = None
 
     @property
     def address(self) -> Address:
@@ -46,15 +56,24 @@ class NVersionedService:
 
     def fault_records(self) -> list:
         """The deployment-wide injected-fault audit trail, in firing order
-        per instance (concatenated instance-major)."""
+        per instance (concatenated instance-major; shims retired by pod
+        respawns contribute their records first)."""
         return [
-            record for shim in self.fault_proxies for record in shim.records
+            record
+            for shim in (*self.retired_fault_proxies, *self.fault_proxies)
+            for record in shim.records
         ]
 
     async def close(self) -> None:
-        await self.rddr.close()
-        for shim in self.fault_proxies:
+        # Shutdown order matters: stop the supervisor first (so no
+        # respawn can race the teardown and dial closing pods), then the
+        # fault shims (so nothing keeps piping bytes into the proxies),
+        # and only then the proxies themselves.
+        if self.supervisor is not None:
+            await self.supervisor.close()
+        for shim in (*self.fault_proxies, *self.retired_fault_proxies):
             await shim.close()
+        await self.rddr.close()
 
 
 def _with_backend_env(factory: PodFactory, rddr: RddrDeployment) -> PodFactory:
@@ -100,6 +119,9 @@ async def deploy_nversioned(
     config = config or RddrConfig()
     rddr = RddrDeployment(name, config, observer=observer)
     fault_proxies: list[FaultProxy] = []
+    retired_fault_proxies: list[FaultProxy] = []
+    directory: InstanceDirectory | None = None
+    supervisor: RecoverySupervisor | None = None
     try:
         for backend_name, address in (backends or {}).items():
             await rddr.add_outgoing_proxy(
@@ -127,12 +149,36 @@ async def deploy_nversioned(
                 await shim.start()
                 fault_proxies.append(shim)
             instance_addresses = [shim.address for shim in fault_proxies]
-        await rddr.start_incoming_proxy(instance_addresses)
+        if config.recovery_enabled:
+            directory = InstanceDirectory(instance_addresses)
+        await rddr.start_incoming_proxy(instance_addresses, directory=directory)
+        if directory is not None:
+            supervisor = RecoverySupervisor(
+                cluster,
+                name,
+                directory,
+                config,
+                events=rddr.events,
+                observer=rddr.observer,
+                fault_schedule=fault_schedule,
+                shims=fault_proxies,
+                retired_shims=retired_fault_proxies,
+                outgoing_proxies=list(rddr.outgoing.values()),
+            )
+            await supervisor.start()
     except Exception:
+        if supervisor is not None:
+            await supervisor.close()
         await rddr.close()
-        for shim in fault_proxies:
+        for shim in (*fault_proxies, *retired_fault_proxies):
             await shim.close()
         raise
     return NVersionedService(
-        name=name, rddr=rddr, pods=pods, fault_proxies=fault_proxies
+        name=name,
+        rddr=rddr,
+        pods=pods,
+        fault_proxies=fault_proxies,
+        retired_fault_proxies=retired_fault_proxies,
+        directory=directory,
+        supervisor=supervisor,
     )

@@ -1,0 +1,60 @@
+"""repro.recovery — self-healing instance lifecycle for RDDR deployments.
+
+PR 2 made degradation graceful (``degraded_quorum`` keeps serving on a
+surviving majority); this package makes it *reversible*, closing the loop
+the ROADMAP's long-running-deployment goal needs:
+
+* :class:`InstanceDirectory` — the versioned instance table proxies
+  snapshot between exchanges, so address swaps and mode changes (live /
+  shadow / out) are atomic with respect to exchange processing;
+* :class:`HealthMonitor` — periodic TCP + protocol-level liveness probes;
+* :class:`RecoverySupervisor` — the ``LIVE → SUSPECT → QUARANTINED →
+  RESTARTING → REJOINING → LIVE`` state machine: quarantine failing
+  instances, respawn them through the orchestrator, and warm-rejoin them
+  after K consecutive clean shadow exchanges;
+* :class:`CircuitBreaker` — closed/open/half-open fast failure for the
+  outgoing proxy's backend path;
+* :class:`AdmissionController` — bounded exchange concurrency with
+  fast-fail shedding on the incoming proxy.
+
+See ``docs/robustness.md`` for the state machine, tuning knobs, and the
+circuit-breaker / load-shedding semantics.
+"""
+
+from repro.recovery.admission import AdmissionController
+from repro.recovery.breaker import CircuitBreaker
+from repro.recovery.directory import (
+    MODE_LIVE,
+    MODE_OUT,
+    MODE_SHADOW,
+    DirectoryEntry,
+    InstanceDirectory,
+)
+from repro.recovery.monitor import HealthMonitor
+from repro.recovery.supervisor import (
+    LIVE,
+    QUARANTINED,
+    REJOINING,
+    RESTARTING,
+    STATES,
+    SUSPECT,
+    RecoverySupervisor,
+)
+
+__all__ = [
+    "AdmissionController",
+    "CircuitBreaker",
+    "DirectoryEntry",
+    "HealthMonitor",
+    "InstanceDirectory",
+    "RecoverySupervisor",
+    "LIVE",
+    "SUSPECT",
+    "QUARANTINED",
+    "RESTARTING",
+    "REJOINING",
+    "STATES",
+    "MODE_LIVE",
+    "MODE_SHADOW",
+    "MODE_OUT",
+]

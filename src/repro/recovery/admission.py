@@ -1,0 +1,80 @@
+"""Admission control for the incoming proxy: bounded concurrency + shed.
+
+Without a concurrency bound, overload degrades the worst possible way:
+every client's exchange slows down together until all of them time out.
+The :class:`AdmissionController` caps the number of exchanges in flight
+(``max_concurrent``); up to ``queue_limit`` further exchanges wait their
+turn in FIFO order, and anything beyond that is *shed* immediately — the
+caller serves a fast-fail response instead of stalling, so the clients
+that are admitted still see normal latency.
+
+``max_concurrent=None`` disables admission control entirely (the
+controller admits everything and keeps no state), which is the default
+so existing deployments are untouched.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+
+
+class AdmissionController:
+    """FIFO slot manager: admit, queue within bounds, or shed."""
+
+    def __init__(self, max_concurrent: int | None, queue_limit: int = 0) -> None:
+        if max_concurrent is not None and max_concurrent < 1:
+            raise ValueError("max_concurrent must be >= 1 (or None to disable)")
+        if queue_limit < 0:
+            raise ValueError("queue_limit must be >= 0")
+        self.max_concurrent = max_concurrent
+        self.queue_limit = queue_limit
+        self._active = 0
+        self._waiters: deque[asyncio.Future[None]] = deque()
+
+    @property
+    def active(self) -> int:
+        return self._active
+
+    @property
+    def waiting(self) -> int:
+        return len(self._waiters)
+
+    async def acquire(self) -> bool:
+        """Take an exchange slot; ``False`` means shed the exchange now."""
+        if self.max_concurrent is None:
+            return True
+        if self._active < self.max_concurrent:
+            self._active += 1
+            return True
+        if len(self._waiters) >= self.queue_limit:
+            return False
+        waiter: asyncio.Future[None] = asyncio.get_running_loop().create_future()
+        self._waiters.append(waiter)
+        try:
+            await waiter
+        except asyncio.CancelledError:
+            if waiter in self._waiters:
+                self._waiters.remove(waiter)
+            elif waiter.done() and not waiter.cancelled():
+                # The slot was handed to us in the same tick we were
+                # cancelled; pass it on so it is not lost.
+                self._release_slot()
+            raise
+        return True
+
+    def release(self) -> None:
+        """Return a slot, handing it to the oldest waiter if one exists."""
+        if self.max_concurrent is None:
+            return
+        if self._active < 1:
+            raise RuntimeError("release() without a matching acquire()")
+        self._release_slot()
+
+    def _release_slot(self) -> None:
+        while self._waiters:
+            waiter = self._waiters.popleft()
+            if not waiter.done():
+                waiter.set_result(None)  # the slot transfers; _active unchanged
+                return
+        self._active -= 1

@@ -1,0 +1,110 @@
+"""Circuit breaker for the outgoing proxy's backend path.
+
+A dead backend turns every connection group into a slow failure: each
+group redials the backend, burns the full ``open_connection_retry``
+budget, and only then tears down — so instances see seconds of stall per
+request instead of an immediate error.  The :class:`CircuitBreaker`
+converts that into fast failure: after ``failure_threshold`` consecutive
+failures the circuit *opens* and further attempts are rejected without
+touching the socket (``CircuitOpenError``); after ``reset_timeout``
+seconds one *half-open* trial attempt is let through, and its outcome
+decides whether the circuit closes again or re-opens for another
+timeout period.
+
+The breaker is deliberately transport-agnostic: anything with
+``allow()`` / ``record_success()`` / ``record_failure()`` can be passed
+to :func:`repro.transport.retry.open_connection_retry`.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+#: Numeric encoding for the ``rddr_circuit_state`` gauge.
+STATE_VALUES = {CLOSED: 0.0, OPEN: 1.0, HALF_OPEN: 2.0}
+
+
+class CircuitBreaker:
+    """Classic closed → open → half-open breaker with an injectable clock."""
+
+    def __init__(
+        self,
+        *,
+        failure_threshold: int = 5,
+        reset_timeout: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+        on_transition: Callable[[str, str], None] | None = None,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if reset_timeout < 0:
+            raise ValueError("reset_timeout must be >= 0")
+        self.failure_threshold = failure_threshold
+        self.reset_timeout = reset_timeout
+        self._clock = clock
+        #: Optional ``(old_state, new_state)`` hook; public so an owner
+        #: (e.g. the outgoing proxy) can attach event logging after
+        #: construction.
+        self.on_transition = on_transition
+        self._state = CLOSED
+        self._failures = 0
+        self._opened_at = 0.0
+        self._trial_in_flight = False
+
+    @property
+    def state(self) -> str:
+        return self._state
+
+    def _transition(self, new: str) -> None:
+        if new == self._state:
+            return
+        old, self._state = self._state, new
+        if self.on_transition is not None:
+            self.on_transition(old, new)
+
+    # ------------------------------------------------------------- protocol
+
+    def allow(self) -> bool:
+        """Whether an attempt may proceed right now.
+
+        In the open state, the first call after ``reset_timeout`` moves
+        the breaker to half-open and admits exactly one trial; further
+        calls are rejected until that trial reports its outcome.
+        """
+        if self._state == CLOSED:
+            return True
+        if self._state == OPEN:
+            if self._clock() - self._opened_at < self.reset_timeout:
+                return False
+            self._transition(HALF_OPEN)
+            self._trial_in_flight = True
+            return True
+        # Half-open: one trial at a time.
+        if self._trial_in_flight:
+            return False
+        self._trial_in_flight = True
+        return True
+
+    def record_success(self) -> None:
+        self._failures = 0
+        self._trial_in_flight = False
+        self._transition(CLOSED)
+
+    def record_failure(self) -> None:
+        self._trial_in_flight = False
+        if self._state == HALF_OPEN:
+            self._opened_at = self._clock()
+            self._transition(OPEN)
+            return
+        self._failures += 1
+        if self._failures >= self.failure_threshold:
+            self._opened_at = self._clock()
+            self._transition(OPEN)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<CircuitBreaker {self._state} failures={self._failures}>"

@@ -1,0 +1,118 @@
+"""The instance directory: where proxies learn about recovered instances.
+
+One :class:`InstanceDirectory` is shared between the
+:class:`~repro.recovery.supervisor.RecoverySupervisor` (the only writer)
+and the RDDR proxies (readers).  Each instance slot carries the address
+the proxy should dial and a *mode*:
+
+``live``
+    A full voting member.
+``shadow``
+    A rejoining instance: the incoming proxy replicates requests to it
+    and compares its responses, but its vote never influences the
+    verdict and its failures never degrade the exchange.
+``out``
+    Quarantined/restarting: the proxy must not dial it at all.
+
+Every mutation bumps ``version``; proxies snapshot the directory *between
+exchanges* and re-dial only when the version moved, so an address swap is
+atomic with respect to exchange processing — an exchange always runs
+against one consistent view.
+
+The reverse channel: proxies call :meth:`report_failure` when they drop
+an instance (connect failure, mid-exchange death, or a divergence
+vote-out with ``fatal=True``) and :meth:`report_shadow` with the outcome
+of every shadow comparison.  The supervisor subscribes to both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+Address = tuple[str, int]
+
+MODE_LIVE = "live"
+MODE_SHADOW = "shadow"
+MODE_OUT = "out"
+
+_MODES = (MODE_LIVE, MODE_SHADOW, MODE_OUT)
+
+
+@dataclass(frozen=True)
+class DirectoryEntry:
+    """One instance slot: where to dial it and how to treat it."""
+
+    index: int
+    address: Address
+    mode: str
+
+
+class InstanceDirectory:
+    """Versioned instance table with failure/shadow report channels."""
+
+    def __init__(self, addresses: list[Address]) -> None:
+        self._entries = [
+            DirectoryEntry(index=i, address=address, mode=MODE_LIVE)
+            for i, address in enumerate(addresses)
+        ]
+        self._version = 0
+        self._failure_listeners: list[Callable[[int, str, bool], None]] = []
+        self._shadow_listeners: list[Callable[[int, bool], None]] = []
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def version(self) -> int:
+        return self._version
+
+    def snapshot(self) -> tuple[int, list[DirectoryEntry]]:
+        """A consistent ``(version, entries)`` view for one exchange."""
+        return self._version, list(self._entries)
+
+    def entry(self, index: int) -> DirectoryEntry:
+        return self._entries[index]
+
+    # ------------------------------------------------------------- writes
+
+    def set_address(self, index: int, address: Address) -> None:
+        entry = self._entries[index]
+        if entry.address == address:
+            return
+        self._entries[index] = DirectoryEntry(
+            index=index, address=address, mode=entry.mode
+        )
+        self._version += 1
+
+    def set_mode(self, index: int, mode: str) -> None:
+        if mode not in _MODES:
+            raise ValueError(f"unknown directory mode {mode!r}")
+        entry = self._entries[index]
+        if entry.mode == mode:
+            return
+        self._entries[index] = DirectoryEntry(
+            index=index, address=entry.address, mode=mode
+        )
+        self._version += 1
+
+    # ------------------------------------------------------------ reports
+
+    def on_failure(self, listener: Callable[[int, str, bool], None]) -> None:
+        """Subscribe to proxy-reported instance failures."""
+        self._failure_listeners.append(listener)
+
+    def on_shadow(self, listener: Callable[[int, bool], None]) -> None:
+        """Subscribe to shadow-comparison outcomes (``clean`` flag)."""
+        self._shadow_listeners.append(listener)
+
+    def report_failure(self, index: int, reason: str, *, fatal: bool = False) -> None:
+        """A proxy dropped instance ``index``; ``fatal`` skips the
+        suspicion ladder (e.g. a divergence vote-out of a live instance)."""
+        for listener in self._failure_listeners:
+            listener(index, reason, fatal)
+
+    def report_shadow(self, index: int, clean: bool) -> None:
+        """The outcome of one shadow comparison for a rejoining instance."""
+        for listener in self._shadow_listeners:
+            listener(index, clean)

@@ -1,0 +1,118 @@
+"""Async health probing of instance endpoints.
+
+The :class:`HealthMonitor` runs one background task that, every
+``period`` seconds, probes the endpoints its ``targets`` callable
+returns and awaits ``report(index, ok)`` for each result.  A probe is a
+TCP connect bounded by ``timeout``; when the protocol module exposes a
+``liveness_request()`` (optional protocol extension returning the bytes
+of a harmless request), the probe additionally sends it and requires a
+response within the same timeout, catching instances that accept
+connections but no longer serve.
+
+The monitor carries no instance state of its own — suspicion counting
+and the LIVE → SUSPECT → QUARANTINED ladder live in the
+:class:`~repro.recovery.supervisor.RecoverySupervisor`, which owns the
+full state machine.  A custom ``probe`` coroutine can replace the
+built-in one (e.g. an application-level health endpoint).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+from typing import Awaitable, Callable
+
+from repro.protocols.base import ProtocolModule
+from repro.transport.streams import ConnectionClosed, close_writer, drain_write
+
+Address = tuple[str, int]
+
+#: ``await probe(reader, writer)`` on a fresh connection; return liveness.
+ProbeFn = Callable[[asyncio.StreamReader, asyncio.StreamWriter], Awaitable[bool]]
+
+
+class HealthMonitor:
+    """Periodic per-instance liveness probes feeding a report callback."""
+
+    def __init__(
+        self,
+        targets: Callable[[], list[tuple[int, Address]]],
+        report: Callable[[int, bool], Awaitable[None]],
+        *,
+        period: float = 0.25,
+        timeout: float = 1.0,
+        protocol: ProtocolModule | None = None,
+        probe: ProbeFn | None = None,
+    ) -> None:
+        if period <= 0:
+            raise ValueError("period must be > 0")
+        if timeout <= 0:
+            raise ValueError("timeout must be > 0")
+        self.targets = targets
+        self.report = report
+        self.period = period
+        self.timeout = timeout
+        self.protocol = protocol
+        self.probe = probe
+        self._task: asyncio.Task | None = None
+
+    # ------------------------------------------------------------ lifecycle
+
+    def start(self) -> None:
+        if self._task is not None:
+            raise RuntimeError("health monitor already started")
+        self._task = asyncio.ensure_future(self._run())
+
+    async def close(self) -> None:
+        if self._task is None:
+            return
+        task, self._task = self._task, None
+        task.cancel()
+        with contextlib.suppress(asyncio.CancelledError):
+            await task
+
+    # ------------------------------------------------------------- probing
+
+    async def _run(self) -> None:
+        while True:
+            await asyncio.sleep(self.period)
+            targets = self.targets()
+            if not targets:
+                continue
+            results = await asyncio.gather(
+                *(self.probe_once(address) for _, address in targets)
+            )
+            for (index, _), ok in zip(targets, results):
+                await self.report(index, ok)
+
+    async def probe_once(self, address: Address) -> bool:
+        """One probe: TCP connect, then the protocol liveness check."""
+        try:
+            reader, writer = await asyncio.wait_for(
+                asyncio.open_connection(*address), timeout=self.timeout
+            )
+        except (OSError, asyncio.TimeoutError):
+            return False
+        try:
+            return await asyncio.wait_for(
+                self._check(reader, writer), timeout=self.timeout
+            )
+        except (OSError, asyncio.TimeoutError, ConnectionError, ConnectionClosed):
+            return False
+        finally:
+            await close_writer(writer)
+
+    async def _check(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> bool:
+        if self.probe is not None:
+            return bool(await self.probe(reader, writer))
+        liveness = getattr(self.protocol, "liveness_request", None)
+        if liveness is None:
+            return True  # a successful connect is the whole probe
+        request = liveness()
+        writer.write(request)
+        await drain_write(writer)
+        state = self.protocol.new_connection_state()
+        response = await self.protocol.read_server_message(reader, state, request)
+        return bool(response)

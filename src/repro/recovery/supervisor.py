@@ -1,0 +1,311 @@
+"""The recovery supervisor: closing the degradation loop.
+
+PR 2's ``degraded_quorum`` keeps a deployment serving when instances die
+or diverge, but degradation was one-way: a dropped instance never came
+back, so redundancy bled away monotonically.  The
+:class:`RecoverySupervisor` drives each instance through
+
+::
+
+    LIVE → SUSPECT → QUARANTINED → RESTARTING → REJOINING → LIVE
+
+* **LIVE → SUSPECT** — a failed health probe (or a proxy-reported drop)
+  raises suspicion; a clean probe clears it.
+* **SUSPECT → QUARANTINED** — ``probe_failure_threshold`` consecutive
+  failures, or a *fatal* proxy report (a divergence vote-out of a live
+  instance), take the instance out of the directory so proxies stop
+  dialing it.
+* **QUARANTINED → RESTARTING** — the supervisor respawns the pod through
+  :meth:`Cluster.restart_pod` (same factory, fresh port) and, when the
+  deployment runs fault shims, re-interposes a fresh
+  :class:`~repro.faults.FaultProxy` in front of the new pod.
+* **RESTARTING → REJOINING** — the new address is published in the
+  :class:`~repro.recovery.directory.InstanceDirectory` in *shadow* mode:
+  the incoming proxy replicates to the instance and compares its
+  responses, but its vote cannot affect any verdict.
+* **REJOINING → LIVE** — after ``rejoin_clean_exchanges`` consecutive
+  clean, matching shadow exchanges the instance is promoted back to a
+  full voting member (``rddr_recoveries_total``).
+
+Every transition is recorded three ways: a ``recovery_state`` event in
+the deployment's event log, a ``type: "recovery"`` record in the trace
+sink (so the quarantine → rejoin timeline lines up with exchange
+traces), and the ``rddr_live_instances`` / ``rddr_quarantined_instances``
+gauges.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+
+from repro.core import events as ev
+from repro.core.config import RddrConfig
+from repro.core.events import EventLog
+from repro.faults import FaultProxy, FaultSchedule
+from repro.obs import Observer
+from repro.protocols.base import resolve
+from repro.recovery.directory import (
+    MODE_LIVE,
+    MODE_OUT,
+    MODE_SHADOW,
+    InstanceDirectory,
+)
+from repro.recovery.monitor import HealthMonitor, ProbeFn
+
+#: The per-instance recovery states.
+LIVE = "LIVE"
+SUSPECT = "SUSPECT"
+QUARANTINED = "QUARANTINED"
+RESTARTING = "RESTARTING"
+REJOINING = "REJOINING"
+
+STATES = (LIVE, SUSPECT, QUARANTINED, RESTARTING, REJOINING)
+
+#: States the health monitor keeps probing (the rest have no live address).
+_PROBED = frozenset({LIVE, SUSPECT, REJOINING})
+
+
+class RecoverySupervisor:
+    """Health-probes, quarantines, respawns, and warm-rejoins instances."""
+
+    def __init__(
+        self,
+        cluster,
+        deployment: str,
+        directory: InstanceDirectory,
+        config: RddrConfig,
+        *,
+        events: EventLog,
+        observer: Observer,
+        fault_schedule: FaultSchedule | None = None,
+        shims: list[FaultProxy] | None = None,
+        retired_shims: list[FaultProxy] | None = None,
+        outgoing_proxies: list | None = None,
+        probe: ProbeFn | None = None,
+    ) -> None:
+        self.cluster = cluster
+        self.deployment = deployment
+        self.directory = directory
+        self.config = config
+        self.events = events
+        self.observer = observer
+        self.fault_schedule = fault_schedule
+        self.shims = shims if shims is not None else []
+        self.retired_shims = retired_shims if retired_shims is not None else []
+        self.outgoing_proxies = outgoing_proxies or []
+        self.states = [LIVE] * len(directory)
+        self._fail_counts = [0] * len(directory)
+        self._clean_counts = [0] * len(directory)
+        self._rejoin_events: dict[int, asyncio.Event] = {}
+        self._recovery_tasks: dict[int, asyncio.Task] = {}
+        self._closed = False
+        self.monitor = HealthMonitor(
+            self._probe_targets,
+            self.probe_result,
+            period=config.probe_period,
+            timeout=config.probe_timeout,
+            protocol=resolve(config.protocol),
+            probe=probe,
+        )
+        directory.on_failure(self.instance_failed)
+        directory.on_shadow(self.shadow_result)
+        self._publish_gauges()
+
+    # ------------------------------------------------------------ lifecycle
+
+    async def start(self) -> "RecoverySupervisor":
+        self.monitor.start()
+        return self
+
+    async def close(self) -> None:
+        """Stop probing and abandon in-flight restarts (before the proxies
+        and pods go away, so a mid-restart close cannot dial the void)."""
+        if self._closed:
+            return
+        self._closed = True
+        await self.monitor.close()
+        tasks = list(self._recovery_tasks.values())
+        self._recovery_tasks.clear()
+        for task in tasks:
+            task.cancel()
+        for task in tasks:
+            with contextlib.suppress(asyncio.CancelledError):
+                await task
+
+    # ------------------------------------------------------------- queries
+
+    def state(self, index: int) -> str:
+        return self.states[index]
+
+    @property
+    def all_live(self) -> bool:
+        return all(state == LIVE for state in self.states)
+
+    def _probe_targets(self) -> list[tuple[int, tuple[str, int]]]:
+        return [
+            (index, self.directory.entry(index).address)
+            for index, state in enumerate(self.states)
+            if state in _PROBED
+        ]
+
+    # -------------------------------------------------------- transitions
+
+    def _set_state(self, index: int, new: str, reason: str) -> None:
+        old = self.states[index]
+        if old == new:
+            return
+        self.states[index] = new
+        self.events.record(
+            ev.RECOVERY_STATE,
+            f"instance {index}: {old} -> {new} ({reason})",
+            proxy=self.deployment,
+        )
+        self.observer.record_recovery_transition(
+            service=self.deployment,
+            instance=index,
+            old=old,
+            new=new,
+            reason=reason,
+        )
+        set_health = getattr(self.cluster, "set_pod_health", None)
+        if set_health is not None:
+            set_health(self.deployment, index, new)
+        self._publish_gauges()
+
+    def _publish_gauges(self) -> None:
+        live = sum(1 for state in self.states if state == LIVE)
+        quarantined = sum(
+            1 for state in self.states if state in (QUARANTINED, RESTARTING)
+        )
+        self.observer.set_instance_gauges(
+            service=self.deployment, live=live, quarantined=quarantined
+        )
+
+    # ------------------------------------------------------------- reports
+
+    async def probe_result(self, index: int, ok: bool) -> None:
+        if self._closed:
+            return
+        state = self.states[index]
+        if state not in _PROBED:
+            return
+        if ok:
+            self._fail_counts[index] = 0
+            if state == SUSPECT:
+                self._set_state(index, LIVE, "probe recovered")
+            return
+        self._fail_counts[index] += 1
+        if state == LIVE:
+            self._set_state(index, SUSPECT, "probe failed")
+        if self._fail_counts[index] >= self.config.probe_failure_threshold:
+            self._quarantine(index, f"{self._fail_counts[index]} failed probes")
+
+    def instance_failed(self, index: int, reason: str, fatal: bool) -> None:
+        """A proxy dropped this instance mid-exchange or voted it out."""
+        if self._closed or self.states[index] not in _PROBED:
+            return
+        if fatal:
+            self._quarantine(index, reason)
+            return
+        self._fail_counts[index] += 1
+        if self.states[index] == LIVE:
+            self._set_state(index, SUSPECT, reason)
+        if self._fail_counts[index] >= self.config.probe_failure_threshold:
+            self._quarantine(index, reason)
+
+    def shadow_result(self, index: int, clean: bool) -> None:
+        """One shadow-comparison outcome for a REJOINING instance."""
+        if self._closed or self.states[index] != REJOINING:
+            return
+        if clean:
+            self._clean_counts[index] += 1
+        else:
+            self._clean_counts[index] = 0
+        if self._clean_counts[index] >= self.config.rejoin_clean_exchanges:
+            event = self._rejoin_events.get(index)
+            if event is not None:
+                event.set()
+
+    # ------------------------------------------------------------ recovery
+
+    def _quarantine(self, index: int, reason: str) -> None:
+        self._fail_counts[index] = 0
+        self._set_state(index, QUARANTINED, reason)
+        self.directory.set_mode(index, MODE_OUT)
+        rejoin = self._rejoin_events.get(index)
+        if rejoin is not None:
+            rejoin.set()  # wake a waiting _recover loop; it re-checks state
+        if index not in self._recovery_tasks:
+            self._recovery_tasks[index] = asyncio.ensure_future(
+                self._recover(index)
+            )
+
+    async def _recover(self, index: int) -> None:
+        """Respawn the pod and warm-rejoin it; loops if it dies again."""
+        backoff = self.config.restart_backoff
+        try:
+            while not self._closed:
+                self._set_state(index, RESTARTING, "respawning pod")
+                try:
+                    published = await self._respawn(index)
+                except asyncio.CancelledError:
+                    raise
+                except Exception as error:
+                    self.events.record(
+                        ev.RECOVERY_STATE,
+                        f"instance {index}: restart failed: {error}",
+                        proxy=self.deployment,
+                    )
+                    await asyncio.sleep(backoff)
+                    backoff = min(backoff * 2, 1.0)
+                    continue
+                backoff = self.config.restart_backoff
+                for proxy in self.outgoing_proxies:
+                    proxy.reset_instance(index)
+                self.directory.set_address(index, published)
+                self._clean_counts[index] = 0
+                self._fail_counts[index] = 0
+                rejoined = self._rejoin_events[index] = asyncio.Event()
+                self._set_state(index, REJOINING, "shadow comparison")
+                self.directory.set_mode(index, MODE_SHADOW)
+                await rejoined.wait()
+                if (
+                    self.states[index] == REJOINING
+                    and self._clean_counts[index]
+                    >= self.config.rejoin_clean_exchanges
+                ):
+                    self._set_state(
+                        index,
+                        LIVE,
+                        f"{self.config.rejoin_clean_exchanges} clean shadow "
+                        "exchanges",
+                    )
+                    self.directory.set_mode(index, MODE_LIVE)
+                    self.observer.recovery_completed(service=self.deployment)
+                    return
+                # Re-quarantined while rejoining: go around again.
+        finally:
+            self._rejoin_events.pop(index, None)
+            self._recovery_tasks.pop(index, None)
+
+    async def _respawn(self, index: int) -> tuple[str, int]:
+        """Restart the pod (re-interposing any fault shim); returns the
+        address proxies should dial."""
+        pod = await self.cluster.restart_pod(self.deployment, index)
+        if self.fault_schedule is None or index >= len(self.shims):
+            return pod.address
+        old = self.shims[index]
+        shim = FaultProxy(
+            pod.address,
+            self.fault_schedule,
+            instance=index,
+            protocol=self.config.protocol,
+            name=f"{self.deployment}-fault-{index}",
+            observer=self.observer,
+        )
+        await shim.start()
+        self.shims[index] = shim
+        self.retired_shims.append(old)
+        await old.close()
+        return shim.address

@@ -14,6 +14,7 @@ provides the small set of primitives they share:
 
 from repro.transport.ports import PortAllocator, allocate_port
 from repro.transport.retry import (
+    CircuitOpenError,
     ConnectHook,
     current_connect_hook,
     install_connect_hook,
@@ -33,6 +34,7 @@ from repro.transport.tls import client_ssl_context, server_ssl_context
 __all__ = [
     "PortAllocator",
     "allocate_port",
+    "CircuitOpenError",
     "ConnectHook",
     "current_connect_hook",
     "install_connect_hook",

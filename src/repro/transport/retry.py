@@ -17,11 +17,25 @@ import asyncio
 import contextlib
 import contextvars
 import ssl
-from typing import Awaitable, Callable, Iterator
+from typing import Awaitable, Callable, Iterator, Protocol
+
+
+class SupportsBreaker(Protocol):
+    """The circuit-breaker surface the transport layer relies on."""
+
+    def allow(self) -> bool: ...
+
+    def record_success(self) -> None: ...
+
+    def record_failure(self) -> None: ...
 
 #: ``await hook(host, port, attempt)`` before each connection attempt; may
 #: sleep, or raise ``ConnectionRefusedError``/``OSError`` to fail the attempt.
 ConnectHook = Callable[[str, int, int], Awaitable[None]]
+
+
+class CircuitOpenError(ConnectionError):
+    """The endpoint's circuit breaker is open; no attempt was made."""
 
 _CONNECT_HOOK: contextvars.ContextVar[ConnectHook | None] = contextvars.ContextVar(
     "repro_transport_connect_hook", default=None
@@ -52,13 +66,20 @@ async def open_connection_retry(
     max_delay: float = 0.25,
     ssl_context: ssl.SSLContext | None = None,
     server_hostname: str | None = None,
+    breaker: "SupportsBreaker | None" = None,
 ) -> tuple[asyncio.StreamReader, asyncio.StreamWriter]:
     """Open a stream connection, retrying on refusal during service startup.
 
     Raises the final ``ConnectionError`` if the service never comes up.
+    With a ``breaker`` (anything satisfying :class:`SupportsBreaker`, e.g.
+    :class:`repro.recovery.CircuitBreaker`), an open circuit fails fast
+    with :class:`CircuitOpenError` before any socket work, and the final
+    outcome of the retry loop is reported back to the breaker.
     """
     if attempts < 1:
         raise ValueError("attempts must be >= 1")
+    if breaker is not None and not breaker.allow():
+        raise CircuitOpenError(f"circuit open for {host}:{port}")
     delay = initial_delay
     last_error: Exception | None = None
     hook = _CONNECT_HOOK.get()
@@ -67,16 +88,23 @@ async def open_connection_retry(
             if hook is not None:
                 await hook(host, port, attempt)
             if ssl_context is not None:
-                return await asyncio.open_connection(
+                connection = await asyncio.open_connection(
                     host, port, ssl=ssl_context, server_hostname=server_hostname or host
                 )
-            return await asyncio.open_connection(host, port)
+            else:
+                connection = await asyncio.open_connection(host, port)
         except (ConnectionRefusedError, OSError) as exc:
             last_error = exc
             if attempt == attempts - 1:
                 break
             await asyncio.sleep(delay)
             delay = min(delay * 2, max_delay)
+        else:
+            if breaker is not None:
+                breaker.record_success()
+            return connection
+    if breaker is not None:
+        breaker.record_failure()
     raise ConnectionError(
         f"could not connect to {host}:{port} after {attempts} attempts"
     ) from last_error

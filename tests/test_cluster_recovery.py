@@ -1,0 +1,148 @@
+"""Cluster lifecycle operations backing the recovery subsystem:
+``restart_pod`` and health-aware, drain-bounded ``scale``."""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+import pytest
+
+from repro.apps.echo import EchoServer
+from repro.orchestrator import Cluster, ClusterError, DeploymentSpec
+from repro.transport.retry import open_connection_retry
+from repro.transport.server import start_server
+from repro.transport.streams import close_writer, drain_write
+from tests.helpers import run
+
+
+async def _echo_factory(ctx):
+    return await EchoServer(
+        host=ctx.host, port=ctx.port, tag=f"i{ctx.index}"
+    ).start()
+
+
+async def _probe(address) -> bytes:
+    reader, writer = await open_connection_retry(*address, attempts=2)
+    try:
+        writer.write(b"ping\n")
+        await writer.drain()
+        return await asyncio.wait_for(reader.readline(), 2.0)
+    finally:
+        await close_writer(writer)
+
+
+class _SlowCloseRuntime:
+    """A pod runtime whose close drains 'in-flight work' for far longer
+    than any reasonable deadline."""
+
+    def __init__(self, handle) -> None:
+        self.handle = handle
+        self.address = handle.address
+
+    async def close(self) -> None:
+        try:
+            await asyncio.sleep(10.0)
+        finally:
+            await self.handle.close()
+
+
+async def _slow_close_factory(ctx):
+    async def serve(reader, writer):
+        data = await reader.readline()
+        writer.write(data)
+        await drain_write(writer)
+
+    handle = await start_server(serve, ctx.host, ctx.port, name="slow-close")
+    return _SlowCloseRuntime(handle)
+
+
+class TestRestartPod:
+    def test_restart_keeps_identity_but_moves_port(self):
+        async def main():
+            async with Cluster() as cluster:
+                spec = DeploymentSpec(name="svc", factories=[_echo_factory] * 3)
+                await cluster.apply_deployment(spec)
+                before = cluster.pods("svc")[1]
+                old_address = before.address
+
+                after = await cluster.restart_pod("svc", 1)
+                assert after.name == "svc-1" and after.index == 1
+                assert after.address != old_address
+                assert cluster.pods("svc")[1] is after
+                # The old port refuses; the new pod serves (same factory,
+                # so the per-index tag proves the index carried over).
+                with pytest.raises(ConnectionError):
+                    await open_connection_retry(*old_address, attempts=1)
+                assert await _probe(after.address) == b"ping [i1]\n"
+
+        run(main())
+
+    def test_restart_unknown_pod_or_deployment(self):
+        async def main():
+            async with Cluster() as cluster:
+                with pytest.raises(ClusterError):
+                    await cluster.restart_pod("ghost", 0)
+                spec = DeploymentSpec(name="svc", factories=[_echo_factory] * 2)
+                await cluster.apply_deployment(spec)
+                with pytest.raises(ClusterError):
+                    await cluster.restart_pod("svc", 9)
+
+        run(main())
+
+
+class TestHealthAwareScale:
+    def test_scale_down_prefers_quarantined_pods(self):
+        async def main():
+            async with Cluster() as cluster:
+                spec = DeploymentSpec(name="svc", factories=[_echo_factory] * 3)
+                await cluster.apply_deployment(spec)
+                cluster.set_pod_health("svc", 1, "QUARANTINED")
+                remaining = await cluster.scale("svc", 2)
+                assert [pod.index for pod in remaining] == [0, 2]
+                assert cluster.pod_health("svc", 1) is None
+                for pod in remaining:
+                    assert await _probe(pod.address) == f"ping [i{pod.index}]\n".encode()
+
+        run(main())
+
+    def test_scale_down_prefers_suspect_over_healthy(self):
+        async def main():
+            async with Cluster() as cluster:
+                spec = DeploymentSpec(name="svc", factories=[_echo_factory] * 3)
+                await cluster.apply_deployment(spec)
+                cluster.set_pod_health("svc", 0, "SUSPECT")
+                cluster.set_pod_health("svc", 2, "LIVE")
+                remaining = await cluster.scale("svc", 2)
+                assert [pod.index for pod in remaining] == [1, 2]
+
+        run(main())
+
+    def test_scale_up_after_removal_allocates_unique_index(self):
+        async def main():
+            async with Cluster() as cluster:
+                spec = DeploymentSpec(name="svc", factories=[_echo_factory] * 3)
+                await cluster.apply_deployment(spec)
+                cluster.set_pod_health("svc", 1, "QUARANTINED")
+                await cluster.scale("svc", 2)  # indices {0, 2} remain
+                grown = await cluster.scale("svc", 3)
+                indices = [pod.index for pod in grown]
+                names = [pod.name for pod in grown]
+                assert indices == [0, 2, 3]  # never reuses a removed index
+                assert len(set(names)) == 3
+
+        run(main())
+
+    def test_drain_deadline_bounds_a_stuck_close(self):
+        async def main():
+            async with Cluster() as cluster:
+                spec = DeploymentSpec(
+                    name="svc", factories=[_slow_close_factory] * 2
+                )
+                await cluster.apply_deployment(spec)
+                started = time.monotonic()
+                remaining = await cluster.scale("svc", 1, drain_deadline=0.2)
+                assert time.monotonic() - started < 2.0
+                assert len(remaining) == 1
+
+        run(main())

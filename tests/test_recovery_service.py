@@ -1,0 +1,333 @@
+"""End-to-end self-healing recovery against cluster-managed deployments.
+
+The acceptance scenario for the recovery subsystem: with degraded quorum
+on and one of N=3 instances killed mid-session, the service keeps
+serving on 2/3, the supervisor respawns the dead instance, warm-rejoins
+it after K consecutive clean shadow exchanges, and a *subsequent*
+divergence in the rejoined instance is again detected and quarantined —
+all asserted from the trace sink and the instance gauges.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.core import events as ev
+from repro.core.config import RddrConfig
+from repro.orchestrator import Cluster, deploy_nversioned
+from repro.recovery import LIVE, QUARANTINED, REJOINING, RESTARTING, SUSPECT
+from repro.transport.retry import open_connection_retry
+from repro.transport.server import start_server
+from repro.transport.streams import close_writer, drain_write
+from tests.helpers import run
+
+
+class _FlaggedEcho:
+    """Echo pod whose divergence is switchable at runtime: when
+    ``flags["evil"]`` holds this pod's index, its responses grow a marker
+    (so a *rejoined* instance can be made to diverge on demand).  Lines
+    starting with ``slow`` are served after ``flags.get("delay", 0)``
+    seconds (to hold an admission slot open)."""
+
+    def __init__(self, host: str, port: int, index: int, flags: dict) -> None:
+        self.host = host
+        self.port = port
+        self.index = index
+        self.flags = flags
+        self.handle = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self.handle.address
+
+    async def start(self) -> "_FlaggedEcho":
+        self.handle = await start_server(
+            self._serve, self.host, self.port, name=f"flagged-{self.index}"
+        )
+        return self
+
+    async def close(self) -> None:
+        if self.handle is not None:
+            await self.handle.close()
+
+    async def _serve(self, reader, writer) -> None:
+        while True:
+            try:
+                line = await reader.readuntil(b"\n")
+            except (asyncio.IncompleteReadError, ConnectionError):
+                return
+            body = line.rstrip(b"\n")
+            if body.startswith(b"slow"):
+                await asyncio.sleep(self.flags.get("delay", 0.0))
+            if self.flags.get("evil") == self.index:
+                body += b" EVIL"
+            writer.write(body + b"\n")
+            await drain_write(writer)
+
+
+def _factory(flags: dict):
+    async def factory(ctx):
+        return await _FlaggedEcho(ctx.host, ctx.port, ctx.index, flags).start()
+
+    return factory
+
+
+def _recovery_config(**overrides) -> RddrConfig:
+    base = dict(
+        protocol="tcp",
+        exchange_timeout=2.0,
+        instance_response_deadline=0.5,
+        divergence_policy="vote",
+        degraded_quorum=True,
+        quarantine_minority=True,
+        ephemeral_state=False,
+        recovery_enabled=True,
+        probe_period=0.03,
+        probe_timeout=0.25,
+        probe_failure_threshold=2,
+        restart_backoff=0.05,
+        rejoin_clean_exchanges=3,
+        connect_attempts=3,
+        connect_backoff_max=0.05,
+    )
+    base.update(overrides)
+    return RddrConfig(**base)
+
+
+def _gauge(service, name: str) -> float | None:
+    snapshot = service.rddr.metrics_snapshot()
+    for series in snapshot.get(name, {}).get("series", []):
+        if series["labels"].get("service") == service.name:
+            return series["value"]
+    return None
+
+
+def _recovery_records(service) -> list[dict]:
+    return [
+        record
+        for record in service.rddr.observer.sink.traces()
+        if record.get("type") == "recovery"
+    ]
+
+
+async def _wait_for(predicate, timeout: float = 10.0) -> None:
+    deadline = asyncio.get_running_loop().time() + timeout
+    while not predicate():
+        if asyncio.get_running_loop().time() > deadline:
+            raise AssertionError("condition not reached in time")
+        await asyncio.sleep(0.02)
+
+
+class TestSelfHealingRecovery:
+    def test_kill_quarantine_respawn_warm_rejoin_then_redivergence(self):
+        async def main():
+            flags: dict = {}
+            async with Cluster() as cluster:
+                service = await deploy_nversioned(
+                    cluster,
+                    "svc",
+                    [_factory(flags) for _ in range(3)],
+                    config=_recovery_config(),
+                )
+                supervisor = service.supervisor
+                assert supervisor is not None and service.directory is not None
+                reader, writer = await open_connection_retry(*service.address)
+
+                async def exchange(line: bytes) -> bytes:
+                    writer.write(line + b"\n")
+                    await writer.drain()
+                    return await asyncio.wait_for(reader.readline(), 2.0)
+
+                assert await exchange(b"warm") == b"warm\n"
+                assert _gauge(service, "rddr_live_instances") == 3.0
+
+                # Kill instance 1 mid-session; wait until the probes have
+                # taken it out of the directory (not merely SUSPECT).
+                await cluster.pods("svc")[1].runtime.close()
+                await _wait_for(lambda: supervisor.state(1) not in (LIVE, SUSPECT))
+
+                # The service keeps serving on the surviving 2/3 while the
+                # instance is dead, quarantined, and restarting.
+                assert await exchange(b"degraded") == b"degraded\n"
+                degraded_trace = service.rddr.traces()[-1]
+                assert 1 not in degraded_trace["spans"]["attrs"]["voters"]
+
+                await _wait_for(lambda: supervisor.state(1) == REJOINING)
+                assert _gauge(service, "rddr_live_instances") == 2.0
+
+                # Drive exchanges until K consecutive clean shadow
+                # comparisons promote the instance back to LIVE.
+                for attempt in range(50):
+                    assert await exchange(b"rejoin") == b"rejoin\n"
+                    if supervisor.state(1) == LIVE:
+                        break
+                    await asyncio.sleep(0.02)
+                assert supervisor.state(1) == LIVE
+                assert _gauge(service, "rddr_live_instances") == 3.0
+                assert _gauge(service, "rddr_quarantined_instances") == 0.0
+                assert _gauge(service, "rddr_recoveries_total") == 1.0
+
+                # The quarantine -> rejoin timeline is in the trace sink.
+                transitions = [
+                    record["to"]
+                    for record in _recovery_records(service)
+                    if record["instance"] == 1
+                ]
+                for state in (QUARANTINED, RESTARTING, REJOINING, LIVE):
+                    assert state in transitions
+
+                # Shadow exchanges were traced and never voted.
+                shadowed = [
+                    trace
+                    for trace in service.rddr.traces()
+                    if trace.get("spans", {}).get("attrs", {}).get("shadow")
+                ]
+                assert shadowed
+                for trace in shadowed:
+                    attrs = trace["spans"]["attrs"]
+                    assert not set(attrs["shadow"]) & set(attrs["voters"])
+
+                # A subsequent divergence in the *rejoined* instance is
+                # detected, outvoted, and quarantined again.
+                flags["evil"] = 1
+                votes_before = len(service.rddr.events.events(ev.VOTE_OVERRIDE))
+                assert await exchange(b"again") == b"again\n"
+                assert (
+                    len(service.rddr.events.events(ev.VOTE_OVERRIDE))
+                    > votes_before
+                )
+                await _wait_for(lambda: supervisor.state(1) != LIVE)
+                flags.pop("evil")
+                await service.close()
+
+        run(main(), timeout=60.0)
+
+    def test_recovery_disabled_behaviour_is_unchanged(self):
+        async def main():
+            flags: dict = {}
+            async with Cluster() as cluster:
+                service = await deploy_nversioned(
+                    cluster,
+                    "svc",
+                    [_factory(flags) for _ in range(3)],
+                    config=_recovery_config(recovery_enabled=False),
+                )
+                assert service.supervisor is None
+                assert service.directory is None
+                await cluster.pods("svc")[1].runtime.close()
+                reader, writer = await open_connection_retry(*service.address)
+                writer.write(b"still\n")
+                await writer.drain()
+                assert await asyncio.wait_for(reader.readline(), 2.0) == b"still\n"
+                await close_writer(writer)
+                assert _recovery_records(service) == []
+                await service.close()
+
+        run(main())
+
+    def test_close_mid_restart_is_clean(self):
+        async def main():
+            flags: dict = {}
+            async with Cluster() as cluster:
+                service = await deploy_nversioned(
+                    cluster,
+                    "svc",
+                    [_factory(flags) for _ in range(3)],
+                    # A huge backoff parks the recovery task mid-restart.
+                    config=_recovery_config(restart_backoff=30.0),
+                )
+                supervisor = service.supervisor
+                pod = cluster.pods("svc")[1]
+                await pod.runtime.close()
+                await _wait_for(
+                    lambda: supervisor.state(1) in (QUARANTINED, RESTARTING, SUSPECT)
+                )
+                await _wait_for(lambda: 1 in supervisor._recovery_tasks)
+                # Closing while a restart is in flight must neither hang
+                # nor leave the recovery task running.
+                await asyncio.wait_for(service.close(), timeout=5.0)
+                assert supervisor._recovery_tasks == {}
+                assert supervisor.monitor._task is None
+                await service.close()  # idempotent
+
+        run(main())
+
+
+class TestAdmissionShedding:
+    def test_overflow_exchange_is_shed_fast(self):
+        async def main():
+            flags = {"delay": 0.6}
+            async with Cluster() as cluster:
+                service = await deploy_nversioned(
+                    cluster,
+                    "svc",
+                    [_factory(flags) for _ in range(2)],
+                    config=RddrConfig(
+                        protocol="tcp",
+                        exchange_timeout=3.0,
+                        ephemeral_state=False,
+                        max_concurrent_exchanges=1,
+                        admission_queue_limit=0,
+                    ),
+                )
+
+                async def client(line: bytes) -> bytes:
+                    reader, writer = await open_connection_retry(*service.address)
+                    try:
+                        writer.write(line + b"\n")
+                        await writer.drain()
+                        try:
+                            return await asyncio.wait_for(reader.readline(), 3.0)
+                        except asyncio.TimeoutError:
+                            return b""
+                    finally:
+                        await close_writer(writer)
+
+                slow = asyncio.ensure_future(client(b"slow"))
+                await asyncio.sleep(0.25)  # the slow exchange holds the slot
+                assert await client(b"hi") == b""  # shed: closed, no reply
+                assert await slow == b"slow\n"
+                assert service.rddr.incoming.metrics.exchanges_shed == 1
+                shed_events = service.rddr.events.events(ev.SHED)
+                assert shed_events and "admission queue full" in shed_events[0].detail
+                assert any(
+                    trace["verdict"] == "shed" for trace in service.rddr.traces()
+                )
+                await service.close()
+
+        run(main())
+
+    def test_queue_admits_after_slot_frees(self):
+        async def main():
+            flags = {"delay": 0.3}
+            async with Cluster() as cluster:
+                service = await deploy_nversioned(
+                    cluster,
+                    "svc",
+                    [_factory(flags) for _ in range(2)],
+                    config=RddrConfig(
+                        protocol="tcp",
+                        exchange_timeout=3.0,
+                        ephemeral_state=False,
+                        max_concurrent_exchanges=1,
+                        admission_queue_limit=1,
+                    ),
+                )
+
+                async def client(line: bytes) -> bytes:
+                    reader, writer = await open_connection_retry(*service.address)
+                    try:
+                        writer.write(line + b"\n")
+                        await writer.drain()
+                        return await asyncio.wait_for(reader.readline(), 3.0)
+                    finally:
+                        await close_writer(writer)
+
+                slow = asyncio.ensure_future(client(b"slow"))
+                await asyncio.sleep(0.1)
+                assert await client(b"hi") == b"hi\n"  # waited, not shed
+                assert await slow == b"slow\n"
+                assert service.rddr.incoming.metrics.exchanges_shed == 0
+                await service.close()
+
+        run(main())

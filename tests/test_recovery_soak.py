@@ -1,0 +1,217 @@
+"""Seeded chaos soak: kills and connect flaps under recovery.
+
+Drives ~200 exchanges through an N=3 recovery-enabled deployment while a
+seeded schedule injects connect faults and two seeded kill points close
+currently-LIVE pods.  The run must end with every instance LIVE again,
+an acceptable serve rate, at least one completed warm rejoin, no
+exchange ever counting a REJOINING instance's vote, and — after
+teardown — no leaked tasks and no listening service socket.
+
+The seed comes from ``RDDR_SOAK_SEED`` (default 1) so the CI chaos
+matrix replays distinct but reproducible runs; when
+``RDDR_SOAK_TRACE_DIR`` is set the trace-sink JSONL is dumped there
+(pass or fail) for the CI failure artifact.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import random
+
+from repro.apps.echo import EchoServer
+from repro.core.config import RddrConfig
+from repro.faults import CONNECT_KINDS, FaultSchedule, connect_fault_hook
+from repro.orchestrator import Cluster, deploy_nversioned
+from repro.recovery import LIVE
+from repro.transport import install_connect_hook
+from repro.transport.streams import close_writer
+from tests.helpers import run
+
+SEED = int(os.environ.get("RDDR_SOAK_SEED", "1"))
+EXCHANGES = 200
+N = 3
+
+
+async def _echo_factory(ctx):
+    return await EchoServer(host=ctx.host, port=ctx.port).start()
+
+
+class _ReconnectingClient:
+    """A client that reopens its connection when the proxy drops it."""
+
+    def __init__(self, address: tuple[str, int]) -> None:
+        self.address = address
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+
+    async def exchange(self, line: bytes) -> bytes | None:
+        for _ in range(2):  # one reconnect attempt per exchange
+            try:
+                if self._writer is None:
+                    self._reader, self._writer = await asyncio.open_connection(
+                        *self.address
+                    )
+                self._writer.write(line + b"\n")
+                await self._writer.drain()
+                reply = await asyncio.wait_for(self._reader.readline(), 3.0)
+                if reply:
+                    return reply
+            except (ConnectionError, asyncio.TimeoutError, OSError):
+                pass
+            await self.aclose()
+        return None
+
+    async def aclose(self) -> None:
+        if self._writer is not None:
+            await close_writer(self._writer)
+        self._reader = self._writer = None
+
+
+async def _soak(baseline_tasks: set) -> None:
+    rng = random.Random(SEED)
+    # Connect flaps: each spec fires once (times=1), addressed to
+    # dial-attempt numbers 0..4, so nothing refuses forever.
+    flaps = FaultSchedule.random(
+        SEED,
+        instances=N,
+        exchanges=5,
+        kinds=CONNECT_KINDS,
+        rate=0.3,
+        delay_choices=(5.0, 15.0),
+    )
+    kill_points = sorted(rng.sample(range(30, EXCHANGES - 40), 2))
+    config = RddrConfig(
+        protocol="tcp",
+        exchange_timeout=2.0,
+        instance_response_deadline=0.5,
+        divergence_policy="vote",
+        degraded_quorum=True,
+        quarantine_minority=True,
+        ephemeral_state=False,
+        recovery_enabled=True,
+        probe_period=0.05,
+        probe_timeout=0.3,
+        probe_failure_threshold=2,
+        restart_backoff=0.05,
+        rejoin_clean_exchanges=2,
+        connect_attempts=3,
+        connect_backoff_max=0.05,
+    )
+    async with Cluster() as cluster:
+        # The hook must be installed *before* the proxies start (their
+        # accept handlers capture the context at start()), but the flap
+        # targets are only known once the pods are up — so the address
+        # map is filled in after deployment; the hook closure reads it
+        # at dial time.
+        instance_of: dict[tuple[str, int], int] = {}
+        hook = connect_fault_hook(flaps, instance_of)
+        with install_connect_hook(hook):
+            service = await deploy_nversioned(
+                cluster,
+                "soak",
+                [_echo_factory for _ in range(N)],
+                config=config,
+            )
+            supervisor = service.supervisor
+            _SINK[0] = service.rddr.observer.sink
+            instance_of.update(
+                {pod.address: pod.index for pod in cluster.pods("soak")}
+            )
+            client = _ReconnectingClient(service.address)
+            served = 0
+            kills_done = 0
+            for exchange in range(EXCHANGES):
+                if (
+                    kills_done < len(kill_points)
+                    and exchange == kill_points[kills_done]
+                ):
+                    live = [
+                        index
+                        for index in range(N)
+                        if supervisor.state(index) == LIVE
+                    ]
+                    victim = rng.choice(live)
+                    pod = next(
+                        p for p in cluster.pods("soak") if p.index == victim
+                    )
+                    await pod.runtime.close()
+                    kills_done += 1
+                reply = await client.exchange(b"soak %d" % exchange)
+                if reply == b"soak %d\n" % exchange:
+                    served += 1
+                await asyncio.sleep(0.005)
+            assert kills_done == 2
+
+            # Keep serving until every instance has warm-rejoined
+            # (rejoin needs shadow exchanges, so drive traffic).
+            deadline = asyncio.get_running_loop().time() + 30.0
+            extra = 0
+            while not supervisor.all_live:
+                assert (
+                    asyncio.get_running_loop().time() < deadline
+                ), f"states: {supervisor.states}"
+                await client.exchange(b"drain %d" % extra)
+                extra += 1
+                await asyncio.sleep(0.02)
+        await client.aclose()
+
+        assert supervisor.all_live
+        assert served >= 150, f"served only {served}/{EXCHANGES}"
+
+        snapshot = service.rddr.metrics_snapshot()
+        recoveries = sum(
+            series["value"]
+            for series in snapshot["rddr_recoveries_total"]["series"]
+        )
+        assert recoveries >= 1
+
+        # No exchange was ever decided by a REJOINING instance's vote,
+        # and shadow comparison did actually run.
+        shadow_seen = False
+        for trace in service.rddr.traces():
+            attrs = trace.get("spans", {}).get("attrs", {})
+            shadow = attrs.get("shadow")
+            if shadow:
+                shadow_seen = True
+                assert not set(shadow) & set(attrs.get("voters", []))
+        assert shadow_seen
+
+        address = service.address
+        await service.close()
+
+    # Teardown hygiene: nothing keeps running, nothing listens.
+    await asyncio.sleep(0.1)
+    leaked = [
+        task
+        for task in asyncio.all_tasks() - baseline_tasks
+        if task is not asyncio.current_task()
+    ]
+    assert leaked == [], leaked
+    try:
+        _, writer = await asyncio.open_connection(*address)
+    except OSError:
+        pass
+    else:
+        await close_writer(writer)
+        raise AssertionError("service address still listening")
+
+
+#: The deployment's trace sink, stashed so a failed run can still dump
+#: its JSONL for the CI artifact.
+_SINK: list = [None]
+
+
+class TestChaosSoak:
+    def test_seeded_soak_ends_all_live(self):
+        async def main():
+            baseline_tasks = asyncio.all_tasks()  # the test-harness wrappers
+            try:
+                await _soak(baseline_tasks)
+            finally:
+                trace_dir = os.environ.get("RDDR_SOAK_TRACE_DIR")
+                if trace_dir and _SINK[0] is not None:
+                    path = os.path.join(trace_dir, f"soak-seed{SEED}.jsonl")
+                    _SINK[0].write_jsonl(path)
+
+        run(main(), timeout=120.0)
