@@ -6,7 +6,9 @@ Not a paper table/figure — these quantify why RDDR's pieces exist:
 * widened vs raw positional noise masking (implementation note);
 * known-variance rules on/off for version-diverse databases (IV-B4);
 * row-order sensitivity for vendors with unspecified ordering (V-C2);
-* CSRF detector threshold sensitivity (IV-B3).
+* CSRF detector threshold sensitivity (IV-B3);
+* exchange journaling off / on / on+fsync on the write path
+  (docs/robustness.md, durable exchange journal).
 """
 
 from __future__ import annotations
@@ -193,6 +195,40 @@ async def _signature_learning_cost(enabled: bool, attempts: int = 10) -> int:
     return replicated
 
 
+async def _journal_write_cost(mode: str, writes: int = 40) -> dict:
+    """Drive ``writes`` RESP SETs through a deployment with journaling
+    ``off``, ``on``, or ``on`` + per-append fsync."""
+    import shutil
+    import tempfile
+    import time
+
+    from repro.apps.kvstore import RedisLikeServer, kv_command
+
+    servers = [await RedisLikeServer().start() for _ in range(2)]
+    journal_dir = tempfile.mkdtemp(prefix="rddr-journal-ablation-")
+    rddr = RddrDeployment(
+        "journal-ablation",
+        RddrConfig(
+            protocol="resp",
+            exchange_timeout=2.0,
+            journal_dir=None if mode == "off" else journal_dir,
+            journal_fsync=(mode == "fsync"),
+        ),
+    )
+    await rddr.start_incoming_proxy([s.address for s in servers])
+    started = time.perf_counter()
+    for i in range(writes):
+        await kv_command(rddr.address, "SET", f"k{i}", f"v{i}")
+    elapsed = time.perf_counter() - started
+    await kv_command(rddr.address, "GET", "k0")  # reads are never journaled
+    records = rddr.journal.last_id if rddr.journal is not None else 0
+    await rddr.close()
+    for server in servers:
+        await server.close()
+    shutil.rmtree(journal_dir, ignore_errors=True)
+    return {"records": records, "latency_ms": elapsed / writes * 1000.0}
+
+
 def _csrf_threshold_rows() -> list[list[object]]:
     rows = []
     for min_length in (4, 10, 20):
@@ -219,6 +255,9 @@ def test_ablations(benchmark):
             "roworder_with_orderby": run(_row_order_blocked(True)),
             "sig_replications_on": run(_signature_learning_cost(True)),
             "sig_replications_off": run(_signature_learning_cost(False)),
+            "journal_off": run(_journal_write_cost("off")),
+            "journal_on": run(_journal_write_cost("on")),
+            "journal_fsync": run(_journal_write_cost("fsync")),
         },
         rounds=1,
         iterations=1,
@@ -255,6 +294,24 @@ def test_ablations(benchmark):
             title="CSRF detector threshold sensitivity (paper's choice: 10)",
         )
     )
+    emit(
+        format_table(
+            ["journaling", "records for 40 writes", "mean write latency"],
+            [
+                [
+                    mode,
+                    results[key]["records"],
+                    f"{results[key]['latency_ms']:.2f} ms",
+                ]
+                for mode, key in (
+                    ("off", "journal_off"),
+                    ("on", "journal_on"),
+                    ("on + fsync", "journal_fsync"),
+                )
+            ],
+            title="Exchange journaling on the RESP write path",
+        )
+    )
 
     assert results["fp_with_pair"] == 0.0
     assert results["fp_without_pair"] == 1.0
@@ -267,3 +324,8 @@ def test_ablations(benchmark):
     # signature learning: first attempt replicates, the other 9 don't
     assert results["sig_replications_on"] == 1
     assert results["sig_replications_off"] == 10
+    # journaling: structural, not timing — every served write (and no
+    # read) is journaled; fsync changes durability, never the record set
+    assert results["journal_off"]["records"] == 0
+    assert results["journal_on"]["records"] == 40
+    assert results["journal_fsync"]["records"] == 40

@@ -62,6 +62,16 @@ def _error(text: str) -> bytes:
     return f"-ERR {text}\r\n".encode()
 
 
+def _read_block(blob: bytes, offset: int) -> tuple[bytes, int]:
+    """Read one ``<len> <bytes>`` block of a snapshot blob."""
+    space = blob.index(b" ", offset)
+    length = int(blob[offset:space])
+    start = space + 1
+    if start + length > len(blob):
+        raise ValueError("snapshot block overruns blob")
+    return blob[start : start + length], start + length
+
+
 class _BaseKvServer:
     """Shared lifecycle + command loop; subclasses implement lookup."""
 
@@ -133,10 +143,39 @@ class _BaseKvServer:
             return b"".join(out)
         if verb == b"INFO":
             return _bulk(f"# Server\r\nflavor:{self.flavor}\r\n".encode())
+        if verb == b"SNAPSHOT" and len(command) == 1:
+            return _bulk(self.snapshot())
+        if verb == b"RESTORE" and len(command) == 2:
+            try:
+                self.restore(command[1])
+            except ValueError:
+                return _error("malformed snapshot")
+            return _simple("OK")
         return _error(f"unknown command '{verb.decode(errors='replace')}'")
 
     def get(self, key: bytes) -> bytes | None:
         return self.data.get(key)
+
+    # ----------------------------------------------------------- snapshots
+
+    def snapshot(self) -> bytes:
+        """Full state as length-prefixed ``klen key vlen value`` blocks,
+        sorted by key so independent implementations agree byte-for-byte."""
+        chunks: list[bytes] = []
+        for key in sorted(self.data):
+            value = self.data[key]
+            chunks.append(f"{len(key)} ".encode() + key + f"{len(value)} ".encode() + value)
+        return b"".join(chunks)
+
+    def restore(self, blob: bytes) -> None:
+        """Replace state with a :meth:`snapshot` blob (empty blob = reset)."""
+        data: dict[bytes, bytes] = {}
+        offset = 0
+        while offset < len(blob):
+            key, offset = _read_block(blob, offset)
+            value, offset = _read_block(blob, offset)
+            data[key] = value
+        self.data = data
 
 
 class RedisLikeServer(_BaseKvServer):

@@ -96,6 +96,23 @@ class RddrConfig:
     circuit_breaker: bool = False
     breaker_failure_threshold: int = 5
     breaker_reset_timeout: float = 30.0
+    #: Durable exchange journal (repro.journal): directory for the
+    #: append-only log of committed state-mutating exchanges.  ``None``
+    #: (the default) disables journaling entirely.
+    journal_dir: str | None = None
+    #: Journal segment rotation bound and compaction size bound (bytes).
+    journal_segment_bytes: int = 1 << 20
+    journal_compact_bytes: int = 8 << 20
+    #: fsync each appended record (crash-proof vs the OS page cache; the
+    #: durability-latency tradeoff measured in benchmarks/test_ablations).
+    journal_fsync: bool = False
+    #: During CATCHING_UP, verify each replayed response digest against
+    #: the journaled one (mismatches are counted and traced).
+    catchup_verify: bool = True
+    #: Drive synthetic probe exchanges at a REJOINING instance when no
+    #: client exchange lands within this many seconds, so rejoin makes
+    #: progress on idle services (None disables the driver).
+    rejoin_probe_interval: float | None = None
 
     def filter_pair_obj(self) -> FilterPair | None:
         if self.filter_pair is None:
@@ -159,6 +176,12 @@ class RddrConfig:
             "circuit_breaker": self.circuit_breaker,
             "breaker_failure_threshold": self.breaker_failure_threshold,
             "breaker_reset_timeout": self.breaker_reset_timeout,
+            "journal_dir": self.journal_dir,
+            "journal_segment_bytes": self.journal_segment_bytes,
+            "journal_compact_bytes": self.journal_compact_bytes,
+            "journal_fsync": self.journal_fsync,
+            "catchup_verify": self.catchup_verify,
+            "rejoin_probe_interval": self.rejoin_probe_interval,
         }
 
     @classmethod
@@ -222,6 +245,20 @@ class RddrConfig:
             circuit_breaker=bool(data.get("circuit_breaker", False)),
             breaker_failure_threshold=int(data.get("breaker_failure_threshold", 5)),  # type: ignore[arg-type]
             breaker_reset_timeout=float(data.get("breaker_reset_timeout", 30.0)),  # type: ignore[arg-type]
+            journal_dir=(
+                str(data["journal_dir"])
+                if data.get("journal_dir") is not None
+                else None
+            ),
+            journal_segment_bytes=int(data.get("journal_segment_bytes", 1 << 20)),  # type: ignore[arg-type]
+            journal_compact_bytes=int(data.get("journal_compact_bytes", 8 << 20)),  # type: ignore[arg-type]
+            journal_fsync=bool(data.get("journal_fsync", False)),
+            catchup_verify=bool(data.get("catchup_verify", True)),
+            rejoin_probe_interval=(
+                float(data["rejoin_probe_interval"])  # type: ignore[arg-type]
+                if data.get("rejoin_probe_interval") is not None
+                else None
+            ),
         )
 
     def dump(self, path: str | Path) -> None:

@@ -50,6 +50,8 @@ from repro.core.events import EventLog
 from repro.core.metrics import ProxyMetrics
 from repro.core.signatures import SignatureStore
 from repro.core.variance import VarianceMasker
+from repro.journal import ExchangeJournal, capture_snapshot, response_digest, supports_snapshots
+from repro.journal.log import FLAG_DEGRADED, FLAG_MAJORITY
 from repro.obs import ExchangeTrace, Observer, active_observer
 from repro.protocols.base import ProtocolModule, resolve
 from repro.recovery.admission import AdmissionController
@@ -100,6 +102,7 @@ class IncomingRequestProxy:
         server_ssl: ssl.SSLContext | None = None,
         instance_ssl: ssl.SSLContext | None = None,
         directory: InstanceDirectory | None = None,
+        journal: ExchangeJournal | None = None,
     ) -> None:
         if len(instances) < 2:
             raise ValueError("N-versioning requires at least 2 instances")
@@ -143,6 +146,11 @@ class IncomingRequestProxy:
             self.config.admission_queue_limit,
         )
         self._exchange_counter = 0
+        #: Durable exchange journal (None = journaling off).  Appended at
+        #: commit time, *before* the client drain, so a client disconnect
+        #: cannot lose an exchange the instances already applied.
+        self.journal = journal
+        self._snapshot_task: asyncio.Task | None = None
 
     # ------------------------------------------------------------ lifecycle
 
@@ -166,6 +174,11 @@ class IncomingRequestProxy:
     async def close(self) -> None:
         if self.handle is not None:
             await self.handle.close()
+        if self._snapshot_task is not None:
+            self._snapshot_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError, Exception):
+                await self._snapshot_task
+            self._snapshot_task = None
 
     # ------------------------------------------------------------ serving
 
@@ -313,7 +326,8 @@ class IncomingRequestProxy:
                     )
                     try:
                         survivors = await self._run_exchange(
-                            request, client_writer, links, state, exchange, trace
+                            request, client_writer, links, state, exchange, trace,
+                            version,
                         )
                     finally:
                         self.observer.finish_exchange(trace)
@@ -400,6 +414,7 @@ class IncomingRequestProxy:
         state: object,
         exchange: int,
         trace: ExchangeTrace,
+        version: int = 0,
     ) -> list[_InstanceLink] | None:
         """One exchange; returns the surviving links, or ``None`` to stop
         serving this client connection."""
@@ -477,6 +492,9 @@ class IncomingRequestProxy:
 
         if not self.protocol.expects_response(request, state):
             trace.set_verdict("oneway")
+            self._journal_commit(
+                request, b"", version, flags=FLAG_DEGRADED if degraded else 0
+            )
             return links
 
         outcome = await self._gather_responses(
@@ -499,6 +517,10 @@ class IncomingRequestProxy:
                 if majority_rel is not None:
                     majority = [voters[i] for i in majority_rel]
                     trace.set_verdict("vote_majority", verdict)
+                    flags = FLAG_MAJORITY | (FLAG_DEGRADED if degraded else 0)
+                    self._journal_commit(
+                        request, responses[majority[0]], version, flags=flags
+                    )
                     # Report shadows against the pre-vote positions: a
                     # quarantined minority shifts link positions below.
                     self._report_shadows(links, masked, majority[0], exchange)
@@ -525,6 +547,9 @@ class IncomingRequestProxy:
             links, self.config.canonical_instance
         )
         canonical = responses[canonical_position]
+        self._journal_commit(
+            request, canonical, version, flags=FLAG_DEGRADED if degraded else 0
+        )
         self.metrics.bytes_to_clients += len(canonical)
         with trace.span("respond"):
             client_writer.write(canonical)
@@ -555,6 +580,76 @@ class IncomingRequestProxy:
         finish = getattr(self.protocol, "finish_exchange", None)
         if finish is not None:
             finish(state)
+
+    # ---------------------------------------------------------- journaling
+
+    def _journal_commit(
+        self, request: bytes, response: bytes, version: int, *, flags: int = 0
+    ) -> None:
+        """Append one committed state-mutating exchange to the journal.
+
+        Only exchanges the proxy actually *served* reach this point —
+        blocked/divergent ones never mutate journaled history.  Reads
+        (per the protocol's ``mutates_state``) are skipped.
+        """
+        if self.journal is None or not self.protocol.mutates_state(request):
+            return
+        record = self.journal.append(
+            request,
+            digest=response_digest(response),
+            directory_version=version,
+            flags=flags,
+        )
+        self.observer.journal_appended(
+            self.name, len(record.encode()), self.journal.size_bytes
+        )
+        self._maybe_snapshot()
+
+    def _maybe_snapshot(self) -> None:
+        """Kick a background snapshot when the journal outgrows its
+        compaction bound (and the protocol can snapshot at all)."""
+        if (
+            self.journal is None
+            or self.journal.size_bytes <= self.journal.compact_bytes
+            or not supports_snapshots(self.protocol)
+            or (self._snapshot_task is not None and not self._snapshot_task.done())
+        ):
+            return
+        self._snapshot_task = asyncio.create_task(self._take_snapshot())
+
+    async def _take_snapshot(self) -> None:
+        """Capture an app snapshot from a live instance and install it.
+
+        The epoch is the newest journaled id *before* the capture is
+        sent; a concurrently committed exchange may already be reflected
+        in the snapshot (overshoot), which replay tolerates: re-applying
+        an already-applied record converges on the same state.
+        """
+        address = self._snapshot_address()
+        if address is None or self.journal is None:
+            return
+        epoch = self.journal.last_id
+        try:
+            data = await capture_snapshot(
+                address,
+                self.protocol,
+                deadline=self.config.instance_deadline(),
+                connect_attempts=self.config.connect_attempts,
+            )
+        except (ConnectionError, OSError, asyncio.TimeoutError, ConnectionClosed):
+            return
+        if self.journal is not None and epoch > 0:
+            self.journal.install_snapshot(epoch, data)
+
+    def _snapshot_address(self) -> Address | None:
+        """A live (non-shadow) instance address to snapshot from."""
+        if self.directory is None:
+            return self.instances[self.config.canonical_instance]
+        _, entries = self.directory.snapshot()
+        for entry in entries:
+            if entry.mode not in (MODE_OUT, MODE_SHADOW):
+                return entry.address
+        return None
 
     def _position_for(
         self, links: list[_InstanceLink], preferred_index: int

@@ -23,6 +23,7 @@ from repro.core.events import EventLog
 from repro.core.incoming import IncomingRequestProxy
 from repro.core.metrics import ProxyMetrics
 from repro.core.outgoing import OutgoingRequestProxy
+from repro.journal import ExchangeJournal
 from repro.obs import Observer, active_observer
 from repro.protocols.base import ProtocolModule, resolve
 
@@ -52,6 +53,7 @@ class RddrDeployment:
         )
         self.incoming: IncomingRequestProxy | None = None
         self.outgoing: dict[str, OutgoingRequestProxy] = {}
+        self.journal: ExchangeJournal | None = None
         self.incoming_metrics: ProxyMetrics = self.observer.proxy_metrics(
             f"{name}-in", self.config.protocol
         )
@@ -111,6 +113,16 @@ class RddrDeployment:
         """
         if self.incoming is not None:
             raise ValueError("incoming proxy already started")
+        if self.config.journal_dir is not None and self.journal is None:
+            # Opening an existing journal recovers any torn tail, so a
+            # proxy restart resumes exchange ids after the last durable
+            # record (proxy crash consistency).
+            self.journal = ExchangeJournal.open(
+                self.config.journal_dir,
+                segment_bytes=self.config.journal_segment_bytes,
+                compact_bytes=self.config.journal_compact_bytes,
+                fsync=self.config.journal_fsync,
+            )
         self.incoming = IncomingRequestProxy(
             instances=instances,
             protocol=self._protocol(protocol),
@@ -124,6 +136,7 @@ class RddrDeployment:
             server_ssl=server_ssl,
             instance_ssl=instance_ssl,
             directory=directory,
+            journal=self.journal,
         )
         await self.incoming.start()
         return self.incoming
@@ -166,6 +179,8 @@ class RddrDeployment:
             await self.incoming.close()
         for proxy in self.outgoing.values():
             await proxy.close()
+        if self.journal is not None:
+            self.journal.close()
 
     async def __aenter__(self) -> "RddrDeployment":
         return self

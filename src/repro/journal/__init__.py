@@ -1,0 +1,66 @@
+"""repro.journal — the durable exchange journal behind catch-up replay.
+
+RDDR's "Respond" step assumes a diverged or crashed instance can be
+*restored and rejoined* — the paper's "back to the future" framing is
+about recreating an instance's timeline.  PR 3's recovery path respawns
+pods with empty state, which is enough for stateless services but leaves
+any stateful protected microservice (the RESP kvstore, the
+pgwire/sqlengine vendor sims, ``repro.web`` sessions) permanently
+diverging after a kill: a REJOINING instance answers every stateful read
+differently from its peers, never accumulates clean shadow exchanges,
+and never returns to LIVE.
+
+This package closes that gap:
+
+* :class:`ExchangeJournal` — a crash-consistent, append-only log of
+  committed state-mutating exchanges.  Each record carries a monotonic
+  exchange id, the directory version it was served under, the raw
+  request bytes, and a digest of the unanimous/majority response, in a
+  per-record CRC32 frame.  Opening a journal detects a torn final frame
+  (a crash mid-append) and truncates back to the last valid record.
+  Segments rotate at a size bound and are compacted away once an app
+  snapshot anchors a newer epoch.
+* :func:`replay_into` — catch-up replay: restore the latest snapshot
+  into a fresh instance, then replay the journal tail of mutating
+  requests through the instance's published address (the fault-shim
+  address when chaos shims are interposed), verifying each replayed
+  response against the journaled digest.
+* :func:`capture_snapshot` — fetch an application snapshot over the
+  wire through the protocol module's optional ``snapshot_request`` /
+  ``restore_request`` hooks.
+
+``python -m repro.journal {dump,verify,stat} <dir>`` inspects a journal
+from the command line (see ``docs/robustness.md`` for the runbook).
+"""
+
+from repro.journal.log import (
+    FLAG_DEGRADED,
+    FLAG_MAJORITY,
+    ExchangeJournal,
+    JournalCorruption,
+    JournalRecord,
+    JournalSnapshot,
+    response_digest,
+    scan_segment,
+)
+from repro.journal.replay import (
+    CatchupStats,
+    capture_snapshot,
+    replay_into,
+    supports_snapshots,
+)
+
+__all__ = [
+    "CatchupStats",
+    "ExchangeJournal",
+    "FLAG_DEGRADED",
+    "FLAG_MAJORITY",
+    "JournalCorruption",
+    "JournalRecord",
+    "JournalSnapshot",
+    "capture_snapshot",
+    "replay_into",
+    "response_digest",
+    "scan_segment",
+    "supports_snapshots",
+]

@@ -1,0 +1,436 @@
+"""The append-only exchange journal: segments, frames, snapshots.
+
+On-disk layout (one directory per protected service)::
+
+    journal-dir/
+        segment-0000000000000001.rjl    # frames; name = first record id
+        segment-0000000000000042.rjl
+        snapshot-0000000000000041.rsnap # app snapshot anchored at epoch 41
+
+**Frame format.**  Every record is one self-verifying frame::
+
+    [u32 payload length][u32 CRC32 of payload][payload]
+
+with the payload::
+
+    [u64 exchange id][u64 directory version][u32 response digest]
+    [u8 flags][request bytes]
+
+Exchange ids are assigned by the journal and strictly monotonic across
+append calls *and* across process restarts (reopening a journal resumes
+after the last durable id), giving every committed exchange a stable
+identity — the property replay idempotence and the catch-up watermark
+hang off (the request-indexing idea of *Distributed Execution
+Indexing*).
+
+**Crash consistency.**  A crash mid-append leaves a torn final frame:
+a short header, a payload shorter than its declared length, or a CRC
+mismatch.  :meth:`ExchangeJournal.open` scans the final segment, detects
+the tear at whatever byte offset it happened, truncates the file back to
+the end of the last valid record, and resumes appending after it.  Torn
+or corrupt frames in *non-final* segments cannot be produced by a crash
+(only the last segment is ever open for writing) and raise
+:class:`JournalCorruption` instead of being silently dropped.
+
+**Snapshots and compaction.**  ``install_snapshot(epoch, data)`` stores
+an application snapshot (raw protocol bytes, CRC-guarded) anchored at an
+exchange-id epoch: every record with ``id <= epoch`` is reflected in the
+snapshot.  Compaction is anchored at snapshot epochs — a segment is
+removed only when every record in it is at or below the newest valid
+snapshot epoch — and size-bounded: it runs when the journal exceeds
+``compact_bytes``.
+"""
+
+from __future__ import annotations
+
+import re
+import struct
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import BinaryIO, Iterator
+
+_HEADER = struct.Struct(">II")
+_PAYLOAD_FIXED = struct.Struct(">QQIB")
+
+#: Sanity bound on one frame's payload (a request larger than this is
+#: rejected at append time, so a larger length field is always a tear).
+MAX_PAYLOAD = 64 * 1024 * 1024
+
+SEGMENT_GLOB = "segment-*.rjl"
+SNAPSHOT_GLOB = "snapshot-*.rsnap"
+_SEGMENT_RE = re.compile(r"segment-(\d{16})\.rjl$")
+_SNAPSHOT_RE = re.compile(r"snapshot-(\d{16})\.rsnap$")
+
+#: Record flags: how the journaled response was decided.
+FLAG_MAJORITY = 0x01  # served by a strict-majority vote, not unanimity
+FLAG_DEGRADED = 0x02  # served on a degraded (reduced) quorum
+
+
+class JournalCorruption(Exception):
+    """A non-recoverable journal defect (corruption before the tail)."""
+
+
+def response_digest(response: bytes) -> int:
+    """The 32-bit digest journaled for (and verified against) a response."""
+    return zlib.crc32(response) & 0xFFFFFFFF
+
+
+@dataclass(frozen=True)
+class JournalRecord:
+    """One committed state-mutating exchange."""
+
+    id: int
+    directory_version: int
+    digest: int
+    flags: int
+    request: bytes
+
+    def encode(self) -> bytes:
+        payload = (
+            _PAYLOAD_FIXED.pack(self.id, self.directory_version, self.digest, self.flags)
+            + self.request
+        )
+        return _HEADER.pack(len(payload), zlib.crc32(payload) & 0xFFFFFFFF) + payload
+
+
+@dataclass(frozen=True)
+class JournalSnapshot:
+    """One application snapshot: raw protocol bytes anchored at an epoch."""
+
+    epoch: int
+    data: bytes
+    path: Path
+
+
+def _decode_payload(payload: bytes) -> JournalRecord:
+    record_id, version, digest, flags = _PAYLOAD_FIXED.unpack_from(payload)
+    return JournalRecord(
+        id=record_id,
+        directory_version=version,
+        digest=digest,
+        flags=flags,
+        request=payload[_PAYLOAD_FIXED.size :],
+    )
+
+
+def scan_segment(path: Path) -> tuple[list[JournalRecord], int, str | None]:
+    """Scan one segment file.
+
+    Returns ``(records, valid_bytes, tear)`` where ``valid_bytes`` is the
+    offset just past the last valid frame and ``tear`` describes the
+    first invalid frame (``None`` for a fully valid segment).
+    """
+    data = path.read_bytes()
+    records: list[JournalRecord] = []
+    offset = 0
+    while offset < len(data):
+        if offset + _HEADER.size > len(data):
+            return records, offset, f"short frame header at offset {offset}"
+        length, crc = _HEADER.unpack_from(data, offset)
+        if length < _PAYLOAD_FIXED.size or length > MAX_PAYLOAD:
+            return records, offset, f"implausible frame length {length} at offset {offset}"
+        start = offset + _HEADER.size
+        payload = data[start : start + length]
+        if len(payload) < length:
+            return records, offset, f"truncated payload at offset {offset}"
+        if zlib.crc32(payload) & 0xFFFFFFFF != crc:
+            return records, offset, f"CRC mismatch at offset {offset}"
+        records.append(_decode_payload(payload))
+        offset = start + length
+    return records, offset, None
+
+
+def _scan_snapshot(path: Path) -> bytes | None:
+    """The snapshot's data when its CRC guard validates, else ``None``."""
+    raw = path.read_bytes()
+    if len(raw) < 4:
+        return None
+    (crc,) = struct.unpack_from(">I", raw)
+    data = raw[4:]
+    if zlib.crc32(data) & 0xFFFFFFFF != crc:
+        return None
+    return data
+
+
+class ExchangeJournal:
+    """Crash-consistent append-only journal of committed exchanges."""
+
+    def __init__(
+        self,
+        path: str | Path,
+        *,
+        segment_bytes: int = 1 << 20,
+        compact_bytes: int = 8 << 20,
+        fsync: bool = False,
+    ) -> None:
+        if segment_bytes < 256:
+            raise ValueError("segment_bytes must be >= 256")
+        self.path = Path(path)
+        self.segment_bytes = segment_bytes
+        self.compact_bytes = compact_bytes
+        self.fsync = fsync
+        self.last_id = 0
+        self.record_count = 0
+        self.size_bytes = 0
+        self.truncated_tail: str | None = None
+        self._file: BinaryIO | None = None
+        self._segment_path: Path | None = None
+        self._segment_size = 0
+
+    # ------------------------------------------------------------- opening
+
+    @classmethod
+    def open(
+        cls,
+        path: str | Path,
+        *,
+        segment_bytes: int = 1 << 20,
+        compact_bytes: int = 8 << 20,
+        fsync: bool = False,
+    ) -> "ExchangeJournal":
+        """Open (creating or recovering) the journal at ``path``.
+
+        An existing journal is scanned; a torn final frame in the last
+        segment — the signature of a crash mid-append — is truncated away
+        (recorded in :attr:`truncated_tail`) and appending resumes after
+        the last valid record.  Corruption anywhere *before* the final
+        segment's tail raises :class:`JournalCorruption`.
+        """
+        journal = cls(
+            path,
+            segment_bytes=segment_bytes,
+            compact_bytes=compact_bytes,
+            fsync=fsync,
+        )
+        journal.path.mkdir(parents=True, exist_ok=True)
+        segments = journal.segments()
+        for position, segment in enumerate(segments):
+            records, valid_bytes, tear = scan_segment(segment)
+            if tear is not None:
+                if position != len(segments) - 1:
+                    raise JournalCorruption(f"{segment.name}: {tear}")
+                with segment.open("r+b") as handle:
+                    handle.truncate(valid_bytes)
+                journal.truncated_tail = f"{segment.name}: {tear}"
+            if records:
+                journal.last_id = records[-1].id
+            journal.record_count += len(records)
+            journal.size_bytes += valid_bytes if tear is not None else segment.stat().st_size
+        snapshot = journal.latest_snapshot()
+        if snapshot is not None and snapshot.epoch > journal.last_id:
+            # Records at or below the epoch may already be compacted away.
+            journal.last_id = snapshot.epoch
+        if segments:
+            last = segments[-1]
+            if last.stat().st_size < journal.segment_bytes:
+                journal._segment_path = last
+                journal._segment_size = last.stat().st_size
+                journal._file = last.open("ab")
+        return journal
+
+    def close(self) -> None:
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+    def __enter__(self) -> "ExchangeJournal":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------- layout
+
+    def segments(self) -> list[Path]:
+        """Segment files, oldest first."""
+        return sorted(
+            p for p in self.path.glob(SEGMENT_GLOB) if _SEGMENT_RE.search(p.name)
+        )
+
+    def snapshots(self) -> list[Path]:
+        """Snapshot files, oldest epoch first."""
+        return sorted(
+            p for p in self.path.glob(SNAPSHOT_GLOB) if _SNAPSHOT_RE.search(p.name)
+        )
+
+    # ------------------------------------------------------------ appending
+
+    def append(
+        self,
+        request: bytes,
+        *,
+        digest: int,
+        directory_version: int = 0,
+        flags: int = 0,
+    ) -> JournalRecord:
+        """Durably append one committed exchange; returns its record."""
+        if len(request) + _PAYLOAD_FIXED.size > MAX_PAYLOAD:
+            raise ValueError(f"request of {len(request)} bytes exceeds MAX_PAYLOAD")
+        record = JournalRecord(
+            id=self.last_id + 1,
+            directory_version=directory_version,
+            digest=digest & 0xFFFFFFFF,
+            flags=flags,
+            request=request,
+        )
+        frame = record.encode()
+        handle = self._writable(record.id)
+        handle.write(frame)
+        handle.flush()
+        if self.fsync:
+            import os
+
+            os.fsync(handle.fileno())
+        self.last_id = record.id
+        self.record_count += 1
+        self.size_bytes += len(frame)
+        self._segment_size += len(frame)
+        if self._segment_size >= self.segment_bytes:
+            self.close()  # next append rotates to a fresh segment
+        return record
+
+    def _writable(self, next_id: int) -> BinaryIO:
+        if self._file is None:
+            self.path.mkdir(parents=True, exist_ok=True)
+            self._segment_path = self.path / f"segment-{next_id:016d}.rjl"
+            self._file = self._segment_path.open("ab")
+            self._segment_size = self._segment_path.stat().st_size
+        return self._file
+
+    # ------------------------------------------------------------- reading
+
+    def records(self, after: int = 0) -> Iterator[JournalRecord]:
+        """Records with ``id > after``, oldest first.
+
+        Reads from disk, so an iterator stays valid across appends made
+        before it reaches them; compaction during iteration is the
+        caller's responsibility to avoid.
+        """
+        for segment in self.segments():
+            records, _, tear = scan_segment(segment)
+            if tear is not None and segment != self.segments()[-1]:
+                raise JournalCorruption(f"{segment.name}: {tear}")
+            for record in records:
+                if record.id > after:
+                    yield record
+
+    def verify(self) -> list[str]:
+        """CRC-verify every segment and snapshot; returns defect strings."""
+        defects: list[str] = []
+        previous_id = 0
+        for segment in self.segments():
+            records, _, tear = scan_segment(segment)
+            if tear is not None:
+                defects.append(f"{segment.name}: {tear}")
+            for record in records:
+                if record.id <= previous_id:
+                    defects.append(
+                        f"{segment.name}: non-monotonic id {record.id} "
+                        f"after {previous_id}"
+                    )
+                previous_id = record.id
+        for snapshot in self.snapshots():
+            if _scan_snapshot(snapshot) is None:
+                defects.append(f"{snapshot.name}: CRC mismatch or short file")
+        return defects
+
+    # ------------------------------------------------------------ snapshots
+
+    def latest_snapshot(self) -> JournalSnapshot | None:
+        """The newest CRC-valid snapshot, or ``None``."""
+        for path in reversed(self.snapshots()):
+            data = _scan_snapshot(path)
+            if data is None:
+                continue
+            match = _SNAPSHOT_RE.search(path.name)
+            assert match is not None
+            return JournalSnapshot(epoch=int(match.group(1)), data=data, path=path)
+        return None
+
+    def install_snapshot(self, epoch: int, data: bytes) -> JournalSnapshot:
+        """Store an app snapshot anchored at ``epoch``, then compact.
+
+        ``epoch`` must not exceed the last appended id: a snapshot can
+        only vouch for exchanges that were journaled when it was taken.
+        """
+        if epoch > self.last_id:
+            raise ValueError(f"snapshot epoch {epoch} beyond last id {self.last_id}")
+        path = self.path / f"snapshot-{epoch:016d}.rsnap"
+        tmp = path.with_suffix(".tmp")
+        tmp.write_bytes(struct.pack(">I", zlib.crc32(data) & 0xFFFFFFFF) + data)
+        tmp.replace(path)
+        self.compact()
+        return JournalSnapshot(epoch=epoch, data=data, path=path)
+
+    def compact(self) -> int:
+        """Drop segments fully covered by the newest snapshot epoch.
+
+        Size-bounded: runs only once the journal exceeds ``compact_bytes``
+        (snapshots always shed their superseded predecessors).  Returns
+        the number of segments removed.
+        """
+        snapshot = self.latest_snapshot()
+        if snapshot is None:
+            return 0
+        for path in self.snapshots():
+            if path != snapshot.path:
+                path.unlink(missing_ok=True)
+        if self.size_bytes <= self.compact_bytes:
+            return 0
+        removed = 0
+        segments = self.segments()
+        for position, segment in enumerate(segments):
+            if segment == self._segment_path:
+                break
+            # A segment's records all precede the next segment's first id.
+            if position + 1 < len(segments):
+                match = _SEGMENT_RE.search(segments[position + 1].name)
+                assert match is not None
+                last_in_segment = int(match.group(1)) - 1
+            else:
+                last_in_segment = self.last_id
+            if last_in_segment > snapshot.epoch:
+                break
+            freed = segment.stat().st_size
+            records, _, _ = scan_segment(segment)
+            segment.unlink()
+            self.size_bytes -= freed
+            self.record_count -= len(records)
+            removed += 1
+        return removed
+
+    # ---------------------------------------------------------------- stat
+
+    def stat(self) -> dict:
+        """JSON-able summary for the CLI and tests.
+
+        Computed from a fresh disk scan so it is accurate for read-only
+        inspection of a journal this process never appended to.
+        """
+        records = 0
+        last_id = 0
+        size_bytes = 0
+        tears: list[str] = []
+        for segment in self.segments():
+            found, valid_bytes, tear = scan_segment(segment)
+            records += len(found)
+            if found:
+                last_id = found[-1].id
+            size_bytes += valid_bytes
+            if tear is not None:
+                tears.append(f"{segment.name}: {tear}")
+        snapshot = self.latest_snapshot()
+        if snapshot is not None:
+            last_id = max(last_id, snapshot.epoch)
+        return {
+            "path": str(self.path),
+            "segments": [p.name for p in self.segments()],
+            "records": records,
+            "last_id": last_id,
+            "size_bytes": size_bytes,
+            "snapshot_epoch": snapshot.epoch if snapshot is not None else None,
+            "snapshot_bytes": len(snapshot.data) if snapshot is not None else None,
+            "truncated_tail": self.truncated_tail,
+            "tears": tears,
+        }

@@ -1,0 +1,155 @@
+"""Catch-up replay: restoring an instance's timeline from the journal.
+
+The recovery supervisor's CATCHING_UP phase runs :func:`replay_into`
+against a freshly respawned instance's *published* address — the fault
+shim when chaos shims are interposed, the pod itself otherwise — so
+replay traverses exactly the network path live exchanges do:
+
+1. **Restore** — when the protocol module implements the optional
+   ``snapshot_request`` / ``restore_request`` hooks, the instance is
+   first reset to the journal's newest snapshot (or to empty state when
+   no snapshot exists).  Because every catch-up starts from the snapshot
+   anchor, re-running catch-up over an already-applied suffix is
+   idempotent: the state is rebuilt to the same point, not re-applied on
+   top of itself.
+2. **Replay** — every journaled record after the snapshot epoch is
+   written to the instance and, when the protocol expects a response,
+   the response is read under a deadline and its digest compared against
+   the journaled one.  A mismatch is counted (and reported through the
+   observer by the supervisor), not fatal: the shadow-comparison phase
+   that follows is the authoritative gate back to LIVE.
+
+Connection establishment goes through the bounded
+:func:`~repro.transport.retry.open_connection_retry` stack, so connect
+faults injected by the chaos layer hit replay the same way they hit
+proxies.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+
+from repro.journal.log import ExchangeJournal, response_digest
+from repro.protocols.base import ProtocolModule, resolve
+from repro.transport.retry import open_connection_retry
+from repro.transport.streams import close_writer, drain_write
+
+Address = tuple[str, int]
+
+
+@dataclass
+class CatchupStats:
+    """What one catch-up pass did."""
+
+    epoch: int = 0  # snapshot epoch the replay started from
+    restored: bool = False  # whether a snapshot/reset restore ran
+    replayed: int = 0  # records replayed after the epoch
+    mismatches: int = 0  # replayed responses whose digest diverged
+    last_id: int = 0  # newest id covered: journal tail at start, or replayed
+
+
+def supports_snapshots(protocol: ProtocolModule) -> bool:
+    """Whether the module implements the optional snapshot hook pair."""
+    return (
+        getattr(protocol, "snapshot_request", None) is not None
+        and getattr(protocol, "restore_request", None) is not None
+    )
+
+
+async def _handshake(
+    protocol: ProtocolModule,
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+) -> object:
+    """Run the protocol's optional client-side connection bootstrap."""
+    handshake = getattr(protocol, "handshake", None)
+    if handshake is None:
+        return protocol.new_connection_state()
+    return await handshake(reader, writer)
+
+
+async def capture_snapshot(
+    address: Address,
+    protocol: ProtocolModule | str,
+    *,
+    deadline: float = 5.0,
+    connect_attempts: int = 5,
+) -> bytes:
+    """Fetch one application snapshot (raw response bytes) from ``address``."""
+    proto = resolve(protocol)
+    snapshot_request = getattr(proto, "snapshot_request", None)
+    if snapshot_request is None:
+        raise RuntimeError(f"protocol {proto.name!r} has no snapshot support")
+    reader, writer = await open_connection_retry(*address, attempts=connect_attempts)
+    try:
+        state = await _handshake(proto, reader, writer)
+        request = snapshot_request()
+        writer.write(request)
+        await drain_write(writer)
+        return await asyncio.wait_for(
+            proto.read_server_message(reader, state, request), timeout=deadline
+        )
+    finally:
+        await close_writer(writer)
+
+
+async def replay_into(
+    journal: ExchangeJournal,
+    address: Address,
+    protocol: ProtocolModule | str,
+    *,
+    deadline: float = 5.0,
+    connect_attempts: int = 5,
+    verify: bool = True,
+    restore: bool = True,
+    after: int | None = None,
+) -> CatchupStats:
+    """Catch one instance up to the journal: restore, then replay the tail.
+
+    ``after`` switches to *delta* mode: no restore, replay only the
+    records beyond that id — used to drain writes that committed while a
+    previous full replay was reading the tail, or while an in-flight
+    exchange straddled the shadow-mode flip.
+
+    Raises on connection loss or a response deadline — the caller
+    (normally the recovery supervisor) treats that as a failed restart
+    and goes around its respawn loop again.
+    """
+    proto = resolve(protocol)
+    stats = CatchupStats(last_id=journal.last_id)
+    if after is not None:
+        restore = False
+        stats.epoch = after
+    reader, writer = await open_connection_retry(*address, attempts=connect_attempts)
+    try:
+        state = await _handshake(proto, reader, writer)
+        if restore and supports_snapshots(proto):
+            snapshot = journal.latest_snapshot()
+            request = proto.restore_request(  # type: ignore[attr-defined]
+                snapshot.data if snapshot is not None else None
+            )
+            writer.write(request)
+            await drain_write(writer)
+            if proto.expects_response(request, state):
+                await asyncio.wait_for(
+                    proto.read_server_message(reader, state, request),
+                    timeout=deadline,
+                )
+            stats.restored = True
+            stats.epoch = snapshot.epoch if snapshot is not None else 0
+        for record in journal.records(after=stats.epoch):
+            writer.write(record.request)
+            await drain_write(writer)
+            if proto.expects_response(record.request, state):
+                response = await asyncio.wait_for(
+                    proto.read_server_message(reader, state, record.request),
+                    timeout=deadline,
+                )
+                if verify and response_digest(response) != record.digest:
+                    stats.mismatches += 1
+            stats.replayed += 1
+            stats.last_id = max(stats.last_id, record.id)
+    finally:
+        await close_writer(writer)
+    return stats

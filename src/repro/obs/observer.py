@@ -94,6 +94,27 @@ class Observer:
             "Recovery state-machine transitions, by target state.",
             ("service", "to"),
         )
+        self._journal_records = self.registry.counter(
+            "rddr_journal_records_total",
+            "Exchanges appended to the durable journal.",
+            ("service",),
+        )
+        self._journal_bytes = self.registry.gauge(
+            "rddr_journal_bytes",
+            "Current on-disk size of the exchange journal.",
+            ("service",),
+        )
+        self._catchup_replayed = self.registry.counter(
+            "rddr_catchup_replayed_total",
+            "Journaled exchanges replayed into recovering instances.",
+            ("service",),
+        )
+        self._catchup_lag = self.registry.gauge(
+            "rddr_catchup_lag_exchanges",
+            "Journal tail length behind the latest snapshot epoch "
+            "(exchanges a recovering instance must replay).",
+            ("service",),
+        )
 
     # ---------------------------------------------------------- factories
 
@@ -164,6 +185,46 @@ class Observer:
 
     def recovery_completed(self, *, service: str) -> None:
         self._recoveries.labels(service=service).inc()
+
+    # ------------------------------------------------------------ journal
+
+    def journal_appended(
+        self, service: str, frame_bytes: int, journal_bytes: int
+    ) -> None:
+        self._journal_records.labels(service=service).inc()
+        self._journal_bytes.labels(service=service).set(float(journal_bytes))
+
+    def record_catchup(
+        self,
+        *,
+        service: str,
+        instance: int,
+        epoch: int,
+        replayed: int,
+        mismatches: int,
+        last_id: int,
+        restored: bool,
+        outcome: str = "ok",
+    ) -> dict:
+        """Account one catch-up pass and tag it into the trace sink so the
+        quarantine → catch-up → rejoin timeline reads inline with the
+        exchange traces (``type: "catchup"`` records)."""
+        self._catchup_replayed.labels(service=service).inc(replayed)
+        self._catchup_lag.labels(service=service).set(float(max(0, last_id - epoch)))
+        record = {
+            "type": "catchup",
+            "service": service,
+            "instance": instance,
+            "epoch": epoch,
+            "replayed": replayed,
+            "mismatches": mismatches,
+            "last_id": last_id,
+            "restored": restored,
+            "outcome": outcome,
+            "started_wall": time.time(),
+        }
+        self.sink.emit(record)
+        return record
 
     # ------------------------------------------------------------ exports
 

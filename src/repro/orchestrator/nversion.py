@@ -164,6 +164,8 @@ async def deploy_nversioned(
                 shims=fault_proxies,
                 retired_shims=retired_fault_proxies,
                 outgoing_proxies=list(rddr.outgoing.values()),
+                journal=rddr.journal,
+                proxy_address=lambda: rddr.address,
             )
             await supervisor.start()
     except Exception:

@@ -13,6 +13,7 @@ import secrets
 
 from repro.pgwire import messages as wire
 from repro.sqlengine.database import Database
+from repro.sqlengine.errors import SqlError
 from repro.sqlengine.executor import QueryResult
 from repro.sqlengine.types import TYPE_OIDS
 from repro.sqlengine.types import format_value
@@ -152,6 +153,9 @@ class PgWireServer:
                     writer.write(wire.ready_for_query(b"I").encode())
                     await drain_write(writer)
                     continue
+                if sql.strip().upper().startswith("RDDR "):
+                    await self._run_admin(sql.strip(), writer)
+                    continue
                 await self._run_script(sql, writer, session)
                 continue
             if tag == b"P":
@@ -254,6 +258,38 @@ class PgWireServer:
                 pipeline.append(wire.data_row(rendered).encode())
             pipeline.append(wire.command_complete(result.command_tag).encode())
         return True
+
+    async def _run_admin(self, sql: str, writer) -> None:
+        """``RDDR SNAPSHOT`` / ``RDDR RESTORE '<b64>'`` admin statements.
+
+        Out-of-band state transfer for journal catch-up: SNAPSHOT returns
+        the engine's logical dump base64-encoded in one row, RESTORE
+        replaces engine state with such a dump ('' resets to empty).
+        """
+        import base64
+        import binascii
+
+        verb = sql.upper()
+        try:
+            if verb == "RDDR SNAPSHOT":
+                dump = base64.b64encode(self.database.dump_sql().encode()).decode()
+                fields = [wire.FieldDescription(name="snapshot", type_oid=25)]
+                writer.write(wire.row_description(fields).encode())
+                writer.write(wire.data_row([dump]).encode())
+                writer.write(wire.command_complete("RDDR").encode())
+            elif verb.startswith("RDDR RESTORE"):
+                body = sql[len("RDDR RESTORE") :].strip().rstrip(";").strip()
+                if len(body) < 2 or body[0] != "'" or body[-1] != "'":
+                    raise ValueError("RDDR RESTORE expects a quoted base64 payload")
+                script = base64.b64decode(body[1:-1], validate=True).decode()
+                self.database.restore_sql(script)
+                writer.write(wire.command_complete("RDDR").encode())
+            else:
+                raise ValueError(f"unknown RDDR statement: {sql!r}")
+        except (ValueError, binascii.Error, UnicodeDecodeError, SqlError) as error:
+            writer.write(wire.error_response("ERROR", "XX000", str(error)).encode())
+        writer.write(wire.ready_for_query(b"I").encode())
+        await drain_write(writer)
 
     async def _run_script(self, sql: str, writer, session) -> None:
         outcomes = self.database.execute(sql, session)

@@ -52,6 +52,36 @@ class ProtocolModule(ABC):
     def block_response(self, message: str) -> bytes:
         """Bytes served to the client when RDDR intervenes."""
 
+    # -------------------------------------------------- optional hooks
+    #
+    # Beyond framing/diffing, modules may implement optional hooks the
+    # journal and recovery layers discover with ``getattr``:
+    #
+    # ``liveness_request() -> bytes``
+    #     A harmless request the health monitor and rejoin driver can
+    #     send as a synthetic probe exchange.
+    # ``snapshot_request() -> bytes`` / ``restore_request(data) -> bytes``
+    #     Fetch/install a full application snapshot over the wire.  The
+    #     snapshot is the *raw response bytes* to ``snapshot_request``;
+    #     ``restore_request(None)`` must build a reset-to-empty request.
+    #     Implementing both enables journal compaction and snapshot-
+    #     anchored catch-up for the protocol.
+    # ``handshake(reader, writer) -> state``
+    #     Client-side connection bootstrap (e.g. the pgwire startup
+    #     exchange) run before replaying journaled requests.
+
+    def mutates_state(self, request: bytes) -> bool:
+        """Whether ``request`` can change server state (so must be
+        journaled).  Defaults to ``True`` — journaling a read is merely
+        wasteful, skipping a write loses it."""
+        return True
+
+    async def handshake(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> object:
+        """Client-side connection bootstrap; returns connection state."""
+        return self.new_connection_state()
+
 
 class ProtocolRegistry:
     """Name -> module factory registry, extendable by users."""

@@ -85,6 +85,11 @@ class HttpProtocol(ProtocolModule):
         if state.pending_methods:
             state.pending_methods.pop(0)
 
+    def mutates_state(self, request: bytes) -> bool:
+        # Safe methods (RFC 9110 §9.2.1) are not journaled.
+        method = request.split(b" ", 1)[0].upper()
+        return method not in (b"GET", b"HEAD", b"OPTIONS", b"TRACE")
+
     def tokenize(self, message: bytes) -> list[bytes]:
         if message.startswith(b"HTTP/"):
             try:

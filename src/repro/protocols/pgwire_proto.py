@@ -131,3 +131,57 @@ class PgWireProtocol(ProtocolModule):
         # An ErrorResponse the client library will surface, then FATAL
         # close — mirrors the paper's "closes the connection" behaviour.
         return wire.error_response("FATAL", "XX000", f"RDDR intervened: {message}").encode()
+
+    # ------------------------------------------- optional journal hooks
+
+    #: Simple-query statement prefixes that cannot change database state.
+    _READ_PREFIXES = (b"SELECT", b"SHOW", b"EXPLAIN", b"VALUES", b"RDDR SNAPSHOT")
+
+    def liveness_request(self) -> bytes:
+        return wire.query_message("SELECT 1").encode()
+
+    def mutates_state(self, request: bytes) -> bool:
+        """Journal only simple-query ('Q') writes.
+
+        Startup/SSL negotiation carries no state; extended-protocol
+        pipelines (Parse/Bind/Execute/Sync) cannot be replayed as
+        standalone units, so stateful pgwire deployments should stick to
+        the simple query protocol when journaling (see
+        ``docs/robustness.md``).
+        """
+        if not request or request[0:1] != b"Q":
+            return False
+        body = request[5:].rstrip(b"\x00").strip().upper()
+        return not body.startswith(self._READ_PREFIXES)
+
+    async def handshake(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> _PgConnectionState:
+        """Run the startup exchange so replayed queries land in-phase."""
+        state = self.new_connection_state()
+        startup = wire.StartupMessage(parameters={"user": "rddr_catchup"})
+        writer.write(startup.encode())
+        await writer.drain()
+        while True:
+            message = await wire.read_message(reader)
+            if message.tag == b"Z":
+                break
+            if message.tag == b"E":
+                fields = wire.parse_fields(message)
+                raise ConnectionClosed(f"startup rejected: {fields.message}")
+        state.phase = "query"
+        return state
+
+    def snapshot_request(self) -> bytes:
+        return wire.query_message("RDDR SNAPSHOT").encode()
+
+    def restore_request(self, snapshot: bytes | None) -> bytes:
+        if snapshot is None:
+            return wire.query_message("RDDR RESTORE ''").encode()
+        messages, _ = wire.split_messages(snapshot)
+        for message in messages:
+            if message.tag == b"D":
+                values = wire.parse_data_row(message)
+                if values and values[0] is not None:
+                    return wire.query_message(f"RDDR RESTORE '{values[0]}'").encode()
+        raise wire.ProtocolError("snapshot response carries no data row")

@@ -77,6 +77,29 @@ def encode_command(*parts: bytes | str) -> bytes:
     return b"".join(chunks)
 
 
+def command_verb(request: bytes) -> bytes:
+    """The upper-cased command verb of an encoded RESP request array."""
+    try:
+        elements = split_elements(request)
+    except (RespError, ValueError):
+        return b""
+    for element in elements:
+        if element[:1] == b"$":
+            end = element.index(b"\r\n") + 2
+            return element[end:-2].upper()
+    return b""
+
+
+def bulk_body(value: bytes) -> bytes | None:
+    """The body of a single RESP bulk-string reply, ``None`` otherwise."""
+    if value[:1] != b"$":
+        return None
+    end = value.index(b"\r\n") + 2
+    if value[1:end - 2] == b"-1":
+        return None
+    return value[end:-2]
+
+
 def split_elements(value: bytes) -> list[bytes]:
     """Split a complete RESP value into its top-level elements."""
     elements: list[bytes] = []
@@ -130,3 +153,28 @@ class RespProtocol(ProtocolModule):
     def block_response(self, message: str) -> bytes:
         safe = message.replace("\r", " ").replace("\n", " ")
         return f"-RDDRERR {safe}\r\n".encode()
+
+    # ------------------------------------------- optional journal hooks
+
+    #: Verbs that cannot change kvstore state; anything unknown is
+    #: conservatively treated as a write and journaled.
+    READ_VERBS = frozenset(
+        {b"GET", b"EXISTS", b"KEYS", b"PING", b"ECHO", b"INFO", b"SNAPSHOT"}
+    )
+
+    def liveness_request(self) -> bytes:
+        return encode_command("PING")
+
+    def mutates_state(self, request: bytes) -> bool:
+        return command_verb(request) not in self.READ_VERBS
+
+    def snapshot_request(self) -> bytes:
+        return encode_command("SNAPSHOT")
+
+    def restore_request(self, snapshot: bytes | None) -> bytes:
+        if snapshot is None:
+            return encode_command("RESTORE", b"")
+        body = bulk_body(snapshot)
+        if body is None:
+            raise RespError(f"snapshot reply is not a bulk string: {snapshot[:32]!r}")
+        return encode_command("RESTORE", body)

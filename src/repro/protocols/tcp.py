@@ -43,6 +43,9 @@ class TcpLineProtocol(ProtocolModule):
     def block_response(self, message: str) -> bytes:
         return b""  # raw TCP: RDDR just closes the connection
 
+    def liveness_request(self) -> bytes:
+        return b"rddr-probe\n"
+
 
 async def _read_line(reader: asyncio.StreamReader, max_line: int) -> bytes | None:
     try:

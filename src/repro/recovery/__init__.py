@@ -9,9 +9,10 @@ the ROADMAP's long-running-deployment goal needs:
   shadow / out) are atomic with respect to exchange processing;
 * :class:`HealthMonitor` — periodic TCP + protocol-level liveness probes;
 * :class:`RecoverySupervisor` — the ``LIVE → SUSPECT → QUARANTINED →
-  RESTARTING → REJOINING → LIVE`` state machine: quarantine failing
-  instances, respawn them through the orchestrator, and warm-rejoin them
-  after K consecutive clean shadow exchanges;
+  RESTARTING → CATCHING_UP → REJOINING → LIVE`` state machine: quarantine
+  failing instances, respawn them through the orchestrator, catch them up
+  from the durable exchange journal (when one is configured), and
+  warm-rejoin them after K consecutive clean shadow exchanges;
 * :class:`CircuitBreaker` — closed/open/half-open fast failure for the
   outgoing proxy's backend path;
 * :class:`AdmissionController` — bounded exchange concurrency with
@@ -32,6 +33,7 @@ from repro.recovery.directory import (
 )
 from repro.recovery.monitor import HealthMonitor
 from repro.recovery.supervisor import (
+    CATCHING_UP,
     LIVE,
     QUARANTINED,
     REJOINING,
@@ -52,6 +54,7 @@ __all__ = [
     "SUSPECT",
     "QUARANTINED",
     "RESTARTING",
+    "CATCHING_UP",
     "REJOINING",
     "STATES",
     "MODE_LIVE",

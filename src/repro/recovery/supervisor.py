@@ -19,10 +19,20 @@ back, so redundancy bled away monotonically.  The
   :meth:`Cluster.restart_pod` (same factory, fresh port) and, when the
   deployment runs fault shims, re-interposes a fresh
   :class:`~repro.faults.FaultProxy` in front of the new pod.
-* **RESTARTING → REJOINING** — the new address is published in the
+* **RESTARTING → CATCHING_UP** — with a durable exchange journal
+  configured (``journal_dir``), the fresh pod is first *caught up*: the
+  latest app snapshot is restored and the journal tail of committed
+  state-mutating exchanges is replayed through the published (possibly
+  fault-shimmed) address, each replayed response verified against the
+  journaled digest.  A failed catch-up counts as a failed restart and
+  goes around the respawn loop.  Without a journal this state is
+  skipped, preserving PR 3 behaviour byte-for-byte.
+* **CATCHING_UP → REJOINING** — the new address is published in the
   :class:`~repro.recovery.directory.InstanceDirectory` in *shadow* mode:
   the incoming proxy replicates to the instance and compares its
-  responses, but its vote cannot affect any verdict.
+  responses, but its vote cannot affect any verdict.  On idle services
+  (``rejoin_probe_interval``) the supervisor drives synthetic probe
+  exchanges through the incoming proxy so rejoin still progresses.
 * **REJOINING → LIVE** — after ``rejoin_clean_exchanges`` consecutive
   clean, matching shadow exchanges the instance is promoted back to a
   full voting member (``rddr_recoveries_total``).
@@ -38,11 +48,14 @@ from __future__ import annotations
 
 import asyncio
 import contextlib
+import time
+from typing import Callable
 
 from repro.core import events as ev
 from repro.core.config import RddrConfig
 from repro.core.events import EventLog
 from repro.faults import FaultProxy, FaultSchedule
+from repro.journal import ExchangeJournal, replay_into
 from repro.obs import Observer
 from repro.protocols.base import resolve
 from repro.recovery.directory import (
@@ -52,15 +65,17 @@ from repro.recovery.directory import (
     InstanceDirectory,
 )
 from repro.recovery.monitor import HealthMonitor, ProbeFn
+from repro.transport.streams import close_writer
 
 #: The per-instance recovery states.
 LIVE = "LIVE"
 SUSPECT = "SUSPECT"
 QUARANTINED = "QUARANTINED"
 RESTARTING = "RESTARTING"
+CATCHING_UP = "CATCHING_UP"
 REJOINING = "REJOINING"
 
-STATES = (LIVE, SUSPECT, QUARANTINED, RESTARTING, REJOINING)
+STATES = (LIVE, SUSPECT, QUARANTINED, RESTARTING, CATCHING_UP, REJOINING)
 
 #: States the health monitor keeps probing (the rest have no live address).
 _PROBED = frozenset({LIVE, SUSPECT, REJOINING})
@@ -83,6 +98,8 @@ class RecoverySupervisor:
         retired_shims: list[FaultProxy] | None = None,
         outgoing_proxies: list | None = None,
         probe: ProbeFn | None = None,
+        journal: ExchangeJournal | None = None,
+        proxy_address: Callable[[], tuple[str, int]] | None = None,
     ) -> None:
         self.cluster = cluster
         self.deployment = deployment
@@ -94,18 +111,25 @@ class RecoverySupervisor:
         self.shims = shims if shims is not None else []
         self.retired_shims = retired_shims if retired_shims is not None else []
         self.outgoing_proxies = outgoing_proxies or []
+        #: Durable exchange journal for CATCHING_UP (None = skip that state).
+        self.journal = journal
+        #: Zero-arg callable returning the incoming proxy's client-facing
+        #: address, used to drive synthetic rejoin-probe exchanges.
+        self.proxy_address = proxy_address
         self.states = [LIVE] * len(directory)
         self._fail_counts = [0] * len(directory)
         self._clean_counts = [0] * len(directory)
+        self._last_shadow = [0.0] * len(directory)
         self._rejoin_events: dict[int, asyncio.Event] = {}
         self._recovery_tasks: dict[int, asyncio.Task] = {}
+        self._protocol = resolve(config.protocol)
         self._closed = False
         self.monitor = HealthMonitor(
             self._probe_targets,
             self.probe_result,
             period=config.probe_period,
             timeout=config.probe_timeout,
-            protocol=resolve(config.protocol),
+            protocol=self._protocol,
             probe=probe,
         )
         directory.on_failure(self.instance_failed)
@@ -176,7 +200,9 @@ class RecoverySupervisor:
     def _publish_gauges(self) -> None:
         live = sum(1 for state in self.states if state == LIVE)
         quarantined = sum(
-            1 for state in self.states if state in (QUARANTINED, RESTARTING)
+            1
+            for state in self.states
+            if state in (QUARANTINED, RESTARTING, CATCHING_UP)
         )
         self.observer.set_instance_gauges(
             service=self.deployment, live=live, quarantined=quarantined
@@ -218,6 +244,7 @@ class RecoverySupervisor:
         """One shadow-comparison outcome for a REJOINING instance."""
         if self._closed or self.states[index] != REJOINING:
             return
+        self._last_shadow[index] = time.monotonic()
         if clean:
             self._clean_counts[index] += 1
         else:
@@ -264,17 +291,41 @@ class RecoverySupervisor:
                 for proxy in self.outgoing_proxies:
                     proxy.reset_instance(index)
                 self.directory.set_address(index, published)
+                caught_up_to = 0
+                if self.journal is not None:
+                    stats = await self._catch_up(index, published)
+                    if stats is None:
+                        await asyncio.sleep(backoff)
+                        backoff = min(backoff * 2, 1.0)
+                        continue
+                    backoff = self.config.restart_backoff
+                    caught_up_to = stats.last_id
                 self._clean_counts[index] = 0
                 self._fail_counts[index] = 0
                 rejoined = self._rejoin_events[index] = asyncio.Event()
+                self._last_shadow[index] = time.monotonic()
                 self._set_state(index, REJOINING, "shadow comparison")
                 self.directory.set_mode(index, MODE_SHADOW)
-                await rejoined.wait()
+                prober = self._start_rejoin_prober(index)
+                try:
+                    await rejoined.wait()
+                finally:
+                    if prober is not None:
+                        prober.cancel()
+                        with contextlib.suppress(asyncio.CancelledError):
+                            await prober
                 if (
                     self.states[index] == REJOINING
                     and self._clean_counts[index]
                     >= self.config.rejoin_clean_exchanges
                 ):
+                    if self.journal is not None and not await self._drain_gap(
+                        index, published, caught_up_to
+                    ):
+                        self.directory.set_mode(index, MODE_OUT)
+                        await asyncio.sleep(backoff)
+                        backoff = min(backoff * 2, 1.0)
+                        continue
                     self._set_state(
                         index,
                         LIVE,
@@ -288,6 +339,176 @@ class RecoverySupervisor:
         finally:
             self._rejoin_events.pop(index, None)
             self._recovery_tasks.pop(index, None)
+
+    async def _catch_up(self, index: int, address: tuple[str, int]):
+        """CATCHING_UP: restore + replay the journal into the fresh pod.
+
+        Runs while the instance is still ``out`` of the directory, so no
+        client exchange replicates to it during the replay — but clients
+        keep committing to the *journal*, so after the full replay the
+        tail is re-checked and delta-replayed until it is stable across
+        an event-loop tick.  Returns the merged
+        :class:`~repro.journal.replay.CatchupStats`, or ``None`` (failed
+        restart, go around the respawn loop) when the replay dies on a
+        connect failure, lost connection, or response deadline.
+        """
+        assert self.journal is not None
+        self._set_state(
+            index,
+            CATCHING_UP,
+            f"replaying journal tail (last id {self.journal.last_id})",
+        )
+        try:
+            stats = await replay_into(
+                self.journal,
+                address,
+                self._protocol,
+                deadline=self.config.instance_deadline(),
+                connect_attempts=self.config.connect_attempts,
+                verify=self.config.catchup_verify,
+            )
+            for _ in range(8):  # bounded: traffic can outrun the tail chase
+                if self.journal.last_id <= stats.last_id:
+                    # Let an exchange parked at its commit point land
+                    # before declaring the tail stable.
+                    await asyncio.sleep(0)
+                    if self.journal.last_id <= stats.last_id:
+                        break
+                delta = await replay_into(
+                    self.journal,
+                    address,
+                    self._protocol,
+                    deadline=self.config.instance_deadline(),
+                    connect_attempts=self.config.connect_attempts,
+                    verify=self.config.catchup_verify,
+                    after=stats.last_id,
+                )
+                stats.replayed += delta.replayed
+                stats.mismatches += delta.mismatches
+                stats.last_id = max(stats.last_id, delta.last_id)
+        except asyncio.CancelledError:
+            raise
+        except Exception as error:
+            self.events.record(
+                ev.RECOVERY_STATE,
+                f"instance {index}: catch-up failed: {error}",
+                proxy=self.deployment,
+            )
+            self.observer.record_catchup(
+                service=self.deployment,
+                instance=index,
+                epoch=0,
+                replayed=0,
+                mismatches=0,
+                last_id=self.journal.last_id,
+                restored=False,
+                outcome=f"failed: {error}",
+            )
+            return None
+        self.events.record(
+            ev.RECOVERY_STATE,
+            f"instance {index}: caught up ({stats.replayed} replayed from "
+            f"epoch {stats.epoch}, {stats.mismatches} digest mismatches)",
+            proxy=self.deployment,
+        )
+        self.observer.record_catchup(
+            service=self.deployment,
+            instance=index,
+            epoch=stats.epoch,
+            replayed=stats.replayed,
+            mismatches=stats.mismatches,
+            last_id=stats.last_id,
+            restored=stats.restored,
+        )
+        return stats
+
+    async def _drain_gap(
+        self, index: int, address: tuple[str, int], anchor: int
+    ) -> bool:
+        """Replay the commit gap before promoting a rejoined instance.
+
+        An exchange whose directory snapshot predates the shadow flip
+        never replicated to this instance, yet can commit to the journal
+        *after* catch-up declared the tail stable.  Those records sit in
+        ``(anchor, tail]`` — replay them (unverified: the suffix double-
+        applies exchanges that did replicate, which converges but can
+        change responses) so the promoted instance holds every committed
+        write.
+        """
+        assert self.journal is not None
+        if self.journal.last_id <= anchor:
+            return True
+        try:
+            stats = await replay_into(
+                self.journal,
+                address,
+                self._protocol,
+                deadline=self.config.instance_deadline(),
+                connect_attempts=self.config.connect_attempts,
+                verify=False,
+                after=anchor,
+            )
+        except asyncio.CancelledError:
+            raise
+        except Exception as error:
+            self.events.record(
+                ev.RECOVERY_STATE,
+                f"instance {index}: rejoin gap replay failed: {error}",
+                proxy=self.deployment,
+            )
+            return False
+        self.events.record(
+            ev.RECOVERY_STATE,
+            f"instance {index}: rejoin gap replayed "
+            f"({stats.replayed} records after id {anchor})",
+            proxy=self.deployment,
+        )
+        return True
+
+    # -------------------------------------------------------- rejoin probes
+
+    def _start_rejoin_prober(self, index: int) -> asyncio.Task | None:
+        """On idle services, synthetic probe exchanges keep rejoin moving."""
+        interval = self.config.rejoin_probe_interval
+        if (
+            interval is None
+            or self.proxy_address is None
+            or getattr(self._protocol, "liveness_request", None) is None
+        ):
+            return None
+        return asyncio.ensure_future(self._drive_rejoin(index, interval))
+
+    async def _drive_rejoin(self, index: int, interval: float) -> None:
+        while not self._closed and self.states[index] == REJOINING:
+            await asyncio.sleep(interval)
+            if self._closed or self.states[index] != REJOINING:
+                return
+            if time.monotonic() - self._last_shadow[index] < interval:
+                continue  # client traffic is already driving comparisons
+            try:
+                await self._probe_exchange()
+            except asyncio.CancelledError:
+                raise
+            except Exception:
+                continue  # chaos can flap the proxy dial; just retry
+
+    async def _probe_exchange(self) -> None:
+        """One synthetic liveness exchange through the incoming proxy —
+        replicated to every instance, so the shadow gets compared."""
+        assert self.proxy_address is not None
+        reader, writer = await asyncio.open_connection(*self.proxy_address())
+        try:
+            state = await self._protocol.handshake(reader, writer)
+            request = self._protocol.liveness_request()  # type: ignore[attr-defined]
+            writer.write(request)
+            await writer.drain()
+            if self._protocol.expects_response(request, state):
+                await asyncio.wait_for(
+                    self._protocol.read_server_message(reader, state, request),
+                    timeout=self.config.probe_timeout,
+                )
+        finally:
+            await close_writer(writer)
 
     async def _respawn(self, index: int) -> tuple[str, int]:
         """Restart the pod (re-interposing any fault shim); returns the

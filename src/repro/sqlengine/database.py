@@ -109,3 +109,57 @@ class Database:
     def resident_bytes(self) -> int:
         """Approximate memory footprint of the stored data."""
         return self.catalog.total_bytes()
+
+    # -------------------------------------------------- logical dump/restore
+
+    def dump_sql(self) -> str:
+        """A deterministic logical dump: DDL plus one INSERT per row.
+
+        Tables are emitted sorted by name and rows in insertion order, so
+        two engine instances holding identical state produce identical
+        dumps.  Covers tables and their rows only — UDFs, user operators,
+        grants, and RLS policies are not dumped (documented limitation of
+        snapshot-anchored catch-up; see ``docs/robustness.md``).
+        """
+        lines: list[str] = []
+        for name in sorted(self.catalog.tables):
+            table = self.catalog.tables[name]
+            columns = []
+            for col in table.columns:
+                spec = f"{col.name} {col.type_name}"
+                if col.primary_key:
+                    spec += " PRIMARY KEY"
+                if col.not_null:
+                    spec += " NOT NULL"
+                columns.append(spec)
+            lines.append(f"CREATE TABLE {name} ({', '.join(columns)});")
+            for row in table.rows:
+                values = ", ".join(_sql_literal(value) for value in row)
+                lines.append(f"INSERT INTO {name} VALUES ({values});")
+        return "\n".join(lines)
+
+    def restore_sql(self, script: str) -> None:
+        """Replace all catalog state with the result of running ``script``
+        (normally a :meth:`dump_sql` from a peer) on a fresh catalog."""
+        catalog = Catalog()
+        executor = Executor(catalog, self.profile)
+        if script.strip():
+            session = self.create_session()
+            for statement in parse_sql(script):
+                executor.execute(statement, session)
+        self.catalog = catalog
+        self.executor = executor
+
+
+def _sql_literal(value: object) -> str:
+    """Render one stored cell as a SQL literal the parser round-trips."""
+    if value is None:
+        return "NULL"
+    if isinstance(value, bool):
+        # Booleans are not lexed as keywords; coerce() accepts the strings.
+        return "'true'" if value else "'false'"
+    if isinstance(value, (int, float)):
+        return repr(value)
+    text = value.isoformat() if hasattr(value, "isoformat") else str(value)
+    escaped = text.replace("'", "''")
+    return f"'{escaped}'"

@@ -1,0 +1,104 @@
+"""Property tests for the instance directory's snapshot/version contract.
+
+The incoming proxy's whole atomicity story rests on two properties of
+:class:`~repro.recovery.directory.InstanceDirectory`:
+
+* a taken snapshot is *frozen* — later ``set_address``/``set_mode`` calls
+  never mutate it (an exchange always runs against one consistent view);
+* ``version`` is strictly monotonic and bumps exactly when the visible
+  table changes, so "re-dial only when the version moved" can never miss
+  an update.
+
+Hypothesis drives random interleavings of writes and snapshots.
+"""
+
+from __future__ import annotations
+
+import copy
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.recovery.directory import (
+    MODE_LIVE,
+    MODE_OUT,
+    MODE_SHADOW,
+    InstanceDirectory,
+)
+
+_N = 3
+
+_ops = st.lists(
+    st.one_of(
+        st.tuples(
+            st.just("set_address"),
+            st.integers(min_value=0, max_value=_N - 1),
+            st.integers(min_value=1024, max_value=1030),
+        ),
+        st.tuples(
+            st.just("set_mode"),
+            st.integers(min_value=0, max_value=_N - 1),
+            st.sampled_from([MODE_LIVE, MODE_SHADOW, MODE_OUT]),
+        ),
+        st.tuples(st.just("snapshot"), st.just(0), st.just(0)),
+    ),
+    max_size=40,
+)
+
+
+def _apply(directory: InstanceDirectory, op) -> None:
+    kind, index, arg = op
+    if kind == "set_address":
+        directory.set_address(index, ("127.0.0.1", arg))
+    elif kind == "set_mode":
+        directory.set_mode(index, arg)
+
+
+class TestDirectoryProperties:
+    @settings(max_examples=200, deadline=None)
+    @given(_ops)
+    def test_snapshots_are_isolated_and_versions_monotonic(self, ops):
+        directory = InstanceDirectory(
+            [("127.0.0.1", 9000 + i) for i in range(_N)]
+        )
+        taken = []  # (version, entries, frozen deep copy)
+        last_version = directory.version
+        for op in ops:
+            before_version, before_entries = directory.snapshot()
+            _apply(directory, op)
+            version, entries = directory.snapshot()
+
+            # strict monotonicity: never decreases, and bumps exactly
+            # when the visible table changed
+            assert version >= last_version
+            changed = entries != before_entries
+            assert version == before_version + (1 if changed else 0)
+            last_version = version
+
+            if op[0] == "snapshot":
+                taken.append((version, entries, copy.deepcopy(entries)))
+
+        # no later write mutated any previously taken snapshot
+        for version, entries, frozen in taken:
+            assert entries == frozen
+            # entries themselves are immutable slots
+            for entry in entries:
+                assert hash(entry) == hash(
+                    frozen[entry.index]
+                )  # frozen dataclass stayed hashable/equal
+
+    @settings(max_examples=100, deadline=None)
+    @given(_ops)
+    def test_noop_writes_never_bump_version(self, ops):
+        directory = InstanceDirectory(
+            [("127.0.0.1", 9000 + i) for i in range(_N)]
+        )
+        for op in ops:
+            _apply(directory, op)
+        version = directory.version
+        # replaying the current state is a no-op for every slot
+        for index in range(_N):
+            entry = directory.entry(index)
+            directory.set_address(index, entry.address)
+            directory.set_mode(index, entry.mode)
+        assert directory.version == version

@@ -1,0 +1,366 @@
+"""Catch-up replay: restarted instances rejoin with converged state.
+
+End-to-end over the kvstore pair (kill → CATCHING_UP → REJOINING → LIVE
+with byte-identical state), replay idempotence against a live RESP
+server, proxy crash consistency (a rebuilt deployment resumes exchange
+ids from the same journal directory), pgwire simple-query replay, and
+the idle-service rejoin probe (recovery completes with zero client
+traffic).
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.apps.kvstore import RedisLikeServer, kv_command
+from repro.core.config import RddrConfig
+from repro.core.rddr import RddrDeployment
+from repro.journal import (
+    ExchangeJournal,
+    capture_snapshot,
+    replay_into,
+    response_digest,
+)
+from repro.orchestrator import Cluster, deploy_nversioned
+from repro.protocols.base import resolve
+from repro.protocols.resp import encode_command
+from repro.recovery import CATCHING_UP, LIVE
+from repro.transport.streams import close_writer
+from tests.helpers import run
+
+N = 3
+
+
+async def _kv_factory(ctx):
+    return await RedisLikeServer(host=ctx.host, port=ctx.port).start()
+
+
+def _recovery_config(journal_dir: str, **extra) -> RddrConfig:
+    return RddrConfig(
+        protocol="resp",
+        exchange_timeout=2.0,
+        instance_response_deadline=0.5,
+        divergence_policy="vote",
+        degraded_quorum=True,
+        quarantine_minority=True,
+        ephemeral_state=False,
+        recovery_enabled=True,
+        probe_period=0.05,
+        probe_timeout=0.3,
+        probe_failure_threshold=2,
+        restart_backoff=0.05,
+        rejoin_clean_exchanges=2,
+        connect_attempts=3,
+        connect_backoff_max=0.05,
+        journal_dir=journal_dir,
+        **extra,
+    )
+
+
+async def _instance_scan(address) -> bytes:
+    """Full deterministic state scan of one instance: KEYS + every GET."""
+    listing = await kv_command(address, "KEYS", "*")
+    keys = [
+        line
+        for line in listing.split(b"\r\n")
+        if line and not line.startswith((b"*", b"$"))
+    ]
+    chunks = [listing]
+    for key in keys:
+        chunks.append(await kv_command(address, "GET", key))
+    return b"".join(chunks)
+
+
+async def _drain_until_live(supervisor, address, *, deadline=30.0) -> None:
+    """Drive traffic until every instance is LIVE again."""
+    stop = asyncio.get_running_loop().time() + deadline
+    extra = 0
+    while not supervisor.all_live:
+        assert (
+            asyncio.get_running_loop().time() < stop
+        ), f"states: {supervisor.states}"
+        try:
+            await kv_command(address, "SET", f"drain{extra}", f"d{extra}")
+        except (ConnectionError, OSError, asyncio.TimeoutError):
+            pass
+        extra += 1
+        await asyncio.sleep(0.02)
+
+
+class TestKvCatchup:
+    def test_killed_instance_rejoins_with_converged_state(self, tmp_path):
+        journal_dir = str(tmp_path / "journal")
+
+        async def main():
+            config = _recovery_config(journal_dir)
+            async with Cluster() as cluster:
+                service = await deploy_nversioned(
+                    cluster, "kv", [_kv_factory] * N, config=config
+                )
+                try:
+                    supervisor = service.supervisor
+                    address = service.address
+                    for i in range(20):
+                        reply = await kv_command(
+                            address, "SET", f"key{i:03d}", f"value{i:03d}"
+                        )
+                        assert reply == b"+OK\r\n"
+                    # reads are not journaled
+                    assert (
+                        await kv_command(address, "GET", "key005")
+                        == b"$8\r\nvalue005\r\n"
+                    )
+                    assert service.rddr.journal.last_id == 20
+
+                    victim = 1
+                    pod = next(
+                        p for p in cluster.pods("kv") if p.index == victim
+                    )
+                    await pod.runtime.close()
+                    await _drain_until_live(supervisor, address)
+
+                    # one more write lands on everyone post-rejoin
+                    await kv_command(address, "SET", "post", "rejoined")
+                    await asyncio.sleep(0.05)
+
+                    # the victim traversed CATCHING_UP, and the catch-up
+                    # record shows a real replay
+                    records = service.rddr.observer.traces()
+                    transitions = [
+                        (r["from"], r["to"])
+                        for r in records
+                        if r.get("type") == "recovery"
+                        and r.get("instance") == victim
+                    ]
+                    assert ("RESTARTING", CATCHING_UP) in transitions
+                    assert (CATCHING_UP, "REJOINING") in transitions
+                    catchups = [
+                        r for r in records if r.get("type") == "catchup"
+                    ]
+                    assert catchups and catchups[-1]["outcome"] == "ok"
+                    assert catchups[-1]["replayed"] >= 20
+                    assert catchups[-1]["mismatches"] == 0
+
+                    snapshot = service.rddr.metrics_snapshot()
+                    replayed = sum(
+                        series["value"]
+                        for series in snapshot["rddr_catchup_replayed_total"][
+                            "series"
+                        ]
+                    )
+                    assert replayed >= 20
+
+                    # byte-identical full scans across all N instances
+                    scans = []
+                    for index in range(N):
+                        entry = service.directory.entry(index)
+                        scans.append(await _instance_scan(entry.address))
+                    assert scans[0] == scans[1] == scans[2]
+                    assert b"value019" in scans[0] and b"rejoined" in scans[0]
+                finally:
+                    await service.close()
+            # the journal on disk is clean after the whole run
+            journal = ExchangeJournal(journal_dir)
+            assert journal.verify() == []
+
+        run(main(), timeout=90.0)
+
+    def test_idle_rejoin_probe_drives_recovery(self, tmp_path):
+        """Satellite: with ``rejoin_probe_interval`` set, a killed
+        instance reaches LIVE again with NO client traffic after the
+        kill — synthetic liveness exchanges feed the shadow comparison."""
+        journal_dir = str(tmp_path / "journal")
+
+        async def main():
+            config = _recovery_config(
+                journal_dir, rejoin_probe_interval=0.05
+            )
+            async with Cluster() as cluster:
+                service = await deploy_nversioned(
+                    cluster, "kv-idle", [_kv_factory] * N, config=config
+                )
+                try:
+                    supervisor = service.supervisor
+                    for i in range(5):
+                        await kv_command(
+                            service.address, "SET", f"k{i}", f"v{i}"
+                        )
+                    victim = 0
+                    pod = next(
+                        p for p in cluster.pods("kv-idle") if p.index == victim
+                    )
+                    await pod.runtime.close()
+                    # no client traffic from here on: the health monitor
+                    # must notice the death, and the rejoin prober must
+                    # then drive the shadow comparison on its own
+                    stop = asyncio.get_running_loop().time() + 30.0
+                    while supervisor.state(victim) == LIVE:
+                        assert (
+                            asyncio.get_running_loop().time() < stop
+                        ), "kill never detected"
+                        await asyncio.sleep(0.02)
+                    while not supervisor.all_live:
+                        assert (
+                            asyncio.get_running_loop().time() < stop
+                        ), f"states: {supervisor.states}"
+                        await asyncio.sleep(0.05)
+                    records = service.rddr.observer.traces()
+                    assert any(
+                        r.get("type") == "recovery"
+                        and r.get("instance") == victim
+                        and r.get("to") == CATCHING_UP
+                        for r in records
+                    )
+                    # the replayed writes made it into the fresh pod
+                    entry = service.directory.entry(victim)
+                    assert (
+                        await kv_command(entry.address, "GET", "k3")
+                        == b"$2\r\nv3\r\n"
+                    )
+                finally:
+                    await service.close()
+
+        run(main(), timeout=90.0)
+
+
+class TestReplayIdempotence:
+    def test_replay_twice_converges_to_same_state(self, tmp_path):
+        async def main():
+            proto = resolve("resp")
+            server = await RedisLikeServer().start()
+            journal = ExchangeJournal.open(tmp_path)
+            try:
+                for i in range(10):
+                    journal.append(
+                        encode_command("SET", f"k{i}", f"v{i}"),
+                        digest=response_digest(b"+OK\r\n"),
+                    )
+                journal.append(
+                    encode_command("DEL", "k3"),
+                    digest=response_digest(b":1\r\n"),
+                )
+                first = await replay_into(journal, server.address, proto)
+                assert first.replayed == 11
+                assert first.mismatches == 0
+                # no snapshot yet: the restore was a reset-to-empty
+                assert first.restored and first.epoch == 0
+                state_after_first = server.snapshot()
+                second = await replay_into(journal, server.address, proto)
+                assert second.replayed == 11 and second.mismatches == 0
+                assert server.snapshot() == state_after_first
+                assert b"k3" not in server.snapshot()
+            finally:
+                journal.close()
+                await server.close()
+
+        run(main())
+
+    def test_replay_resumes_from_snapshot_anchor(self, tmp_path):
+        async def main():
+            proto = resolve("resp")
+            server = await RedisLikeServer().start()
+            journal = ExchangeJournal.open(tmp_path)
+            try:
+                for i in range(6):
+                    journal.append(
+                        encode_command("SET", f"base{i}", f"b{i}"),
+                        digest=response_digest(b"+OK\r\n"),
+                    )
+                await replay_into(journal, server.address, proto)
+                blob = await capture_snapshot(server.address, proto)
+                journal.install_snapshot(journal.last_id, blob)
+                journal.append(
+                    encode_command("SET", "tail", "suffix"),
+                    digest=response_digest(b"+OK\r\n"),
+                )
+                fresh = await RedisLikeServer().start()
+                stats = await replay_into(journal, fresh.address, proto)
+                # only the suffix beyond the epoch is replayed
+                assert stats.restored and stats.epoch == 6
+                assert stats.replayed == 1 and stats.mismatches == 0
+                expected = dict(server.data)
+                expected[b"tail"] = b"suffix"
+                assert fresh.data == expected
+                await fresh.close()
+            finally:
+                journal.close()
+                await server.close()
+
+        run(main())
+
+
+class TestProxyCrashConsistency:
+    def test_rebuilt_deployment_resumes_exchange_ids(self, tmp_path):
+        """A proxy restart (new RddrDeployment, same journal_dir) keeps
+        appending after the last durable record."""
+
+        async def main():
+            servers = [await RedisLikeServer().start() for _ in range(2)]
+            addresses = [s.address for s in servers]
+            config = RddrConfig(protocol="resp", journal_dir=str(tmp_path))
+            rddr = RddrDeployment("kv", config)
+            await rddr.start_incoming_proxy(addresses)
+            await kv_command(rddr.address, "SET", "a", "1")
+            await kv_command(rddr.address, "GET", "a")  # not journaled
+            assert rddr.journal.last_id == 1
+            await rddr.close()
+
+            again = RddrDeployment("kv", config)
+            await again.start_incoming_proxy(addresses)
+            await kv_command(again.address, "SET", "b", "2")
+            assert again.journal.last_id == 2
+            requests = [r.request for r in again.journal.records()]
+            assert requests == [
+                encode_command("SET", "a", "1"),
+                encode_command("SET", "b", "2"),
+            ]
+            await again.close()
+            for server in servers:
+                await server.close()
+
+        run(main())
+
+
+class TestPgwireCatchup:
+    def test_simple_query_journal_replays_into_fresh_engine(self, tmp_path):
+        from repro.pgwire import messages as wire
+        from repro.pgwire.server import PgWireServer
+        from repro.sqlengine.database import Database
+
+        async def main():
+            proto = resolve("pgwire")
+            source = PgWireServer(Database())
+            await source.start()
+            journal = ExchangeJournal.open(tmp_path)
+            reader, writer = await asyncio.open_connection(*source.address)
+            try:
+                state = await proto.handshake(reader, writer)
+                for sql in (
+                    "CREATE TABLE t (id INT PRIMARY KEY, name TEXT)",
+                    "INSERT INTO t VALUES (1, 'one')",
+                    "INSERT INTO t VALUES (2, 'two')",
+                    "UPDATE t SET name = 'uno' WHERE id = 1",
+                ):
+                    request = wire.query_message(sql).encode()
+                    writer.write(request)
+                    await writer.drain()
+                    response = await proto.read_server_message(
+                        reader, state, request
+                    )
+                    journal.append(request, digest=response_digest(response))
+            finally:
+                await close_writer(writer)
+
+            target = PgWireServer(Database())
+            await target.start()
+            stats = await replay_into(journal, target.address, proto)
+            assert stats.replayed == 4 and stats.mismatches == 0
+            assert (
+                target.database.dump_sql() == source.database.dump_sql()
+            )
+            assert "'uno'" in target.database.dump_sql()
+            journal.close()
+            await source.close()
+            await target.close()
+
+        run(main())

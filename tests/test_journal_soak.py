@@ -1,0 +1,217 @@
+"""Stateful chaos soak: seeded kills over a journaled kvstore deployment.
+
+The acceptance run for the durable exchange journal: an N=3 RESP
+deployment serves a seeded SET/GET/DEL mix while connect faults flap
+instance dials and two seeded kill points close currently-LIVE pods
+mid-write.  Tiny segment/compaction budgets force rotation and
+snapshot-anchored compaction *during* the run, so catch-up exercises the
+restore-then-replay path, not just raw replay.
+
+Must-hold invariants at the end:
+
+* every instance is LIVE again, and every killed instance traversed
+  CATCHING_UP on its way back;
+* the on-disk journal verifies clean (CRCs, id monotonicity, snapshots);
+* a full key scan of each instance — KEYS plus every GET — is
+  byte-identical across all three.
+
+``RDDR_SOAK_SEED`` picks the run (default 1); ``RDDR_JOURNAL_SOAK_DIR``
+persists the journal for the CI failure artifact (and post-run
+``python -m repro.journal verify``); ``RDDR_SOAK_TRACE_DIR`` dumps the
+trace-sink JSONL.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import random
+
+from repro.apps.kvstore import RedisLikeServer, kv_command
+from repro.core.config import RddrConfig
+from repro.faults import CONNECT_KINDS, FaultSchedule, connect_fault_hook
+from repro.journal import ExchangeJournal
+from repro.orchestrator import Cluster, deploy_nversioned
+from repro.recovery import CATCHING_UP, LIVE
+from repro.transport import install_connect_hook
+from tests.helpers import run
+
+SEED = int(os.environ.get("RDDR_SOAK_SEED", "1"))
+OPERATIONS = 150
+N = 3
+
+
+async def _kv_factory(ctx):
+    return await RedisLikeServer(host=ctx.host, port=ctx.port).start()
+
+
+async def _op(address, rng: random.Random, sequence: int) -> None:
+    """One seeded client operation; failures mid-kill are tolerated."""
+    roll = rng.random()
+    key = f"k{rng.randrange(40)}"
+    try:
+        if roll < 0.55:
+            await kv_command(address, "SET", key, f"v{sequence}")
+        elif roll < 0.7:
+            await kv_command(address, "SET", f"unique{sequence}", f"u{sequence}")
+        elif roll < 0.85:
+            await kv_command(address, "GET", key)
+        else:
+            await kv_command(address, "DEL", key)
+    except (ConnectionError, OSError, asyncio.TimeoutError):
+        pass
+
+
+async def _instance_scan(address) -> bytes:
+    listing = await kv_command(address, "KEYS", "*")
+    keys = [
+        line
+        for line in listing.split(b"\r\n")
+        if line and not line.startswith((b"*", b"$"))
+    ]
+    chunks = [listing]
+    for key in keys:
+        chunks.append(await kv_command(address, "GET", key))
+    return b"".join(chunks)
+
+
+async def _soak(journal_dir: str) -> None:
+    rng = random.Random(SEED)
+    flaps = FaultSchedule.random(
+        SEED,
+        instances=N,
+        exchanges=5,
+        kinds=CONNECT_KINDS,
+        rate=0.3,
+        delay_choices=(5.0, 15.0),
+    )
+    kill_points = sorted(rng.sample(range(20, OPERATIONS - 30), 2))
+    config = RddrConfig(
+        protocol="resp",
+        exchange_timeout=2.0,
+        instance_response_deadline=0.5,
+        divergence_policy="vote",
+        degraded_quorum=True,
+        quarantine_minority=True,
+        ephemeral_state=False,
+        recovery_enabled=True,
+        probe_period=0.05,
+        probe_timeout=0.3,
+        probe_failure_threshold=2,
+        restart_backoff=0.05,
+        rejoin_clean_exchanges=2,
+        connect_attempts=3,
+        connect_backoff_max=0.05,
+        journal_dir=journal_dir,
+        journal_segment_bytes=512,
+        journal_compact_bytes=2048,
+    )
+    async with Cluster() as cluster:
+        instance_of: dict[tuple[str, int], int] = {}
+        hook = connect_fault_hook(flaps, instance_of)
+        with install_connect_hook(hook):
+            service = await deploy_nversioned(
+                cluster,
+                "kv-soak",
+                [_kv_factory for _ in range(N)],
+                config=config,
+            )
+            supervisor = service.supervisor
+            _SINK[0] = service.rddr.observer.sink
+            instance_of.update(
+                {pod.address: pod.index for pod in cluster.pods("kv-soak")}
+            )
+            address = service.address
+            victims: list[int] = []
+            kills_done = 0
+            for sequence in range(OPERATIONS):
+                if (
+                    kills_done < len(kill_points)
+                    and sequence == kill_points[kills_done]
+                ):
+                    live = [
+                        index
+                        for index in range(N)
+                        if supervisor.state(index) == LIVE
+                    ]
+                    victim = rng.choice(live)
+                    victims.append(victim)
+                    pod = next(
+                        p
+                        for p in cluster.pods("kv-soak")
+                        if p.index == victim
+                    )
+                    await pod.runtime.close()
+                    kills_done += 1
+                await _op(address, rng, sequence)
+                await asyncio.sleep(0.005)
+            assert kills_done == 2
+
+            # Keep writing until every instance has warm-rejoined.
+            deadline = asyncio.get_running_loop().time() + 45.0
+            extra = 0
+            while not supervisor.all_live:
+                assert (
+                    asyncio.get_running_loop().time() < deadline
+                ), f"states: {supervisor.states}"
+                try:
+                    await kv_command(
+                        address, "SET", f"drain{extra}", f"d{extra}"
+                    )
+                except (ConnectionError, OSError, asyncio.TimeoutError):
+                    pass
+                extra += 1
+                await asyncio.sleep(0.02)
+
+            # Every killed instance came back through CATCHING_UP.
+            transitions = [
+                (record["instance"], record["to"])
+                for record in service.rddr.observer.traces()
+                if record.get("type") == "recovery"
+            ]
+            for victim in victims:
+                assert (victim, CATCHING_UP) in transitions, victims
+                assert (victim, LIVE) in transitions, victims
+
+            # Rotation and snapshot-anchored compaction actually happened.
+            journal = service.rddr.journal
+            assert journal.last_id > 0
+            assert journal.latest_snapshot() is not None
+
+            # Converged state: byte-identical full scans per instance.
+            scans = []
+            for index in range(N):
+                entry = service.directory.entry(index)
+                scans.append(await _instance_scan(entry.address))
+            assert scans[0] == scans[1] == scans[2]
+
+            await service.close()
+
+    # The on-disk journal survives teardown and verifies clean.
+    survivor = ExchangeJournal(journal_dir)
+    assert survivor.verify() == []
+    assert survivor.stat()["records"] > 0
+
+
+#: Trace sink stashed so a failed run still dumps the CI artifact.
+_SINK: list = [None]
+
+
+class TestJournalSoak:
+    def test_stateful_soak_converges(self, tmp_path):
+        journal_dir = os.environ.get("RDDR_JOURNAL_SOAK_DIR") or str(
+            tmp_path / "journal"
+        )
+
+        async def main():
+            try:
+                await _soak(journal_dir)
+            finally:
+                trace_dir = os.environ.get("RDDR_SOAK_TRACE_DIR")
+                if trace_dir and _SINK[0] is not None:
+                    path = os.path.join(
+                        trace_dir, f"journal-soak-seed{SEED}.jsonl"
+                    )
+                    _SINK[0].write_jsonl(path)
+
+        run(main(), timeout=150.0)

@@ -88,6 +88,56 @@ class TestCircuitBreaker:
         with pytest.raises(ValueError):
             CircuitBreaker(reset_timeout=-1.0)
 
+    def test_half_open_admits_exactly_one_concurrent_probe(self):
+        """Regression: two simultaneous dials racing into the half-open
+        window must admit exactly one trial — the loser fails fast with
+        CircuitOpenError and never touches the socket."""
+
+        async def main():
+            connections: list[object] = []
+
+            async def handler(reader, writer):
+                connections.append(writer.get_extra_info("peername"))
+                writer.close()
+
+            server = await asyncio.start_server(handler, "127.0.0.1", 0)
+            host, port = server.sockets[0].getsockname()[:2]
+            try:
+                clock = _Clock()
+                breaker = CircuitBreaker(
+                    failure_threshold=1, reset_timeout=5.0, clock=clock
+                )
+                breaker.record_failure()
+                assert breaker.state == OPEN
+                clock.now = 5.0  # the reset window is open for one trial
+                results = await asyncio.gather(
+                    open_connection_retry(
+                        host, port, breaker=breaker, attempts=1
+                    ),
+                    open_connection_retry(
+                        host, port, breaker=breaker, attempts=1
+                    ),
+                    return_exceptions=True,
+                )
+                rejected = [
+                    r for r in results if isinstance(r, CircuitOpenError)
+                ]
+                admitted = [r for r in results if not isinstance(r, Exception)]
+                assert len(admitted) == 1, results
+                assert len(rejected) == 1, results
+                await asyncio.sleep(0.05)
+                assert len(connections) == 1  # the loser made no socket work
+                _, writer = admitted[0]
+                writer.close()
+                # the successful trial closed the circuit for everyone
+                assert breaker.state == CLOSED
+                assert breaker.allow()
+            finally:
+                server.close()
+                await server.wait_closed()
+
+        run(main())
+
 
 class TestRetryBreakerIntegration:
     def test_open_circuit_fails_fast_without_dialing(self):
