@@ -1,0 +1,64 @@
+"""Ablation: what does always-on tracing cost, and does sampling it out
+actually buy the cost back?
+
+Runs the echo bench workload at ``trace_sample_rate`` 1.0 (every
+exchange builds a span tree, feeds the stage profiler, and lands in the
+sink) and 0.0 (every exchange takes the allocation-free null-trace fast
+path), same seed, and prints throughput and p99 side by side.
+
+Expected shape: both runs complete the identical request sequence
+(digests match), the sampled-out run emits no traces or stage samples,
+and its throughput is in the same ballpark or better — tracing overhead
+for this pipeline is small, which is the point of keeping it on by
+default.  Assertions are deliberately loose: CI machines are noisy, and
+this bench documents a shape, not a number.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit, run
+from repro.bench import run_bench
+
+SEED = 11
+CLIENTS = 8
+REQUESTS = 100
+
+
+def test_trace_sampling_ablation():
+    traced = run(
+        run_bench(
+            "echo", seed=SEED, clients=CLIENTS, requests=REQUESTS,
+            trace_sample_rate=1.0,
+        )
+    )
+    untraced = run(
+        run_bench(
+            "echo", seed=SEED, clients=CLIENTS, requests=REQUESTS,
+            trace_sample_rate=0.0,
+        )
+    )
+
+    emit("trace-sampling ablation (echo, 3 instances, "
+         f"{CLIENTS} clients x {REQUESTS} reqs):")
+    for label, report in (("rate=1.0", traced), ("rate=0.0", untraced)):
+        totals, latency = report["totals"], report["latency_ms"]
+        emit(
+            f"  {label}: {totals['exchanges_per_second']:>8.1f} ex/s   "
+            f"p50 {latency['p50']:.3f}ms  p99 {latency['p99']:.3f}ms  "
+            f"stages recorded: {report['stages'].get('exchange', {}).get('count', 0)}"
+        )
+
+    # identical seeded request sequence in both runs
+    assert traced["request_digest"] == untraced["request_digest"]
+    assert traced["totals"]["transactions"] == untraced["totals"]["transactions"]
+    assert traced["totals"]["errors"] == 0 and untraced["totals"]["errors"] == 0
+
+    # rate=1.0 profiles every exchange; rate=0.0 profiles none
+    assert traced["stages"]["exchange"]["count"] == CLIENTS * REQUESTS
+    assert untraced["stages"] == {} and untraced["stage_set"] == []
+
+    # loose: sampling out tracing must not be a large slowdown
+    assert (
+        untraced["totals"]["exchanges_per_second"]
+        > 0.5 * traced["totals"]["exchanges_per_second"]
+    )

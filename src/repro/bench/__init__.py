@@ -1,0 +1,108 @@
+"""repro.bench — the committed performance baseline harness.
+
+``python -m repro.bench --workload {echo,kvstore,pgbench} --seed S``
+stands up N identical instances of a workload microservice, wraps them
+in :func:`repro.deploy`, drives a seeded closed-loop client population
+through the incoming proxy, and emits a ``BENCH_<workload>.json`` report:
+throughput, latency percentiles, the per-stage pipeline breakdown from
+:class:`repro.obs.StageProfiler`, runtime-probe aggregates, and the
+run's identity (config fingerprint + request digest) that makes two
+reports comparable.  ``python -m repro.bench compare A B`` enforces that
+comparability and a throughput-regression tolerance — the CI perf-smoke
+gate.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import repro
+from repro.bench.report import (
+    SCHEMA,
+    build_report,
+    compare_reports,
+    load_report,
+    verdict_counts,
+    write_report,
+)
+from repro.bench.workloads import WORKLOADS, request_digest
+from repro.core.config import RddrConfig
+from repro.obs import Observer
+
+__all__ = [
+    "SCHEMA",
+    "WORKLOADS",
+    "build_report",
+    "compare_reports",
+    "load_report",
+    "request_digest",
+    "run_bench",
+    "run_bench_sync",
+    "verdict_counts",
+    "write_report",
+]
+
+
+async def run_bench(
+    workload: str,
+    *,
+    seed: int,
+    clients: int = 4,
+    requests: int = 50,
+    instances: int = 3,
+    trace_sample_rate: float = 1.0,
+    probe_interval: float = 0.02,
+) -> dict:
+    """Run one seeded bench and return its BENCH report dict."""
+    try:
+        spec = WORKLOADS[workload]
+    except KeyError:
+        raise ValueError(
+            f"unknown workload {workload!r}; choose from {sorted(WORKLOADS)}"
+        ) from None
+    streams = spec.streams(seed, clients, requests)
+    digest = request_digest(streams)
+    config = RddrConfig(
+        protocol=spec.protocol,
+        filter_pair=(0, 1),
+        exchange_timeout=60.0,
+        trace_sample_rate=trace_sample_rate,
+        trace_sample_seed=seed,
+        runtime_probe_interval=probe_interval,
+    )
+    observer = Observer()
+    name = f"bench-{workload}"
+    addresses, servers = await spec.start_instances(instances)
+    deployment = None
+    try:
+        deployment = await repro.deploy(
+            instances=addresses, config=config, observer=observer, name=name
+        )
+        probe = deployment.runtime_probe
+        result = await spec.run_clients(deployment.address, streams)
+        runtime = probe.summary() if probe is not None else None
+    finally:
+        if deployment is not None:
+            await deployment.close()
+        for server in servers:
+            await server.close()
+    return build_report(
+        workload=workload,
+        seed=seed,
+        clients=clients,
+        requests=requests,
+        instances=instances,
+        protocol=spec.protocol,
+        trace_sample_rate=trace_sample_rate,
+        config_fingerprint=config.fingerprint(),
+        request_digest=digest,
+        result=result,
+        stages=observer.profiler.summary(proxy=f"{name}-in"),
+        runtime=runtime,
+        verdicts=verdict_counts(observer.metrics_snapshot(), f"{name}-in"),
+    )
+
+
+def run_bench_sync(workload: str, **kwargs) -> dict:
+    """Blocking wrapper around :func:`run_bench` for CLIs and tests."""
+    return asyncio.run(run_bench(workload, **kwargs))

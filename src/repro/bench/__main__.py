@@ -1,0 +1,90 @@
+"""CLI: run a seeded bench, or compare a candidate run to a baseline.
+
+Run (writes ``BENCH_<workload>.json`` in the working directory)::
+
+    python -m repro.bench --workload echo --seed 11
+    python -m repro.bench --workload pgbench --seed 11 --clients 2 \\
+        --requests 25 --out /tmp/BENCH_pgbench.json
+
+Compare (exit 1 on identity mismatch or throughput regression)::
+
+    python -m repro.bench compare BENCH_echo.json /tmp/candidate.json \\
+        --tolerance 0.30
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.bench import compare_reports, load_report, run_bench_sync, write_report
+
+
+def _run_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench", description=__doc__.split("\n")[0]
+    )
+    parser.add_argument(
+        "--workload", required=True, choices=("echo", "kvstore", "pgbench")
+    )
+    parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument("--clients", type=int, default=4)
+    parser.add_argument("--requests", type=int, default=50, help="per client")
+    parser.add_argument("--instances", type=int, default=3)
+    parser.add_argument("--sample-rate", type=float, default=1.0)
+    parser.add_argument("--out", default=None, help="default BENCH_<workload>.json")
+    return parser
+
+
+def _compare_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench compare",
+        description="Compare a candidate bench report against a baseline.",
+    )
+    parser.add_argument("baseline")
+    parser.add_argument("candidate")
+    parser.add_argument("--tolerance", type=float, default=0.30)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if argv and argv[0] == "compare":
+        args = _compare_parser().parse_args(argv[1:])
+        problems = compare_reports(
+            load_report(args.baseline),
+            load_report(args.candidate),
+            tolerance=args.tolerance,
+        )
+        if problems:
+            for problem in problems:
+                print(f"FAIL: {problem}")
+            return 1
+        print(f"OK: {args.candidate} within {args.tolerance:.0%} of {args.baseline}")
+        return 0
+
+    args = _run_parser().parse_args(argv)
+    report = run_bench_sync(
+        args.workload,
+        seed=args.seed,
+        clients=args.clients,
+        requests=args.requests,
+        instances=args.instances,
+        trace_sample_rate=args.sample_rate,
+    )
+    path = write_report(report, args.out or f"BENCH_{args.workload}.json")
+    totals = report["totals"]
+    print(
+        f"{args.workload}: {totals['transactions']} exchanges in "
+        f"{totals['duration_s']}s = {totals['exchanges_per_second']}/s "
+        f"(p99 {report['latency_ms']['p99']}ms) -> {path}"
+    )
+    if totals["errors"]:
+        print(f"WARNING: {totals['errors']} client errors", file=sys.stderr)
+    print(json.dumps(report["stage_set"]))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

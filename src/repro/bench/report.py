@@ -1,0 +1,132 @@
+"""BENCH_*.json report assembly and baseline comparison.
+
+A report is a committed artifact: it must be meaningful to diff across
+runs and machines.  Noisy wall-clock numbers (throughput, latencies,
+stage quantiles) are carried for reading and regression *ratios*, while
+the comparable identity of a run — workload, seed, config fingerprint,
+request digest, stage set — is exact and must match between a baseline
+and a candidate before any performance comparison is trusted.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+SCHEMA = "repro.bench/v1"
+
+
+def _round_floats(value, digits: int = 3):
+    if isinstance(value, float):
+        return round(value, digits)
+    if isinstance(value, dict):
+        return {key: _round_floats(item, digits) for key, item in value.items()}
+    if isinstance(value, list):
+        return [_round_floats(item, digits) for item in value]
+    return value
+
+
+def verdict_counts(snapshot: dict, proxy: str) -> dict[str, int]:
+    """Per-verdict exchange counts for one proxy, from a registry snapshot."""
+    family = snapshot.get("rddr_exchanges_total", {})
+    counts: dict[str, int] = {}
+    for series in family.get("series", ()):
+        labels = series.get("labels", {})
+        if labels.get("proxy") != proxy:
+            continue
+        verdict = labels.get("verdict", "unknown")
+        counts[verdict] = counts.get(verdict, 0) + int(series.get("value", 0))
+    return dict(sorted(counts.items()))
+
+
+def build_report(
+    *,
+    workload: str,
+    seed: int,
+    clients: int,
+    requests: int,
+    instances: int,
+    protocol: str,
+    trace_sample_rate: float,
+    config_fingerprint: str,
+    request_digest: str,
+    result,
+    stages: dict[str, dict],
+    runtime: dict | None,
+    verdicts: dict[str, int],
+) -> dict:
+    """Assemble one run's BENCH report (JSON-able, stable key order)."""
+    return {
+        "schema": SCHEMA,
+        "workload": workload,
+        "seed": seed,
+        "clients": clients,
+        "requests_per_client": requests,
+        "instances": instances,
+        "protocol": protocol,
+        "trace_sample_rate": trace_sample_rate,
+        "config_fingerprint": config_fingerprint,
+        "request_digest": request_digest,
+        "totals": {
+            "transactions": result.transactions,
+            "errors": result.errors,
+            "duration_s": round(result.duration_s, 3),
+            "exchanges_per_second": round(result.throughput_tps, 1),
+        },
+        "latency_ms": {
+            "mean": round(result.mean_latency_ms, 3),
+            "p50": round(result.latency_percentile_ms(50), 3),
+            "p95": round(result.latency_percentile_ms(95), 3),
+            "p99": round(result.latency_percentile_ms(99), 3),
+        },
+        "stages": _round_floats(stages),
+        "stage_set": sorted(stages),
+        "runtime": _round_floats(runtime) if runtime is not None else None,
+        "verdicts": verdicts,
+    }
+
+
+def write_report(report: dict, path: str | Path) -> Path:
+    path = Path(path)
+    path.write_text(json.dumps(report, indent=2, sort_keys=False) + "\n")
+    return path
+
+
+def load_report(path: str | Path) -> dict:
+    return json.loads(Path(path).read_text())
+
+
+def compare_reports(
+    baseline: dict, candidate: dict, *, tolerance: float = 0.30
+) -> list[str]:
+    """Why a candidate run is NOT an acceptable successor to a baseline.
+
+    Returns a list of problems (empty means the candidate passes).
+    Identity fields must match exactly — comparing runs with different
+    configs or request streams is meaningless — and throughput may not
+    regress by more than ``tolerance`` (a fraction, e.g. ``0.30``).
+    """
+    problems: list[str] = []
+    for key in ("schema", "workload", "seed", "config_fingerprint", "request_digest"):
+        if baseline.get(key) != candidate.get(key):
+            problems.append(
+                f"{key} mismatch: baseline={baseline.get(key)!r} "
+                f"candidate={candidate.get(key)!r}"
+            )
+    if baseline.get("stage_set") != candidate.get("stage_set"):
+        problems.append(
+            f"stage_set mismatch: baseline={baseline.get('stage_set')} "
+            f"candidate={candidate.get('stage_set')}"
+        )
+    base_tps = baseline.get("totals", {}).get("exchanges_per_second", 0.0)
+    cand_tps = candidate.get("totals", {}).get("exchanges_per_second", 0.0)
+    floor = base_tps * (1.0 - tolerance)
+    if cand_tps < floor:
+        problems.append(
+            f"throughput regression: {cand_tps} < {floor:.1f} exchanges/s "
+            f"(baseline {base_tps}, tolerance {tolerance:.0%})"
+        )
+    cand_errors = candidate.get("totals", {}).get("errors", 0)
+    if cand_errors:
+        problems.append(f"candidate run had {cand_errors} client errors")
+    return problems

@@ -1,0 +1,205 @@
+"""Seeded bench workloads: echo, kvstore, pgbench.
+
+Each workload knows how to (1) stand up N identical instances of its
+microservice, (2) generate deterministic per-client request streams from
+a seed — two runs with the same seed produce byte-identical request
+sequences, which :func:`request_digest` proves — and (3) drive a
+closed-loop client population against an address, measuring per-request
+latency.  The harness in :mod:`repro.bench` wraps the instances in
+``repro.deploy(...)`` and aims the clients at the proxy.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import random
+import time
+
+from repro.apps.echo import EchoServer
+from repro.apps.kvstore import RedisLikeServer
+from repro.pgwire import serve_database
+from repro.protocols.resp import encode_command, read_value
+from repro.vendors import create_postsim
+from repro.workloads import load_pgbench, run_pg_clients, transaction_stream
+from repro.workloads.clients import RunResult
+
+Address = tuple[str, int]
+
+#: Accounts scale for the pgbench workload (10,000 rows per unit).
+PGBENCH_SCALE = 1
+
+#: Keys the kvstore mix operates over (shared across clients, so GETs
+#: hit SETs from other clients — realistic cache churn, still benign).
+KV_KEYSPACE = 64
+
+
+def request_digest(streams: list[list[bytes]]) -> str:
+    """SHA-256 over every client's request sequence, in order.
+
+    The determinism receipt committed into ``BENCH_*.json``: two runs
+    with the same seed must produce the same digest.
+    """
+    digest = hashlib.sha256()
+    for index, stream in enumerate(streams):
+        digest.update(f"client {index}\x00".encode())
+        for payload in stream:
+            digest.update(len(payload).to_bytes(4, "big"))
+            digest.update(payload)
+    return digest.hexdigest()
+
+
+async def _run_byte_clients(
+    address: Address,
+    streams: list[list[bytes]],
+    read_response,
+) -> RunResult:
+    """Closed-loop raw-socket clients: one connection per stream, each
+    request awaits its response before the next is sent."""
+    latencies: list[float] = []
+    errors = 0
+    completed = 0
+
+    async def client_loop(stream: list[bytes]) -> None:
+        nonlocal errors, completed
+        reader, writer = await asyncio.open_connection(*address)
+        try:
+            for payload in stream:
+                started = time.perf_counter()
+                writer.write(payload)
+                await writer.drain()
+                response = await read_response(reader)
+                latencies.append(time.perf_counter() - started)
+                if response:
+                    completed += 1
+                else:
+                    errors += 1
+                    return  # proxy closed on us; stop this client
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    started = time.perf_counter()
+    await asyncio.gather(*(client_loop(stream) for stream in streams))
+    duration = time.perf_counter() - started
+    return RunResult(
+        clients=len(streams),
+        transactions=completed,
+        duration_s=duration,
+        latencies_s=latencies,
+        errors=errors,
+    )
+
+
+class EchoWorkload:
+    """N identical line-echo servers over the ``tcp`` protocol module."""
+
+    name = "echo"
+    protocol = "tcp"
+
+    async def start_instances(self, count: int) -> tuple[list[Address], list]:
+        servers = [
+            await EchoServer(name=f"bench-echo-{i}").start() for i in range(count)
+        ]
+        return [server.address for server in servers], servers
+
+    def streams(self, seed: int, clients: int, requests: int) -> list[list[bytes]]:
+        out = []
+        for client in range(clients):
+            rng = random.Random((seed << 16) ^ client)
+            out.append(
+                [
+                    f"echo c{client} r{i} {rng.getrandbits(32):08x}\n".encode()
+                    for i in range(requests)
+                ]
+            )
+        return out
+
+    async def run_clients(self, address: Address, streams: list[list[bytes]]) -> RunResult:
+        async def read_line(reader: asyncio.StreamReader) -> bytes:
+            return await reader.readline()
+
+        return await _run_byte_clients(address, streams, read_line)
+
+
+class KvstoreWorkload:
+    """N identical Redis-like caches over the ``resp`` protocol module.
+
+    Mix per request: 40% SET, 45% GET, 10% EXISTS, 5% DEL over a shared
+    keyspace — every command is benign and answered byte-identically by
+    identical instances, so the run measures the pipeline, not denoising.
+    """
+
+    name = "kvstore"
+    protocol = "resp"
+
+    async def start_instances(self, count: int) -> tuple[list[Address], list]:
+        servers = [
+            await RedisLikeServer(name=f"bench-kv-{i}").start() for i in range(count)
+        ]
+        return [server.address for server in servers], servers
+
+    def streams(self, seed: int, clients: int, requests: int) -> list[list[bytes]]:
+        out = []
+        for client in range(clients):
+            rng = random.Random((seed << 16) ^ 0x4B56 ^ client)
+            stream = []
+            for i in range(requests):
+                key = f"bench:{rng.randrange(KV_KEYSPACE)}"
+                roll = rng.random()
+                if roll < 0.40:
+                    stream.append(
+                        encode_command("SET", key, f"v{rng.getrandbits(32):08x}")
+                    )
+                elif roll < 0.85:
+                    stream.append(encode_command("GET", key))
+                elif roll < 0.95:
+                    stream.append(encode_command("EXISTS", key))
+                else:
+                    stream.append(encode_command("DEL", key))
+            out.append(stream)
+        return out
+
+    async def run_clients(self, address: Address, streams: list[list[bytes]]) -> RunResult:
+        return await _run_byte_clients(address, streams, read_value)
+
+
+class PgbenchWorkload:
+    """N identical postsim databases running pgbench SELECT-only
+    transactions over the ``pgwire`` protocol module."""
+
+    name = "pgbench"
+    protocol = "pgwire"
+
+    async def start_instances(self, count: int) -> tuple[list[Address], list]:
+        servers = []
+        for _ in range(count):
+            engine = create_postsim("13.0")
+            load_pgbench(engine, scale=PGBENCH_SCALE)
+            servers.append(await serve_database(engine))
+        return [server.address for server in servers], servers
+
+    def streams(self, seed: int, clients: int, requests: int) -> list[list[bytes]]:
+        return [
+            [
+                sql.encode()
+                for sql in transaction_stream(
+                    requests, PGBENCH_SCALE, seed=(seed << 16) ^ client
+                )
+            ]
+            for client in range(clients)
+        ]
+
+    async def run_clients(self, address: Address, streams: list[list[bytes]]) -> RunResult:
+        return await run_pg_clients(
+            address, [[sql.decode() for sql in stream] for stream in streams]
+        )
+
+
+WORKLOADS = {
+    workload.name: workload
+    for workload in (EchoWorkload(), KvstoreWorkload(), PgbenchWorkload())
+}

@@ -8,6 +8,7 @@ can live beside Kubernetes manifests the way the paper's do.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -113,6 +114,17 @@ class RddrConfig:
     #: client exchange lands within this many seconds, so rejoin makes
     #: progress on idle services (None disables the driver).
     rejoin_probe_interval: float | None = None
+    #: Fraction of exchanges that get a full span trace (repro.obs).
+    #: 1.0 traces everything (the pre-profile behaviour); 0.0 routes
+    #: every exchange through the allocation-free null-trace fast path.
+    #: Sampling is deterministic under ``trace_sample_seed``: two runs of
+    #: the same workload trace exactly the same exchanges.
+    trace_sample_rate: float = 1.0
+    trace_sample_seed: int = 0
+    #: Sampling period for the runtime probe (event-loop lag, GC pauses,
+    #: RSS) started by :class:`~repro.core.rddr.RddrDeployment`.  ``None``
+    #: (the default) starts no probe.
+    runtime_probe_interval: float | None = None
 
     def filter_pair_obj(self) -> FilterPair | None:
         if self.filter_pair is None:
@@ -136,6 +148,16 @@ class RddrConfig:
             and survivors >= 2
             and survivors * 2 > total
         )
+
+    def fingerprint(self) -> str:
+        """Stable digest of the full configuration.
+
+        Benchmark reports embed it so a perf delta can never be silently
+        compared across different deployment configurations: two
+        ``BENCH_*.json`` files are comparable iff fingerprints match.
+        """
+        canonical = json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode()).hexdigest()[:16]
 
     # ------------------------------------------------------------- JSON
 
@@ -182,6 +204,9 @@ class RddrConfig:
             "journal_fsync": self.journal_fsync,
             "catchup_verify": self.catchup_verify,
             "rejoin_probe_interval": self.rejoin_probe_interval,
+            "trace_sample_rate": self.trace_sample_rate,
+            "trace_sample_seed": self.trace_sample_seed,
+            "runtime_probe_interval": self.runtime_probe_interval,
         }
 
     @classmethod
@@ -257,6 +282,13 @@ class RddrConfig:
             rejoin_probe_interval=(
                 float(data["rejoin_probe_interval"])  # type: ignore[arg-type]
                 if data.get("rejoin_probe_interval") is not None
+                else None
+            ),
+            trace_sample_rate=float(data.get("trace_sample_rate", 1.0)),  # type: ignore[arg-type]
+            trace_sample_seed=int(data.get("trace_sample_seed", 0)),  # type: ignore[arg-type]
+            runtime_probe_interval=(
+                float(data["runtime_probe_interval"])  # type: ignore[arg-type]
+                if data.get("runtime_probe_interval") is not None
                 else None
             ),
         )

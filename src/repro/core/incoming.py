@@ -52,7 +52,7 @@ from repro.core.signatures import SignatureStore
 from repro.core.variance import VarianceMasker
 from repro.journal import ExchangeJournal, capture_snapshot, response_digest, supports_snapshots
 from repro.journal.log import FLAG_DEGRADED, FLAG_MAJORITY
-from repro.obs import ExchangeTrace, Observer, active_observer
+from repro.obs import ExchangeTrace, Observer, TraceSampler, active_observer
 from repro.protocols.base import ProtocolModule, resolve
 from repro.recovery.admission import AdmissionController
 from repro.recovery.directory import MODE_OUT, MODE_SHADOW, InstanceDirectory
@@ -146,6 +146,11 @@ class IncomingRequestProxy:
             self.config.admission_queue_limit,
         )
         self._exchange_counter = 0
+        #: Deterministic trace sampling: exchanges the sampler drops run
+        #: the allocation-free null-trace path (zero Span objects).
+        self._sampler = TraceSampler(
+            self.config.trace_sample_rate, self.config.trace_sample_seed
+        )
         #: Durable exchange journal (None = journaling off).  Appended at
         #: commit time, *before* the client drain, so a client disconnect
         #: cannot lose an exchange the instances already applied.
@@ -323,6 +328,7 @@ class IncomingRequestProxy:
                         protocol=self.protocol.name,
                         direction="incoming",
                         exchange=exchange,
+                        sampler=self._sampler,
                     )
                     try:
                         survivors = await self._run_exchange(
@@ -396,6 +402,7 @@ class IncomingRequestProxy:
             protocol=self.protocol.name,
             direction="incoming",
             exchange=self._exchange_counter,
+            sampler=self._sampler,
         )
         trace.set_verdict("shed", "admission control")
         self.observer.finish_exchange(trace)
@@ -419,13 +426,14 @@ class IncomingRequestProxy:
         """One exchange; returns the surviving links, or ``None`` to stop
         serving this client connection."""
         started = time.monotonic()
-        trace.root.attrs["voters"] = [
-            link.index for link in links if not link.shadow
-        ]
-        if any(link.shadow for link in links):
-            trace.root.attrs["shadow"] = [
-                link.index for link in links if link.shadow
+        if trace.sampled:  # sampled-out: skip even building the lists
+            trace.root.attrs["voters"] = [
+                link.index for link in links if not link.shadow
             ]
+            if any(link.shadow for link in links):
+                trace.root.attrs["shadow"] = [
+                    link.index for link in links if link.shadow
+                ]
 
         # Section IV-D: reject remembered diverging inputs outright.
         if self.config.signature_learning:

@@ -31,7 +31,7 @@ from repro.core.diff import diff_tokens
 from repro.core.events import EventLog
 from repro.core.metrics import ProxyMetrics
 from repro.core.variance import VarianceMasker
-from repro.obs import ExchangeTrace, Observer, active_observer
+from repro.obs import ExchangeTrace, Observer, TraceSampler, active_observer
 from repro.protocols.base import ProtocolModule, resolve
 from repro.recovery.breaker import CircuitBreaker
 from repro.transport.retry import CircuitOpenError, open_connection_retry
@@ -101,6 +101,9 @@ class OutgoingRequestProxy:
         self._groups: list[_ConnectionGroup] = []
         self._next_group_index: list[int] = [0] * instance_count
         self._exchange_counter = 0
+        self._sampler = TraceSampler(
+            self.config.trace_sample_rate, self.config.trace_sample_seed
+        )
         if breaker is None and self.config.circuit_breaker:
             breaker = CircuitBreaker(
                 failure_threshold=self.config.breaker_failure_threshold,
@@ -251,6 +254,7 @@ class OutgoingRequestProxy:
                     protocol=self.protocol.name,
                     direction="outgoing",
                     exchange=self._exchange_counter,
+                    sampler=self._sampler,
                 )
                 try:
                     stop = await self._run_group_exchange(

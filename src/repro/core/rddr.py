@@ -24,7 +24,7 @@ from repro.core.incoming import IncomingRequestProxy
 from repro.core.metrics import ProxyMetrics
 from repro.core.outgoing import OutgoingRequestProxy
 from repro.journal import ExchangeJournal
-from repro.obs import Observer, active_observer
+from repro.obs import Observer, RuntimeProbe, active_observer
 from repro.protocols.base import ProtocolModule, resolve
 
 Address = tuple[str, int]
@@ -54,6 +54,9 @@ class RddrDeployment:
         self.incoming: IncomingRequestProxy | None = None
         self.outgoing: dict[str, OutgoingRequestProxy] = {}
         self.journal: ExchangeJournal | None = None
+        #: Runtime probe (event-loop lag, GC pauses, RSS), started with
+        #: the incoming proxy when ``config.runtime_probe_interval`` set.
+        self.runtime_probe: RuntimeProbe | None = None
         self.incoming_metrics: ProxyMetrics = self.observer.proxy_metrics(
             f"{name}-in", self.config.protocol
         )
@@ -139,6 +142,13 @@ class RddrDeployment:
             journal=self.journal,
         )
         await self.incoming.start()
+        if self.config.runtime_probe_interval is not None:
+            self.runtime_probe = RuntimeProbe(
+                self.observer.registry,
+                interval=self.config.runtime_probe_interval,
+                service=self.name,
+            )
+            await self.runtime_probe.start()
         return self.incoming
 
     # ------------------------------------------------------------ queries
@@ -175,6 +185,9 @@ class RddrDeployment:
     # ------------------------------------------------------------ lifecycle
 
     async def close(self) -> None:
+        if self.runtime_probe is not None:
+            await self.runtime_probe.stop()
+            self.runtime_probe = None
         if self.incoming is not None:
             await self.incoming.close()
         for proxy in self.outgoing.values():

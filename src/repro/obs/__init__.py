@@ -10,7 +10,16 @@ Two pillars behind one :class:`Observer` bundle:
   ``Gauge`` / fixed-bucket ``Histogram`` families with bounded label
   cardinality, a Prometheus text exposition, and a JSON snapshot API.
 
-See ``docs/observability.md`` for the trace schema and metric names.
+Plus a **performance layer** (:mod:`repro.obs.profile`): a
+:class:`StageProfiler` folding span trees into per-stage log-bucketed
+histograms with trace exemplars, and a :class:`RuntimeProbe` sampling
+event-loop lag, GC pauses, and RSS — the substrate ``repro.bench``
+builds its committed ``BENCH_*.json`` baselines on.  Tracing can be
+deterministically sampled (:class:`TraceSampler`); sampled-out
+exchanges take an allocation-free :class:`NullExchangeTrace` path.
+
+See ``docs/observability.md`` for the trace schema and metric names,
+and ``python -m repro.obs <traces.jsonl>`` for offline summaries.
 """
 
 from repro.obs.metrics import (
@@ -23,21 +32,34 @@ from repro.obs.metrics import (
     MetricsRegistry,
 )
 from repro.obs.observer import Observer, active_observer, use
-from repro.obs.trace import ExchangeTrace, Span, Tracer, TraceSink
+from repro.obs.profile import STAGE_BUCKETS, RuntimeProbe, StageProfiler
+from repro.obs.trace import (
+    ExchangeTrace,
+    NullExchangeTrace,
+    Span,
+    Tracer,
+    TraceSampler,
+    TraceSink,
+)
 
 __all__ = [
     "LATENCY_BUCKETS",
     "OVERFLOW_LABEL_VALUE",
+    "STAGE_BUCKETS",
     "CounterSeries",
     "GaugeSeries",
     "HistogramSeries",
     "MetricFamily",
     "MetricsRegistry",
     "Observer",
+    "RuntimeProbe",
+    "StageProfiler",
     "active_observer",
     "use",
     "ExchangeTrace",
+    "NullExchangeTrace",
     "Span",
     "Tracer",
+    "TraceSampler",
     "TraceSink",
 ]

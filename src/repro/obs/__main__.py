@@ -1,0 +1,135 @@
+"""CLI: summarize a trace JSONL into a per-stage latency table.
+
+::
+
+    python -m repro.obs TRACES.jsonl [--proxy NAME] [--top 3]
+
+Reads trace records (one JSON object per line, as written by a
+:class:`repro.obs.TraceSink` stream or exported via ``sink.jsonl()``),
+skips non-trace records (recovery/catch-up timeline entries), and prints
+verdict counts plus per-stage count/mean/p50/p95/p99/max latencies.
+Unlike the live ``rddr_stage_seconds`` histogram, percentiles here are
+exact — computed from the raw span durations in the file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.analysis.stats import percentile
+
+
+def _walk(span: dict):
+    yield span
+    for child in span.get("children", ()):
+        yield from _walk(child)
+
+
+def summarize(lines, *, proxy: str | None = None) -> dict:
+    """Aggregate trace JSONL lines into verdict counts and per-stage
+    duration lists; malformed or non-trace lines are counted, not fatal."""
+    verdicts: dict[str, int] = {}
+    stages: dict[str, list[float]] = {}
+    slowest: dict[str, tuple[float, str]] = {}
+    traces = skipped = 0
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            skipped += 1
+            continue
+        if not isinstance(record, dict) or "spans" not in record:
+            skipped += 1
+            continue
+        if proxy is not None and record.get("proxy") != proxy:
+            skipped += 1
+            continue
+        traces += 1
+        verdict = record.get("verdict", "unknown")
+        verdicts[verdict] = verdicts.get(verdict, 0) + 1
+        exchange_id = record.get("exchange_id", "?")
+        for span in _walk(record["spans"]):
+            name = span.get("name", "?")
+            duration = float(span.get("duration_s", 0.0))
+            stages.setdefault(name, []).append(duration)
+            if name not in slowest or duration > slowest[name][0]:
+                slowest[name] = (duration, exchange_id)
+    return {
+        "traces": traces,
+        "skipped": skipped,
+        "verdicts": dict(sorted(verdicts.items())),
+        "stages": {
+            name: {
+                "count": len(durations),
+                "mean_ms": 1000 * sum(durations) / len(durations),
+                "p50_ms": 1000 * percentile(durations, 50),
+                "p95_ms": 1000 * percentile(durations, 95),
+                "p99_ms": 1000 * percentile(durations, 99),
+                "max_ms": 1000 * max(durations),
+                "slowest_exchange": slowest[name][1],
+            }
+            for name, durations in sorted(stages.items())
+        },
+    }
+
+
+def render(summary: dict) -> str:
+    out = [
+        f"traces: {summary['traces']}  (skipped {summary['skipped']} "
+        "non-trace/filtered lines)"
+    ]
+    out.append(
+        "verdicts: "
+        + (
+            ", ".join(f"{k}={v}" for k, v in summary["verdicts"].items())
+            or "(none)"
+        )
+    )
+    header = (
+        f"{'stage':<12} {'count':>6} {'mean':>9} {'p50':>9} "
+        f"{'p95':>9} {'p99':>9} {'max':>9}  slowest exchange"
+    )
+    out.append(header)
+    out.append("-" * len(header))
+    for name, row in summary["stages"].items():
+        out.append(
+            f"{name:<12} {row['count']:>6} {row['mean_ms']:>8.3f}m "
+            f"{row['p50_ms']:>8.3f}m {row['p95_ms']:>8.3f}m "
+            f"{row['p99_ms']:>8.3f}m {row['max_ms']:>8.3f}m  "
+            f"{row['slowest_exchange']}"
+        )
+    return "\n".join(out)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Summarize a trace JSONL: per-stage latency table "
+        "+ verdict counts.",
+    )
+    parser.add_argument("path", help="trace JSONL file, or - for stdin")
+    parser.add_argument("--proxy", default=None, help="only this proxy's traces")
+    parser.add_argument("--json", action="store_true", help="emit JSON, not a table")
+    args = parser.parse_args(argv)
+    if args.path == "-":
+        summary = summarize(sys.stdin, proxy=args.proxy)
+    else:
+        with open(args.path) as stream:
+            summary = summarize(stream, proxy=args.proxy)
+    if args.json:
+        print(json.dumps(summary, indent=2))
+    else:
+        print(render(summary))
+    return 0 if summary["traces"] else 1
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:  # |head closed the pipe: not an error
+        sys.exit(0)

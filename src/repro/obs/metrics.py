@@ -113,9 +113,16 @@ class GaugeSeries(_Series):
 
 
 class HistogramSeries(_Series):
-    """Fixed-bucket histogram: bounded memory regardless of sample count."""
+    """Fixed-bucket histogram: bounded memory regardless of sample count.
 
-    __slots__ = ("buckets", "bucket_counts", "_sum", "_count")
+    Optionally carries *trace exemplars*: each bucket remembers the last
+    exemplar (an exchange id) observed into it, so a p99 outlier bucket
+    points straight at a concrete trace record — per-request identity
+    that survives aggregation.  Exemplar storage is lazy; histograms
+    observed without exemplars pay nothing.
+    """
+
+    __slots__ = ("buckets", "bucket_counts", "_sum", "_count", "exemplars")
 
     def __init__(self, labelvalues: tuple[str, ...], buckets: tuple[float, ...]) -> None:
         super().__init__(labelvalues)
@@ -123,6 +130,8 @@ class HistogramSeries(_Series):
         self.bucket_counts = [0] * (len(buckets) + 1)  # last = +Inf
         self._sum = 0.0
         self._count = 0
+        #: ``{bucket index: last exemplar}``; None until first exemplar.
+        self.exemplars: dict[int, str] | None = None
 
     @property
     def sum(self) -> float:
@@ -136,10 +145,25 @@ class HistogramSeries(_Series):
     def mean(self) -> float:
         return self._sum / self._count if self._count else 0.0
 
-    def observe(self, value: float) -> None:
-        self.bucket_counts[bisect_left(self.buckets, value)] += 1
+    def observe(self, value: float, *, exemplar: str | None = None) -> None:
+        index = bisect_left(self.buckets, value)
+        self.bucket_counts[index] += 1
         self._sum += value
         self._count += 1
+        if exemplar is not None:
+            if self.exemplars is None:
+                self.exemplars = {}
+            self.exemplars[index] = exemplar
+
+    def bucket_exemplars(self) -> dict[str, str]:
+        """``{upper bound: exemplar}`` for every bucket that has one."""
+        if not self.exemplars:
+            return {}
+        bounds = [*self.buckets, float("inf")]
+        return {
+            _format_value(bounds[index]): exemplar
+            for index, exemplar in sorted(self.exemplars.items())
+        }
 
     def cumulative_counts(self) -> list[int]:
         total = 0
@@ -346,13 +370,16 @@ class MetricsRegistry:
             for series in family.series():
                 labels = dict(zip(family.labelnames, series.labelvalues))
                 if isinstance(series, HistogramSeries):
-                    rendered.append({
+                    entry = {
                         "labels": labels,
                         "buckets": list(series.buckets),
                         "bucket_counts": list(series.bucket_counts),
                         "sum": series.sum,
                         "count": series.count,
-                    })
+                    }
+                    if series.exemplars:
+                        entry["exemplars"] = series.bucket_exemplars()
+                    rendered.append(entry)
                 else:
                     rendered.append({"labels": labels, "value": series.value})
             out[family.name] = {

@@ -22,7 +22,14 @@ import time
 from typing import Callable, Iterator
 
 from repro.obs.metrics import LATENCY_BUCKETS, MetricsRegistry
-from repro.obs.trace import ExchangeTrace, TraceSink, Tracer
+from repro.obs.profile import StageProfiler
+from repro.obs.trace import (
+    ExchangeTrace,
+    NullExchangeTrace,
+    TraceSampler,
+    TraceSink,
+    Tracer,
+)
 
 _ACTIVE: contextvars.ContextVar["Observer | None"] = contextvars.ContextVar(
     "repro_obs_active_observer", default=None
@@ -58,6 +65,13 @@ class Observer:
         self.registry = registry if registry is not None else MetricsRegistry()
         self.sink = sink if sink is not None else TraceSink(capacity=trace_capacity)
         self.tracer = Tracer(self.sink, clock=clock)
+        self.profiler = StageProfiler(self.registry)
+        self._traces_dropped = self.registry.counter(
+            "rddr_traces_dropped_total",
+            "Finished traces lost to ring-buffer wrap with no stream attached.",
+        )
+        if self.sink.on_drop is None:
+            self.sink.on_drop = self._traces_dropped.labels().inc
         self._exchanges = self.registry.counter(
             "rddr_exchanges_total",
             "Exchanges completed, by divergence verdict.",
@@ -128,8 +142,25 @@ class Observer:
     # ---------------------------------------------------------- exchanges
 
     def begin_exchange(
-        self, *, proxy: str, protocol: str, direction: str, exchange: int
+        self,
+        *,
+        proxy: str,
+        protocol: str,
+        direction: str,
+        exchange: int,
+        sampler: TraceSampler | None = None,
     ) -> ExchangeTrace:
+        """Start a trace for one exchange.
+
+        With a ``sampler``, exchanges it drops get the allocation-free
+        :class:`NullExchangeTrace` instead of a span tree — their verdict
+        is still counted by :meth:`finish_exchange`, but nothing reaches
+        the sink or the stage profiler.
+        """
+        if sampler is not None and not sampler.sampled(exchange):
+            return NullExchangeTrace(  # type: ignore[return-value]
+                proxy=proxy, protocol=protocol, exchange=exchange
+            )
         return self.tracer.begin(
             proxy=proxy, protocol=protocol, direction=direction, exchange=exchange
         )
@@ -145,12 +176,15 @@ class Observer:
         self._exchanges.labels(
             proxy=trace.proxy, protocol=trace.protocol, verdict=trace.verdict
         ).inc()
+        if not trace.sampled:
+            return None
         for index, timings in trace.instance_timings().items():
             recv = timings.get("recv_s")
             if recv is not None and not timings.get("recv_cancelled"):
                 self._instance_latency.labels(
                     proxy=trace.proxy, instance=str(index)
                 ).observe(recv)
+        self.profiler.record_trace(trace)
         return self.tracer.finish(trace)
 
     # ------------------------------------------------------------- events

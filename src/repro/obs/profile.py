@@ -1,0 +1,316 @@
+"""Performance observability: stage histograms, exemplars, runtime probe.
+
+Two instruments behind the exchange pipeline:
+
+* :class:`StageProfiler` — folds every finished trace's span tree into
+  streaming log-bucketed histograms keyed by stage name, exported as
+  ``rddr_stage_seconds{proxy=...,stage=...}``.  Each bucket remembers
+  the last exchange id that landed in it (a *trace exemplar*), so
+  "where is the p99 going?" answers with a concrete trace to pull from
+  the sink — per-request identity that survives aggregation.
+* :class:`RuntimeProbe` — an async sampler for the things span trees
+  cannot see: event-loop scheduling lag, GC pauses (via
+  ``gc.callbacks``), and resident set size, exported as gauges and
+  summarised for the ``repro.bench`` baseline reports.
+
+Both are cheap enough to stay on in production: the profiler is O(spans)
+integer bucketing per *sampled* trace, and the probe wakes a few times a
+second.  The ``repro.bench`` harness consumes both through
+:meth:`StageProfiler.summary` and :meth:`RuntimeProbe.summary`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import gc
+import os
+import time
+
+from repro.obs.metrics import HistogramSeries, MetricsRegistry
+from repro.obs.trace import ExchangeTrace
+
+#: Log-spaced buckets for per-stage durations (seconds): factor-4 steps
+#: from 2 µs (a no-op span) to ~8.4 s (a stalled backend), 12 buckets.
+STAGE_BUCKETS = tuple(2e-6 * 4**i for i in range(12))
+
+
+def _bucket_quantile(
+    buckets: tuple[float, ...], counts: list[int], q: float
+) -> float:
+    """Interpolated ``q``-th quantile (0..100) over merged bucket counts —
+    the same fixed-bucket estimate :meth:`HistogramSeries.quantile` uses,
+    lifted out so multiple series can be summed before querying."""
+    total = sum(counts)
+    if total == 0:
+        return 0.0
+    rank = (q / 100) * total
+    seen = 0
+    for i, count in enumerate(counts):
+        seen += count
+        if seen >= rank:
+            upper = buckets[i] if i < len(buckets) else buckets[-1]
+            lower = buckets[i - 1] if i > 0 else 0.0
+            if count == 0 or i >= len(buckets):
+                return upper
+            fraction = (rank - (seen - count)) / count
+            return lower + (upper - lower) * min(max(fraction, 0.0), 1.0)
+    return buckets[-1]
+
+
+class StageProfiler:
+    """Aggregates span durations by stage name into the registry.
+
+    One histogram series per ``(proxy, stage)``; every observation
+    carries the exchange id as its exemplar.  The ``exchange`` root span
+    is recorded under stage ``exchange`` — the whole-pipeline wall time
+    the per-stage children decompose.
+    """
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self.registry = registry
+        self._family = registry.histogram(
+            "rddr_stage_seconds",
+            "Time spent per pipeline stage, from exchange span trees.",
+            ("proxy", "stage"),
+            buckets=STAGE_BUCKETS,
+        )
+
+    def record_trace(self, trace: ExchangeTrace) -> None:
+        """Fold one finished trace's span tree into the stage histograms."""
+        exchange_id = getattr(trace, "exchange_id", None)
+        proxy = trace.proxy
+        for span in trace.root.walk():
+            stage = "exchange" if span is trace.root else span.name
+            self._family.labels(proxy=proxy, stage=stage).observe(
+                span.duration_s, exemplar=exchange_id
+            )
+
+    # ----------------------------------------------------------- queries
+
+    def stages(self, *, proxy: str | None = None) -> list[str]:
+        """Stage names observed so far (sorted), optionally per proxy."""
+        names = {
+            labels["stage"]
+            for labels, _ in self._iter_series(proxy=proxy)
+        }
+        return sorted(names)
+
+    def _iter_series(self, *, proxy: str | None):
+        for series in self._family.series():
+            labels = dict(zip(self._family.labelnames, series.labelvalues))
+            if proxy is not None and labels["proxy"] != proxy:
+                continue
+            yield labels, series
+
+    def summary(self, *, proxy: str | None = None) -> dict[str, dict]:
+        """Per-stage breakdown: count, totals, bucket-estimate quantiles,
+        and the exemplar of the slowest populated bucket — the shape the
+        ``BENCH_*.json`` reports commit."""
+        merged: dict[str, dict] = {}
+        for labels, series in self._iter_series(proxy=proxy):
+            assert isinstance(series, HistogramSeries)
+            entry = merged.setdefault(
+                labels["stage"],
+                {
+                    "count": 0,
+                    "sum_s": 0.0,
+                    "_counts": [0] * len(series.bucket_counts),
+                    "_exemplars": {},
+                },
+            )
+            entry["count"] += series.count
+            entry["sum_s"] += series.sum
+            for i, count in enumerate(series.bucket_counts):
+                entry["_counts"][i] += count
+            if series.exemplars:
+                entry["_exemplars"].update(series.exemplars)
+        out: dict[str, dict] = {}
+        for stage in sorted(merged):
+            entry = merged[stage]
+            counts = entry.pop("_counts")
+            exemplars = entry.pop("_exemplars")
+            count = entry["count"]
+            entry["mean_ms"] = 1000 * entry["sum_s"] / count if count else 0.0
+            for q in (50, 95, 99):
+                entry[f"p{q}_ms"] = 1000 * _bucket_quantile(
+                    STAGE_BUCKETS, counts, q
+                )
+            entry["sum_s"] = round(entry["sum_s"], 9)
+            if exemplars:
+                # The slowest populated bucket's exemplar: the trace to
+                # pull when asking where the tail went.
+                entry["slowest_exemplar"] = exemplars[max(exemplars)]
+            out[stage] = entry
+        return out
+
+
+def _read_rss_bytes() -> int:
+    """Current resident set size; 0 when the platform offers no view."""
+    try:
+        with open("/proc/self/statm", "r", encoding="ascii") as handle:
+            pages = int(handle.read().split()[1])
+        return pages * os.sysconf("SC_PAGE_SIZE")
+    except (OSError, ValueError, IndexError):
+        pass
+    try:
+        import resource
+
+        # ru_maxrss is the *peak* (kilobytes on Linux) — a high-water
+        # fallback, better than nothing where /proc is absent.
+        return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * 1024
+    except Exception:
+        return 0
+
+
+class RuntimeProbe:
+    """Async sampler for event-loop lag, GC pauses, and RSS.
+
+    ``start()`` spawns the sampling task and registers a ``gc.callbacks``
+    hook; ``stop()`` undoes both (the hook is process-global, so probes
+    must be stopped, not abandoned).  Gauges report the latest sample;
+    :meth:`summary` reports aggregates for the bench harness.
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        *,
+        interval: float = 0.05,
+        service: str = "rddr",
+    ) -> None:
+        if interval <= 0:
+            raise ValueError("probe interval must be positive")
+        self.interval = interval
+        self.service = service
+        labels = {"service": service}
+        self._lag_gauge = registry.gauge(
+            "rddr_eventloop_lag_seconds",
+            "Latest sampled event-loop scheduling lag.",
+            ("service",),
+        ).labels(**labels)
+        self._rss_gauge = registry.gauge(
+            "rddr_rss_bytes",
+            "Latest sampled resident set size of this process.",
+            ("service",),
+        ).labels(**labels)
+        self._gc_pause_gauge = registry.gauge(
+            "rddr_gc_pause_seconds",
+            "Duration of the most recent garbage-collection pause.",
+            ("service",),
+        ).labels(**labels)
+        self._gc_pauses = registry.counter(
+            "rddr_gc_pauses_total",
+            "Garbage-collection pauses observed, by generation.",
+            ("service", "generation"),
+        )
+        self._task: asyncio.Task | None = None
+        # Pin ONE bound-method object: attribute access creates a fresh
+        # one each time, so identity checks against gc.callbacks need
+        # the same object that start() appended.
+        self._gc_hook = self._on_gc
+        self._gc_started: float | None = None
+        self._lag_samples = 0
+        self._lag_sum = 0.0
+        self._lag_max = 0.0
+        self._gc_pause_count = 0
+        self._gc_pause_sum = 0.0
+        self._gc_pause_max = 0.0
+        self._gc_by_generation: dict[int, int] = {}
+        self._rss_last = 0
+        self._rss_max = 0
+
+    # ---------------------------------------------------------- lifecycle
+
+    async def start(self) -> "RuntimeProbe":
+        if self._task is not None:
+            raise RuntimeError("probe already started")
+        gc.callbacks.append(self._gc_hook)
+        self._sample_rss()
+        self._task = asyncio.create_task(self._run(), name="rddr-runtime-probe")
+        return self
+
+    async def stop(self) -> None:
+        if self._gc_callback_installed():
+            gc.callbacks.remove(self._gc_hook)
+        if self._task is not None:
+            self._task.cancel()
+            try:
+                await self._task
+            except asyncio.CancelledError:
+                pass
+            self._task = None
+
+    def _gc_callback_installed(self) -> bool:
+        return any(callback is self._gc_hook for callback in gc.callbacks)
+
+    # ----------------------------------------------------------- sampling
+
+    async def _run(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            target = loop.time() + self.interval
+            await asyncio.sleep(self.interval)
+            lag = max(0.0, loop.time() - target)
+            self._lag_samples += 1
+            self._lag_sum += lag
+            if lag > self._lag_max:
+                self._lag_max = lag
+            self._lag_gauge.set(lag)
+            self._sample_rss()
+
+    def _sample_rss(self) -> None:
+        rss = _read_rss_bytes()
+        self._rss_last = rss
+        if rss > self._rss_max:
+            self._rss_max = rss
+        self._rss_gauge.set(float(rss))
+
+    def _on_gc(self, phase: str, info: dict) -> None:
+        if phase == "start":
+            self._gc_started = time.perf_counter()
+            return
+        if phase != "stop" or self._gc_started is None:
+            return
+        pause = time.perf_counter() - self._gc_started
+        self._gc_started = None
+        generation = int(info.get("generation", -1))
+        self._gc_pause_count += 1
+        self._gc_pause_sum += pause
+        if pause > self._gc_pause_max:
+            self._gc_pause_max = pause
+        self._gc_by_generation[generation] = (
+            self._gc_by_generation.get(generation, 0) + 1
+        )
+        self._gc_pause_gauge.set(pause)
+        self._gc_pauses.labels(
+            service=self.service, generation=str(generation)
+        ).inc()
+
+    # ------------------------------------------------------------ queries
+
+    def summary(self) -> dict:
+        """Aggregates for the bench report (JSON-able)."""
+        samples = self._lag_samples
+        return {
+            "interval_s": self.interval,
+            "eventloop_lag_ms": {
+                "samples": samples,
+                "mean": 1000 * self._lag_sum / samples if samples else 0.0,
+                "max": 1000 * self._lag_max,
+            },
+            "gc": {
+                "pauses": self._gc_pause_count,
+                "pause_ms_total": 1000 * self._gc_pause_sum,
+                "pause_ms_max": 1000 * self._gc_pause_max,
+                "by_generation": {
+                    str(generation): count
+                    for generation, count in sorted(
+                        self._gc_by_generation.items()
+                    )
+                },
+            },
+            "rss_bytes": {"last": self._rss_last, "max": self._rss_max},
+        }
+
+
+__all__ = ["STAGE_BUCKETS", "StageProfiler", "RuntimeProbe"]

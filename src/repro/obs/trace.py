@@ -15,6 +15,15 @@ concurrently-scheduled coroutines on one event loop; a span cancelled
 mid-``await`` (e.g. a per-instance read abandoned by the exchange
 timeout) is closed with ``cancelled: true`` so per-instance timings
 survive timeouts.
+
+Tracing can be *sampled*: a :class:`TraceSampler` decides, from the
+exchange counter alone (deterministic under a seed, so two runs of the
+same workload sample the same exchanges), whether an exchange gets a
+real :class:`ExchangeTrace` or the allocation-free
+:class:`NullExchangeTrace`.  The null trace answers the whole span API
+with shared immutable singletons, so a sampled-out exchange constructs
+zero :class:`Span` objects — the perf-observability fast path the
+``repro.bench`` baselines measure.
 """
 
 from __future__ import annotations
@@ -85,6 +94,9 @@ class ExchangeTrace:
 
     #: Verdict before any stage has decided the exchange's fate.
     UNFINISHED = "unfinished"
+
+    #: Real traces build span trees; the NullExchangeTrace overrides this.
+    sampled = True
 
     def __init__(
         self,
@@ -164,8 +176,134 @@ class ExchangeTrace:
         }
 
 
+class _NullAttrs:
+    """Write-discarding stand-in for a span's ``attrs`` dict."""
+
+    __slots__ = ()
+
+    def __setitem__(self, key: str, value: object) -> None:
+        pass
+
+    def get(self, key: str, default: object = None) -> object:
+        return default
+
+    def __contains__(self, key: str) -> bool:
+        return False
+
+    def __bool__(self) -> bool:
+        return False
+
+
+class _NullSpan:
+    """Shared immutable span returned by the sampled-out fast path."""
+
+    __slots__ = ()
+
+    name = "null"
+    start = 0.0
+    end = 0.0
+    duration_s = 0.0
+    attrs = _NullAttrs()
+    children: tuple = ()
+
+    def walk(self) -> Iterator["Span"]:
+        return iter(())
+
+
+class _NullSpanContext:
+    __slots__ = ()
+
+    def __enter__(self):
+        return _NULL_SPAN
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+_NULL_CONTEXT = _NullSpanContext()
+_NO_TIMINGS: dict[int, dict[str, float]] = {}
+
+
+class NullExchangeTrace:
+    """Allocation-free trace for exchanges the sampler dropped.
+
+    Implements the subset of the :class:`ExchangeTrace` surface the
+    proxies touch per exchange — ``span()``, ``set_verdict()``,
+    ``finish()``, ``root.attrs`` writes — against shared singletons, so
+    the only per-exchange cost is this one tiny object (needed because
+    the verdict must still be counted per exchange).  It is never
+    exported to the sink and constructs zero :class:`Span` objects.
+    """
+
+    __slots__ = ("proxy", "protocol", "exchange", "verdict", "reason", "discard")
+
+    sampled = False
+    root = _NULL_SPAN
+    finished = True
+
+    def __init__(self, *, proxy: str, protocol: str, exchange: int = 0) -> None:
+        self.proxy = proxy
+        self.protocol = protocol
+        self.exchange = exchange
+        self.verdict = ExchangeTrace.UNFINISHED
+        self.reason: str | None = None
+        self.discard = False
+
+    def span(self, name: str, *, parent=None, **attrs: object) -> _NullSpanContext:
+        return _NULL_CONTEXT
+
+    def set_verdict(self, verdict: str, reason: str | None = None) -> None:
+        self.verdict = verdict
+        if reason is not None:
+            self.reason = reason
+
+    def finish(self) -> None:
+        pass
+
+    def instance_timings(self) -> dict[int, dict[str, float]]:
+        return _NO_TIMINGS
+
+
+class TraceSampler:
+    """Deterministic head sampling keyed on the exchange counter.
+
+    The decision is a pure function of ``(seed, exchange)`` — a
+    splitmix64-style mix, no RNG state — so two runs of the same seeded
+    workload trace *exactly* the same exchanges, and a trace-rate
+    ablation changes only how many exchanges are observed, never which
+    requests flow.
+    """
+
+    __slots__ = ("rate", "seed", "_threshold")
+
+    def __init__(self, rate: float = 1.0, seed: int = 0) -> None:
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError("trace sample rate must be in [0, 1]")
+        self.rate = rate
+        self.seed = seed
+        self._threshold = int(rate * (1 << 64))
+
+    def sampled(self, exchange: int) -> bool:
+        if self.rate >= 1.0:
+            return True
+        if self.rate <= 0.0:
+            return False
+        x = (exchange + 0x9E3779B97F4A7C15 * (self.seed + 1)) & 0xFFFFFFFFFFFFFFFF
+        x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+        x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & 0xFFFFFFFFFFFFFFFF
+        x ^= x >> 31
+        return x < self._threshold
+
+
 class TraceSink:
-    """Fixed-capacity ring buffer of finished traces, exported as JSONL."""
+    """Fixed-capacity ring buffer of finished traces, exported as JSONL.
+
+    When the ring wraps with no stream attached, the overwritten trace is
+    lost — ``dropped`` counts those losses and ``on_drop`` (wired by the
+    Observer to ``rddr_traces_dropped_total``) surfaces them, so silent
+    ring-wrap loss is visible instead of discovered during an incident.
+    """
 
     def __init__(self, capacity: int = 1024, *, stream: IO[str] | None = None) -> None:
         if capacity < 1:
@@ -174,12 +312,18 @@ class TraceSink:
         self._buffer: deque[dict] = deque(maxlen=capacity)
         self._stream = stream
         self.emitted = 0
+        self.dropped = 0
+        self.on_drop: Callable[[], None] | None = None
 
     def emit(self, trace: dict) -> None:
-        self._buffer.append(trace)
-        self.emitted += 1
         if self._stream is not None:
             self._stream.write(json.dumps(trace, sort_keys=True) + "\n")
+        elif len(self._buffer) == self.capacity:
+            self.dropped += 1
+            if self.on_drop is not None:
+                self.on_drop()
+        self._buffer.append(trace)
+        self.emitted += 1
 
     def traces(self) -> list[dict]:
         return list(self._buffer)

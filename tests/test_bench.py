@@ -1,0 +1,165 @@
+"""Tests for the repro.bench baseline harness and the repro.obs CLI."""
+
+from __future__ import annotations
+
+import json
+
+from repro.bench import (
+    SCHEMA,
+    WORKLOADS,
+    compare_reports,
+    load_report,
+    request_digest,
+    run_bench,
+    write_report,
+)
+from repro.bench.__main__ import main as bench_main
+from repro.obs.__main__ import main as obs_main
+from repro.obs.__main__ import summarize
+from tests.helpers import run
+
+
+class TestSeededStreams:
+    def test_same_seed_same_digest_every_workload(self):
+        for name, spec in WORKLOADS.items():
+            first = spec.streams(11, clients=3, requests=8)
+            second = spec.streams(11, clients=3, requests=8)
+            assert first == second, name
+            assert request_digest(first) == request_digest(second), name
+
+    def test_different_seed_different_digest(self):
+        for name, spec in WORKLOADS.items():
+            a = request_digest(spec.streams(11, clients=2, requests=8))
+            b = request_digest(spec.streams(12, clients=2, requests=8))
+            assert a != b, name
+
+    def test_digest_sensitive_to_client_boundaries(self):
+        # Same bytes split differently across clients must not collide.
+        assert request_digest([[b"ab"], [b"cd"]]) != request_digest([[b"ab", b"cd"]])
+
+
+class TestCompareReports:
+    @staticmethod
+    def _report(**overrides):
+        report = {
+            "schema": SCHEMA,
+            "workload": "echo",
+            "seed": 11,
+            "config_fingerprint": "f" * 16,
+            "request_digest": "d" * 64,
+            "stage_set": ["diff", "exchange"],
+            "totals": {"exchanges_per_second": 1000.0, "errors": 0},
+        }
+        report.update(overrides)
+        return report
+
+    def test_identical_reports_pass(self):
+        assert compare_reports(self._report(), self._report()) == []
+
+    def test_regression_beyond_tolerance_fails(self):
+        slow = self._report(totals={"exchanges_per_second": 600.0, "errors": 0})
+        problems = compare_reports(self._report(), slow, tolerance=0.30)
+        assert any("throughput regression" in p for p in problems)
+        assert compare_reports(self._report(), slow, tolerance=0.50) == []
+
+    def test_identity_mismatches_fail(self):
+        for key, value in (
+            ("config_fingerprint", "0" * 16),
+            ("request_digest", "0" * 64),
+            ("seed", 12),
+            ("stage_set", ["exchange"]),
+        ):
+            problems = compare_reports(self._report(), self._report(**{key: value}))
+            assert problems, key
+
+    def test_candidate_errors_fail(self):
+        bad = self._report(totals={"exchanges_per_second": 1000.0, "errors": 3})
+        assert any("client errors" in p for p in compare_reports(self._report(), bad))
+
+
+class TestRunBench:
+    def test_echo_end_to_end(self):
+        report = run(
+            run_bench("echo", seed=5, clients=2, requests=5, instances=3),
+            timeout=60,
+        )
+        assert report["schema"] == SCHEMA
+        assert report["totals"]["transactions"] == 10
+        assert report["totals"]["errors"] == 0
+        assert report["verdicts"] == {"unanimous": 10}
+        assert {"exchange", "replicate", "diff", "respond"} <= set(
+            report["stage_set"]
+        )
+        assert report["stages"]["exchange"]["count"] == 10
+        assert report["runtime"]["rss_bytes"]["last"] > 0
+        assert len(report["request_digest"]) == 64
+        assert len(report["config_fingerprint"]) == 16
+
+    def test_cli_run_and_compare(self, tmp_path, capsys):
+        baseline = tmp_path / "BENCH_echo.json"
+        code = bench_main(
+            [
+                "--workload", "echo", "--seed", "5", "--clients", "2",
+                "--requests", "5", "--out", str(baseline),
+            ]
+        )
+        assert code == 0
+        report = load_report(baseline)
+        assert report["workload"] == "echo"
+
+        # identical run compares clean
+        candidate = tmp_path / "candidate.json"
+        write_report(report, candidate)
+        assert bench_main(["compare", str(baseline), str(candidate)]) == 0
+
+        slow = dict(report)
+        slow["totals"] = dict(report["totals"], exchanges_per_second=1.0)
+        write_report(slow, candidate)
+        assert bench_main(["compare", str(baseline), str(candidate)]) == 1
+        assert "throughput regression" in capsys.readouterr().out
+
+
+class TestObsCli:
+    TRACE = {
+        "exchange_id": "p-in-000000",
+        "proxy": "p-in",
+        "verdict": "unanimous",
+        "spans": {
+            "name": "exchange",
+            "duration_s": 0.004,
+            "children": [
+                {"name": "diff", "duration_s": 0.001},
+                {"name": "respond", "duration_s": 0.002},
+            ],
+        },
+    }
+
+    def test_summarize_counts_stages_and_verdicts(self):
+        lines = [
+            json.dumps(self.TRACE),
+            json.dumps({"type": "recovery", "service": "x"}),  # skipped
+            "not json",  # skipped, not fatal
+        ]
+        summary = summarize(lines)
+        assert summary["traces"] == 1
+        assert summary["skipped"] == 2
+        assert summary["verdicts"] == {"unanimous": 1}
+        assert summary["stages"]["diff"]["count"] == 1
+        assert summary["stages"]["exchange"]["max_ms"] == 4.0
+        assert summary["stages"]["exchange"]["slowest_exchange"] == "p-in-000000"
+
+    def test_proxy_filter(self):
+        summary = summarize([json.dumps(self.TRACE)], proxy="other-in")
+        assert summary["traces"] == 0 and summary["skipped"] == 1
+
+    def test_cli_renders_table(self, tmp_path, capsys):
+        path = tmp_path / "traces.jsonl"
+        path.write_text(json.dumps(self.TRACE) + "\n")
+        assert obs_main([str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "verdicts: unanimous=1" in out
+        assert "diff" in out and "p99" in out
+        # empty input exits nonzero so pipelines notice
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert obs_main([str(empty)]) == 1

@@ -1,0 +1,263 @@
+"""Tests for the performance-observability layer: StageProfiler,
+RuntimeProbe, trace sampling, the null-trace fast path, and sink drop
+accounting."""
+
+from __future__ import annotations
+
+import asyncio
+import gc
+
+import repro
+from repro.apps.echo import EchoServer
+from repro.core.config import RddrConfig
+from repro.obs import (
+    STAGE_BUCKETS,
+    NullExchangeTrace,
+    Observer,
+    RuntimeProbe,
+    StageProfiler,
+    TraceSampler,
+    TraceSink,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs import trace as trace_mod
+from tests.helpers import run
+
+
+def _make_trace(tracer, *, exchange=0, stages=("replicate", "diff")):
+    trace = tracer.begin(
+        proxy="p-in", protocol="tcp", direction="incoming", exchange=exchange
+    )
+    for name in stages:
+        with trace.span(name):
+            pass
+    trace.set_verdict("unanimous")
+    trace.finish()
+    return trace
+
+
+# ------------------------------------------------------------- profiler
+
+
+class TestStageProfiler:
+    def test_records_stages_and_root_exchange(self):
+        registry = MetricsRegistry()
+        profiler = StageProfiler(registry)
+        sink = TraceSink()
+        tracer = trace_mod.Tracer(sink)
+        profiler.record_trace(_make_trace(tracer))
+        summary = profiler.summary(proxy="p-in")
+        assert set(summary) == {"exchange", "replicate", "diff"}
+        assert summary["diff"]["count"] == 1
+        assert summary["diff"]["p99_ms"] >= 0.0
+
+    def test_exemplar_is_last_exchange_in_slowest_bucket(self):
+        registry = MetricsRegistry()
+        profiler = StageProfiler(registry)
+
+        class _Clock:
+            now = 0.0
+
+            def __call__(self):
+                return self.now
+
+        clock = _Clock()
+        tracer = trace_mod.Tracer(TraceSink(), clock=clock)
+        # exchange 1 is far slower than 0 and 2, so the slowest populated
+        # bucket holds exactly one observation — exchange 1's.
+        for exchange, duration in ((0, 0.001), (1, 0.5), (2, 0.001)):
+            trace = tracer.begin(
+                proxy="p-in", protocol="tcp", direction="incoming",
+                exchange=exchange,
+            )
+            clock.now += duration
+            trace.set_verdict("unanimous")
+            trace.finish()
+            profiler.record_trace(trace)
+        summary = profiler.summary(proxy="p-in")
+        assert summary["exchange"]["slowest_exemplar"] == "p-in-000001"
+
+    def test_histogram_exported_via_registry(self):
+        registry = MetricsRegistry()
+        profiler = StageProfiler(registry)
+        tracer = trace_mod.Tracer(TraceSink())
+        profiler.record_trace(_make_trace(tracer))
+        text = registry.expose_text()
+        assert "rddr_stage_seconds_bucket" in text
+        assert 'stage="diff"' in text
+
+    def test_buckets_are_increasing(self):
+        assert list(STAGE_BUCKETS) == sorted(STAGE_BUCKETS)
+        assert STAGE_BUCKETS[0] < 1e-5 and STAGE_BUCKETS[-1] > 1.0
+
+
+# ---------------------------------------------------------------- probe
+
+
+class TestRuntimeProbe:
+    def test_probe_samples_lag_gc_and_rss(self):
+        async def scenario():
+            registry = MetricsRegistry()
+            probe = RuntimeProbe(registry, interval=0.01, service="t")
+            await probe.start()
+            for _ in range(3):
+                await asyncio.sleep(0.02)
+                gc.collect()
+            await probe.stop()
+            return registry, probe.summary()
+
+        registry, summary = run(scenario())
+        assert summary["eventloop_lag_ms"]["samples"] >= 2
+        assert summary["gc"]["pauses"] >= 3
+        assert summary["rss_bytes"]["last"] > 0
+        text = registry.expose_text()
+        assert "rddr_eventloop_lag_seconds" in text
+        assert "rddr_rss_bytes" in text
+
+    def test_stop_removes_gc_callback(self):
+        async def scenario():
+            probe = RuntimeProbe(MetricsRegistry(), interval=0.01, service="t")
+            await probe.start()
+            await probe.stop()
+            return probe
+
+        probe = run(scenario())
+        assert probe._on_gc not in gc.callbacks
+
+
+# ------------------------------------------------------------- sampling
+
+
+class TestTraceSampler:
+    def test_rate_bounds(self):
+        assert all(TraceSampler(1.0, 0).sampled(i) for i in range(64))
+        assert not any(TraceSampler(0.0, 0).sampled(i) for i in range(64))
+
+    def test_deterministic_across_instances(self):
+        a = TraceSampler(0.5, 7)
+        b = TraceSampler(0.5, 7)
+        picks_a = [i for i in range(512) if a.sampled(i)]
+        picks_b = [i for i in range(512) if b.sampled(i)]
+        assert picks_a == picks_b
+        assert 128 < len(picks_a) < 384  # roughly half
+
+    def test_seed_changes_selection(self):
+        picks_0 = {i for i in range(512) if TraceSampler(0.5, 0).sampled(i)}
+        picks_1 = {i for i in range(512) if TraceSampler(0.5, 1).sampled(i)}
+        assert picks_0 != picks_1
+
+    def test_invalid_rate_rejected(self):
+        for rate in (-0.1, 1.1):
+            try:
+                TraceSampler(rate, 0)
+            except ValueError:
+                continue
+            raise AssertionError(f"rate {rate} accepted")
+
+
+class TestNullTracePath:
+    def test_sampled_out_exchange_gets_null_trace(self):
+        observer = Observer()
+        trace = observer.begin_exchange(
+            proxy="p",
+            protocol="tcp",
+            direction="incoming",
+            exchange=3,
+            sampler=TraceSampler(0.0, 0),
+        )
+        assert isinstance(trace, NullExchangeTrace)
+        assert not trace.sampled
+        with trace.span("replicate", instance=0) as span:
+            span.attrs["ignored"] = True
+        assert trace.instance_timings() == {}
+
+    def test_null_trace_verdict_still_counted_not_exported(self):
+        observer = Observer()
+        trace = observer.begin_exchange(
+            proxy="p",
+            protocol="tcp",
+            direction="incoming",
+            exchange=0,
+            sampler=TraceSampler(0.0, 0),
+        )
+        trace.set_verdict("unanimous")
+        assert observer.finish_exchange(trace) is None
+        assert observer.traces() == []
+        snapshot = observer.metrics_snapshot()
+        series = snapshot["rddr_exchanges_total"]["series"]
+        assert any(
+            entry["labels"]["verdict"] == "unanimous" and entry["value"] == 1.0
+            for entry in series
+        )
+
+    def test_zero_span_allocations_when_sampled_out(self, monkeypatch):
+        """Acceptance: with ``trace_sample_rate=0`` the incoming proxy's
+        per-exchange path performs zero Span allocations."""
+        allocations = []
+        real_init = trace_mod.Span.__init__
+
+        def counting_init(self, *args, **kwargs):
+            allocations.append(1)
+            real_init(self, *args, **kwargs)
+
+        monkeypatch.setattr(trace_mod.Span, "__init__", counting_init)
+
+        async def scenario():
+            servers = [await EchoServer(name=f"e{i}").start() for i in range(2)]
+            config = RddrConfig(protocol="tcp", trace_sample_rate=0.0)
+            deployment = await repro.deploy(
+                instances=[s.address for s in servers],
+                config=config,
+                name="null-path",
+            )
+            baseline = len(allocations)
+            reader, writer = await asyncio.open_connection(*deployment.address)
+            for i in range(5):
+                writer.write(f"ping {i}\n".encode())
+                await writer.drain()
+                assert await reader.readline()
+            writer.close()
+            await writer.wait_closed()
+            await deployment.close()
+            for server in servers:
+                await server.close()
+            return len(allocations) - baseline
+
+        assert run(scenario()) == 0
+
+
+# ------------------------------------------------------------ sink drop
+
+
+class TestSinkDropAccounting:
+    def test_ring_wrap_without_stream_counts_drops(self):
+        sink = TraceSink(capacity=2)
+        drops = []
+        sink.on_drop = lambda: drops.append(1)
+        for i in range(5):
+            sink.emit({"exchange": i})
+        assert sink.dropped == 3
+        assert len(drops) == 3
+        assert [t["exchange"] for t in sink.traces()] == [3, 4]
+
+    def test_stream_attached_wrap_is_not_a_loss(self, tmp_path):
+        path = tmp_path / "traces.jsonl"
+        with open(path, "w") as stream:
+            sink = TraceSink(capacity=2, stream=stream)
+            for i in range(5):
+                sink.emit({"exchange": i})
+        assert sink.dropped == 0
+        assert len(path.read_text().splitlines()) == 5
+
+    def test_observer_wires_drop_counter(self):
+        observer = Observer(sink=TraceSink(capacity=1))
+        tracer = observer.tracer
+        for exchange in range(3):
+            trace = tracer.begin(
+                proxy="p", protocol="tcp", direction="incoming", exchange=exchange
+            )
+            trace.set_verdict("unanimous")
+            observer.finish_exchange(trace)
+        snapshot = observer.metrics_snapshot()
+        series = snapshot["rddr_traces_dropped_total"]["series"]
+        assert series and series[0]["value"] == 2.0

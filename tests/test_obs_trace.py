@@ -400,6 +400,91 @@ class TestTable1Acceptance:
         assert observer.registry.total("rddr_exchanges_total", verdict="unanimous") >= 1
 
 
+class TestConcurrentInterleaving:
+    """Span trees and instance timings stay per-exchange-correct when
+    many exchanges are in flight at once."""
+
+    def test_interleaved_traces_keep_their_own_timings(self):
+        # Two traces advanced turn-by-turn on one shared clock: spans
+        # opened while the *other* trace is mid-span must not leak.
+        clock = _FakeClock()
+        traces = [
+            ExchangeTrace(
+                exchange_id=f"p-{i:06d}", proxy="p", protocol="tcp",
+                direction="incoming", exchange=i, clock=clock,
+            )
+            for i in range(2)
+        ]
+        context_a = traces[0].span("recv", instance=0)
+        with context_a:
+            clock.now += 1.0
+            with traces[1].span("recv", instance=0):
+                clock.now += 2.0
+            with traces[1].span("send", instance=1):
+                clock.now += 4.0
+            clock.now += 8.0
+        # trace 0's recv stayed open across trace 1's whole exchange
+        with traces[0].span("send", instance=1):
+            clock.now += 16.0
+        timings_a = traces[0].instance_timings()
+        timings_b = traces[1].instance_timings()
+        assert timings_a[0]["recv_s"] == pytest.approx(15.0)
+        assert timings_a[1]["send_s"] == pytest.approx(16.0)
+        assert timings_b[0]["recv_s"] == pytest.approx(2.0)
+        assert timings_b[1]["send_s"] == pytest.approx(4.0)
+
+    def test_concurrent_exchanges_produce_complete_distinct_trees(self):
+        clients, per_client = 6, 5
+
+        async def main():
+            servers = [await EchoServer().start() for _ in range(3)]
+            observer = Observer()
+            config = RddrConfig(protocol="tcp", exchange_timeout=5.0)
+            deployment = await repro.deploy(
+                instances=[s.address for s in servers],
+                config=config,
+                observer=observer,
+                name="weave",
+            )
+
+            async def client(index: int) -> None:
+                reader, writer = await asyncio.open_connection(*deployment.address)
+                for i in range(per_client):
+                    writer.write(f"c{index} r{i}\n".encode())
+                    await writer.drain()
+                    assert await reader.readline()
+                    # stagger so exchanges genuinely overlap
+                    await asyncio.sleep(0.001 * (index % 3))
+                writer.close()
+                await writer.wait_closed()
+
+            await asyncio.gather(*(client(i) for i in range(clients)))
+            await deployment.close()
+            for server in servers:
+                await server.close()
+            return observer
+
+        observer = run(main())
+        traces = observer.traces()
+        assert len(traces) == clients * per_client
+        assert sorted(t["exchange"] for t in traces) == list(
+            range(clients * per_client)
+        )
+        assert len({t["exchange_id"] for t in traces}) == clients * per_client
+        for trace in traces:
+            assert trace["verdict"] == "unanimous"
+            assert _top_level_spans(trace) == [
+                "replicate", "collect", "denoise", "diff", "respond",
+            ]
+            replicate, collect = trace["spans"]["children"][:2]
+            assert [c["name"] for c in replicate["children"]] == ["send"] * 3
+            assert [c["name"] for c in collect["children"]] == ["recv"] * 3
+            assert set(trace["instances"]) == {"0", "1", "2"}
+            for timings in trace["instances"].values():
+                assert timings["send_s"] >= 0.0
+                assert timings["recv_s"] >= 0.0
+
+
 def test_module_exports():
     assert repro.__version__ == "1.1.0"
     for name in ("deploy", "Observer", "MetricsRegistry", "TraceSink"):
