@@ -22,6 +22,9 @@ Quick start::
     print(deployment.traces()[-1])        # last exchange's span tree
 """
 
+import dataclasses
+import warnings
+
 from repro.core import (
     EphemeralStateStore,
     EventLog,
@@ -42,41 +45,84 @@ from repro.protocols.base import ProtocolModule
 
 __version__ = "1.1.0"
 
+#: The legacy config-field-keyword shim warns once per process, not per
+#: call — a migration nudge, not log spam.
+_deploy_override_warned = False
+
 
 async def deploy(
+    config: RddrConfig | None = None,
     *,
     instances: list[tuple[str, int]],
     protocol: str | ProtocolModule | None = None,
-    config: RddrConfig | None = None,
     observer: Observer | None = None,
     name: str = "rddr",
     host: str = "127.0.0.1",
     port: int = 0,
+    **overrides: object,
 ) -> RddrDeployment:
     """Stand up RDDR over already-running instances — the one-call facade.
 
-    Keyword-only, consistently named parameters:
+    The preferred form passes a prebuilt config positionally::
 
+        await repro.deploy(RddrConfig(protocol="http", ...),
+                           instances=[(h1, p1), (h2, p2)])
+
+    Parameters:
+
+    * ``config`` — a full :class:`RddrConfig`, positionally or as
+      ``config=`` (anything else positional is a :class:`TypeError`);
     * ``instances`` — the N instance addresses the incoming proxy guards;
     * ``protocol`` — a registry name (``"tcp"``, ``"http"``, ``"json"``,
-      ``"pgwire"``, ``"resp"``) or a :class:`ProtocolModule` instance;
-    * ``config`` — a full :class:`RddrConfig` when defaults don't fit
-      (``protocol`` still wins for the incoming leg when both are given);
+      ``"pgwire"``, ``"resp"``) or a :class:`ProtocolModule` instance
+      (wins for the incoming leg when ``config`` is also given);
     * ``observer`` — a :class:`repro.obs.Observer` collecting metrics and
       exchange traces (a deployment-private one is created by default).
+
+    **Deprecated**: :class:`RddrConfig` field names are still accepted as
+    direct keywords (``await repro.deploy(instances=...,
+    divergence_policy="vote")``) and folded into the config, with a
+    one-time :class:`DeprecationWarning` — build the config yourself
+    instead.
 
     Returns a started :class:`RddrDeployment` (an async context manager);
     clients connect to ``deployment.address``.  For microservices that
     also *call* backends, use :meth:`RddrDeployment.add_outgoing_proxy`
     before starting the instances.
     """
+    if config is not None and not isinstance(config, RddrConfig):
+        raise TypeError(
+            "deploy() accepts a prebuilt RddrConfig as its only positional "
+            f"argument, got {type(config).__name__}; pass instance "
+            "addresses via the instances= keyword"
+        )
+    if overrides:
+        valid = {field.name for field in dataclasses.fields(RddrConfig)}
+        unknown = sorted(set(overrides) - valid)
+        if unknown:
+            raise TypeError(
+                f"deploy() got unexpected keyword argument(s) {unknown}; "
+                "valid RddrConfig overrides are: " + ", ".join(sorted(valid))
+            )
+        global _deploy_override_warned
+        if not _deploy_override_warned:
+            _deploy_override_warned = True
+            warnings.warn(
+                "passing RddrConfig fields as deploy() keywords is "
+                "deprecated; build an RddrConfig and pass it as the first "
+                "argument",
+                DeprecationWarning,
+                stacklevel=2,
+            )
     if config is None:
         protocol_name = (
             protocol if isinstance(protocol, str)
             else protocol.name if protocol is not None
             else "tcp"
         )
-        config = RddrConfig(protocol=protocol_name)
+        config = RddrConfig(protocol=protocol_name, **overrides)  # type: ignore[arg-type]
+    elif overrides:
+        config = dataclasses.replace(config, **overrides)  # type: ignore[arg-type]
     deployment = RddrDeployment(name, config, host, observer=observer)
     try:
         await deployment.start_incoming_proxy(

@@ -10,6 +10,9 @@ Compare (exit 1 on identity mismatch or throughput regression)::
 
     python -m repro.bench compare BENCH_echo.json /tmp/candidate.json \\
         --tolerance 0.30
+
+``compare --markdown PATH`` additionally appends a markdown delta table
+to PATH (``-`` for stdout) — in CI, point it at ``$GITHUB_STEP_SUMMARY``.
 """
 
 from __future__ import annotations
@@ -19,6 +22,7 @@ import json
 import sys
 
 from repro.bench import compare_reports, load_report, run_bench_sync, write_report
+from repro.bench.report import markdown_delta
 
 
 def _run_parser() -> argparse.ArgumentParser:
@@ -45,6 +49,13 @@ def _compare_parser() -> argparse.ArgumentParser:
     parser.add_argument("baseline")
     parser.add_argument("candidate")
     parser.add_argument("--tolerance", type=float, default=0.30)
+    parser.add_argument(
+        "--markdown",
+        default=None,
+        metavar="PATH",
+        help="append a markdown delta table to PATH ('-' for stdout); "
+        "point it at $GITHUB_STEP_SUMMARY in CI",
+    )
     return parser
 
 
@@ -52,11 +63,16 @@ def main(argv: list[str] | None = None) -> int:
     argv = sys.argv[1:] if argv is None else argv
     if argv and argv[0] == "compare":
         args = _compare_parser().parse_args(argv[1:])
-        problems = compare_reports(
-            load_report(args.baseline),
-            load_report(args.candidate),
-            tolerance=args.tolerance,
-        )
+        baseline = load_report(args.baseline)
+        candidate = load_report(args.candidate)
+        problems = compare_reports(baseline, candidate, tolerance=args.tolerance)
+        if args.markdown:
+            summary = markdown_delta(baseline, candidate, problems)
+            if args.markdown == "-":
+                print(summary, end="")
+            else:
+                with open(args.markdown, "a") as handle:
+                    handle.write(summary)
         if problems:
             for problem in problems:
                 print(f"FAIL: {problem}")

@@ -130,3 +130,63 @@ def compare_reports(
     if cand_errors:
         problems.append(f"candidate run had {cand_errors} client errors")
     return problems
+
+
+def _delta_pct(baseline: float, candidate: float) -> str:
+    if not baseline:
+        return "n/a"
+    change = (candidate - baseline) / baseline * 100.0
+    return f"{change:+.1f}%"
+
+
+def markdown_delta(
+    baseline: dict, candidate: dict, problems: list[str] | None = None
+) -> str:
+    """GitHub-flavoured markdown summary of candidate vs baseline.
+
+    Written to ``$GITHUB_STEP_SUMMARY`` by the perf-smoke CI job so the
+    delta is readable from the run page without downloading artifacts.
+    """
+    lines = [
+        f"### Bench delta: {candidate.get('workload', '?')}",
+        "",
+        "| metric | baseline | candidate | delta |",
+        "| --- | ---: | ---: | ---: |",
+    ]
+    base_totals = baseline.get("totals", {})
+    cand_totals = candidate.get("totals", {})
+    tps_b = base_totals.get("exchanges_per_second", 0.0)
+    tps_c = cand_totals.get("exchanges_per_second", 0.0)
+    lines.append(
+        f"| exchanges/s | {tps_b} | {tps_c} | {_delta_pct(tps_b, tps_c)} |"
+    )
+    base_latency = baseline.get("latency_ms", {})
+    cand_latency = candidate.get("latency_ms", {})
+    for quantile in ("p50", "p95", "p99"):
+        lat_b = base_latency.get(quantile, 0.0)
+        lat_c = cand_latency.get(quantile, 0.0)
+        lines.append(
+            f"| latency {quantile} (ms) | {lat_b} | {lat_c} "
+            f"| {_delta_pct(lat_b, lat_c)} |"
+        )
+    base_stages = baseline.get("stages", {})
+    cand_stages = candidate.get("stages", {})
+    for stage in sorted(set(base_stages) & set(cand_stages)):
+        stage_b = base_stages[stage].get("p50_ms", 0.0)
+        stage_c = cand_stages[stage].get("p50_ms", 0.0)
+        lines.append(
+            f"| stage {stage} p50 (ms) | {stage_b} | {stage_c} "
+            f"| {_delta_pct(stage_b, stage_c)} |"
+        )
+    lines.append("")
+    fingerprint = candidate.get("config_fingerprint", "?")
+    digest = candidate.get("request_digest", "?")
+    lines.append(f"identity: fingerprint `{fingerprint}`, requests `{digest}`")
+    if problems:
+        lines.append("")
+        lines.append("**FAIL**")
+        lines.extend(f"- {problem}" for problem in problems)
+    else:
+        lines.append("")
+        lines.append("**OK** — identity matched, throughput within tolerance")
+    return "\n".join(lines) + "\n"

@@ -16,6 +16,14 @@ from pathlib import Path
 from repro.core.denoise import FilterPair
 from repro.core.variance import VarianceRule
 
+#: Config fields introduced after the first committed bench baselines,
+#: mapped to their defaults.  :meth:`RddrConfig.fingerprint` omits them
+#: while they hold the default value — behaviourally identical configs
+#: keep the fingerprint older ``BENCH_*.json`` files embed.
+_FINGERPRINT_NEUTRAL_DEFAULTS: dict[str, object] = {
+    "journal_group_commit_ms": 0.0,
+}
+
 
 @dataclass
 class RddrConfig:
@@ -107,6 +115,11 @@ class RddrConfig:
     #: fsync each appended record (crash-proof vs the OS page cache; the
     #: durability-latency tradeoff measured in benchmarks/test_ablations).
     journal_fsync: bool = False
+    #: Group commit: coalesce journal records appended within this window
+    #: (milliseconds) into one fsync; callers still only ACK after the
+    #: batch is durable.  ``0`` (the default) keeps per-record fsync.
+    #: Only meaningful with ``journal_fsync=True``.
+    journal_group_commit_ms: float = 0.0
     #: During CATCHING_UP, verify each replayed response digest against
     #: the journaled one (mismatches are counted and traced).
     catchup_verify: bool = True
@@ -155,8 +168,17 @@ class RddrConfig:
         Benchmark reports embed it so a perf delta can never be silently
         compared across different deployment configurations: two
         ``BENCH_*.json`` files are comparable iff fingerprints match.
+
+        Fields added *after* baselines were first committed are excluded
+        while they sit at their default, so a config that behaves
+        identically to an older one fingerprints identically — committed
+        ``BENCH_*.json`` baselines stay comparable across releases.
         """
-        canonical = json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+        data = self.to_dict()
+        for key, default in _FINGERPRINT_NEUTRAL_DEFAULTS.items():
+            if data.get(key) == default:
+                del data[key]
+        canonical = json.dumps(data, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(canonical.encode()).hexdigest()[:16]
 
     # ------------------------------------------------------------- JSON
@@ -202,6 +224,7 @@ class RddrConfig:
             "journal_segment_bytes": self.journal_segment_bytes,
             "journal_compact_bytes": self.journal_compact_bytes,
             "journal_fsync": self.journal_fsync,
+            "journal_group_commit_ms": self.journal_group_commit_ms,
             "catchup_verify": self.catchup_verify,
             "rejoin_probe_interval": self.rejoin_probe_interval,
             "trace_sample_rate": self.trace_sample_rate,
@@ -278,6 +301,7 @@ class RddrConfig:
             journal_segment_bytes=int(data.get("journal_segment_bytes", 1 << 20)),  # type: ignore[arg-type]
             journal_compact_bytes=int(data.get("journal_compact_bytes", 8 << 20)),  # type: ignore[arg-type]
             journal_fsync=bool(data.get("journal_fsync", False)),
+            journal_group_commit_ms=float(data.get("journal_group_commit_ms", 0.0)),  # type: ignore[arg-type]
             catchup_verify=bool(data.get("catchup_verify", True)),
             rejoin_probe_interval=(
                 float(data["rejoin_probe_interval"])  # type: ignore[arg-type]

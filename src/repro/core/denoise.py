@@ -26,7 +26,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.diff import TOKEN_WILDCARD, CharRange, NoiseMask, differing_ranges
+from repro.core.diff import (
+    EMPTY_MASK,
+    TOKEN_WILDCARD,
+    CharRange,
+    NoiseMask,
+    differing_ranges,
+)
 
 
 @dataclass(frozen=True)
@@ -48,6 +54,10 @@ def learn_noise_mask(
     pair_a: list[bytes], pair_b: list[bytes]
 ) -> NoiseMask:
     """Build a noise mask from the filter pair's token streams."""
+    if pair_a == pair_b:
+        # Identical streams learn nothing: share the immutable empty mask
+        # instead of allocating one per exchange (the common case).
+        return EMPTY_MASK
     mask = NoiseMask()
     limit = min(len(pair_a), len(pair_b))
     for index in range(limit):
@@ -102,9 +112,13 @@ class FilterPairDenoiser:
         return self.pair is not None
 
     def mask_for(self, token_streams: list[list[bytes]]) -> NoiseMask:
-        """Learn the mask from this exchange's filter-pair outputs."""
+        """Learn the mask from this exchange's filter-pair outputs.
+
+        The returned mask may be the shared :data:`EMPTY_MASK`; callers
+        must treat it as read-only.
+        """
         if self.pair is None:
-            return NoiseMask()
+            return EMPTY_MASK
         first, second = self.pair.indices()
         if first >= len(token_streams) or second >= len(token_streams):
             raise IndexError(

@@ -68,6 +68,13 @@ class NoiseMask:
         return bytes(out)
 
 
+#: Shared no-noise mask for exchanges with nothing to mask (no filter
+#: pair, or the pair agreed byte-for-byte).  Returned by the denoiser and
+#: :func:`diff_tokens` instead of allocating a fresh empty mask per
+#: exchange — treat it as immutable; learners always build their own.
+EMPTY_MASK = NoiseMask()
+
+
 @dataclass(frozen=True)
 class TokenDifference:
     """One diverging token across instances."""
@@ -108,7 +115,7 @@ def diff_tokens(
     """
     if len(token_streams) < 2:
         return DiffResult(divergent=False, token_counts=tuple(len(s) for s in token_streams))
-    mask = mask or NoiseMask()
+    mask = mask or EMPTY_MASK
     counts = tuple(len(stream) for stream in token_streams)
     compare_length = min(counts)
     if len(set(counts)) > 1:
@@ -116,6 +123,13 @@ def diff_tokens(
             count < mask.tail_from for count in counts
         ):
             return DiffResult(divergent=True, token_counts=counts)
+    if not mask.token_ranges and mask.tail_from is None:
+        # Nothing is masked (the common unanimous case): compare the
+        # streams directly instead of masking token-by-token.  Falls
+        # through to the detailed walk only to localise a difference.
+        first = token_streams[0]
+        if all(stream == first for stream in token_streams[1:]):
+            return DiffResult(divergent=False, token_counts=counts)
     differences: list[TokenDifference] = []
     for index in range(compare_length):
         if mask.is_noise_token(index):

@@ -43,17 +43,23 @@ from dataclasses import dataclass
 
 from repro.core import events as ev
 from repro.core.config import RddrConfig
-from repro.core.denoise import FilterPairDenoiser
-from repro.core.diff import diff_tokens
+from repro.core.denoise import FilterPairDenoiser, learn_noise_mask
+from repro.core.diff import EMPTY_MASK, diff_tokens
 from repro.core.ephemeral import EphemeralStateStore
 from repro.core.events import EventLog
 from repro.core.metrics import ProxyMetrics
 from repro.core.signatures import SignatureStore
 from repro.core.variance import VarianceMasker
-from repro.journal import ExchangeJournal, capture_snapshot, response_digest, supports_snapshots
+from repro.journal import (
+    ExchangeJournal,
+    GroupCommitBatcher,
+    capture_snapshot,
+    response_digest,
+    supports_snapshots,
+)
 from repro.journal.log import FLAG_DEGRADED, FLAG_MAJORITY
 from repro.obs import ExchangeTrace, Observer, TraceSampler, active_observer
-from repro.protocols.base import ProtocolModule, resolve
+from repro.protocols.base import ProtocolModule, capabilities_of, resolve
 from repro.recovery.admission import AdmissionController
 from repro.recovery.directory import MODE_OUT, MODE_SHADOW, InstanceDirectory
 from repro.transport.retry import open_connection_retry
@@ -155,7 +161,23 @@ class IncomingRequestProxy:
         #: commit time, *before* the client drain, so a client disconnect
         #: cannot lose an exchange the instances already applied.
         self.journal = journal
+        #: Group commit: appends landing within ``journal_group_commit_ms``
+        #: share one fsync; each caller still ACKs only after durability.
+        self._group_commit = (
+            GroupCommitBatcher(
+                journal, window_s=self.config.journal_group_commit_ms / 1000.0
+            )
+            if journal is not None
+            else None
+        )
         self._snapshot_task: asyncio.Task | None = None
+        #: Optional per-exchange protocol hook, resolved once from the
+        #: declared capabilities instead of a getattr per exchange.
+        self._finish_hook = (
+            protocol.finish_exchange
+            if capabilities_of(protocol).finish_exchange
+            else None
+        )
 
     # ------------------------------------------------------------ lifecycle
 
@@ -179,6 +201,8 @@ class IncomingRequestProxy:
     async def close(self) -> None:
         if self.handle is not None:
             await self.handle.close()
+        if self._group_commit is not None:
+            await self._group_commit.close()
         if self._snapshot_task is not None:
             self._snapshot_task.cancel()
             with contextlib.suppress(asyncio.CancelledError, Exception):
@@ -450,6 +474,9 @@ class IncomingRequestProxy:
                 return None
 
         # Replicate, substituting each instance's own ephemeral state.
+        # Pipelined: buffer every link's write first (StreamWriter.write is
+        # synchronous), then drain all links while the kernel pushes them
+        # concurrently — replication costs the *slowest* link, not the sum.
         with trace.span("replicate") as replicate:
             send_failed: list[_InstanceLink] = []
             for link in links:
@@ -465,10 +492,11 @@ class IncomingRequestProxy:
                         )
                 with trace.span("send", parent=replicate, instance=link.index):
                     link.writer.write(payload)
-                    try:
-                        await drain_write(link.writer)
-                    except ConnectionClosed:
-                        send_failed.append(link)
+            for link in links:
+                try:
+                    await drain_write(link.writer)
+                except ConnectionClosed:
+                    send_failed.append(link)
         degraded = False
         shadow_failed = [link for link in send_failed if link.shadow]
         for link in shadow_failed:
@@ -500,7 +528,7 @@ class IncomingRequestProxy:
 
         if not self.protocol.expects_response(request, state):
             trace.set_verdict("oneway")
-            self._journal_commit(
+            await self._journal_commit(
                 request, b"", version, flags=FLAG_DEGRADED if degraded else 0
             )
             return links
@@ -526,7 +554,7 @@ class IncomingRequestProxy:
                     majority = [voters[i] for i in majority_rel]
                     trace.set_verdict("vote_majority", verdict)
                     flags = FLAG_MAJORITY | (FLAG_DEGRADED if degraded else 0)
-                    self._journal_commit(
+                    await self._journal_commit(
                         request, responses[majority[0]], version, flags=flags
                     )
                     # Report shadows against the pre-vote positions: a
@@ -555,7 +583,7 @@ class IncomingRequestProxy:
             links, self.config.canonical_instance
         )
         canonical = responses[canonical_position]
-        self._journal_commit(
+        await self._journal_commit(
             request, canonical, version, flags=FLAG_DEGRADED if degraded else 0
         )
         self.metrics.bytes_to_clients += len(canonical)
@@ -585,24 +613,26 @@ class IncomingRequestProxy:
         return links
 
     def _finish_exchange(self, state: object) -> None:
-        finish = getattr(self.protocol, "finish_exchange", None)
-        if finish is not None:
-            finish(state)
+        if self._finish_hook is not None:
+            self._finish_hook(state)
 
     # ---------------------------------------------------------- journaling
 
-    def _journal_commit(
+    async def _journal_commit(
         self, request: bytes, response: bytes, version: int, *, flags: int = 0
     ) -> None:
         """Append one committed state-mutating exchange to the journal.
 
         Only exchanges the proxy actually *served* reach this point —
         blocked/divergent ones never mutate journaled history.  Reads
-        (per the protocol's ``mutates_state``) are skipped.
+        (per the protocol's ``mutates_state``) are skipped.  Returns only
+        once the record is durable: immediately with per-record fsync,
+        after the shared group-commit barrier when
+        ``journal_group_commit_ms`` is set.
         """
-        if self.journal is None or not self.protocol.mutates_state(request):
+        if self._group_commit is None or not self.protocol.mutates_state(request):
             return
-        record = self.journal.append(
+        record = await self._group_commit.append(
             request,
             digest=response_digest(response),
             directory_version=version,
@@ -729,18 +759,40 @@ class IncomingRequestProxy:
                     link.reader, state, request
                 )
 
-        async def read_bounded(link: _InstanceLink, parent) -> bytes | _ReadFailure:
-            try:
-                return await asyncio.wait_for(read_from(link, parent), timeout=deadline)
-            except asyncio.TimeoutError:
-                return _ReadFailure("deadline", f"no response within {deadline}s")
-            except (ConnectionClosed, ConnectionError) as error:
-                return _ReadFailure("lost", str(error) or "connection lost")
-
+        # One shared deadline timer via asyncio.wait instead of a
+        # wait_for wrapper (task + timer) per link: stragglers past the
+        # deadline are cancelled and read as "deadline" failures.
         with trace.span("collect") as collect:
-            results = await asyncio.gather(
-                *(read_bounded(link, collect) for link in links)
-            )
+            tasks = [
+                asyncio.ensure_future(read_from(link, collect)) for link in links
+            ]
+            try:
+                done, pending = await asyncio.wait(tasks, timeout=deadline)
+            except asyncio.CancelledError:
+                for task in tasks:
+                    task.cancel()
+                await asyncio.gather(*tasks, return_exceptions=True)
+                raise
+            for task in pending:
+                task.cancel()
+            if pending:
+                await asyncio.gather(*pending, return_exceptions=True)
+            results: list[bytes | _ReadFailure] = []
+            for task in tasks:
+                if task.cancelled():
+                    results.append(
+                        _ReadFailure("deadline", f"no response within {deadline}s")
+                    )
+                    continue
+                error = task.exception()
+                if error is not None:
+                    if isinstance(error, (ConnectionClosed, ConnectionError)):
+                        results.append(
+                            _ReadFailure("lost", str(error) or "connection lost")
+                        )
+                        continue
+                    raise error
+                results.append(task.result())
 
         shadow_failed = [
             position
@@ -866,10 +918,19 @@ class IncomingRequestProxy:
                 if not link.shadow
             ]
             result = diff_tokens(voter_tokens, mask)
-            masked_tuples = [
-                tuple(mask.mask_token(i, token) for i, token in enumerate(stream))
-                for stream in tokens
-            ]
+            # Masked per-link tuples are only consumed by the voting path
+            # (majority grouping) and shadow comparison; the common
+            # unanimous/no-shadow exchange skips building them entirely.
+            need_masked = result.divergent or any(link.shadow for link in links)
+            if not need_masked:
+                masked_tuples: list[tuple[bytes, ...]] = []
+            elif not mask.token_ranges and mask.tail_from is None:
+                masked_tuples = [tuple(stream) for stream in tokens]
+            else:
+                masked_tuples = [
+                    tuple(mask.mask_token(i, token) for i, token in enumerate(stream))
+                    for stream in tokens
+                ]
             diff_span.attrs["divergent"] = result.divergent
         if result.divergent:
             self.metrics.divergences += 1
@@ -884,11 +945,7 @@ class IncomingRequestProxy:
         positions = {link.index: position for position, link in enumerate(links)}
         first, second = pair.indices()
         if first not in positions or second not in positions:
-            from repro.core.diff import NoiseMask
-
-            return NoiseMask()
-        from repro.core.denoise import learn_noise_mask
-
+            return EMPTY_MASK
         return learn_noise_mask(tokens[positions[first]], tokens[positions[second]])
 
     # ------------------------------------------------------------ voting

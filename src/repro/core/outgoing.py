@@ -380,11 +380,33 @@ class OutgoingRequestProxy:
                 ),
                 timeout=self.config.exchange_timeout,
             )
+        # Pipelined fan-back: buffer every member's write, then drain all
+        # — the merge-back costs the slowest member, not the sum.  A
+        # member that dies mid-fan-back degrades the group (when quorum
+        # allows) exactly as a failed read would; below quorum the whole
+        # group tears down, as the sequential path did.
         with trace.span("fan-back") as fan_back:
             for position, writer in enumerate(writers):
                 with trace.span("send", parent=fan_back, instance=indices[position]):
                     writer.write(response)
+            fan_back_failed: list[int] = []
+            for position, writer in enumerate(writers):
+                try:
                     await drain_write(writer)
+                except ConnectionClosed:
+                    fan_back_failed.append(position)
+        if fan_back_failed:
+            survivors = len(writers) - len(fan_back_failed)
+            if not self.config.degradation_allowed(len(writers), survivors):
+                raise ConnectionClosed(
+                    f"instance {indices[fan_back_failed[0]]} connection lost "
+                    "during fan-back"
+                )
+            self._degrade_group(
+                group_index, readers, writers, indices, states,
+                fan_back_failed, "connection lost during fan-back",
+            )
+            degraded = True
         self.metrics.latency.observe(time.monotonic() - started)
         trace.set_verdict("degraded" if degraded else "unanimous")
         self.events.record(

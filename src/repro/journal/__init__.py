@@ -33,6 +33,7 @@ This package closes that gap:
 from the command line (see ``docs/robustness.md`` for the runbook).
 """
 
+from repro.journal.batch import GroupCommitBatcher
 from repro.journal.log import (
     FLAG_DEGRADED,
     FLAG_MAJORITY,
@@ -55,6 +56,7 @@ __all__ = [
     "ExchangeJournal",
     "FLAG_DEGRADED",
     "FLAG_MAJORITY",
+    "GroupCommitBatcher",
     "JournalCorruption",
     "JournalRecord",
     "JournalSnapshot",

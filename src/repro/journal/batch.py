@@ -1,0 +1,142 @@
+"""Journal group commit: one fsync per window, not per record.
+
+Per-record ``os.fsync`` makes the journal crash-proof but puts a full
+disk flush on every state-mutating exchange — the classic WAL
+throughput/durability tension (measured in ``benchmarks/test_ablations``).
+Group commit resolves it the way databases do: records appended within a
+small window share a single fsync, and every caller's acknowledgement
+waits for that shared barrier.
+
+:class:`GroupCommitBatcher` wraps an
+:class:`~repro.journal.log.ExchangeJournal`:
+
+* :meth:`append` writes the record immediately (ids stay monotonic, the
+  frame is flushed to the OS) with ``sync=False``, then parks the caller
+  on a commit future;
+* the first parked caller arms a flush task that fires after
+  ``window_s``; the flush runs ``journal.sync()`` in an executor thread
+  (one fsync, off the event loop) and resolves every parked future;
+* **no caller is released before the fsync returns** — the ACK-after-
+  durability contract is identical to per-record fsync, only the latency
+  is shared.
+
+Crash consistency is unchanged: a crash inside the window can lose
+records that were never acknowledged (exactly the records per-record
+fsync would have lost before *their* fsync returned), and a torn tail is
+truncated at reopen as always.  Segment rotation inside a window is
+covered by the journal's rotation barrier (the sealed file is fsynced
+before close).
+
+With durability off (``journal.fsync False``) or a zero window the
+batcher degrades to plain pass-through appends.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+
+from repro.journal.log import ExchangeJournal, JournalRecord
+
+
+class GroupCommitBatcher:
+    """Coalesces journal appends landing within one window into one fsync."""
+
+    def __init__(self, journal: ExchangeJournal, *, window_s: float = 0.0) -> None:
+        if window_s < 0:
+            raise ValueError("group-commit window must be >= 0")
+        self.journal = journal
+        self.window_s = window_s
+        self._waiters: list[asyncio.Future[None]] = []
+        self._flush_task: asyncio.Task | None = None
+        self._closed = False
+        #: fsync barriers run (each covering >= 1 record) — observability
+        #: for tests and the bench harness.
+        self.flushes = 0
+
+    @property
+    def batching(self) -> bool:
+        """Whether appends are actually coalesced (vs pass-through)."""
+        return self.journal.fsync and self.window_s > 0 and not self._closed
+
+    async def append(
+        self,
+        request: bytes,
+        *,
+        digest: int,
+        directory_version: int = 0,
+        flags: int = 0,
+    ) -> JournalRecord:
+        """Append one record; returns once the record is durable.
+
+        Durable means: fsynced when the journal runs with ``fsync``
+        (after the shared window barrier), flushed to the OS otherwise —
+        the same guarantee the direct :meth:`ExchangeJournal.append`
+        gives, minus one fsync per record.
+        """
+        if not self.batching:
+            return self.journal.append(
+                request,
+                digest=digest,
+                directory_version=directory_version,
+                flags=flags,
+            )
+        record = self.journal.append(
+            request,
+            digest=digest,
+            directory_version=directory_version,
+            flags=flags,
+            sync=False,
+        )
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future[None] = loop.create_future()
+        self._waiters.append(future)
+        if self._flush_task is None or self._flush_task.done():
+            self._flush_task = asyncio.create_task(
+                self._flush_after(self.window_s), name="rddr-journal-group-commit"
+            )
+        await future
+        return record
+
+    async def _flush_after(self, delay: float) -> None:
+        await asyncio.sleep(delay)
+        await self.flush()
+
+    async def flush(self) -> None:
+        """Run the durability barrier now and release the parked callers."""
+        waiters, self._waiters = self._waiters, []
+        if not waiters:
+            return
+        try:
+            await asyncio.get_running_loop().run_in_executor(
+                None, self.journal.sync
+            )
+        except Exception as error:  # fsync failure: nobody may ACK
+            for future in waiters:
+                if not future.done():
+                    future.set_exception(error)
+            return
+        self.flushes += 1
+        for future in waiters:
+            if not future.done():
+                future.set_result(None)
+
+    async def close(self) -> None:
+        """Flush anything pending and stop batching (appends become
+        pass-through so late callers never wait on a dead timer)."""
+        self._closed = True
+        if self._flush_task is not None and not self._flush_task.done():
+            self._flush_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._flush_task
+        self._flush_task = None
+        waiters, self._waiters = self._waiters, []
+        if waiters:
+            self.journal.sync()  # synchronous: the loop may be tearing down
+            self.flushes += 1
+            for future in waiters:
+                if not future.done():
+                    future.set_result(None)
+
+
+__all__ = ["GroupCommitBatcher"]

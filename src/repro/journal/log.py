@@ -43,6 +43,7 @@ snapshot epoch — and size-bounded: it runs when the journal exceeds
 
 from __future__ import annotations
 
+import os
 import re
 import struct
 import zlib
@@ -263,8 +264,17 @@ class ExchangeJournal:
         digest: int,
         directory_version: int = 0,
         flags: int = 0,
+        sync: bool = True,
     ) -> JournalRecord:
-        """Durably append one committed exchange; returns its record."""
+        """Durably append one committed exchange; returns its record.
+
+        ``sync=False`` defers the per-record fsync (the frame is still
+        written and flushed to the OS) so a group-commit batcher can
+        coalesce many records into one :meth:`sync` call.  Callers using
+        it MUST NOT acknowledge the exchange until a later :meth:`sync`
+        returns — that is the durability point.  With ``fsync`` off the
+        flag is irrelevant (no fsync happens either way).
+        """
         if len(request) + _PAYLOAD_FIXED.size > MAX_PAYLOAD:
             raise ValueError(f"request of {len(request)} bytes exceeds MAX_PAYLOAD")
         record = JournalRecord(
@@ -278,17 +288,42 @@ class ExchangeJournal:
         handle = self._writable(record.id)
         handle.write(frame)
         handle.flush()
-        if self.fsync:
-            import os
-
+        if self.fsync and sync:
             os.fsync(handle.fileno())
         self.last_id = record.id
         self.record_count += 1
         self.size_bytes += len(frame)
         self._segment_size += len(frame)
         if self._segment_size >= self.segment_bytes:
+            if self.fsync and not sync:
+                # Rotation barrier: records deferred to group commit must
+                # be durable before their segment is sealed — after
+                # close() no later sync() can reach this file.
+                os.fsync(handle.fileno())
             self.close()  # next append rotates to a fresh segment
         return record
+
+    def sync(self) -> None:
+        """fsync the open segment — the group-commit durability barrier.
+
+        A no-op when durability is off, when no segment is open (fresh
+        journal or just-rotated), or when every appended record was
+        already fsynced individually.  Safe to call from an executor
+        thread: a concurrent rotation is covered by the rotation barrier
+        in :meth:`append`, so a closed file here means nothing is owed.
+        """
+        if not self.fsync:
+            return
+        handle = self._file
+        if handle is None or handle.closed:
+            return
+        try:
+            handle.flush()
+            os.fsync(handle.fileno())
+        except ValueError:
+            # Closed between the check and the fsync: the rotation
+            # barrier already made its records durable.
+            pass
 
     def _writable(self, next_id: int) -> BinaryIO:
         if self._file is None:

@@ -31,7 +31,7 @@ import asyncio
 from dataclasses import dataclass
 
 from repro.journal.log import ExchangeJournal, response_digest
-from repro.protocols.base import ProtocolModule, resolve
+from repro.protocols.base import ProtocolModule, capabilities_of, resolve
 from repro.transport.retry import open_connection_retry
 from repro.transport.streams import close_writer, drain_write
 
@@ -50,11 +50,8 @@ class CatchupStats:
 
 
 def supports_snapshots(protocol: ProtocolModule) -> bool:
-    """Whether the module implements the optional snapshot hook pair."""
-    return (
-        getattr(protocol, "snapshot_request", None) is not None
-        and getattr(protocol, "restore_request", None) is not None
-    )
+    """Whether the module declares the snapshot capability."""
+    return capabilities_of(protocol).snapshots
 
 
 async def _handshake(
@@ -62,7 +59,7 @@ async def _handshake(
     reader: asyncio.StreamReader,
     writer: asyncio.StreamWriter,
 ) -> object:
-    """Run the protocol's optional client-side connection bootstrap."""
+    """Run the protocol's client-side connection bootstrap."""
     handshake = getattr(protocol, "handshake", None)
     if handshake is None:
         return protocol.new_connection_state()
@@ -78,9 +75,9 @@ async def capture_snapshot(
 ) -> bytes:
     """Fetch one application snapshot (raw response bytes) from ``address``."""
     proto = resolve(protocol)
-    snapshot_request = getattr(proto, "snapshot_request", None)
-    if snapshot_request is None:
+    if not capabilities_of(proto).snapshots:
         raise RuntimeError(f"protocol {proto.name!r} has no snapshot support")
+    snapshot_request = proto.snapshot_request  # type: ignore[attr-defined]
     reader, writer = await open_connection_retry(*address, attempts=connect_attempts)
     try:
         state = await _handshake(proto, reader, writer)

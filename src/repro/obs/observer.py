@@ -129,6 +129,11 @@ class Observer:
             "(exchanges a recovering instance must replay).",
             ("service",),
         )
+        # Hot-path label-handle caches: labels() re-resolves the series
+        # table per call, and finish_exchange runs once per exchange.
+        # Cardinality is small and stable (proxies x verdicts/instances).
+        self._verdict_series: dict[tuple[str, str, str], object] = {}
+        self._instance_series: dict[tuple[str, str], object] = {}
 
     # ---------------------------------------------------------- factories
 
@@ -173,17 +178,27 @@ class Observer:
             return None
         if trace.verdict == ExchangeTrace.UNFINISHED:
             trace.set_verdict("error")
-        self._exchanges.labels(
-            proxy=trace.proxy, protocol=trace.protocol, verdict=trace.verdict
-        ).inc()
+        key = (trace.proxy, trace.protocol, trace.verdict)
+        counter = self._verdict_series.get(key)
+        if counter is None:
+            counter = self._exchanges.labels(
+                proxy=trace.proxy, protocol=trace.protocol, verdict=trace.verdict
+            )
+            self._verdict_series[key] = counter
+        counter.inc()
         if not trace.sampled:
             return None
         for index, timings in trace.instance_timings().items():
             recv = timings.get("recv_s")
             if recv is not None and not timings.get("recv_cancelled"):
-                self._instance_latency.labels(
-                    proxy=trace.proxy, instance=str(index)
-                ).observe(recv)
+                series_key = (trace.proxy, index)
+                series = self._instance_series.get(series_key)
+                if series is None:
+                    series = self._instance_latency.labels(
+                        proxy=trace.proxy, instance=str(index)
+                    )
+                    self._instance_series[series_key] = series
+                series.observe(recv)
         self.profiler.record_trace(trace)
         return self.tracer.finish(trace)
 

@@ -74,14 +74,27 @@ class StageProfiler:
             ("proxy", "stage"),
             buckets=STAGE_BUCKETS,
         )
+        # labels() resolves through the family's series table on every
+        # call; stage/proxy cardinality is tiny and stable, so pin the
+        # series objects here (one lookup per span on the hot path).
+        self._series_cache: dict[tuple[str, str], HistogramSeries] = {}
+
+    def _series(self, proxy: str, stage: str) -> HistogramSeries:
+        key = (proxy, stage)
+        series = self._series_cache.get(key)
+        if series is None:
+            series = self._family.labels(proxy=proxy, stage=stage)
+            self._series_cache[key] = series
+        return series
 
     def record_trace(self, trace: ExchangeTrace) -> None:
         """Fold one finished trace's span tree into the stage histograms."""
         exchange_id = getattr(trace, "exchange_id", None)
         proxy = trace.proxy
-        for span in trace.root.walk():
-            stage = "exchange" if span is trace.root else span.name
-            self._family.labels(proxy=proxy, stage=stage).observe(
+        root = trace.root
+        for span in root.walk():
+            stage = "exchange" if span is root else span.name
+            self._series(proxy, stage).observe(
                 span.duration_s, exemplar=exchange_id
             )
 

@@ -64,9 +64,13 @@ class Span:
         return out
 
     def walk(self) -> Iterator["Span"]:
-        yield self
-        for child in self.children:
-            yield from child.walk()
+        # Iterative pre-order: a nested generator per child costs a frame
+        # per span per hop, which shows up on the per-exchange hot path.
+        stack = [self]
+        while stack:
+            span = stack.pop()
+            yield span
+            stack.extend(reversed(span.children))
 
 
 class _SpanContext:
@@ -120,6 +124,7 @@ class ExchangeTrace:
         self.reason: str | None = None
         #: Set to skip export (e.g. a connection group closing cleanly).
         self.discard = False
+        self._timings: dict[int, dict[str, float]] | None = None
 
     # ------------------------------------------------------------- spans
 
@@ -147,7 +152,13 @@ class ExchangeTrace:
 
     def instance_timings(self) -> dict[int, dict[str, float]]:
         """Per-instance send/recv durations collected from the span tree,
-        e.g. ``{0: {"send_s": ..., "recv_s": ...}, 1: {...}}``."""
+        e.g. ``{0: {"send_s": ..., "recv_s": ...}, 1: {...}}``.
+
+        The walk is cached once the trace has finished (the tree can no
+        longer change): the observer and the exported dict both ask.
+        """
+        if self._timings is not None:
+            return self._timings
         timings: dict[int, dict[str, float]] = {}
         for span in self.root.walk():
             instance = span.attrs.get("instance")
@@ -157,6 +168,8 @@ class ExchangeTrace:
             entry[f"{span.name}_s"] = round(span.duration_s, 9)
             if span.attrs.get("cancelled"):
                 entry[f"{span.name}_cancelled"] = True
+        if self.finished:
+            self._timings = timings
         return timings
 
     def to_dict(self) -> dict:

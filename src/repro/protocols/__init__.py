@@ -6,7 +6,16 @@ Available out of the box: ``tcp`` (line-framed), ``http``, ``json``
 (newline-delimited JSON), ``pgwire`` (PostgreSQL v3), ``resp`` (Redis RESP2 — the extensibility demo).
 """
 
-from repro.protocols.base import ProtocolModule, ProtocolRegistry, registry, resolve
+from repro.protocols.base import (
+    PROTOCOL_API_VERSION,
+    ProtocolCapabilities,
+    ProtocolContractError,
+    ProtocolModule,
+    ProtocolRegistry,
+    capabilities_of,
+    registry,
+    resolve,
+)
 from repro.protocols.http import HttpProtocol
 from repro.protocols.json_proto import JsonLinesProtocol
 from repro.protocols.pgwire_proto import PgWireProtocol
@@ -34,8 +43,12 @@ get_protocol = get
 
 
 __all__ = [
+    "PROTOCOL_API_VERSION",
+    "ProtocolCapabilities",
+    "ProtocolContractError",
     "ProtocolModule",
     "ProtocolRegistry",
+    "capabilities_of",
     "registry",
     "resolve",
     "HttpProtocol",

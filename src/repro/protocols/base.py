@@ -1,4 +1,5 @@
-"""Protocol module interface (paper section IV-B1).
+"""Protocol module interface (paper section IV-B1) — the versioned
+plugin contract.
 
 Application-layer protocol support in RDDR is pluggable: a module knows
 how to (a) frame one client request and one server response out of a byte
@@ -6,12 +7,100 @@ stream, (b) tokenize a message for diffing, and (c) produce the response
 RDDR serves when it blocks a divergent exchange.  The incoming and
 outgoing proxies are protocol-agnostic and drive everything through this
 interface, so supporting a new protocol means writing one module.
+
+Beyond the required framing/diffing surface, modules can opt into
+*capabilities* — liveness probes, application snapshots, state
+classification — declared through :meth:`ProtocolModule.capabilities`.
+Proxies, the journal, and the recovery supervisor consult the
+:class:`ProtocolCapabilities` descriptor instead of ``getattr``-probing
+individual hooks, so the optional surface is explicit and auditable.
+
+The contract is **versioned**: every module declares ``API_VERSION``
+(semver against :data:`PROTOCOL_API_VERSION`), and
+:meth:`ProtocolRegistry.register` validates the module up front — a
+missing required method, an incompatible version, or a half-implemented
+capability pair fails at registration time with an actionable
+:class:`ProtocolContractError` instead of a runtime ``AttributeError``
+deep inside an exchange.
 """
 
 from __future__ import annotations
 
 import asyncio
 from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import ClassVar
+
+#: The protocol-plugin API version this runtime implements.  Modules
+#: declare the contract version they were written against; the registry
+#: accepts a module iff the major versions match and the module's minor
+#: version does not exceed the runtime's (a module written for "1.2"
+#: may use surface a "1.0" runtime does not have).
+PROTOCOL_API_VERSION = "1.0"
+
+#: Methods every module must implement (beyond what ABC enforces, this
+#: lets ``register()`` name the missing surface precisely).
+_REQUIRED_SURFACE = (
+    "read_client_message",
+    "read_server_message",
+    "tokenize",
+    "block_response",
+)
+
+
+class ProtocolContractError(TypeError):
+    """A protocol module violates the versioned plugin contract."""
+
+
+@dataclass(frozen=True)
+class ProtocolCapabilities:
+    """What optional surface a protocol module provides.
+
+    Consumed by the proxies (``finish_exchange``), the journal and
+    catch-up replay (``snapshots``), and the recovery supervisor and
+    health monitor (``liveness``) — the single source of truth replacing
+    per-call-site ``getattr`` probing.
+    """
+
+    #: ``liveness_request() -> bytes``: a harmless request the health
+    #: monitor and rejoin driver can send as a synthetic probe exchange.
+    liveness: bool = False
+    #: ``snapshot_request() -> bytes`` + ``restore_request(data) -> bytes``:
+    #: fetch/install a full application snapshot over the wire, enabling
+    #: journal compaction and snapshot-anchored catch-up.
+    snapshots: bool = False
+    #: ``mutates_state(request)`` is a real classifier (not the journal-
+    #: everything default), so read traffic skips the journal.
+    state_classification: bool = False
+    #: ``handshake(reader, writer)`` runs a protocol-specific client-side
+    #: bootstrap (e.g. the pgwire startup exchange) before replay.
+    handshake: bool = False
+    #: ``finish_exchange(state)``: per-exchange connection-state upkeep
+    #: the incoming proxy must call after serving a response.
+    finish_exchange: bool = False
+
+
+def _detect_capabilities(cls: type) -> ProtocolCapabilities:
+    """Capability descriptor inferred from which hooks ``cls`` defines.
+
+    The default :meth:`ProtocolModule.capabilities` and the validation in
+    :meth:`ProtocolRegistry.register` share this, so a module that
+    declares capabilities explicitly can be cross-checked against what it
+    actually implements.
+    """
+    return ProtocolCapabilities(
+        liveness=callable(getattr(cls, "liveness_request", None)),
+        snapshots=(
+            callable(getattr(cls, "snapshot_request", None))
+            and callable(getattr(cls, "restore_request", None))
+        ),
+        state_classification=(
+            getattr(cls, "mutates_state", None)
+            is not ProtocolModule.mutates_state
+        ),
+        handshake=getattr(cls, "handshake", None) is not ProtocolModule.handshake,
+        finish_exchange=callable(getattr(cls, "finish_exchange", None)),
+    )
 
 
 class ProtocolModule(ABC):
@@ -19,6 +108,11 @@ class ProtocolModule(ABC):
 
     #: Registry name, e.g. ``"http"``.
     name: str = "abstract"
+
+    #: The plugin-contract version this module targets (semver,
+    #: ``"major.minor"``).  Declared — not defaulted — so the registry
+    #: can tell a versioned module from a legacy one.
+    API_VERSION: ClassVar[str]
 
     def new_connection_state(self) -> object:
         """Per-connection mutable state (protocol phase tracking)."""
@@ -52,23 +146,17 @@ class ProtocolModule(ABC):
     def block_response(self, message: str) -> bytes:
         """Bytes served to the client when RDDR intervenes."""
 
-    # -------------------------------------------------- optional hooks
-    #
-    # Beyond framing/diffing, modules may implement optional hooks the
-    # journal and recovery layers discover with ``getattr``:
-    #
-    # ``liveness_request() -> bytes``
-    #     A harmless request the health monitor and rejoin driver can
-    #     send as a synthetic probe exchange.
-    # ``snapshot_request() -> bytes`` / ``restore_request(data) -> bytes``
-    #     Fetch/install a full application snapshot over the wire.  The
-    #     snapshot is the *raw response bytes* to ``snapshot_request``;
-    #     ``restore_request(None)`` must build a reset-to-empty request.
-    #     Implementing both enables journal compaction and snapshot-
-    #     anchored catch-up for the protocol.
-    # ``handshake(reader, writer) -> state``
-    #     Client-side connection bootstrap (e.g. the pgwire startup
-    #     exchange) run before replaying journaled requests.
+    # ---------------------------------------------------- capabilities
+
+    def capabilities(self) -> ProtocolCapabilities:
+        """The optional surface this module provides.
+
+        The default inspects which hooks the class defines; modules are
+        encouraged to override with an explicit descriptor (all in-tree
+        modules do) so the declared and implemented surfaces are
+        cross-checked at registration.
+        """
+        return _detect_capabilities(type(self))
 
     def mutates_state(self, request: bytes) -> bool:
         """Whether ``request`` can change server state (so must be
@@ -83,15 +171,110 @@ class ProtocolModule(ABC):
         return self.new_connection_state()
 
 
+def capabilities_of(protocol: object) -> ProtocolCapabilities:
+    """The capability descriptor for any protocol-ish object.
+
+    Modules answer through :meth:`ProtocolModule.capabilities`;
+    duck-typed stand-ins (test doubles, wrappers) fall back to hook
+    detection so existing callers keep working.
+    """
+    describe = getattr(protocol, "capabilities", None)
+    if callable(describe):
+        caps = describe()
+        if isinstance(caps, ProtocolCapabilities):
+            return caps
+    return _detect_capabilities(type(protocol))
+
+
+def _parse_semver(version: object) -> tuple[int, int]:
+    if not isinstance(version, str):
+        raise ValueError(f"not a string: {version!r}")
+    parts = version.split(".")
+    if len(parts) < 2:
+        raise ValueError(f"expected 'major.minor', got {version!r}")
+    return int(parts[0]), int(parts[1])
+
+
 class ProtocolRegistry:
-    """Name -> module factory registry, extendable by users."""
+    """Name -> module factory registry, extendable by users.
+
+    :meth:`register` is the contract gate: a module class is checked for
+    the required surface, a compatible ``API_VERSION``, and consistent
+    capability declarations *before* it becomes resolvable, so a broken
+    plugin fails loudly at import time instead of mid-exchange.
+    """
 
     def __init__(self) -> None:
         self._factories: dict[str, type[ProtocolModule]] = {}
 
     def register(self, cls: type[ProtocolModule]) -> type[ProtocolModule]:
+        self.validate(cls)
         self._factories[cls.name] = cls
         return cls
+
+    def validate(self, cls: type[ProtocolModule]) -> None:
+        """Check ``cls`` against the plugin contract; raise
+        :class:`ProtocolContractError` naming the defect."""
+        if not (isinstance(cls, type) and issubclass(cls, ProtocolModule)):
+            raise ProtocolContractError(
+                f"{cls!r} is not a ProtocolModule subclass"
+            )
+        label = f"protocol module {cls.__name__!r}"
+        name = getattr(cls, "name", None)
+        if not isinstance(name, str) or not name or name == "abstract":
+            raise ProtocolContractError(
+                f"{label} must declare a non-empty class attribute 'name'"
+            )
+        missing = [
+            method
+            for method in _REQUIRED_SURFACE
+            if getattr(getattr(cls, method, None), "__isabstractmethod__", False)
+            or not callable(getattr(cls, method, None))
+        ]
+        if missing:
+            raise ProtocolContractError(
+                f"{label} is missing required method(s) {', '.join(missing)} "
+                f"— implement them to satisfy protocol API "
+                f"{PROTOCOL_API_VERSION}"
+            )
+        declared = getattr(cls, "API_VERSION", None)
+        if declared is None:
+            raise ProtocolContractError(
+                f"{label} declares no API_VERSION; set "
+                f'API_VERSION = "{PROTOCOL_API_VERSION}" (the contract it '
+                f"was written against)"
+            )
+        try:
+            major, minor = _parse_semver(declared)
+        except ValueError as error:
+            raise ProtocolContractError(
+                f"{label} has unparseable API_VERSION {declared!r}: {error}"
+            ) from None
+        runtime_major, runtime_minor = _parse_semver(PROTOCOL_API_VERSION)
+        if major != runtime_major:
+            raise ProtocolContractError(
+                f"{label} targets protocol API {declared}, incompatible "
+                f"with this runtime's {PROTOCOL_API_VERSION} "
+                f"(major versions must match)"
+            )
+        if minor > runtime_minor:
+            raise ProtocolContractError(
+                f"{label} targets protocol API {declared}, newer than this "
+                f"runtime's {PROTOCOL_API_VERSION} — upgrade the runtime or "
+                f"lower the module's API_VERSION"
+            )
+        has_snapshot = callable(getattr(cls, "snapshot_request", None))
+        has_restore = callable(getattr(cls, "restore_request", None))
+        if has_snapshot != has_restore:
+            present, absent = (
+                ("snapshot_request", "restore_request")
+                if has_snapshot
+                else ("restore_request", "snapshot_request")
+            )
+            raise ProtocolContractError(
+                f"{label} implements {present} without {absent}; the "
+                f"snapshot capability requires both"
+            )
 
     def create(self, name: str, **kwargs: object) -> ProtocolModule:
         try:

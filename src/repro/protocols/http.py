@@ -17,7 +17,12 @@ from __future__ import annotations
 import asyncio
 from dataclasses import dataclass, field
 
-from repro.protocols.base import ProtocolModule, registry
+from repro.protocols.base import (
+    PROTOCOL_API_VERSION,
+    ProtocolCapabilities,
+    ProtocolModule,
+    registry,
+)
 from repro.transport.streams import ConnectionClosed
 from repro.web.http11 import (
     HttpParseError,
@@ -49,6 +54,12 @@ class HttpProtocol(ProtocolModule):
     """HTTP/1.1 request/response framing and line tokenization."""
 
     name = "http"
+    API_VERSION = PROTOCOL_API_VERSION
+
+    def capabilities(self) -> ProtocolCapabilities:
+        return ProtocolCapabilities(
+            state_classification=True, finish_exchange=True
+        )
 
     def __init__(self, parser_options: ParserOptions | None = None) -> None:
         self.parser_options = parser_options or ParserOptions()

@@ -11,7 +11,12 @@ from __future__ import annotations
 import asyncio
 import json
 
-from repro.protocols.base import ProtocolModule, registry
+from repro.protocols.base import (
+    PROTOCOL_API_VERSION,
+    ProtocolCapabilities,
+    ProtocolModule,
+    registry,
+)
 from repro.protocols.tcp import _read_line
 from repro.transport.streams import ConnectionClosed
 
@@ -21,6 +26,10 @@ class JsonLinesProtocol(ProtocolModule):
     """One JSON document per line, canonicalized before diffing."""
 
     name = "json"
+    API_VERSION = PROTOCOL_API_VERSION
+
+    def capabilities(self) -> ProtocolCapabilities:
+        return ProtocolCapabilities()
 
     def __init__(self, max_line: int = 4 * 1024 * 1024) -> None:
         self.max_line = max_line

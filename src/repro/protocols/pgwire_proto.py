@@ -22,7 +22,12 @@ import struct
 from dataclasses import dataclass
 
 from repro.pgwire import messages as wire
-from repro.protocols.base import ProtocolModule, registry
+from repro.protocols.base import (
+    PROTOCOL_API_VERSION,
+    ProtocolCapabilities,
+    ProtocolModule,
+    registry,
+)
 from repro.transport.streams import ConnectionClosed, read_exact
 
 _INT32 = struct.Struct(">i")
@@ -44,6 +49,15 @@ class PgWireProtocol(ProtocolModule):
     """PostgreSQL v3 framing and message-level tokenization."""
 
     name = "pgwire"
+    API_VERSION = PROTOCOL_API_VERSION
+
+    def capabilities(self) -> ProtocolCapabilities:
+        return ProtocolCapabilities(
+            liveness=True,
+            snapshots=True,
+            state_classification=True,
+            handshake=True,
+        )
 
     def new_connection_state(self) -> _PgConnectionState:
         return _PgConnectionState()

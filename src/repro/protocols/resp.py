@@ -18,7 +18,12 @@ from __future__ import annotations
 
 import asyncio
 
-from repro.protocols.base import ProtocolModule, registry
+from repro.protocols.base import (
+    PROTOCOL_API_VERSION,
+    ProtocolCapabilities,
+    ProtocolModule,
+    registry,
+)
 from repro.transport.streams import ConnectionClosed, read_exact, read_until
 
 MAX_BULK = 16 * 1024 * 1024
@@ -127,6 +132,12 @@ class RespProtocol(ProtocolModule):
     """RESP request/response framing for RDDR."""
 
     name = "resp"
+    API_VERSION = PROTOCOL_API_VERSION
+
+    def capabilities(self) -> ProtocolCapabilities:
+        return ProtocolCapabilities(
+            liveness=True, snapshots=True, state_classification=True
+        )
 
     async def read_client_message(
         self, reader: asyncio.StreamReader, state: object

@@ -9,7 +9,12 @@ from __future__ import annotations
 
 import asyncio
 
-from repro.protocols.base import ProtocolModule, registry
+from repro.protocols.base import (
+    PROTOCOL_API_VERSION,
+    ProtocolCapabilities,
+    ProtocolModule,
+    registry,
+)
 from repro.transport.streams import ConnectionClosed
 
 
@@ -18,6 +23,10 @@ class TcpLineProtocol(ProtocolModule):
     """Newline-framed request/response exchange over raw TCP."""
 
     name = "tcp"
+    API_VERSION = PROTOCOL_API_VERSION
+
+    def capabilities(self) -> ProtocolCapabilities:
+        return ProtocolCapabilities(liveness=True)
 
     def __init__(self, max_line: int = 1024 * 1024) -> None:
         self.max_line = max_line

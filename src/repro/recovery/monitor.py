@@ -22,7 +22,7 @@ import asyncio
 import contextlib
 from typing import Awaitable, Callable
 
-from repro.protocols.base import ProtocolModule
+from repro.protocols.base import ProtocolModule, capabilities_of
 from repro.transport.streams import ConnectionClosed, close_writer, drain_write
 
 Address = tuple[str, int]
@@ -107,10 +107,9 @@ class HealthMonitor:
     ) -> bool:
         if self.probe is not None:
             return bool(await self.probe(reader, writer))
-        liveness = getattr(self.protocol, "liveness_request", None)
-        if liveness is None:
+        if not capabilities_of(self.protocol).liveness:
             return True  # a successful connect is the whole probe
-        request = liveness()
+        request = self.protocol.liveness_request()  # type: ignore[attr-defined]
         writer.write(request)
         await drain_write(writer)
         state = self.protocol.new_connection_state()

@@ -57,7 +57,7 @@ from repro.core.events import EventLog
 from repro.faults import FaultProxy, FaultSchedule
 from repro.journal import ExchangeJournal, replay_into
 from repro.obs import Observer
-from repro.protocols.base import resolve
+from repro.protocols.base import capabilities_of, resolve
 from repro.recovery.directory import (
     MODE_LIVE,
     MODE_OUT,
@@ -473,7 +473,7 @@ class RecoverySupervisor:
         if (
             interval is None
             or self.proxy_address is None
-            or getattr(self._protocol, "liveness_request", None) is None
+            or not capabilities_of(self._protocol).liveness
         ):
             return None
         return asyncio.ensure_future(self._drive_rejoin(index, interval))

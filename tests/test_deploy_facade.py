@@ -1,0 +1,160 @@
+"""The redesigned ``repro.deploy`` facade.
+
+The preferred call passes a prebuilt :class:`RddrConfig` positionally;
+any other positional argument stays a ``TypeError`` (the old
+keywords-only discipline).  Legacy convenience — RddrConfig field names
+as direct keywords — keeps working through a shim that folds them into
+the config and warns exactly once per process.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+import repro
+from repro.apps.echo import EchoServer
+from repro.core.config import RddrConfig
+from tests.helpers import run
+
+
+async def _servers(count: int = 2) -> list[EchoServer]:
+    return [await EchoServer().start() for _ in range(count)]
+
+
+async def _teardown(deployment, servers) -> None:
+    await deployment.close()
+    for server in servers:
+        await server.close()
+
+
+class TestPositionalConfig:
+    def test_prebuilt_config_accepted_positionally(self):
+        async def main():
+            servers = await _servers()
+            config = RddrConfig(protocol="tcp", exchange_timeout=9.0)
+            deployment = await repro.deploy(
+                config, instances=[s.address for s in servers]
+            )
+            try:
+                return deployment.config
+            finally:
+                await _teardown(deployment, servers)
+
+        config = run(main())
+        assert config.protocol == "tcp"
+        assert config.exchange_timeout == 9.0
+
+    def test_non_config_positional_is_type_error(self):
+        # Instance addresses passed positionally (the pre-redesign
+        # mistake) still fail fast, now with a pointer at the fix.
+        with pytest.raises(TypeError, match="RddrConfig"):
+            run(
+                repro.deploy(
+                    [("127.0.0.1", 1)],
+                    instances=[("127.0.0.1", 1), ("127.0.0.1", 2)],
+                )
+            )
+        with pytest.raises(TypeError):
+            repro.deploy([("127.0.0.1", 1)])  # and keywords stay required
+
+    def test_config_keyword_still_works(self):
+        async def main():
+            servers = await _servers()
+            config = RddrConfig(protocol="tcp", exchange_timeout=7.5)
+            deployment = await repro.deploy(
+                config=config, instances=[s.address for s in servers]
+            )
+            try:
+                return deployment.config.exchange_timeout
+            finally:
+                await _teardown(deployment, servers)
+
+        assert run(main()) == 7.5
+
+
+class TestLegacyKeywordShim:
+    def test_config_fields_as_keywords_fold_into_config(self):
+        async def main():
+            servers = await _servers()
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                repro._deploy_override_warned = False
+                deployment = await repro.deploy(
+                    instances=[s.address for s in servers],
+                    protocol="tcp",
+                    exchange_timeout=4.5,
+                    degraded_quorum=True,
+                )
+            try:
+                return deployment.config, caught
+            finally:
+                await _teardown(deployment, servers)
+
+        config, caught = run(main())
+        assert config.exchange_timeout == 4.5
+        assert config.degraded_quorum is True
+        deprecations = [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        assert len(deprecations) == 1
+        assert "RddrConfig" in str(deprecations[0].message)
+
+    def test_warning_fires_only_once_per_process(self):
+        async def main():
+            servers = await _servers()
+            repro._deploy_override_warned = False
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                first = await repro.deploy(
+                    instances=[s.address for s in servers],
+                    protocol="tcp",
+                    exchange_timeout=4.0,
+                )
+                await first.close()
+                second = await repro.deploy(
+                    instances=[s.address for s in servers],
+                    protocol="tcp",
+                    exchange_timeout=5.0,
+                )
+                await second.close()
+            for server in servers:
+                await server.close()
+            return caught
+
+        caught = run(main())
+        deprecations = [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        assert len(deprecations) == 1
+
+    def test_overrides_on_top_of_prebuilt_config(self):
+        async def main():
+            servers = await _servers()
+            base = RddrConfig(protocol="tcp", exchange_timeout=3.0)
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", DeprecationWarning)
+                deployment = await repro.deploy(
+                    base,
+                    instances=[s.address for s in servers],
+                    degraded_quorum=True,
+                )
+            try:
+                return base, deployment.config
+            finally:
+                await _teardown(deployment, servers)
+
+        base, config = run(main())
+        assert config.degraded_quorum is True
+        assert config.exchange_timeout == 3.0
+        assert base.degraded_quorum is False  # the caller's config untouched
+
+    def test_unknown_keyword_is_type_error_listing_valid_fields(self):
+        with pytest.raises(TypeError, match="colour_scheme"):
+            run(
+                repro.deploy(
+                    instances=[("127.0.0.1", 1), ("127.0.0.1", 2)],
+                    colour_scheme="mauve",
+                )
+            )

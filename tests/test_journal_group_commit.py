@@ -1,0 +1,266 @@
+"""Journal group commit: coalesced fsyncs, ACK-after-durability, crashes.
+
+The :class:`~repro.journal.batch.GroupCommitBatcher` must (1) coalesce
+records appended within one window into a single fsync, (2) never
+release a caller before that fsync returns, (3) degrade to pass-through
+appends when batching is off, and (4) leave the on-disk crash-consistency
+story exactly as per-record fsync had it: a crash inside the window loses
+only unacknowledged records, a torn tail truncates cleanly at reopen, and
+``verify()`` stays green throughout.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+import pytest
+
+import repro
+import repro.journal.log as log_mod
+from repro.apps.echo import EchoServer
+from repro.core.config import RddrConfig
+from repro.journal import ExchangeJournal, GroupCommitBatcher, response_digest
+from tests.helpers import run
+
+
+@pytest.fixture()
+def fsync_counter(monkeypatch):
+    """Counts os.fsync calls made by the journal module."""
+    calls = {"count": 0}
+    real = log_mod.os.fsync
+
+    def counting(fd):
+        calls["count"] += 1
+        return real(fd)
+
+    monkeypatch.setattr(log_mod.os, "fsync", counting)
+    return calls
+
+
+class TestCoalescing:
+    def test_one_window_one_fsync(self, tmp_path, fsync_counter):
+        async def main():
+            journal = ExchangeJournal.open(tmp_path, fsync=True)
+            batcher = GroupCommitBatcher(journal, window_s=0.02)
+            records = await asyncio.gather(
+                *(
+                    batcher.append(f"req {i}\n".encode(), digest=i)
+                    for i in range(10)
+                )
+            )
+            await batcher.close()
+            journal.close()
+            return records, batcher.flushes
+
+        records, flushes = run(main())
+        # Ten concurrent appends landed in far fewer barriers than ten.
+        assert flushes < 10
+        assert fsync_counter["count"] < 10
+        assert [record.id for record in records] == list(range(1, 11))
+        reopened = ExchangeJournal.open(tmp_path)
+        assert reopened.verify() == []
+        assert sum(1 for _ in reopened.records()) == 10
+        reopened.close()
+
+    def test_appends_across_windows_fsync_separately(self, tmp_path):
+        async def main():
+            journal = ExchangeJournal.open(tmp_path, fsync=True)
+            batcher = GroupCommitBatcher(journal, window_s=0.005)
+            await batcher.append(b"first\n", digest=1)
+            await asyncio.sleep(0.02)  # let the first window close
+            await batcher.append(b"second\n", digest=2)
+            flushes = batcher.flushes
+            await batcher.close()
+            journal.close()
+            return flushes
+
+        assert run(main()) == 2
+
+    def test_ack_waits_for_the_fsync_barrier(self, tmp_path, monkeypatch):
+        """No caller may be released before journal.sync() returns."""
+
+        async def main():
+            journal = ExchangeJournal.open(tmp_path, fsync=True)
+            gate = threading.Event()
+            synced = threading.Event()
+            real_sync = journal.sync
+
+            def gated_sync():
+                gate.wait(timeout=5.0)
+                real_sync()
+                synced.set()
+
+            monkeypatch.setattr(journal, "sync", gated_sync)
+            batcher = GroupCommitBatcher(journal, window_s=0.001)
+            task = asyncio.ensure_future(batcher.append(b"req\n", digest=7))
+            await asyncio.sleep(0.05)  # window long past; fsync gated
+            assert not task.done()
+            gate.set()
+            record = await task
+            assert synced.is_set()
+            assert record.id == 1
+            monkeypatch.setattr(journal, "sync", real_sync)
+            await batcher.close()
+            journal.close()
+
+        run(main())
+
+    def test_fsync_failure_fails_every_parked_caller(self, tmp_path, monkeypatch):
+        async def main():
+            journal = ExchangeJournal.open(tmp_path, fsync=True)
+
+            def broken_sync():
+                raise OSError("disk on fire")
+
+            monkeypatch.setattr(journal, "sync", broken_sync)
+            batcher = GroupCommitBatcher(journal, window_s=0.001)
+            results = await asyncio.gather(
+                batcher.append(b"a\n", digest=1),
+                batcher.append(b"b\n", digest=2),
+                return_exceptions=True,
+            )
+            assert all(isinstance(r, OSError) for r in results)
+            assert batcher.flushes == 0
+            journal.close()
+
+        run(main())
+
+
+class TestPassThrough:
+    def test_zero_window_is_per_record_fsync(self, tmp_path, fsync_counter):
+        async def main():
+            journal = ExchangeJournal.open(tmp_path, fsync=True)
+            batcher = GroupCommitBatcher(journal, window_s=0.0)
+            assert not batcher.batching
+            for i in range(3):
+                await batcher.append(f"req {i}\n".encode(), digest=i)
+            await batcher.close()
+            journal.close()
+
+        run(main())
+        assert fsync_counter["count"] >= 3
+
+    def test_fsync_off_never_batches(self, tmp_path, fsync_counter):
+        async def main():
+            journal = ExchangeJournal.open(tmp_path, fsync=False)
+            batcher = GroupCommitBatcher(journal, window_s=0.01)
+            assert not batcher.batching
+            record = await batcher.append(b"req\n", digest=1)
+            assert record.id == 1
+            await batcher.close()
+            journal.close()
+
+        run(main())
+        assert fsync_counter["count"] == 0
+        assert ExchangeJournal.open(tmp_path).verify() == []
+
+    def test_negative_window_rejected(self, tmp_path):
+        journal = ExchangeJournal.open(tmp_path)
+        with pytest.raises(ValueError):
+            GroupCommitBatcher(journal, window_s=-0.001)
+        journal.close()
+
+
+class TestCrashConsistency:
+    def test_torn_tail_after_acked_window_keeps_acked_records(self, tmp_path):
+        """Crash mid-append of a later record: every ACKed record survives
+        reopen, the torn frame is truncated, verify stays green."""
+
+        async def main():
+            journal = ExchangeJournal.open(tmp_path, fsync=True)
+            batcher = GroupCommitBatcher(journal, window_s=0.005)
+            await asyncio.gather(
+                *(
+                    batcher.append(f"req {i}\n".encode(), digest=i)
+                    for i in range(3)
+                )
+            )
+            await batcher.close()
+            # Simulated crash mid-append: half a frame hits the disk.
+            segment = journal.segments()[-1]
+            journal.close()
+            with open(segment, "ab") as handle:
+                handle.write(b"\x00\x01torn-frame-garbage")
+
+        run(main())
+        reopened = ExchangeJournal.open(tmp_path)
+        assert reopened.verify() == []
+        assert [record.id for record in reopened.records()] == [1, 2, 3]
+        reopened.close()
+
+    def test_unfsynced_tail_reopens_clean(self, tmp_path):
+        """A crash inside the window (appended+flushed, fsync never ran)
+        must reopen clean — those records were never acknowledged, so
+        losing *or* keeping them is correct; corruption is not."""
+        journal = ExchangeJournal.open(tmp_path, fsync=True)
+        journal.append(b"acked\n", digest=1)  # per-record fsync
+        journal.append(b"in-window\n", digest=2, sync=False)
+        journal.close()
+        reopened = ExchangeJournal.open(tmp_path)
+        assert reopened.verify() == []
+        ids = [record.id for record in reopened.records()]
+        assert ids[0] == 1  # the acknowledged record can never be lost
+        reopened.close()
+
+    def test_rotation_inside_window_fsyncs_sealed_segment(
+        self, tmp_path, fsync_counter
+    ):
+        """Deferred-fsync appends that trigger rotation must barrier the
+        sealed segment before closing it."""
+        journal = ExchangeJournal.open(tmp_path, fsync=True, segment_bytes=256)
+        payload = b"x" * 120 + b"\n"
+        for i in range(6):
+            journal.append(payload, digest=i, sync=False)
+        assert len(journal.segments()) > 1
+        assert fsync_counter["count"] >= len(journal.segments()) - 1
+        journal.sync()
+        journal.close()
+        reopened = ExchangeJournal.open(tmp_path)
+        assert reopened.verify() == []
+        assert sum(1 for _ in reopened.records()) == 6
+        reopened.close()
+
+
+class TestProxyIntegration:
+    def test_proxied_exchanges_group_commit_and_verify(self, tmp_path):
+        """End to end: a deployment with ``journal_group_commit_ms`` set
+        journals every exchange durably and the journal verifies clean."""
+
+        async def main():
+            servers = [await EchoServer().start() for _ in range(2)]
+            config = RddrConfig(
+                protocol="tcp",
+                journal_dir=str(tmp_path),
+                journal_fsync=True,
+                journal_group_commit_ms=5.0,
+            )
+            deployment = await repro.deploy(
+                config, instances=[s.address for s in servers]
+            )
+            async with deployment:
+                reader, writer = await asyncio.open_connection(
+                    *deployment.address
+                )
+                replies = []
+                for i in range(5):
+                    writer.write(f"req {i}\n".encode())
+                    await writer.drain()
+                    replies.append(await reader.readline())
+                writer.close()
+                await writer.wait_closed()
+            for server in servers:
+                await server.close()
+            return replies
+
+        replies = run(main())
+        assert replies == [f"req {i}\n".encode() for i in range(5)]
+        journal = ExchangeJournal.open(tmp_path)
+        assert journal.verify() == []
+        records = list(journal.records())
+        assert [record.id for record in records] == [1, 2, 3, 4, 5]
+        # The journaled digest is of the response actually served.
+        assert [record.digest for record in records] == [
+            response_digest(reply) for reply in replies
+        ]
+        journal.close()

@@ -1,0 +1,216 @@
+"""The versioned protocol-plugin contract (PR 7's API redesign).
+
+``ProtocolRegistry.register`` is the contract gate: a module missing a
+required method, declaring no/an incompatible ``API_VERSION``, or
+implementing half a capability pair must fail *at registration* with a
+:class:`ProtocolContractError` that names the defect — never with an
+``AttributeError`` mid-exchange.  Every in-tree module declares its
+version and an explicit :class:`ProtocolCapabilities` descriptor that
+matches what it implements.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.protocols import get_protocol, registry
+from repro.protocols.base import (
+    PROTOCOL_API_VERSION,
+    ProtocolCapabilities,
+    ProtocolContractError,
+    ProtocolModule,
+    ProtocolRegistry,
+    capabilities_of,
+)
+
+IN_TREE = ("tcp", "json", "http", "pgwire", "resp")
+
+
+class _Complete(ProtocolModule):
+    """Minimal valid module; subclasses break one thing at a time."""
+
+    name = "contract-complete"
+    API_VERSION = PROTOCOL_API_VERSION
+
+    async def read_client_message(self, reader, state):
+        return None
+
+    async def read_server_message(self, reader, state, request):
+        return b""
+
+    def tokenize(self, message):
+        return [message]
+
+    def block_response(self, message):
+        return b""
+
+
+def _fresh() -> ProtocolRegistry:
+    return ProtocolRegistry()
+
+
+class TestRegisterValidation:
+    def test_complete_module_registers(self):
+        reg = _fresh()
+        reg.register(_Complete)
+        assert isinstance(reg.create("contract-complete"), _Complete)
+
+    def test_non_subclass_rejected(self):
+        with pytest.raises(ProtocolContractError, match="not a ProtocolModule"):
+            _fresh().register(object)  # type: ignore[arg-type]
+
+    def test_contract_error_is_a_type_error(self):
+        # Callers that guarded register() with `except TypeError` keep
+        # working across the redesign.
+        assert issubclass(ProtocolContractError, TypeError)
+
+    def test_missing_name_rejected(self):
+        class NoName(_Complete):
+            name = ""
+
+        with pytest.raises(ProtocolContractError, match="'name'"):
+            _fresh().register(NoName)
+
+    def test_missing_required_method_named_in_error(self):
+        class NoTokenize(ProtocolModule):
+            name = "contract-no-tokenize"
+            API_VERSION = PROTOCOL_API_VERSION
+
+            async def read_client_message(self, reader, state):
+                return None
+
+            async def read_server_message(self, reader, state, request):
+                return b""
+
+            def block_response(self, message):
+                return b""
+
+        with pytest.raises(ProtocolContractError) as excinfo:
+            _fresh().register(NoTokenize)
+        assert "tokenize" in str(excinfo.value)
+        assert PROTOCOL_API_VERSION in str(excinfo.value)
+
+    def test_unversioned_module_rejected(self):
+        class Legacy(ProtocolModule):
+            name = "contract-legacy"
+
+            async def read_client_message(self, reader, state):
+                return None
+
+            async def read_server_message(self, reader, state, request):
+                return b""
+
+            def tokenize(self, message):
+                return [message]
+
+            def block_response(self, message):
+                return b""
+
+        with pytest.raises(ProtocolContractError, match="API_VERSION"):
+            _fresh().register(Legacy)
+
+    def test_unparseable_version_rejected(self):
+        class Garbled(_Complete):
+            name = "contract-garbled"
+            API_VERSION = "one-point-oh"
+
+        with pytest.raises(ProtocolContractError, match="unparseable"):
+            _fresh().register(Garbled)
+
+    def test_major_mismatch_rejected(self):
+        class FutureMajor(_Complete):
+            name = "contract-future-major"
+            API_VERSION = "2.0"
+
+        with pytest.raises(ProtocolContractError, match="major"):
+            _fresh().register(FutureMajor)
+
+    def test_newer_minor_rejected(self):
+        class FutureMinor(_Complete):
+            name = "contract-future-minor"
+            API_VERSION = "1.99"
+
+        with pytest.raises(ProtocolContractError, match="newer"):
+            _fresh().register(FutureMinor)
+
+    def test_half_snapshot_pair_rejected(self):
+        class HalfSnapshot(_Complete):
+            name = "contract-half-snapshot"
+
+            def snapshot_request(self):
+                return b"SNAP\n"
+
+        with pytest.raises(ProtocolContractError, match="restore_request"):
+            _fresh().register(HalfSnapshot)
+
+    def test_registry_package_wrapper_still_raises_type_error(self):
+        from repro.protocols import register
+
+        with pytest.raises(TypeError):
+            register(object)  # type: ignore[arg-type]
+
+
+class TestInTreeModules:
+    def test_all_declare_current_api_version(self):
+        for name in IN_TREE:
+            protocol = get_protocol(name)
+            assert type(protocol).API_VERSION == PROTOCOL_API_VERSION, name
+
+    def test_all_declare_explicit_capabilities(self):
+        for name in IN_TREE:
+            caps = get_protocol(name).capabilities()
+            assert isinstance(caps, ProtocolCapabilities), name
+
+    def test_declared_capabilities_match_implemented_hooks(self):
+        """The explicit descriptors agree with hook detection — a module
+        cannot claim surface it does not implement (or vice versa)."""
+        from repro.protocols.base import _detect_capabilities
+
+        for name in IN_TREE:
+            protocol = get_protocol(name)
+            assert protocol.capabilities() == _detect_capabilities(
+                type(protocol)
+            ), name
+
+    def test_expected_capability_matrix(self):
+        rows = {
+            name: capabilities_of(get_protocol(name)) for name in IN_TREE
+        }
+        assert rows["tcp"] == ProtocolCapabilities(liveness=True)
+        assert rows["json"] == ProtocolCapabilities()
+        assert rows["http"] == ProtocolCapabilities(
+            state_classification=True, finish_exchange=True
+        )
+        assert rows["resp"] == ProtocolCapabilities(
+            liveness=True, snapshots=True, state_classification=True
+        )
+        assert rows["pgwire"] == ProtocolCapabilities(
+            liveness=True,
+            snapshots=True,
+            state_classification=True,
+            handshake=True,
+        )
+
+    def test_in_tree_modules_pass_validation(self):
+        for name in IN_TREE:
+            registry.validate(type(get_protocol(name)))
+
+
+class TestCapabilitiesOf:
+    def test_duck_typed_object_falls_back_to_detection(self):
+        class Ducky:
+            def liveness_request(self):
+                return b"PING\n"
+
+        caps = capabilities_of(Ducky())
+        assert caps.liveness
+        assert not caps.snapshots
+
+    def test_explicit_descriptor_wins(self):
+        class Claims(_Complete):
+            name = "contract-claims"
+
+            def capabilities(self):
+                return ProtocolCapabilities(liveness=True)
+
+        assert capabilities_of(Claims()).liveness

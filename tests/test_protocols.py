@@ -34,6 +34,7 @@ class TestRegistry:
         @registry.register
         class FakeProtocol(ProtocolModule):
             name = "fake-proto"
+            API_VERSION = "1.0"
 
             async def read_client_message(self, reader, state):
                 return None
