@@ -8,6 +8,7 @@ can live beside Kubernetes manifests the way the paper's do.
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
 import json
 from dataclasses import dataclass, field
@@ -16,13 +17,14 @@ from pathlib import Path
 from repro.core.denoise import FilterPair
 from repro.core.variance import VarianceRule
 
-#: Config fields introduced after the first committed bench baselines,
-#: mapped to their defaults.  :meth:`RddrConfig.fingerprint` omits them
-#: while they hold the default value — behaviourally identical configs
-#: keep the fingerprint older ``BENCH_*.json`` files embed.
-_FINGERPRINT_NEUTRAL_DEFAULTS: dict[str, object] = {
-    "journal_group_commit_ms": 0.0,
-}
+#: Config fields introduced after the first committed bench baselines.
+#: :meth:`RddrConfig.fingerprint` omits them while they hold their
+#: dataclass default (looked up via :func:`dataclasses.fields`, never
+#: duplicated here) — behaviourally identical configs keep the
+#: fingerprint older ``BENCH_*.json`` files embed.
+_FINGERPRINT_NEUTRAL_FIELDS: frozenset[str] = frozenset({
+    "journal_group_commit_ms",
+})
 
 
 @dataclass
@@ -175,7 +177,12 @@ class RddrConfig:
         ``BENCH_*.json`` baselines stay comparable across releases.
         """
         data = self.to_dict()
-        for key, default in _FINGERPRINT_NEUTRAL_DEFAULTS.items():
+        defaults = {
+            f.name: f.default
+            for f in dataclasses.fields(self)
+            if f.name in _FINGERPRINT_NEUTRAL_FIELDS
+        }
+        for key, default in defaults.items():
             if data.get(key) == default:
                 del data[key]
         canonical = json.dumps(data, sort_keys=True, separators=(",", ":"))

@@ -766,17 +766,18 @@ class IncomingRequestProxy:
             tasks = [
                 asyncio.ensure_future(read_from(link, collect)) for link in links
             ]
-            try:
-                done, pending = await asyncio.wait(tasks, timeout=deadline)
-            except asyncio.CancelledError:
-                for task in tasks:
+            if tasks:  # asyncio.wait() rejects an empty set
+                try:
+                    done, pending = await asyncio.wait(tasks, timeout=deadline)
+                except asyncio.CancelledError:
+                    for task in tasks:
+                        task.cancel()
+                    await asyncio.gather(*tasks, return_exceptions=True)
+                    raise
+                for task in pending:
                     task.cancel()
-                await asyncio.gather(*tasks, return_exceptions=True)
-                raise
-            for task in pending:
-                task.cancel()
-            if pending:
-                await asyncio.gather(*pending, return_exceptions=True)
+                if pending:
+                    await asyncio.gather(*pending, return_exceptions=True)
             results: list[bytes | _ReadFailure] = []
             for task in tasks:
                 if task.cancelled():
@@ -791,6 +792,11 @@ class IncomingRequestProxy:
                             _ReadFailure("lost", str(error) or "connection lost")
                         )
                         continue
+                    # Retrieve the siblings' exceptions before bailing so
+                    # they aren't logged as "never retrieved" and lost.
+                    for other in tasks:
+                        if other is not task and not other.cancelled():
+                            other.exception()
                     raise error
                 results.append(task.result())
 

@@ -111,15 +111,32 @@ class GroupCommitBatcher:
             await asyncio.get_running_loop().run_in_executor(
                 None, self.journal.sync
             )
+        except asyncio.CancelledError:
+            # close() cancelled us mid-fsync: hand the un-ACKed waiters
+            # back so close()'s rescue sync releases them — the swapped
+            # futures must never be orphaned.
+            self._waiters[:0] = waiters
+            raise
         except Exception as error:  # fsync failure: nobody may ACK
             for future in waiters:
                 if not future.done():
                     future.set_exception(error)
+            self._rearm()
             return
         self.flushes += 1
         for future in waiters:
             if not future.done():
                 future.set_result(None)
+        self._rearm()
+
+    def _rearm(self) -> None:
+        # Appends that land while an fsync is in flight see a not-done
+        # _flush_task and arm nothing; without this re-arm after the
+        # barrier they would wait on a timer that never fires.
+        if self._waiters and not self._closed:
+            self._flush_task = asyncio.create_task(
+                self._flush_after(self.window_s), name="rddr-journal-group-commit"
+            )
 
     async def close(self) -> None:
         """Flush anything pending and stop batching (appends become

@@ -191,11 +191,11 @@ class Observer:
         for index, timings in trace.instance_timings().items():
             recv = timings.get("recv_s")
             if recv is not None and not timings.get("recv_cancelled"):
-                series_key = (trace.proxy, index)
+                series_key = (trace.proxy, str(index))
                 series = self._instance_series.get(series_key)
                 if series is None:
                     series = self._instance_latency.labels(
-                        proxy=trace.proxy, instance=str(index)
+                        proxy=trace.proxy, instance=series_key[1]
                     )
                     self._instance_series[series_key] = series
                 series.observe(recv)

@@ -106,6 +106,74 @@ class TestCoalescing:
 
         run(main())
 
+    def test_append_during_inflight_fsync_still_flushes(
+        self, tmp_path, monkeypatch
+    ):
+        """An append landing while a flush is already inside its fsync
+        sees a not-done flush task and arms nothing; the completing flush
+        must re-arm a window for it, or the caller hangs forever."""
+
+        async def main():
+            journal = ExchangeJournal.open(tmp_path, fsync=True)
+            gate = threading.Event()
+            real_sync = journal.sync
+            calls = {"count": 0}
+
+            def gated_sync():
+                calls["count"] += 1
+                if calls["count"] == 1:
+                    gate.wait(timeout=5.0)
+                real_sync()
+
+            monkeypatch.setattr(journal, "sync", gated_sync)
+            batcher = GroupCommitBatcher(journal, window_s=0.001)
+            first = asyncio.ensure_future(batcher.append(b"first\n", digest=1))
+            await asyncio.sleep(0.05)  # flush task is inside the gated fsync
+            second = asyncio.ensure_future(batcher.append(b"second\n", digest=2))
+            await asyncio.sleep(0.01)
+            assert not second.done()
+            gate.set()
+            # The second caller must be released by a re-armed window, with
+            # no further append or manual flush on its behalf.
+            records = await asyncio.wait_for(
+                asyncio.gather(first, second), timeout=2.0
+            )
+            assert [record.id for record in records] == [1, 2]
+            assert batcher.flushes == 2
+            await batcher.close()
+            journal.close()
+
+        run(main())
+
+    def test_close_mid_fsync_releases_parked_callers(self, tmp_path, monkeypatch):
+        """close() cancelling a flush task mid-fsync must not orphan the
+        waiters that flush had already swapped out of the shared list."""
+
+        async def main():
+            journal = ExchangeJournal.open(tmp_path, fsync=True)
+            gate = threading.Event()
+            real_sync = journal.sync
+            calls = {"count": 0}
+
+            def gated_sync():
+                calls["count"] += 1
+                if calls["count"] == 1:
+                    gate.wait(timeout=5.0)
+                real_sync()
+
+            monkeypatch.setattr(journal, "sync", gated_sync)
+            batcher = GroupCommitBatcher(journal, window_s=0.001)
+            parked = asyncio.ensure_future(batcher.append(b"req\n", digest=1))
+            await asyncio.sleep(0.05)  # flush task is inside the gated fsync
+            await batcher.close()
+            record = await asyncio.wait_for(parked, timeout=2.0)
+            assert record.id == 1
+            gate.set()
+            await asyncio.sleep(0.05)  # let the abandoned fsync drain
+            journal.close()
+
+        run(main())
+
     def test_fsync_failure_fails_every_parked_caller(self, tmp_path, monkeypatch):
         async def main():
             journal = ExchangeJournal.open(tmp_path, fsync=True)
