@@ -1,0 +1,121 @@
+"""A JSON-lines calculator microservice (``json`` protocol module).
+
+The demo service for JSON-protocol deployments and the ``repro.fuzz``
+``json`` target: one newline-delimited JSON request per line, one JSON
+response per line.  Requests look like ``{"op": "sum", "values": [1, 2]}``
+with ops ``sum``/``avg``/``min``/``max``/``count``.
+
+``legacy_numbers=True`` models an independent implementation with a
+classic cross-library divergence: whole-number float results are
+rendered as JSON integers (``3`` instead of ``3.0``) — semantically
+equal, byte-divergent, and only on inputs whose arithmetic happens to
+land on a whole number.  That input-dependence is what makes the pair a
+good discovery target for divergence fuzzing.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from repro.transport.server import ServerHandle, start_server
+from repro.transport.streams import drain_write
+
+_OPS = ("sum", "avg", "min", "max", "count")
+
+
+class JsonCalcServer:
+    """Newline-delimited JSON request/response calculator."""
+
+    def __init__(
+        self,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        name: str = "json-calc",
+        legacy_numbers: bool = False,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.name = name
+        self.legacy_numbers = legacy_numbers
+        self.handle: ServerHandle | None = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        if self.handle is None:
+            raise RuntimeError("server not started")
+        return self.handle.address
+
+    async def start(self) -> "JsonCalcServer":
+        self.handle = await start_server(
+            self._serve, self.host, self.port, name=self.name
+        )
+        self.port = self.handle.port
+        return self
+
+    async def close(self) -> None:
+        if self.handle is not None:
+            await self.handle.close()
+
+    # ----------------------------------------------------------- serving
+
+    async def _serve(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        while True:
+            try:
+                line = await reader.readuntil(b"\n")
+            except (asyncio.IncompleteReadError, ConnectionError):
+                return
+            reply = self.handle_line(line.rstrip(b"\n"))
+            writer.write(reply + b"\n")
+            await drain_write(writer)
+
+    def handle_line(self, line: bytes) -> bytes:
+        try:
+            request = json.loads(line.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            return self._error("malformed json")
+        if not isinstance(request, dict):
+            return self._error("request must be an object")
+        op = request.get("op")
+        values = request.get("values")
+        if op not in _OPS:
+            return self._error(f"unknown op: {op!r}")
+        if not isinstance(values, list) or not all(
+            isinstance(v, (int, float)) and not isinstance(v, bool) for v in values
+        ):
+            return self._error("values must be a list of numbers")
+        try:
+            result = self._apply(op, values)
+        except (ValueError, ZeroDivisionError):
+            return self._error("empty values")
+        return json.dumps(
+            {"op": op, "result": result}, sort_keys=True, separators=(",", ":")
+        ).encode()
+
+    def _apply(self, op: str, values: list) -> object:
+        if op == "count":
+            return len(values)
+        if op == "sum":
+            result: float = sum(values)
+        elif op == "avg":
+            result = sum(values) / len(values)
+        elif op == "min":
+            result = min(values)
+        else:
+            result = max(values)
+        if (
+            self.legacy_numbers
+            and isinstance(result, float)
+            and result.is_integer()
+        ):
+            return int(result)
+        return result
+
+    @staticmethod
+    def _error(message: str) -> bytes:
+        return json.dumps(
+            {"error": message}, sort_keys=True, separators=(",", ":")
+        ).encode()

@@ -9,6 +9,7 @@ noise, and compared token-by-token.  Any residual difference is a
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 
 #: Marks a whole token as ignorable in a :class:`NoiseMask`.
@@ -99,6 +100,44 @@ class DiffResult:
             first = self.differences[0]
             return f"token {first.token_index} differs across instances"
         return "token counts differ across instances"
+
+    def signature(self) -> str:
+        """Stable identity of *how* the streams diverged (16 hex chars).
+
+        Used by ``repro.fuzz`` triage to dedup findings: two exchanges
+        share a signature when they diverge at the same token positions
+        with the same normalized value sets.  Token values are wildcarded
+        through :func:`~repro.core.signatures.normalize_request` so
+        per-exchange randomness (leaked pointers, session ids) collapses
+        into one signature; instance order is dropped via a sorted value
+        set; count-mismatch divergences hash the *rank pattern* of the
+        token counts, not the raw counts, so response-length jitter in an
+        otherwise identical shape dedups too.  Empty for non-divergent
+        results.
+        """
+        if not self.divergent:
+            return ""
+        from repro.core.signatures import normalize_request
+
+        hasher = hashlib.sha256()
+        if self.differences:
+            for difference in self.differences:
+                hasher.update(b"tok:%d" % difference.token_index)
+                values = sorted(
+                    {normalize_request(value) for value in difference.values}
+                )
+                for value in values:
+                    hasher.update(b"|")
+                    hasher.update(value)
+                hasher.update(b";")
+        else:
+            order = {
+                count: rank
+                for rank, count in enumerate(sorted(set(self.token_counts)))
+            }
+            ranks = ",".join(str(order[count]) for count in self.token_counts)
+            hasher.update(b"counts:" + ranks.encode())
+        return hasher.hexdigest()[:16]
 
 
 def diff_tokens(

@@ -907,6 +907,18 @@ class IncomingRequestProxy:
                         exchange=exchange,
                     )
             tokens = self._variance.mask_streams(raw_tokens)
+            if tokens is not raw_tokens:
+                # Variance rules rewrote something this exchange; the
+                # count lets trace consumers (repro.fuzz's oracle) tell
+                # "unanimous because masking worked" from a plain match.
+                rewritten = sum(
+                    1
+                    for raw_stream, masked_stream in zip(raw_tokens, tokens)
+                    for raw, masked in zip(raw_stream, masked_stream)
+                    if raw != masked
+                )
+                if rewritten:
+                    denoise.attrs["variance_masked_tokens"] = rewritten
             mask = self._mask_for(tokens, links)
             if mask.token_ranges or mask.tail_from is not None:
                 self.metrics.noise_filtered_tokens += len(mask.token_ranges)
@@ -940,6 +952,9 @@ class IncomingRequestProxy:
             diff_span.attrs["divergent"] = result.divergent
         if result.divergent:
             self.metrics.divergences += 1
+            # Exported for dedup by repro.fuzz triage (and anyone else
+            # correlating divergences across exchanges).
+            trace.root.attrs["diff_signature"] = result.signature()
             return result.reason, masked_tuples
         return None, masked_tuples
 

@@ -1,0 +1,48 @@
+"""repro.fuzz — seeded divergence fuzzing for RDDR deployments.
+
+ROADMAP item 3: instead of hand-writing every Table-I scenario, use the
+deployment's own divergence verdict as a fuzzing oracle (the approach
+MicroFuzz validates for microservice fuzzing).  The engine mutates
+protocol-valid requests through the contract-1.1 ``mutate`` hook and
+feeds them through a real ``repro.deploy(...)`` in one of two modes:
+
+* **identical** — N=2 byte-identical instances.  Any divergent verdict
+  is a *false positive of the RDDR comparison itself* (a denoise or
+  ephemeral-state gap): the oracle for regression-testing the pipeline.
+* **diverse** — N=2 different implementations/versions.  Divergent
+  verdicts are *discovered scenarios* in the Table-I sense, minted into
+  replayable reproducers and promotable into the scenario registry.
+
+Everything is seeded and deterministic: same ``(target, mode, seed,
+budget)`` → byte-identical mutant stream, findings, and corpus files.
+
+Entry points::
+
+    python -m repro.fuzz run --workload kvstore --seed 7 --budget 300
+    python -m repro.fuzz replay tests/fuzz_corpus/<file>.json
+    python -m repro.fuzz replay --all
+
+See ``docs/fuzzing.md`` for the full design.
+"""
+
+from __future__ import annotations
+
+from repro.fuzz.corpus import CORPUS_DIR, Reproducer, load_corpus
+from repro.fuzz.engine import CampaignConfig, CampaignReport, run_campaign
+from repro.fuzz.oracle import ExchangeOutcome, is_finding
+from repro.fuzz.replay import replay_reproducer
+from repro.fuzz.targets import TARGETS, FuzzTarget
+
+__all__ = [
+    "CORPUS_DIR",
+    "CampaignConfig",
+    "CampaignReport",
+    "ExchangeOutcome",
+    "FuzzTarget",
+    "Reproducer",
+    "TARGETS",
+    "is_finding",
+    "load_corpus",
+    "replay_reproducer",
+    "run_campaign",
+]

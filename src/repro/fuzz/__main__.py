@@ -1,0 +1,190 @@
+"""CLI: run fuzz campaigns, replay corpus reproducers, promote findings.
+
+Run one seeded campaign (writes reproducers into the corpus with
+``--corpus``; ``--trace-out`` dumps the deployment's trace ring)::
+
+    python -m repro.fuzz run --workload kvstore --seed 7 --budget 300
+    python -m repro.fuzz run --workload pgbench --mode identical \\
+        --seed 3 --budget 500 --corpus tests/fuzz_corpus
+
+Replay (exit 1 if any recorded verdict no longer holds)::
+
+    python -m repro.fuzz replay tests/fuzz_corpus/<file>.json
+    python -m repro.fuzz replay --all
+
+Promote the diverse-mode corpus into the scenario registry and run the
+three-part proof for each::
+
+    python -m repro.fuzz promote
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+from pathlib import Path
+
+from repro.fuzz.corpus import CORPUS_DIR, Reproducer, load_corpus
+from repro.fuzz.engine import CampaignConfig, run_campaign
+from repro.fuzz.replay import replay_reproducer
+from repro.fuzz.targets import MODES, TARGETS
+
+
+def _run_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.fuzz run",
+        description="Run one seeded fuzz campaign.",
+    )
+    parser.add_argument("--workload", required=True, choices=sorted(TARGETS))
+    parser.add_argument("--mode", choices=MODES, default="diverse")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--budget", type=int, default=300, help="mutants to run")
+    parser.add_argument(
+        "--corpus",
+        nargs="?",
+        const=str(CORPUS_DIR),
+        default=None,
+        metavar="DIR",
+        help="write reproducers here (default with no value: the "
+        "in-repo tests/fuzz_corpus)",
+    )
+    parser.add_argument(
+        "--no-minimize",
+        action="store_true",
+        help="mint findings with their full request history",
+    )
+    parser.add_argument(
+        "--exemplars",
+        action="store_true",
+        help="also pin the first match and first denoised exchange",
+    )
+    parser.add_argument(
+        "--json-out",
+        default=None,
+        metavar="PATH",
+        help="write the campaign report (verdicts, signatures, stage "
+        "timings) as JSON",
+    )
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="dump the deployment's trace ring as JSONL (CI artifact)",
+    )
+    return parser
+
+
+def _replay_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.fuzz replay",
+        description="Replay reproducers and re-check recorded verdicts.",
+    )
+    parser.add_argument("files", nargs="*", help="reproducer JSON files")
+    parser.add_argument(
+        "--all", action="store_true", help="replay the whole in-repo corpus"
+    )
+    return parser
+
+
+async def _cmd_run(args: argparse.Namespace) -> int:
+    config = CampaignConfig(
+        target=args.workload,
+        mode=args.mode,
+        seed=args.seed,
+        budget=args.budget,
+        minimize=not args.no_minimize,
+        exemplars=args.exemplars,
+        corpus_dir=Path(args.corpus) if args.corpus else None,
+        trace_out=Path(args.trace_out) if args.trace_out else None,
+    )
+    report = await run_campaign(config)
+    print(report.summary_line())
+    for reproducer in report.findings:
+        print(f"  minted {reproducer.filename} ({len(reproducer.requests)} request(s))")
+    for path in report.written:
+        print(f"  wrote {path}")
+    if args.json_out:
+        payload = {
+            "target": config.target,
+            "mode": config.mode,
+            "seed": config.seed,
+            "budget": config.budget,
+            "executed": report.executed,
+            "verdicts": report.verdicts,
+            "signatures": report.signatures,
+            "duplicates": report.duplicates,
+            "unreproducible": report.unreproducible,
+            "findings": [r.filename for r in report.findings],
+            "stage_summary": report.stage_summary,
+        }
+        Path(args.json_out).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"  report -> {args.json_out}")
+    return 0
+
+
+async def _cmd_replay(args: argparse.Namespace) -> int:
+    if args.all:
+        entries = load_corpus()
+        if not entries:
+            print(f"corpus empty: {CORPUS_DIR}")
+            return 1
+    elif args.files:
+        entries = [(Path(f), Reproducer.load(f)) for f in args.files]
+    else:
+        print("replay needs files or --all", file=sys.stderr)
+        return 2
+    failures = 0
+    for _path, reproducer in entries:
+        result = await replay_reproducer(reproducer)
+        print(result.summary_line())
+        failures += 0 if result.ok else 1
+    if failures:
+        print(f"{failures}/{len(entries)} reproducer(s) no longer hold")
+        return 1
+    print(f"{len(entries)} reproducer(s) replayed clean")
+    return 0
+
+
+async def _cmd_promote() -> int:
+    from repro.fuzz.promote import register_corpus_scenarios
+    from repro.scenarios.base import registry
+
+    names = register_corpus_scenarios()
+    if not names:
+        print("no diverse-mode divergent reproducers to promote")
+        return 1
+    failures = 0
+    for name in names:
+        result = await registry.run(name)
+        status = "pass" if result.passed else "FAIL"
+        print(
+            f"[{status}] {name}: benign_ok={result.benign_ok} "
+            f"leak_without_rddr={result.leak_without_rddr} "
+            f"mitigated={result.mitigated}"
+        )
+        failures += 0 if result.passed else 1
+    return 1 if failures else 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if not argv or argv[0] in ("-h", "--help"):
+        print(__doc__)
+        return 0
+    command, rest = argv[0], argv[1:]
+    if command == "run":
+        return asyncio.run(_cmd_run(_run_parser().parse_args(rest)))
+    if command == "replay":
+        return asyncio.run(_cmd_replay(_replay_parser().parse_args(rest)))
+    if command == "promote":
+        return asyncio.run(_cmd_promote())
+    print(f"unknown command {command!r} (run | replay | promote)", file=sys.stderr)
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

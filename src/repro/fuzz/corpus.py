@@ -1,0 +1,138 @@
+"""Replayable reproducer corpus under ``tests/fuzz_corpus/``.
+
+A reproducer is a self-contained JSON file: the target workload, oracle
+mode, the minimized request sequence (base64 — requests are raw protocol
+bytes), and the verdict the deployment produced when it was minted.
+Replaying one (``python -m repro.fuzz replay <file>``, or the tier-1
+``test_fuzz_corpus_replay`` battery) stands the same deployment back up,
+runs the sequence, and asserts the recorded verdict still holds.
+
+Files carry **no timestamps or host state** and are named by content
+(``<target>-<mode>-<signature>.json``), so re-running the campaign that
+found them overwrites byte-identically — the determinism the acceptance
+bar checks.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+#: Corpus schema version, bumped on incompatible format changes.
+FORMAT = 1
+
+#: The in-repo corpus replayed by tier-1 and grown by nightly CI.
+CORPUS_DIR = Path(__file__).resolve().parents[3] / "tests" / "fuzz_corpus"
+
+
+@dataclass
+class Reproducer:
+    """One minimized finding (or pinned exemplar) and how to replay it."""
+
+    #: Fuzz target name (``repro.fuzz.targets.TARGETS`` key).
+    target: str
+    #: Oracle mode the finding was made in (``identical``/``diverse``).
+    mode: str
+    #: Expected fuzz verdict of the *final* request
+    #: (``divergent``/``denoised``/``match``).
+    verdict: str
+    #: Request sequence; earlier requests are state setup, the last one
+    #: triggers the verdict.
+    requests: list[bytes]
+    #: Diff-token dedup signature (divergent findings only).
+    signature: str | None = None
+    #: Proxy-supplied divergence reason when minted (informational —
+    #: replay asserts the verdict and signature, not this string).
+    reason: str | None = None
+    #: Campaign seed that found it.
+    seed: int = 0
+    #: Free-form human note (what the finding means).
+    comment: str = ""
+    format: int = field(default=FORMAT)
+
+    # -------------------------------------------------------- identity
+
+    @property
+    def slug(self) -> str:
+        """Content-derived identity: the dedup signature, or a digest of
+        the request bytes for signature-less (match/denoised) entries."""
+        if self.signature:
+            return self.signature
+        digest = hashlib.sha256()
+        digest.update(self.verdict.encode())
+        for request in self.requests:
+            digest.update(len(request).to_bytes(4, "big"))
+            digest.update(request)
+        return digest.hexdigest()[:16]
+
+    @property
+    def filename(self) -> str:
+        return f"{self.target}-{self.mode}-{self.slug}.json"
+
+    # ----------------------------------------------------------- (de)ser
+
+    def to_dict(self) -> dict:
+        return {
+            "format": self.format,
+            "target": self.target,
+            "mode": self.mode,
+            "verdict": self.verdict,
+            "signature": self.signature,
+            "reason": self.reason,
+            "seed": self.seed,
+            "comment": self.comment,
+            "requests_b64": [
+                base64.b64encode(request).decode("ascii")
+                for request in self.requests
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Reproducer":
+        if data.get("format") != FORMAT:
+            raise ValueError(
+                f"unsupported corpus format {data.get('format')!r} "
+                f"(this build reads format {FORMAT})"
+            )
+        return cls(
+            target=data["target"],
+            mode=data["mode"],
+            verdict=data["verdict"],
+            signature=data.get("signature"),
+            reason=data.get("reason"),
+            seed=int(data.get("seed", 0)),
+            comment=data.get("comment", ""),
+            requests=[
+                base64.b64decode(encoded) for encoded in data["requests_b64"]
+            ],
+        )
+
+    def save(self, directory: Path | None = None) -> Path:
+        directory = CORPUS_DIR if directory is None else directory
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / self.filename
+        path.write_text(
+            json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        return path
+
+    @classmethod
+    def load(cls, path: Path | str) -> "Reproducer":
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+        return cls.from_dict(data)
+
+
+def load_corpus(directory: Path | None = None) -> list[tuple[Path, Reproducer]]:
+    """Every reproducer in ``directory`` (default: the in-repo corpus),
+    sorted by filename for stable test parametrization."""
+    directory = CORPUS_DIR if directory is None else directory
+    if not directory.is_dir():
+        return []
+    return [
+        (path, Reproducer.load(path))
+        for path in sorted(directory.glob("*.json"))
+    ]

@@ -1,0 +1,180 @@
+"""Fuzz driver: one live RDDR deployment plus a persistent client.
+
+:class:`FuzzDeployment` stands up a target's N=2 instance set behind a
+real ``repro.deploy(...)`` proxy and pushes requests through it one at a
+time.  The oracle channel is the deployment's own trace sink (rate 1.0,
+see :meth:`FuzzTarget.config`): after each request the driver waits for
+the exchange's exported trace and classifies it.
+
+The client speaks whatever the target's protocol module speaks — the
+module's ``read_server_message`` *is* "read one response unit", the same
+framing the proxy itself uses, so the driver needs no per-protocol
+client code.  Protocols with a ``handshake`` capability (pgwire) run it
+on every (re)connect; the handshake itself flows through the proxy as an
+exchange, so the driver absorbs its trace before fuzzing resumes.
+
+Divergence halts the connection (``divergence_policy="block"``), so the
+driver tears the client down after every divergent or errored exchange
+and reconnects lazily before the next request.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import repro
+from repro.fuzz.oracle import DIVERGENT, ERROR, ExchangeOutcome, classify
+from repro.fuzz.targets import FuzzTarget, get_target
+from repro.protocols import get as get_protocol
+from repro.transport.retry import open_connection_retry
+from repro.transport.streams import close_writer
+
+#: Poll period while waiting for the sink to export an exchange trace.
+_POLL_S = 0.002
+
+
+class FuzzDeployment:
+    """A started target deployment with a lazily-(re)connected client."""
+
+    def __init__(self, target: FuzzTarget | str, mode: str) -> None:
+        self.target = get_target(target) if isinstance(target, str) else target
+        self.mode = mode
+        self.config = self.target.config(mode)
+        self.protocol = get_protocol(self.config.protocol)
+        self.observer = repro.Observer(trace_capacity=64)
+        self.deployment: repro.RddrDeployment | None = None
+        self.servers: list = []
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+        self._state: object | None = None
+
+    async def __aenter__(self) -> "FuzzDeployment":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.close()
+
+    async def start(self) -> "FuzzDeployment":
+        addresses, self.servers = await self.target.start_instances(self.mode)
+        self.deployment = await repro.deploy(
+            self.config,
+            instances=addresses,
+            observer=self.observer,
+            name=f"fuzz-{self.target.name}-{self.mode}",
+        )
+        return self
+
+    async def close(self) -> None:
+        await self._drop_client()
+        if self.deployment is not None:
+            await self.deployment.close()
+            self.deployment = None
+        for server in self.servers:
+            await server.close()
+        self.servers = []
+
+    # ------------------------------------------------------------ client
+
+    async def _drop_client(self) -> None:
+        if self._writer is not None:
+            await close_writer(self._writer)
+        self._reader = self._writer = self._state = None
+
+    async def _ensure_client(self) -> None:
+        if self._writer is not None:
+            return
+        assert self.deployment is not None
+        host, port = self.deployment.address
+        self._reader, self._writer = await open_connection_retry(host, port)
+        if self.protocol.capabilities().handshake:
+            # The handshake is an exchange through the proxy; absorb its
+            # trace so it cannot be mistaken for the next mutant's.
+            baseline = self.observer.sink.emitted
+            self._state = await self.protocol.handshake(self._reader, self._writer)
+            await self._wait_emitted(baseline, timeout=self.config.exchange_timeout + 1.0)
+        else:
+            self._state = self.protocol.new_connection_state()
+
+    async def _wait_emitted(self, baseline: int, *, timeout: float) -> dict | None:
+        """Wait for the sink to export a trace past ``baseline``."""
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + timeout
+        while self.observer.sink.emitted <= baseline:
+            if loop.time() >= deadline:
+                return None
+            await asyncio.sleep(_POLL_S)
+        return self.observer.sink.last()
+
+    async def _note_request(self, request: bytes) -> None:
+        """Advance the client-side protocol state exactly the way the
+        proxy's ingress does: replay the raw bytes through
+        ``read_client_message`` on a memory stream.  HTTP, for one,
+        needs this — response framing depends on the request method
+        (HEAD responses carry Content-Length but no body), which the
+        state tracks per pipelined request."""
+        feed = asyncio.StreamReader()
+        feed.feed_data(request)
+        feed.feed_eof()
+        try:
+            await self.protocol.read_client_message(feed, self._state)
+        except Exception:
+            pass  # unparseable request: the proxy will reject it too
+
+    # ----------------------------------------------------------- execute
+
+    async def execute(self, request: bytes) -> ExchangeOutcome:
+        """Send one request through the deployment; classify its trace."""
+        timeout = self.config.exchange_timeout + 2.0
+        try:
+            await self._ensure_client()
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:
+            await self._drop_client()
+            return ExchangeOutcome(
+                verdict="connect_failed",
+                reason=repr(exc),
+                fuzz_verdict=ERROR,
+            )
+        assert self._reader is not None and self._writer is not None
+        baseline = self.observer.sink.emitted
+        response: bytes | None = None
+        try:
+            await self._note_request(request)
+            self._writer.write(request)
+            await self._writer.drain()
+            if self.protocol.expects_response(request, self._state):
+                response = await asyncio.wait_for(
+                    self.protocol.read_server_message(
+                        self._reader, self._state, request
+                    ),
+                    timeout,
+                )
+                if self.protocol.capabilities().finish_exchange:
+                    self.protocol.finish_exchange(self._state)
+        except asyncio.CancelledError:
+            raise
+        except Exception:
+            # The read failing (block response, torn connection...) is
+            # not the verdict — the trace is.  Fall through to it.
+            await self._drop_client()
+        trace = await self._wait_emitted(baseline, timeout=timeout)
+        if trace is None:
+            await self._drop_client()
+            return ExchangeOutcome(
+                verdict="lost",
+                reason="no exchange trace exported",
+                fuzz_verdict=ERROR,
+                response=response,
+            )
+        outcome = classify(trace)
+        outcome.response = response
+        if outcome.fuzz_verdict in (DIVERGENT, ERROR):
+            # "block" policy halts the connection on divergence; errored
+            # exchanges leave framing in an unknown state.  Reconnect.
+            await self._drop_client()
+        return outcome
+
+    async def execute_all(self, requests: list[bytes]) -> list[ExchangeOutcome]:
+        """Run a request sequence in order (the reproducer replay path)."""
+        return [await self.execute(request) for request in requests]

@@ -1,0 +1,223 @@
+"""The fuzzing campaign loop: seeded mutation → deployment → triage.
+
+``run_campaign`` drives one ``(target, mode, seed, budget)`` campaign:
+
+1. Derive the campaign RNG from ``sha256(target:mode:seed)`` — Python's
+   ``hash()`` is salted per process, so it never touches identity.
+2. Pull the next base request from the corpus pool (seeds plus mutants
+   that previously produced a *novel* verdict — coverage-ish feedback
+   without instrumentation), mutate it through the protocol module's
+   contract-1.1 ``mutate`` hook, and send it through the live deployment.
+3. Classify the exchange trace (:mod:`repro.fuzz.oracle`).  Novel
+   divergences are minimized against fresh deployments
+   (:mod:`repro.fuzz.triage`) and minted as corpus reproducers.
+
+Everything downstream of the RNG is deterministic — the in-tree targets
+are deterministic simulators (ASLR pointers vary per run but signatures
+wildcard them) — so two runs with the same arguments emit byte-identical
+corpus files and signature sets, which the acceptance tests assert.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator
+
+from repro.fuzz import corpus as corpus_mod
+from repro.fuzz.driver import FuzzDeployment
+from repro.fuzz.oracle import DENOISED, DIVERGENT, MATCH, is_finding
+from repro.fuzz.targets import MODES, get_target
+from repro.fuzz.triage import Deduper, minimize, verify
+from repro.protocols import get as get_protocol
+from repro.protocols.base import ProtocolModule
+
+#: Corpus-pool cap: novelty feedback stops growing the pool past this.
+_POOL_CAP = 256
+
+
+def campaign_rng(target: str, mode: str, seed: int) -> random.Random:
+    """The campaign's one RNG, stable across processes and platforms."""
+    digest = hashlib.sha256(f"{target}:{mode}:{seed}".encode()).digest()
+    return random.Random(int.from_bytes(digest[:8], "big"))
+
+
+def mutant_stream(
+    protocol: ProtocolModule,
+    seeds: list[bytes],
+    rng: random.Random,
+    count: int,
+) -> Iterator[bytes]:
+    """The pure (feedback-free) mutant stream: ``count`` mutants drawn
+    from a fixed pool.  The property tests pin its determinism; the
+    campaign loop adds novelty feedback on top of the same draw order."""
+    pool = list(seeds)
+    if not pool:
+        raise ValueError("mutant_stream needs at least one seed request")
+    for _ in range(count):
+        base = pool[rng.randrange(len(pool))]
+        yield protocol.mutate(base, rng)
+
+
+@dataclass
+class CampaignConfig:
+    """One fuzzing campaign's arguments."""
+
+    target: str
+    mode: str = "diverse"
+    seed: int = 0
+    budget: int = 300
+    #: Minimize novel findings against fresh deployments before minting.
+    minimize: bool = True
+    #: Fresh-deployment probes each minimization may spend.
+    probe_budget: int = 48
+    #: Also mint the first ``denoised`` and first ``match`` exchange as
+    #: pinned exemplars (used to seed verdict-diverse corpus entries).
+    exemplars: bool = False
+    #: Where reproducers are written; ``None`` mints in memory only.
+    corpus_dir: Path | None = None
+    #: Dump the campaign deployment's trace ring (JSONL) here — the
+    #: nightly CI uploads it alongside minted reproducers on findings.
+    trace_out: Path | None = None
+
+    def __post_init__(self) -> None:
+        if self.mode not in MODES:
+            raise ValueError(f"unknown oracle mode {self.mode!r}")
+        if self.budget < 1:
+            raise ValueError("budget must be >= 1")
+
+
+@dataclass
+class CampaignReport:
+    """What one campaign did — findings plus where the time went."""
+
+    config: CampaignConfig
+    executed: int = 0
+    verdicts: dict[str, int] = field(default_factory=dict)
+    #: Minted reproducers (novel findings, plus exemplars if enabled).
+    findings: list[corpus_mod.Reproducer] = field(default_factory=list)
+    #: Paths written (when ``corpus_dir`` was set).
+    written: list[Path] = field(default_factory=list)
+    #: All distinct divergence signatures observed.
+    signatures: list[str] = field(default_factory=list)
+    #: Divergent exchanges beyond the first per signature.
+    duplicates: int = 0
+    #: Novel findings that did not reproduce from the request log
+    #: against a fresh deployment (nondeterministic / wall-clock) and
+    #: were therefore not minted.
+    unreproducible: int = 0
+    #: Incoming-proxy stage timings (StageProfiler summary) — volatile,
+    #: never part of the determinism contract.
+    stage_summary: dict = field(default_factory=dict)
+
+    def summary_line(self) -> str:
+        verdicts = " ".join(
+            f"{name}={count}" for name, count in sorted(self.verdicts.items())
+        )
+        return (
+            f"fuzz {self.config.target}/{self.config.mode} "
+            f"seed={self.config.seed} executed={self.executed} "
+            f"findings={len(self.findings)} "
+            f"unique_signatures={len(self.signatures)} "
+            f"duplicates={self.duplicates} "
+            f"unreproducible={self.unreproducible} [{verdicts}]"
+        )
+
+
+async def run_campaign(config: CampaignConfig) -> CampaignReport:
+    """Run one seeded campaign; returns the report (and writes corpus
+    files when ``config.corpus_dir`` is set)."""
+    target = get_target(config.target)
+    protocol = get_protocol(target.protocol)
+    rng = campaign_rng(config.target, config.mode, config.seed)
+    report = CampaignReport(config=config)
+    deduper = Deduper()
+    pool = list(target.seed_requests())
+    if not pool:
+        raise ValueError(f"target {config.target!r} has no seed requests")
+    #: Every request sent since the deployment started, in order — the
+    #: log minimization shrinks.  Divergences can depend on server
+    #: state written arbitrarily far back (a SET three connections ago
+    #: arms a GET's leak), so the log never resets; reconnects only
+    #: reset *connection* state, which replay reproduces the same way.
+    history: list[bytes] = []
+    exemplar_minted = {DENOISED: False, MATCH: False}
+
+    def mint(reproducer: corpus_mod.Reproducer) -> None:
+        report.findings.append(reproducer)
+        if config.corpus_dir is not None:
+            report.written.append(reproducer.save(config.corpus_dir))
+
+    async with FuzzDeployment(target, config.mode) as deployment:
+        for _ in range(config.budget):
+            base = pool[rng.randrange(len(pool))]
+            mutant = protocol.mutate(base, rng)
+            outcome = await deployment.execute(mutant)
+            report.executed += 1
+            report.verdicts[outcome.fuzz_verdict] = (
+                report.verdicts.get(outcome.fuzz_verdict, 0) + 1
+            )
+            history.append(mutant)
+            if is_finding(outcome, config.mode):
+                if deduper.novel(outcome):
+                    if len(pool) < _POOL_CAP:
+                        pool.append(mutant)
+                    requests: list[bytes] | None = list(history)
+                    if config.minimize:
+                        requests = await minimize(
+                            config.target,
+                            config.mode,
+                            requests,
+                            outcome.signature,
+                            probe_budget=config.probe_budget,
+                        )
+                    if requests is None:
+                        report.unreproducible += 1
+                    else:
+                        mint(
+                            corpus_mod.Reproducer(
+                                target=config.target,
+                                mode=config.mode,
+                                verdict=DIVERGENT,
+                                requests=requests,
+                                signature=outcome.signature,
+                                reason=outcome.reason,
+                                seed=config.seed,
+                            )
+                        )
+            elif (
+                config.exemplars
+                and outcome.fuzz_verdict in (DENOISED, MATCH)
+                and not exemplar_minted[outcome.fuzz_verdict]
+            ):
+                # Exemplars pin non-divergent behaviour (masking that
+                # worked, a plain match) as single-request reproducers —
+                # but only if the verdict holds from a cold deployment.
+                if await verify(
+                    config.target, config.mode, [mutant], outcome.fuzz_verdict
+                ):
+                    exemplar_minted[outcome.fuzz_verdict] = True
+                    mint(
+                        corpus_mod.Reproducer(
+                            target=config.target,
+                            mode=config.mode,
+                            verdict=outcome.fuzz_verdict,
+                            requests=[mutant],
+                            seed=config.seed,
+                            comment=(
+                                "pinned exemplar: masking made this "
+                                "exchange unanimous"
+                                if outcome.fuzz_verdict == DENOISED
+                                else "pinned exemplar: unanimous without "
+                                "masking"
+                            ),
+                        )
+                    )
+        report.signatures = deduper.signatures
+        report.duplicates = deduper.duplicates
+        report.stage_summary = deployment.observer.profiler.summary()
+        if config.trace_out is not None:
+            deployment.observer.sink.write_jsonl(str(config.trace_out))
+    return report

@@ -1,0 +1,107 @@
+"""Fuzzing oracle: classify exported exchange traces into fuzz verdicts.
+
+The RDDR deployment itself is the oracle (the MicroFuzz move): every
+mutant flows through a real proxy, and the proxy's exported trace —
+verdict, denoise span, ``diff_signature`` — tells the engine what
+happened.  The raw proxy verdicts collapse into four fuzz verdicts:
+
+* ``match`` — unanimous, nothing masked.  The boring common case.
+* ``denoised`` — unanimous only because the denoise/variance pipeline
+  masked tokens.  Not a finding, but recorded: a corpus of denoised
+  reproducers pins the masking behaviour against regressions.
+* ``divergent`` — the proxy reported divergence.  In identical mode
+  this is an RDDR comparison bug; in diverse mode a discovered
+  scenario.  Carries the ``diff_signature`` used for dedup.
+* ``error`` — the exchange never produced a comparable verdict
+  (timeout, instance error, shed, blocked, client closed...).  Not a
+  finding either way; the driver tears the connection down and moves on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Fuzz verdict names (also the values recorded in corpus files).
+MATCH = "match"
+DENOISED = "denoised"
+DIVERGENT = "divergent"
+ERROR = "error"
+
+FUZZ_VERDICTS = (MATCH, DENOISED, DIVERGENT, ERROR)
+
+
+@dataclass
+class ExchangeOutcome:
+    """What the deployment said about one request."""
+
+    #: Raw incoming-proxy verdict (``unanimous``, ``divergent``, ...).
+    verdict: str
+    #: Proxy-supplied reason, e.g. the divergence description.
+    reason: str | None
+    #: Collapsed fuzz verdict: one of :data:`FUZZ_VERDICTS`.
+    fuzz_verdict: str
+    #: Diff-token dedup signature (divergent exchanges only).
+    signature: str | None = None
+    #: Tokens the denoise mask hid on this exchange.
+    masked_tokens: int = 0
+    #: The full exported trace dict, for artifact dumps.
+    trace: dict = field(default_factory=dict, repr=False)
+    #: The response the client read, if any (set by the driver).
+    response: bytes | None = field(default=None, repr=False)
+
+
+def _denoise_masked_tokens(trace: dict) -> int:
+    """Tokens the denoise stage changed: filter-pair noise masking plus
+    variance-rule rewrites (both count as "masking did real work")."""
+    for child in trace.get("spans", {}).get("children", ()):
+        if child.get("name") == "denoise":
+            attrs = child.get("attrs", {})
+            return int(attrs.get("masked_tokens", 0)) + int(
+                attrs.get("variance_masked_tokens", 0)
+            )
+    return 0
+
+
+def classify(trace: dict) -> ExchangeOutcome:
+    """Collapse one exported trace dict into an :class:`ExchangeOutcome`."""
+    verdict = str(trace.get("verdict", "unfinished"))
+    reason = trace.get("reason")
+    masked = _denoise_masked_tokens(trace)
+    if verdict == "divergent":
+        signature = trace.get("spans", {}).get("attrs", {}).get("diff_signature")
+        return ExchangeOutcome(
+            verdict=verdict,
+            reason=reason,
+            fuzz_verdict=DIVERGENT,
+            signature=str(signature) if signature is not None else None,
+            masked_tokens=masked,
+            trace=trace,
+        )
+    if verdict == "unanimous":
+        fuzz_verdict = DENOISED if masked > 0 else MATCH
+        return ExchangeOutcome(
+            verdict=verdict,
+            reason=reason,
+            fuzz_verdict=fuzz_verdict,
+            masked_tokens=masked,
+            trace=trace,
+        )
+    return ExchangeOutcome(
+        verdict=verdict,
+        reason=reason,
+        fuzz_verdict=ERROR,
+        masked_tokens=masked,
+        trace=trace,
+    )
+
+
+def is_finding(outcome: ExchangeOutcome, mode: str) -> bool:
+    """Is this outcome worth minting a reproducer for?
+
+    Divergence is the finding in *both* oracle modes — identical mode
+    reads it as a comparison-pipeline bug, diverse mode as a discovered
+    scenario.  The ``mode`` parameter is kept explicit so future oracle
+    modes (e.g. crash-only) can classify differently.
+    """
+    del mode
+    return outcome.fuzz_verdict == DIVERGENT

@@ -1,0 +1,133 @@
+"""Promote fuzz discoveries into the Table-I scenario registry.
+
+A diverse-mode divergent reproducer *is* a Table-I-style scenario — two
+implementations answering one request differently, caught by RDDR.
+Promotion wraps it in the scenario framework's three-part proof:
+
+1. **benign_ok** — the target's seed requests pass through RDDR;
+2. **leak_without_rddr** — queried *directly*, the diverse instances
+   really answer differently (after variance masking), so the
+   divergence is an instance-level fact, not a proxy artifact;
+3. **mitigated** — through RDDR the reproducer's final request draws a
+   divergent verdict with the recorded signature.
+
+``register_corpus_scenarios()`` registers every eligible corpus entry
+as ``fuzz:<target>:<slug>``; ``python -m repro.fuzz promote`` runs them.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.core.variance import VarianceMasker
+from repro.fuzz.corpus import Reproducer, load_corpus
+from repro.fuzz.driver import FuzzDeployment
+from repro.fuzz.oracle import DENOISED, DIVERGENT, MATCH
+from repro.fuzz.replay import replay_reproducer
+from repro.fuzz.targets import DIVERSE, get_target
+from repro.protocols import get as get_protocol
+from repro.scenarios.base import Scenario, ScenarioRegistry, ScenarioResult
+from repro.scenarios.base import registry as scenario_registry
+from repro.transport.retry import open_connection_retry
+from repro.transport.streams import close_writer
+
+
+async def _responses_direct(
+    reproducer: Reproducer,
+) -> list[tuple[bytes, ...]]:
+    """Run the reproducer sequence against each instance *directly*
+    (no proxy); returns the final request's masked token stream per
+    instance."""
+    target = get_target(reproducer.target)
+    protocol = get_protocol(target.protocol)
+    config = target.config(reproducer.mode)
+    masker = VarianceMasker(config.variance_rules)
+    addresses, servers = await target.start_instances(reproducer.mode)
+    streams: list[tuple[bytes, ...]] = []
+    try:
+        for address in addresses:
+            reader, writer = await open_connection_retry(*address)
+            try:
+                if protocol.capabilities().handshake:
+                    state = await protocol.handshake(reader, writer)
+                else:
+                    state = protocol.new_connection_state()
+                response = b""
+                for request in reproducer.requests:
+                    writer.write(request)
+                    await writer.drain()
+                    if protocol.expects_response(request, state):
+                        response = await protocol.read_server_message(
+                            reader, state, request
+                        )
+                streams.append(
+                    tuple(masker.mask_stream(protocol.tokenize(response)))
+                )
+            finally:
+                await close_writer(writer)
+    finally:
+        for server in servers:
+            await server.close()
+    return streams
+
+
+def scenario_from_reproducer(reproducer: Reproducer) -> Scenario:
+    """Wrap one corpus reproducer as a runnable Table-I-style scenario."""
+
+    async def run() -> ScenarioResult:
+        result = ScenarioResult(
+            scenario_id=f"fuzz:{reproducer.target}:{reproducer.slug}",
+            cve="fuzz-discovered",
+            microservice=reproducer.target,
+            exploit=reproducer.reason or "divergence-inducing request",
+            cwe="n/a",
+            owasp="n/a",
+            diversity=reproducer.mode,
+        )
+        # mitigated: the recorded divergent verdict (and signature)
+        # still holds through RDDR.  Own deployment, so the benign leg
+        # below cannot perturb replay state.
+        replay = await replay_reproducer(reproducer)
+        result.mitigated = replay.ok
+        if replay.outcome is not None:
+            result.divergences = int(
+                replay.outcome.fuzz_verdict == DIVERGENT
+            )
+        # benign_ok: benign traffic flows through the same deployment
+        # without tripping divergence (seed requests minus any
+        # deliberate trigger the target keeps in its mutation pool).
+        target = get_target(reproducer.target)
+        async with FuzzDeployment(target, reproducer.mode) as deployment:
+            benign = await deployment.execute_all(target.benign_requests())
+        result.benign_ok = all(
+            outcome.fuzz_verdict in (MATCH, DENOISED) for outcome in benign
+        )
+        # leak_without_rddr: the instances disagree when asked directly.
+        streams = await _responses_direct(reproducer)
+        result.leak_without_rddr = len(set(streams)) > 1
+        result.notes = (
+            f"promoted from fuzz corpus (seed {reproducer.seed}, "
+            f"signature {reproducer.signature or 'n/a'})"
+        )
+        return result
+
+    return run
+
+
+def register_corpus_scenarios(
+    directory: Path | None = None,
+    *,
+    registry: ScenarioRegistry = scenario_registry,
+) -> list[str]:
+    """Register every diverse-mode divergent corpus reproducer as a
+    scenario named ``fuzz:<target>:<slug>``; returns the new names."""
+    names: list[str] = []
+    for _path, reproducer in load_corpus(directory):
+        if reproducer.verdict != DIVERGENT or reproducer.mode != DIVERSE:
+            continue
+        name = f"fuzz:{reproducer.target}:{reproducer.slug}"
+        if name in registry.scenarios:
+            continue
+        registry.scenarios[name] = scenario_from_reproducer(reproducer)
+        names.append(name)
+    return names

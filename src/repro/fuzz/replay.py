@@ -1,0 +1,72 @@
+"""Replay corpus reproducers and re-check their recorded verdicts.
+
+Used three ways: ``python -m repro.fuzz replay <file>`` for one-off
+debugging, ``replay --all`` as the CI ``fuzz-corpus`` check, and the
+tier-1 ``test_fuzz_corpus_replay`` battery (one parametrized case per
+corpus file).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.fuzz.corpus import Reproducer
+from repro.fuzz.driver import FuzzDeployment
+from repro.fuzz.oracle import DIVERGENT, ExchangeOutcome
+
+
+@dataclass
+class ReplayResult:
+    """Did the recorded verdict still hold?"""
+
+    reproducer: Reproducer
+    ok: bool
+    #: What the final exchange actually produced.
+    outcome: ExchangeOutcome | None
+    detail: str = ""
+
+    def summary_line(self) -> str:
+        status = "ok" if self.ok else "FAIL"
+        return (
+            f"[{status}] {self.reproducer.filename}: "
+            f"expected {self.reproducer.verdict}"
+            + (f" — {self.detail}" if self.detail else "")
+        )
+
+
+async def replay_reproducer(reproducer: Reproducer) -> ReplayResult:
+    """Stand the recorded deployment back up, run the request sequence,
+    and compare the final exchange against the recorded verdict (and,
+    for divergences, the recorded dedup signature)."""
+    if not reproducer.requests:
+        return ReplayResult(
+            reproducer, ok=False, outcome=None, detail="empty request list"
+        )
+    async with FuzzDeployment(reproducer.target, reproducer.mode) as deployment:
+        outcomes = await deployment.execute_all(reproducer.requests)
+    final = outcomes[-1]
+    if final.fuzz_verdict != reproducer.verdict:
+        return ReplayResult(
+            reproducer,
+            ok=False,
+            outcome=final,
+            detail=(
+                f"verdict changed: got {final.fuzz_verdict} "
+                f"(raw {final.verdict}, reason {final.reason!r})"
+            ),
+        )
+    if (
+        reproducer.verdict == DIVERGENT
+        and reproducer.signature
+        and final.signature != reproducer.signature
+    ):
+        return ReplayResult(
+            reproducer,
+            ok=False,
+            outcome=final,
+            detail=(
+                f"signature changed: recorded {reproducer.signature}, "
+                f"got {final.signature}"
+            ),
+        )
+    return ReplayResult(reproducer, ok=True, outcome=final)

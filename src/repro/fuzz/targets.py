@@ -1,0 +1,317 @@
+"""Fuzzable deployments: workload name → instances + seed corpus.
+
+A :class:`FuzzTarget` knows how to stand up the N=2 instance set for
+each oracle mode and supplies the seed requests mutation starts from.
+
+* ``identical`` mode starts two byte-identical instances — the denoise
+  oracle (any divergence is an RDDR comparison bug).
+* ``diverse`` mode starts two *different* implementations or versions —
+  the discovery oracle (divergences are new Table-I-style scenarios).
+
+The diverse instance sets reuse the repo's in-tree diversity sources:
+the section V-E ASLR echo pair, the KeyDB GET prefix-leak kvstore pair,
+the postsim/roachsim vendor pair, the markdown library pair, and a
+number-formatting JSON pair.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.core.config import RddrConfig
+from repro.core.variance import POSTGRES_VERSION_RULES, VarianceRule
+
+Address = tuple[str, int]
+
+#: Same masking a real version-diverse database deployment configures
+#: (paper section V-C2): vendor banners differ deterministically and
+#: would otherwise diverge on every exchange.
+VENDOR_BANNER_RULES = [
+    VarianceRule(
+        pattern=r"(PostgreSQL|CockroachDB|EnterpriseDB)[^\x00\r\n]*",
+        description="database vendor banner",
+    ),
+    *POSTGRES_VERSION_RULES,
+]
+
+#: Oracle mode names.
+IDENTICAL = "identical"
+DIVERSE = "diverse"
+MODES = (IDENTICAL, DIVERSE)
+
+#: Tiny deterministic pgbench-shaped fixture (the full
+#: ``load_pgbench`` scale inserts 10k rows per instance — far too slow
+#: for the fresh deployments triage minimization spins up).
+_PG_FUZZ_SETUP = """
+CREATE TABLE pgbench_branches (bid integer PRIMARY KEY, bbalance integer, filler text);
+CREATE TABLE pgbench_accounts (aid integer PRIMARY KEY, bid integer, abalance integer, filler text);
+INSERT INTO pgbench_branches VALUES (1, 0, 'x');
+INSERT INTO pgbench_accounts VALUES (1, 1, 4500, 'x'), (2, 1, -120, 'x'),
+    (3, 1, 0, 'x'), (4, 1, 77, 'x'), (5, 1, -4999, 'x'), (6, 1, 1024, 'x');
+"""
+
+
+class FuzzTarget:
+    """One fuzzable workload: protocol, instance sets, seed requests."""
+
+    name: str = "abstract"
+    protocol: str = "tcp"
+
+    def seed_requests(self) -> list[bytes]:
+        raise NotImplementedError
+
+    def benign_requests(self) -> list[bytes]:
+        """The scenario framework's benign leg: requests that must NOT
+        diverge even on the diverse pair.  Defaults to the seed set;
+        targets whose seeds deliberately include a divergence trigger
+        (to arm the mutation pool) override this to exclude it."""
+        return self.seed_requests()
+
+    async def start_instances(self, mode: str) -> tuple[list[Address], list]:
+        """Start the N=2 instance set for ``mode``; returns
+        ``(addresses, server handles)``."""
+        raise NotImplementedError
+
+    def config(self, mode: str) -> RddrConfig:
+        """The deployment config fuzz runs use.
+
+        ``filter_pair`` stays ``None`` in *both* modes: with N=2 a
+        filter pair would mask every difference between the only two
+        instances, making divergence structurally impossible.  Traces
+        are never sampled out (rate 1.0) because the exported trace —
+        verdict, denoise span, ``diff_signature`` — *is* the oracle
+        channel.
+        """
+        return RddrConfig(
+            protocol=self.protocol,
+            filter_pair=None,
+            exchange_timeout=2.0,
+            trace_sample_rate=1.0,
+        )
+
+
+class EchoTarget(FuzzTarget):
+    """Line echo over ``tcp``; diverse mode is the section V-E ASLR pair.
+
+    Both diverse instances run the *same* vulnerable echo binary under
+    ASLR — the paper's diversity-by-randomization deployment.  Only
+    requests longer than the 64-byte buffer leak the per-instance
+    pointer, so divergence is input-dependent (exactly what the grow
+    mutation hunts for).
+    """
+
+    name = "echo"
+    protocol = "tcp"
+
+    def seed_requests(self) -> list[bytes]:
+        return [
+            b"hello world\n",
+            b"echo fuzz c0 r0 abcd1234\n",
+            b"ping\n",
+        ]
+
+    async def start_instances(self, mode: str) -> tuple[list[Address], list]:
+        if mode == IDENTICAL:
+            from repro.apps.echo import EchoServer
+
+            servers = [
+                await EchoServer(name=f"fuzz-echo-{i}").start() for i in range(2)
+            ]
+        else:
+            from repro.apps.aslr.echo_vuln import VulnerableEchoServer
+
+            servers = [
+                await VulnerableEchoServer(name=f"fuzz-aslr-{i}", aslr=True).start()
+                for i in range(2)
+            ]
+        return [server.address for server in servers], servers
+
+
+class KvstoreTarget(FuzzTarget):
+    """RESP kvstore; diverse mode pairs the reference cache with the
+    KeyDB-like implementation carrying the version-gated GET prefix
+    leak (missing ``tenant:<id>:<field>`` keys resolve to another
+    tenant's entry)."""
+
+    name = "kvstore"
+    protocol = "resp"
+
+    def seed_requests(self) -> list[bytes]:
+        from repro.protocols.resp import encode_command
+
+        return [
+            encode_command("SET", "tenant:acme:name", "acme-corp"),
+            encode_command("SET", "tenant:zenith:name", "zenith-ltd"),
+            encode_command("GET", "tenant:acme:name"),
+            encode_command("GET", "tenant:zenith:email"),
+            encode_command("EXISTS", "tenant:acme:name"),
+            encode_command("PING"),
+        ]
+
+    def benign_requests(self) -> list[bytes]:
+        from repro.protocols.resp import encode_command
+
+        # The missing-key GET in the seed set IS the KeyDB prefix-leak
+        # trigger — great for arming the mutation pool, wrong for the
+        # "benign traffic passes" leg of a promoted scenario's proof.
+        return [
+            request
+            for request in self.seed_requests()
+            if request != encode_command("GET", "tenant:zenith:email")
+        ]
+
+    async def start_instances(self, mode: str) -> tuple[list[Address], list]:
+        from repro.apps.kvstore import KeyDbLikeServer, RedisLikeServer
+
+        if mode == IDENTICAL:
+            servers = [
+                await RedisLikeServer(name=f"fuzz-kv-{i}").start() for i in range(2)
+            ]
+        else:
+            servers = [
+                await RedisLikeServer(name="fuzz-kv-ref").start(),
+                await KeyDbLikeServer(name="fuzz-kv-keydb", version="6.0.0").start(),
+            ]
+        return [server.address for server in servers], servers
+
+
+class PgbenchTarget(FuzzTarget):
+    """pgwire databases; diverse mode pairs postsim with roachsim.
+
+    The pair shares the SQL dialect but diverges on capability and
+    configuration surface (UDF support, default transaction isolation)
+    — mutation-reachable fingerprinting divergences.  Vendor version
+    banners are masked by variance rules in both modes, mirroring how
+    a real operator configures a version-diverse deployment (paper
+    section V-C2); without them every exchange would trivially diverge
+    on the banner and nothing else could be discovered.
+    """
+
+    name = "pgbench"
+    protocol = "pgwire"
+
+    def seed_requests(self) -> list[bytes]:
+        from repro.pgwire import messages as wire
+
+        statements = [
+            "SELECT abalance FROM pgbench_accounts WHERE aid = 1",
+            "SELECT abalance FROM pgbench_accounts WHERE aid = 4",
+            "SELECT count(*) FROM pgbench_branches",
+            "SELECT 1",
+        ]
+        return [wire.query_message(sql).encode() for sql in statements]
+
+    async def start_instances(self, mode: str) -> tuple[list[Address], list]:
+        from repro.pgwire import serve_database
+        from repro.vendors import create_postsim, create_roachsim
+
+        if mode == IDENTICAL:
+            engines = [create_postsim("13.0"), create_postsim("13.0")]
+        else:
+            engines = [create_postsim("13.0"), create_roachsim("21.2.5")]
+        servers = []
+        for engine in engines:
+            for outcome in engine.execute(_PG_FUZZ_SETUP):
+                if outcome.error is not None:
+                    raise outcome.error
+            servers.append(await serve_database(engine))
+        return [server.address for server in servers], servers
+
+    def config(self, mode: str) -> RddrConfig:
+        config = super().config(mode)
+        config.variance_rules = list(VENDOR_BANNER_RULES)
+        return config
+
+
+class HttpTarget(FuzzTarget):
+    """HTTP markdown-rendering API; diverse mode pairs the two markdown
+    libraries (CVE-2020-11888 scheme-validation divergence)."""
+
+    name = "http"
+    protocol = "http"
+
+    def seed_requests(self) -> list[bytes]:
+        def post_render(markdown: str) -> bytes:
+            body = json.dumps({"markdown": markdown}).encode()
+            return (
+                b"POST /render HTTP/1.1\r\n"
+                b"Host: fuzz.local\r\n"
+                b"Content-Type: application/json\r\n"
+                b"Content-Length: " + str(len(body)).encode() + b"\r\n"
+                b"\r\n" + body
+            )
+
+        return [
+            post_render("# title\n\nplain *emphasis* text"),
+            post_render("[link](https://example.com/page)"),
+            b"GET /health HTTP/1.1\r\nHost: fuzz.local\r\n\r\n",
+        ]
+
+    async def start_instances(self, mode: str) -> tuple[list[Address], list]:
+        from repro.apps.restful.libs.markdown_pair import Markdown2Like, MarkdownLike
+        from repro.apps.restful.servers import make_markdown_server
+        from repro.web.server import HttpServer
+
+        if mode == IDENTICAL:
+            libraries = [MarkdownLike(), MarkdownLike()]
+        else:
+            libraries = [Markdown2Like(), MarkdownLike()]
+        servers = [
+            HttpServer(make_markdown_server(library, name=f"fuzz-md-{i}"))
+            for i, library in enumerate(libraries)
+        ]
+        for server in servers:
+            await server.start()
+        return [server.address for server in servers], servers
+
+
+class JsonTarget(FuzzTarget):
+    """JSON-lines calculator; diverse mode pairs the reference with the
+    legacy-number-formatting variant (whole floats rendered as ints —
+    divergent only on inputs whose arithmetic lands on a whole number)."""
+
+    name = "json"
+    protocol = "json"
+
+    def seed_requests(self) -> list[bytes]:
+        documents = [
+            {"op": "sum", "values": [1, 2, 3]},
+            {"op": "avg", "values": [2, 5]},
+            {"op": "max", "values": [7, -3, 7]},
+        ]
+        return [
+            json.dumps(doc, separators=(",", ":")).encode() + b"\n"
+            for doc in documents
+        ]
+
+    async def start_instances(self, mode: str) -> tuple[list[Address], list]:
+        from repro.apps.jsonsvc import JsonCalcServer
+
+        legacy = (False, False) if mode == IDENTICAL else (False, True)
+        servers = [
+            await JsonCalcServer(
+                name=f"fuzz-json-{i}", legacy_numbers=flag
+            ).start()
+            for i, flag in enumerate(legacy)
+        ]
+        return [server.address for server in servers], servers
+
+
+TARGETS: dict[str, FuzzTarget] = {
+    target.name: target
+    for target in (
+        EchoTarget(),
+        KvstoreTarget(),
+        PgbenchTarget(),
+        HttpTarget(),
+        JsonTarget(),
+    )
+}
+
+
+def get_target(name: str) -> FuzzTarget:
+    try:
+        return TARGETS[name]
+    except KeyError:
+        known = ", ".join(sorted(TARGETS))
+        raise KeyError(f"unknown fuzz target {name!r} (known: {known})") from None

@@ -1,0 +1,145 @@
+"""Triage: dedup findings by diff signature, minimize reproducers.
+
+**Dedup** keys on the exchange's ``diff_signature`` (exported by the
+incoming proxy, computed by :meth:`repro.core.diff.DiffResult.signature`)
+— structural divergence identity with volatile values wildcarded, so two
+ASLR leaks with different pointers collapse into one finding.
+
+**Minimization** shrinks the request *history* (everything sent on the
+finding's connection, ending in the triggering mutant) to a short
+sequence that still reproduces the same signature against a fresh
+deployment.  Strategy: last-``k`` suffix windows with doubling ``k``
+(most findings need no state and minimize to the final request alone;
+stateful ones — a SET a GET depends on — keep the shortest suffix that
+carries the state), then bounded greedy drops inside the kept window.
+Every probe stands up a fresh deployment so earlier probes cannot leak
+state into later ones.
+"""
+
+from __future__ import annotations
+
+from repro.fuzz.driver import FuzzDeployment
+from repro.fuzz.oracle import DIVERGENT, ExchangeOutcome
+from repro.fuzz.targets import get_target
+from repro.protocols import get as get_protocol
+
+
+class Deduper:
+    """Tracks which divergence signatures a campaign has already seen."""
+
+    def __init__(self) -> None:
+        self._seen: dict[str, int] = {}
+
+    @staticmethod
+    def key(outcome: ExchangeOutcome) -> str:
+        # Signature when exported; the verdict reason as a fallback so a
+        # signature-less divergence still dedups coarsely.
+        return outcome.signature or f"reason:{outcome.reason}"
+
+    def novel(self, outcome: ExchangeOutcome) -> bool:
+        """Record the finding; True the first time its key appears."""
+        key = self.key(outcome)
+        self._seen[key] = self._seen.get(key, 0) + 1
+        return self._seen[key] == 1
+
+    @property
+    def signatures(self) -> list[str]:
+        return sorted(self._seen)
+
+    @property
+    def duplicates(self) -> int:
+        return sum(count - 1 for count in self._seen.values())
+
+
+async def verify(
+    target: str,
+    mode: str,
+    candidate: list[bytes],
+    verdict: str,
+    signature: str | None = None,
+) -> bool:
+    """Does replaying ``candidate`` against a fresh deployment end in
+    ``verdict`` (and, when given, ``signature``)?"""
+    if not candidate:
+        return False
+    async with FuzzDeployment(target, mode) as deployment:
+        outcomes = await deployment.execute_all(candidate)
+    final = outcomes[-1]
+    if final.fuzz_verdict != verdict:
+        return False
+    return signature is None or final.signature == signature
+
+
+async def _reproduces(
+    target: str, mode: str, candidate: list[bytes], signature: str | None
+) -> bool:
+    """Does replaying ``candidate`` end in the same divergence?"""
+    return await verify(target, mode, candidate, DIVERGENT, signature)
+
+
+async def minimize(
+    target: str,
+    mode: str,
+    history: list[bytes],
+    signature: str | None,
+    *,
+    probe_budget: int = 48,
+) -> list[bytes] | None:
+    """Shrink ``history`` to a short sequence reproducing ``signature``.
+
+    ``history`` is the full request log since the finding's deployment
+    started (divergences can depend on server state written arbitrarily
+    far back).  Returns the smallest sequence found within
+    ``probe_budget`` fresh-deployment probes, or ``None`` if nothing —
+    not even the full log — reproduces (a nondeterministic or
+    wall-clock-dependent finding; the engine skips minting those rather
+    than committing a reproducer that fails replay).
+    """
+    if not history:
+        raise ValueError("cannot minimize an empty history")
+    probes = 0
+
+    async def probe(candidate: list[bytes]) -> bool:
+        nonlocal probes
+        if probes >= probe_budget:
+            return False
+        probes += 1
+        return await _reproduces(target, mode, candidate, signature)
+
+    # Suffix windows, doubling: final request alone, then last 2, 4,
+    # ..., always ending with the full log.
+    sizes = []
+    size = 1
+    while size < len(history):
+        sizes.append(size)
+        size *= 2
+    sizes.append(len(history))
+    window: list[bytes] | None = None
+    for size in sizes:
+        if await probe(history[-size:]):
+            window = history[-size:]
+            break
+        if probes >= probe_budget:
+            return None
+    if window is None:
+        return None
+
+    # One-probe collapse: keep only requests the protocol says can have
+    # written state (plus the trigger).  Turns a 300-request log into a
+    # handful of writes before greedy dropping even starts.
+    protocol = get_protocol(get_target(target).protocol)
+    writes = [r for r in window[:-1] if protocol.mutates_state(r)]
+    if len(writes) < len(window) - 1:
+        candidate = writes + [window[-1]]
+        if await probe(candidate):
+            window = candidate
+
+    # Greedy drops inside the window (never the final, triggering request).
+    index = 0
+    while index < len(window) - 1 and probes < probe_budget:
+        candidate = window[:index] + window[index + 1:]
+        if await probe(candidate):
+            window = candidate
+        else:
+            index += 1
+    return window

@@ -36,7 +36,12 @@ from typing import ClassVar
 #: accepts a module iff the major versions match and the module's minor
 #: version does not exceed the runtime's (a module written for "1.2"
 #: may use surface a "1.0" runtime does not have).
-PROTOCOL_API_VERSION = "1.0"
+#:
+#: History: 1.0 — initial versioned contract (framing/diffing plus the
+#: liveness/snapshot/state-classification/handshake/finish-exchange
+#: capability surface); 1.1 — optional ``mutate(request, rng)`` hook
+#: (structure-aware request mutation for ``repro.fuzz``).
+PROTOCOL_API_VERSION = "1.1"
 
 #: Methods every module must implement (beyond what ABC enforces, this
 #: lets ``register()`` name the missing surface precisely).
@@ -78,6 +83,10 @@ class ProtocolCapabilities:
     #: ``finish_exchange(state)``: per-exchange connection-state upkeep
     #: the incoming proxy must call after serving a response.
     finish_exchange: bool = False
+    #: ``mutate(request, rng) -> bytes``: produce a structure-aware,
+    #: protocol-valid mutant of a request (contract 1.1; consumed by the
+    #: ``repro.fuzz`` divergence fuzzer).
+    mutation: bool = False
 
 
 def _detect_capabilities(cls: type) -> ProtocolCapabilities:
@@ -100,6 +109,7 @@ def _detect_capabilities(cls: type) -> ProtocolCapabilities:
         ),
         handshake=getattr(cls, "handshake", None) is not ProtocolModule.handshake,
         finish_exchange=callable(getattr(cls, "finish_exchange", None)),
+        mutation=callable(getattr(cls, "mutate", None)),
     )
 
 

@@ -15,6 +15,8 @@ security-relevant content.
 from __future__ import annotations
 
 import asyncio
+import json
+import random
 from dataclasses import dataclass, field
 
 from repro.protocols.base import (
@@ -23,15 +25,22 @@ from repro.protocols.base import (
     ProtocolModule,
     registry,
 )
+from repro.protocols.mutation import (
+    mutate_json_value,
+    mutate_text,
+    mutate_token,
+    rand_bytes,
+)
 from repro.transport.streams import ConnectionClosed
 from repro.web.http11 import (
     HttpParseError,
     ParserOptions,
+    parse_request_bytes,
+    parse_response_bytes,
     read_request,
     read_response,
-    serialize_response,
-    parse_response_bytes,
     serialize_request,
+    serialize_response,
 )
 from repro.web.app import text_response
 
@@ -58,7 +67,7 @@ class HttpProtocol(ProtocolModule):
 
     def capabilities(self) -> ProtocolCapabilities:
         return ProtocolCapabilities(
-            state_classification=True, finish_exchange=True
+            state_classification=True, finish_exchange=True, mutation=True
         )
 
     def __init__(self, parser_options: ParserOptions | None = None) -> None:
@@ -146,6 +155,129 @@ class HttpProtocol(ProtocolModule):
         if request.body:
             tokens.extend(request.body.split(b"\n"))
         return tokens
+
+    # ------------------------------------------------- mutation (1.1)
+
+    _MUTATION_METHODS = ("GET", "POST", "PUT", "DELETE", "HEAD")
+    #: Grammar tokens for body splicing: markup constructs and URL
+    #: schemes exercise content-handling code paths (escaping, scheme
+    #: validation) that random byte flips cannot reach.
+    _BODY_DICTIONARY = (
+        "[click](javascript:alert(1))",
+        "[click](JaVaScRiPt:alert(1))",
+        "[click](data:text/html;base64,x)",
+        "[click](https://example.com)",
+        "<script>alert(1)</script>",
+        "<img src=x>",
+        "**bold** *em* `code`",
+        "# heading",
+        "a > b < c",
+    )
+    #: Headers the mutator never drops or rewrites: Host keeps the
+    #: request routable, Content-Length/Transfer-Encoding are framing
+    #: (recomputed by :func:`serialize_request` after body surgery).
+    _PROTECTED_HEADERS = ("host", "content-length", "transfer-encoding")
+
+    def mutate(self, request: bytes, rng: random.Random) -> bytes:
+        """Structure-aware HTTP mutation, re-framed by the serializer.
+
+        Parses the request, mutates method/target/headers/body at the
+        grammar level (JSON bodies get document-level mutation), strips
+        the framing headers, and re-serializes — Content-Length is
+        recomputed, so the mutant always parses as one request unit.
+        """
+        try:
+            parsed = parse_request_bytes(request, self.parser_options)
+        except Exception:
+            return request
+        mutant = parsed.copy()
+        for _ in range(rng.randint(1, 3)):
+            self._mutate_request(mutant, rng)
+        mutant.headers.remove("Content-Length")
+        mutant.headers.remove("Transfer-Encoding")
+        return serialize_request(mutant)
+
+    def _mutate_request(self, request, rng: random.Random) -> None:
+        op = rng.randrange(6)
+        if op == 0:
+            request.method = rng.choice(self._MUTATION_METHODS)
+        elif op == 1:  # path surgery on the target
+            target = request.target
+            if rng.random() < 0.5 or "?" in target:
+                request.target = mutate_text(rng, target).replace(" ", "-") or "/"
+            else:
+                name = rand_bytes(rng, 1, 6).decode("latin-1")
+                request.target = f"{target}?{name}={rng.randint(0, 999)}"
+            if not request.target.startswith("/"):
+                request.target = "/" + request.target
+        elif op == 2:  # add a header (name kept alnum so ':' framing holds)
+            suffix = "".join(
+                ch
+                for ch in rand_bytes(rng, 1, 6).decode("latin-1")
+                if ch.isalnum()
+            )
+            name = "X-Fuzz-" + (suffix or "z")
+            request.headers.set(name, rand_bytes(rng, 1, 16).decode("latin-1"))
+        elif op == 3:  # rewrite one unprotected header value
+            names = [
+                name
+                for name, _ in request.headers.items()
+                if name.lower() not in self._PROTECTED_HEADERS
+            ]
+            if names:
+                name = rng.choice(names)
+                value = request.headers.get(name) or ""
+                request.headers.set(
+                    name, mutate_text(rng, value).replace(" ", "_") or "x"
+                )
+        elif op == 4:  # drop one unprotected header
+            names = [
+                name
+                for name, _ in request.headers.items()
+                if name.lower() not in self._PROTECTED_HEADERS
+            ]
+            if names:
+                request.headers.remove(rng.choice(names))
+        else:  # body surgery (JSON documents mutate structurally)
+            body = request.body
+            try:
+                document = json.loads(body.decode("utf-8")) if body else None
+            except (ValueError, UnicodeDecodeError):
+                document = None
+            if document is not None:
+                if rng.random() < 0.5:
+                    document = self._splice_dictionary(document, rng)
+                else:
+                    document = mutate_json_value(rng, document)
+                request.body = json.dumps(
+                    document, separators=(",", ":")
+                ).encode()
+            elif body:
+                request.body = mutate_token(rng, body)
+            else:
+                request.body = rand_bytes(rng, 1, 32)
+
+    def _splice_dictionary(self, document: object, rng: random.Random) -> object:
+        """Inject one app-language dictionary token into a string leaf.
+
+        Random byte flips never produce structured payloads like markup
+        or URL schemes, so the interesting content-handling paths stay
+        cold; a dictionary is the standard grammar-fuzzing fix.
+        """
+        token = rng.choice(self._BODY_DICTIONARY)
+        if isinstance(document, str):
+            return document + " " + token if rng.random() < 0.5 else token
+        if isinstance(document, dict) and document:
+            key = rng.choice(sorted(document))
+            document = dict(document)
+            document[key] = self._splice_dictionary(document[key], rng)
+            return document
+        if isinstance(document, list) and document:
+            index = rng.randrange(len(document))
+            document = list(document)
+            document[index] = self._splice_dictionary(document[index], rng)
+            return document
+        return token
 
     def block_response(self, message: str) -> bytes:
         body = (

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import random
 
 from repro.protocols.base import (
     PROTOCOL_API_VERSION,
@@ -17,6 +18,7 @@ from repro.protocols.base import (
     ProtocolModule,
     registry,
 )
+from repro.protocols.mutation import mutate_json_value, mutate_token
 from repro.protocols.tcp import _read_line
 from repro.transport.streams import ConnectionClosed
 
@@ -29,7 +31,7 @@ class JsonLinesProtocol(ProtocolModule):
     API_VERSION = PROTOCOL_API_VERSION
 
     def capabilities(self) -> ProtocolCapabilities:
-        return ProtocolCapabilities()
+        return ProtocolCapabilities(mutation=True)
 
     def __init__(self, max_line: int = 4 * 1024 * 1024) -> None:
         self.max_line = max_line
@@ -67,3 +69,20 @@ class JsonLinesProtocol(ProtocolModule):
         return (
             json.dumps({"error": "rddr_divergence", "message": message}) + "\n"
         ).encode()
+
+    def mutate(self, request: bytes, rng: random.Random) -> bytes:
+        """Document-level JSON mutation; always one framed line.
+
+        Valid documents get recursive type-aware mutation (member
+        add/drop/rename, value edits, type confusion) and re-serialize —
+        so the mutant is well-formed JSON.  A non-JSON line falls back to
+        byte surgery that still cannot introduce a newline.
+        """
+        text = request.rstrip(b"\n")
+        try:
+            document = json.loads(text.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            return mutate_token(rng, text) + b"\n"
+        for _ in range(rng.randint(1, 2)):
+            document = mutate_json_value(rng, document)
+        return json.dumps(document, separators=(",", ":")).encode() + b"\n"

@@ -1,0 +1,178 @@
+"""Shared structure-aware mutation primitives (protocol contract 1.1).
+
+The ``mutate(request, rng)`` hook added in contract 1.1 lets each
+protocol module produce *protocol-valid* mutants of a request: the
+framing survives (a mutant always re-parses as exactly one request
+unit), while fields, arguments, and values inside the message get
+byte-level flips and grammar-level edits.  This module holds the
+primitives those hooks share — token surgery, field-list surgery, and a
+recursive JSON document mutator — so each protocol module only encodes
+its own grammar.
+
+Everything here is driven exclusively by the caller's ``random.Random``
+instance: same rng state + same input → same mutant, which is what makes
+``repro.fuzz`` campaigns replayable.
+"""
+
+from __future__ import annotations
+
+import random
+
+#: Bytes safe inside any of the in-tree protocols' fields: no CR/LF (line
+#: and header framing), no NUL (pgwire C-strings), no space (field
+#: separators in the tcp module).
+PRINTABLE = (
+    b"abcdefghijklmnopqrstuvwxyz"
+    b"ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+    b"0123456789_-.:/=*"
+)
+
+#: Interesting integers for numeric-field mutations (boundary values).
+INTERESTING_INTS = (0, 1, -1, 2, 7, 64, 65, 255, 256, 1024, 65535, -32768)
+
+
+def rand_bytes(rng: random.Random, low: int = 1, high: int = 12) -> bytes:
+    """A run of safe printable bytes, ``low``..``high`` long."""
+    length = rng.randint(low, high)
+    return bytes(rng.choice(PRINTABLE) for _ in range(length))
+
+
+def mutate_token(rng: random.Random, token: bytes) -> bytes:
+    """Byte-level surgery on one field, staying inside PRINTABLE.
+
+    Deliberately includes a *grow* operation producing 8–80 byte runs:
+    buffer-boundary bugs (the section V-E ASLR echo leak fires past 64
+    bytes) need length pressure, not just flips.
+    """
+    op = rng.randrange(6)
+    if not token:
+        return rand_bytes(rng)
+    if op == 0:  # flip one byte
+        index = rng.randrange(len(token))
+        return token[:index] + bytes([rng.choice(PRINTABLE)]) + token[index + 1:]
+    if op == 1:  # insert a byte
+        index = rng.randint(0, len(token))
+        return token[:index] + bytes([rng.choice(PRINTABLE)]) + token[index:]
+    if op == 2:  # delete a byte
+        index = rng.randrange(len(token))
+        return token[:index] + token[index + 1:]
+    if op == 3:  # duplicate a chunk
+        index = rng.randrange(len(token))
+        end = min(len(token), index + rng.randint(1, 8))
+        return token[:end] + token[index:end] + token[end:]
+    if op == 4:  # grow: append a long run (length pressure)
+        return token + rand_bytes(rng, 8, 80)
+    # truncate (keep at least one byte)
+    keep = rng.randint(1, len(token))
+    return token[:keep]
+
+
+def mutate_fields(
+    rng: random.Random,
+    fields: list[bytes],
+    dictionary: tuple[bytes, ...] = (),
+) -> list[bytes]:
+    """Field-list surgery: mutate/insert/drop/duplicate/swap fields.
+
+    Never returns an empty list.  ``dictionary`` entries (protocol verbs,
+    known keys) are spliced in verbatim so grammar-level tokens appear
+    whole instead of having to be assembled byte-by-byte.
+    """
+    fields = list(fields) or [rand_bytes(rng)]
+    op = rng.randrange(6)
+    if op == 0:  # mutate one field in place
+        index = rng.randrange(len(fields))
+        fields[index] = mutate_token(rng, fields[index])
+    elif op == 1:  # insert a dictionary token or random field
+        index = rng.randint(0, len(fields))
+        pool = dictionary if dictionary and rng.random() < 0.7 else None
+        fields.insert(index, rng.choice(pool) if pool else rand_bytes(rng))
+    elif op == 2 and len(fields) > 1:  # drop one field
+        del fields[rng.randrange(len(fields))]
+    elif op == 3:  # duplicate one field
+        index = rng.randrange(len(fields))
+        fields.insert(index, fields[index])
+    elif op == 4 and len(fields) > 1:  # swap two fields
+        a, b = rng.randrange(len(fields)), rng.randrange(len(fields))
+        fields[a], fields[b] = fields[b], fields[a]
+    else:  # replace one field with a dictionary token or fresh bytes
+        index = rng.randrange(len(fields))
+        pool = dictionary if dictionary and rng.random() < 0.7 else None
+        fields[index] = rng.choice(pool) if pool else rand_bytes(rng)
+    return fields
+
+
+def mutate_text(rng: random.Random, text: str) -> str:
+    """String-field mutation (decodes to PRINTABLE-safe ASCII)."""
+    return mutate_token(rng, text.encode("latin-1", "replace")).decode("latin-1")
+
+
+def mutate_int(rng: random.Random, value: int) -> int:
+    op = rng.randrange(3)
+    if op == 0:
+        return rng.choice(INTERESTING_INTS)
+    if op == 1:
+        return value + rng.choice((-1, 1, -16, 16, 100))
+    return value * rng.choice((-1, 2, 10))
+
+
+def mutate_json_value(rng: random.Random, value: object, depth: int = 0) -> object:
+    """Recursive, type-aware JSON mutation.
+
+    Keeps the document a valid JSON value; occasionally changes a
+    value's type (the cross-implementation divergence classic: int vs
+    float vs string handling).
+    """
+    if depth < 3 and isinstance(value, dict) and value:
+        target = dict(value)
+        keys = sorted(target)
+        op = rng.randrange(4)
+        if op == 0:  # mutate one member's value
+            key = rng.choice(keys)
+            target[key] = mutate_json_value(rng, target[key], depth + 1)
+        elif op == 1:  # add a member
+            target[rand_bytes(rng, 1, 8).decode("latin-1")] = _fresh_value(rng)
+        elif op == 2 and len(target) > 1:  # drop a member
+            del target[rng.choice(keys)]
+        else:  # rename a member (value survives under a new key)
+            key = rng.choice(keys)
+            target[mutate_text(rng, key) or "k"] = target.pop(key)
+        return target
+    if depth < 3 and isinstance(value, list) and value:
+        target = list(value)
+        op = rng.randrange(3)
+        if op == 0:
+            index = rng.randrange(len(target))
+            target[index] = mutate_json_value(rng, target[index], depth + 1)
+        elif op == 1:
+            target.insert(rng.randint(0, len(target)), _fresh_value(rng))
+        elif len(target) > 1:
+            del target[rng.randrange(len(target))]
+        return target
+    if isinstance(value, bool):
+        return not value
+    if isinstance(value, int):
+        return mutate_int(rng, value)
+    if isinstance(value, float):
+        return rng.choice((value * 2, value + 0.5, float(int(value)), 0.0, -value))
+    if isinstance(value, str):
+        op = rng.randrange(3)
+        if op == 0:
+            return mutate_text(rng, value)
+        if op == 1:  # type confusion: numeric-looking string or number
+            return rng.choice(("0", "1e3", "NaN-ish", str(rng.randint(-99, 99))))
+        return value + rand_bytes(rng, 8, 40).decode("latin-1")
+    return _fresh_value(rng)
+
+
+def _fresh_value(rng: random.Random) -> object:
+    op = rng.randrange(5)
+    if op == 0:
+        return rng.choice(INTERESTING_INTS)
+    if op == 1:
+        return rand_bytes(rng, 1, 16).decode("latin-1")
+    if op == 2:
+        return rng.random() < 0.5
+    if op == 3:
+        return None
+    return [rng.choice(INTERESTING_INTS), rand_bytes(rng, 1, 6).decode("latin-1")]

@@ -18,6 +18,8 @@ tags, row descriptions.  Messages that are instance-specific by design
 from __future__ import annotations
 
 import asyncio
+import random
+import re
 import struct
 from dataclasses import dataclass
 
@@ -28,6 +30,7 @@ from repro.protocols.base import (
     ProtocolModule,
     registry,
 )
+from repro.protocols.mutation import mutate_int, mutate_text
 from repro.transport.streams import ConnectionClosed, read_exact
 
 _INT32 = struct.Struct(">i")
@@ -57,6 +60,7 @@ class PgWireProtocol(ProtocolModule):
             snapshots=True,
             state_classification=True,
             handshake=True,
+            mutation=True,
         )
 
     def new_connection_state(self) -> _PgConnectionState:
@@ -185,6 +189,77 @@ class PgWireProtocol(ProtocolModule):
                 raise ConnectionClosed(f"startup rejected: {fields.message}")
         state.phase = "query"
         return state
+
+    # ------------------------------------------------- mutation (1.1)
+
+    #: Whole statements the mutator may substitute — deterministic
+    #: per-instance probes that exercise version banners and catalog
+    #: surface (the classic diverse-instance divergence sources).
+    MUTATION_STATEMENTS = (
+        "SELECT version()",
+        "SHOW server_version",
+        "SHOW default_transaction_isolation",
+        "SELECT * FROM pg_stats",
+        "SELECT 1",
+        # Capability probe: engines that lack UDFs answer differently
+        # (the CVE-2017-7484 scenario's first divergence point).
+        "CREATE FUNCTION fuzz_probe(integer, integer) RETURNS boolean "
+        "AS $$BEGIN RETURN $1 > $2; END$$ LANGUAGE plpgsql",
+    )
+    _SQL_SUFFIXES = (" LIMIT 1", " ORDER BY 1", " WHERE 1 = 1")
+    _COMPARATORS = ("=", "<", ">", "<=", ">=", "<>")
+    _NUMBER_RE = re.compile(r"\d+")
+    _WORD_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+    _COMPARATOR_RE = re.compile(r"<=|>=|<>|[=<>]")
+
+    def mutate(self, request: bytes, rng: random.Random) -> bytes:
+        """SQL-grammar mutation of a simple query, re-framed as ``Q``.
+
+        Only simple-query messages are minted (extended-protocol
+        pipelines are not standalone exchange units — see
+        :meth:`expects_response`), so a mutant is always one framed
+        frontend message the proxy can replicate.
+        """
+        sql = self._simple_query_sql(request) or "SELECT 1"
+        for _ in range(rng.randint(1, 3)):
+            sql = self._mutate_sql(sql, rng)
+        sql = sql.replace("\x00", "").strip() or "SELECT 1"
+        return wire.query_message(sql).encode()
+
+    @staticmethod
+    def _simple_query_sql(request: bytes) -> str | None:
+        if request[:1] != b"Q" or len(request) < 6:
+            return None
+        return request[5:].rstrip(b"\x00").decode("utf-8", "replace")
+
+    def _mutate_sql(self, sql: str, rng: random.Random) -> str:
+        op = rng.randrange(6)
+        if op == 0:
+            numbers = list(self._NUMBER_RE.finditer(sql))
+            if numbers:
+                match = rng.choice(numbers)
+                value = mutate_int(rng, int(match.group()))
+                return sql[: match.start()] + str(value) + sql[match.end():]
+        if op == 1:
+            comparators = list(self._COMPARATOR_RE.finditer(sql))
+            if comparators:
+                match = rng.choice(comparators)
+                swapped = rng.choice(self._COMPARATORS)
+                return sql[: match.start()] + swapped + sql[match.end():]
+        if op == 2:
+            words = list(self._WORD_RE.finditer(sql))
+            if words:
+                match = rng.choice(words)
+                if rng.random() < 0.5 and len(words) > 1:
+                    other = rng.choice(words).group()  # identifier confusion
+                else:
+                    other = mutate_text(rng, match.group()) or "x"
+                return sql[: match.start()] + other + sql[match.end():]
+        if op == 3:
+            return rng.choice(self.MUTATION_STATEMENTS)
+        if op == 4:
+            return sql + rng.choice(self._SQL_SUFFIXES)
+        return mutate_text(rng, sql) or "SELECT 1"
 
     def snapshot_request(self) -> bytes:
         return wire.query_message("RDDR SNAPSHOT").encode()

@@ -17,6 +17,7 @@ masking works inside multi-element replies.
 from __future__ import annotations
 
 import asyncio
+import random
 
 from repro.protocols.base import (
     PROTOCOL_API_VERSION,
@@ -24,6 +25,7 @@ from repro.protocols.base import (
     ProtocolModule,
     registry,
 )
+from repro.protocols.mutation import mutate_fields
 from repro.transport.streams import ConnectionClosed, read_exact, read_until
 
 MAX_BULK = 16 * 1024 * 1024
@@ -82,6 +84,26 @@ def encode_command(*parts: bytes | str) -> bytes:
     return b"".join(chunks)
 
 
+def decode_command(request: bytes) -> list[bytes] | None:
+    """The bulk-string parts of an encoded RESP command array, or
+    ``None`` when ``request`` is not a flat array of bulk strings."""
+    try:
+        elements = split_elements(request)
+    except (RespError, ValueError):
+        return None
+    if not elements or elements[0][:1] != b"*":
+        return None
+    parts: list[bytes] = []
+    for element in elements[1:]:
+        if element[:1] != b"$":
+            return None
+        body = bulk_body(element)
+        if body is None:
+            return None
+        parts.append(body)
+    return parts
+
+
 def command_verb(request: bytes) -> bytes:
     """The upper-cased command verb of an encoded RESP request array."""
     try:
@@ -136,7 +158,10 @@ class RespProtocol(ProtocolModule):
 
     def capabilities(self) -> ProtocolCapabilities:
         return ProtocolCapabilities(
-            liveness=True, snapshots=True, state_classification=True
+            liveness=True,
+            snapshots=True,
+            state_classification=True,
+            mutation=True,
         )
 
     async def read_client_message(
@@ -178,6 +203,28 @@ class RespProtocol(ProtocolModule):
 
     def mutates_state(self, request: bytes) -> bool:
         return command_verb(request) not in self.READ_VERBS
+
+    #: Verbs the mutator may splice in whole — grammar-level mutation
+    #: needs real commands, not byte soup (SNAPSHOT/RESTORE excluded:
+    #: they are the journal's administrative side channel).
+    MUTATION_VERBS = (
+        b"GET", b"SET", b"DEL", b"EXISTS", b"KEYS", b"PING", b"ECHO", b"INFO",
+    )
+
+    def mutate(self, request: bytes, rng: random.Random) -> bytes:
+        """Grammar-aware command mutation, re-encoded as a RESP array.
+
+        Decodes the command into its parts, mutates verb/args at the
+        field level, and re-encodes through :func:`encode_command` — so
+        the mutant is always a framing-valid flat array of bulk strings
+        regardless of what the surgery did to the parts.
+        """
+        parts = decode_command(request)
+        if not parts:
+            parts = [b"PING"]
+        for _ in range(rng.randint(1, 3)):
+            parts = mutate_fields(rng, parts, dictionary=self.MUTATION_VERBS)
+        return encode_command(*parts)
 
     def snapshot_request(self) -> bytes:
         return encode_command("SNAPSHOT")

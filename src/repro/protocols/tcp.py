@@ -8,6 +8,7 @@ proof-of-concept echo service (paper section V-E) runs over this module.
 from __future__ import annotations
 
 import asyncio
+import random
 
 from repro.protocols.base import (
     PROTOCOL_API_VERSION,
@@ -15,6 +16,7 @@ from repro.protocols.base import (
     ProtocolModule,
     registry,
 )
+from repro.protocols.mutation import mutate_fields
 from repro.transport.streams import ConnectionClosed
 
 
@@ -26,7 +28,7 @@ class TcpLineProtocol(ProtocolModule):
     API_VERSION = PROTOCOL_API_VERSION
 
     def capabilities(self) -> ProtocolCapabilities:
-        return ProtocolCapabilities(liveness=True)
+        return ProtocolCapabilities(liveness=True, mutation=True)
 
     def __init__(self, max_line: int = 1024 * 1024) -> None:
         self.max_line = max_line
@@ -54,6 +56,20 @@ class TcpLineProtocol(ProtocolModule):
 
     def liveness_request(self) -> bytes:
         return b"rddr-probe\n"
+
+    def mutate(self, request: bytes, rng: random.Random) -> bytes:
+        """Field-level surgery on the space-separated line.
+
+        Framing invariant: the mutant is exactly one ``\\n``-terminated
+        line (mutation primitives never emit CR/LF/space inside a field).
+        """
+        fields = request.rstrip(b"\n").split(b" ")
+        for _ in range(rng.randint(1, 3)):
+            fields = mutate_fields(rng, fields)
+        line = b" ".join(fields)
+        if not line.strip():
+            line = b"ping"  # degenerate all-empty fields: keep a payload
+        return line + b"\n"
 
 
 async def _read_line(reader: asyncio.StreamReader, max_line: int) -> bytes | None:

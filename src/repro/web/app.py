@@ -113,7 +113,11 @@ class App:
             params = route.match(path)
             if params is None:
                 continue
-            if request.method not in route.methods:
+            if request.method not in route.methods and not (
+                # HEAD is answerable by any GET route (RFC 9110 §9.3.2);
+                # the server strips the body before it hits the wire.
+                request.method == "HEAD" and "GET" in route.methods
+            ):
                 allowed.extend(route.methods)
                 continue
             context = RequestContext(request=request, path_params=params, app=self)

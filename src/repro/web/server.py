@@ -88,6 +88,13 @@ class HttpServer:
             except Exception:
                 response = text_response("internal server error", status=500)
             response = self._maybe_compress(request, response)
+            if request.method == "HEAD" and response.body:
+                # RFC 9110 §9.3.2: HEAD responses carry the headers the
+                # GET would (including Content-Length) but no body.
+                # Sending one desyncs every compliant reader on the
+                # connection — found by the identical-instance fuzz.
+                response.headers.set("Content-Length", str(len(response.body)))
+                response.body = b""
             keep_alive = _wants_keep_alive(request)
             response.headers.set("Connection", "keep-alive" if keep_alive else "close")
             try:

@@ -1,0 +1,37 @@
+"""Replay every reproducer in ``tests/fuzz_corpus/``.
+
+Each corpus file is a self-contained finding minted by ``repro.fuzz``:
+the target, oracle mode, request sequence, and the verdict (plus
+diff-token signature for divergences) recorded when it was found.
+Replaying asserts the recorded verdict still holds — a reproducer that
+stops reproducing means either the divergence was fixed (delete the
+file, or re-run ``python -m repro.fuzz promote`` to confirm) or the
+comparison pipeline regressed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fuzz.corpus import CORPUS_DIR, load_corpus
+from repro.fuzz.replay import replay_reproducer
+from tests.helpers import run
+
+_CORPUS = load_corpus()
+
+
+def test_corpus_is_seeded():
+    """The seed corpus ships with the repo — at least five findings from
+    the development campaigns (see docs/fuzzing.md)."""
+    assert CORPUS_DIR.is_dir()
+    assert len(_CORPUS) >= 5
+
+
+@pytest.mark.parametrize(
+    "path, reproducer",
+    _CORPUS,
+    ids=[path.stem for path, _ in _CORPUS],
+)
+def test_reproducer_replays(path, reproducer):
+    result = run(replay_reproducer(reproducer), timeout=120.0)
+    assert result.ok, f"{path.name}: {result.detail}"

@@ -1,0 +1,194 @@
+"""Unit battery for the fuzzing engine's non-network pieces plus one
+small end-to-end determinism check.
+
+The mutator/framing properties live in ``test_fuzz_mutators.py`` and the
+identical-instance gate in ``test_fuzz_smoke.py``; this file covers the
+corpus format, the trace-classifying oracle, dedup, and the claim the
+acceptance bar leans on: same arguments → byte-identical corpus output.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.fuzz.corpus import FORMAT, Reproducer, load_corpus
+from repro.fuzz.engine import CampaignConfig, run_campaign
+from repro.fuzz.oracle import (
+    DENOISED,
+    DIVERGENT,
+    ERROR,
+    MATCH,
+    ExchangeOutcome,
+    classify,
+    is_finding,
+)
+from repro.fuzz.triage import Deduper
+from tests.helpers import run
+
+
+def _trace(verdict, *, signature=None, masked=0, variance_masked=0):
+    spans = {"attrs": {}, "children": []}
+    if signature is not None:
+        spans["attrs"]["diff_signature"] = signature
+    denoise_attrs = {}
+    if masked:
+        denoise_attrs["masked_tokens"] = masked
+    if variance_masked:
+        denoise_attrs["variance_masked_tokens"] = variance_masked
+    if denoise_attrs:
+        spans["children"].append({"name": "denoise", "attrs": denoise_attrs})
+    return {"verdict": verdict, "reason": None, "spans": spans}
+
+
+class TestOracle:
+    def test_unanimous_is_match(self):
+        assert classify(_trace("unanimous")).fuzz_verdict == MATCH
+
+    def test_unanimous_with_noise_masking_is_denoised(self):
+        outcome = classify(_trace("unanimous", masked=3))
+        assert outcome.fuzz_verdict == DENOISED
+        assert outcome.masked_tokens == 3
+
+    def test_unanimous_with_variance_rewrites_is_denoised(self):
+        # Variance rules (vendor banners and such) rewrite tokens rather
+        # than masking them via a learned filter pair; both count as
+        # "the comparison only passed because masking did work".
+        outcome = classify(_trace("unanimous", masked=1, variance_masked=2))
+        assert outcome.fuzz_verdict == DENOISED
+        assert outcome.masked_tokens == 3
+
+    def test_divergent_carries_signature(self):
+        outcome = classify(_trace("divergent", signature="deadbeefcafef00d"))
+        assert outcome.fuzz_verdict == DIVERGENT
+        assert outcome.signature == "deadbeefcafef00d"
+
+    @pytest.mark.parametrize(
+        "verdict", ["timeout", "instance_error", "shed", "client_closed"]
+    )
+    def test_non_comparable_verdicts_are_errors(self, verdict):
+        assert classify(_trace(verdict)).fuzz_verdict == ERROR
+
+    def test_divergence_is_the_finding_in_both_modes(self):
+        finding = classify(_trace("divergent", signature="aa"))
+        boring = classify(_trace("unanimous"))
+        for mode in ("identical", "diverse"):
+            assert is_finding(finding, mode)
+            assert not is_finding(boring, mode)
+
+
+class TestDeduper:
+    def _outcome(self, signature=None, reason=None):
+        return ExchangeOutcome(
+            verdict="divergent",
+            reason=reason,
+            fuzz_verdict=DIVERGENT,
+            signature=signature,
+        )
+
+    def test_first_occurrence_is_novel(self):
+        deduper = Deduper()
+        assert deduper.novel(self._outcome(signature="aa"))
+        assert not deduper.novel(self._outcome(signature="aa"))
+        assert deduper.novel(self._outcome(signature="bb"))
+        assert deduper.signatures == ["aa", "bb"]
+        assert deduper.duplicates == 1
+
+    def test_signatureless_findings_dedup_by_reason(self):
+        deduper = Deduper()
+        assert deduper.novel(self._outcome(reason="token 3 differs"))
+        assert not deduper.novel(self._outcome(reason="token 3 differs"))
+        assert deduper.novel(self._outcome(reason="token counts differ"))
+
+
+class TestCorpusFormat:
+    def _reproducer(self, **overrides):
+        fields = dict(
+            target="kvstore",
+            mode="diverse",
+            verdict=DIVERGENT,
+            requests=[b"*1\r\n$4\r\nPING\r\n"],
+            signature="0123456789abcdef",
+            reason="token 1 differs across instances",
+            seed=7,
+            comment="unit-test fixture",
+        )
+        fields.update(overrides)
+        return Reproducer(**fields)
+
+    def test_roundtrip(self, tmp_path):
+        original = self._reproducer()
+        path = original.save(tmp_path)
+        assert path.name == "kvstore-diverse-0123456789abcdef.json"
+        loaded = Reproducer.load(path)
+        assert loaded == original
+
+    def test_slug_falls_back_to_request_digest(self):
+        exemplar = self._reproducer(verdict=MATCH, signature=None)
+        assert len(exemplar.slug) == 16
+        # Content-derived: same requests → same slug, more requests → new slug.
+        twin = self._reproducer(verdict=MATCH, signature=None)
+        assert twin.slug == exemplar.slug
+        grown = self._reproducer(
+            verdict=MATCH, signature=None, requests=exemplar.requests * 2
+        )
+        assert grown.slug != exemplar.slug
+
+    def test_unknown_format_is_rejected(self, tmp_path):
+        path = self._reproducer().save(tmp_path)
+        data = json.loads(path.read_text())
+        data["format"] = FORMAT + 1
+        path.write_text(json.dumps(data))
+        with pytest.raises(ValueError, match="unsupported corpus format"):
+            Reproducer.load(path)
+
+    def test_load_corpus_sorted_and_missing_dir_empty(self, tmp_path):
+        assert load_corpus(tmp_path / "missing") == []
+        self._reproducer(signature="bbbb").save(tmp_path)
+        self._reproducer(signature="aaaa").save(tmp_path)
+        names = [path.name for path, _ in load_corpus(tmp_path)]
+        assert names == sorted(names)
+
+
+class TestCampaignConfig:
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ValueError, match="unknown oracle mode"):
+            CampaignConfig(target="echo", mode="chaotic")
+
+    def test_rejects_empty_budget(self):
+        with pytest.raises(ValueError, match="budget"):
+            CampaignConfig(target="echo", budget=0)
+
+
+class TestCampaignDeterminism:
+    def test_same_arguments_emit_identical_corpus(self, tmp_path):
+        """The acceptance property at small scale: two runs of the same
+        (target, mode, seed, budget) write byte-identical corpus files
+        and report identical signature sets."""
+        reports = []
+        for name in ("first", "second"):
+            directory = tmp_path / name
+            reports.append(
+                run(
+                    run_campaign(
+                        CampaignConfig(
+                            target="kvstore",
+                            mode="diverse",
+                            seed=7,
+                            budget=120,
+                            corpus_dir=directory,
+                        )
+                    ),
+                    timeout=180.0,
+                )
+            )
+        first, second = reports
+        assert first.signatures == second.signatures
+        assert first.verdicts == second.verdicts
+        assert first.verdicts.get("divergent", 0) >= 1, "campaign found nothing"
+        assert len(first.written) >= 1
+        names = lambda report: [path.name for path in report.written]  # noqa: E731
+        assert names(first) == names(second)
+        for path_a, path_b in zip(first.written, second.written):
+            assert path_a.read_bytes() == path_b.read_bytes()

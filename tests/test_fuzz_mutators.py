@@ -1,0 +1,170 @@
+"""Property tests for the contract-1.1 ``mutate`` hooks and the fuzz
+engine's determinism guarantees.
+
+Two invariants carry the whole fuzzing design:
+
+* **Framing closure** — every mutant re-parses under its protocol's own
+  framing, even after stacked mutation rounds (the engine feeds novel
+  mutants back into the corpus pool, so mutants of mutants must stay
+  protocol-valid too).  A mutant that breaks framing would wedge the
+  proxy's ``read_client_message`` and poison every verdict after it.
+* **Determinism** — the same ``(seed, corpus)`` yields a byte-identical
+  mutant stream, and diff signatures are stable across runs with
+  volatile values wildcarded.  Corpus files and CI findings depend on
+  both.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.diff import DiffResult, TokenDifference
+from repro.fuzz.engine import campaign_rng, mutant_stream
+from repro.fuzz.targets import TARGETS
+from repro.protocols import get as get_protocol
+from repro.protocols.resp import decode_command
+from repro.pgwire import messages as wire
+from repro.web.http11 import parse_request_bytes
+
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+rounds = st.integers(min_value=1, max_value=5)
+
+
+def _stacked_mutants(target_name: str, seed: int, depth: int) -> list[bytes]:
+    """Mutation chains: each round mutates the previous round's output."""
+    target = TARGETS[target_name]
+    protocol = get_protocol(target.protocol)
+    rng = random.Random(seed)
+    out = []
+    for base in target.seed_requests():
+        mutant = base
+        for _ in range(depth):
+            mutant = protocol.mutate(mutant, rng)
+            out.append(mutant)
+    return out
+
+
+class TestFramingClosure:
+    @given(seeds, rounds)
+    @settings(max_examples=100, deadline=None)
+    def test_tcp_mutants_stay_single_line(self, seed, depth):
+        for mutant in _stacked_mutants("echo", seed, depth):
+            assert mutant.endswith(b"\n")
+            assert b"\n" not in mutant[:-1]
+            assert mutant != b"\n"  # never empty
+
+    @given(seeds, rounds)
+    @settings(max_examples=100, deadline=None)
+    def test_resp_mutants_reparse_as_commands(self, seed, depth):
+        for mutant in _stacked_mutants("kvstore", seed, depth):
+            parts = decode_command(mutant)
+            assert parts is not None and parts
+
+    @given(seeds, rounds)
+    @settings(max_examples=100, deadline=None)
+    def test_json_mutants_reparse_as_one_json_line(self, seed, depth):
+        for mutant in _stacked_mutants("json", seed, depth):
+            assert mutant.endswith(b"\n")
+            assert b"\n" not in mutant[:-1]
+            json.loads(mutant.decode("utf-8"))
+
+    @given(seeds, rounds)
+    @settings(max_examples=50, deadline=None)
+    def test_pgwire_mutants_are_single_framed_simple_queries(self, seed, depth):
+        for mutant in _stacked_mutants("pgbench", seed, depth):
+            messages, tail = wire.split_messages(mutant)
+            assert tail == b""
+            assert len(messages) == 1
+            assert messages[0].tag == b"Q"
+            assert messages[0].body.endswith(b"\x00")
+
+    @given(seeds, rounds)
+    @settings(max_examples=50, deadline=None)
+    def test_http_mutants_reparse(self, seed, depth):
+        for mutant in _stacked_mutants("http", seed, depth):
+            request = parse_request_bytes(mutant)
+            # Framing is self-consistent: the declared body is the body.
+            length = request.headers.get("Content-Length")
+            if length is not None:
+                assert int(length) == len(request.body)
+
+
+class TestDeterminism:
+    @given(seeds, st.sampled_from(sorted(TARGETS)))
+    @settings(max_examples=40, deadline=None)
+    def test_mutant_stream_is_reproducible(self, seed, target_name):
+        target = TARGETS[target_name]
+        protocol = get_protocol(target.protocol)
+        runs = [
+            list(
+                mutant_stream(
+                    protocol,
+                    target.seed_requests(),
+                    random.Random(seed),
+                    30,
+                )
+            )
+            for _ in range(2)
+        ]
+        assert runs[0] == runs[1]
+
+    @given(st.integers(min_value=0, max_value=2**16))
+    @settings(max_examples=40, deadline=None)
+    def test_campaign_rng_is_stable(self, seed):
+        a = campaign_rng("kvstore", "diverse", seed)
+        b = campaign_rng("kvstore", "diverse", seed)
+        assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+        # ...and distinct targets draw distinct streams.
+        c = campaign_rng("echo", "diverse", seed)
+        assert [c.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+
+class TestSignatureDedup:
+    def _result(self, values: tuple[bytes, ...]) -> DiffResult:
+        return DiffResult(
+            divergent=True,
+            differences=[TokenDifference(token_index=2, values=values)],
+            token_counts=(5, 5),
+        )
+
+    def test_signature_is_stable(self):
+        result = self._result((b"role: admin", b"role: guest"))
+        assert result.signature() == result.signature()
+        assert len(result.signature()) == 16
+
+    def test_volatile_values_collapse(self):
+        """Two leaks differing only in a long alnum run (an ASLR
+        pointer) dedup into one signature."""
+        first = self._result((b"ptr 0x7f0011223344aa", b"hello"))
+        second = self._result((b"ptr 0x7f0099887766bb", b"hello"))
+        assert first.signature() == second.signature()
+
+    def test_instance_order_is_ignored(self):
+        assert (
+            self._result((b"alpha", b"beta")).signature()
+            == self._result((b"beta", b"alpha")).signature()
+        )
+
+    def test_different_token_positions_differ(self):
+        other = DiffResult(
+            divergent=True,
+            differences=[
+                TokenDifference(token_index=3, values=(b"alpha", b"beta"))
+            ],
+            token_counts=(5, 5),
+        )
+        assert self._result((b"alpha", b"beta")).signature() != other.signature()
+
+    def test_count_mismatch_uses_rank_pattern(self):
+        shorter = DiffResult(divergent=True, token_counts=(4, 7))
+        longer = DiffResult(divergent=True, token_counts=(40, 70))
+        assert shorter.signature() == longer.signature()
+        flipped = DiffResult(divergent=True, token_counts=(7, 4))
+        assert shorter.signature() != flipped.signature()
+
+    def test_non_divergent_signature_empty(self):
+        assert DiffResult(divergent=False).signature() == ""

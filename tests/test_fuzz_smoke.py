@@ -1,0 +1,46 @@
+"""Identical-instance smoke fuzz: the denoise regression gate.
+
+Two byte-identical instances behind RDDR must never produce a divergent
+verdict — there is nothing to diverge *about*.  Any divergence (or
+framing error) here is a bug in the comparison pipeline itself: a
+denoise gap, an ephemeral-state leak, or a protocol-framing desync.
+500 seeded mutants per protocol keep the gate deterministic and cheap.
+
+This gate has caught a real bug already: the HTTP server used to send
+response bodies to HEAD requests, desyncing compliant keep-alive
+readers (see ``test_web_server_client.py``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fuzz.engine import CampaignConfig, run_campaign
+from repro.fuzz.targets import IDENTICAL, TARGETS
+from tests.helpers import run
+
+SMOKE_BUDGET = 500
+
+
+@pytest.mark.parametrize("target", sorted(TARGETS))
+def test_identical_instances_never_diverge(target):
+    report = run(
+        run_campaign(
+            CampaignConfig(
+                target=target,
+                mode=IDENTICAL,
+                seed=11,
+                budget=SMOKE_BUDGET,
+                minimize=False,
+            )
+        ),
+        timeout=240.0,
+    )
+    assert report.executed == SMOKE_BUDGET
+    assert report.verdicts.get("divergent", 0) == 0, (
+        f"identical instances diverged: {report.signatures} "
+        f"(a comparison-pipeline bug, not an application difference)"
+    )
+    # Framing errors mean a mutant desynced the client or proxy — the
+    # HEAD-response bug was exactly this shape.
+    assert report.verdicts.get("error", 0) == 0, report.verdicts

@@ -176,19 +176,23 @@ class TestInTreeModules:
         rows = {
             name: capabilities_of(get_protocol(name)) for name in IN_TREE
         }
-        assert rows["tcp"] == ProtocolCapabilities(liveness=True)
-        assert rows["json"] == ProtocolCapabilities()
+        assert rows["tcp"] == ProtocolCapabilities(liveness=True, mutation=True)
+        assert rows["json"] == ProtocolCapabilities(mutation=True)
         assert rows["http"] == ProtocolCapabilities(
-            state_classification=True, finish_exchange=True
+            state_classification=True, finish_exchange=True, mutation=True
         )
         assert rows["resp"] == ProtocolCapabilities(
-            liveness=True, snapshots=True, state_classification=True
+            liveness=True,
+            snapshots=True,
+            state_classification=True,
+            mutation=True,
         )
         assert rows["pgwire"] == ProtocolCapabilities(
             liveness=True,
             snapshots=True,
             state_classification=True,
             handshake=True,
+            mutation=True,
         )
 
     def test_in_tree_modules_pass_validation(self):

@@ -129,6 +129,32 @@ class TestServerClient:
 
         run(main())
 
+    def test_head_response_has_headers_but_no_body(self):
+        """RFC 9110 §9.3.2 — a HEAD response advertises the GET body's
+        Content-Length but must not send the body itself; a body on the
+        wire desyncs every compliant keep-alive reader (regression found
+        by the identical-instance fuzz)."""
+
+        async def main():
+            server = await serve_app(_demo_app())
+            async with HttpClient(*server.address) as client:
+                head = await client.request("HEAD", "/ping")
+                assert head.status == 200
+                assert head.headers.get("Content-Length") == "4"
+                assert head.body == b""
+                # The connection is still in sync: the next request on
+                # the same keep-alive connection parses cleanly.
+                follow_up = await client.get("/ping")
+                assert follow_up.body == b"pong"
+                # 405-to-HEAD (no HEAD route) is body-less too.
+                rejected = await client.request("HEAD", "/echo")
+                assert rejected.status == 405
+                assert rejected.body == b""
+                assert await client.get("/ping") is not None
+            await server.close()
+
+        run(main())
+
     def test_bad_request_returns_400(self):
         async def main():
             server = await serve_app(_demo_app())
