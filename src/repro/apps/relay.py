@@ -1,0 +1,140 @@
+"""A transparent relay microservice — the mid-chain hop of a call graph.
+
+A relay pod accepts a client connection, dials its configured backend
+(under :func:`repro.orchestrator.deploy_nversioned` that backend is the
+pod's per-instance *outgoing-proxy* port), and pipes bytes in both
+directions without interpreting them.  That opacity is the point: a
+relay forwards whatever protocol envelope the edge speaks — including
+the execution-index field an upstream incoming proxy attached — so
+chained RDDR deployments (``repro.graph``) stitch into one call tree
+with no relay-side protocol knowledge.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+
+from repro.orchestrator.nversion import parse_backend_env
+from repro.orchestrator.resources import PodContext
+from repro.transport.retry import open_connection_retry
+from repro.transport.server import ServerHandle, start_server
+from repro.transport.streams import ConnectionClosed, close_writer, drain_write
+
+Address = tuple[str, int]
+
+_CHUNK = 64 * 1024
+
+
+class RelayServer:
+    """Byte-for-byte TCP relay onto one backend address."""
+
+    def __init__(
+        self,
+        backend: Address,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        name: str = "relay",
+        connect_attempts: int = 3,
+    ) -> None:
+        self.backend = backend
+        self.host = host
+        self.port = port
+        self.name = name
+        self.connect_attempts = connect_attempts
+        self.handle: ServerHandle | None = None
+
+    @property
+    def address(self) -> Address:
+        if self.handle is None:
+            raise RuntimeError("server not started")
+        return self.handle.address
+
+    async def start(self) -> "RelayServer":
+        self.handle = await start_server(
+            self._serve, self.host, self.port, name=self.name
+        )
+        self.port = self.handle.port
+        return self
+
+    async def close(self) -> None:
+        if self.handle is not None:
+            await self.handle.close()
+
+    async def _serve(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        # Dial only once the client commits bytes.  A connect-only
+        # liveness probe (or port scan) that opens and drops the
+        # connection must not open — and abandon — a backend dial: under
+        # ``deploy_nversioned`` that dial joins a connection *group* at
+        # the outgoing proxy, and abandoned joins skew the per-instance
+        # group counters that align an N-versioned hop's instances.
+        try:
+            first = await reader.read(_CHUNK)
+        except (ConnectionClosed, ConnectionError, OSError):
+            first = b""
+        if not first:
+            await close_writer(writer)
+            return
+        try:
+            backend_reader, backend_writer = await open_connection_retry(
+                *self.backend, attempts=self.connect_attempts
+            )
+        except (ConnectionError, OSError):
+            await close_writer(writer)
+            return
+        try:
+            backend_writer.write(first)
+            await drain_write(backend_writer)
+            upstream = asyncio.ensure_future(_pump(reader, backend_writer))
+            downstream = asyncio.ensure_future(_pump(backend_reader, writer))
+            done, pending = await asyncio.wait(
+                (upstream, downstream), return_when=asyncio.FIRST_COMPLETED
+            )
+            # Either side closing ends the relay: cancel the other pump
+            # so a half-open connection cannot strand the task.
+            for task in pending:
+                task.cancel()
+            await asyncio.gather(*pending, return_exceptions=True)
+            for task in done:
+                with contextlib.suppress(asyncio.CancelledError):
+                    task.exception()
+        finally:
+            await close_writer(backend_writer)
+            await close_writer(writer)
+
+
+async def _pump(source: asyncio.StreamReader, sink: asyncio.StreamWriter) -> None:
+    """Copy bytes until EOF or either peer drops."""
+    try:
+        while True:
+            chunk = await source.read(_CHUNK)
+            if not chunk:
+                return
+            sink.write(chunk)
+            await drain_write(sink)
+    except (ConnectionClosed, ConnectionError, OSError):
+        return
+
+
+def relay_factory(backend_name: str = "next"):
+    """A pod factory building a relay onto the deployment's named backend.
+
+    Use with :func:`repro.orchestrator.deploy_nversioned`: the factory
+    reads the per-instance ``backend_<name>`` address the orchestrator
+    injected (an outgoing-proxy port) and relays every connection there.
+    """
+
+    async def factory(context: PodContext) -> RelayServer:
+        backend = parse_backend_env(context, backend_name)
+        server = RelayServer(
+            backend,
+            host=context.host,
+            port=context.port,
+            name=f"{context.deployment}-relay-{context.index}",
+        )
+        return await server.start()
+
+    return factory

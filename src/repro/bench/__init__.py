@@ -72,12 +72,21 @@ async def run_bench(
     )
     observer = Observer()
     name = f"bench-{workload}"
-    addresses, servers = await spec.start_instances(instances)
+    deploy_hook = getattr(spec, "deploy", None)
+    servers: list = []
     deployment = None
     try:
-        deployment = await repro.deploy(
-            instances=addresses, config=config, observer=observer, name=name
-        )
+        if deploy_hook is not None:
+            # Workloads owning their topology (the chain) deploy it
+            # whole; the adapter exposes the same harness surface.
+            deployment = await deploy_hook(
+                config=config, observer=observer, name=name, instances=instances
+            )
+        else:
+            addresses, servers = await spec.start_instances(instances)
+            deployment = await repro.deploy(
+                instances=addresses, config=config, observer=observer, name=name
+            )
         probe = deployment.runtime_probe
         result = await spec.run_clients(deployment.address, streams)
         runtime = probe.summary() if probe is not None else None

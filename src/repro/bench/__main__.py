@@ -30,7 +30,7 @@ def _run_parser() -> argparse.ArgumentParser:
         prog="python -m repro.bench", description=__doc__.split("\n")[0]
     )
     parser.add_argument(
-        "--workload", required=True, choices=("echo", "kvstore", "pgbench")
+        "--workload", required=True, choices=("echo", "kvstore", "pgbench", "chain")
     )
     parser.add_argument("--seed", type=int, default=11)
     parser.add_argument("--clients", type=int, default=4)

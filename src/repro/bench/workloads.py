@@ -1,4 +1,4 @@
-"""Seeded bench workloads: echo, kvstore, pgbench.
+"""Seeded bench workloads: echo, kvstore, pgbench, chain.
 
 Each workload knows how to (1) stand up N identical instances of its
 microservice, (2) generate deterministic per-client request streams from
@@ -15,9 +15,11 @@ import asyncio
 import hashlib
 import random
 import time
+from dataclasses import replace
 
 from repro.apps.echo import EchoServer
 from repro.apps.kvstore import RedisLikeServer
+from repro.core.config import RddrConfig
 from repro.pgwire import serve_database
 from repro.protocols.resp import encode_command, read_value
 from repro.vendors import create_postsim
@@ -199,7 +201,79 @@ class PgbenchWorkload:
         )
 
 
+class _ChainBenchDeployment:
+    """Adapter giving a running chain the harness-facing surface of an
+    :class:`RddrDeployment` (``address`` / ``runtime_probe`` / ``close``)."""
+
+    def __init__(self, cluster, chain) -> None:
+        self._cluster = cluster
+        self._chain = chain
+        self.runtime_probe = None  # chains have no single pod runtime
+
+    @property
+    def address(self) -> Address:
+        return self._chain.address
+
+    async def close(self) -> None:
+        await self._chain.close()
+        await self._cluster.shutdown()
+
+
+class ChainWorkload(EchoWorkload):
+    """A depth-3 chained RDDR deployment (``repro.graph``): two relay
+    hops in front of an N-echo leaf, execution-index propagation on
+    every hop.  Same request streams as ``echo`` — the delta against
+    ``BENCH_echo.json`` is the multi-hop pipeline itself."""
+
+    name = "chain"
+    #: Relay instances per non-leaf hop (the leaf gets ``--instances``).
+    relays = 2
+
+    async def start_instances(self, count: int) -> tuple[list[Address], list]:
+        return [], []  # pods are cluster-managed; see deploy()
+
+    async def deploy(self, *, config, observer, name: str, instances: int):
+        from repro.apps.echo import EchoServer as _Echo
+        from repro.apps.relay import relay_factory
+        from repro.graph import ChainHop, deploy_chain
+        from repro.orchestrator import Cluster
+
+        async def echo_factory(ctx):
+            return await _Echo(host=ctx.host, port=ctx.port).start()
+
+        def hop_config() -> RddrConfig:
+            return replace(config, execution_index=True)
+
+        hops = [
+            # The head hop carries the harness name so the report's
+            # stage/verdict summaries read from ``{name}-in`` as usual.
+            ChainHop(name, [relay_factory() for _ in range(self.relays)], hop_config()),
+            ChainHop(
+                f"{name}-mid",
+                [relay_factory() for _ in range(self.relays)],
+                hop_config(),
+            ),
+            ChainHop(
+                f"{name}-leaf",
+                [echo_factory for _ in range(instances)],
+                hop_config(),
+            ),
+        ]
+        cluster = Cluster()
+        try:
+            chain = await deploy_chain(cluster, hops, observer=observer)
+        except Exception:
+            await cluster.shutdown()
+            raise
+        return _ChainBenchDeployment(cluster, chain)
+
+
 WORKLOADS = {
     workload.name: workload
-    for workload in (EchoWorkload(), KvstoreWorkload(), PgbenchWorkload())
+    for workload in (
+        EchoWorkload(),
+        KvstoreWorkload(),
+        PgbenchWorkload(),
+        ChainWorkload(),
+    )
 }

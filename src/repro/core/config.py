@@ -24,6 +24,9 @@ from repro.core.variance import VarianceRule
 #: fingerprint older ``BENCH_*.json`` files embed.
 _FINGERPRINT_NEUTRAL_FIELDS: frozenset[str] = frozenset({
     "journal_group_commit_ms",
+    "execution_index",
+    "tree_policy",
+    "probe_connect_only",
 })
 
 
@@ -86,6 +89,13 @@ class RddrConfig:
     probe_period: float = 0.25
     probe_timeout: float = 1.0
     probe_failure_threshold: int = 3
+    #: Probe liveness by TCP connect alone, without sending the
+    #: protocol's liveness request.  For hops whose pods relay to a
+    #: downstream edge (repro.graph), an in-band probe would traverse
+    #: the whole chain — and, dialling only LIVE instances, skew the
+    #: outgoing proxy's per-instance connection grouping against
+    #: rejoining shadows.  Connect-only probes keep hop health local.
+    probe_connect_only: bool = False
     #: Initial backoff between restart attempts for a quarantined pod
     #: (doubles up to 1s on repeated failure).
     restart_backoff: float = 0.1
@@ -140,6 +150,18 @@ class RddrConfig:
     #: RSS) started by :class:`~repro.core.rddr.RddrDeployment`.  ``None``
     #: (the default) starts no probe.
     runtime_probe_interval: float | None = None
+    #: Multi-hop call graphs (repro.graph): propagate a per-exchange
+    #: execution index through every hop as protocol-level metadata, so
+    #: traces and journal events stitch into end-to-end call trees.  Off
+    #: by default — with it off, no attach/extract hook ever runs and
+    #: the exchange hot path is byte-identical to single-hop deployments.
+    execution_index: bool = False
+    #: Declarative per-edge tree policy for outgoing proxies (the
+    #: :class:`repro.graph.policy.TreePolicy` spec grammar: ``{"default":
+    #: {...}, "edges": {name: {"mode": "vote|degrade|passthrough|shed",
+    #: "deadline_s": ..., "retry_budget": ..., "on_failure": ...}}}``).
+    #: ``None`` keeps every edge on today's ``vote`` behaviour.
+    tree_policy: dict | None = None
 
     def filter_pair_obj(self) -> FilterPair | None:
         if self.filter_pair is None:
@@ -219,6 +241,7 @@ class RddrConfig:
             "probe_period": self.probe_period,
             "probe_timeout": self.probe_timeout,
             "probe_failure_threshold": self.probe_failure_threshold,
+            "probe_connect_only": self.probe_connect_only,
             "restart_backoff": self.restart_backoff,
             "rejoin_clean_exchanges": self.rejoin_clean_exchanges,
             "max_concurrent_exchanges": self.max_concurrent_exchanges,
@@ -237,6 +260,8 @@ class RddrConfig:
             "trace_sample_rate": self.trace_sample_rate,
             "trace_sample_seed": self.trace_sample_seed,
             "runtime_probe_interval": self.runtime_probe_interval,
+            "execution_index": self.execution_index,
+            "tree_policy": self.tree_policy,
         }
 
     @classmethod
@@ -286,6 +311,7 @@ class RddrConfig:
             probe_period=float(data.get("probe_period", 0.25)),  # type: ignore[arg-type]
             probe_timeout=float(data.get("probe_timeout", 1.0)),  # type: ignore[arg-type]
             probe_failure_threshold=int(data.get("probe_failure_threshold", 3)),  # type: ignore[arg-type]
+            probe_connect_only=bool(data.get("probe_connect_only", False)),
             restart_backoff=float(data.get("restart_backoff", 0.1)),  # type: ignore[arg-type]
             rejoin_clean_exchanges=int(data.get("rejoin_clean_exchanges", 3)),  # type: ignore[arg-type]
             max_concurrent_exchanges=(
@@ -320,6 +346,12 @@ class RddrConfig:
             runtime_probe_interval=(
                 float(data["runtime_probe_interval"])  # type: ignore[arg-type]
                 if data.get("runtime_probe_interval") is not None
+                else None
+            ),
+            execution_index=bool(data.get("execution_index", False)),
+            tree_policy=(
+                dict(data["tree_policy"])  # type: ignore[arg-type]
+                if data.get("tree_policy") is not None
                 else None
             ),
         )

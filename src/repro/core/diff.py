@@ -139,6 +139,43 @@ class DiffResult:
             hasher.update(b"counts:" + ranks.encode())
         return hasher.hexdigest()[:16]
 
+    def cluster_signature(self) -> str:
+        """Position-insensitive divergence identity (16 hex chars).
+
+        Like :meth:`signature` but dropping the token *positions*: only
+        the sorted union of normalized diverging value-sets is hashed.
+        Findings that differ solely in *where* in the stream they diverge
+        — e.g. an ASLR pointer leak surfacing at whatever token offset
+        the mutant's length pushed it to — collapse into one cluster,
+        which is what ``repro.fuzz`` triage reports as the finding count.
+        Count-mismatch divergences hash the same rank pattern as
+        :meth:`signature`.  Empty for non-divergent results.
+        """
+        if not self.divergent:
+            return ""
+        from repro.core.signatures import normalize_request
+
+        hasher = hashlib.sha256()
+        if self.differences:
+            values = sorted(
+                {
+                    normalize_request(value)
+                    for difference in self.differences
+                    for value in difference.values
+                }
+            )
+            for value in values:
+                hasher.update(b"|")
+                hasher.update(value)
+        else:
+            order = {
+                count: rank
+                for rank, count in enumerate(sorted(set(self.token_counts)))
+            }
+            ranks = ",".join(str(order[count]) for count in self.token_counts)
+            hasher.update(b"counts:" + ranks.encode())
+        return hasher.hexdigest()[:16]
+
 
 def diff_tokens(
     token_streams: list[list[bytes]],

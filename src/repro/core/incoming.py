@@ -50,6 +50,7 @@ from repro.core.events import EventLog
 from repro.core.metrics import ProxyMetrics
 from repro.core.signatures import SignatureStore
 from repro.core.variance import VarianceMasker
+from repro.graph.index import ExecutionIndex
 from repro.journal import (
     ExchangeJournal,
     GroupCommitBatcher,
@@ -109,6 +110,7 @@ class IncomingRequestProxy:
         instance_ssl: ssl.SSLContext | None = None,
         directory: InstanceDirectory | None = None,
         journal: ExchangeJournal | None = None,
+        propagate_index: bool = False,
     ) -> None:
         if len(instances) < 2:
             raise ValueError("N-versioning requires at least 2 instances")
@@ -171,13 +173,21 @@ class IncomingRequestProxy:
             else None
         )
         self._snapshot_task: asyncio.Task | None = None
-        #: Optional per-exchange protocol hook, resolved once from the
+        #: Optional per-exchange protocol hooks, resolved once from the
         #: declared capabilities instead of a getattr per exchange.
-        self._finish_hook = (
-            protocol.finish_exchange
-            if capabilities_of(protocol).finish_exchange
-            else None
-        )
+        caps = capabilities_of(protocol)
+        self._finish_hook = protocol.finish_exchange if caps.finish_exchange else None
+        #: Execution-index propagation (repro.graph): extract the parent
+        #: index from each client request and tag this hop's child index
+        #: into traces/journal events.  Off unless the config enables it
+        #: *and* the protocol implements the contract-1.2 pair — when
+        #: off, the exchange hot path never touches the hooks.
+        self._index_enabled = bool(self.config.execution_index) and caps.execution_index
+        #: Re-attach the child index to replicated requests, so instances
+        #: that relay toward an outgoing proxy carry the index onward
+        #: (set by RddrDeployment when the deployment has outgoing
+        #: proxies; leaf hops replicate the stripped request untouched).
+        self._propagate_index = propagate_index and self._index_enabled
 
     # ------------------------------------------------------------ lifecycle
 
@@ -334,6 +344,13 @@ class IncomingRequestProxy:
                 )
                 if request is None:
                     return
+                exec_token: str | None = None
+                if self._index_enabled:
+                    # Strip the upstream hop's index before anything else
+                    # sees the request: signature matching, ephemeral
+                    # rewriting, journaling, and the diff all operate on
+                    # the caller's actual payload.
+                    exec_token, request = self.protocol.extract_index(request)
                 if self.directory is not None:
                     # The atomic swap point: adopt directory changes only
                     # at an exchange boundary, never mid-exchange.
@@ -347,6 +364,11 @@ class IncomingRequestProxy:
                     self._exchange_counter += 1
                     self.metrics.exchanges_total += 1
                     self.metrics.bytes_from_clients += len(request)
+                    index = (
+                        self._hop_index(exec_token, exchange)
+                        if self._index_enabled
+                        else None
+                    )
                     trace = self.observer.begin_exchange(
                         proxy=self.name,
                         protocol=self.protocol.name,
@@ -357,7 +379,7 @@ class IncomingRequestProxy:
                     try:
                         survivors = await self._run_exchange(
                             request, client_writer, links, state, exchange, trace,
-                            version,
+                            version, index=index,
                         )
                     finally:
                         self.observer.finish_exchange(trace)
@@ -371,6 +393,20 @@ class IncomingRequestProxy:
             # covers links dropped (and closed) mid-exchange too.
             for link in links:
                 await close_writer(link.writer)
+
+    def _hop_index(self, token: str | None, exchange: int) -> ExecutionIndex:
+        """This hop's child execution index for one exchange.
+
+        A parseable upstream token extends the caller's call path (and
+        inherits its deadline/retry budgets); anything else — no token,
+        or a malformed one — starts a fresh root here, so a corrupt
+        header degrades to per-hop tracing instead of failing the
+        exchange.
+        """
+        parent = ExecutionIndex.parse(token) if token else None
+        if parent is None:
+            parent = ExecutionIndex.origin(f"{self.name}-{exchange:06d}")
+        return parent.child(self.name, exchange)
 
     async def _refresh_links(
         self, links: list[_InstanceLink], version: int
@@ -446,6 +482,7 @@ class IncomingRequestProxy:
         exchange: int,
         trace: ExchangeTrace,
         version: int = 0,
+        index: ExecutionIndex | None = None,
     ) -> list[_InstanceLink] | None:
         """One exchange; returns the surviving links, or ``None`` to stop
         serving this client connection."""
@@ -458,6 +495,8 @@ class IncomingRequestProxy:
                 trace.root.attrs["shadow"] = [
                     link.index for link in links if link.shadow
                 ]
+            if index is not None:
+                trace.root.attrs["exec_index"] = index.encode()
 
         # Section IV-D: reject remembered diverging inputs outright.
         if self.config.signature_learning:
@@ -477,13 +516,22 @@ class IncomingRequestProxy:
         # Pipelined: buffer every link's write first (StreamWriter.write is
         # synchronous), then drain all links while the kernel pushes them
         # concurrently — replication costs the *slowest* link, not the sum.
+        # Instances that relay onward (non-leaf hops) receive the request
+        # with this hop's child index re-attached; everything *else* in
+        # this exchange — journal, diff, signatures — uses the stripped
+        # request.
+        wire_request = request
+        if self._propagate_index and index is not None:
+            wire_request = self.protocol.attach_index(request, index.encode())
         with trace.span("replicate") as replicate:
             send_failed: list[_InstanceLink] = []
             for link in links:
-                payload = request
+                payload = wire_request
                 if self.config.ephemeral_state:
-                    payload = self._ephemeral.rewrite_for_instance(request, link.index)
-                    if payload != request:
+                    payload = self._ephemeral.rewrite_for_instance(
+                        wire_request, link.index
+                    )
+                    if payload != wire_request:
                         self.events.record(
                             ev.EPHEMERAL_REWRITTEN,
                             f"instance {link.index}",
@@ -529,12 +577,20 @@ class IncomingRequestProxy:
         if not self.protocol.expects_response(request, state):
             trace.set_verdict("oneway")
             await self._journal_commit(
-                request, b"", version, flags=FLAG_DEGRADED if degraded else 0
+                request, b"", version,
+                flags=FLAG_DEGRADED if degraded else 0, index=index,
             )
             return links
 
+        # Deadline propagation: an upstream hop's remaining budget caps
+        # this hop's per-instance read deadline, so a slow leaf times out
+        # *here* instead of stacking full local deadlines per hop.
+        deadline = self.config.instance_deadline()
+        if index is not None and index.deadline_s is not None:
+            deadline = min(deadline, index.deadline_s)
         outcome = await self._gather_responses(
-            links, state, request, exchange, trace, degraded=degraded
+            links, state, request, exchange, trace,
+            degraded=degraded, deadline=deadline,
         )
         if outcome is None:
             await self._block(
@@ -555,7 +611,8 @@ class IncomingRequestProxy:
                     trace.set_verdict("vote_majority", verdict)
                     flags = FLAG_MAJORITY | (FLAG_DEGRADED if degraded else 0)
                     await self._journal_commit(
-                        request, responses[majority[0]], version, flags=flags
+                        request, responses[majority[0]], version,
+                        flags=flags, index=index,
                     )
                     # Report shadows against the pre-vote positions: a
                     # quarantined minority shifts link positions below.
@@ -573,6 +630,8 @@ class IncomingRequestProxy:
                         return None
                     self.metrics.latency.observe(time.monotonic() - started)
                     self._finish_exchange(state)
+                    if self.protocol.terminal_response(responses[majority[0]]):
+                        return None
                     return links
             await self._block(
                 client_writer, links, exchange, verdict, request=request
@@ -584,7 +643,8 @@ class IncomingRequestProxy:
         )
         canonical = responses[canonical_position]
         await self._journal_commit(
-            request, canonical, version, flags=FLAG_DEGRADED if degraded else 0
+            request, canonical, version,
+            flags=FLAG_DEGRADED if degraded else 0, index=index,
         )
         self.metrics.bytes_to_clients += len(canonical)
         with trace.span("respond"):
@@ -610,6 +670,11 @@ class IncomingRequestProxy:
                 ev.EXCHANGE_OK, "unanimous", proxy=self.name, exchange=exchange
             )
         self._finish_exchange(state)
+        if self.protocol.terminal_response(canonical):
+            # The relayed unit ends the session by protocol convention
+            # (e.g. a FATAL forwarded up a chain): propagate the close
+            # instead of leaving the client waiting on a dead cycle.
+            return None
         return links
 
     def _finish_exchange(self, state: object) -> None:
@@ -619,7 +684,13 @@ class IncomingRequestProxy:
     # ---------------------------------------------------------- journaling
 
     async def _journal_commit(
-        self, request: bytes, response: bytes, version: int, *, flags: int = 0
+        self,
+        request: bytes,
+        response: bytes,
+        version: int,
+        *,
+        flags: int = 0,
+        index: ExecutionIndex | None = None,
     ) -> None:
         """Append one committed state-mutating exchange to the journal.
 
@@ -639,7 +710,10 @@ class IncomingRequestProxy:
             flags=flags,
         )
         self.observer.journal_appended(
-            self.name, len(record.encode()), self.journal.size_bytes
+            self.name,
+            len(record.encode()),
+            self.journal.size_bytes,
+            exec_index=index.encode() if index is not None else None,
         )
         self._maybe_snapshot()
 
@@ -737,6 +811,7 @@ class IncomingRequestProxy:
         trace: ExchangeTrace,
         *,
         degraded: bool = False,
+        deadline: float | None = None,
     ) -> tuple[list[bytes], list[_InstanceLink], bool] | None:
         """Collect every instance's response under per-instance deadlines.
 
@@ -751,7 +826,8 @@ class IncomingRequestProxy:
         Returns ``(responses, surviving links, degraded)`` or ``None`` to
         block the exchange.
         """
-        deadline = self.config.instance_deadline()
+        if deadline is None:
+            deadline = self.config.instance_deadline()
 
         async def read_from(link: _InstanceLink, parent) -> bytes:
             with trace.span("recv", parent=parent, instance=link.index):
@@ -953,8 +1029,10 @@ class IncomingRequestProxy:
         if result.divergent:
             self.metrics.divergences += 1
             # Exported for dedup by repro.fuzz triage (and anyone else
-            # correlating divergences across exchanges).
+            # correlating divergences across exchanges): the positional
+            # signature plus its position-insensitive cluster.
             trace.root.attrs["diff_signature"] = result.signature()
+            trace.root.attrs["diff_cluster"] = result.cluster_signature()
             return result.reason, masked_tuples
         return None, masked_tuples
 

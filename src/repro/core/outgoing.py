@@ -22,6 +22,7 @@ detected by the exchange timeout and treated as divergence.
 from __future__ import annotations
 
 import asyncio
+import contextlib
 import time
 
 from repro.core import events as ev
@@ -31,14 +32,36 @@ from repro.core.diff import diff_tokens
 from repro.core.events import EventLog
 from repro.core.metrics import ProxyMetrics
 from repro.core.variance import VarianceMasker
+from repro.graph.index import ExecutionIndex
+from repro.graph.policy import EdgePolicy, containment_response
 from repro.obs import ExchangeTrace, Observer, TraceSampler, active_observer
-from repro.protocols.base import ProtocolModule, resolve
+from repro.protocols.base import ProtocolModule, capabilities_of, resolve
 from repro.recovery.breaker import CircuitBreaker
 from repro.transport.retry import CircuitOpenError, open_connection_retry
 from repro.transport.server import ServerHandle, start_server
 from repro.transport.streams import ConnectionClosed, close_writer, drain_write
 
 Address = tuple[str, int]
+
+#: Backend-interaction failures an edge policy may *contain* (answered
+#: with a framed degrade/shed response instead of a group teardown).
+_BACKEND_FAILURES = (
+    asyncio.TimeoutError,
+    ConnectionClosed,
+    ConnectionError,
+    OSError,
+)
+
+
+class _BackendLink:
+    """The group's (re)dialable connection to the real backend."""
+
+    __slots__ = ("reader", "writer", "state")
+
+    def __init__(self, state: object) -> None:
+        self.reader: asyncio.StreamReader | None = None
+        self.writer: asyncio.StreamWriter | None = None
+        self.state = state
 
 
 class _ConnectionGroup:
@@ -73,6 +96,7 @@ class OutgoingRequestProxy:
         metrics: ProxyMetrics | None = None,
         observer: Observer | None = None,
         breaker: CircuitBreaker | None = None,
+        edge: EdgePolicy | None = None,
     ) -> None:
         if instance_count < 2:
             raise ValueError("N-versioning requires at least 2 instances")
@@ -81,6 +105,16 @@ class OutgoingRequestProxy:
         self.protocol = resolve(protocol)
         protocol = self.protocol
         self.config = config or RddrConfig(protocol=protocol.name)
+        #: This edge's tree policy (repro.graph); the default is plain
+        #: ``vote`` — byte-identical to pre-graph behaviour.
+        self.edge = edge if edge is not None else EdgePolicy()
+        #: Execution-index propagation: on only when the config asks for
+        #: it *and* the protocol implements the contract-1.2 pair.
+        self._index_enabled = bool(
+            self.config.execution_index
+        ) and capabilities_of(protocol).execution_index
+        #: Backend redials spent so far against ``edge.retry_budget``.
+        self._redials_used = 0
         self.host = host
         self.name = name
         # Explicit None checks: an empty EventLog is falsy (it has __len__).
@@ -99,7 +133,6 @@ class OutgoingRequestProxy:
         self._denoiser = FilterPairDenoiser(self.config.filter_pair_obj())
         self._variance = VarianceMasker(self.config.variance_rules)
         self._groups: list[_ConnectionGroup] = []
-        self._next_group_index: list[int] = [0] * instance_count
         self._exchange_counter = 0
         self._sampler = TraceSampler(
             self.config.trace_sample_rate, self.config.trace_sample_seed
@@ -146,16 +179,15 @@ class OutgoingRequestProxy:
             await handle.close()
 
     def reset_instance(self, index: int) -> None:
-        """Realign a respawned instance's connection grouping.
+        """Hook for a respawned instance's connection grouping.
 
-        A freshly respawned instance restarts its backend connections
-        from scratch, so its k-th connection no longer corresponds to its
-        peers' k-th.  Aligning its next-group counter with the most
-        advanced peer makes its next connection land in the same group as
-        the peers' *next* connections; older groups still waiting for it
-        resolve through the group-formation timeout (degrade or teardown).
+        Grouping is self-aligning (an arriving connection joins the
+        earliest still-forming group missing its instance — see
+        :meth:`_assign_group`), so a respawned instance needs no counter
+        realignment: its next dial lands wherever its peers' next dials
+        land.  Kept as an explicit no-op so the recovery supervisor's
+        respawn path documents the alignment point.
         """
-        self._next_group_index[index] = max(self._next_group_index)
 
     # ------------------------------------------------------------ grouping
 
@@ -165,14 +197,29 @@ class OutgoingRequestProxy:
 
         return handler
 
+    def _assign_group(self, index: int) -> tuple[_ConnectionGroup, int]:
+        """Pick the group an arriving instance connection belongs to: the
+        earliest still-forming group with no member for ``index`` yet, or
+        a fresh one.  Slot-based assignment (rather than a per-instance
+        connection counter) self-aligns after per-instance drift — an
+        instance that dialed extra times (respawn, a rejoining shadow
+        joining mid-session) or missed dials (it was dead) simply lands
+        in whatever group its peers are currently forming.
+        """
+        for group_index, group in enumerate(self._groups):
+            if (
+                group.readers[index] is None
+                and not group.complete.is_set()
+                and not group.finished.is_set()
+            ):
+                return group, group_index
+        self._groups.append(_ConnectionGroup(self.instance_count))
+        return self._groups[-1], len(self._groups) - 1
+
     async def _handle_instance_connection(
         self, index: int, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
-        group_index = self._next_group_index[index]
-        self._next_group_index[index] += 1
-        while len(self._groups) <= group_index:
-            self._groups.append(_ConnectionGroup(self.instance_count))
-        group = self._groups[group_index]
+        group, group_index = self._assign_group(index)
         group.join(index, reader, writer)
         self.metrics.connections_total += 1
         if index == self.config.canonical_instance:
@@ -241,13 +288,14 @@ class OutgoingRequestProxy:
         readers = [r for r in group.readers if r is not None]
         writers = [w for w in group.writers if w is not None]
         assert len(readers) >= 2
-        backend_reader = backend_writer = None
         states = [self.protocol.new_connection_state() for _ in readers]
-        backend_state = self.protocol.new_connection_state()
+        backend = _BackendLink(self.protocol.new_connection_state())
         try:
-            backend_reader, backend_writer = await open_connection_retry(
-                *self.backend, breaker=self.breaker
-            )
+            # ``vote`` (the status quo) dials eagerly and fails the whole
+            # group fast; containing modes dial lazily per exchange so a
+            # dead backend degrades into framed responses instead.
+            if self.edge.mode == "vote":
+                await self._ensure_backend(backend)
             while True:
                 trace = self.observer.begin_exchange(
                     proxy=self.name,
@@ -263,9 +311,7 @@ class OutgoingRequestProxy:
                         writers,
                         indices,
                         states,
-                        backend_reader,
-                        backend_writer,
-                        backend_state,
+                        backend,
                         trace,
                     )
                 finally:
@@ -286,8 +332,34 @@ class OutgoingRequestProxy:
             group.finished.set()
             for writer in writers:
                 await close_writer(writer)
-            if backend_writer is not None:
-                await close_writer(backend_writer)
+            if backend.writer is not None:
+                await close_writer(backend.writer)
+
+    async def _ensure_backend(self, backend: _BackendLink) -> None:
+        """Dial the backend if this group has no live connection.
+
+        Redials (every dial after the group's first) draw down the
+        edge's ``retry_budget``; once exhausted, a single attempt is
+        made per exchange — budget propagation guarantees a flapping
+        leaf cannot turn an upstream edge into a retry storm.
+        """
+        if backend.writer is not None:
+            return
+        attempts = self.config.connect_attempts
+        if self.edge.retry_budget is not None:
+            remaining = max(0, self.edge.retry_budget - self._redials_used)
+            attempts = max(1, min(attempts, 1 + remaining))
+        try:
+            backend.reader, backend.writer = await open_connection_retry(
+                *self.backend,
+                attempts=attempts,
+                max_delay=self.config.connect_backoff_max,
+                breaker=self.breaker,
+            )
+        finally:
+            if self.edge.retry_budget is not None:
+                self._redials_used += max(0, attempts - 1)
+        backend.state = self.protocol.new_connection_state()
 
     async def _run_group_exchange(
         self,
@@ -296,9 +368,7 @@ class OutgoingRequestProxy:
         writers: list[asyncio.StreamWriter],
         indices: list[int],
         states: list[object],
-        backend_reader: asyncio.StreamReader,
-        backend_writer: asyncio.StreamWriter,
-        backend_state: object,
+        backend: _BackendLink,
         trace: ExchangeTrace,
     ) -> bool:
         """One outgoing exchange; returns True when the group is done.
@@ -350,14 +420,54 @@ class OutgoingRequestProxy:
         self.metrics.exchanges_total += 1
         trace.exchange = exchange
 
-        with trace.span("merge") as merge:
-            verdict = self._analyse(
-                [r for r in requests if r is not None], exchange, trace, merge
+        # Execution index: strip the (instance-identical) envelope before
+        # diffing, then derive this hop's child index.  The stripped form
+        # is what gets compared and forwarded.
+        parent: ExecutionIndex | None = None
+        child: ExecutionIndex | None = None
+        if self._index_enabled:
+            token: str | None = None
+            stripped: list[bytes | None] = []
+            for request in requests:
+                if request is None:
+                    stripped.append(None)
+                    continue
+                found, bare = self.protocol.extract_index(request)
+                if token is None:
+                    token = found
+                stripped.append(bare)
+            requests = stripped
+            parent = ExecutionIndex.parse(token)
+            base = parent if parent is not None else ExecutionIndex.origin(
+                f"{self.name}-{exchange:06d}"
             )
-        if verdict is not None:
-            trace.set_verdict("divergent", verdict)
-            await self._record_block(group_index, verdict)
-            return True
+            child = base.child(self.name, exchange)
+            if trace.sampled:
+                trace.root.attrs["exec_index"] = child.encode()
+
+        # Per-exchange backend deadline: the edge's share composed with
+        # whatever budget the parent hop passed down.
+        budget = self.config.exchange_timeout
+        if self.edge.deadline_s is not None:
+            budget = min(budget, self.edge.deadline_s)
+        if parent is not None and parent.deadline_s is not None:
+            budget = min(budget, parent.deadline_s)
+
+        if self.edge.mode == "shed":
+            await self._serve_containment(
+                group_index, writers, trace, "shed", "edge policy: shed"
+            )
+            return False
+
+        if self.edge.diffs:
+            with trace.span("merge") as merge:
+                verdict = self._analyse(
+                    [r for r in requests if r is not None], exchange, trace, merge
+                )
+            if verdict is not None:
+                trace.set_verdict("divergent", verdict)
+                await self._record_block(group_index, verdict)
+                return True
 
         canonical_position = (
             indices.index(self.config.canonical_instance)
@@ -366,20 +476,55 @@ class OutgoingRequestProxy:
         )
         canonical = requests[canonical_position]
         assert canonical is not None
-        with trace.span("backend"):
-            backend_writer.write(canonical)
-            await drain_write(backend_writer)
-            started = time.monotonic()
-
-            if not self.protocol.expects_response(canonical, backend_state):
-                trace.set_verdict("oneway")
-                return False
-            response = await asyncio.wait_for(
-                self.protocol.read_server_message(
-                    backend_reader, backend_state, canonical
-                ),
-                timeout=self.config.exchange_timeout,
+        if child is not None:
+            # Re-attach with the *remaining* budgets so the next hop
+            # inherits only this edge's share.
+            retries = None
+            if self.edge.retry_budget is not None:
+                retries = max(0, self.edge.retry_budget - self._redials_used)
+            canonical = self.protocol.attach_index(
+                canonical,
+                child.with_budget(deadline_s=budget, retries=retries).encode(),
             )
+        try:
+            if backend.writer is None:
+                await self._ensure_backend(backend)
+            with trace.span("backend"):
+                backend.writer.write(canonical)
+                await drain_write(backend.writer)
+                started = time.monotonic()
+
+                if not self.protocol.expects_response(canonical, backend.state):
+                    trace.set_verdict("oneway")
+                    return False
+                response = await asyncio.wait_for(
+                    self.protocol.read_server_message(
+                        backend.reader, backend.state, canonical
+                    ),
+                    timeout=budget,
+                )
+        except CircuitOpenError:
+            if not self.edge.contains_failure:
+                raise
+            await self._drop_backend(backend)
+            await self._serve_containment(
+                group_index, writers, trace, self.edge.on_failure,
+                "backend circuit open",
+            )
+            return False
+        except _BACKEND_FAILURES as error:
+            if not self.edge.contains_failure:
+                raise
+            await self._drop_backend(backend)
+            reason = (
+                f"backend {type(error).__name__}: {error}"
+                if str(error)
+                else f"backend {type(error).__name__}"
+            )
+            await self._serve_containment(
+                group_index, writers, trace, self.edge.on_failure, reason
+            )
+            return False
         # Pipelined fan-back: buffer every member's write, then drain all
         # — the merge-back costs the slowest member, not the sum.  A
         # member that dies mid-fan-back degrades the group (when quorum
@@ -415,6 +560,11 @@ class OutgoingRequestProxy:
             proxy=self.name,
             exchange=exchange,
         )
+        if self.protocol.terminal_response(response):
+            # The backend ended the session in-band (e.g. a FATAL from a
+            # downstream hop's block): fan-back is done, now propagate
+            # the close so upstream hops see it too.
+            return True
         return False
 
     def _degrade_group(
@@ -510,3 +660,45 @@ class OutgoingRequestProxy:
         self.events.record(
             ev.DIVERGENCE, f"group {group_index}: {reason}", proxy=self.name
         )
+
+    # ------------------------------------------------ cascade containment
+
+    async def _drop_backend(self, backend: _BackendLink) -> None:
+        """Close a failed backend connection; the next contained exchange
+        redials it (within the edge's retry budget)."""
+        if backend.writer is not None:
+            await close_writer(backend.writer)
+        backend.reader = backend.writer = None
+        backend.state = self.protocol.new_connection_state()
+
+    async def _serve_containment(
+        self,
+        group_index: int,
+        writers: list[asyncio.StreamWriter],
+        trace: ExchangeTrace,
+        verdict: str,
+        reason: str,
+    ) -> None:
+        """Answer every group member with the protocol's framed
+        degrade/shed response and keep the group alive — the downstream
+        failure maps to a policy verdict upstream, never a raw timeout
+        or teardown cascading up the call tree."""
+        payload = containment_response(self.protocol, reason)
+        for writer in writers:
+            with contextlib.suppress(Exception):
+                writer.write(payload)
+        for writer in writers:
+            with contextlib.suppress(ConnectionClosed, ConnectionError, OSError):
+                await drain_write(writer)
+        mapped = "shed" if verdict == "shed" else "backend_degraded"
+        trace.set_verdict(mapped, reason)
+        if mapped == "shed":
+            self.metrics.exchanges_shed += 1
+            self.events.record(
+                ev.SHED, f"group {group_index}: {reason}", proxy=self.name
+            )
+        else:
+            self.metrics.degraded_exchanges += 1
+            self.events.record(
+                ev.DEGRADED, f"group {group_index}: {reason}", proxy=self.name
+            )

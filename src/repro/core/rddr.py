@@ -23,6 +23,7 @@ from repro.core.events import EventLog
 from repro.core.incoming import IncomingRequestProxy
 from repro.core.metrics import ProxyMetrics
 from repro.core.outgoing import OutgoingRequestProxy
+from repro.graph.policy import TreePolicy
 from repro.journal import ExchangeJournal
 from repro.obs import Observer, RuntimeProbe, active_observer
 from repro.protocols.base import ProtocolModule, resolve
@@ -60,6 +61,10 @@ class RddrDeployment:
         self.incoming_metrics: ProxyMetrics = self.observer.proxy_metrics(
             f"{name}-in", self.config.protocol
         )
+        #: Per-edge tree policies (repro.graph), parsed once from
+        #: ``config.tree_policy``; unknown modes/keys fail here, at
+        #: deployment construction, not mid-exchange.
+        self.tree_policy = TreePolicy.from_dict(self.config.tree_policy)
 
     def _protocol(self, override: str | ProtocolModule | None = None) -> ProtocolModule:
         return resolve(override if override is not None else self.config.protocol)
@@ -91,6 +96,7 @@ class RddrDeployment:
             name=f"{self.name}-out-{backend_name}",
             event_log=self.events,
             observer=self.observer,
+            edge=self.tree_policy.edge(backend_name),
         )
         await proxy.start()
         self.outgoing[backend_name] = proxy
@@ -140,6 +146,10 @@ class RddrDeployment:
             instance_ssl=instance_ssl,
             directory=directory,
             journal=self.journal,
+            # Non-leaf hops (any outgoing proxy attached) re-attach the
+            # child index to replicated requests so instances can relay
+            # it toward their backend edge.
+            propagate_index=bool(self.outgoing),
         )
         await self.incoming.start()
         if self.config.runtime_probe_interval is not None:

@@ -114,6 +114,7 @@ async def _cmd_run(args: argparse.Namespace) -> int:
             "executed": report.executed,
             "verdicts": report.verdicts,
             "signatures": report.signatures,
+            "clusters": report.clusters,
             "duplicates": report.duplicates,
             "unreproducible": report.unreproducible,
             "findings": [r.filename for r in report.findings],

@@ -102,6 +102,10 @@ class CampaignReport:
     written: list[Path] = field(default_factory=list)
     #: All distinct divergence signatures observed.
     signatures: list[str] = field(default_factory=list)
+    #: Position-insensitive signature clusters (the human-facing finding
+    #: count: one root cause surfacing at many token offsets is many
+    #: signatures but one cluster).
+    clusters: list[str] = field(default_factory=list)
     #: Divergent exchanges beyond the first per signature.
     duplicates: int = 0
     #: Novel findings that did not reproduce from the request log
@@ -121,6 +125,7 @@ class CampaignReport:
             f"seed={self.config.seed} executed={self.executed} "
             f"findings={len(self.findings)} "
             f"unique_signatures={len(self.signatures)} "
+            f"clusters={len(self.clusters)} "
             f"duplicates={self.duplicates} "
             f"unreproducible={self.unreproducible} [{verdicts}]"
         )
@@ -216,6 +221,7 @@ async def run_campaign(config: CampaignConfig) -> CampaignReport:
                         )
                     )
         report.signatures = deduper.signatures
+        report.clusters = deduper.clusters
         report.duplicates = deduper.duplicates
         report.stage_summary = deployment.observer.profiler.summary()
         if config.trace_out is not None:

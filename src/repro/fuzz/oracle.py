@@ -42,6 +42,9 @@ class ExchangeOutcome:
     fuzz_verdict: str
     #: Diff-token dedup signature (divergent exchanges only).
     signature: str | None = None
+    #: Position-insensitive signature cluster (divergent exchanges only):
+    #: same diverging value-sets at *any* token offset share a cluster.
+    cluster: str | None = None
     #: Tokens the denoise mask hid on this exchange.
     masked_tokens: int = 0
     #: The full exported trace dict, for artifact dumps.
@@ -68,12 +71,15 @@ def classify(trace: dict) -> ExchangeOutcome:
     reason = trace.get("reason")
     masked = _denoise_masked_tokens(trace)
     if verdict == "divergent":
-        signature = trace.get("spans", {}).get("attrs", {}).get("diff_signature")
+        attrs = trace.get("spans", {}).get("attrs", {})
+        signature = attrs.get("diff_signature")
+        cluster = attrs.get("diff_cluster")
         return ExchangeOutcome(
             verdict=verdict,
             reason=reason,
             fuzz_verdict=DIVERGENT,
             signature=str(signature) if signature is not None else None,
+            cluster=str(cluster) if cluster is not None else None,
             masked_tokens=masked,
             trace=trace,
         )

@@ -25,10 +25,19 @@ from repro.protocols import get as get_protocol
 
 
 class Deduper:
-    """Tracks which divergence signatures a campaign has already seen."""
+    """Tracks which divergence signatures a campaign has already seen.
+
+    Two granularities: the positional ``signature`` (what :meth:`novel`
+    keys minting on — corpus files stay per-signature reproducible) and
+    the position-insensitive ``cluster``
+    (:meth:`repro.core.diff.DiffResult.cluster_signature`), which is the
+    human-facing finding count — an ASLR leak surfacing at 30 different
+    token offsets is 30 signatures but *one* cluster.
+    """
 
     def __init__(self) -> None:
         self._seen: dict[str, int] = {}
+        self._clusters: dict[str, int] = {}
 
     @staticmethod
     def key(outcome: ExchangeOutcome) -> str:
@@ -36,8 +45,14 @@ class Deduper:
         # signature-less divergence still dedups coarsely.
         return outcome.signature or f"reason:{outcome.reason}"
 
+    @staticmethod
+    def cluster_key(outcome: ExchangeOutcome) -> str:
+        return outcome.cluster or Deduper.key(outcome)
+
     def novel(self, outcome: ExchangeOutcome) -> bool:
         """Record the finding; True the first time its key appears."""
+        cluster = self.cluster_key(outcome)
+        self._clusters[cluster] = self._clusters.get(cluster, 0) + 1
         key = self.key(outcome)
         self._seen[key] = self._seen.get(key, 0) + 1
         return self._seen[key] == 1
@@ -45,6 +60,10 @@ class Deduper:
     @property
     def signatures(self) -> list[str]:
         return sorted(self._seen)
+
+    @property
+    def clusters(self) -> list[str]:
+        return sorted(self._clusters)
 
     @property
     def duplicates(self) -> int:

@@ -1,0 +1,59 @@
+"""Multi-hop N-versioned call graphs (``repro.graph``).
+
+Three layers, importable independently:
+
+* :mod:`repro.graph.index` — the per-exchange **execution index**: a
+  root exchange id plus the hop path, carried through every hop as
+  protocol-level metadata (contract 1.2 ``attach_index`` /
+  ``extract_index``), with deadline/retry budgets riding along.
+* :mod:`repro.graph.policy` — declarative **per-edge tree policies**
+  (``vote | degrade | passthrough | shed``) with budget propagation and
+  cascade-containment verdict mapping.
+* :mod:`repro.graph.stitch` — reassembles per-hop trace/journal JSONL
+  into one call tree per root exchange.
+* :mod:`repro.graph.chain` — chained RDDR deployments over a cluster
+  (imported lazily: it pulls in the orchestrator stack).
+"""
+
+from __future__ import annotations
+
+from repro.graph.index import ExecutionIndex
+from repro.graph.policy import (
+    MODES,
+    EdgePolicy,
+    TreePolicy,
+    TreePolicyError,
+    containment_response,
+)
+from repro.graph.stitch import CallNode, CallTree, load_jsonl, render_trees, stitch
+
+__all__ = [
+    "ExecutionIndex",
+    "MODES",
+    "EdgePolicy",
+    "TreePolicy",
+    "TreePolicyError",
+    "containment_response",
+    "CallNode",
+    "CallTree",
+    "load_jsonl",
+    "render_trees",
+    "stitch",
+    "ChainHop",
+    "NVersionedChain",
+    "deploy_chain",
+    "EDGE_NAME",
+]
+
+_CHAIN_EXPORTS = ("ChainHop", "NVersionedChain", "deploy_chain", "EDGE_NAME")
+
+
+def __getattr__(name: str):
+    # Lazy: chain pulls in the orchestrator/recovery stack, which itself
+    # imports repro.core — eager import here would cycle via
+    # core.rddr → graph.policy → graph → chain → core.
+    if name in _CHAIN_EXPORTS:
+        from repro.graph import chain
+
+        return getattr(chain, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,120 @@
+"""Chained RDDR deployments: multi-hop N-versioned call graphs.
+
+:func:`deploy_chain` stands up a linear chain of
+:func:`~repro.orchestrator.deploy_nversioned` services where each hop's
+"real backend" is the *next hop's incoming proxy*.  Deployment runs
+tail-first (a hop must be born knowing its downstream address); teardown
+runs head-first (stop admitting traffic before the hops it flows into).
+
+Mid-chain hops typically run :func:`repro.apps.relay.relay_factory`
+pods — opaque byte pipes from the incoming proxy's replica port to the
+per-instance outgoing-proxy port — while the leaf runs the real
+diversified servers.  With ``execution_index`` enabled in each hop's
+config, every exchange carries one stitchable index across all hops
+(see :mod:`repro.graph.stitch`), and each hop's ``tree_policy`` edge
+spec governs diffing, deadline/retry budgets, and cascade containment
+on its downstream edge (see :mod:`repro.graph.policy`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.config import RddrConfig
+from repro.faults import FaultSchedule
+from repro.obs import Observer
+from repro.orchestrator.cluster import Cluster
+from repro.orchestrator.nversion import NVersionedService, deploy_nversioned
+from repro.orchestrator.resources import PodFactory
+
+Address = tuple[str, int]
+
+#: The backend name every non-leaf hop's outgoing edge is registered
+#: under (pods read it via ``parse_backend_env(context, EDGE_NAME)``).
+EDGE_NAME = "next"
+
+
+@dataclass
+class ChainHop:
+    """One hop's deployment spec within a chain."""
+
+    name: str
+    factories: list[PodFactory]
+    config: RddrConfig | None = None
+    #: Protocol of the *downstream* edge when it differs from this hop's
+    #: own (e.g. an http web tier calling a pgwire database tier).
+    backend_protocol: str | None = None
+    fault_schedule: FaultSchedule | None = None
+
+
+@dataclass
+class NVersionedChain:
+    """A running chain, head (client-facing) first."""
+
+    hops: list[NVersionedService] = field(default_factory=list)
+
+    @property
+    def head(self) -> NVersionedService:
+        return self.hops[0]
+
+    @property
+    def leaf(self) -> NVersionedService:
+        return self.hops[-1]
+
+    @property
+    def address(self) -> Address:
+        """Where clients reach the chain (the head hop's RDDR proxy)."""
+        return self.head.address
+
+    def hop(self, name: str) -> NVersionedService:
+        for service in self.hops:
+            if service.name == name:
+                return service
+        raise KeyError(name)
+
+    @property
+    def all_live(self) -> bool:
+        """Every supervised hop reports all instances LIVE (hops deployed
+        without recovery count as live)."""
+        return all(
+            hop.supervisor is None or hop.supervisor.all_live for hop in self.hops
+        )
+
+    async def close(self) -> None:
+        for hop in self.hops:  # head-first: stop admitting, then drain down
+            await hop.close()
+
+
+async def deploy_chain(
+    cluster: Cluster,
+    hops: list[ChainHop],
+    *,
+    observer: Observer | None = None,
+) -> NVersionedChain:
+    """Deploy ``hops`` as a chain; ``hops[0]`` is client-facing and
+    ``hops[-1]`` is the leaf (it gets no outgoing edge)."""
+    if not hops:
+        raise ValueError("a chain needs at least one hop")
+    deployed: list[NVersionedService] = []
+    downstream: Address | None = None
+    try:
+        for position, hop in enumerate(reversed(hops)):
+            is_leaf = position == 0
+            service = await deploy_nversioned(
+                cluster,
+                hop.name,
+                hop.factories,
+                config=hop.config,
+                backends=None if is_leaf else {EDGE_NAME: downstream},
+                backend_protocol=hop.backend_protocol,
+                observer=observer,
+                fault_schedule=hop.fault_schedule,
+            )
+            deployed.append(service)
+            downstream = service.address
+    except Exception:
+        for service in reversed(deployed):  # newest (most upstream) first
+            await service.close()
+        raise
+    deployed.reverse()
+    return NVersionedChain(hops=deployed)

@@ -1,0 +1,157 @@
+"""Execution indices: one per-exchange identity across a call graph.
+
+The paper's topology is one protected microservice between two proxies.
+``repro.graph`` chains such deployments (PM → backend-PM, depth ≥ 3);
+for traces, journal events and fault audits from every hop to stitch
+into *one* end-to-end story, each exchange needs an identity that
+survives the hops.  This module defines that identity — the
+**execution index** of Distributed Execution Indexing, adapted to RDDR:
+
+* ``root`` — the exchange id minted at the first indexed hop
+  (``"<proxy>-<exchange:06d>"``), naming the whole call tree;
+* ``path`` — the hop path: one ``(hop, seq)`` element appended by every
+  proxy the exchange traverses (incoming *and* outgoing — both appear
+  as nodes in the stitched tree), where ``seq`` is that proxy's own
+  exchange counter;
+* ``deadline_s`` / ``retries`` — the *remaining* downstream budgets.
+  Each hop inherits what its parent had left, so a slow or quarantined
+  leaf consumes only its edge's share and can never arm an upstream
+  retry storm (see :mod:`repro.graph.policy`).
+
+The wire encoding is a single opaque ASCII token designed to survive
+every protocol carrier in tree (HTTP header value, space-split TCP
+line field, JSON string, RESP bulk string, SQL block comment)::
+
+    v1;<root>;<hop>/<seq>[.<hop>/<seq>...][;d=<ms>][;r=<n>]
+
+No spaces, no newlines, no ``*/``.  ``parse`` is strict but total:
+malformed tokens yield ``None`` (the hop then starts a fresh root)
+rather than raising mid-exchange.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field, replace
+
+#: Encoding version prefix; bump on incompatible token-format changes.
+_VERSION = "v1"
+
+#: Characters allowed verbatim in root ids and hop names; anything else
+#: is folded to ``-`` so the token never collides with its own
+#: separators (``;``, ``/``, ``.``) or a carrier's framing.
+_SAFE = re.compile(r"[^A-Za-z0-9_-]")
+
+_TOKEN_RE = re.compile(
+    r"^v1;(?P<root>[A-Za-z0-9_-]+);(?P<path>(?:[A-Za-z0-9_-]+/\d+"
+    r"(?:\.[A-Za-z0-9_-]+/\d+)*)?)"
+    r"(?:;d=(?P<d>\d+))?(?:;r=(?P<r>\d+))?$"
+)
+
+
+def _sanitize(name: str) -> str:
+    cleaned = _SAFE.sub("-", name)
+    return cleaned or "-"
+
+
+@dataclass(frozen=True)
+class ExecutionIndex:
+    """One exchange's identity within a multi-hop call tree."""
+
+    #: Root exchange id — shared by every hop of one call tree.
+    root: str
+    #: Hop path: ``(hop_name, per_hop_sequence)`` per traversed proxy.
+    path: tuple[tuple[str, int], ...] = field(default_factory=tuple)
+    #: Remaining downstream deadline budget, seconds (None = unbounded).
+    deadline_s: float | None = None
+    #: Remaining downstream retry budget (None = unbounded).
+    retries: int | None = None
+
+    # ------------------------------------------------------ construction
+
+    @classmethod
+    def origin(cls, root: str) -> "ExecutionIndex":
+        """A fresh index rooted at ``root`` (no hops traversed yet)."""
+        return cls(root=_sanitize(root))
+
+    def child(self, hop: str, seq: int) -> "ExecutionIndex":
+        """The index one hop deeper: ``(hop, seq)`` appended, budgets
+        carried through unchanged (budgets shrink only via
+        :meth:`with_budget`, at policy-evaluation points)."""
+        return replace(self, path=self.path + ((_sanitize(hop), int(seq)),))
+
+    def with_budget(
+        self,
+        *,
+        deadline_s: float | None = None,
+        retries: int | None = None,
+    ) -> "ExecutionIndex":
+        """The same index with downstream budgets *capped*: an existing
+        tighter budget is never loosened (monotone propagation)."""
+        new_deadline = self.deadline_s
+        if deadline_s is not None:
+            new_deadline = (
+                deadline_s
+                if new_deadline is None
+                else min(new_deadline, deadline_s)
+            )
+        new_retries = self.retries
+        if retries is not None:
+            new_retries = (
+                retries if new_retries is None else min(new_retries, retries)
+            )
+        return replace(self, deadline_s=new_deadline, retries=new_retries)
+
+    # ------------------------------------------------------------ wire
+
+    def encode(self) -> str:
+        """The opaque wire token (see module docstring for the format)."""
+        hops = ".".join(f"{hop}/{seq}" for hop, seq in self.path)
+        parts = [_VERSION, self.root, hops]
+        if self.deadline_s is not None:
+            parts.append(f"d={max(0, int(self.deadline_s * 1000))}")
+        if self.retries is not None:
+            parts.append(f"r={max(0, int(self.retries))}")
+        return ";".join(parts)
+
+    @classmethod
+    def parse(cls, token: str | None) -> "ExecutionIndex | None":
+        """Decode a wire token; ``None`` for malformed/absent input."""
+        if not token or not isinstance(token, str):
+            return None
+        match = _TOKEN_RE.match(token)
+        if match is None:
+            return None
+        raw_path = match.group("path")
+        path: tuple[tuple[str, int], ...] = ()
+        if raw_path:
+            path = tuple(
+                (hop, int(seq))
+                for hop, seq in (
+                    element.split("/") for element in raw_path.split(".")
+                )
+            )
+        deadline_ms = match.group("d")
+        retries = match.group("r")
+        return cls(
+            root=match.group("root"),
+            path=path,
+            deadline_s=None if deadline_ms is None else int(deadline_ms) / 1000.0,
+            retries=None if retries is None else int(retries),
+        )
+
+    # --------------------------------------------------------- queries
+
+    @property
+    def depth(self) -> int:
+        """Hops traversed so far."""
+        return len(self.path)
+
+    @property
+    def parent_path(self) -> tuple[tuple[str, int], ...]:
+        """The path of the hop that produced this index's parent node."""
+        return self.path[:-1]
+
+    def node_key(self) -> tuple[str, tuple[tuple[str, int], ...]]:
+        """Stable identity of this node within the forest of call trees."""
+        return (self.root, self.path)

@@ -1,0 +1,178 @@
+"""Tree policies: declarative per-edge behavior for call graphs.
+
+*SafeTree*'s insight is that N-versioning decisions belong to the call
+*tree*, not to one sandwich of proxies: each edge (an outgoing proxy →
+its backend deployment) may warrant a different trade between safety
+and availability.  A :class:`TreePolicy` is a declarative spec mapping
+edge names to an :class:`EdgePolicy` choosing one of four modes:
+
+``vote``
+    Today's default: diff the N instance requests, forward the
+    canonical one, tear the connection group down on backend failure
+    (the failure surfaces upstream as a connection event).
+``degrade``
+    Diff and forward as in ``vote``, but *contain* backend failure:
+    a timeout, refused dial, or open breaker is answered with the
+    protocol's framed ``degrade_response`` and the group stays alive —
+    the upstream hop sees a policy verdict, never a raw timeout.
+``passthrough``
+    Forward the canonical request without diffing (an audited edge the
+    operator trusts; still indexed, budgeted, and contained).
+``shed``
+    Do not contact the backend at all: every exchange on this edge is
+    answered with the shed response.  The containment of last resort
+    for an edge known to be down or quarantined.
+
+Budgets make the containment *quantitative*: ``deadline_s`` bounds how
+long one exchange may wait on the backend, ``retry_budget`` bounds how
+many backend redials the edge may ever spend, and both compose with
+the budgets inherited through the execution index
+(:meth:`ExecutionIndex.with_budget` caps monotonically), so a stalled
+leaf consumes only its edge's share of the end-to-end budget.
+
+The spec grammar (``RddrConfig.tree_policy``) is plain JSON::
+
+    {
+      "default": {"mode": "vote"},
+      "edges": {
+        "postgres": {"mode": "degrade", "deadline_s": 0.5,
+                      "retry_budget": 2, "on_failure": "degrade"}
+      }
+    }
+
+See ``docs/call-graphs.md`` for the runbook.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Edge modes, in decreasing order of scrutiny.
+MODES = ("vote", "degrade", "passthrough", "shed")
+
+#: What a contained backend failure reports upstream.
+FAILURE_VERDICTS = ("degrade", "shed")
+
+
+class TreePolicyError(ValueError):
+    """A tree-policy spec violates the grammar."""
+
+
+@dataclass(frozen=True)
+class EdgePolicy:
+    """Behavior of one call-graph edge (outgoing proxy → backend)."""
+
+    #: One of :data:`MODES`.
+    mode: str = "vote"
+    #: Per-exchange backend deadline budget, seconds (None = the
+    #: deployment's ``exchange_timeout`` alone bounds the wait).
+    deadline_s: float | None = None
+    #: Total backend redials this edge may spend across its lifetime
+    #: (None = the transport's ``connect_attempts`` default applies).
+    retry_budget: int | None = None
+    #: Containment verdict a backend failure maps to (``degrade`` keeps
+    #: trying the backend next exchange; ``shed`` is what a repeatedly
+    #: failing edge's responses read as either way).
+    on_failure: str = "degrade"
+
+    def __post_init__(self) -> None:
+        if self.mode not in MODES:
+            raise TreePolicyError(
+                f"unknown edge mode {self.mode!r} (choose from {MODES})"
+            )
+        if self.on_failure not in FAILURE_VERDICTS:
+            raise TreePolicyError(
+                f"unknown on_failure {self.on_failure!r} "
+                f"(choose from {FAILURE_VERDICTS})"
+            )
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise TreePolicyError("deadline_s must be positive")
+        if self.retry_budget is not None and self.retry_budget < 0:
+            raise TreePolicyError("retry_budget must be >= 0")
+
+    #: Whether this mode diffs instance requests before forwarding.
+    @property
+    def diffs(self) -> bool:
+        return self.mode in ("vote", "degrade")
+
+    #: Whether backend failure is contained (framed response, group
+    #: stays alive) instead of surfaced as a connection teardown.
+    @property
+    def contains_failure(self) -> bool:
+        return self.mode in ("degrade", "passthrough", "shed")
+
+    @classmethod
+    def from_dict(cls, spec: dict) -> "EdgePolicy":
+        if not isinstance(spec, dict):
+            raise TreePolicyError(f"edge spec must be a dict, got {spec!r}")
+        unknown = set(spec) - {"mode", "deadline_s", "retry_budget", "on_failure"}
+        if unknown:
+            raise TreePolicyError(
+                f"unknown edge-spec key(s): {', '.join(sorted(unknown))}"
+            )
+        return cls(
+            mode=spec.get("mode", "vote"),
+            deadline_s=spec.get("deadline_s"),
+            retry_budget=spec.get("retry_budget"),
+            on_failure=spec.get("on_failure", "degrade"),
+        )
+
+    def to_dict(self) -> dict:
+        out: dict = {"mode": self.mode}
+        if self.deadline_s is not None:
+            out["deadline_s"] = self.deadline_s
+        if self.retry_budget is not None:
+            out["retry_budget"] = self.retry_budget
+        if self.on_failure != "degrade":
+            out["on_failure"] = self.on_failure
+        return out
+
+
+@dataclass(frozen=True)
+class TreePolicy:
+    """Edge name → :class:`EdgePolicy`, with a default for unnamed edges."""
+
+    edges: dict[str, EdgePolicy] = field(default_factory=dict)
+    default: EdgePolicy = field(default_factory=EdgePolicy)
+
+    def edge(self, name: str) -> EdgePolicy:
+        return self.edges.get(name, self.default)
+
+    @classmethod
+    def from_dict(cls, spec: "dict | None") -> "TreePolicy":
+        """Parse the ``RddrConfig.tree_policy`` grammar; ``None`` (and
+        ``{}``) mean the all-``vote`` status quo."""
+        if spec is None:
+            return cls()
+        if not isinstance(spec, dict):
+            raise TreePolicyError(f"tree_policy must be a dict, got {spec!r}")
+        unknown = set(spec) - {"default", "edges"}
+        if unknown:
+            raise TreePolicyError(
+                f"unknown tree-policy key(s): {', '.join(sorted(unknown))}"
+            )
+        default = EdgePolicy.from_dict(spec.get("default", {}))
+        raw_edges = spec.get("edges", {})
+        if not isinstance(raw_edges, dict):
+            raise TreePolicyError("tree_policy 'edges' must be a dict")
+        edges = {
+            str(name): EdgePolicy.from_dict(edge_spec)
+            for name, edge_spec in raw_edges.items()
+        }
+        return cls(edges=edges, default=default)
+
+    def to_dict(self) -> dict:
+        return {
+            "default": self.default.to_dict(),
+            "edges": {name: edge.to_dict() for name, edge in self.edges.items()},
+        }
+
+
+def containment_response(protocol: object, message: str) -> bytes:
+    """The framed containment response for ``protocol`` — the contract-1.2
+    ``degrade_response`` hook when present, else ``block_response`` (which
+    on connection-close protocols degrades containment to a teardown)."""
+    hook = getattr(protocol, "degrade_response", None)
+    if callable(hook):
+        return hook(message)
+    return protocol.block_response(message)  # type: ignore[attr-defined]

@@ -1,0 +1,183 @@
+"""Stitch per-hop observability records into multi-hop call trees.
+
+Every hop of a chained RDDR deployment tags its exchange trace (root
+span attr ``exec_index``) and its journal commits (``type: "journal"``
+sink records) with the exchange's :class:`~repro.graph.index.ExecutionIndex`.
+This module reassembles those flat JSONL streams — from any number of
+hops, in any order — into one tree per root exchange:
+
+* group records by the index's ``root`` id,
+* place each record at its call-path node (``hop/seq`` segments),
+* synthesize interior nodes for paths only observed through their
+  children (a hop whose trace was sampled out still appears).
+
+The ``tree`` view of ``python -m repro.obs`` renders the result.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.graph.index import ExecutionIndex
+
+Path = tuple[tuple[str, int], ...]
+
+
+@dataclass
+class CallNode:
+    """One hop's exchange within a stitched call tree."""
+
+    path: Path
+    #: Trace records observed at this node (usually one per proxy pass).
+    traces: list[dict] = field(default_factory=list)
+    #: Journal-commit records observed at this node.
+    journal: list[dict] = field(default_factory=list)
+    children: dict[Path, "CallNode"] = field(default_factory=dict)
+
+    @property
+    def hop(self) -> str:
+        return self.path[-1][0] if self.path else "?"
+
+    @property
+    def seq(self) -> int:
+        return self.path[-1][1] if self.path else 0
+
+    @property
+    def verdicts(self) -> list[str]:
+        return [t.get("verdict", "unknown") for t in self.traces]
+
+    @property
+    def synthesized(self) -> bool:
+        """True when no record was observed *at* this node (it exists
+        only because a child's path passes through it)."""
+        return not self.traces and not self.journal
+
+    def walk(self) -> Iterator["CallNode"]:
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(
+                sorted(node.children.values(), key=lambda n: n.path, reverse=True)
+            )
+
+
+@dataclass
+class CallTree:
+    """All hops of one root exchange."""
+
+    root_id: str
+    #: Top-level nodes (depth-1 paths) in call order.
+    roots: list[CallNode]
+
+    @property
+    def hops(self) -> int:
+        return sum(1 for root in self.roots for _ in root.walk())
+
+    def nodes(self) -> Iterator[CallNode]:
+        for root in self.roots:
+            yield from root.walk()
+
+
+def indexed_records(records: Iterable[dict]) -> Iterator[tuple[ExecutionIndex, dict]]:
+    """Yield ``(index, record)`` for every record carrying a parseable
+    execution index — trace records (root-span attr) and journal records
+    (top-level field); everything else is skipped."""
+    for record in records:
+        if not isinstance(record, dict):
+            continue
+        token = None
+        spans = record.get("spans")
+        if isinstance(spans, dict):
+            attrs = spans.get("attrs")
+            if isinstance(attrs, dict):
+                token = attrs.get("exec_index")
+        elif record.get("type") == "journal":
+            token = record.get("exec_index")
+        if not isinstance(token, str):
+            continue
+        index = ExecutionIndex.parse(token)
+        if index is not None and index.path:
+            yield index, record
+
+
+def stitch(records: Iterable[dict]) -> list[CallTree]:
+    """Group indexed records into one :class:`CallTree` per root id,
+    ordered by first appearance."""
+    by_root: dict[str, dict[Path, CallNode]] = {}
+    order: list[str] = []
+    for index, record in indexed_records(records):
+        nodes = by_root.get(index.root)
+        if nodes is None:
+            nodes = by_root[index.root] = {}
+            order.append(index.root)
+        node = _node_at(nodes, index.path)
+        if "spans" in record:
+            node.traces.append(record)
+        else:
+            node.journal.append(record)
+    trees = []
+    for root_id in order:
+        nodes = by_root[root_id]
+        roots = sorted(
+            (node for path, node in nodes.items() if len(path) == 1),
+            key=lambda node: node.path,
+        )
+        trees.append(CallTree(root_id=root_id, roots=roots))
+    return trees
+
+
+def _node_at(nodes: dict[Path, CallNode], path: Path) -> CallNode:
+    """The node for ``path``, creating it — and any missing ancestors —
+    and linking it under its parent."""
+    node = nodes.get(path)
+    if node is not None:
+        return node
+    node = nodes[path] = CallNode(path=path)
+    if len(path) > 1:
+        parent = _node_at(nodes, path[:-1])
+        parent.children[path] = node
+    return node
+
+
+def load_jsonl(lines: Iterable[str]) -> Iterator[dict]:
+    """Parse JSONL lines, silently skipping blank or malformed ones."""
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        if isinstance(record, dict):
+            yield record
+
+
+def render_trees(trees: list[CallTree]) -> str:
+    """ASCII call-tree rendering, one block per root exchange."""
+    out: list[str] = []
+    for tree in trees:
+        out.append(f"root {tree.root_id}  ({tree.hops} hop(s))")
+        for root in tree.roots:
+            _render_node(root, "  ", out)
+    if not trees:
+        out.append("(no indexed records)")
+    return "\n".join(out)
+
+
+def _render_node(node: CallNode, indent: str, out: list[str]) -> None:
+    if node.synthesized:
+        detail = "(unsampled)"
+    else:
+        parts = []
+        if node.traces:
+            parts.append(",".join(node.verdicts))
+        if node.journal:
+            parts.append(f"journal×{len(node.journal)}")
+        detail = " ".join(parts)
+    out.append(f"{indent}{node.hop}/{node.seq}  {detail}")
+    for child in sorted(node.children.values(), key=lambda n: n.path):
+        _render_node(child, indent + "  ", out)

@@ -3,6 +3,7 @@
 ::
 
     python -m repro.obs TRACES.jsonl [--proxy NAME] [--top 3]
+    python -m repro.obs tree TRACES.jsonl [MORE.jsonl ...]
 
 Reads trace records (one JSON object per line, as written by a
 :class:`repro.obs.TraceSink` stream or exported via ``sink.jsonl()``),
@@ -10,6 +11,11 @@ skips non-trace records (recovery/catch-up timeline entries), and prints
 verdict counts plus per-stage count/mean/p50/p95/p99/max latencies.
 Unlike the live ``rddr_stage_seconds`` histogram, percentiles here are
 exact — computed from the raw span durations in the file.
+
+The ``tree`` subcommand instead stitches execution-indexed records
+(traces and journal commits, from any number of hops' files) into
+multi-hop call trees — one block per root exchange (see
+:mod:`repro.graph.stitch`).
 """
 
 from __future__ import annotations
@@ -106,7 +112,60 @@ def render(summary: dict) -> str:
     return "\n".join(out)
 
 
+def tree_main(argv: list[str]) -> int:
+    """``python -m repro.obs tree``: stitched multi-hop call trees."""
+    from repro.graph.stitch import load_jsonl, render_trees, stitch
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs tree",
+        description="Stitch execution-indexed trace/journal JSONL "
+        "(from any number of hops) into per-root call trees.",
+    )
+    parser.add_argument(
+        "paths", nargs="+", help="trace JSONL file(s), or - for stdin"
+    )
+    parser.add_argument("--json", action="store_true", help="emit JSON, not a tree")
+    args = parser.parse_args(argv)
+    records: list[dict] = []
+    for path in args.paths:
+        if path == "-":
+            records.extend(load_jsonl(sys.stdin))
+        else:
+            with open(path) as stream:
+                records.extend(load_jsonl(stream))
+    trees = stitch(records)
+    if args.json:
+        print(
+            json.dumps(
+                [
+                    {
+                        "root": tree.root_id,
+                        "hops": tree.hops,
+                        "nodes": [
+                            {
+                                "path": [list(seg) for seg in node.path],
+                                "verdicts": node.verdicts,
+                                "journal": len(node.journal),
+                                "synthesized": node.synthesized,
+                            }
+                            for node in tree.nodes()
+                        ],
+                    }
+                    for tree in trees
+                ],
+                indent=2,
+            )
+        )
+    else:
+        print(render_trees(trees))
+    return 0 if trees else 1
+
+
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "tree":
+        return tree_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.obs",
         description="Summarize a trace JSONL: per-stage latency table "

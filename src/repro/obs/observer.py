@@ -238,10 +238,30 @@ class Observer:
     # ------------------------------------------------------------ journal
 
     def journal_appended(
-        self, service: str, frame_bytes: int, journal_bytes: int
+        self,
+        service: str,
+        frame_bytes: int,
+        journal_bytes: int,
+        *,
+        exec_index: str | None = None,
     ) -> None:
         self._journal_records.labels(service=service).inc()
         self._journal_bytes.labels(service=service).set(float(journal_bytes))
+        if exec_index is not None:
+            # Tag indexed journal commits into the trace sink so journal
+            # records stitch into the same call tree as exchange traces
+            # (``type: "journal"`` records; the durable journal format is
+            # unchanged).
+            self.sink.emit(
+                {
+                    "type": "journal",
+                    "service": service,
+                    "exec_index": exec_index,
+                    "frame_bytes": frame_bytes,
+                    "journal_bytes": journal_bytes,
+                    "started_wall": time.time(),
+                }
+            )
 
     def record_catchup(
         self,

@@ -40,8 +40,13 @@ from typing import ClassVar
 #: History: 1.0 — initial versioned contract (framing/diffing plus the
 #: liveness/snapshot/state-classification/handshake/finish-exchange
 #: capability surface); 1.1 — optional ``mutate(request, rng)`` hook
-#: (structure-aware request mutation for ``repro.fuzz``).
-PROTOCOL_API_VERSION = "1.1"
+#: (structure-aware request mutation for ``repro.fuzz``); 1.2 — optional
+#: ``attach_index(request, token)`` / ``extract_index(request)`` pair
+#: (execution-index envelope for multi-hop call graphs, ``repro.graph``)
+#: and the optional ``degrade_response(message)`` hook (a framed,
+#: protocol-valid containment response that — unlike ``block_response``
+#: on connection-close protocols — keeps the upstream connection alive).
+PROTOCOL_API_VERSION = "1.2"
 
 #: Methods every module must implement (beyond what ABC enforces, this
 #: lets ``register()`` name the missing surface precisely).
@@ -87,6 +92,13 @@ class ProtocolCapabilities:
     #: protocol-valid mutant of a request (contract 1.1; consumed by the
     #: ``repro.fuzz`` divergence fuzzer).
     mutation: bool = False
+    #: ``attach_index(request, token) -> bytes`` +
+    #: ``extract_index(request) -> (token | None, stripped)``: carry an
+    #: opaque execution-index token through a request as protocol-level
+    #: metadata (contract 1.2; consumed by ``repro.graph`` multi-hop
+    #: chains).  ``extract_index`` must invert ``attach_index`` exactly,
+    #: and both must leave requests without an envelope untouched.
+    execution_index: bool = False
 
 
 def _detect_capabilities(cls: type) -> ProtocolCapabilities:
@@ -110,6 +122,10 @@ def _detect_capabilities(cls: type) -> ProtocolCapabilities:
         handshake=getattr(cls, "handshake", None) is not ProtocolModule.handshake,
         finish_exchange=callable(getattr(cls, "finish_exchange", None)),
         mutation=callable(getattr(cls, "mutate", None)),
+        execution_index=(
+            callable(getattr(cls, "attach_index", None))
+            and callable(getattr(cls, "extract_index", None))
+        ),
     )
 
 
@@ -155,6 +171,27 @@ class ProtocolModule(ABC):
     @abstractmethod
     def block_response(self, message: str) -> bytes:
         """Bytes served to the client when RDDR intervenes."""
+
+    def degrade_response(self, message: str) -> bytes:
+        """A *framed, protocol-valid* response unit reporting policy
+        degradation (contract 1.2; cascade containment in multi-hop
+        chains).  Unlike :meth:`block_response` — which on raw-TCP-style
+        protocols means "close the connection" — this must parse as one
+        ordinary response so an upstream hop can absorb a degraded /
+        shed downstream verdict without tearing down its own exchange
+        loop.  Defaults to :meth:`block_response` for modules whose
+        block response is already a framed unit."""
+        return self.block_response(message)
+
+    def terminal_response(self, response: bytes) -> bool:
+        """Whether ``response`` ends the session by protocol convention
+        (contract 1.2; e.g. a pgwire FATAL ErrorResponse, after which the
+        server closes the connection).  A relaying hop must propagate the
+        close after forwarding such a unit — otherwise the original
+        client waits forever for a continuation that will never come.
+        Defaults to ``False``: most protocols have no in-band
+        session-terminating response."""
+        return False
 
     # ---------------------------------------------------- capabilities
 
@@ -284,6 +321,18 @@ class ProtocolRegistry:
             raise ProtocolContractError(
                 f"{label} implements {present} without {absent}; the "
                 f"snapshot capability requires both"
+            )
+        has_attach = callable(getattr(cls, "attach_index", None))
+        has_extract = callable(getattr(cls, "extract_index", None))
+        if has_attach != has_extract:
+            present, absent = (
+                ("attach_index", "extract_index")
+                if has_attach
+                else ("extract_index", "attach_index")
+            )
+            raise ProtocolContractError(
+                f"{label} implements {present} without {absent}; the "
+                f"execution-index capability requires both"
             )
 
     def create(self, name: str, **kwargs: object) -> ProtocolModule:

@@ -44,7 +44,20 @@ from repro.web.http11 import (
 )
 from repro.web.app import text_response
 
-_EXCLUDED_HEADERS = {"connection", "content-length", "content-encoding", "date", "keep-alive"}
+#: Request header carrying the multi-hop execution index (contract 1.2).
+_INDEX_HEADER = "X-Rddr-Index"
+_INDEX_MARKER = b"\r\nx-rddr-index:"
+
+_EXCLUDED_HEADERS = {
+    "connection",
+    "content-length",
+    "content-encoding",
+    "date",
+    "keep-alive",
+    # The execution-index envelope is hop metadata, identical across
+    # instances by construction but never security-relevant content.
+    "x-rddr-index",
+}
 #: Additionally excluded when tokenizing *requests* (outgoing proxy):
 #: each instance addresses its own per-instance backend port, so Host
 #: differs benignly by construction of the port-based attribution scheme.
@@ -67,7 +80,10 @@ class HttpProtocol(ProtocolModule):
 
     def capabilities(self) -> ProtocolCapabilities:
         return ProtocolCapabilities(
-            state_classification=True, finish_exchange=True, mutation=True
+            state_classification=True,
+            finish_exchange=True,
+            mutation=True,
+            execution_index=True,
         )
 
     def __init__(self, parser_options: ParserOptions | None = None) -> None:
@@ -286,4 +302,42 @@ class HttpProtocol(ProtocolModule):
         )
         response = text_response(body, status=403, content_type="text/html; charset=utf-8")
         response.headers.set("Connection", "close")
+        return serialize_response(response)
+
+    # ------------------------------------------- execution index (1.2)
+
+    def attach_index(self, request: bytes, token: str) -> bytes:
+        """Carry the index as an ``X-Rddr-Index`` request header,
+        inserted right after the request line (byte surgery keeps this
+        off the parser on the hot path)."""
+        line_end = request.find(b"\r\n")
+        if line_end < 0:
+            return request
+        header = f"{_INDEX_HEADER}: {token}\r\n".encode("latin-1")
+        return request[: line_end + 2] + header + request[line_end + 2 :]
+
+    def extract_index(self, request: bytes) -> tuple[str | None, bytes]:
+        head_end = request.find(b"\r\n\r\n")
+        zone = request if head_end < 0 else request[: head_end + 2]
+        marker = zone.lower().find(_INDEX_MARKER)
+        if marker < 0:
+            return None, request
+        line_start = marker + 2
+        line_end = request.find(b"\r\n", line_start)
+        if line_end < 0:
+            return None, request
+        value = request[line_start + len(_INDEX_MARKER) - 2 : line_end].strip()
+        try:
+            token = value.decode("ascii")
+        except UnicodeDecodeError:
+            return None, request
+        stripped = request[:line_start] + request[line_end + 2 :]
+        return (token or None), stripped
+
+    def degrade_response(self, message: str) -> bytes:
+        """A framed 503 (no ``Connection: close``) so an upstream hop
+        absorbs a contained downstream failure on a live connection."""
+        response = text_response(
+            f"RDDR degraded: {message}\n", status=503
+        )
         return serialize_response(response)

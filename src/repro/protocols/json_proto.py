@@ -30,8 +30,11 @@ class JsonLinesProtocol(ProtocolModule):
     name = "json"
     API_VERSION = PROTOCOL_API_VERSION
 
+    #: Reserved top-level key carrying the execution index (contract 1.2).
+    INDEX_KEY = "_rddr_ix"
+
     def capabilities(self) -> ProtocolCapabilities:
-        return ProtocolCapabilities(mutation=True)
+        return ProtocolCapabilities(mutation=True, execution_index=True)
 
     def __init__(self, max_line: int = 4 * 1024 * 1024) -> None:
         self.max_line = max_line
@@ -68,6 +71,43 @@ class JsonLinesProtocol(ProtocolModule):
     def block_response(self, message: str) -> bytes:
         return (
             json.dumps({"error": "rddr_divergence", "message": message}) + "\n"
+        ).encode()
+
+    # ------------------------------------------- execution index (1.2)
+
+    def attach_index(self, request: bytes, token: str) -> bytes:
+        """Inject the reserved ``_rddr_ix`` member into object documents.
+
+        Non-object lines (scalars, arrays, unparseable bytes) pass
+        unindexed rather than wrapped: wrapping would change what the
+        application sees.  Attached documents re-serialize in canonical
+        compact form, so ``extract_index`` inverts to that form.
+        """
+        text = request.rstrip(b"\n")
+        try:
+            document = json.loads(text.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            return request
+        if not isinstance(document, dict) or self.INDEX_KEY in document:
+            return request
+        document[self.INDEX_KEY] = token
+        return json.dumps(document, separators=(",", ":")).encode() + b"\n"
+
+    def extract_index(self, request: bytes) -> tuple[str | None, bytes]:
+        text = request.rstrip(b"\n")
+        try:
+            document = json.loads(text.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            return None, request
+        if not isinstance(document, dict) or self.INDEX_KEY not in document:
+            return None, request
+        token = document.pop(self.INDEX_KEY)
+        stripped = json.dumps(document, separators=(",", ":")).encode() + b"\n"
+        return (token if isinstance(token, str) and token else None), stripped
+
+    def degrade_response(self, message: str) -> bytes:
+        return (
+            json.dumps({"error": "rddr_degraded", "message": message}) + "\n"
         ).encode()
 
     def mutate(self, request: bytes, rng: random.Random) -> bytes:

@@ -54,6 +54,11 @@ class PgWireProtocol(ProtocolModule):
     name = "pgwire"
     API_VERSION = PROTOCOL_API_VERSION
 
+    #: Leading SQL block comment carrying the execution index on
+    #: simple-query ('Q') messages (contract 1.2).  Startup, SSL, and
+    #: extended-protocol messages pass unindexed.
+    INDEX_COMMENT_PREFIX = b"/*rddr-ix:"
+
     def capabilities(self) -> ProtocolCapabilities:
         return ProtocolCapabilities(
             liveness=True,
@@ -61,6 +66,7 @@ class PgWireProtocol(ProtocolModule):
             state_classification=True,
             handshake=True,
             mutation=True,
+            execution_index=True,
         )
 
     def new_connection_state(self) -> _PgConnectionState:
@@ -149,6 +155,64 @@ class PgWireProtocol(ProtocolModule):
         # An ErrorResponse the client library will surface, then FATAL
         # close — mirrors the paper's "closes the connection" behaviour.
         return wire.error_response("FATAL", "XX000", f"RDDR intervened: {message}").encode()
+
+    def degrade_response(self, message: str) -> bytes:
+        """A non-fatal ErrorResponse followed by ReadyForQuery — one
+        complete response unit, so an upstream hop's query cycle
+        continues on the same connection."""
+        return (
+            wire.error_response(
+                "ERROR", "57014", f"RDDR degraded: {message}"
+            ).encode()
+            + wire.ready_for_query().encode()
+        )
+
+    def terminal_response(self, response: bytes) -> bool:
+        """FATAL/PANIC ErrorResponse units end the session: the server
+        closes after sending one, and no ReadyForQuery follows.  A
+        relaying hop that forwards one without closing leaves the
+        original client waiting on a query cycle forever."""
+        if response[:1] != b"E" or len(response) < 6:
+            return False
+        length = int.from_bytes(response[1:5], "big")
+        body = response[5 : 1 + length]
+        for field in body.split(b"\x00"):
+            if field[:1] == b"S":
+                return field[1:] in (b"FATAL", b"PANIC")
+        return False
+
+    # ------------------------------------------- execution index (1.2)
+
+    def attach_index(self, request: bytes, token: str) -> bytes:
+        """Prefix the simple-query SQL with ``/*rddr-ix:<token>*/``;
+        non-'Q' messages (startup, SSL, extended protocol) pass
+        unindexed."""
+        if request[:1] != b"Q" or len(request) < 6:
+            return request
+        body = request[5:].rstrip(b"\x00")
+        prefixed = (
+            self.INDEX_COMMENT_PREFIX + token.encode("ascii") + b"*/" + body
+        )
+        return wire.WireMessage(tag=b"Q", body=prefixed + b"\x00").encode()
+
+    def extract_index(self, request: bytes) -> tuple[str | None, bytes]:
+        if request[:1] != b"Q" or len(request) < 6:
+            return None, request
+        body = request[5:].rstrip(b"\x00")
+        if not body.startswith(self.INDEX_COMMENT_PREFIX):
+            return None, request
+        end = body.find(b"*/", len(self.INDEX_COMMENT_PREFIX))
+        if end < 0:
+            return None, request
+        raw = body[len(self.INDEX_COMMENT_PREFIX) : end]
+        try:
+            token = raw.decode("ascii")
+        except UnicodeDecodeError:
+            return None, request
+        stripped = wire.WireMessage(
+            tag=b"Q", body=body[end + 2 :] + b"\x00"
+        ).encode()
+        return (token or None), stripped
 
     # ------------------------------------------- optional journal hooks
 

@@ -156,12 +156,17 @@ class RespProtocol(ProtocolModule):
     name = "resp"
     API_VERSION = PROTOCOL_API_VERSION
 
+    #: Leading bulk-string pair carrying the execution index: a command
+    #: ``*N $7 RDDR.IX $len <token> <parts...>`` (contract 1.2).
+    INDEX_VERB = b"RDDR.IX"
+
     def capabilities(self) -> ProtocolCapabilities:
         return ProtocolCapabilities(
             liveness=True,
             snapshots=True,
             state_classification=True,
             mutation=True,
+            execution_index=True,
         )
 
     async def read_client_message(
@@ -189,6 +194,30 @@ class RespProtocol(ProtocolModule):
     def block_response(self, message: str) -> bytes:
         safe = message.replace("\r", " ").replace("\n", " ")
         return f"-RDDRERR {safe}\r\n".encode()
+
+    def degrade_response(self, message: str) -> bytes:
+        safe = message.replace("\r", " ").replace("\n", " ")
+        return f"-RDDRDEGRADED {safe}\r\n".encode()
+
+    # ------------------------------------------- execution index (1.2)
+
+    def attach_index(self, request: bytes, token: str) -> bytes:
+        """Prepend an ``RDDR.IX <token>`` bulk-string pair to the
+        command array (non-array values pass unindexed)."""
+        parts = decode_command(request)
+        if parts is None:
+            return request
+        return encode_command(self.INDEX_VERB, token, *parts)
+
+    def extract_index(self, request: bytes) -> tuple[str | None, bytes]:
+        parts = decode_command(request)
+        if not parts or len(parts) < 2 or parts[0].upper() != self.INDEX_VERB:
+            return None, request
+        try:
+            token = parts[1].decode("ascii")
+        except UnicodeDecodeError:
+            return None, request
+        return (token or None), encode_command(*parts[2:])
 
     # ------------------------------------------- optional journal hooks
 

@@ -27,8 +27,13 @@ class TcpLineProtocol(ProtocolModule):
     name = "tcp"
     API_VERSION = PROTOCOL_API_VERSION
 
+    #: Leading line field carrying the execution index (contract 1.2).
+    INDEX_PREFIX = b"!rddr-ix="
+
     def capabilities(self) -> ProtocolCapabilities:
-        return ProtocolCapabilities(liveness=True, mutation=True)
+        return ProtocolCapabilities(
+            liveness=True, mutation=True, execution_index=True
+        )
 
     def __init__(self, max_line: int = 1024 * 1024) -> None:
         self.max_line = max_line
@@ -53,6 +58,32 @@ class TcpLineProtocol(ProtocolModule):
 
     def block_response(self, message: str) -> bytes:
         return b""  # raw TCP: RDDR just closes the connection
+
+    def degrade_response(self, message: str) -> bytes:
+        """One framed ``rddr-degraded`` line — unlike the empty block
+        response (a connection close), this lets an upstream hop absorb
+        a contained downstream failure without tearing down."""
+        text = message.replace("\r", " ").replace("\n", " ")
+        return b"rddr-degraded " + text.encode("utf-8", "replace") + b"\n"
+
+    # ------------------------------------------- execution index (1.2)
+
+    def attach_index(self, request: bytes, token: str) -> bytes:
+        """Prefix the line with one extra space-separated field."""
+        return self.INDEX_PREFIX + token.encode("ascii") + b" " + request
+
+    def extract_index(self, request: bytes) -> tuple[str | None, bytes]:
+        if not request.startswith(self.INDEX_PREFIX):
+            return None, request
+        sep = request.find(b" ")
+        if sep < 0:
+            return None, request
+        raw = request[len(self.INDEX_PREFIX) : sep]
+        try:
+            token = raw.decode("ascii")
+        except UnicodeDecodeError:
+            return None, request
+        return (token or None), request[sep + 1 :]
 
     def liveness_request(self) -> bytes:
         return b"rddr-probe\n"

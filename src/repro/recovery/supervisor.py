@@ -129,7 +129,9 @@ class RecoverySupervisor:
             self.probe_result,
             period=config.probe_period,
             timeout=config.probe_timeout,
-            protocol=self._protocol,
+            # Connect-only probing drops the in-band liveness request (a
+            # monitor with no protocol probes by TCP connect alone).
+            protocol=None if config.probe_connect_only else self._protocol,
             probe=probe,
         )
         directory.on_failure(self.instance_failed)

@@ -30,11 +30,19 @@ class ServerHandle:
     when one request crashes.
     """
 
-    def __init__(self, name: str, server: asyncio.base_events.Server, host: str, port: int) -> None:
+    def __init__(
+        self,
+        name: str,
+        server: asyncio.base_events.Server,
+        host: str,
+        port: int,
+        tasks: set[asyncio.Task] | None = None,
+    ) -> None:
         self.name = name
         self.host = host
         self.port = port
         self._server = server
+        self._tasks: set[asyncio.Task] = tasks if tasks is not None else set()
         self._closed = False
 
     @property
@@ -42,13 +50,28 @@ class ServerHandle:
         return (self.host, self.port)
 
     async def close(self) -> None:
-        """Stop accepting connections and wait for the listener to close."""
+        """Stop accepting connections, cancel in-flight handlers, and wait
+        for the listener to close."""
         if self._closed:
             return
         self._closed = True
         self._server.close()
         with contextlib.suppress(Exception):
             await self._server.wait_closed()
+        # Python 3.11's ``Server.close()`` stops the listener but leaves
+        # in-flight connection handlers running (3.12 grew
+        # ``close_clients()`` for this).  A handler parked on a long wait
+        # — e.g. an outgoing proxy's group-formation timeout — would
+        # otherwise outlive the deployment it belonged to.
+        pending = [
+            task
+            for task in self._tasks
+            if not task.done() and task is not asyncio.current_task()
+        ]
+        for task in pending:
+            task.cancel()
+        if pending:
+            await asyncio.gather(*pending, return_exceptions=True)
 
     async def __aenter__(self) -> "ServerHandle":
         return self
@@ -74,7 +97,12 @@ async def start_server(
     actual bound port.
     """
 
+    tasks: set[asyncio.Task] = set()
+
     async def guarded(reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            tasks.add(task)
         try:
             await handler(reader, writer)
         except (ConnectionError, asyncio.IncompleteReadError):
@@ -93,7 +121,9 @@ async def start_server(
             with contextlib.suppress(Exception, asyncio.CancelledError):
                 writer.close()
                 await writer.wait_closed()
+            if task is not None:
+                tasks.discard(task)
 
     server = await asyncio.start_server(guarded, host, port, ssl=ssl_context)
     bound_port = server.sockets[0].getsockname()[1]
-    return ServerHandle(name, server, host, bound_port)
+    return ServerHandle(name, server, host, bound_port, tasks=tasks)

@@ -2,8 +2,13 @@
 
 from __future__ import annotations
 
+import asyncio
 import json
+import pathlib
+from dataclasses import replace
 
+import repro
+from repro.apps.echo import EchoServer
 from repro.bench import (
     SCHEMA,
     WORKLOADS,
@@ -14,6 +19,8 @@ from repro.bench import (
     write_report,
 )
 from repro.bench.__main__ import main as bench_main
+from repro.core.config import RddrConfig
+from repro.protocols.tcp import TcpLineProtocol
 from repro.obs.__main__ import main as obs_main
 from repro.obs.__main__ import summarize
 from tests.helpers import run
@@ -95,6 +102,25 @@ class TestRunBench:
         assert len(report["request_digest"]) == 64
         assert len(report["config_fingerprint"]) == 16
 
+    def test_chain_end_to_end(self):
+        report = run(
+            run_bench("chain", seed=5, clients=2, requests=5, instances=3),
+            timeout=60,
+        )
+        assert report["schema"] == SCHEMA
+        assert report["totals"]["transactions"] == 10
+        assert report["totals"]["errors"] == 0
+        # The head hop's pipeline shows up under the harness name, same
+        # stage set as any single-hop run — comparability preserved.
+        assert {"exchange", "replicate", "diff", "respond"} <= set(
+            report["stage_set"]
+        )
+        assert report["verdicts"] == {"unanimous": 10}
+        # Same seed as echo → same client byte streams, by construction.
+        echo = WORKLOADS["echo"].streams(5, clients=2, requests=5)
+        chain = WORKLOADS["chain"].streams(5, clients=2, requests=5)
+        assert request_digest(echo) == request_digest(chain)
+
     def test_cli_run_and_compare(self, tmp_path, capsys):
         baseline = tmp_path / "BENCH_echo.json"
         code = bench_main(
@@ -163,3 +189,93 @@ class TestObsCli:
         empty = tmp_path / "empty.jsonl"
         empty.write_text("")
         assert obs_main([str(empty)]) == 1
+
+
+class TestSingleHopBaselinesUnchanged:
+    """Multi-hop support must not disturb the committed single-hop
+    baselines: the chain-era config fields are fingerprint-neutral at
+    their defaults, and the index hooks are never even *called* when
+    ``execution_index`` is off."""
+
+    REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+    def test_chain_era_fields_are_fingerprint_neutral_at_defaults(self):
+        config = RddrConfig(protocol="tcp", filter_pair=(0, 1))
+        # A config serialized before the fields existed must fingerprint
+        # identically to one that carries them at their defaults.
+        data = config.to_dict()
+        for field in ("execution_index", "tree_policy", "probe_connect_only"):
+            assert field in data
+            del data[field]
+        vintage = RddrConfig.from_dict(data)
+        assert vintage.fingerprint() == config.fingerprint()
+        # ...but actually *using* a field breaks comparability, loudly.
+        assert (
+            replace(config, execution_index=True).fingerprint()
+            != config.fingerprint()
+        )
+        assert (
+            replace(config, probe_connect_only=True).fingerprint()
+            != config.fingerprint()
+        )
+
+    def test_committed_baseline_fingerprints_still_reproducible(self):
+        # Recompute the exact config run_bench builds for each committed
+        # single-hop baseline; a mismatch means `python -m repro.bench
+        # compare` would reject every candidate as an identity mismatch.
+        for workload in ("echo", "kvstore", "pgbench"):
+            report = load_report(self.REPO_ROOT / f"BENCH_{workload}.json")
+            config = RddrConfig(
+                protocol=WORKLOADS[workload].protocol,
+                filter_pair=(0, 1),
+                exchange_timeout=60.0,
+                trace_sample_rate=report["trace_sample_rate"],
+                trace_sample_seed=report["seed"],
+                runtime_probe_interval=0.02,
+            )
+            assert config.fingerprint() == report["config_fingerprint"], workload
+
+    def test_index_hooks_unused_when_disabled(self, monkeypatch):
+        """``execution_index=False`` (the default, and what every
+        committed baseline ran with) must keep the hot path allocation
+        free: attach/extract are never invoked, not merely no-ops."""
+        calls: list[str] = []
+        real_attach = TcpLineProtocol.attach_index
+        real_extract = TcpLineProtocol.extract_index
+
+        def counting_attach(self, request, token):
+            calls.append("attach")
+            return real_attach(self, request, token)
+
+        def counting_extract(self, request):
+            calls.append("extract")
+            return real_extract(self, request)
+
+        monkeypatch.setattr(TcpLineProtocol, "attach_index", counting_attach)
+        monkeypatch.setattr(TcpLineProtocol, "extract_index", counting_extract)
+
+        async def exchange(config: RddrConfig) -> bytes:
+            servers = [await EchoServer(name=f"idx-{i}").start() for i in range(2)]
+            deployment = await repro.deploy(
+                config, instances=[s.address for s in servers], name="idx"
+            )
+            try:
+                reader, writer = await asyncio.open_connection(*deployment.address)
+                writer.write(b"ping\n")
+                await writer.drain()
+                response = await reader.readline()
+                writer.close()
+                return response
+            finally:
+                await deployment.close()
+                for server in servers:
+                    await server.close()
+
+        disabled = RddrConfig(protocol="tcp", exchange_timeout=5.0)
+        assert run(exchange(disabled), timeout=30.0) == b"ping\n"
+        assert calls == []
+
+        # Sanity: the counters do see the hooks once the feature is on.
+        enabled = replace(disabled, execution_index=True)
+        assert run(exchange(enabled), timeout=30.0) == b"ping\n"
+        assert "extract" in calls

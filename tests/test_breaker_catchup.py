@@ -1,0 +1,160 @@
+"""Outgoing-proxy circuit breaker vs a recovering backend.
+
+The scenario recovery creates routinely: a backend that died (tripping
+the breaker), then comes back in a CATCHING_UP-like phase — it accepts
+connections but is too busy replaying state to answer.  The breaker's
+half-open probe must judge *connectivity* (what the breaker guards),
+not read latency: a slow-but-accepting backend closes the breaker and
+stays closed, with the slow reads contained by the edge policy instead
+of flapping the breaker open again."""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+
+from repro.core.config import RddrConfig
+from repro.core.outgoing import OutgoingRequestProxy
+from repro.graph.policy import EdgePolicy
+from repro.protocols import get as get_protocol
+from repro.recovery.breaker import CircuitBreaker
+from tests.helpers import run
+
+
+def _free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+class _PhasedBackend:
+    """A backend with operator-controlled phases on one fixed port:
+    down (no listener), catching_up (accepts, reads, never replies),
+    live (answers ``ok <line>``)."""
+
+    def __init__(self, port: int) -> None:
+        self.port = port
+        self.server: asyncio.AbstractServer | None = None
+        self.replying = False
+
+    async def start(self, *, replying: bool) -> None:
+        await self.stop()
+        self.replying = replying
+        self.server = await asyncio.start_server(
+            self._handle, "127.0.0.1", self.port
+        )
+
+    async def stop(self) -> None:
+        if self.server is not None:
+            self.server.close()
+            await self.server.wait_closed()
+            self.server = None
+
+    async def _handle(self, reader, writer) -> None:
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                if self.replying:
+                    writer.write(b"ok " + line)
+                    await writer.drain()
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            writer.close()
+
+
+class _Group:
+    def __init__(self) -> None:
+        self.streams = []
+
+    async def connect(self, proxy: OutgoingRequestProxy) -> None:
+        for address in proxy.addresses:
+            self.streams.append(await asyncio.open_connection(*address))
+
+    async def exchange(self, line: bytes) -> list[bytes]:
+        async def one(stream):
+            reader, writer = stream
+            writer.write(line)
+            await writer.drain()
+            return await asyncio.wait_for(reader.readline(), timeout=10.0)
+
+        return list(await asyncio.gather(*(one(s) for s in self.streams)))
+
+    async def close(self) -> None:
+        for _reader, writer in self.streams:
+            writer.close()
+
+
+class TestBreakerAgainstCatchingUpBackend:
+    def test_half_open_probe_does_not_flap_on_slow_backend(self):
+        async def main():
+            port = _free_port()
+            transitions: list[tuple[str, str]] = []
+            breaker = CircuitBreaker(
+                failure_threshold=2,
+                reset_timeout=0.3,
+                on_transition=lambda old, new: transitions.append((old, new)),
+            )
+            proxy = OutgoingRequestProxy(
+                ("127.0.0.1", port),
+                2,
+                get_protocol("tcp"),
+                RddrConfig(
+                    protocol="tcp",
+                    exchange_timeout=2.0,
+                    connect_attempts=1,
+                    connect_backoff_max=0.01,
+                ),
+                name="api-out-db",
+                breaker=breaker,
+                edge=EdgePolicy(mode="degrade", deadline_s=0.3),
+            )
+            await proxy.start()
+            backend = _PhasedBackend(port)
+            group = _Group()
+            try:
+                await group.connect(proxy)
+
+                # Phase 1: backend down.  Two failed dials trip the breaker.
+                for payload in (b"a\n", b"b\n"):
+                    replies = await group.exchange(payload)
+                    assert all(r.startswith(b"rddr-degraded") for r in replies)
+                assert breaker.state == "open"
+
+                # Phase 2: breaker open — contained fast-fail, no dial.
+                replies = await group.exchange(b"c\n")
+                assert all(r.startswith(b"rddr-degraded") for r in replies)
+                assert breaker.state == "open"
+
+                # Phase 3: backend accepts but is catching up (never
+                # replies).  After the reset timeout the half-open probe
+                # connects — connectivity restored, breaker closes — and
+                # the stalled read is contained by the edge deadline
+                # WITHOUT re-tripping the breaker.
+                await backend.start(replying=False)
+                await asyncio.sleep(0.35)
+                for payload in (b"d\n", b"e\n"):
+                    replies = await group.exchange(payload)
+                    assert all(r.startswith(b"rddr-degraded") for r in replies)
+                    assert breaker.state == "closed", payload
+
+                # Phase 4: backend fully live — the edge serves for real.
+                await backend.start(replying=True)
+                replies = await group.exchange(b"f\n")
+                assert replies == [b"ok f\n", b"ok f\n"]
+                assert breaker.state == "closed"
+
+                # One clean trip and one clean close — no flapping.
+                assert transitions == [
+                    ("closed", "open"),
+                    ("open", "half_open"),
+                    ("half_open", "closed"),
+                ]
+            finally:
+                await group.close()
+                await backend.stop()
+                await proxy.close()
+
+        run(main(), timeout=30.0)

@@ -9,7 +9,9 @@ from hypothesis import strategies as st
 from repro.core.diff import (
     TOKEN_WILDCARD,
     CharRange,
+    DiffResult,
     NoiseMask,
+    TokenDifference,
     diff_tokens,
     differing_ranges,
 )
@@ -161,3 +163,53 @@ class TestDiffTokens:
         corrupted = list(tokens)
         corrupted[0] = corrupted[0] + b"\xff"
         assert diff_tokens([list(tokens), corrupted]).divergent
+
+
+class TestSignatureClustering:
+    """Position-insensitive clustering: ``cluster_signature`` drops token
+    *positions* from the divergence identity, so findings that differ
+    only in where the same values diverge collapse into one cluster."""
+
+    def _result(self, *differences):
+        return DiffResult(
+            divergent=True,
+            differences=[
+                TokenDifference(token_index=index, values=values)
+                for index, values in differences
+            ],
+        )
+
+    def test_same_values_at_different_offsets_share_a_cluster(self):
+        at_three = self._result((3, (b"alpha", b"beta")))
+        at_forty = self._result((40, (b"alpha", b"beta")))
+        assert at_three.signature() != at_forty.signature()
+        assert at_three.cluster_signature() == at_forty.cluster_signature()
+
+    def test_different_value_sets_get_different_clusters(self):
+        one = self._result((3, (b"alpha", b"beta")))
+        other = self._result((3, (b"alpha", b"gamma")))
+        assert one.cluster_signature() != other.cluster_signature()
+
+    def test_cluster_is_the_union_of_value_sets(self):
+        # Two spread-out differences and one difference carrying the
+        # combined values hash the same union — the cluster cares about
+        # *what* diverged, not how the divergence was sliced into tokens.
+        spread = self._result((1, (b"alpha", b"beta")), (5, (b"gamma", b"delta")))
+        combined = self._result((9, (b"alpha", b"beta", b"gamma", b"delta")))
+        assert spread.signature() != combined.signature()
+        assert spread.cluster_signature() == combined.cluster_signature()
+
+    def test_instance_order_is_irrelevant(self):
+        forward = self._result((2, (b"alpha", b"beta")))
+        reverse = self._result((2, (b"beta", b"alpha")))
+        assert forward.cluster_signature() == reverse.cluster_signature()
+
+    def test_count_mismatch_clusters_by_rank_pattern(self):
+        small = DiffResult(divergent=True, token_counts=(3, 5, 3))
+        large = DiffResult(divergent=True, token_counts=(30, 41, 30))
+        shifted = DiffResult(divergent=True, token_counts=(5, 3, 3))
+        assert small.cluster_signature() == large.cluster_signature()
+        assert small.cluster_signature() != shifted.cluster_signature()
+
+    def test_non_divergent_has_no_cluster(self):
+        assert DiffResult(divergent=False).cluster_signature() == ""

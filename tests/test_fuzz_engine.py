@@ -28,10 +28,12 @@ from repro.fuzz.triage import Deduper
 from tests.helpers import run
 
 
-def _trace(verdict, *, signature=None, masked=0, variance_masked=0):
+def _trace(verdict, *, signature=None, cluster=None, masked=0, variance_masked=0):
     spans = {"attrs": {}, "children": []}
     if signature is not None:
         spans["attrs"]["diff_signature"] = signature
+    if cluster is not None:
+        spans["attrs"]["diff_cluster"] = cluster
     denoise_attrs = {}
     if masked:
         denoise_attrs["masked_tokens"] = masked
@@ -64,6 +66,13 @@ class TestOracle:
         assert outcome.fuzz_verdict == DIVERGENT
         assert outcome.signature == "deadbeefcafef00d"
 
+    def test_divergent_carries_cluster(self):
+        outcome = classify(
+            _trace("divergent", signature="deadbeefcafef00d", cluster="f00dd00d")
+        )
+        assert outcome.cluster == "f00dd00d"
+        assert classify(_trace("divergent", signature="aa")).cluster is None
+
     @pytest.mark.parametrize(
         "verdict", ["timeout", "instance_error", "shed", "client_closed"]
     )
@@ -79,12 +88,13 @@ class TestOracle:
 
 
 class TestDeduper:
-    def _outcome(self, signature=None, reason=None):
+    def _outcome(self, signature=None, reason=None, cluster=None):
         return ExchangeOutcome(
             verdict="divergent",
             reason=reason,
             fuzz_verdict=DIVERGENT,
             signature=signature,
+            cluster=cluster,
         )
 
     def test_first_occurrence_is_novel(self):
@@ -100,6 +110,23 @@ class TestDeduper:
         assert deduper.novel(self._outcome(reason="token 3 differs"))
         assert not deduper.novel(self._outcome(reason="token 3 differs"))
         assert deduper.novel(self._outcome(reason="token counts differ"))
+
+    def test_clusters_collapse_positional_signatures(self):
+        # Three distinct positional signatures from the same underlying
+        # divergence (e.g. an ASLR leak at three token offsets): each is
+        # novel — corpus files stay per-signature reproducible — but the
+        # human-facing finding count is one cluster.
+        deduper = Deduper()
+        for signature in ("aa", "bb", "cc"):
+            assert deduper.novel(self._outcome(signature=signature, cluster="XX"))
+        assert deduper.signatures == ["aa", "bb", "cc"]
+        assert deduper.clusters == ["XX"]
+
+    def test_clusterless_findings_cluster_by_signature(self):
+        deduper = Deduper()
+        deduper.novel(self._outcome(signature="aa"))
+        deduper.novel(self._outcome(signature="bb"))
+        assert deduper.clusters == ["aa", "bb"]
 
 
 class TestCorpusFormat:
@@ -185,6 +212,8 @@ class TestCampaignDeterminism:
             )
         first, second = reports
         assert first.signatures == second.signatures
+        assert first.clusters == second.clusters
+        assert 1 <= len(first.clusters) <= len(first.signatures)
         assert first.verdicts == second.verdicts
         assert first.verdicts.get("divergent", 0) >= 1, "campaign found nothing"
         assert len(first.written) >= 1

@@ -1,0 +1,281 @@
+"""Multi-hop chain tests: a depth-3 relay chain whose exchanges stitch
+into one call tree per client request, mid-chain policy containment
+observed end-to-end, journal stitching, and the GitLab → PostgreSQL
+composite deployed as a two-hop pgwire chain."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from urllib.parse import quote
+
+from repro.apps.echo import EchoServer
+from repro.apps.gitlab import CVE_2019_10130_STEPS, injection_for
+from repro.apps.gitlab.services import RailsApp, load_gitlab_schema
+from repro.apps.relay import relay_factory
+from repro.core.config import RddrConfig
+from repro.core.variance import POSTGRES_VERSION_RULES
+from repro.graph import ChainHop, deploy_chain
+from repro.graph.stitch import load_jsonl, stitch
+from repro.obs import Observer
+from repro.obs.__main__ import main as obs_main
+from repro.orchestrator import Cluster
+from repro.pgwire import PgWireServer
+from repro.vendors import create_postsim
+from repro.web import HttpClient
+from repro.web.server import HttpServer
+from tests.helpers import run
+
+
+def _echo_factory():
+    async def factory(ctx):
+        server = EchoServer(
+            host=ctx.host, port=ctx.port, name=f"{ctx.deployment}-{ctx.index}"
+        )
+        return await server.start()
+
+    return factory
+
+
+def _pg_factory(version: str):
+    async def factory(ctx):
+        engine = create_postsim(version)
+        load_gitlab_schema(engine)
+        server = PgWireServer(
+            engine, host=ctx.host, port=ctx.port, name=f"{ctx.deployment}-{ctx.index}"
+        )
+        await server.start()
+        return server
+
+    return factory
+
+
+def _tcp_config(**overrides) -> RddrConfig:
+    base = dict(
+        protocol="tcp",
+        exchange_timeout=3.0,
+        execution_index=True,
+        connect_attempts=5,
+        connect_backoff_max=0.05,
+    )
+    base.update(overrides)
+    return RddrConfig(**base)
+
+
+def _three_hops(**beta_overrides) -> list[ChainHop]:
+    return [
+        ChainHop("alpha", [relay_factory(), relay_factory()], _tcp_config()),
+        ChainHop(
+            "beta",
+            [relay_factory(), relay_factory()],
+            _tcp_config(**beta_overrides),
+        ),
+        ChainHop("gamma", [_echo_factory(), _echo_factory()], _tcp_config()),
+    ]
+
+
+DEEPEST = ["alpha-in", "alpha-out-next", "beta-in", "beta-out-next", "gamma-in"]
+
+
+class TestThreeHopChain:
+    def test_round_trip_stitches_one_tree_per_request(self, tmp_path, capsys):
+        sink_lines: list[str] = []
+
+        async def main():
+            observer = Observer()
+            async with Cluster() as cluster:
+                chain = await deploy_chain(
+                    cluster, _three_hops(), observer=observer
+                )
+                try:
+                    reader, writer = await asyncio.open_connection(*chain.address)
+                    for payload in (b"one\n", b"two\n", b"three\n"):
+                        writer.write(payload)
+                        await writer.drain()
+                        reply = await asyncio.wait_for(
+                            reader.readline(), timeout=10.0
+                        )
+                        assert reply == payload
+                    writer.close()
+                    assert chain.all_live
+                finally:
+                    await chain.close()
+            sink_lines.extend(observer.sink.jsonl().splitlines())
+
+        run(main(), timeout=60.0)
+
+        trees = stitch(load_jsonl(sink_lines))
+        assert len(trees) == 3
+        for tree in trees:
+            deep_paths = [
+                [hop for hop, _seq in node.path]
+                for node in tree.nodes()
+                if len(node.path) == 5
+            ]
+            assert DEEPEST in deep_paths, tree.root_id
+            # Full sampling: every hop was observed, nothing synthesized.
+            assert not any(node.synthesized for node in tree.nodes())
+
+        # The obs CLI renders the same forest from the dumped JSONL.
+        dump = tmp_path / "traces.jsonl"
+        dump.write_text("\n".join(sink_lines) + "\n")
+        assert obs_main(["tree", str(dump)]) == 0
+        out = capsys.readouterr().out
+        assert out.count("root ") == 3
+        assert "gamma-in" in out
+
+        assert obs_main(["tree", "--json", str(dump)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload) == 3
+
+    def test_mid_hop_shed_contained_end_to_end(self):
+        async def main():
+            observer = Observer()
+            async with Cluster() as cluster:
+                chain = await deploy_chain(
+                    cluster,
+                    _three_hops(
+                        tree_policy={"edges": {"next": {"mode": "shed"}}}
+                    ),
+                    observer=observer,
+                )
+                try:
+                    reader, writer = await asyncio.open_connection(*chain.address)
+                    for _ in range(2):  # the connection survives containment
+                        writer.write(b"ping\n")
+                        await writer.drain()
+                        reply = await asyncio.wait_for(
+                            reader.readline(), timeout=10.0
+                        )
+                        # The shed verdict minted at beta's outgoing edge
+                        # arrives as a framed line, not a teardown.
+                        assert reply == b"rddr-degraded edge policy: shed\n"
+                    writer.close()
+                    shed_proxy = chain.hop("beta").rddr.outgoing["next"]
+                    assert shed_proxy.metrics.exchanges_shed >= 2
+                    # Upstream hops saw clean exchanges throughout.
+                    assert chain.hop("alpha").rddr.incoming.metrics.divergences == 0
+                finally:
+                    await chain.close()
+
+        run(main(), timeout=60.0)
+
+    def test_leaf_journal_records_stitch_into_the_tree(self, tmp_path):
+        sink_lines: list[str] = []
+
+        async def main():
+            observer = Observer()
+            hops = _three_hops()
+            hops[2] = ChainHop(
+                "gamma",
+                [_echo_factory(), _echo_factory()],
+                _tcp_config(journal_dir=str(tmp_path / "journal")),
+            )
+            async with Cluster() as cluster:
+                chain = await deploy_chain(cluster, hops, observer=observer)
+                try:
+                    reader, writer = await asyncio.open_connection(*chain.address)
+                    writer.write(b"persist me\n")
+                    await writer.drain()
+                    reply = await asyncio.wait_for(reader.readline(), timeout=10.0)
+                    assert reply == b"persist me\n"
+                    writer.close()
+                finally:
+                    await chain.close()
+            sink_lines.extend(observer.sink.jsonl().splitlines())
+
+        run(main(), timeout=60.0)
+
+        trees = stitch(load_jsonl(sink_lines))
+        journal_nodes = [
+            node
+            for tree in trees
+            for node in tree.nodes()
+            if node.journal and len(node.path) == 5
+        ]
+        assert journal_nodes, "leaf journal records did not stitch"
+        assert all(node.hop == "gamma-in" for node in journal_nodes)
+
+
+class TestGitlabPostgresChain:
+    """The paper's GitLab composite with its database tier reached
+    through a pooler hop: Rails → [pool: 2 relays] → [pg: 3 postsim]."""
+
+    def test_cve_contained_and_exchanges_stitch(self):
+        async def main():
+            observer = Observer()
+            pg_config = RddrConfig(
+                protocol="pgwire",
+                exchange_timeout=2.0,
+                filter_pair=(0, 1),
+                variance_rules=list(POSTGRES_VERSION_RULES),
+                execution_index=True,
+            )
+            pool_config = RddrConfig(
+                protocol="pgwire",
+                exchange_timeout=3.0,
+                execution_index=True,
+            )
+            hops = [
+                ChainHop(
+                    "gitlab-pg-pool",
+                    [relay_factory(), relay_factory()],
+                    pool_config,
+                ),
+                ChainHop(
+                    "gitlab-pg",
+                    [
+                        _pg_factory("10.7"),
+                        _pg_factory("10.7"),
+                        _pg_factory("10.9"),
+                    ],
+                    pg_config,
+                ),
+            ]
+            async with Cluster() as cluster:
+                chain = await deploy_chain(cluster, hops, observer=observer)
+                rails = RailsApp(chain.address)
+                rails_server = HttpServer(rails.app)
+                await rails_server.start()
+                try:
+                    # Benign traffic flows through both hops.
+                    async with HttpClient(*rails_server.handle.address) as client:
+                        response = await client.get("/projects")
+                    assert response.status == 200
+
+                    # The CVE-2019-10130 exploit diverges at the leaf and
+                    # never leaks the protected token through the chain.
+                    for step in CVE_2019_10130_STEPS:
+                        async with HttpClient(
+                            *rails_server.handle.address
+                        ) as client:
+                            response = await client.get(
+                                "/search?q=" + quote(injection_for(step))
+                            )
+                        assert b"glpat-root-AAAA1111SECRET" not in response.body
+                    assert len(chain.hop("gitlab-pg").rddr.events.divergences()) >= 1
+
+                    # Benign traffic still works afterwards.
+                    async with HttpClient(*rails_server.handle.address) as client:
+                        response = await client.get("/projects")
+                    assert response.status == 200
+                finally:
+                    await rails_server.close()
+                    await chain.close()
+
+            # Query exchanges stitched across both hops: pooler incoming →
+            # pooler outgoing → database incoming.
+            trees = stitch(load_jsonl(observer.sink.jsonl().splitlines()))
+            deep_paths = [
+                [hop for hop, _seq in node.path]
+                for tree in trees
+                for node in tree.nodes()
+                if len(node.path) == 3
+            ]
+            assert [
+                "gitlab-pg-pool-in",
+                "gitlab-pg-pool-out-next",
+                "gitlab-pg-in",
+            ] in deep_paths
+
+        run(main(), timeout=90.0)

@@ -1,0 +1,214 @@
+"""Unit tests for execution indices: token codec, budget propagation,
+the five protocol carriers, and call-tree stitching."""
+
+from __future__ import annotations
+
+import json
+
+from repro.graph.index import ExecutionIndex
+from repro.graph.stitch import (
+    indexed_records,
+    load_jsonl,
+    render_trees,
+    stitch,
+)
+from repro.protocols import get as get_protocol
+from repro.protocols.resp import encode_command
+
+
+class TestExecutionIndexCodec:
+    def test_round_trip_full(self):
+        index = (
+            ExecutionIndex.origin("gw-in-000007")
+            .child("gw-in", 7)
+            .child("gw-out-next", 3)
+            .with_budget(deadline_s=0.25, retries=2)
+        )
+        token = index.encode()
+        assert token == "v1;gw-in-000007;gw-in/7.gw-out-next/3;d=250;r=2"
+        parsed = ExecutionIndex.parse(token)
+        assert parsed == index
+
+    def test_round_trip_minimal(self):
+        index = ExecutionIndex.origin("root")
+        parsed = ExecutionIndex.parse(index.encode())
+        assert parsed is not None
+        assert parsed.root == "root"
+        assert parsed.path == ()
+        assert parsed.deadline_s is None and parsed.retries is None
+
+    def test_parse_is_total_on_malformed(self):
+        for bad in (
+            None,
+            "",
+            "v0;root;a/1",          # unknown version
+            "v1",                   # missing fields
+            "v1;root",              # missing path section
+            "v1;root;a/1;d=x",      # non-numeric budget
+            "v1;root;a/b",          # non-numeric seq
+            "v1;ro ot;a/1",         # forbidden character
+            "v1;root;a/1;r=1;d=5",  # budgets out of order
+            b"v1;root;a/1",         # wrong type
+        ):
+            assert ExecutionIndex.parse(bad) is None, bad
+
+    def test_sanitize_folds_unsafe_characters(self):
+        index = ExecutionIndex.origin("svc one*").child("hop;two./x", 1)
+        token = index.encode()
+        assert ExecutionIndex.parse(token) is not None
+        assert index.root == "svc-one-"
+        assert index.path[0][0] == "hop-two--x"
+
+    def test_deadline_encodes_as_whole_milliseconds(self):
+        index = ExecutionIndex.origin("r").with_budget(deadline_s=0.2)
+        assert index.encode().endswith(";d=200")
+        parsed = ExecutionIndex.parse(index.encode())
+        assert parsed.deadline_s == 0.2
+
+    def test_negative_deadline_clamps_to_zero(self):
+        index = ExecutionIndex(root="r", deadline_s=-1.0)
+        assert index.encode().endswith(";d=0")
+
+
+class TestBudgetPropagation:
+    def test_with_budget_never_loosens(self):
+        index = ExecutionIndex.origin("r").with_budget(deadline_s=0.2, retries=1)
+        looser = index.with_budget(deadline_s=5.0, retries=9)
+        assert looser.deadline_s == 0.2
+        assert looser.retries == 1
+
+    def test_with_budget_tightens(self):
+        index = ExecutionIndex.origin("r").with_budget(deadline_s=2.0, retries=5)
+        tighter = index.with_budget(deadline_s=0.5, retries=2)
+        assert tighter.deadline_s == 0.5
+        assert tighter.retries == 2
+
+    def test_child_carries_budgets_unchanged(self):
+        index = ExecutionIndex.origin("r").with_budget(deadline_s=0.3, retries=2)
+        child = index.child("hop", 4)
+        assert child.deadline_s == 0.3 and child.retries == 2
+        assert child.depth == 1
+        assert child.parent_path == ()
+        assert child.node_key() == ("r", (("hop", 4),))
+
+
+class TestProtocolCarriers:
+    TOKEN = "v1;root-1;a-in/1.a-out-next/1;d=500;r=2"
+
+    def _round_trip(self, protocol_name: str, request: bytes) -> bytes:
+        protocol = get_protocol(protocol_name)
+        tagged = protocol.attach_index(request, self.TOKEN)
+        token, stripped = protocol.extract_index(tagged)
+        assert token == self.TOKEN, protocol_name
+        # Absent index extracts as a no-op.
+        assert protocol.extract_index(request) == (None, request)
+        return stripped
+
+    def test_tcp_line_field(self):
+        stripped = self._round_trip("tcp", b"hello world\n")
+        assert stripped == b"hello world\n"
+
+    def test_http_header(self):
+        request = b"GET /projects HTTP/1.1\r\nHost: x\r\n\r\n"
+        stripped = self._round_trip("http", request)
+        assert stripped == request
+
+    def test_json_member(self):
+        request = json.dumps({"op": "get", "key": "k"}).encode() + b"\n"
+        stripped = self._round_trip("json", request)
+        assert json.loads(stripped) == {"op": "get", "key": "k"}
+
+    def test_resp_bulk_pair(self):
+        request = encode_command(b"GET", b"k")
+        stripped = self._round_trip("resp", request)
+        assert stripped == request
+
+    def test_pgwire_query_comment(self):
+        body = b"SELECT 1\x00"
+        request = b"Q" + (len(body) + 4).to_bytes(4, "big") + body
+        stripped = self._round_trip("pgwire", request)
+        assert stripped == request
+
+    def test_pgwire_non_query_passes_unindexed(self):
+        startup = b"\x00\x00\x00\x08\x04\xd2\x16\x2f"
+        protocol = get_protocol("pgwire")
+        assert protocol.attach_index(startup, self.TOKEN) == startup
+        assert protocol.extract_index(startup) == (None, startup)
+
+    def test_tcp_degrade_response_is_framed_line(self):
+        protocol = get_protocol("tcp")
+        response = protocol.degrade_response("edge policy: shed")
+        assert response.startswith(b"rddr-degraded ")
+        assert response.endswith(b"\n")
+
+
+def _trace(token: str, verdict: str = "unanimous") -> dict:
+    return {
+        "proxy": "p-in",
+        "verdict": verdict,
+        "spans": {"name": "exchange", "attrs": {"exec_index": token}},
+    }
+
+
+def _journal(token: str, service: str = "leaf") -> dict:
+    return {"type": "journal", "service": service, "exec_index": token}
+
+
+class TestStitch:
+    def test_one_tree_per_root_in_first_appearance_order(self):
+        records = [
+            _trace("v1;rootB;a/1"),
+            _trace("v1;rootA;a/1"),
+            _trace("v1;rootB;a/1.b/1"),
+        ]
+        trees = stitch(records)
+        assert [t.root_id for t in trees] == ["rootB", "rootA"]
+        assert trees[0].hops == 2
+
+    def test_synthesized_interior_nodes(self):
+        # Only the depth-3 leaf was sampled; its two ancestors are
+        # synthesized so the tree shape survives sampling.
+        trees = stitch([_trace("v1;r;a/1.b/2.c/3")])
+        assert len(trees) == 1
+        nodes = list(trees[0].nodes())
+        assert len(nodes) == 3
+        synthesized = [n for n in nodes if n.synthesized]
+        assert {n.hop for n in synthesized} == {"a", "b"}
+        rendered = render_trees(trees)
+        assert "(unsampled)" in rendered
+        assert "c/3" in rendered
+
+    def test_journal_records_join_their_node(self):
+        records = [
+            _trace("v1;r;leaf-in/4"),
+            _journal("v1;r;leaf-in/4"),
+            _journal("v1;r;leaf-in/4"),
+        ]
+        trees = stitch(records)
+        (node,) = list(trees[0].nodes())
+        assert len(node.traces) == 1
+        assert len(node.journal) == 2
+        assert "journal×2" in render_trees(trees)
+
+    def test_unindexed_and_malformed_records_skipped(self):
+        records = [
+            {"proxy": "p-in", "verdict": "unanimous", "spans": {"attrs": {}}},
+            {"type": "recovery", "service": "x"},
+            _trace("not-a-token"),
+            _trace("v1;r;"),  # parseable but pathless: nothing to place
+            "not a dict",
+        ]
+        assert list(indexed_records(records)) == []
+        assert stitch(records) == []
+        assert render_trees([]) == "(no indexed records)"
+
+    def test_load_jsonl_skips_malformed_lines(self):
+        lines = [
+            json.dumps(_trace("v1;r;a/1")),
+            "",
+            "not json",
+            "[1, 2]",  # JSON but not a dict
+        ]
+        records = list(load_jsonl(lines))
+        assert len(records) == 1
+        assert len(stitch(records)) == 1

@@ -1,0 +1,398 @@
+"""Tree-policy tests: the spec grammar, and the fault × policy matrix on
+a live outgoing proxy (vote teardown vs degrade/passthrough/shed
+containment, deadline and retry-budget enforcement, budget propagation
+through the execution index)."""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+import time
+
+import pytest
+
+from repro.core.config import RddrConfig
+from repro.core.outgoing import OutgoingRequestProxy
+from repro.core.rddr import RddrDeployment
+from repro.graph.index import ExecutionIndex
+from repro.graph.policy import EdgePolicy, TreePolicy, TreePolicyError
+from repro.protocols import get as get_protocol
+from tests.helpers import run
+
+
+class TestPolicyGrammar:
+    def test_none_and_empty_mean_all_vote(self):
+        for spec in (None, {}):
+            policy = TreePolicy.from_dict(spec)
+            assert policy.edge("anything").mode == "vote"
+            assert policy.edge("anything").diffs
+            assert not policy.edge("anything").contains_failure
+
+    def test_named_edge_overrides_default(self):
+        policy = TreePolicy.from_dict(
+            {
+                "default": {"mode": "degrade", "deadline_s": 0.5},
+                "edges": {"postgres": {"mode": "shed"}},
+            }
+        )
+        assert policy.edge("postgres").mode == "shed"
+        assert policy.edge("other").mode == "degrade"
+        assert policy.edge("other").deadline_s == 0.5
+
+    def test_round_trips_through_to_dict(self):
+        spec = {
+            "default": {"mode": "vote"},
+            "edges": {
+                "db": {
+                    "mode": "degrade",
+                    "deadline_s": 0.5,
+                    "retry_budget": 2,
+                    "on_failure": "shed",
+                }
+            },
+        }
+        policy = TreePolicy.from_dict(spec)
+        assert TreePolicy.from_dict(policy.to_dict()) == policy
+
+    def test_mode_properties(self):
+        assert EdgePolicy(mode="vote").diffs
+        assert EdgePolicy(mode="degrade").diffs
+        assert not EdgePolicy(mode="passthrough").diffs
+        assert not EdgePolicy(mode="shed").diffs
+        assert not EdgePolicy(mode="vote").contains_failure
+        for mode in ("degrade", "passthrough", "shed"):
+            assert EdgePolicy(mode=mode).contains_failure
+
+    def test_grammar_rejections(self):
+        bad_specs = [
+            {"edges": {"db": {"mode": "nope"}}},
+            {"edges": {"db": {"mode": "vote", "typo_key": 1}}},
+            {"edges": {"db": {"deadline_s": -1.0}}},
+            {"edges": {"db": {"deadline_s": 0}}},
+            {"edges": {"db": {"retry_budget": -1}}},
+            {"edges": {"db": {"on_failure": "explode"}}},
+            {"unknown_top": {}},
+            {"edges": "not-a-dict"},
+            {"edges": {"db": "not-a-dict"}},
+            "not-a-dict",
+        ]
+        for spec in bad_specs:
+            with pytest.raises(TreePolicyError):
+                TreePolicy.from_dict(spec)
+
+    def test_tree_policy_error_is_a_value_error(self):
+        assert issubclass(TreePolicyError, ValueError)
+
+    def test_bad_spec_fails_at_deployment_construction(self):
+        config = RddrConfig(tree_policy={"edges": {"db": {"mode": "nope"}}})
+        with pytest.raises(TreePolicyError):
+            RddrDeployment("x", config)
+
+
+# --------------------------------------------------------------------------
+# Live-proxy matrix fixtures
+
+
+def _free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+class _Backend:
+    """Recording line server: replies ``ok <line>``; ``stall`` never replies."""
+
+    def __init__(self, *, stall: bool = False) -> None:
+        self.requests: list[bytes] = []
+        self.stall = stall
+        self.server: asyncio.AbstractServer | None = None
+        self.address: tuple[str, int] | None = None
+
+    async def start(self, port: int = 0) -> "tuple[str, int]":
+        self.server = await asyncio.start_server(self._handle, "127.0.0.1", port)
+        self.address = self.server.sockets[0].getsockname()[:2]
+        return self.address
+
+    async def _handle(self, reader, writer) -> None:
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                self.requests.append(line)
+                if self.stall:
+                    continue
+                writer.write(b"ok " + line)
+                await writer.drain()
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            writer.close()
+
+    async def close(self) -> None:
+        if self.server is not None:
+            self.server.close()
+            await self.server.wait_closed()
+
+
+class _Group:
+    """Both instance connections of one outgoing connection group."""
+
+    def __init__(self) -> None:
+        self.streams: list[tuple[asyncio.StreamReader, asyncio.StreamWriter]] = []
+
+    async def connect(self, proxy: OutgoingRequestProxy) -> None:
+        for address in proxy.addresses:
+            self.streams.append(await asyncio.open_connection(*address))
+
+    async def exchange(self, lines: list[bytes]) -> list[bytes]:
+        async def one(stream, line):
+            reader, writer = stream
+            writer.write(line)
+            await writer.drain()
+            return await asyncio.wait_for(reader.readline(), timeout=10.0)
+
+        return list(
+            await asyncio.gather(
+                *(one(s, line) for s, line in zip(self.streams, lines))
+            )
+        )
+
+    async def close(self) -> None:
+        for _reader, writer in self.streams:
+            writer.close()
+
+
+def _config(**overrides) -> RddrConfig:
+    base = dict(
+        protocol="tcp",
+        exchange_timeout=5.0,
+        connect_attempts=2,
+        connect_backoff_max=0.01,
+    )
+    base.update(overrides)
+    return RddrConfig(**base)
+
+
+async def _start_proxy(
+    backend_address, edge: EdgePolicy | None, *, config: RddrConfig | None = None
+) -> OutgoingRequestProxy:
+    proxy = OutgoingRequestProxy(
+        backend_address,
+        2,
+        get_protocol("tcp"),
+        config or _config(),
+        name="up-out-next",
+        edge=edge,
+    )
+    await proxy.start()
+    return proxy
+
+
+class TestPolicyMatrix:
+    def test_vote_dead_backend_tears_group_down(self):
+        async def main():
+            dead = ("127.0.0.1", _free_port())
+            proxy = await _start_proxy(dead, EdgePolicy(mode="vote"))
+            group = _Group()
+            try:
+                await group.connect(proxy)
+                # Eager dial fails; the group tears down and clients read EOF.
+                replies = await group.exchange([b"ping\n", b"ping\n"])
+                assert replies == [b"", b""]
+            finally:
+                await group.close()
+                await proxy.close()
+
+        run(main(), timeout=30.0)
+
+    def test_degrade_contains_dead_backend_and_recovers(self):
+        async def main():
+            port = _free_port()
+            proxy = await _start_proxy(
+                ("127.0.0.1", port), EdgePolicy(mode="degrade")
+            )
+            group = _Group()
+            backend = _Backend()
+            try:
+                await group.connect(proxy)
+                replies = await group.exchange([b"ping\n", b"ping\n"])
+                for reply in replies:
+                    assert reply.startswith(b"rddr-degraded"), reply
+                assert proxy.metrics.degraded_exchanges >= 1
+                # The group survived containment: once the backend comes
+                # up on the same port, the next exchange serves for real.
+                await backend.start(port)
+                replies = await group.exchange([b"pong\n", b"pong\n"])
+                assert replies == [b"ok pong\n", b"ok pong\n"]
+                assert backend.requests == [b"pong\n"]
+            finally:
+                await group.close()
+                await backend.close()
+                await proxy.close()
+
+        run(main(), timeout=30.0)
+
+    def test_passthrough_skips_diffing(self):
+        async def main():
+            backend = _Backend()
+            address = await backend.start()
+            proxy = await _start_proxy(address, EdgePolicy(mode="passthrough"))
+            group = _Group()
+            try:
+                await group.connect(proxy)
+                # Divergent instance requests: vote would block, but a
+                # passthrough edge forwards the canonical without diffing.
+                replies = await group.exchange([b"AAA\n", b"BBB\n"])
+                assert replies == [b"ok AAA\n", b"ok AAA\n"]
+                assert backend.requests == [b"AAA\n"]
+                assert proxy.metrics.divergences == 0
+            finally:
+                await group.close()
+                await backend.close()
+                await proxy.close()
+
+        run(main(), timeout=30.0)
+
+    def test_shed_never_contacts_backend(self):
+        async def main():
+            backend = _Backend()
+            address = await backend.start()
+            proxy = await _start_proxy(address, EdgePolicy(mode="shed"))
+            group = _Group()
+            try:
+                await group.connect(proxy)
+                for _ in range(2):  # the group stays alive across sheds
+                    replies = await group.exchange([b"ping\n", b"ping\n"])
+                    assert replies == [
+                        b"rddr-degraded edge policy: shed\n",
+                        b"rddr-degraded edge policy: shed\n",
+                    ]
+                assert backend.requests == []
+                assert proxy.metrics.exchanges_shed >= 2
+            finally:
+                await group.close()
+                await backend.close()
+                await proxy.close()
+
+        run(main(), timeout=30.0)
+
+    def test_edge_deadline_bounds_a_stalled_backend(self):
+        async def main():
+            backend = _Backend(stall=True)
+            address = await backend.start()
+            proxy = await _start_proxy(
+                address, EdgePolicy(mode="degrade", deadline_s=0.3)
+            )
+            group = _Group()
+            try:
+                await group.connect(proxy)
+                started = time.monotonic()
+                replies = await group.exchange([b"ping\n", b"ping\n"])
+                elapsed = time.monotonic() - started
+                for reply in replies:
+                    assert reply.startswith(b"rddr-degraded"), reply
+                # The edge's 0.3s share bounded the wait, not the 5s
+                # exchange timeout.
+                assert elapsed < 2.0, elapsed
+            finally:
+                await group.close()
+                await backend.close()
+                await proxy.close()
+
+        run(main(), timeout=30.0)
+
+    def test_retry_budget_caps_lifetime_redials(self):
+        async def main():
+            dead = ("127.0.0.1", _free_port())
+            proxy = await _start_proxy(
+                dead,
+                EdgePolicy(mode="degrade", retry_budget=2),
+                config=_config(connect_attempts=3),
+            )
+            group = _Group()
+            try:
+                await group.connect(proxy)
+                await group.exchange([b"a\n", b"a\n"])
+                # First dial spent the whole budget (3 attempts = 2 redials).
+                assert proxy._redials_used == 2
+                await group.exchange([b"b\n", b"b\n"])
+                # Budget exhausted: later dials are single-attempt.
+                assert proxy._redials_used == 2
+            finally:
+                await group.close()
+                await proxy.close()
+
+        run(main(), timeout=30.0)
+
+
+class TestBudgetPropagationThroughProxy:
+    def test_forwarded_index_carries_min_budget(self):
+        async def main():
+            protocol = get_protocol("tcp")
+            backend = _Backend()
+            address = await backend.start()
+            proxy = await _start_proxy(
+                address,
+                EdgePolicy(mode="degrade", deadline_s=0.5, retry_budget=2),
+                config=_config(execution_index=True),
+            )
+            group = _Group()
+            try:
+                await group.connect(proxy)
+                # The parent hop passed down a 0.2s budget — tighter than
+                # both the 5s exchange timeout and the edge's 0.5s share.
+                parent = (
+                    ExecutionIndex.origin("up")
+                    .child("up-in", 1)
+                    .with_budget(deadline_s=0.2)
+                )
+                line = protocol.attach_index(b"ping\n", parent.encode())
+                replies = await group.exchange([line, line])
+                # The echo backend replies with the forwarded line verbatim
+                # (index envelope included) — both instances see it.
+                assert all(reply.startswith(b"ok ") for reply in replies)
+                assert replies[0] == replies[1]
+                token, bare = protocol.extract_index(backend.requests[0])
+                assert bare == b"ping\n"
+                forwarded = ExecutionIndex.parse(token)
+                assert forwarded is not None
+                assert forwarded.root == "up"
+                assert forwarded.path[0] == ("up-in", 1)
+                assert forwarded.path[-1] == ("up-out-next", 0)
+                assert forwarded.deadline_s == 0.2  # min(5.0, 0.5, 0.2)
+                assert forwarded.retries == 2
+            finally:
+                await group.close()
+                await backend.close()
+                await proxy.close()
+
+        run(main(), timeout=30.0)
+
+    def test_bare_request_mints_fresh_root(self):
+        async def main():
+            protocol = get_protocol("tcp")
+            backend = _Backend()
+            address = await backend.start()
+            proxy = await _start_proxy(
+                address,
+                EdgePolicy(mode="degrade", deadline_s=0.5),
+                config=_config(execution_index=True),
+            )
+            group = _Group()
+            try:
+                await group.connect(proxy)
+                replies = await group.exchange([b"ping\n", b"ping\n"])
+                assert all(reply.startswith(b"ok ") for reply in replies)
+                token, _bare = protocol.extract_index(backend.requests[0])
+                minted = ExecutionIndex.parse(token)
+                assert minted is not None
+                assert minted.root.startswith("up-out-next")
+                assert minted.path == (("up-out-next", 0),)
+                assert minted.deadline_s == 0.5  # the edge's share alone
+            finally:
+                await group.close()
+                await backend.close()
+                await proxy.close()
+
+        run(main(), timeout=30.0)

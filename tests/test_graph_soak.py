@@ -1,0 +1,245 @@
+"""Seeded 3-hop chain chaos soak: mid-chain kill, hop-local healing.
+
+Drives ~150 exchanges through an alpha → beta → gamma chain (relays in
+front of an echo leaf, execution indices on every hop) while a seeded
+kill point closes a currently-LIVE mid-chain (beta) pod.  Recovery runs
+*only* on beta, so the run proves cascade containment: the failure
+quarantines and heals hop-locally, upstream hops stay live (alpha's
+``degrade`` edge maps downstream trouble to framed verdicts, never raw
+timeouts), and after teardown nothing leaks.  Every divergence-free
+exchange must carry one stitchable execution index end to end.
+
+The seed comes from ``RDDR_SOAK_SEED`` (default 1); when
+``RDDR_SOAK_TRACE_DIR`` is set the trace-sink JSONL is dumped there
+(pass or fail) for the CI failure artifact.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import random
+
+from repro.apps.echo import EchoServer
+from repro.apps.relay import relay_factory
+from repro.core.config import RddrConfig
+from repro.graph import ChainHop, deploy_chain
+from repro.graph.stitch import load_jsonl, stitch
+from repro.obs import Observer
+from repro.orchestrator import Cluster
+from repro.recovery import LIVE
+from repro.transport.streams import close_writer
+from tests.helpers import run
+
+SEED = int(os.environ.get("RDDR_SOAK_SEED", "1"))
+EXCHANGES = 150
+BETA_N = 3
+
+DEEPEST = ["alpha-in", "alpha-out-next", "beta-in", "beta-out-next", "gamma-in"]
+
+
+async def _echo_factory(ctx):
+    return await EchoServer(host=ctx.host, port=ctx.port).start()
+
+
+class _ReconnectingClient:
+    """A client that reopens its connection when the chain drops it."""
+
+    def __init__(self, address: tuple[str, int]) -> None:
+        self.address = address
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+
+    async def exchange(self, line: bytes) -> bytes | None:
+        for _ in range(2):  # one reconnect attempt per exchange
+            try:
+                if self._writer is None:
+                    self._reader, self._writer = await asyncio.open_connection(
+                        *self.address
+                    )
+                self._writer.write(line + b"\n")
+                await self._writer.drain()
+                reply = await asyncio.wait_for(self._reader.readline(), 5.0)
+                if reply:
+                    return reply
+            except (ConnectionError, asyncio.TimeoutError, OSError):
+                pass
+            await self.aclose()
+        return None
+
+    async def aclose(self) -> None:
+        if self._writer is not None:
+            await close_writer(self._writer)
+        self._reader = self._writer = None
+
+
+def _hops() -> list[ChainHop]:
+    common = dict(
+        protocol="tcp",
+        execution_index=True,
+        ephemeral_state=False,
+        connect_attempts=3,
+        connect_backoff_max=0.05,
+    )
+    alpha = RddrConfig(
+        exchange_timeout=2.0,
+        # Cascade containment: whatever happens downstream during the
+        # kill arrives here as a framed degrade verdict within 1.5s,
+        # never as a raw timeout tearing alpha's groups down.
+        tree_policy={"edges": {"next": {"mode": "degrade", "deadline_s": 1.5}}},
+        **common,
+    )
+    # Recovery runs ONLY on the mid hop.  Probes are connect-only: an
+    # in-band liveness request would traverse the rest of the chain and
+    # (dialling only LIVE relays) skew the outgoing proxy's group
+    # counters against rejoining shadows.
+    beta = RddrConfig(
+        exchange_timeout=0.4,
+        instance_response_deadline=0.3,
+        divergence_policy="vote",
+        degraded_quorum=True,
+        quarantine_minority=True,
+        recovery_enabled=True,
+        probe_period=0.25,
+        probe_timeout=1.0,
+        probe_connect_only=True,
+        probe_failure_threshold=2,
+        restart_backoff=0.05,
+        rejoin_clean_exchanges=2,
+        **common,
+    )
+    gamma = RddrConfig(exchange_timeout=2.0, **common)
+    return [
+        ChainHop("alpha", [relay_factory(), relay_factory()], alpha),
+        ChainHop("beta", [relay_factory() for _ in range(BETA_N)], beta),
+        ChainHop("gamma", [_echo_factory, _echo_factory], gamma),
+    ]
+
+
+async def _soak(baseline_tasks: set) -> None:
+    rng = random.Random(SEED)
+    kill_point = rng.randrange(30, EXCHANGES - 40)
+    observer = Observer()
+    _SINK[0] = observer.sink
+    async with Cluster() as cluster:
+        chain = await deploy_chain(cluster, _hops(), observer=observer)
+        supervisor = chain.hop("beta").supervisor
+        assert supervisor is not None
+        client = _ReconnectingClient(chain.address)
+        served = 0
+        contained = 0
+        killed = False
+        for exchange in range(EXCHANGES):
+            if not killed and exchange == kill_point:
+                live = [
+                    index
+                    for index in range(BETA_N)
+                    if supervisor.state(index) == LIVE
+                ]
+                victim = rng.choice(live)
+                pod = next(
+                    p for p in cluster.pods("beta") if p.index == victim
+                )
+                await pod.runtime.close()
+                killed = True
+            line = b"soak %d" % exchange
+            reply = await client.exchange(line)
+            if reply == line + b"\n":
+                served += 1
+            elif reply is not None and reply.startswith(b"rddr-degraded"):
+                contained += 1
+            await asyncio.sleep(0.005)
+        assert killed
+
+        # Keep driving traffic until the killed beta pod has warm-rejoined.
+        # Each drain exchange opens a *fresh* session: connection groups
+        # are per-session, so a rejoining shadow can only take part in
+        # groups formed after it came back.
+        deadline = asyncio.get_running_loop().time() + 30.0
+        extra = 0
+        while not supervisor.all_live:
+            assert (
+                asyncio.get_running_loop().time() < deadline
+            ), f"beta states: {supervisor.states}"
+            await client.aclose()
+            await client.exchange(b"drain %d" % extra)
+            extra += 1
+            await asyncio.sleep(0.02)
+        await client.aclose()
+
+        # Every hop healthy; the chain as a whole reports live.
+        assert chain.all_live
+        assert served >= 100, f"served only {served}/{EXCHANGES}"
+
+        # The mid hop actually recovered (restart + warm rejoin)...
+        snapshot = chain.hop("beta").rddr.metrics_snapshot()
+        recoveries = sum(
+            series["value"]
+            for series in snapshot["rddr_recoveries_total"]["series"]
+        )
+        assert recoveries >= 1
+
+        # ...and the containment was hop-local: no hop other than beta
+        # ever saw an instance quarantined.
+        for record in load_jsonl(observer.sink.jsonl().splitlines()):
+            if record.get("type") == "recovery" and record.get("to") == "QUARANTINED":
+                assert record.get("service") == "beta", record
+
+        address = chain.address
+        await chain.close()
+
+    # Every served exchange stitched into one full-depth call tree.
+    trees = stitch(load_jsonl(observer.sink.jsonl().splitlines()))
+    full_depth = 0
+    for tree in trees:
+        paths = [
+            [hop for hop, _seq in node.path]
+            for node in tree.nodes()
+            if len(node.path) == 5
+        ]
+        if DEEPEST in paths:
+            full_depth += 1
+    assert full_depth >= served, (full_depth, served)
+    seen_hops = {
+        hop
+        for tree in trees
+        for node in tree.nodes()
+        for hop, _seq in [node.path[-1]]
+    }
+    assert set(DEEPEST) <= seen_hops
+
+    # Teardown hygiene: nothing keeps running, nothing listens.
+    await asyncio.sleep(0.1)
+    leaked = [
+        task
+        for task in asyncio.all_tasks() - baseline_tasks
+        if task is not asyncio.current_task()
+    ]
+    assert leaked == [], leaked
+    try:
+        _, writer = await asyncio.open_connection(*address)
+    except OSError:
+        pass
+    else:
+        await close_writer(writer)
+        raise AssertionError("chain head address still listening")
+
+
+#: The deployment's trace sink, stashed so a failed run can still dump
+#: its JSONL for the CI artifact.
+_SINK: list = [None]
+
+
+class TestChainChaosSoak:
+    def test_seeded_three_hop_soak_heals_hop_locally(self):
+        async def main():
+            baseline_tasks = asyncio.all_tasks()  # the test-harness wrappers
+            try:
+                await _soak(baseline_tasks)
+            finally:
+                trace_dir = os.environ.get("RDDR_SOAK_TRACE_DIR")
+                if trace_dir and _SINK[0] is not None:
+                    path = os.path.join(trace_dir, f"chain-soak-seed{SEED}.jsonl")
+                    _SINK[0].write_jsonl(path)
+
+        run(main(), timeout=180.0)

@@ -176,16 +176,24 @@ class TestInTreeModules:
         rows = {
             name: capabilities_of(get_protocol(name)) for name in IN_TREE
         }
-        assert rows["tcp"] == ProtocolCapabilities(liveness=True, mutation=True)
-        assert rows["json"] == ProtocolCapabilities(mutation=True)
+        assert rows["tcp"] == ProtocolCapabilities(
+            liveness=True, mutation=True, execution_index=True
+        )
+        assert rows["json"] == ProtocolCapabilities(
+            mutation=True, execution_index=True
+        )
         assert rows["http"] == ProtocolCapabilities(
-            state_classification=True, finish_exchange=True, mutation=True
+            state_classification=True,
+            finish_exchange=True,
+            mutation=True,
+            execution_index=True,
         )
         assert rows["resp"] == ProtocolCapabilities(
             liveness=True,
             snapshots=True,
             state_classification=True,
             mutation=True,
+            execution_index=True,
         )
         assert rows["pgwire"] == ProtocolCapabilities(
             liveness=True,
@@ -193,6 +201,7 @@ class TestInTreeModules:
             state_classification=True,
             handshake=True,
             mutation=True,
+            execution_index=True,
         )
 
     def test_in_tree_modules_pass_validation(self):

@@ -368,11 +368,34 @@ class TestOutgoingProxyBreaker:
         proxy = OutgoingRequestProxy(("127.0.0.1", 1), 2, "tcp")
         assert proxy.breaker is None
 
-    def test_reset_instance_realigns_with_most_advanced_peer(self):
+    def test_group_assignment_self_aligns_after_instance_drift(self):
+        # Slot-based grouping: an instance that missed dials (it was
+        # dead) or dialed extra times (probe, mid-session shadow join)
+        # lands in whatever group its peers are currently forming — no
+        # counter realignment needed on respawn.
         proxy = OutgoingRequestProxy(("127.0.0.1", 1), 3, "tcp")
-        proxy._next_group_index = [4, 2, 4]
+        sentinel = object()
+
+        group_a, index_a = proxy._assign_group(0)
+        group_a.readers[0] = sentinel
+        group_b, index_b = proxy._assign_group(0)  # same instance again
+        assert index_a == 0 and index_b == 1
+        assert group_b is not group_a
+
+        # Peers fill the earliest still-forming slots first.
+        group, index = proxy._assign_group(1)
+        assert group is group_a and index == 0
+        group.readers[1] = sentinel
+
+        # A completed group never takes another member.
+        group_a.complete.set()
+        group, index = proxy._assign_group(2)
+        assert group is group_b and index == 1
+
+        # reset_instance is an explicit no-op under slot assignment.
         proxy.reset_instance(1)
-        assert proxy._next_group_index == [4, 4, 4]
+        group, index = proxy._assign_group(1)
+        assert group is group_b and index == 1
 
 
 class TestDirectoryModes:
