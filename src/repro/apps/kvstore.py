@@ -145,6 +145,17 @@ class _BaseKvServer:
             return _bulk(f"# Server\r\nflavor:{self.flavor}\r\n".encode())
         if verb == b"SNAPSHOT" and len(command) == 1:
             return _bulk(self.snapshot())
+        if verb == b"DIGEST" and len(command) == 2:
+            try:
+                chunk_bytes = int(command[1])
+                if chunk_bytes <= 0:
+                    raise ValueError
+            except ValueError:
+                return _error("bad chunk size")
+            from repro.sentinel.digest import chunk_digests
+
+            digests = chunk_digests(self.snapshot(), chunk_bytes)
+            return _bulk(b"\n".join(d.encode("ascii") for d in digests))
         if verb == b"RESTORE" and len(command) == 2:
             try:
                 self.restore(command[1])

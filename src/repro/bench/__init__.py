@@ -52,8 +52,17 @@ async def run_bench(
     instances: int = 3,
     trace_sample_rate: float = 1.0,
     probe_interval: float = 0.02,
+    sentinel_period: float | None = None,
 ) -> dict:
-    """Run one seeded bench and return its BENCH report dict."""
+    """Run one seeded bench and return its BENCH report dict.
+
+    ``sentinel_period`` (the overhead-ablation knob) attaches a
+    detection-only :class:`~repro.sentinel.StateSentinel` auditing the
+    instance set every that-many seconds while the clients run.  It is
+    deliberately *not* part of the report's config fingerprint: the off
+    and on arms stay identity-comparable through ``compare_reports``,
+    which is the whole point of the ablation.
+    """
     try:
         spec = WORKLOADS[workload]
     except KeyError:
@@ -73,8 +82,14 @@ async def run_bench(
     observer = Observer()
     name = f"bench-{workload}"
     deploy_hook = getattr(spec, "deploy", None)
+    if sentinel_period is not None and deploy_hook is not None:
+        raise ValueError(
+            "sentinel ablation needs a workload with static instances, "
+            f"not {workload!r}"
+        )
     servers: list = []
     deployment = None
+    sentinel = None
     try:
         if deploy_hook is not None:
             # Workloads owning their topology (the chain) deploy it
@@ -87,10 +102,22 @@ async def run_bench(
             deployment = await repro.deploy(
                 instances=addresses, config=config, observer=observer, name=name
             )
+            if sentinel_period is not None:
+                from repro.sentinel import StateSentinel
+
+                sentinel = StateSentinel(
+                    service=name,
+                    protocol=spec.protocol,
+                    observer=observer,
+                    period=sentinel_period,
+                    addresses=addresses,
+                ).start()
         probe = deployment.runtime_probe
         result = await spec.run_clients(deployment.address, streams)
         runtime = probe.summary() if probe is not None else None
     finally:
+        if sentinel is not None:
+            await sentinel.close()
         if deployment is not None:
             await deployment.close()
         for server in servers:

@@ -37,6 +37,17 @@ def _run_parser() -> argparse.ArgumentParser:
     parser.add_argument("--requests", type=int, default=50, help="per client")
     parser.add_argument("--instances", type=int, default=3)
     parser.add_argument("--sample-rate", type=float, default=1.0)
+    parser.add_argument(
+        "--sentinel-period",
+        type=float,
+        nargs="?",
+        const=0.25,
+        default=None,
+        metavar="SECONDS",
+        help="attach a detection-only anti-entropy sentinel auditing "
+        "every SECONDS (default with no value: 0.25) — the overhead "
+        "ablation arm; off when omitted",
+    )
     parser.add_argument("--out", default=None, help="default BENCH_<workload>.json")
     return parser
 
@@ -88,6 +99,7 @@ def main(argv: list[str] | None = None) -> int:
         requests=args.requests,
         instances=args.instances,
         trace_sample_rate=args.sample_rate,
+        sentinel_period=args.sentinel_period,
     )
     path = write_report(report, args.out or f"BENCH_{args.workload}.json")
     totals = report["totals"]

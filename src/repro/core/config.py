@@ -27,6 +27,9 @@ _FINGERPRINT_NEUTRAL_FIELDS: frozenset[str] = frozenset({
     "execution_index",
     "tree_policy",
     "probe_connect_only",
+    "sentinel_audit_period",
+    "sentinel_chunk_bytes",
+    "sentinel_repair_budget",
 })
 
 
@@ -162,6 +165,16 @@ class RddrConfig:
     #: "deadline_s": ..., "retry_budget": ..., "on_failure": ...}}}``).
     #: ``None`` keeps every edge on today's ``vote`` behaviour.
     tree_policy: dict | None = None
+    #: Anti-entropy sentinel (repro.sentinel): period in seconds between
+    #: background state audits comparing chunked snapshot digests across
+    #: the N-version group.  ``None`` (the default) runs no sentinel.
+    sentinel_audit_period: float | None = None
+    #: Chunk size (bytes) for the Merkle-style state digests; smaller
+    #: chunks localize drift more precisely at the cost of more hashing.
+    sentinel_chunk_bytes: int = 256
+    #: Failed in-place repairs tolerated per instance before the sentinel
+    #: escalates to full quarantine/respawn.
+    sentinel_repair_budget: int = 2
 
     def filter_pair_obj(self) -> FilterPair | None:
         if self.filter_pair is None:
@@ -262,6 +275,9 @@ class RddrConfig:
             "runtime_probe_interval": self.runtime_probe_interval,
             "execution_index": self.execution_index,
             "tree_policy": self.tree_policy,
+            "sentinel_audit_period": self.sentinel_audit_period,
+            "sentinel_chunk_bytes": self.sentinel_chunk_bytes,
+            "sentinel_repair_budget": self.sentinel_repair_budget,
         }
 
     @classmethod
@@ -354,6 +370,13 @@ class RddrConfig:
                 if data.get("tree_policy") is not None
                 else None
             ),
+            sentinel_audit_period=(
+                float(data["sentinel_audit_period"])  # type: ignore[arg-type]
+                if data.get("sentinel_audit_period") is not None
+                else None
+            ),
+            sentinel_chunk_bytes=int(data.get("sentinel_chunk_bytes", 256)),  # type: ignore[arg-type]
+            sentinel_repair_budget=int(data.get("sentinel_repair_budget", 2)),  # type: ignore[arg-type]
         )
 
     def dump(self, path: str | Path) -> None:

@@ -163,6 +163,11 @@ class IncomingRequestProxy:
         #: commit time, *before* the client drain, so a client disconnect
         #: cannot lose an exchange the instances already applied.
         self.journal = journal
+        #: Execution index (encoded token) of the newest journal-committed
+        #: exchange — the anti-entropy sentinel stamps it into ``drift``
+        #: trace records so drift findings stitch into the call trees
+        #: (None until an indexed exchange commits).
+        self.last_exec_index: str | None = None
         #: Group commit: appends landing within ``journal_group_commit_ms``
         #: share one fsync; each caller still ACKs only after durability.
         self._group_commit = (
@@ -709,6 +714,8 @@ class IncomingRequestProxy:
             directory_version=version,
             flags=flags,
         )
+        if index is not None:
+            self.last_exec_index = index.encode()
         self.observer.journal_appended(
             self.name,
             len(record.encode()),

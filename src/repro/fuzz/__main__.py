@@ -12,6 +12,11 @@ Replay (exit 1 if any recorded verdict no longer holds)::
     python -m repro.fuzz replay tests/fuzz_corpus/<file>.json
     python -m repro.fuzz replay --all
 
+Merge per-campaign corpus directories (dedup by cluster signature,
+keeping the minimal reproducer per cluster)::
+
+    python -m repro.fuzz merge nightly-a/ nightly-b/ --out merged/
+
 Promote the diverse-mode corpus into the scenario registry and run the
 three-part proof for each::
 
@@ -72,6 +77,24 @@ def _run_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="PATH",
         help="dump the deployment's trace ring as JSONL (CI artifact)",
+    )
+    return parser
+
+
+def _merge_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.fuzz merge",
+        description="Union corpus directories, one minimal reproducer "
+        "per cluster signature.",
+    )
+    parser.add_argument(
+        "directories", nargs="+", metavar="DIR", help="corpus directories"
+    )
+    parser.add_argument(
+        "--out",
+        required=True,
+        metavar="DIR",
+        help="write the merged corpus here",
     )
     return parser
 
@@ -150,6 +173,22 @@ async def _cmd_replay(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_merge(args: argparse.Namespace) -> int:
+    from repro.fuzz.merge import merge_corpora
+
+    try:
+        report = merge_corpora(
+            [Path(d) for d in args.directories], Path(args.out)
+        )
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    print(report.summary_line())
+    for path in report.written:
+        print(f"  kept {path.name}")
+    return 0
+
+
 async def _cmd_promote() -> int:
     from repro.fuzz.promote import register_corpus_scenarios
     from repro.scenarios.base import registry
@@ -181,9 +220,14 @@ def main(argv: list[str] | None = None) -> int:
         return asyncio.run(_cmd_run(_run_parser().parse_args(rest)))
     if command == "replay":
         return asyncio.run(_cmd_replay(_replay_parser().parse_args(rest)))
+    if command == "merge":
+        return _cmd_merge(_merge_parser().parse_args(rest))
     if command == "promote":
         return asyncio.run(_cmd_promote())
-    print(f"unknown command {command!r} (run | replay | promote)", file=sys.stderr)
+    print(
+        f"unknown command {command!r} (run | replay | merge | promote)",
+        file=sys.stderr,
+    )
     return 2
 
 

@@ -44,6 +44,11 @@ class Reproducer:
     requests: list[bytes]
     #: Diff-token dedup signature (divergent findings only).
     signature: str | None = None
+    #: Position-insensitive cluster signature (divergent findings only):
+    #: the root-cause identity cross-campaign merging dedups on.  Older
+    #: corpus files lack it and load as ``None`` (merge falls back to
+    #: the positional signature).
+    cluster: str | None = None
     #: Proxy-supplied divergence reason when minted (informational —
     #: replay asserts the verdict and signature, not this string).
     reason: str | None = None
@@ -75,7 +80,7 @@ class Reproducer:
     # ----------------------------------------------------------- (de)ser
 
     def to_dict(self) -> dict:
-        return {
+        data = {
             "format": self.format,
             "target": self.target,
             "mode": self.mode,
@@ -89,6 +94,10 @@ class Reproducer:
                 for request in self.requests
             ],
         }
+        # Only when set: pre-cluster corpus files re-mint byte-identically.
+        if self.cluster is not None:
+            data["cluster"] = self.cluster
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "Reproducer":
@@ -102,6 +111,7 @@ class Reproducer:
             mode=data["mode"],
             verdict=data["verdict"],
             signature=data.get("signature"),
+            cluster=data.get("cluster"),
             reason=data.get("reason"),
             seed=int(data.get("seed", 0)),
             comment=data.get("comment", ""),

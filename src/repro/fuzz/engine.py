@@ -188,6 +188,7 @@ async def run_campaign(config: CampaignConfig) -> CampaignReport:
                                 verdict=DIVERGENT,
                                 requests=requests,
                                 signature=outcome.signature,
+                                cluster=outcome.cluster,
                                 reason=outcome.reason,
                                 seed=config.seed,
                             )

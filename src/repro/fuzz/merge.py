@@ -1,0 +1,92 @@
+"""Cross-campaign corpus merging: union corpora, one reproducer per cluster.
+
+Nightly CI runs many seeded campaigns in parallel, each writing its own
+corpus directory, and one root cause routinely surfaces in several of
+them at different token offsets — many positional signatures, many
+files, *one* finding.  :func:`merge_corpora` unions any number of
+corpus directories and keeps exactly one reproducer per
+**cluster** (the position-insensitive
+:meth:`repro.core.diff.DiffResult.cluster_signature` identity minted
+into findings; older files fall back to their positional signature, and
+signature-less exemplars to their content slug) — and of each cluster's
+candidates, the *minimal* one: fewest requests, then fewest request
+bytes, then lexicographically-first filename.  Every tiebreak is
+deterministic, so merging the same inputs always writes byte-identical
+output, which makes the merged directory itself corpus-diffable.
+
+Merged files are rewritten through :meth:`Reproducer.save`, so the
+output directory is a normal corpus: replayable with
+``python -m repro.fuzz replay``, loadable with :func:`load_corpus`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.fuzz.corpus import Reproducer, load_corpus
+
+
+def cluster_key(reproducer: Reproducer) -> str:
+    """The merge identity of one reproducer, scoped by target and mode
+    (the same root cause in different workloads is different findings):
+    the cluster signature, falling back to the positional signature for
+    pre-cluster corpus files, then to the content slug for
+    signature-less (match/denoised) exemplars."""
+    identity = reproducer.cluster or reproducer.signature or reproducer.slug
+    return f"{reproducer.target}:{reproducer.mode}:{identity}"
+
+
+def _rank(path: Path, reproducer: Reproducer) -> tuple[int, int, str]:
+    """Merge preference within one cluster — smaller wins."""
+    return (
+        len(reproducer.requests),
+        sum(len(request) for request in reproducer.requests),
+        path.name,
+    )
+
+
+@dataclass
+class MergeReport:
+    """What one merge did."""
+
+    #: Reproducer files scanned across every input directory.
+    scanned: int = 0
+    #: Files written into the output directory, one per cluster.
+    written: list[Path] = field(default_factory=list)
+    #: Scanned reproducers superseded by a smaller cluster-mate.
+    dropped: int = 0
+
+    def summary_line(self) -> str:
+        return (
+            f"merged {self.scanned} reproducer(s) -> "
+            f"{len(self.written)} cluster(s), {self.dropped} duplicate(s) dropped"
+        )
+
+
+def merge_corpora(directories: list[Path], out_dir: Path) -> MergeReport:
+    """Union the corpora in ``directories`` into ``out_dir``, one minimal
+    reproducer per cluster.  Raises ``ValueError`` when an input
+    directory is missing or holds no reproducers at all combined."""
+    candidates: list[tuple[Path, Reproducer]] = []
+    for directory in directories:
+        if not Path(directory).is_dir():
+            raise ValueError(f"not a corpus directory: {directory}")
+        candidates.extend(load_corpus(Path(directory)))
+    if not candidates:
+        raise ValueError("no reproducers found in any input directory")
+
+    best: dict[str, tuple[Path, Reproducer]] = {}
+    for path, reproducer in candidates:
+        key = cluster_key(reproducer)
+        incumbent = best.get(key)
+        if incumbent is None or _rank(path, reproducer) < _rank(*incumbent):
+            best[key] = (path, reproducer)
+
+    report = MergeReport(scanned=len(candidates))
+    report.dropped = len(candidates) - len(best)
+    out_dir = Path(out_dir)
+    for key in sorted(best):
+        _path, reproducer = best[key]
+        report.written.append(reproducer.save(out_dir))
+    return report

@@ -47,6 +47,7 @@ from repro.journal.log import (
 from repro.journal.replay import (
     CatchupStats,
     capture_snapshot,
+    capture_state_digests,
     replay_into,
     supports_snapshots,
 )
@@ -61,6 +62,7 @@ __all__ = [
     "JournalRecord",
     "JournalSnapshot",
     "capture_snapshot",
+    "capture_state_digests",
     "replay_into",
     "response_digest",
     "scan_segment",

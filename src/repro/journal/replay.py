@@ -91,6 +91,51 @@ async def capture_snapshot(
         await close_writer(writer)
 
 
+async def capture_state_digests(
+    address: Address,
+    protocol: ProtocolModule | str,
+    *,
+    chunk_bytes: int = 256,
+    deadline: float = 5.0,
+    connect_attempts: int = 5,
+) -> list[str]:
+    """Fetch the chunked state digests of the instance at ``address``.
+
+    Modules with the contract-1.3 ``state_digest`` capability answer a
+    dedicated digest request and the server hashes its own snapshot;
+    everything else (but with snapshot support) falls back to fetching
+    the full snapshot and chunking the raw reply client-side.  Either
+    path maps identical state to identical digests across an N-version
+    group (every member speaks the same protocol, so the same capture
+    path applies group-wide) — but the two paths are not byte-comparable
+    with each other: native digests cover the snapshot *body*, fallback
+    digests cover the framed reply.
+    """
+    proto = resolve(protocol)
+    caps = capabilities_of(proto)
+    if caps.state_digest:
+        request = proto.state_digest_request(chunk_bytes)  # type: ignore[attr-defined]
+        reader, writer = await open_connection_retry(
+            *address, attempts=connect_attempts
+        )
+        try:
+            state = await _handshake(proto, reader, writer)
+            writer.write(request)
+            await drain_write(writer)
+            response = await asyncio.wait_for(
+                proto.read_server_message(reader, state, request), timeout=deadline
+            )
+        finally:
+            await close_writer(writer)
+        return proto.parse_state_digest(response)  # type: ignore[attr-defined]
+    from repro.sentinel.digest import chunk_digests
+
+    snapshot = await capture_snapshot(
+        address, proto, deadline=deadline, connect_attempts=connect_attempts
+    )
+    return chunk_digests(snapshot, chunk_bytes)
+
+
 async def replay_into(
     journal: ExchangeJournal,
     address: Address,

@@ -129,6 +129,23 @@ class Observer:
             "(exchanges a recovering instance must replay).",
             ("service",),
         )
+        self._sentinel_audits = self.registry.counter(
+            "rddr_sentinel_audits_total",
+            "Anti-entropy state audits completed, by outcome.",
+            ("service", "outcome"),
+        )
+        self._drift_detected = self.registry.counter(
+            "rddr_drift_detected_total",
+            "Confirmed silent state drifts (minority instance diverging "
+            "from the group's chunked digests).",
+            ("service",),
+        )
+        self._drift_repaired = self.registry.counter(
+            "rddr_drift_repaired_total",
+            "Drifted instances repaired in place via journal replay, "
+            "verified by a post-repair digest audit.",
+            ("service",),
+        )
         # Hot-path label-handle caches: labels() re-resolves the series
         # table per call, and finish_exchange runs once per exchange.
         # Cardinality is small and stable (proxies x verdicts/instances).
@@ -290,6 +307,58 @@ class Observer:
             "last_id": last_id,
             "restored": restored,
             "outcome": outcome,
+            "started_wall": time.time(),
+        }
+        self.sink.emit(record)
+        return record
+
+    # ----------------------------------------------------------- sentinel
+
+    def record_sentinel_audit(self, *, service: str, outcome: str) -> None:
+        """Count one anti-entropy audit round.  Outcomes: ``clean``,
+        ``divergent``, ``no_majority``, ``error``, ``skipped``.  Audits
+        are metrics-only — a clean audit every period would churn the
+        trace ring for nothing; drift findings get sink records via
+        :meth:`record_drift`."""
+        self._sentinel_audits.labels(service=service, outcome=outcome).inc()
+
+    def record_drift(
+        self,
+        *,
+        service: str,
+        instance: int,
+        action: str,
+        chunks: tuple[int, ...] | list[int],
+        chunk_bytes: int,
+        last_id: int = 0,
+        exec_index: str | None = None,
+        reason: str = "",
+    ) -> dict:
+        """Account one drift finding and tag it into the trace sink
+        (``type: "drift"`` records), so detection → repair → escalation
+        reads inline with the exchange and recovery timeline.
+
+        ``action`` is one of ``detected``, ``repaired``,
+        ``repair_failed``, ``escalated``; the counters move on the first
+        two.  ``exec_index`` is the execution index of the last journal-
+        committed exchange at capture time — the newest exchange the
+        divergent chunks can cover — so drift records stitch into the
+        same call trees as ``type:"journal"`` records.
+        """
+        if action == "detected":
+            self._drift_detected.labels(service=service).inc()
+        elif action == "repaired":
+            self._drift_repaired.labels(service=service).inc()
+        record = {
+            "type": "drift",
+            "service": service,
+            "instance": instance,
+            "action": action,
+            "chunks": list(chunks),
+            "chunk_bytes": chunk_bytes,
+            "last_id": last_id,
+            "exec_index": exec_index,
+            "reason": reason,
             "started_wall": time.time(),
         }
         self.sink.emit(record)

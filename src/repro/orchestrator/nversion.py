@@ -24,7 +24,9 @@ from repro.faults import FaultProxy, FaultSchedule
 from repro.obs import Observer
 from repro.orchestrator.cluster import Cluster
 from repro.orchestrator.resources import DeploymentSpec, Pod, PodContext, PodFactory
+from repro.protocols.base import capabilities_of, resolve
 from repro.recovery import InstanceDirectory, RecoverySupervisor
+from repro.sentinel import StateSentinel
 
 Address = tuple[str, int]
 
@@ -48,6 +50,10 @@ class NVersionedService:
     #: supervisor driving quarantine → respawn → warm rejoin.
     directory: InstanceDirectory | None = None
     supervisor: RecoverySupervisor | None = None
+    #: Present when the service was deployed with
+    #: ``config.sentinel_audit_period``: the anti-entropy auditor driving
+    #: drift detection and in-place repair.
+    sentinel: StateSentinel | None = None
 
     @property
     def address(self) -> Address:
@@ -65,10 +71,13 @@ class NVersionedService:
         ]
 
     async def close(self) -> None:
-        # Shutdown order matters: stop the supervisor first (so no
-        # respawn can race the teardown and dial closing pods), then the
-        # fault shims (so nothing keeps piping bytes into the proxies),
-        # and only then the proxies themselves.
+        # Shutdown order matters: stop the sentinel first (so no audit or
+        # in-place repair can dial closing pods), then the supervisor (so
+        # no respawn can race the teardown), then the fault shims (so
+        # nothing keeps piping bytes into the proxies), and only then the
+        # proxies themselves.
+        if self.sentinel is not None:
+            await self.sentinel.close()
         if self.supervisor is not None:
             await self.supervisor.close()
         for shim in (*self.fault_proxies, *self.retired_fault_proxies):
@@ -122,6 +131,7 @@ async def deploy_nversioned(
     retired_fault_proxies: list[FaultProxy] = []
     directory: InstanceDirectory | None = None
     supervisor: RecoverySupervisor | None = None
+    sentinel: StateSentinel | None = None
     try:
         for backend_name, address in (backends or {}).items():
             await rddr.add_outgoing_proxy(
@@ -168,7 +178,35 @@ async def deploy_nversioned(
                 proxy_address=lambda: rddr.address,
             )
             await supervisor.start()
+        if config.sentinel_audit_period is not None:
+            caps = capabilities_of(resolve(config.protocol))
+            if caps.state_digest or caps.snapshots:
+                # With a directory + supervisor + journal the sentinel
+                # repairs drift in place; without them (recovery off) it
+                # still detects and records drift over the static
+                # instance set.
+                sentinel = StateSentinel(
+                    service=name,
+                    protocol=config.protocol,
+                    observer=rddr.observer,
+                    period=config.sentinel_audit_period,
+                    chunk_bytes=config.sentinel_chunk_bytes,
+                    repair_budget=config.sentinel_repair_budget,
+                    directory=directory,
+                    addresses=instance_addresses if directory is None else None,
+                    supervisor=supervisor,
+                    journal=rddr.journal,
+                    exec_index=lambda: (
+                        rddr.incoming.last_exec_index
+                        if rddr.incoming is not None
+                        else None
+                    ),
+                    deadline=config.instance_deadline(),
+                    connect_attempts=config.connect_attempts,
+                ).start()
     except Exception:
+        if sentinel is not None:
+            await sentinel.close()
         if supervisor is not None:
             await supervisor.close()
         await rddr.close()
@@ -183,4 +221,5 @@ async def deploy_nversioned(
         retired_fault_proxies=retired_fault_proxies,
         directory=directory,
         supervisor=supervisor,
+        sentinel=sentinel,
     )

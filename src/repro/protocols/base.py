@@ -45,8 +45,13 @@ from typing import ClassVar
 #: (execution-index envelope for multi-hop call graphs, ``repro.graph``)
 #: and the optional ``degrade_response(message)`` hook (a framed,
 #: protocol-valid containment response that — unlike ``block_response``
-#: on connection-close protocols — keeps the upstream connection alive).
-PROTOCOL_API_VERSION = "1.2"
+#: on connection-close protocols — keeps the upstream connection alive);
+#: 1.3 — optional ``state_digest_request(chunk_bytes)`` /
+#: ``parse_state_digest(response)`` pair (chunked Merkle-style state
+#: digests for ``repro.sentinel`` anti-entropy audits; modules without
+#: the pair fall back to digests computed client-side from full
+#: ``snapshot_request`` bytes).
+PROTOCOL_API_VERSION = "1.3"
 
 #: Methods every module must implement (beyond what ABC enforces, this
 #: lets ``register()`` name the missing surface precisely).
@@ -99,6 +104,14 @@ class ProtocolCapabilities:
     #: chains).  ``extract_index`` must invert ``attach_index`` exactly,
     #: and both must leave requests without an envelope untouched.
     execution_index: bool = False
+    #: ``state_digest_request(chunk_bytes) -> bytes`` +
+    #: ``parse_state_digest(response) -> list[str]``: ask the server for
+    #: chunked digests of its state snapshot, computed server-side, so
+    #: the ``repro.sentinel`` anti-entropy auditor localizes drift to a
+    #: state region without shipping full snapshots every audit
+    #: (contract 1.3).  Modules without the pair still audit — the
+    #: sentinel chunks full ``snapshot_request`` bytes client-side.
+    state_digest: bool = False
 
 
 def _detect_capabilities(cls: type) -> ProtocolCapabilities:
@@ -125,6 +138,10 @@ def _detect_capabilities(cls: type) -> ProtocolCapabilities:
         execution_index=(
             callable(getattr(cls, "attach_index", None))
             and callable(getattr(cls, "extract_index", None))
+        ),
+        state_digest=(
+            callable(getattr(cls, "state_digest_request", None))
+            and callable(getattr(cls, "parse_state_digest", None))
         ),
     )
 
@@ -333,6 +350,18 @@ class ProtocolRegistry:
             raise ProtocolContractError(
                 f"{label} implements {present} without {absent}; the "
                 f"execution-index capability requires both"
+            )
+        has_digest = callable(getattr(cls, "state_digest_request", None))
+        has_parse = callable(getattr(cls, "parse_state_digest", None))
+        if has_digest != has_parse:
+            present, absent = (
+                ("state_digest_request", "parse_state_digest")
+                if has_digest
+                else ("parse_state_digest", "state_digest_request")
+            )
+            raise ProtocolContractError(
+                f"{label} implements {present} without {absent}; the "
+                f"state-digest capability requires both"
             )
 
     def create(self, name: str, **kwargs: object) -> ProtocolModule:

@@ -167,6 +167,7 @@ class RespProtocol(ProtocolModule):
             state_classification=True,
             mutation=True,
             execution_index=True,
+            state_digest=True,
         )
 
     async def read_client_message(
@@ -224,7 +225,7 @@ class RespProtocol(ProtocolModule):
     #: Verbs that cannot change kvstore state; anything unknown is
     #: conservatively treated as a write and journaled.
     READ_VERBS = frozenset(
-        {b"GET", b"EXISTS", b"KEYS", b"PING", b"ECHO", b"INFO", b"SNAPSHOT"}
+        {b"GET", b"EXISTS", b"KEYS", b"PING", b"ECHO", b"INFO", b"SNAPSHOT", b"DIGEST"}
     )
 
     def liveness_request(self) -> bytes:
@@ -265,3 +266,19 @@ class RespProtocol(ProtocolModule):
         if body is None:
             raise RespError(f"snapshot reply is not a bulk string: {snapshot[:32]!r}")
         return encode_command("RESTORE", body)
+
+    # --------------------------------------------- state digests (1.3)
+
+    def state_digest_request(self, chunk_bytes: int) -> bytes:
+        """Ask the server for chunked digests of its snapshot — the
+        kvstore's ``DIGEST <chunk_bytes>`` verb — so anti-entropy audits
+        ship a few hashes instead of the whole state."""
+        return encode_command("DIGEST", str(int(chunk_bytes)))
+
+    def parse_state_digest(self, response: bytes) -> list[str]:
+        """Decode a ``DIGEST`` reply: a bulk string of newline-separated
+        hex chunk digests (empty body = empty state)."""
+        body = bulk_body(response)
+        if body is None:
+            raise RespError(f"digest reply is not a bulk string: {response[:32]!r}")
+        return [part.decode("ascii") for part in body.split(b"\n") if part]

@@ -12,7 +12,9 @@ the ROADMAP's long-running-deployment goal needs:
   RESTARTING → CATCHING_UP → REJOINING → LIVE`` state machine: quarantine
   failing instances, respawn them through the orchestrator, catch them up
   from the durable exchange journal (when one is configured), and
-  warm-rejoin them after K consecutive clean shadow exchanges;
+  warm-rejoin them after K consecutive clean shadow exchanges; plus the
+  ``LIVE → DRIFT_SUSPECT → REPAIRING → LIVE`` in-place repair path the
+  anti-entropy sentinel (``repro.sentinel``) drives on silent drift;
 * :class:`CircuitBreaker` — closed/open/half-open fast failure for the
   outgoing proxy's backend path;
 * :class:`AdmissionController` — bounded exchange concurrency with
@@ -34,9 +36,11 @@ from repro.recovery.directory import (
 from repro.recovery.monitor import HealthMonitor
 from repro.recovery.supervisor import (
     CATCHING_UP,
+    DRIFT_SUSPECT,
     LIVE,
     QUARANTINED,
     REJOINING,
+    REPAIRING,
     RESTARTING,
     STATES,
     SUSPECT,
@@ -56,6 +60,8 @@ __all__ = [
     "RESTARTING",
     "CATCHING_UP",
     "REJOINING",
+    "DRIFT_SUSPECT",
+    "REPAIRING",
     "STATES",
     "MODE_LIVE",
     "MODE_SHADOW",

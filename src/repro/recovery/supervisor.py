@@ -37,6 +37,20 @@ back, so redundancy bled away monotonically.  The
   clean, matching shadow exchanges the instance is promoted back to a
   full voting member (``rddr_recoveries_total``).
 
+Two further states close the *silent drift* gap (``repro.sentinel``):
+
+* **LIVE → DRIFT_SUSPECT** — the anti-entropy sentinel confirmed that
+  this instance's chunked state digests diverge from the group majority
+  even though it answers every probe and exchange.
+* **DRIFT_SUSPECT → REPAIRING → LIVE** — :meth:`repair_drift` repairs
+  the instance *in place*: it is pulled out of replication
+  (``MODE_OUT``), the CATCHING_UP restore/replay machinery rebuilds its
+  state from the journal at its *current* address (no pod restart), the
+  commit gap is drained, and the instance returns to voting.  After
+  ``sentinel_repair_budget`` failed repairs the sentinel escalates
+  through :meth:`escalate_drift` into the ordinary quarantine → respawn
+  loop above.
+
 Every transition is recorded three ways: a ``recovery_state`` event in
 the deployment's event log, a ``type: "recovery"`` record in the trace
 sink (so the quarantine → rejoin timeline lines up with exchange
@@ -74,11 +88,23 @@ QUARANTINED = "QUARANTINED"
 RESTARTING = "RESTARTING"
 CATCHING_UP = "CATCHING_UP"
 REJOINING = "REJOINING"
+DRIFT_SUSPECT = "DRIFT_SUSPECT"
+REPAIRING = "REPAIRING"
 
-STATES = (LIVE, SUSPECT, QUARANTINED, RESTARTING, CATCHING_UP, REJOINING)
+STATES = (
+    LIVE,
+    SUSPECT,
+    QUARANTINED,
+    RESTARTING,
+    CATCHING_UP,
+    REJOINING,
+    DRIFT_SUSPECT,
+    REPAIRING,
+)
 
 #: States the health monitor keeps probing (the rest have no live address).
-_PROBED = frozenset({LIVE, SUSPECT, REJOINING})
+#: DRIFT_SUSPECT instances still serve traffic, so they stay probed.
+_PROBED = frozenset({LIVE, SUSPECT, REJOINING, DRIFT_SUSPECT})
 
 
 class RecoverySupervisor:
@@ -204,7 +230,7 @@ class RecoverySupervisor:
         quarantined = sum(
             1
             for state in self.states
-            if state in (QUARANTINED, RESTARTING, CATCHING_UP)
+            if state in (QUARANTINED, RESTARTING, CATCHING_UP, REPAIRING)
         )
         self.observer.set_instance_gauges(
             service=self.deployment, live=live, quarantined=quarantined
@@ -342,7 +368,9 @@ class RecoverySupervisor:
             self._rejoin_events.pop(index, None)
             self._recovery_tasks.pop(index, None)
 
-    async def _catch_up(self, index: int, address: tuple[str, int]):
+    async def _catch_up(
+        self, index: int, address: tuple[str, int], *, state: str = CATCHING_UP
+    ):
         """CATCHING_UP: restore + replay the journal into the fresh pod.
 
         Runs while the instance is still ``out`` of the directory, so no
@@ -353,11 +381,15 @@ class RecoverySupervisor:
         :class:`~repro.journal.replay.CatchupStats`, or ``None`` (failed
         restart, go around the respawn loop) when the replay dies on a
         connect failure, lost connection, or response deadline.
+
+        ``state`` is the recovery state the replay runs under:
+        ``CATCHING_UP`` on the respawn path, ``REPAIRING`` when
+        :meth:`repair_drift` reuses the machinery in place.
         """
         assert self.journal is not None
         self._set_state(
             index,
-            CATCHING_UP,
+            state,
             f"replaying journal tail (last id {self.journal.last_id})",
         )
         try:
@@ -466,6 +498,69 @@ class RecoverySupervisor:
             proxy=self.deployment,
         )
         return True
+
+    # ------------------------------------------------------- drift repair
+
+    def drift_suspected(self, index: int, reason: str) -> None:
+        """The sentinel confirmed this LIVE instance's state digests
+        diverge from the group majority."""
+        if self._closed or self.states[index] != LIVE:
+            return
+        self._set_state(index, DRIFT_SUSPECT, reason)
+
+    def drift_cleared(self, index: int, reason: str) -> None:
+        """A later audit found the instance back in agreement."""
+        if self._closed or self.states[index] != DRIFT_SUSPECT:
+            return
+        self._set_state(index, LIVE, reason)
+
+    async def repair_drift(self, index: int, *, reason: str) -> bool:
+        """Repair a drifted instance *in place*: journal restore + tail
+        replay at its current address, no pod restart.
+
+        The instance is pulled out of replication (``MODE_OUT``) for the
+        duration — the surviving quorum keeps serving — then the
+        CATCHING_UP machinery rebuilds its state from the snapshot
+        anchor and the journal tail, the commit gap is drained, and the
+        instance returns to LIVE voting.  Returns ``False`` (leaving the
+        instance DRIFT_SUSPECT and back in replication) when the replay
+        fails; the sentinel escalates after ``sentinel_repair_budget``
+        failures.
+        """
+        if (
+            self._closed
+            or self.journal is None
+            or self.states[index] not in (LIVE, DRIFT_SUSPECT)
+            or index in self._recovery_tasks
+        ):
+            return False
+        address = self.directory.entry(index).address
+        self._set_state(index, REPAIRING, reason)
+        self.directory.set_mode(index, MODE_OUT)
+        stats = await self._catch_up(index, address, state=REPAIRING)
+        if self._closed or self.states[index] != REPAIRING:
+            return False  # closed, or escalated/quarantined under us
+        if stats is None or not await self._drain_gap(
+            index, address, stats.last_id
+        ):
+            self.directory.set_mode(index, MODE_LIVE)
+            self._set_state(index, DRIFT_SUSPECT, "in-place repair failed")
+            return False
+        self.directory.set_mode(index, MODE_LIVE)
+        self._fail_counts[index] = 0
+        self._set_state(index, LIVE, "drift repaired in place")
+        return True
+
+    def escalate_drift(self, index: int, reason: str) -> None:
+        """Repairs exhausted the budget: fall back to the full
+        quarantine → respawn → warm-rejoin loop."""
+        if self._closed or self.states[index] not in (
+            LIVE,
+            DRIFT_SUSPECT,
+            REPAIRING,
+        ):
+            return
+        self._quarantine(index, reason)
 
     # -------------------------------------------------------- rejoin probes
 

@@ -1,0 +1,40 @@
+"""repro.sentinel — continuous anti-entropy state audits with in-place
+drift repair.
+
+The faults → recovery → journal stack detects instances that fail *out
+loud*; this package detects the ones that fail silently.  A background
+:class:`StateSentinel` periodically captures chunked (Merkle-style)
+state digests from every LIVE stateful instance, majority-votes them
+per chunk to localize drift to a state region, confirms the finding
+with a re-capture, and repairs the minority instance *in place* via
+journal restore + tail replay — no pod restart — escalating to full
+quarantine/respawn only after a bounded number of failed repairs.
+
+Enable it on a deployment with ``sentinel_audit_period`` (see
+``docs/robustness.md`` for the runbook, ``docs/observability.md`` for
+the ``rddr_sentinel_audits_total`` / ``rddr_drift_detected_total`` /
+``rddr_drift_repaired_total`` metrics and ``type:"drift"`` trace
+records).
+
+``python -m repro.sentinel audit A B`` diffs two snapshot files offline
+and prints the divergent chunks.
+"""
+
+from repro.sentinel.auditor import DEFAULT_AUDIT_PERIOD, StateSentinel
+from repro.sentinel.digest import (
+    AuditVerdict,
+    DriftReport,
+    chunk_digests,
+    classify,
+    diff_chunks,
+)
+
+__all__ = [
+    "AuditVerdict",
+    "DEFAULT_AUDIT_PERIOD",
+    "DriftReport",
+    "StateSentinel",
+    "chunk_digests",
+    "classify",
+    "diff_chunks",
+]

@@ -1,0 +1,78 @@
+"""CLI: offline anti-entropy audit of snapshot files.
+
+::
+
+    python -m repro.sentinel audit A.snap B.snap [--chunk-bytes 256]
+
+Diffs two state snapshot files (raw bytes — e.g. the body of a kvstore
+``SNAPSHOT`` reply, or a ``.rsnap`` payload extracted with
+``python -m repro.journal dump``) using the same chunked digests the
+live sentinel compares, and prints the divergent chunk indices with
+their per-side digests.  Exit status: 0 when identical, 1 when
+divergent — so the command slots into scripts the way ``cmp`` does,
+but localizes *where* the states disagree.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.sentinel.digest import chunk_digests, diff_chunks
+
+
+def _audit_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.sentinel audit",
+        description="Diff two snapshot files by chunked state digests.",
+    )
+    parser.add_argument("left")
+    parser.add_argument("right")
+    parser.add_argument("--chunk-bytes", type=int, default=256)
+    return parser
+
+
+def main(argv: list[str] | None = None, out=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    out = out if out is not None else sys.stdout
+    if not argv or argv[0] != "audit":
+        print(
+            "usage: python -m repro.sentinel audit <left> <right> "
+            "[--chunk-bytes N]",
+            file=sys.stderr,
+        )
+        return 2
+    args = _audit_parser().parse_args(argv[1:])
+    if args.chunk_bytes <= 0:
+        print("chunk-bytes must be positive", file=sys.stderr)
+        return 2
+    left = Path(args.left).read_bytes()
+    right = Path(args.right).read_bytes()
+    left_digests = chunk_digests(left, args.chunk_bytes)
+    right_digests = chunk_digests(right, args.chunk_bytes)
+    divergent = diff_chunks(left_digests, right_digests)
+    print(
+        f"{args.left}: {len(left)} bytes, {len(left_digests)} chunks "
+        f"of {args.chunk_bytes}",
+        file=out,
+    )
+    print(
+        f"{args.right}: {len(right)} bytes, {len(right_digests)} chunks "
+        f"of {args.chunk_bytes}",
+        file=out,
+    )
+    if not divergent:
+        print("identical: every chunk digest matches", file=out)
+        return 0
+    print(f"divergent chunks: {len(divergent)}", file=out)
+    for index in divergent:
+        a = left_digests[index] if index < len(left_digests) else "-"
+        b = right_digests[index] if index < len(right_digests) else "-"
+        offset = index * args.chunk_bytes
+        print(f"  chunk {index} (offset {offset}): {a} != {b}", file=out)
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,347 @@
+"""The anti-entropy sentinel: the audit → localize → repair control loop.
+
+RDDR's core only detects divergence at response boundaries, so a
+stateful instance that silently misses a mutation — dropped from one
+exchange by degraded-quorum voting, gapped during a shadow flip, or
+corrupted out of band — can drift for thousands of exchanges before it
+next disagrees *out loud*.  The :class:`StateSentinel` closes that blind
+spot: every ``sentinel_audit_period`` seconds it
+
+1. **captures** chunked state digests from every LIVE voting instance
+   (server-side via the contract-1.3 ``state_digest_request`` hook when
+   the protocol has it, client-side chunking of full snapshot bytes
+   otherwise), discarding the round if the
+   :class:`~repro.recovery.InstanceDirectory` version moved mid-capture
+   — audits only compare state sampled within one directory view, never
+   across a membership change;
+2. **localizes** drift by per-chunk majority vote
+   (:func:`~repro.sentinel.digest.classify`): the minority instance and
+   the exact chunk indices where it diverges;
+3. **confirms** the finding with an immediate re-capture of the suspect
+   against a majority reference — transient replication skew (a write
+   landing between two captures) almost never reproduces the same
+   divergent chunks, and a false positive merely triggers a repair that
+   is idempotent and convergent by construction;
+4. **repairs in place** through
+   :meth:`~repro.recovery.RecoverySupervisor.repair_drift` — journal
+   restore + tail replay at the instance's current address, no pod
+   restart — and verifies the repair with a fresh digest comparison
+   before counting ``rddr_drift_repaired_total``;
+5. **escalates** to full quarantine/respawn after
+   ``sentinel_repair_budget`` failed repairs.
+
+Deployed without a supervisor/journal (e.g. attached to a bench run for
+the overhead ablation) the sentinel is detection-only: audits and drift
+records still flow, repairs are skipped.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+
+from repro.journal.replay import capture_state_digests
+from repro.obs import Observer
+from repro.protocols.base import ProtocolModule, resolve
+from repro.sentinel.digest import AuditVerdict, DriftReport, classify, diff_chunks
+
+Address = tuple[str, int]
+
+#: Audit period used when a caller enables the sentinel without choosing
+#: one (the bench ablation's "on (default period)" arm).
+DEFAULT_AUDIT_PERIOD = 0.25
+
+#: Capture failures the audit loop absorbs (an instance can be mid-kill
+#: or mid-respawn under chaos — the next round audits whoever is LIVE).
+_CAPTURE_ERRORS = (ConnectionError, OSError, asyncio.TimeoutError, RuntimeError)
+
+
+class StateSentinel:
+    """Continuous anti-entropy audits over one N-version group."""
+
+    def __init__(
+        self,
+        *,
+        service: str,
+        protocol: ProtocolModule | str,
+        observer: Observer,
+        period: float = DEFAULT_AUDIT_PERIOD,
+        chunk_bytes: int = 256,
+        repair_budget: int = 2,
+        directory=None,
+        addresses: list[Address] | None = None,
+        supervisor=None,
+        journal=None,
+        exec_index=None,
+        deadline: float = 5.0,
+        connect_attempts: int = 3,
+    ) -> None:
+        if directory is None and addresses is None:
+            raise ValueError("sentinel needs a directory or a static address list")
+        self.service = service
+        self.protocol = resolve(protocol)
+        self.observer = observer
+        self.period = period
+        self.chunk_bytes = chunk_bytes
+        self.repair_budget = repair_budget
+        self.directory = directory
+        self._addresses = list(addresses) if addresses is not None else None
+        self.supervisor = supervisor
+        self.journal = journal
+        #: Zero-arg callable returning the encoded execution index of the
+        #: newest journal-committed exchange (stamped into drift records).
+        self._exec_index = exec_index
+        self.deadline = deadline
+        self.connect_attempts = connect_attempts
+        #: Consecutive failed in-place repairs per instance.
+        self._repair_failures: dict[int, int] = {}
+        self.audits = 0
+        self.repairs = 0
+        self._task: asyncio.Task | None = None
+        self._closed = False
+
+    # ------------------------------------------------------------ lifecycle
+
+    def start(self) -> "StateSentinel":
+        self._task = asyncio.ensure_future(self._run())
+        return self
+
+    async def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        if self._task is not None:
+            self._task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._task
+            self._task = None
+
+    async def _run(self) -> None:
+        while not self._closed:
+            await asyncio.sleep(self.period)
+            if self._closed:
+                return
+            try:
+                await self.audit_once()
+            except asyncio.CancelledError:
+                raise
+            except Exception:
+                # Chaos can flap anything mid-audit; the next round retries.
+                continue
+
+    # -------------------------------------------------------------- capture
+
+    def _auditable(self) -> dict[int, Address]:
+        """LIVE voting instances to audit: directory-listed ``live`` slots
+        whose supervisor state is LIVE (never a voter mid-quarantine,
+        mid-rejoin, or already under repair)."""
+        if self.directory is None:
+            assert self._addresses is not None
+            return dict(enumerate(self._addresses))
+        from repro.recovery.directory import MODE_LIVE
+        from repro.recovery.supervisor import LIVE
+
+        _version, entries = self.directory.snapshot()
+        return {
+            entry.index: entry.address
+            for entry in entries
+            if entry.mode == MODE_LIVE
+            and (self.supervisor is None or self.supervisor.state(entry.index) == LIVE)
+        }
+
+    async def _capture(self, address: Address) -> list[str]:
+        return await capture_state_digests(
+            address,
+            self.protocol,
+            chunk_bytes=self.chunk_bytes,
+            deadline=self.deadline,
+            connect_attempts=self.connect_attempts,
+        )
+
+    # ---------------------------------------------------------------- audit
+
+    async def audit_once(self) -> str:
+        """One audit round; returns the outcome (also counted into
+        ``rddr_sentinel_audits_total``): ``clean``, ``divergent``,
+        ``no_majority``, ``unstable``, ``error``, or ``skipped``."""
+        targets = self._auditable()
+        self.audits += 1
+        if len(targets) < 2:
+            self.observer.record_sentinel_audit(
+                service=self.service, outcome="skipped"
+            )
+            return "skipped"
+        version_before = (
+            self.directory.version if self.directory is not None else None
+        )
+        digests: dict[int, list[str]] = {}
+        try:
+            for index, address in targets.items():
+                digests[index] = await self._capture(address)
+        except _CAPTURE_ERRORS:
+            self.observer.record_sentinel_audit(
+                service=self.service, outcome="error"
+            )
+            return "error"
+        if (
+            self.directory is not None
+            and self.directory.version != version_before
+        ):
+            # Membership moved mid-capture (a quarantine, an address swap,
+            # a shadow flip): the digests do not come from one consistent
+            # directory view — discard and audit again next period.
+            self.observer.record_sentinel_audit(
+                service=self.service, outcome="unstable"
+            )
+            return "unstable"
+        verdict = classify(digests)
+        if verdict is None:
+            self.observer.record_sentinel_audit(
+                service=self.service, outcome="no_majority"
+            )
+            return "no_majority"
+        if verdict.clean:
+            self.observer.record_sentinel_audit(
+                service=self.service, outcome="clean"
+            )
+            self._repair_failures.clear()
+            return "clean"
+        self.observer.record_sentinel_audit(
+            service=self.service, outcome="divergent"
+        )
+        for report in verdict.drifted:
+            await self._confirm_and_repair(report, verdict, targets)
+        return "divergent"
+
+    # --------------------------------------------------------------- repair
+
+    def _drift_context(self) -> tuple[int, str | None]:
+        last_id = self.journal.last_id if self.journal is not None else 0
+        exec_index = self._exec_index() if self._exec_index is not None else None
+        return last_id, exec_index
+
+    async def _stable_diff(
+        self, reference: Address, suspect: Address
+    ) -> tuple[int, ...] | None:
+        """Divergent chunks that are *stable* under live traffic: each
+        side is captured twice (ref, sus, ref, sus) and a chunk counts
+        only when it diverges in both cross-comparisons while neither
+        side's own pair of captures disagrees on it.  A chunk a write is
+        landing in mid-audit fails one of those tests; genuine drift —
+        state nobody is writing that disagrees with the majority — passes
+        all of them.  Returns ``None`` when a capture fails."""
+        try:
+            ref1 = await self._capture(reference)
+            sus1 = await self._capture(suspect)
+            ref2 = await self._capture(reference)
+            sus2 = await self._capture(suspect)
+        except _CAPTURE_ERRORS:
+            return None
+        in_flux = set(diff_chunks(ref1, ref2)) | set(diff_chunks(sus1, sus2))
+        first = set(diff_chunks(ref1, sus1))
+        second = set(diff_chunks(ref2, sus2))
+        return tuple(sorted((first & second) - in_flux))
+
+    async def _confirm_and_repair(
+        self,
+        report: DriftReport,
+        verdict: AuditVerdict,
+        targets: dict[int, Address],
+    ) -> None:
+        index = report.instance
+        reference = verdict.majority[0]
+        # Confirmation pass: re-capture suspect and reference, keeping
+        # only stably divergent chunks.  Transient replication skew — a
+        # write landing on one instance between two captures — does not
+        # survive the stability filter; chunks under active write load
+        # are unauditable this round and get re-examined next period.
+        chunks = await self._stable_diff(targets[reference], targets[index])
+        if chunks is None:
+            return
+        if not chunks:
+            if self.supervisor is not None:
+                self.supervisor.drift_cleared(index, "re-audit found agreement")
+            return
+        last_id, exec_index = self._drift_context()
+        self.observer.record_drift(
+            service=self.service,
+            instance=index,
+            action="detected",
+            chunks=chunks,
+            chunk_bytes=self.chunk_bytes,
+            last_id=last_id,
+            exec_index=exec_index,
+            reason=f"{len(chunks)} divergent chunk(s) vs instance {reference}",
+        )
+        if self.supervisor is None or self.journal is None:
+            return  # detection-only deployment (no repair machinery)
+        self.supervisor.drift_suspected(
+            index, f"sentinel: chunks {list(chunks)} diverge from majority"
+        )
+        repaired = await self.supervisor.repair_drift(
+            index, reason=f"in-place journal replay for chunks {list(chunks)}"
+        )
+        verified = repaired and await self._verify_repair(
+            index, reference, targets, chunks
+        )
+        last_id, exec_index = self._drift_context()
+        if verified:
+            self.repairs += 1
+            self._repair_failures.pop(index, None)
+            self.observer.record_drift(
+                service=self.service,
+                instance=index,
+                action="repaired",
+                chunks=chunks,
+                chunk_bytes=self.chunk_bytes,
+                last_id=last_id,
+                exec_index=exec_index,
+                reason="post-repair digests agree with majority",
+            )
+            return
+        failures = self._repair_failures.get(index, 0) + 1
+        self._repair_failures[index] = failures
+        self.observer.record_drift(
+            service=self.service,
+            instance=index,
+            action="repair_failed",
+            chunks=chunks,
+            chunk_bytes=self.chunk_bytes,
+            last_id=last_id,
+            exec_index=exec_index,
+            reason=f"attempt {failures} of {self.repair_budget}",
+        )
+        if failures >= self.repair_budget:
+            self.observer.record_drift(
+                service=self.service,
+                instance=index,
+                action="escalated",
+                chunks=chunks,
+                chunk_bytes=self.chunk_bytes,
+                last_id=last_id,
+                exec_index=exec_index,
+                reason=f"{failures} failed in-place repairs; quarantining",
+            )
+            self._repair_failures.pop(index, None)
+            self.supervisor.escalate_drift(
+                index, f"drift repair failed {failures}x; quarantine + respawn"
+            )
+
+    async def _verify_repair(
+        self,
+        index: int,
+        reference: int,
+        targets: dict[int, Address],
+        original_chunks: tuple[int, ...],
+    ) -> bool:
+        """Post-repair gate for ``rddr_drift_repaired_total``: the repaired
+        instance's digests must stably agree with the majority reference
+        on every originally divergent chunk (live traffic can put chunks
+        transiently in flux during the captures — the stability filter
+        keeps those from failing a repair that worked)."""
+        residual = await self._stable_diff(targets[reference], targets[index])
+        if residual is None:
+            return False
+        if not residual:
+            return True
+        return not any(chunk in original_chunks for chunk in residual)

@@ -1,0 +1,126 @@
+"""Chunked (Merkle-style) state digests and drift classification.
+
+The sentinel never compares whole snapshots as opaque blobs: each
+instance's snapshot bytes are split into fixed-size chunks and each
+chunk is hashed independently, so two instances that disagree produce a
+*localized* drift report — which chunk indices diverge — instead of a
+whole-snapshot boolean.  Protocol modules with the contract-1.3
+``state_digest_request`` capability compute these server-side (the
+kvstore's ``DIGEST`` verb); everything else falls back to chunking the
+full ``snapshot_request`` reply client-side — group-consistent either
+way, since every member of a group speaks the same protocol.
+
+Everything in this module is pure (bytes in, digests out); network
+capture lives in :func:`repro.journal.replay.capture_state_digests` and
+the audit/repair control loop in :mod:`repro.sentinel.auditor`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+#: Hex digits kept per chunk digest.  64 bits of sha256 — plenty to make
+#: an accidental per-chunk collision between diverged states implausible
+#: while keeping DIGEST responses and trace records small.
+DIGEST_HEX = 16
+
+
+def chunk_digests(blob: bytes, chunk_bytes: int) -> list[str]:
+    """Per-chunk sha256 digests of ``blob`` split into ``chunk_bytes``
+    slices (the final chunk may be short).  Empty state digests to an
+    empty list."""
+    if chunk_bytes <= 0:
+        raise ValueError(f"chunk_bytes must be positive, got {chunk_bytes}")
+    return [
+        hashlib.sha256(blob[offset : offset + chunk_bytes]).hexdigest()[:DIGEST_HEX]
+        for offset in range(0, len(blob), chunk_bytes)
+    ]
+
+
+def diff_chunks(reference: list[str], other: list[str]) -> list[int]:
+    """Chunk indices where two digest lists disagree.
+
+    A length mismatch counts: every index present on one side only is
+    divergent (state grew or shrank past the shorter snapshot's end).
+    """
+    out = []
+    for i in range(max(len(reference), len(other))):
+        a = reference[i] if i < len(reference) else None
+        b = other[i] if i < len(other) else None
+        if a != b:
+            out.append(i)
+    return out
+
+
+@dataclass(frozen=True)
+class DriftReport:
+    """One minority instance and the chunk indices where it diverges
+    from the majority digest list."""
+
+    instance: int
+    chunks: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class AuditVerdict:
+    """The outcome of comparing one round of per-instance digests."""
+
+    #: Instance indices whose digest lists form the strict majority.
+    majority: tuple[int, ...]
+    #: Minority instances with their divergent chunks (empty = clean).
+    drifted: tuple[DriftReport, ...]
+
+    @property
+    def clean(self) -> bool:
+        return not self.drifted
+
+
+def classify(digests: dict[int, list[str]]) -> AuditVerdict | None:
+    """Majority-vote the per-instance digest lists, *chunk by chunk*.
+
+    Each chunk position is voted independently: a digest value held by a
+    strict majority of instances is that chunk's reference, and every
+    instance holding something else has drifted there.  A chunk with no
+    strict majority — every instance disagrees, or the group is split
+    evenly — is **contested** and simply skipped: under live traffic the
+    captures are not simultaneous, so a chunk a write is landing in
+    routinely shows three different digests without any instance being
+    wrong, and drift in *other* chunks must still be detectable through
+    the noise.  (Per-list voting would deadlock here: one hot chunk
+    makes every full digest list unique.)
+
+    Returns the verdict — majority members (instances with no drifted
+    chunk) plus per-minority-instance divergent chunks — or ``None``
+    when the clean instances do not form a strict majority, or when
+    *every* disagreement this round was contested: without a majority
+    there is no reference state to repair toward, only the knowledge
+    that the group has diverged.
+    """
+    total = len(digests)
+    positions = max((len(vector) for vector in digests.values()), default=0)
+    contested = False
+    diverged: dict[int, list[int]] = {}
+    for position in range(positions):
+        votes: dict[str | None, int] = {}
+        for vector in digests.values():
+            value = vector[position] if position < len(vector) else None
+            votes[value] = votes.get(value, 0) + 1
+        winner, count = max(votes.items(), key=lambda item: item[1])
+        if count * 2 <= total:
+            contested = True
+            continue
+        for index, vector in sorted(digests.items()):
+            value = vector[position] if position < len(vector) else None
+            if value != winner:
+                diverged.setdefault(index, []).append(position)
+    majority = tuple(sorted(index for index in digests if index not in diverged))
+    if len(majority) * 2 <= total:
+        return None
+    if contested and not diverged:
+        return None
+    drifted = tuple(
+        DriftReport(instance=index, chunks=tuple(chunks))
+        for index, chunks in sorted(diverged.items())
+    )
+    return AuditVerdict(majority=majority, drifted=drifted)

@@ -1,0 +1,173 @@
+"""Cross-campaign corpus merging: union, cluster dedup, minimal pick.
+
+Pure corpus-file manipulation — no deployments — so these tests mint
+synthetic reproducers directly and assert the merge semantics: one
+reproducer per cluster across any number of input directories, the
+minimal candidate wins (fewest requests, then fewest bytes, then
+filename), pre-cluster files fall back to their positional signature,
+exemplars to their content slug, and merging is deterministic down to
+the bytes written.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.fuzz.__main__ import main as fuzz_main
+from repro.fuzz.corpus import Reproducer, load_corpus
+from repro.fuzz.merge import cluster_key, merge_corpora
+
+
+def _reproducer(**overrides) -> Reproducer:
+    fields = dict(
+        target="kvstore",
+        mode="diverse",
+        verdict="divergent",
+        requests=[b"GET a\r\n"],
+        signature="sig-0",
+        cluster="cluster-0",
+        reason="token 1 differs",
+        seed=1,
+    )
+    fields.update(overrides)
+    return Reproducer(**fields)
+
+
+class TestClusterField:
+    def test_roundtrips_through_save_and_load(self, tmp_path):
+        original = _reproducer()
+        loaded = Reproducer.load(original.save(tmp_path))
+        assert loaded.cluster == "cluster-0"
+        assert loaded == original
+
+    def test_absent_cluster_loads_as_none_and_stays_absent(self, tmp_path):
+        """Pre-cluster corpus files keep loading, and a reproducer
+        without a cluster re-mints without the key — byte-identical to
+        what older builds wrote."""
+        legacy = _reproducer(cluster=None)
+        path = legacy.save(tmp_path)
+        assert "cluster" not in json.loads(path.read_text())
+        assert Reproducer.load(path).cluster is None
+
+
+class TestClusterKey:
+    def test_prefers_cluster_then_signature_then_slug(self):
+        assert cluster_key(_reproducer()).endswith(":cluster-0")
+        assert cluster_key(_reproducer(cluster=None)).endswith(":sig-0")
+        exemplar = _reproducer(cluster=None, signature=None, verdict="match")
+        assert cluster_key(exemplar).endswith(f":{exemplar.slug}")
+
+    def test_scoped_by_target_and_mode(self):
+        a = _reproducer()
+        b = _reproducer(target="echo")
+        c = _reproducer(mode="identical")
+        assert len({cluster_key(r) for r in (a, b, c)}) == 3
+
+
+class TestMergeCorpora:
+    def test_unions_and_keeps_minimal_per_cluster(self, tmp_path):
+        a, b, out = tmp_path / "a", tmp_path / "b", tmp_path / "out"
+        # Same cluster found by two campaigns at different offsets: the
+        # two-request reproducer loses to the one-request one.
+        _reproducer(
+            signature="sig-long", requests=[b"SET a 1\r\n", b"GET a\r\n"]
+        ).save(a)
+        _reproducer(signature="sig-short", requests=[b"GET a\r\n"]).save(b)
+        # A different cluster survives alongside it.
+        _reproducer(cluster="cluster-1", signature="sig-other").save(b)
+        report = merge_corpora([a, b], out)
+        assert report.scanned == 3
+        assert report.dropped == 1
+        kept = load_corpus(out)
+        assert len(kept) == 2 == len(report.written)
+        by_cluster = {r.cluster: r for _, r in kept}
+        assert by_cluster["cluster-0"].signature == "sig-short"
+        assert by_cluster["cluster-0"].requests == [b"GET a\r\n"]
+        assert by_cluster["cluster-1"].signature == "sig-other"
+
+    def test_byte_tiebreak_then_filename(self, tmp_path):
+        a, out = tmp_path / "a", tmp_path / "out"
+        _reproducer(signature="sig-fat", requests=[b"GET aaaaaa\r\n"]).save(a)
+        _reproducer(signature="sig-slim", requests=[b"GET a\r\n"]).save(a)
+        report = merge_corpora([a], out)
+        (_, winner), = load_corpus(out)
+        assert winner.signature == "sig-slim"
+        assert report.dropped == 1
+        # Identical size: lexicographically-first filename wins.
+        b, out2 = tmp_path / "b", tmp_path / "out2"
+        first = _reproducer(signature="aaa", requests=[b"GET a\r\n"]).save(b)
+        _reproducer(signature="bbb", requests=[b"GET b\r\n"]).save(b)
+        merge_corpora([b], out2)
+        (_, winner2), = load_corpus(out2)
+        assert winner2.filename == first.name
+
+    def test_pre_cluster_files_dedup_by_signature(self, tmp_path):
+        a, out = tmp_path / "a", tmp_path / "out"
+        _reproducer(cluster=None, signature="sig-0").save(a)
+        _reproducer(
+            cluster=None,
+            signature="sig-0",
+            requests=[b"SET a 1\r\n", b"GET a\r\n"],
+            # Distinct filename (slug = signature would collide): mimic a
+            # second campaign dir by writing into a sibling directory.
+        ).save(tmp_path / "b")
+        report = merge_corpora([a, tmp_path / "b"], out)
+        assert report.dropped == 1
+        (_, winner), = load_corpus(out)
+        assert winner.requests == [b"GET a\r\n"]
+
+    def test_exemplars_survive_alongside_findings(self, tmp_path):
+        a, out = tmp_path / "a", tmp_path / "out"
+        _reproducer().save(a)
+        _reproducer(
+            cluster=None, signature=None, verdict="match", requests=[b"PING\r\n"]
+        ).save(a)
+        report = merge_corpora([a], out)
+        assert report.dropped == 0
+        assert sorted(r.verdict for _, r in load_corpus(out)) == [
+            "divergent",
+            "match",
+        ]
+
+    def test_merge_is_deterministic(self, tmp_path):
+        a = tmp_path / "a"
+        _reproducer(signature="sig-0").save(a)
+        _reproducer(cluster="cluster-1", signature="sig-1").save(a)
+        out1, out2 = tmp_path / "out1", tmp_path / "out2"
+        merge_corpora([a], out1)
+        merge_corpora([a], out2)
+        files1 = sorted(out1.glob("*.json"))
+        files2 = sorted(out2.glob("*.json"))
+        assert [p.name for p in files1] == [p.name for p in files2]
+        for p1, p2 in zip(files1, files2):
+            assert p1.read_bytes() == p2.read_bytes()
+
+    def test_rejects_missing_and_empty_inputs(self, tmp_path):
+        with pytest.raises(ValueError, match="not a corpus directory"):
+            merge_corpora([tmp_path / "missing"], tmp_path / "out")
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        with pytest.raises(ValueError, match="no reproducers"):
+            merge_corpora([empty], tmp_path / "out")
+
+
+class TestMergeCli:
+    def test_merge_subcommand(self, tmp_path, capsys):
+        a = tmp_path / "a"
+        _reproducer().save(a)
+        _reproducer(signature="sig-1", requests=[b"X\r\n", b"Y\r\n"]).save(a)
+        out = tmp_path / "merged"
+        code = fuzz_main(["merge", str(a), "--out", str(out)])
+        assert code == 0
+        captured = capsys.readouterr().out
+        assert "merged 2 reproducer(s) -> 1 cluster(s)" in captured
+        assert len(list(out.glob("*.json"))) == 1
+
+    def test_merge_missing_dir_exits_2(self, tmp_path, capsys):
+        code = fuzz_main(
+            ["merge", str(tmp_path / "nope"), "--out", str(tmp_path / "out")]
+        )
+        assert code == 2
+        assert "not a corpus directory" in capsys.readouterr().err

@@ -2,16 +2,20 @@
 
 Drives ~150 exchanges through an alpha → beta → gamma chain (relays in
 front of an echo leaf, execution indices on every hop) while a seeded
-kill point closes a currently-LIVE mid-chain (beta) pod.  Recovery runs
+kill point closes a currently-LIVE mid-chain (beta) pod — and, on every
+hop, a *per-edge* seeded fault schedule stalls responses through that
+hop's own fault shims, so each edge of the graph degrades independently
+rather than the whole chain sharing one global gremlin.  Recovery runs
 *only* on beta, so the run proves cascade containment: the failure
 quarantines and heals hop-locally, upstream hops stay live (alpha's
 ``degrade`` edge maps downstream trouble to framed verdicts, never raw
 timeouts), and after teardown nothing leaks.  Every divergence-free
 exchange must carry one stitchable execution index end to end.
 
-The seed comes from ``RDDR_SOAK_SEED`` (default 1); when
-``RDDR_SOAK_TRACE_DIR`` is set the trace-sink JSONL is dumped there
-(pass or fail) for the CI failure artifact.
+The seed comes from ``RDDR_SOAK_SEED`` (default 1); each hop derives
+its own schedule seed from it, so one knob still replays the whole
+run.  When ``RDDR_SOAK_TRACE_DIR`` is set the trace-sink JSONL is
+dumped there (pass or fail) for the CI failure artifact.
 """
 
 from __future__ import annotations
@@ -23,6 +27,7 @@ import random
 from repro.apps.echo import EchoServer
 from repro.apps.relay import relay_factory
 from repro.core.config import RddrConfig
+from repro.faults import FaultSchedule
 from repro.graph import ChainHop, deploy_chain
 from repro.graph.stitch import load_jsonl, stitch
 from repro.obs import Observer
@@ -34,6 +39,24 @@ from tests.helpers import run
 SEED = int(os.environ.get("RDDR_SOAK_SEED", "1"))
 EXCHANGES = 150
 BETA_N = 3
+HOP_SIZES = {"alpha": 2, "beta": BETA_N, "gamma": 2}
+
+
+def _hop_schedule(hop_index: int, instances: int) -> FaultSchedule:
+    """This hop's own seeded fault schedule, derived from the run seed.
+
+    Stall-only and brief (5 ms, well inside every hop's response
+    deadline): the injected friction exercises each edge's fault shims
+    and timing margins without manufacturing divergences that would
+    quarantine hops deliberately deployed without recovery."""
+    return FaultSchedule.random(
+        SEED * 100 + hop_index,
+        instances=instances,
+        exchanges=30,
+        kinds=("stall",),
+        rate=0.1,
+        delay_choices=(5.0,),
+    )
 
 DEEPEST = ["alpha-in", "alpha-out-next", "beta-in", "beta-out-next", "gamma-in"]
 
@@ -110,9 +133,24 @@ def _hops() -> list[ChainHop]:
     )
     gamma = RddrConfig(exchange_timeout=2.0, **common)
     return [
-        ChainHop("alpha", [relay_factory(), relay_factory()], alpha),
-        ChainHop("beta", [relay_factory() for _ in range(BETA_N)], beta),
-        ChainHop("gamma", [_echo_factory, _echo_factory], gamma),
+        ChainHop(
+            "alpha",
+            [relay_factory(), relay_factory()],
+            alpha,
+            fault_schedule=_hop_schedule(0, HOP_SIZES["alpha"]),
+        ),
+        ChainHop(
+            "beta",
+            [relay_factory() for _ in range(BETA_N)],
+            beta,
+            fault_schedule=_hop_schedule(1, HOP_SIZES["beta"]),
+        ),
+        ChainHop(
+            "gamma",
+            [_echo_factory, _echo_factory],
+            gamma,
+            fault_schedule=_hop_schedule(2, HOP_SIZES["gamma"]),
+        ),
     ]
 
 
@@ -141,6 +179,12 @@ async def _soak(baseline_tasks: set) -> None:
                     p for p in cluster.pods("beta") if p.index == victim
                 )
                 await pod.runtime.close()
+                # The fault sidecar dies with its pod: its listener is
+                # the address beta's connect-only probes dial, so the
+                # whole instance must vanish for the death to be seen.
+                # (The supervisor re-interposes a fresh shim on respawn;
+                # the dead shim's records survive via the retired list.)
+                await chain.hop("beta").fault_proxies[victim].close()
                 killed = True
             line = b"soak %d" % exchange
             reply = await client.exchange(line)
@@ -184,6 +228,14 @@ async def _soak(baseline_tasks: set) -> None:
         for record in load_jsonl(observer.sink.jsonl().splitlines()):
             if record.get("type") == "recovery" and record.get("to") == "QUARANTINED":
                 assert record.get("service") == "beta", record
+
+        # Every hop's own fault schedule actually fired through its own
+        # shims — per-edge injection, not one shared schedule — and only
+        # the mild stall faults these schedules carry.
+        for name in HOP_SIZES:
+            records = chain.hop(name).fault_records()
+            assert records, f"hop {name} injected no faults"
+            assert {record.kind for record in records} == {"stall"}, name
 
         address = chain.address
         await chain.close()

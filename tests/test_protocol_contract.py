@@ -194,6 +194,7 @@ class TestInTreeModules:
             state_classification=True,
             mutation=True,
             execution_index=True,
+            state_digest=True,
         )
         assert rows["pgwire"] == ProtocolCapabilities(
             liveness=True,

@@ -1,0 +1,359 @@
+"""Unit tests for repro.sentinel: chunked digests, drift classification,
+the capture path (contract-1.3 hook vs full-snapshot fallback), the
+offline audit CLI, and the new config knobs."""
+
+from __future__ import annotations
+
+import hashlib
+
+import pytest
+
+from repro.apps.kvstore import KeyDbLikeServer, RedisLikeServer, kv_command
+from repro.core.config import RddrConfig
+from repro.journal.replay import capture_state_digests
+from repro.obs import Observer
+from repro.protocols import get_protocol
+from repro.protocols.base import (
+    PROTOCOL_API_VERSION,
+    ProtocolContractError,
+    ProtocolRegistry,
+    capabilities_of,
+)
+from repro.sentinel import StateSentinel, chunk_digests, classify, diff_chunks
+from repro.sentinel.__main__ import main as sentinel_main
+from repro.sentinel.digest import DIGEST_HEX
+from tests.helpers import run
+
+
+class TestChunkDigests:
+    def test_empty_blob_has_no_chunks(self):
+        assert chunk_digests(b"", 16) == []
+
+    def test_chunking_and_digest_shape(self):
+        blob = b"a" * 40
+        digests = chunk_digests(blob, 16)
+        assert len(digests) == 3  # 16 + 16 + 8
+        assert all(len(d) == DIGEST_HEX for d in digests)
+        assert digests[0] == digests[1]  # identical chunk content
+        assert digests[2] != digests[0]  # short tail chunk differs
+
+    def test_digest_is_truncated_sha256(self):
+        blob = b"hello world"
+        expected = hashlib.sha256(blob).hexdigest()[:DIGEST_HEX]
+        assert chunk_digests(blob, 64) == [expected]
+
+    def test_rejects_nonpositive_chunk_size(self):
+        with pytest.raises(ValueError):
+            chunk_digests(b"x", 0)
+
+    def test_diff_chunks_localizes(self):
+        left = bytearray(b"0123456789abcdef" * 4)
+        right = bytearray(left)
+        right[17] ^= 0xFF  # inside chunk 1
+        diffs = diff_chunks(chunk_digests(bytes(left), 16), chunk_digests(bytes(right), 16))
+        assert diffs == [1]
+
+    def test_diff_chunks_counts_length_skew(self):
+        left = chunk_digests(b"a" * 32, 16)
+        right = chunk_digests(b"a" * 48, 16)
+        assert diff_chunks(left, right) == [2]
+
+
+class TestClassify:
+    def test_all_agree_is_clean(self):
+        digests = {0: ["aa", "bb"], 1: ["aa", "bb"], 2: ["aa", "bb"]}
+        verdict = classify(digests)
+        assert verdict is not None and verdict.clean
+        assert set(verdict.majority) == {0, 1, 2}
+
+    def test_minority_localized_to_chunk(self):
+        digests = {0: ["aa", "bb"], 1: ["aa", "bb"], 2: ["aa", "XX"]}
+        verdict = classify(digests)
+        assert verdict is not None and not verdict.clean
+        assert set(verdict.majority) == {0, 1}
+        assert len(verdict.drifted) == 1
+        report = verdict.drifted[0]
+        assert report.instance == 2
+        assert report.chunks == (1,)
+
+    def test_two_way_split_has_no_majority(self):
+        assert classify({0: ["aa"], 1: ["bb"]}) is None
+
+    def test_three_way_split_has_no_majority(self):
+        assert classify({0: ["aa"], 1: ["bb"], 2: ["cc"]}) is None
+
+    def test_needs_strict_majority_of_four(self):
+        digests = {0: ["aa"], 1: ["aa"], 2: ["bb"], 3: ["cc"]}
+        assert classify(digests) is None
+
+    def test_majority_of_four_with_two_drifters(self):
+        digests = {0: ["aa"], 1: ["aa"], 2: ["aa"], 3: ["bb"]}
+        verdict = classify(digests)
+        assert verdict is not None
+        assert set(verdict.majority) == {0, 1, 2}
+        assert [r.instance for r in verdict.drifted] == [3]
+
+
+class TestContract13:
+    def test_api_version_is_1_3(self):
+        assert PROTOCOL_API_VERSION == "1.3"
+
+    def test_resp_declares_state_digest(self):
+        assert capabilities_of(get_protocol("resp")).state_digest
+
+    def test_pgwire_has_no_state_digest(self):
+        # pgwire deliberately lacks the hook pair, so deployments on it
+        # exercise the full-snapshot fallback in capture_state_digests.
+        assert not capabilities_of(get_protocol("pgwire")).state_digest
+
+    def test_half_implemented_digest_pair_rejected(self):
+        from repro.protocols.base import ProtocolModule
+
+        class HalfDigest(ProtocolModule):
+            API_VERSION = PROTOCOL_API_VERSION
+            name = "contract-half-digest"
+
+            async def read_client_message(self, reader, state):
+                return None
+
+            async def read_server_message(self, reader, state, request):
+                return b""
+
+            def tokenize(self, message):
+                return [message]
+
+            def block_response(self, message):
+                return b""
+
+            def state_digest_request(self, chunk_bytes):
+                return b"DIGEST\n"
+
+        with pytest.raises(ProtocolContractError, match="parse_state_digest"):
+            ProtocolRegistry().register(HalfDigest)
+
+
+class TestCapture:
+    def test_kvstore_digest_verb_matches_client_side_chunking(self):
+        async def main():
+            server = await RedisLikeServer().start()
+            try:
+                await kv_command(server.address, "SET", "alpha", "1")
+                await kv_command(server.address, "SET", "beta", "2")
+                via_hook = await capture_state_digests(
+                    server.address, "resp", chunk_bytes=8
+                )
+                snapshot = server.snapshot()
+                assert via_hook == chunk_digests(snapshot, 8)
+            finally:
+                await server.close()
+
+        run(main())
+
+    def test_diverse_flavors_agree_on_digests(self):
+        async def main():
+            redis = await RedisLikeServer().start()
+            keydb = await KeyDbLikeServer(version="6.0.0").start()
+            try:
+                for server in (redis, keydb):
+                    await kv_command(server.address, "SET", "k", "v")
+                a = await capture_state_digests(redis.address, "resp", chunk_bytes=16)
+                b = await capture_state_digests(keydb.address, "resp", chunk_bytes=16)
+                assert a == b
+            finally:
+                await redis.close()
+                await keydb.close()
+
+        run(main())
+
+    def test_fallback_chunks_full_snapshot(self):
+        # Ask through a protocol subclass without the digest pair: the
+        # RESP kvstore still answers SNAPSHOT, so the client chunks the
+        # raw reply locally.  Fallback digests are group-consistent
+        # (identical state -> identical digests) even though they are not
+        # byte-comparable with the native server-side digests.
+        from repro.protocols.resp import RespProtocol
+
+        import dataclasses
+
+        class NoDigestResp(RespProtocol):
+            name = "resp-nodigest"
+            state_digest_request = None  # type: ignore[assignment]
+            parse_state_digest = None  # type: ignore[assignment]
+
+            def capabilities(self):
+                return dataclasses.replace(
+                    super().capabilities(), state_digest=False
+                )
+
+        async def main():
+            twins = [await RedisLikeServer().start() for _ in range(2)]
+            try:
+                proto = NoDigestResp()
+                assert not capabilities_of(proto).state_digest
+                for server in twins:
+                    await kv_command(server.address, "SET", "x", "y")
+                a = await capture_state_digests(
+                    twins[0].address, proto, chunk_bytes=8
+                )
+                b = await capture_state_digests(
+                    twins[1].address, proto, chunk_bytes=8
+                )
+                assert a and a == b
+                # A silently corrupted twin now diverges.
+                twins[1].data[b"x"] = b"CORRUPT"
+                b = await capture_state_digests(
+                    twins[1].address, proto, chunk_bytes=8
+                )
+                assert a != b
+            finally:
+                for server in twins:
+                    await server.close()
+
+        run(main())
+
+
+class TestSentinelAuditOnce:
+    def test_clean_audit_over_static_addresses(self):
+        async def main():
+            servers = [await RedisLikeServer().start() for _ in range(3)]
+            try:
+                for server in servers:
+                    await kv_command(server.address, "SET", "k", "v")
+                observer = Observer()
+                sentinel = StateSentinel(
+                    service="kv",
+                    protocol="resp",
+                    observer=observer,
+                    addresses=[s.address for s in servers],
+                    chunk_bytes=16,
+                )
+                assert await sentinel.audit_once() == "clean"
+                counter = observer.registry.counter(
+                    "rddr_sentinel_audits_total", labelnames=("service", "outcome")
+                )
+                assert counter.labels(service="kv", outcome="clean").value == 1
+            finally:
+                for server in servers:
+                    await server.close()
+
+        run(main())
+
+    def test_detection_only_records_drift_without_repair(self):
+        async def main():
+            servers = [await RedisLikeServer().start() for _ in range(3)]
+            try:
+                for server in servers:
+                    await kv_command(server.address, "SET", "k", "v")
+                # Silent corruption on instance 2, out of band.
+                servers[2].data[b"k"] = b"CORRUPT"
+                observer = Observer()
+                sentinel = StateSentinel(
+                    service="kv",
+                    protocol="resp",
+                    observer=observer,
+                    addresses=[s.address for s in servers],
+                    chunk_bytes=8,
+                )
+                assert await sentinel.audit_once() == "divergent"
+                records = [
+                    r for r in observer.sink.traces() if r.get("type") == "drift"
+                ]
+                assert len(records) == 1
+                record = records[0]
+                assert record["instance"] == 2
+                assert record["action"] == "detected"
+                assert record["chunks"]  # localized to specific chunks
+                detected = observer.registry.counter(
+                    "rddr_drift_detected_total", labelnames=("service",)
+                )
+                assert detected.labels(service="kv").value == 1
+                # No supervisor/journal: detection-only, nothing repaired.
+                repaired = observer.registry.counter(
+                    "rddr_drift_repaired_total", labelnames=("service",)
+                )
+                assert repaired.labels(service="kv").value == 0
+            finally:
+                for server in servers:
+                    await server.close()
+
+        run(main())
+
+    def test_single_instance_round_is_skipped(self):
+        async def main():
+            server = await RedisLikeServer().start()
+            try:
+                observer = Observer()
+                sentinel = StateSentinel(
+                    service="kv",
+                    protocol="resp",
+                    observer=observer,
+                    addresses=[server.address],
+                )
+                assert await sentinel.audit_once() == "skipped"
+            finally:
+                await server.close()
+
+        run(main())
+
+    def test_requires_directory_or_addresses(self):
+        with pytest.raises(ValueError):
+            StateSentinel(
+                service="kv", protocol="resp", observer=Observer()
+            )
+
+
+class TestCli:
+    def test_identical_files_exit_zero(self, tmp_path, capsys):
+        left = tmp_path / "a.snap"
+        right = tmp_path / "b.snap"
+        left.write_bytes(b"same bytes" * 10)
+        right.write_bytes(b"same bytes" * 10)
+        code = sentinel_main(["audit", str(left), str(right)])
+        assert code == 0
+        assert "identical" in capsys.readouterr().out
+
+    def test_divergent_files_exit_one_and_localize(self, tmp_path, capsys):
+        blob = bytearray(b"0123456789abcdef" * 8)
+        left = tmp_path / "a.snap"
+        right = tmp_path / "b.snap"
+        left.write_bytes(bytes(blob))
+        blob[40] ^= 0xFF  # chunk 2 at --chunk-bytes 16
+        right.write_bytes(bytes(blob))
+        code = sentinel_main(
+            ["audit", str(left), str(right), "--chunk-bytes", "16"]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "divergent chunks: 1" in out
+        assert "chunk 2 (offset 32)" in out
+
+    def test_usage_error_exits_two(self):
+        assert sentinel_main([]) == 2
+        assert sentinel_main(["bogus"]) == 2
+
+
+class TestConfigKnobs:
+    def test_round_trip(self):
+        config = RddrConfig(
+            sentinel_audit_period=0.5,
+            sentinel_chunk_bytes=128,
+            sentinel_repair_budget=3,
+        )
+        clone = RddrConfig.from_dict(config.to_dict())
+        assert clone.sentinel_audit_period == 0.5
+        assert clone.sentinel_chunk_bytes == 128
+        assert clone.sentinel_repair_budget == 3
+
+    def test_defaults_are_fingerprint_neutral(self):
+        base = RddrConfig()
+        assert base.sentinel_audit_period is None
+        assert base.fingerprint() == RddrConfig(
+            sentinel_audit_period=None,
+            sentinel_chunk_bytes=256,
+            sentinel_repair_budget=2,
+        ).fingerprint()
+
+    def test_non_default_knobs_change_fingerprint(self):
+        base = RddrConfig()
+        tuned = RddrConfig(sentinel_audit_period=0.5)
+        assert base.fingerprint() != tuned.fingerprint()

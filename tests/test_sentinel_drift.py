@@ -1,0 +1,280 @@
+"""Drift-after-degraded-quorum: the sentinel's acceptance scenarios.
+
+An instance dropped from a single exchange by degraded-quorum voting
+silently misses that exchange's mutation — RDDR's response-boundary
+comparison never sees the gap, because the instance answers every
+*later* read it is asked to vote on from its (stale) state only when
+the divergent key comes up.  These tests drive exactly that wound and
+assert the anti-entropy audit finds it, localizes it to the right
+chunks, and heals it in place: journal restore + tail replay at the
+instance's live address, never a pod restart.
+
+Covered here: the kvstore pair over native ``DIGEST`` state digests
+(with and without journal group commit), and pgwire over the
+full-snapshot fallback digests.  The audit loop is driven manually
+(``audit_once``) for determinism; the periodic loop is exercised by the
+chaos soak in ``test_sentinel_soak.py``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.apps.kvstore import RedisLikeServer, kv_command
+from repro.core.config import RddrConfig
+from repro.journal import capture_state_digests
+from repro.orchestrator import Cluster, deploy_nversioned
+from repro.recovery import LIVE, QUARANTINED, RESTARTING
+from repro.sentinel import diff_chunks
+from tests.helpers import run
+
+N = 3
+CHUNK = 32
+
+
+class _DroppyKv(RedisLikeServer):
+    """Kvstore pod that can be told to drop exactly one mutation: when
+    ``flags["drop"]`` holds this pod's index, the next SET is swallowed
+    (state unchanged) and the connection is torn down without a reply,
+    so the proxy's degraded quorum finishes the exchange without us."""
+
+    def __init__(self, *, host: str, port: int, index: int, flags: dict) -> None:
+        super().__init__(host=host, port=port, name=f"droppy-{index}")
+        self.index = index
+        self.flags = flags
+
+    def dispatch(self, command: list[bytes]) -> bytes:
+        if (
+            command
+            and command[0].upper() == b"SET"
+            and self.flags.get("drop") == self.index
+        ):
+            self.flags.pop("drop")
+            raise ConnectionResetError("dropped from this exchange")
+        return super().dispatch(command)
+
+
+def _kv_factory(flags: dict):
+    async def factory(ctx):
+        return await _DroppyKv(
+            host=ctx.host, port=ctx.port, index=ctx.index, flags=flags
+        ).start()
+
+    return factory
+
+
+def _sentinel_config(journal_dir: str, protocol: str, **extra) -> RddrConfig:
+    return RddrConfig(
+        protocol=protocol,
+        exchange_timeout=2.0,
+        instance_response_deadline=0.5,
+        divergence_policy="vote",
+        degraded_quorum=True,
+        quarantine_minority=True,
+        ephemeral_state=False,
+        recovery_enabled=True,
+        probe_period=0.05,
+        probe_timeout=0.3,
+        probe_failure_threshold=3,
+        restart_backoff=0.05,
+        rejoin_clean_exchanges=2,
+        connect_attempts=3,
+        connect_backoff_max=0.05,
+        journal_dir=journal_dir,
+        # Enormous period: the loop never fires during the test, the
+        # audits are stepped manually through ``audit_once``.
+        sentinel_audit_period=600.0,
+        sentinel_chunk_bytes=CHUNK,
+        **extra,
+    )
+
+
+async def _instance_scan(address) -> bytes:
+    listing = await kv_command(address, "KEYS", "*")
+    keys = [
+        line
+        for line in listing.split(b"\r\n")
+        if line and not line.startswith((b"*", b"$"))
+    ]
+    chunks = [listing]
+    for key in keys:
+        chunks.append(await kv_command(address, "GET", key))
+    return b"".join(chunks)
+
+
+async def _wait_for(predicate, timeout: float = 10.0) -> None:
+    deadline = asyncio.get_running_loop().time() + timeout
+    while not predicate():
+        if asyncio.get_running_loop().time() > deadline:
+            raise AssertionError("condition not reached in time")
+        await asyncio.sleep(0.02)
+
+
+def _drift_records(service) -> list[dict]:
+    return [
+        record
+        for record in service.rddr.observer.sink.traces()
+        if record.get("type") == "drift"
+    ]
+
+
+def _recovery_states(service, instance: int) -> list[str]:
+    return [
+        record["to"]
+        for record in service.rddr.observer.sink.traces()
+        if record.get("type") == "recovery" and record.get("instance") == instance
+    ]
+
+
+class TestKvDriftRepair:
+    @pytest.mark.parametrize("group_commit_ms", [0.0, 5.0])
+    def test_missed_mutation_detected_localized_repaired(
+        self, tmp_path, group_commit_ms
+    ):
+        journal_dir = str(tmp_path / "journal")
+
+        async def main():
+            flags: dict = {}
+            extra = {}
+            if group_commit_ms:
+                extra = dict(
+                    journal_group_commit_ms=group_commit_ms, journal_fsync=True
+                )
+            config = _sentinel_config(journal_dir, "resp", **extra)
+            async with Cluster() as cluster:
+                service = await deploy_nversioned(
+                    cluster, "kv", [_kv_factory(flags)] * N, config=config
+                )
+                try:
+                    sentinel = service.sentinel
+                    supervisor = service.supervisor
+                    assert sentinel is not None and supervisor is not None
+
+                    # Seed enough keys that the snapshot spans several
+                    # chunks; the doomed key sorts last so its write
+                    # lands in the final chunk region.
+                    for i in range(8):
+                        reply = await kv_command(
+                            service.address, "SET", f"key:{i:02d}", f"val{i:04d}"
+                        )
+                        assert reply == b"+OK\r\n"
+                    assert await sentinel.audit_once() == "clean"
+
+                    # Instance 1 is dropped from exactly this exchange:
+                    # the mutation commits on the 2/3 quorum (and the
+                    # journal) but never reaches instance 1.
+                    flags["drop"] = 1
+                    reply = await kv_command(
+                        service.address, "SET", "zz:target", "missed!!"
+                    )
+                    assert reply == b"+OK\r\n"
+                    assert "drop" not in flags  # the pod consumed the flag
+                    await _wait_for(lambda: supervisor.state(1) == LIVE)
+
+                    pods = cluster.pods("kv")
+                    assert pods[1].runtime.get(b"zz:target") is None  # wounded
+                    assert pods[0].runtime.get(b"zz:target") == b"missed!!"
+
+                    # Predict the localization: the exact chunks where
+                    # the wounded instance disagrees with a healthy one.
+                    healthy = await capture_state_digests(
+                        pods[0].address, "resp", chunk_bytes=CHUNK
+                    )
+                    wounded = await capture_state_digests(
+                        pods[1].address, "resp", chunk_bytes=CHUNK
+                    )
+                    expected_chunks = diff_chunks(healthy, wounded)
+                    assert expected_chunks
+
+                    assert await sentinel.audit_once() == "divergent"
+
+                    records = _drift_records(service)
+                    detected = [r for r in records if r["action"] == "detected"]
+                    assert len(detected) == 1
+                    assert detected[0]["instance"] == 1
+                    assert detected[0]["chunks"] == expected_chunks
+                    repaired = [r for r in records if r["action"] == "repaired"]
+                    assert len(repaired) == 1
+                    assert repaired[0]["instance"] == 1
+
+                    # Repaired *in place*: back LIVE via REPAIRING, with
+                    # no restart and no quarantine anywhere in instance
+                    # 1's timeline.
+                    assert supervisor.state(1) == LIVE
+                    states = _recovery_states(service, 1)
+                    assert "REPAIRING" in states
+                    assert RESTARTING not in states
+                    assert QUARANTINED not in states
+
+                    # Byte-identical scans across the whole group.
+                    scans = {
+                        await _instance_scan(pod.address) for pod in pods
+                    }
+                    assert len(scans) == 1
+                    assert b"missed!!" in next(iter(scans))
+
+                    assert await sentinel.audit_once() == "clean"
+                finally:
+                    await service.close()
+
+        run(main(), timeout=60.0)
+
+
+class TestPgwireDriftRepair:
+    def test_fallback_digests_detect_and_repair_sql_drift(self, tmp_path):
+        from repro.pgwire import PgClient, PgWireServer
+        from repro.sqlengine import Database
+
+        journal_dir = str(tmp_path / "journal")
+
+        async def pg_factory(ctx):
+            server = PgWireServer(Database(), host=ctx.host, port=ctx.port)
+            await server.start()
+            return server
+
+        async def main():
+            config = _sentinel_config(journal_dir, "pgwire")
+            async with Cluster() as cluster:
+                service = await deploy_nversioned(
+                    cluster, "db", [pg_factory] * N, config=config
+                )
+                try:
+                    sentinel = service.sentinel
+                    assert sentinel is not None
+                    async with await PgClient.connect(*service.address) as client:
+                        await client.query(
+                            "CREATE TABLE t (id INT PRIMARY KEY, name TEXT)"
+                        )
+                        await client.query("INSERT INTO t VALUES (1, 'one')")
+                        await client.query("INSERT INTO t VALUES (2, 'two')")
+                    assert await sentinel.audit_once() == "clean"
+
+                    # Silent out-of-band corruption: one replica's row
+                    # mutates without any exchange noticing.
+                    pods = cluster.pods("db")
+                    pods[2].runtime.database.execute(
+                        "UPDATE t SET name = 'CORRUPT' WHERE id = 2"
+                    )
+
+                    assert await sentinel.audit_once() == "divergent"
+                    records = _drift_records(service)
+                    assert [r["action"] for r in records if r["instance"] == 2] == [
+                        "detected",
+                        "repaired",
+                    ]
+                    assert service.supervisor.state(2) == LIVE
+                    states = _recovery_states(service, 2)
+                    assert RESTARTING not in states and QUARANTINED not in states
+
+                    dumps = {
+                        pod.runtime.database.dump_sql() for pod in pods
+                    }
+                    assert len(dumps) == 1
+                    assert "CORRUPT" not in next(iter(dumps))
+                    assert await sentinel.audit_once() == "clean"
+                finally:
+                    await service.close()
+
+        run(main(), timeout=60.0)

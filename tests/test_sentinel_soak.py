@@ -1,0 +1,267 @@
+"""Seeded drift-injection chaos soak: the sentinel's acceptance run.
+
+Drives live kvstore traffic through an N=3 recovery-enabled deployment
+with the sentinel's periodic audit loop running for real, while seeded
+silent corruption flips state inside LIVE instances — no crash, no
+divergent response, nothing the exchange path can see.  The run must
+end with every corruption detected (promptly, in audit periods), each
+wounded instance repaired *in place* (REPAIRING in its timeline; never
+RESTARTING or QUARANTINED), ``rddr_drift_repaired_total`` advanced, a
+``type:"drift"`` record trail, byte-identical post-soak snapshots, and
+clean teardown.
+
+The seed comes from ``RDDR_SOAK_SEED`` (default 1) so the CI
+sentinel-soak matrix replays distinct but reproducible runs; when
+``RDDR_SOAK_TRACE_DIR`` is set the trace-sink JSONL is dumped there
+(pass or fail) for the CI failure artifact.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import random
+import time
+
+from repro.apps.kvstore import RedisLikeServer, kv_command
+from repro.core.config import RddrConfig
+from repro.orchestrator import Cluster, deploy_nversioned
+from repro.recovery import LIVE, QUARANTINED, RESTARTING
+from repro.transport.streams import close_writer
+from tests.helpers import run
+
+SEED = int(os.environ.get("RDDR_SOAK_SEED", "1"))
+EXCHANGES = 120
+N = 3
+AUDIT_PERIOD = 0.15
+#: The corruption target: seeded through the proxy (so it is journaled
+#: on every instance) and never touched by soak traffic again, so an
+#: injected flip persists until the sentinel heals it.  It sorts before
+#: every traffic key and its value spans several chunks, so the wound —
+#: flipped bytes in the value's interior — lands in chunks no live
+#: write ever touches (drift in a chunk under active write load is
+#: indistinguishable from replication skew within one audit round; the
+#: sentinel defers such chunks to later, quieter rounds).
+CANARY = b"aa:sentinel-canary"
+HEALTHY = b"h" * 256
+
+
+def _wound(n: int) -> bytes:
+    """Corrupted canary value for injection ``n`` — same length as
+    :data:`HEALTHY` (stable chunk layout) but distinct per injection, so
+    two wounds can never agree with each other and outvote the truth."""
+    return b"h" * 100 + bytes([0x41 + n]) * 40 + b"h" * 116
+
+
+async def _kv_factory(ctx):
+    return await RedisLikeServer(host=ctx.host, port=ctx.port).start()
+
+
+def _config(journal_dir: str) -> RddrConfig:
+    return RddrConfig(
+        protocol="resp",
+        exchange_timeout=2.0,
+        instance_response_deadline=0.5,
+        divergence_policy="vote",
+        degraded_quorum=True,
+        quarantine_minority=True,
+        ephemeral_state=False,
+        recovery_enabled=True,
+        probe_period=0.05,
+        probe_timeout=0.3,
+        probe_failure_threshold=3,
+        restart_backoff=0.05,
+        rejoin_clean_exchanges=2,
+        connect_attempts=3,
+        connect_backoff_max=0.05,
+        journal_dir=journal_dir,
+        sentinel_audit_period=AUDIT_PERIOD,
+        sentinel_chunk_bytes=64,
+    )
+
+
+def _drift_records(sink) -> list[dict]:
+    return [r for r in sink.traces() if r.get("type") == "drift"]
+
+
+async def _soak(journal_dir: str, baseline_tasks: set) -> None:
+    rng = random.Random(SEED)
+    corruption_points = sorted(rng.sample(range(20, EXCHANGES - 30), 2))
+    config = _config(journal_dir)
+    async with Cluster() as cluster:
+        service = await deploy_nversioned(
+            cluster, "soak", [_kv_factory] * N, config=config
+        )
+        supervisor = service.supervisor
+        sentinel = service.sentinel
+        assert supervisor is not None and sentinel is not None
+        _SINK[0] = service.rddr.observer.sink
+
+        # Seed a fixed working set (constant-length values keep the
+        # snapshot chunk layout stable) plus the canary key.
+        for i in range(8):
+            assert (
+                await kv_command(
+                    service.address, "SET", f"key:{i:02d}", "v000000"
+                )
+                == b"+OK\r\n"
+            )
+        assert (
+            await kv_command(service.address, "SET", CANARY, HEALTHY)
+            == b"+OK\r\n"
+        )
+
+        sink = service.rddr.observer.sink
+
+        def _repaired_count() -> int:
+            return len(
+                [r for r in _drift_records(sink) if r["action"] == "repaired"]
+            )
+
+        corruptions: list[dict] = []
+        injected = 0
+        exchange = 0
+        deadline = asyncio.get_running_loop().time() + 60.0
+
+        def _maybe_inject() -> None:
+            nonlocal injected
+            if injected >= len(corruption_points):
+                return
+            if exchange < corruption_points[injected]:
+                return
+            # One open wound at a time: a second wound while the first
+            # is unhealed can deny the group any majority on the canary
+            # chunks (2 of 3 corrupted), which is exactly the unrepairable
+            # regime majority voting cannot help with.
+            if _repaired_count() < injected:
+                return
+            live = [i for i in range(N) if supervisor.state(i) == LIVE]
+            victim = rng.choice(live)
+            pod = next(p for p in cluster.pods("soak") if p.index == victim)
+            # Silent corruption: same-length flip, no crash, no response
+            # divergence — invisible to the exchange path.
+            pod.runtime.data[CANARY] = _wound(injected)
+            corruptions.append({"instance": victim, "wall": time.time()})
+            injected += 1
+
+        # Main soak: live traffic with seeded corruption injections, then
+        # keep driving traffic until both wounds landed and healed.
+        while exchange < EXCHANGES or injected < 2 or _repaired_count() < 2:
+            assert asyncio.get_running_loop().time() < deadline, (
+                f"exchange {exchange}, injected {injected}, drift records: "
+                f"{[r['action'] for r in _drift_records(sink)]}"
+            )
+            _maybe_inject()
+            key = f"key:{exchange % 8:02d}"
+            try:
+                await kv_command(
+                    service.address, "SET", key, f"v{exchange:06d}"
+                )
+            except (ConnectionError, OSError, asyncio.TimeoutError):
+                pass
+            exchange += 1
+            await asyncio.sleep(0.005)
+        assert injected == 2
+
+        # Let the audit loop settle: every instance LIVE again.
+        while not supervisor.all_live:
+            assert (
+                asyncio.get_running_loop().time() < deadline
+            ), f"states: {supervisor.states}"
+            await asyncio.sleep(0.05)
+        audits_before = sentinel.audits
+        while sentinel.audits == audits_before:
+            assert asyncio.get_running_loop().time() < deadline
+            await asyncio.sleep(0.05)
+
+        records = _drift_records(sink)
+        detected = [r for r in records if r["action"] == "detected"]
+        repaired = [r for r in records if r["action"] == "repaired"]
+        assert len(detected) >= len(corruptions)
+        assert len(repaired) >= len(corruptions)
+
+        # Prompt detection: the first corruption was found within a few
+        # audit periods of landing (one period to the next audit, plus
+        # capture + confirmation time).
+        first = corruptions[0]
+        latency = min(
+            r["started_wall"] - first["wall"]
+            for r in detected
+            if r["instance"] == first["instance"]
+        )
+        assert latency < 6 * AUDIT_PERIOD + 0.5, f"detection took {latency:.2f}s"
+
+        # Repairs were in place: the wounded instances saw REPAIRING but
+        # never a restart or a quarantine.
+        wounded = {c["instance"] for c in corruptions}
+        for record in sink.traces():
+            if record.get("type") != "recovery":
+                continue
+            if record.get("instance") in wounded:
+                assert record["to"] not in (RESTARTING, QUARANTINED), record
+
+        # The drift trail carries journal context for stitching.
+        assert all("last_id" in r and "exec_index" in r for r in records)
+
+        # Metrics moved.
+        snapshot = service.rddr.metrics_snapshot()
+        repaired_total = sum(
+            series["value"]
+            for series in snapshot["rddr_drift_repaired_total"]["series"]
+        )
+        assert repaired_total >= len(corruptions)
+        audits_total = sum(
+            series["value"]
+            for series in snapshot["rddr_sentinel_audits_total"]["series"]
+        )
+        assert audits_total >= 3
+
+        # Quiesce, then assert byte-identical convergence: every
+        # instance, canary healed.
+        await asyncio.sleep(3 * AUDIT_PERIOD)
+        snapshots = set()
+        for pod in cluster.pods("soak"):
+            snapshots.add(pod.runtime.snapshot())
+            assert pod.runtime.get(CANARY) == HEALTHY
+        assert len(snapshots) == 1
+
+        address = service.address
+        await service.close()
+
+    # Teardown hygiene: nothing keeps running, nothing listens.
+    await asyncio.sleep(0.1)
+    leaked = [
+        task
+        for task in asyncio.all_tasks() - baseline_tasks
+        if task is not asyncio.current_task()
+    ]
+    assert leaked == [], leaked
+    try:
+        _, writer = await asyncio.open_connection(*address)
+    except OSError:
+        pass
+    else:
+        await close_writer(writer)
+        raise AssertionError("service address still listening")
+
+
+#: The deployment's trace sink, stashed so a failed run can still dump
+#: its JSONL for the CI artifact.
+_SINK: list = [None]
+
+
+class TestSentinelSoak:
+    def test_seeded_drift_soak_converges(self, tmp_path):
+        async def main():
+            baseline_tasks = asyncio.all_tasks()
+            try:
+                await _soak(str(tmp_path / "journal"), baseline_tasks)
+            finally:
+                trace_dir = os.environ.get("RDDR_SOAK_TRACE_DIR")
+                if trace_dir and _SINK[0] is not None:
+                    path = os.path.join(
+                        trace_dir, f"sentinel-soak-seed{SEED}.jsonl"
+                    )
+                    _SINK[0].write_jsonl(path)
+
+        run(main(), timeout=120.0)
